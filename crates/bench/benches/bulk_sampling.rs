@@ -1,0 +1,46 @@
+//! Bulk-sampling ablation: sorted-uniform merge vs. alias table — the
+//! design choice behind Batched Execution's amortized shot cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptsbe_math::gates;
+use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::{sampling, SamplingStrategy, StateVector};
+use std::hint::black_box;
+
+fn uniform_state(n: usize) -> StateVector<f64> {
+    let mut sv = StateVector::zero_state(n);
+    for q in 0..n {
+        sv.apply_1q(&gates::h(), q);
+    }
+    sv
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let n = 16;
+    let sv = uniform_state(n);
+    let mut group = c.benchmark_group("bulk_sampling_n16");
+    group.sample_size(15);
+    for m in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("sorted_merge", m), &m, |b, &m| {
+            let mut rng = PhiloxRng::new(1, 0);
+            b.iter(|| {
+                sampling::sample_shots(
+                    black_box(&sv),
+                    m,
+                    &mut rng,
+                    SamplingStrategy::SortedMerge,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("alias", m), &m, |b, &m| {
+            let mut rng = PhiloxRng::new(2, 0);
+            b.iter(|| {
+                sampling::sample_shots(black_box(&sv), m, &mut rng, SamplingStrategy::Alias)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Pauli-frame bulk sampler vs. per-shot tableau — the Stim-style MHz
+//! mechanism the paper cites (§2.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptsbe_bench::{steane_memory, with_depolarizing};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_stabilizer::frame::{tableau_sample_one, FrameSampler};
+use std::hint::black_box;
+
+fn bench_frames(c: &mut Criterion) {
+    let noisy = with_depolarizing(&steane_memory(), 1e-3);
+    let mut rng = PhiloxRng::new(21, 0);
+    let sampler = FrameSampler::new(&noisy, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("frame_sampler_steane");
+    group.sample_size(15);
+    group.bench_function("bulk_100k_shots", |b| {
+        let mut rng = PhiloxRng::new(22, 0);
+        b.iter(|| black_box(&sampler).sample(100_000, &mut rng));
+    });
+    group.bench_function("tableau_1k_shots", |b| {
+        let mut rng = PhiloxRng::new(23, 0);
+        let program = sampler.program();
+        b.iter(|| {
+            let mut acc = 0u128;
+            for _ in 0..1_000 {
+                acc ^= tableau_sample_one(black_box(program), &mut rng);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frames);
+criterion_main!(benches);

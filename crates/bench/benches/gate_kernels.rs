@@ -1,0 +1,46 @@
+//! Statevector gate-kernel microbenchmarks: dense 1q/2q application vs.
+//! the permutation fast paths, f32 vs. f64.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptsbe_math::gates;
+use ptsbe_statevector::StateVector;
+use std::hint::black_box;
+
+fn bench_gates(c: &mut Criterion) {
+    let n = 16;
+    let mut group = c.benchmark_group("gate_kernels_n16");
+    group.sample_size(20);
+
+    let h64 = gates::h::<f64>();
+    let cx64 = gates::cx::<f64>();
+    group.bench_function("apply_1q_f64_low", |b| {
+        let mut sv = StateVector::<f64>::zero_state(n);
+        b.iter(|| sv.apply_1q(black_box(&h64), 0));
+    });
+    group.bench_function("apply_1q_f64_high", |b| {
+        let mut sv = StateVector::<f64>::zero_state(n);
+        b.iter(|| sv.apply_1q(black_box(&h64), n - 1));
+    });
+    group.bench_function("apply_2q_dense_f64", |b| {
+        let mut sv = StateVector::<f64>::zero_state(n);
+        b.iter(|| sv.apply_2q(black_box(&cx64), 3, 11));
+    });
+    group.bench_function("apply_cx_fastpath_f64", |b| {
+        let mut sv = StateVector::<f64>::zero_state(n);
+        b.iter(|| sv.apply_cx(black_box(3), 11));
+    });
+    group.bench_function("apply_cz_fastpath_f64", |b| {
+        let mut sv = StateVector::<f64>::zero_state(n);
+        b.iter(|| sv.apply_cz(black_box(3), 11));
+    });
+
+    let h32 = gates::h::<f32>();
+    group.bench_function("apply_1q_f32_low", |b| {
+        let mut sv = StateVector::<f32>::zero_state(n);
+        b.iter(|| sv.apply_1q(black_box(&h32), 0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Dense linear-algebra kernels: the QR/SVD factorizations behind MPS
+//! canonicalization and truncation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptsbe_math::qr::qr_thin;
+use ptsbe_math::random::random_matrix;
+use ptsbe_math::svd::svd;
+use ptsbe_rng::PhiloxRng;
+use std::hint::black_box;
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut rng = PhiloxRng::new(30, 0);
+    let a32 = random_matrix::<f64>(32, 32, &mut rng);
+    let a64 = random_matrix::<f64>(64, 64, &mut rng);
+    let tall = random_matrix::<f64>(128, 32, &mut rng);
+
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(15);
+    group.bench_function("svd_32x32", |b| b.iter(|| svd(black_box(&a32))));
+    group.bench_function("svd_64x64", |b| b.iter(|| svd(black_box(&a64))));
+    group.bench_function("qr_128x32", |b| b.iter(|| qr_thin(black_box(&tall))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

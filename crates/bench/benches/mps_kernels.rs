@@ -1,0 +1,51 @@
+//! MPS kernel microbenchmarks: two-site updates with SVD truncation, and
+//! the cached vs. naive sampling modes (the Fig. 5 mechanism).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptsbe_math::gates;
+use ptsbe_rng::PhiloxRng;
+use ptsbe_tensornet::{sample, Mps, MpsConfig};
+use std::hint::black_box;
+
+fn entangled_chain(n: usize, chi: usize) -> Mps<f64> {
+    let config = MpsConfig {
+        max_bond: chi,
+        cutoff: 0.0,
+    };
+    let mut mps = Mps::zero_state(n, config);
+    let mut rng = PhiloxRng::new(9, 0);
+    for layer in 0..4 {
+        for q in (layer % 2..n - 1).step_by(2) {
+            let u = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+            mps.apply_2q(&u, q, q + 1);
+        }
+    }
+    mps
+}
+
+fn bench_mps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mps_kernels");
+    group.sample_size(10);
+
+    group.bench_function("two_site_update_n24_chi16", |b| {
+        let mut mps = entangled_chain(24, 16);
+        let cx = gates::cx::<f64>();
+        b.iter(|| mps.apply_2q(black_box(&cx), 10, 11));
+    });
+
+    group.bench_function("sample_cached_n24_100shots", |b| {
+        let mut mps = entangled_chain(24, 16);
+        let mut rng = PhiloxRng::new(10, 0);
+        b.iter(|| sample::sample_shots_cached(black_box(&mut mps), 100, &mut rng));
+    });
+
+    group.bench_function("sample_naive_n24_10shots", |b| {
+        let mps = entangled_chain(24, 16);
+        let mut rng = PhiloxRng::new(11, 0);
+        b.iter(|| sample::sample_shots_naive(black_box(&mps), 10, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mps);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! End-to-end PTSBE vs. Algorithm-1 baseline at a fixed shot budget —
+//! the microbenchmark version of the paper's headline comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptsbe_bench::{msd_like, with_depolarizing};
+use ptsbe_core::baseline::baseline_one_sv;
+use ptsbe_core::{BatchedExecutor, ProbabilisticPts, PtsSampler, SvBackend};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::exec;
+use std::hint::black_box;
+
+fn bench_compare(c: &mut Criterion) {
+    let n = 12;
+    let noisy = with_depolarizing(&msd_like(n, n), 1e-3);
+    let shots = 1_000usize;
+
+    let mut group = c.benchmark_group("ptsbe_vs_baseline_n12_1kshots");
+    group.sample_size(10);
+
+    let backend = SvBackend::<f32>::new(&noisy, Default::default()).unwrap();
+    group.bench_function("ptsbe_one_trajectory", |b| {
+        let mut rng = PhiloxRng::new(3, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 1,
+            shots_per_trajectory: shots,
+            dedup: false,
+        }
+        .sample_plan(&noisy, &mut rng);
+        let exec = BatchedExecutor {
+            seed: 1,
+            parallel: false,
+        };
+        b.iter(|| exec.execute(black_box(&backend), &noisy, &plan));
+    });
+
+    let compiled = exec::compile::<f32>(&noisy).unwrap();
+    group.bench_function("baseline_per_shot_x20", |b| {
+        let mut rng = PhiloxRng::new(4, 0);
+        b.iter(|| {
+            // 20 baseline shots (full prep each); scale mentally by 50 to
+            // match the 1k-shot PTSBE row.
+            let mut acc = 0u128;
+            for _ in 0..20 {
+                acc ^= baseline_one_sv(black_box(&compiled), &mut rng);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E5 — Dataset-cost projection (the paper's §4 GPU-hour figures).
+//!
+//! The paper generated 10¹² statevector shots (10⁶ per trajectory) in
+//! 4,445 H100-hours and 10⁶ tensornet shots (100 per trajectory) in
+//! 2,223 H100-hours. Those figures are throughput × dataset size; this
+//! harness measures our CPU throughputs the same way and projects
+//! core-hours for the same dataset sizes, with the paper's numbers
+//! printed alongside.
+//!
+//! Run: `cargo run --release -p ptsbe-bench --bin cost_projection`
+
+use ptsbe_bench::{env_usize, msd_like, time_once, with_depolarizing};
+use ptsbe_qec::{codes, msd_encoded, MeasureBasis};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::{exec, sampling, SamplingStrategy};
+use ptsbe_tensornet::{compile_mps, prepare_mps, sample, MpsConfig};
+
+fn main() {
+    let threads = rayon::current_num_threads();
+
+    // --- statevector: 1e12 shots at 1e6 shots/trajectory -------------------
+    let n = env_usize("PTSBE_COST_QUBITS", 20);
+    let circuit = msd_like(n, n);
+    let noisy = with_depolarizing(&circuit, 1e-3);
+    let compiled = exec::compile::<f32>(&noisy).expect("compile");
+    let choices = noisy.identity_assignment().expect("identity");
+    let m_sv = 1_000_000usize;
+    let mut rng = PhiloxRng::new(0xC057, 0);
+    let (_, prep_t) = time_once(|| exec::prepare(&compiled, &choices).0);
+    let (state, _) = exec::prepare(&compiled, &choices);
+    let (_, sample_t) =
+        time_once(|| sampling::sample_shots(&state, m_sv, &mut rng, SamplingStrategy::Auto));
+    let per_traj = prep_t.as_secs_f64() + sample_t.as_secs_f64();
+    let n_traj = 1e12 / m_sv as f64;
+    let total_core_h = n_traj * per_traj / 3600.0 * threads as f64;
+    println!("# statevector workload: n={n} (paper: 35 qubits on 4xH100/trajectory)");
+    println!(
+        "  per-trajectory: prep {:.1} ms + sample(1e6) {:.1} ms = {:.1} ms",
+        prep_t.as_secs_f64() * 1e3,
+        sample_t.as_secs_f64() * 1e3,
+        per_traj * 1e3
+    );
+    println!(
+        "  projected 1e12-shot dataset: {:.2e} trajectories, {:.0} core-hours ({} threads)",
+        n_traj, total_core_h, threads
+    );
+    println!("  paper reference: 4,445 H100 GPU-hours on Eos for the 35-qubit version\n");
+
+    // --- tensornet: 1e6 shots at 100 shots/trajectory ----------------------
+    let d = env_usize("PTSBE_COST_DISTANCE", 5);
+    let code = codes::color_code(d);
+    let (mcirc, _) = msd_encoded(&code, MeasureBasis::Z);
+    let mnoisy = with_depolarizing(&mcirc, 1e-3);
+    let config = MpsConfig {
+        max_bond: 32,
+        cutoff: 1e-10,
+    };
+    let mcompiled = compile_mps::<f64>(&mnoisy).expect("compile");
+    let mchoices = mnoisy.identity_assignment().expect("identity");
+    let m_tn = 100usize;
+    let mut rng = PhiloxRng::new(0xC058, 0);
+    let (_, mprep_t) = time_once(|| prepare_mps(&mcompiled, &mchoices, config).0);
+    let mut mstate = prepare_mps(&mcompiled, &mchoices, config).0;
+    let (_, msample_t) = time_once(|| sample::sample_shots_cached(&mut mstate, m_tn, &mut rng));
+    let mper_traj = mprep_t.as_secs_f64() + msample_t.as_secs_f64();
+    let mn_traj = 1e6 / m_tn as f64;
+    let mtotal_core_h = mn_traj * mper_traj / 3600.0;
+    println!(
+        "# tensornet workload: {} qubits (paper: 85 qubits on 4xH100/trajectory)",
+        mcirc.n_qubits()
+    );
+    println!(
+        "  per-trajectory: prep {:.2} s + sample(100) {:.3} s = {:.2} s",
+        mprep_t.as_secs_f64(),
+        msample_t.as_secs_f64(),
+        mper_traj
+    );
+    println!(
+        "  projected 1e6-shot dataset: {:.0} trajectories, {:.1} core-hours (single thread;",
+        mn_traj, mtotal_core_h
+    );
+    println!("   trajectories are embarrassingly parallel, so wall time divides by workers)");
+    println!("  paper reference: 2,223 H100 GPU-hours on Eos for the 85-qubit version");
+}

@@ -1,0 +1,81 @@
+//! E3 — Fig. 5 inset reproduction: intra-trajectory speedup vs. worker
+//! count.
+//!
+//! The paper's inset shows near-linear intra-trajectory scaling with GPU
+//! count (and notes inter-trajectory scaling is linear by construction).
+//! Our intra-trajectory parallelism lives in the statevector gate/sampling
+//! kernels (rayon); this harness sweeps the rayon pool size over one
+//! trajectory's prepare+sample, then demonstrates the "by definition
+//! linear" inter-trajectory scaling with a PTSBE batch.
+//!
+//! Run: `cargo run --release -p ptsbe-bench --bin fig5_inset_scaling`
+
+use ptsbe_bench::{env_usize, msd_like, time_best, with_depolarizing};
+use ptsbe_core::{BatchedExecutor, ProbabilisticPts, PtsSampler, SvBackend};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::{exec, sampling, SamplingStrategy};
+
+fn main() {
+    let n = env_usize("PTSBE_INSET_QUBITS", 20);
+    let shots = env_usize("PTSBE_INSET_SHOTS", 100_000);
+    let circuit = msd_like(n, n);
+    let noisy = with_depolarizing(&circuit, 1e-3);
+    let compiled = exec::compile::<f32>(&noisy).expect("compile");
+    let choices = noisy.identity_assignment().expect("identity");
+
+    println!("# fig5 inset analog: n={n}, one trajectory, {shots} shots");
+    println!("{:>8} {:>12} {:>10}", "threads", "total_ms", "speedup");
+    let mut t1 = 0.0f64;
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let (_, dt) = pool.install(|| {
+            time_best(3, || {
+                let mut rng = PhiloxRng::new(0x1157, threads as u64);
+                let (state, _) = exec::prepare(&compiled, &choices);
+                sampling::sample_shots(&state, shots, &mut rng, SamplingStrategy::Auto)
+            })
+        });
+        let ms = dt.as_secs_f64() * 1e3;
+        if threads == 1 {
+            t1 = ms;
+        }
+        println!("{threads:>8} {ms:>12.2} {:>10.2}", t1 / ms);
+    }
+
+    // Inter-trajectory: embarrassingly parallel PTSBE batch.
+    println!("\n# inter-trajectory (PTSBE batch of 16 trajectories x 10k shots)");
+    println!("{:>8} {:>12} {:>10}", "threads", "total_ms", "speedup");
+    let backend = SvBackend::<f32>::new(&noisy, SamplingStrategy::Auto).expect("backend");
+    let mut rng = PhiloxRng::new(0x1158, 0);
+    let plan = ProbabilisticPts {
+        n_samples: 16,
+        shots_per_trajectory: 10_000,
+        dedup: false,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let mut t1 = 0.0f64;
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let (_, dt) = pool.install(|| {
+            time_best(2, || {
+                BatchedExecutor {
+                    seed: 5,
+                    parallel: true,
+                }
+                .execute(&backend, &noisy, &plan)
+            })
+        });
+        let ms = dt.as_secs_f64() * 1e3;
+        if threads == 1 {
+            t1 = ms;
+        }
+        println!("{threads:>8} {ms:>12.2} {:>10.2}", t1 / ms);
+    }
+    println!("# (speedups saturate at the machine's physical core count)");
+}

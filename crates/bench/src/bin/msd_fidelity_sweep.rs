@@ -1,0 +1,101 @@
+//! E7 — Fig. 3 workload validation: magic-state fidelity under noise,
+//! trajectory estimate vs. density-matrix oracle.
+//!
+//! Compact numeric version of `examples/msd_fidelity.rs` for
+//! EXPERIMENTS.md: acceptance and distilled fidelity across noise
+//! strengths, all three measurement bases folded into a Bloch vector.
+//!
+//! Run: `cargo run --release -p ptsbe-bench --bin msd_fidelity_sweep`
+
+use ptsbe_circuit::{channels, NoiseModel};
+use ptsbe_core::{BatchedExecutor, ProportionalPts, PtsSampler, SvBackend};
+use ptsbe_densitymatrix::DensityMatrix;
+use ptsbe_qec::msd::{bloch_norm, fidelity_from_bloch};
+use ptsbe_qec::{msd_bare, MeasureBasis, MsdAnalysis};
+use ptsbe_rng::PhiloxRng;
+
+fn run_basis(eps: f64, basis: MeasureBasis, seed: u64) -> (f64, f64, f64, f64) {
+    let (circuit, layout) = msd_bare(basis);
+    let noisy = NoiseModel::new()
+        .with_gate_noise("ry", channels::depolarizing(eps))
+        .with_noiseless("rz")
+        .apply(&circuit);
+
+    // Oracle.
+    let dm = DensityMatrix::evolve(&noisy);
+    let probs = dm.probabilities();
+    let (mut p_acc, mut p_plus) = (0.0, 0.0);
+    for (idx, &p) in probs.iter().enumerate() {
+        let shot = idx as u128;
+        let mut accept = true;
+        let mut out = false;
+        for b in 0..5 {
+            let parity = layout.block_parity(shot, b);
+            if b == layout.output_wire {
+                out = parity;
+            } else if parity {
+                accept = false;
+                break;
+            }
+        }
+        if accept {
+            p_acc += p;
+            if !out {
+                p_plus += p;
+            }
+        }
+    }
+    let oracle_exp = if p_acc > 0.0 { 2.0 * p_plus / p_acc - 1.0 } else { 0.0 };
+
+    // PTSBE.
+    let backend = SvBackend::<f64>::new(&noisy, Default::default()).unwrap();
+    let mut rng = PhiloxRng::new(seed, 0);
+    let plan = ProportionalPts {
+        n_samples: 2_000,
+        total_shots: 100_000,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor { seed, parallel: true }.execute(&backend, &noisy, &plan);
+    let mut analysis = MsdAnalysis::default();
+    for t in &result.trajectories {
+        for &s in &t.shots {
+            analysis.fold(&layout, None, s);
+        }
+    }
+    (p_acc, oracle_exp, analysis.acceptance(), analysis.expectation())
+}
+
+fn main() {
+    let mut r_ref = [0.0f64; 3];
+    for (i, basis) in [MeasureBasis::X, MeasureBasis::Y, MeasureBasis::Z]
+        .into_iter()
+        .enumerate()
+    {
+        r_ref[i] = run_basis(0.0, basis, 1).1;
+    }
+    println!("# ideal direction ({:+.3},{:+.3},{:+.3}) |r|={:.6}", r_ref[0], r_ref[1], r_ref[2], bloch_norm(r_ref));
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>12}",
+        "eps", "acc_oracle", "acc_ptsbe", "F_oracle", "F_ptsbe"
+    );
+    for eps in [0.0, 0.005, 0.01, 0.02, 0.05] {
+        let mut ro = [0.0f64; 3];
+        let mut rp = [0.0f64; 3];
+        let (mut ao, mut ap) = (0.0, 0.0);
+        for (i, basis) in [MeasureBasis::X, MeasureBasis::Y, MeasureBasis::Z]
+            .into_iter()
+            .enumerate()
+        {
+            let (a_o, e_o, a_p, e_p) = run_basis(eps, basis, 31 + i as u64);
+            ro[i] = e_o;
+            rp[i] = e_p;
+            ao = a_o;
+            ap = a_p;
+        }
+        println!(
+            "{eps:>8.3} {ao:>10.4} {ap:>10.4} {:>12.6} {:>12.6}",
+            fidelity_from_bloch(ro, r_ref),
+            fidelity_from_bloch(rp, r_ref)
+        );
+    }
+}

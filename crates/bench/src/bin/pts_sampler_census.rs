@@ -1,0 +1,112 @@
+//! E8 — Algorithm 2 behaviour census (paper §3.1).
+//!
+//! Measures the PTS stage itself: how sampling cost scales with the site
+//! count (the paper's ~O(|{K}|²p²) remark), how deduplication saturates,
+//! and what coverage each strategic sampler achieves on a fixed workload.
+//!
+//! Run: `cargo run --release -p ptsbe-bench --bin pts_sampler_census`
+
+use ptsbe_bench::{msd_like, time_once, with_depolarizing};
+use ptsbe_core::{
+    BandPts, ExhaustivePts, ProbabilisticPts, ProportionalPts, PtsSampler, TopKPts,
+};
+use ptsbe_rng::PhiloxRng;
+
+fn main() {
+    // Scaling of the sampling cost with circuit size.
+    println!("# PTS cost scaling (Algorithm 2, 10k samples, p = 1e-3)");
+    println!("{:>8} {:>8} {:>12} {:>14}", "qubits", "sites", "time_ms", "ns_per_site");
+    for n in [4usize, 8, 12, 16, 20] {
+        let noisy = with_depolarizing(&msd_like(n, n), 1e-3);
+        let mut rng = PhiloxRng::new(0xCE25, n as u64);
+        let sampler = ProbabilisticPts {
+            n_samples: 10_000,
+            shots_per_trajectory: 1,
+            dedup: true,
+        };
+        let (plan, t) = time_once(|| sampler.sample_plan(&noisy, &mut rng));
+        let ns_per_site =
+            t.as_nanos() as f64 / (10_000.0 * noisy.n_sites() as f64);
+        println!(
+            "{n:>8} {:>8} {:>12.2} {:>14.1}",
+            noisy.n_sites(),
+            t.as_secs_f64() * 1e3,
+            ns_per_site
+        );
+        let _ = plan;
+    }
+
+    // Dedup saturation + coverage per sampler on one workload.
+    let noisy = with_depolarizing(&msd_like(10, 10), 5e-3);
+    println!("\n# sampler census on n=10 workload ({} sites)", noisy.n_sites());
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "sampler", "attempts", "trajs", "coverage", "maxweight"
+    );
+    let mut rng = PhiloxRng::new(0xCE26, 0);
+    for attempts in [100usize, 1_000, 10_000] {
+        let plan = ProbabilisticPts {
+            n_samples: attempts,
+            shots_per_trajectory: 1,
+            dedup: true,
+        }
+        .sample_plan(&noisy, &mut rng);
+        println!(
+            "{:<22} {attempts:>10} {:>10} {:>10.4} {:>10}",
+            "algorithm2+dedup",
+            plan.n_trajectories(),
+            plan.coverage(&noisy),
+            plan.max_error_weight(&noisy)
+        );
+    }
+    for (name, plan) in [
+        (
+            "top-256",
+            TopKPts {
+                k: 256,
+                shots_per_trajectory: 1,
+                min_prob: 0.0,
+            }
+            .sample_plan(&noisy, &mut rng),
+        ),
+        (
+            "band(1e-6..1e-3)",
+            BandPts {
+                n_samples: 10_000,
+                shots_per_trajectory: 1,
+                p_min: 1e-6,
+                p_max: 1e-3,
+            }
+            .sample_plan(&noisy, &mut rng),
+        ),
+        (
+            "proportional(1e5 shots)",
+            ProportionalPts {
+                n_samples: 10_000,
+                total_shots: 100_000,
+            }
+            .sample_plan(&noisy, &mut rng),
+        ),
+    ] {
+        println!(
+            "{name:<22} {:>10} {:>10} {:>10.4} {:>10}",
+            "-",
+            plan.n_trajectories(),
+            plan.coverage(&noisy),
+            plan.max_error_weight(&noisy)
+        );
+    }
+
+    // Exhaustive ground truth on a tiny circuit.
+    let tiny = with_depolarizing(&msd_like(3, 2), 0.01);
+    let plan = ExhaustivePts {
+        shots_per_trajectory: 1,
+        max_trajectories: 1 << 22,
+    }
+    .sample_plan(&tiny, &mut rng);
+    println!(
+        "\n# exhaustive tiny circuit: {} trajectories, coverage {:.6} (must be 1)",
+        plan.n_trajectories(),
+        plan.coverage(&tiny)
+    );
+}

@@ -1,0 +1,454 @@
+//! The circuit builder.
+
+use crate::gate::Gate;
+use crate::kraus::KrausChannel;
+use crate::op::{GateOp, NoiseOp, Op};
+use ptsbe_math::Matrix;
+use std::sync::Arc;
+
+/// A quantum circuit over `n_qubits` qubits: an ordered list of [`Op`]s.
+///
+/// Builder methods validate qubit indices eagerly and return `&mut Self`
+/// for chaining:
+///
+/// ```
+/// use ptsbe_circuit::Circuit;
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 1).cx(1, 2).measure_all();
+/// assert_eq!(c.gate_count(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    n_qubits: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// Empty circuit on `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Self {
+            n_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The operation sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of coherent gates.
+    pub fn gate_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_gate()).count()
+    }
+
+    /// Number of explicit noise sites.
+    pub fn noise_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_noise()).count()
+    }
+
+    /// True when every gate is Clifford (stabilizer-simulable).
+    pub fn is_clifford(&self) -> bool {
+        self.ops.iter().all(|o| match o {
+            Op::Gate(g) => g.gate.is_clifford(),
+            _ => true,
+        })
+    }
+
+    /// Simple layered depth over coherent gates (noise/measure excluded).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            if let Op::Gate(g) = op {
+                let next = g.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+                for &q in &g.qubits {
+                    level[q] = next;
+                }
+                depth = depth.max(next);
+            }
+        }
+        depth
+    }
+
+    fn check_qubits(&self, qubits: &[usize]) {
+        for &q in qubits {
+            assert!(
+                q < self.n_qubits,
+                "qubit {q} out of range for a {}-qubit circuit",
+                self.n_qubits
+            );
+        }
+        for (i, &a) in qubits.iter().enumerate() {
+            for &b in &qubits[i + 1..] {
+                assert_ne!(a, b, "duplicate qubit {a} in one operation");
+            }
+        }
+    }
+
+    /// Append an arbitrary operation (validates qubit indices).
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.check_qubits(op.qubits());
+        if let Op::Gate(g) = &op {
+            assert_eq!(
+                g.gate.arity(),
+                g.qubits.len(),
+                "gate {} expects {} qubit(s)",
+                g.gate.name(),
+                g.gate.arity()
+            );
+        }
+        if let Op::Noise(n) = &op {
+            assert_eq!(
+                n.channel.arity(),
+                n.qubits.len(),
+                "channel {} expects {} qubit(s)",
+                n.channel.name(),
+                n.channel.arity()
+            );
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Append a gate on the given qubits.
+    pub fn gate(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        self.push(Op::Gate(GateOp {
+            gate,
+            qubits: qubits.to_vec(),
+        }))
+    }
+
+    /// Pauli X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::X, &[q])
+    }
+    /// Pauli Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Y, &[q])
+    }
+    /// Pauli Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Z, &[q])
+    }
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::H, &[q])
+    }
+    /// S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::S, &[q])
+    }
+    /// S†.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sdg, &[q])
+    }
+    /// T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::T, &[q])
+    }
+    /// T†.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Tdg, &[q])
+    }
+    /// √X.
+    pub fn sx(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sx, &[q])
+    }
+    /// √X†.
+    pub fn sxdg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sxdg, &[q])
+    }
+    /// √Y.
+    pub fn sy(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sy, &[q])
+    }
+    /// √Y†.
+    pub fn sydg(&mut self, q: usize) -> &mut Self {
+        self.gate(Gate::Sydg, &[q])
+    }
+    /// X rotation.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(Gate::Rx(theta), &[q])
+    }
+    /// Y rotation.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(Gate::Ry(theta), &[q])
+    }
+    /// Z rotation.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(Gate::Rz(theta), &[q])
+    }
+    /// Phase gate.
+    pub fn p(&mut self, q: usize, lambda: f64) -> &mut Self {
+        self.gate(Gate::P(lambda), &[q])
+    }
+    /// CNOT.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.gate(Gate::Cx, &[control, target])
+    }
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Cz, &[a, b])
+    }
+    /// SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::Swap, &[a, b])
+    }
+    /// Toffoli.
+    pub fn ccx(&mut self, c0: usize, c1: usize, target: usize) -> &mut Self {
+        self.gate(Gate::Ccx, &[c0, c1, target])
+    }
+    /// Arbitrary single-qubit unitary.
+    pub fn unitary1(&mut self, m: Matrix<f64>, q: usize) -> &mut Self {
+        self.gate(Gate::unitary1(m), &[q])
+    }
+    /// Arbitrary two-qubit unitary.
+    pub fn unitary2(&mut self, m: Matrix<f64>, a: usize, b: usize) -> &mut Self {
+        self.gate(Gate::unitary2(m), &[a, b])
+    }
+
+    /// Explicit noise insertion.
+    pub fn noise(&mut self, channel: Arc<KrausChannel>, qubits: &[usize]) -> &mut Self {
+        self.push(Op::Noise(NoiseOp {
+            channel,
+            qubits: qubits.to_vec(),
+        }))
+    }
+
+    /// Measure the listed qubits (appended to the shot record in order).
+    pub fn measure(&mut self, qubits: &[usize]) -> &mut Self {
+        self.push(Op::Measure {
+            qubits: qubits.to_vec(),
+        })
+    }
+
+    /// Measure every qubit, LSB first.
+    pub fn measure_all(&mut self) -> &mut Self {
+        let qubits: Vec<usize> = (0..self.n_qubits).collect();
+        self.measure(&qubits)
+    }
+
+    /// Reset a qubit to |0⟩.
+    pub fn reset(&mut self, q: usize) -> &mut Self {
+        self.push(Op::Reset { qubit: q })
+    }
+
+    /// Qubits measured by the circuit, in record order.
+    pub fn measured_qubits(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let Op::Measure { qubits } = op {
+                out.extend_from_slice(qubits);
+            }
+        }
+        out
+    }
+
+    /// Concatenate another circuit's ops (qubit counts must match).
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.n_qubits, other.n_qubits, "extend: qubit count mismatch");
+        self.ops.extend(other.ops.iter().cloned());
+        self
+    }
+
+    /// The inverse circuit: gates reversed and daggered. Only valid for
+    /// purely coherent circuits.
+    ///
+    /// # Panics
+    /// Panics if the circuit contains noise, measurement, or reset ops.
+    pub fn inverse(&self) -> Circuit {
+        let mut out = Circuit::new(self.n_qubits);
+        for op in self.ops.iter().rev() {
+            match op {
+                Op::Gate(g) => {
+                    out.push(Op::Gate(GateOp {
+                        gate: g.gate.dagger(),
+                        qubits: g.qubits.clone(),
+                    }));
+                }
+                other => panic!("inverse: non-gate op {other:?} cannot be inverted"),
+            }
+        }
+        out
+    }
+
+    /// Remap a circuit onto a larger register: qubit `q` becomes
+    /// `mapping[q]`. Used to embed logical-block circuits into the 35-/85-
+    /// qubit MSD layouts.
+    pub fn embedded(&self, n_qubits: usize, mapping: &[usize]) -> Circuit {
+        assert_eq!(mapping.len(), self.n_qubits, "embedded: mapping length");
+        let mut out = Circuit::new(n_qubits);
+        for op in &self.ops {
+            let remap = |qs: &[usize]| qs.iter().map(|&q| mapping[q]).collect::<Vec<_>>();
+            let new_op = match op {
+                Op::Gate(g) => Op::Gate(GateOp {
+                    gate: g.gate.clone(),
+                    qubits: remap(&g.qubits),
+                }),
+                Op::Noise(n) => Op::Noise(NoiseOp {
+                    channel: Arc::clone(&n.channel),
+                    qubits: remap(&n.qubits),
+                }),
+                Op::Measure { qubits } => Op::Measure {
+                    qubits: remap(qubits),
+                },
+                Op::Reset { qubit } => Op::Reset {
+                    qubit: mapping[*qubit],
+                },
+            };
+            out.push(new_op);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Circuit {
+    /// One op per line: `h q0`, `cx q0 q1`, `noise[depolarizing] q2`, …
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "circuit({} qubits)", self.n_qubits)?;
+        for op in &self.ops {
+            match op {
+                Op::Gate(g) => {
+                    write!(f, "  {}", g.gate.name())?;
+                    for q in &g.qubits {
+                        write!(f, " q{q}")?;
+                    }
+                    writeln!(f)?;
+                }
+                Op::Noise(n) => {
+                    write!(f, "  noise[{}]", n.channel.name())?;
+                    for q in &n.qubits {
+                        write!(f, " q{q}")?;
+                    }
+                    writeln!(f)?;
+                }
+                Op::Measure { qubits } => {
+                    write!(f, "  measure")?;
+                    for q in qubits {
+                        write!(f, " q{q}")?;
+                    }
+                    writeln!(f)?;
+                }
+                Op::Reset { qubit } => writeln!(f, "  reset q{qubit}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels;
+
+    #[test]
+    fn display_format() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c.noise(Arc::new(channels::depolarizing(0.1)), &[1]);
+        c.measure_all();
+        let s = format!("{c}");
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cx q0 q1"));
+        assert!(s.contains("noise[depolarizing] q1"));
+        assert!(s.contains("measure q0 q1"));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        assert_eq!(c.n_qubits(), 2);
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.ops().len(), 3);
+        assert_eq!(c.measured_qubits(), vec![0, 1]);
+    }
+
+    #[test]
+    fn depth_computation() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2); // depth 1
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1); // depth 2
+        assert_eq!(c.depth(), 2);
+        c.h(2); // still depth 2 (parallel wire)
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2); // depth 3
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn clifford_detection() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).cx(0, 1);
+        assert!(c.is_clifford());
+        c.t(0);
+        assert!(!c.is_clifford());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qubit_bounds_checked() {
+        let mut c = Circuit::new(2);
+        c.h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_qubits_rejected() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 qubit")]
+    fn arity_mismatch_rejected() {
+        let mut c = Circuit::new(2);
+        c.push(Op::Gate(GateOp {
+            gate: Gate::H,
+            qubits: vec![0, 1],
+        }));
+    }
+
+    #[test]
+    fn noise_arity_checked() {
+        let mut c = Circuit::new(2);
+        let ch = Arc::new(channels::depolarizing(0.1));
+        c.noise(Arc::clone(&ch), &[0]);
+        assert_eq!(c.noise_count(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut c2 = Circuit::new(2);
+            c2.noise(ch, &[0, 1]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn embedding_remaps() {
+        let mut block = Circuit::new(2);
+        block.h(0).cx(0, 1).measure_all();
+        let big = block.embedded(10, &[4, 7]);
+        assert_eq!(big.n_qubits(), 10);
+        match &big.ops()[1] {
+            Op::Gate(g) => assert_eq!(g.qubits, vec![4, 7]),
+            _ => panic!("expected gate"),
+        }
+        assert_eq!(big.measured_qubits(), vec![4, 7]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.extend(&b);
+        assert_eq!(a.gate_count(), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! The gate set.
+//!
+//! Named gates cover the Clifford group generators, the non-Clifford T and
+//! the √X/√Y family from the paper's Fig. 3 MSD compilation; `Unitary1`/
+//! `Unitary2` escape hatches admit arbitrary matrices (needed for Haar
+//! twirling and compiled logical gates). Matrices are stored/produced at
+//! `f64` and converted by the backend to its working precision.
+
+use ptsbe_math::{gates, Matrix, Scalar};
+use std::sync::Arc;
+
+/// A quantum gate. `Clone` is cheap: arbitrary-matrix payloads are
+/// reference-counted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Gate {
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate √Z.
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T gate (π/8).
+    T,
+    /// T†.
+    Tdg,
+    /// √X (paper Fig. 3).
+    Sx,
+    /// √X†.
+    Sxdg,
+    /// √Y (paper Fig. 3).
+    Sy,
+    /// √Y†.
+    Sydg,
+    /// X rotation by radians.
+    Rx(f64),
+    /// Y rotation by radians.
+    Ry(f64),
+    /// Z rotation by radians.
+    Rz(f64),
+    /// Phase rotation `diag(1, e^{iλ})`.
+    P(f64),
+    /// CNOT (first qubit = control).
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// SWAP.
+    Swap,
+    /// Toffoli (first two qubits = controls).
+    Ccx,
+    /// Arbitrary single-qubit unitary.
+    Unitary1(Arc<Matrix<f64>>),
+    /// Arbitrary two-qubit unitary (basis convention of [`ptsbe_math::gates`]).
+    Unitary2(Arc<Matrix<f64>>),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::Sx
+            | Gate::Sxdg
+            | Gate::Sy
+            | Gate::Sydg
+            | Gate::Rx(_)
+            | Gate::Ry(_)
+            | Gate::Rz(_)
+            | Gate::P(_)
+            | Gate::Unitary1(_) => 1,
+            Gate::Cx | Gate::Cz | Gate::Swap | Gate::Unitary2(_) => 2,
+            Gate::Ccx => 3,
+        }
+    }
+
+    /// Short mnemonic used by noise-model lookups and provenance labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::H => "h",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Sxdg => "sxdg",
+            Gate::Sy => "sy",
+            Gate::Sydg => "sydg",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::P(_) => "p",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Ccx => "ccx",
+            Gate::Unitary1(_) => "u1q",
+            Gate::Unitary2(_) => "u2q",
+        }
+    }
+
+    /// The gate's unitary matrix at the requested precision.
+    pub fn matrix<T: Scalar>(&self) -> Matrix<T> {
+        match self {
+            Gate::X => gates::x(),
+            Gate::Y => gates::y(),
+            Gate::Z => gates::z(),
+            Gate::H => gates::h(),
+            Gate::S => gates::s(),
+            Gate::Sdg => gates::sdg(),
+            Gate::T => gates::t(),
+            Gate::Tdg => gates::tdg(),
+            Gate::Sx => gates::sx(),
+            Gate::Sxdg => gates::sxdg(),
+            Gate::Sy => gates::sy(),
+            Gate::Sydg => gates::sydg(),
+            Gate::Rx(t) => gates::rx(*t),
+            Gate::Ry(t) => gates::ry(*t),
+            Gate::Rz(t) => gates::rz(*t),
+            Gate::P(l) => gates::p(*l),
+            Gate::Cx => gates::cx(),
+            Gate::Cz => gates::cz(),
+            Gate::Swap => gates::swap(),
+            Gate::Ccx => gates::ccx(),
+            Gate::Unitary1(m) | Gate::Unitary2(m) => Matrix::from_f64_matrix(m),
+        }
+    }
+
+    /// True when the gate is a member of the Clifford group (exactly, not
+    /// up to phase heuristics) — the stabilizer backend accepts only these.
+    pub fn is_clifford(&self) -> bool {
+        matches!(
+            self,
+            Gate::X
+                | Gate::Y
+                | Gate::Z
+                | Gate::H
+                | Gate::S
+                | Gate::Sdg
+                | Gate::Sx
+                | Gate::Sxdg
+                | Gate::Sy
+                | Gate::Sydg
+                | Gate::Cx
+                | Gate::Cz
+                | Gate::Swap
+        )
+    }
+
+    /// The inverse gate (named gates map to named gates).
+    pub fn dagger(&self) -> Gate {
+        match self {
+            Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::Cx | Gate::Cz | Gate::Swap
+            | Gate::Ccx => self.clone(),
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::Sx => Gate::Sxdg,
+            Gate::Sxdg => Gate::Sx,
+            Gate::Sy => Gate::Sydg,
+            Gate::Sydg => Gate::Sy,
+            Gate::Rx(t) => Gate::Rx(-t),
+            Gate::Ry(t) => Gate::Ry(-t),
+            Gate::Rz(t) => Gate::Rz(-t),
+            Gate::P(l) => Gate::P(-l),
+            Gate::Unitary1(m) => Gate::Unitary1(Arc::new(m.dagger())),
+            Gate::Unitary2(m) => Gate::Unitary2(Arc::new(m.dagger())),
+        }
+    }
+
+    /// Construct an arbitrary single-qubit gate from a unitary matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not 2×2 unitary.
+    pub fn unitary1(m: Matrix<f64>) -> Self {
+        assert_eq!((m.rows(), m.cols()), (2, 2), "unitary1: need 2x2");
+        assert!(m.is_unitary(1e-9), "unitary1: matrix is not unitary");
+        Gate::Unitary1(Arc::new(m))
+    }
+
+    /// Construct an arbitrary two-qubit gate from a unitary matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not 4×4 unitary.
+    pub fn unitary2(m: Matrix<f64>) -> Self {
+        assert_eq!((m.rows(), m.cols()), (4, 4), "unitary2: need 4x4");
+        assert!(m.is_unitary(1e-9), "unitary2: matrix is not unitary");
+        Gate::Unitary2(Arc::new(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_named() -> Vec<Gate> {
+        vec![
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Sy,
+            Gate::Sydg,
+            Gate::Rx(0.3),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.2),
+            Gate::P(0.7),
+            Gate::Cx,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Ccx,
+        ]
+    }
+
+    #[test]
+    fn matrices_are_unitary_and_sized() {
+        for g in all_named() {
+            let m = g.matrix::<f64>();
+            assert_eq!(m.rows(), 1 << g.arity(), "{}", g.name());
+            assert!(m.is_unitary(1e-10), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn clifford_census() {
+        assert!(Gate::H.is_clifford());
+        assert!(Gate::S.is_clifford());
+        assert!(Gate::Cx.is_clifford());
+        assert!(Gate::Sx.is_clifford());
+        assert!(!Gate::T.is_clifford());
+        assert!(!Gate::Rx(0.1).is_clifford());
+        assert!(!Gate::Ccx.is_clifford());
+    }
+
+    #[test]
+    fn custom_unitaries_validated() {
+        let g = Gate::unitary1(ptsbe_math::gates::h::<f64>());
+        assert_eq!(g.arity(), 1);
+        assert_eq!(g.matrix::<f64>().max_abs_diff(&ptsbe_math::gates::h()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not unitary")]
+    fn non_unitary_rejected() {
+        let mut m = Matrix::<f64>::identity(2);
+        m[(0, 0)] = ptsbe_math::Complex::from_f64(2.0, 0.0);
+        let _ = Gate::unitary1(m);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 4x4")]
+    fn unitary2_shape_checked() {
+        let _ = Gate::unitary2(Matrix::<f64>::identity(2));
+    }
+
+    #[test]
+    fn names_unique_per_variant() {
+        let names: Vec<_> = all_named().iter().map(|g| g.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

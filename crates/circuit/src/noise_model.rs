@@ -1,0 +1,223 @@
+//! Noise models: attach channels to a clean circuit the way CUDA-Q's
+//! `noiseModel` does (`noiseChannel ← lookUp(noiseModel, operator)` in the
+//! paper's Algorithm 1).
+//!
+//! Resolution order for a gate: exact name match → arity default. The
+//! result of [`NoiseModel::apply`] is a [`crate::NoisyCircuit`] with one
+//! explicit noise site per (gate, rule) hit, plus optional pre-measurement
+//! flip noise.
+
+use crate::circuit::Circuit;
+use crate::kraus::KrausChannel;
+use crate::noisy::NoisyCircuit;
+use crate::op::{NoiseOp, Op};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Declarative mapping from gates to noise channels.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseModel {
+    /// Channel applied after every 1-qubit gate without a name override.
+    default_1q: Option<Arc<KrausChannel>>,
+    /// Channel applied after every 2-qubit gate without a name override.
+    /// Arity 1 channels are applied per-qubit; arity 2 channels once.
+    default_2q: Option<Arc<KrausChannel>>,
+    /// Per-gate-name overrides (e.g. only `cx` gates are noisy).
+    by_name: HashMap<String, Arc<KrausChannel>>,
+    /// Gate names exempted from noise entirely.
+    noiseless: Vec<String>,
+    /// Channel applied to each measured qubit right before measurement
+    /// (readout error).
+    before_measure: Option<Arc<KrausChannel>>,
+}
+
+impl NoiseModel {
+    /// Empty (noiseless) model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the default channel after 1-qubit gates (must have arity 1).
+    pub fn with_default_1q(mut self, ch: KrausChannel) -> Self {
+        assert_eq!(ch.arity(), 1, "default_1q channel must be single-qubit");
+        self.default_1q = Some(Arc::new(ch));
+        self
+    }
+
+    /// Set the default channel after 2-qubit gates (arity 1 = applied to
+    /// each qubit; arity 2 = applied once to the pair).
+    pub fn with_default_2q(mut self, ch: KrausChannel) -> Self {
+        assert!(
+            ch.arity() == 1 || ch.arity() == 2,
+            "default_2q channel must have arity 1 or 2"
+        );
+        self.default_2q = Some(Arc::new(ch));
+        self
+    }
+
+    /// Override the channel for a specific gate name.
+    pub fn with_gate_noise(mut self, gate_name: &str, ch: KrausChannel) -> Self {
+        self.by_name.insert(gate_name.to_string(), Arc::new(ch));
+        self
+    }
+
+    /// Exempt a gate name from all noise.
+    pub fn with_noiseless(mut self, gate_name: &str) -> Self {
+        self.noiseless.push(gate_name.to_string());
+        self
+    }
+
+    /// Apply a readout-error channel to each measured qubit.
+    pub fn with_measurement_noise(mut self, ch: KrausChannel) -> Self {
+        assert_eq!(ch.arity(), 1, "measurement noise must be single-qubit");
+        self.before_measure = Some(Arc::new(ch));
+        self
+    }
+
+    /// Channel that fires after the given gate, if any.
+    fn lookup(&self, gate_name: &str, gate_arity: usize) -> Option<&Arc<KrausChannel>> {
+        if self.noiseless.iter().any(|n| n == gate_name) {
+            return None;
+        }
+        if let Some(ch) = self.by_name.get(gate_name) {
+            return Some(ch);
+        }
+        match gate_arity {
+            1 => self.default_1q.as_ref(),
+            2 => self.default_2q.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Weave the model's channels into `circuit`, producing the explicit
+    /// noisy circuit the PTS layer samples over.
+    pub fn apply(&self, circuit: &Circuit) -> NoisyCircuit {
+        let mut noisy = Circuit::new(circuit.n_qubits());
+        for op in circuit.ops() {
+            match op {
+                Op::Gate(g) => {
+                    noisy.push(op.clone());
+                    if let Some(ch) = self.lookup(g.gate.name(), g.gate.arity()) {
+                        if ch.arity() == g.qubits.len() {
+                            noisy.push(Op::Noise(NoiseOp {
+                                channel: Arc::clone(ch),
+                                qubits: g.qubits.clone(),
+                            }));
+                        } else if ch.arity() == 1 {
+                            for &q in &g.qubits {
+                                noisy.push(Op::Noise(NoiseOp {
+                                    channel: Arc::clone(ch),
+                                    qubits: vec![q],
+                                }));
+                            }
+                        } else {
+                            panic!(
+                                "channel {} (arity {}) cannot attach to gate {} (arity {})",
+                                ch.name(),
+                                ch.arity(),
+                                g.gate.name(),
+                                g.qubits.len()
+                            );
+                        }
+                    }
+                }
+                Op::Measure { qubits } => {
+                    if let Some(ch) = &self.before_measure {
+                        for &q in qubits {
+                            noisy.push(Op::Noise(NoiseOp {
+                                channel: Arc::clone(ch),
+                                qubits: vec![q],
+                            }));
+                        }
+                    }
+                    noisy.push(op.clone());
+                }
+                _ => {
+                    noisy.push(op.clone());
+                }
+            }
+        }
+        NoisyCircuit::from_circuit(noisy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    #[test]
+    fn defaults_attach_per_arity() {
+        let model = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.01))
+            .with_default_2q(channels::depolarizing2(0.02));
+        let noisy = model.apply(&bell());
+        // h -> 1 site, cx -> 1 site.
+        assert_eq!(noisy.sites().len(), 2);
+        assert_eq!(noisy.sites()[0].channel.name(), "depolarizing");
+        assert_eq!(noisy.sites()[1].channel.name(), "depolarizing2");
+        assert_eq!(noisy.sites()[1].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn one_qubit_channel_fans_out_on_two_qubit_gate() {
+        let model = NoiseModel::new().with_default_2q(channels::depolarizing(0.01));
+        let noisy = model.apply(&bell());
+        // cx gets one site per qubit.
+        assert_eq!(noisy.sites().len(), 2);
+        assert_eq!(noisy.sites()[0].qubits, vec![0]);
+        assert_eq!(noisy.sites()[1].qubits, vec![1]);
+    }
+
+    #[test]
+    fn name_override_beats_default() {
+        let model = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.01))
+            .with_gate_noise("h", channels::bit_flip(0.5));
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let noisy = model.apply(&c);
+        assert_eq!(noisy.sites().len(), 2);
+        assert_eq!(noisy.sites()[0].channel.name(), "bit_flip");
+        assert_eq!(noisy.sites()[1].channel.name(), "depolarizing");
+    }
+
+    #[test]
+    fn noiseless_exemption() {
+        let model = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.01))
+            .with_noiseless("h");
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let noisy = model.apply(&c);
+        assert_eq!(noisy.sites().len(), 1);
+    }
+
+    #[test]
+    fn measurement_noise_sites() {
+        let model = NoiseModel::new().with_measurement_noise(channels::bit_flip(0.02));
+        let noisy = model.apply(&bell());
+        assert_eq!(noisy.sites().len(), 2);
+        // Sites must appear before the measure op.
+        let measure_pos = noisy
+            .ops()
+            .iter()
+            .position(|o| matches!(o, crate::noisy::NoisyOp::Measure { .. }))
+            .unwrap();
+        for site in noisy.sites() {
+            assert!(site.op_index < measure_pos);
+        }
+    }
+
+    #[test]
+    fn empty_model_is_noiseless() {
+        let noisy = NoiseModel::new().apply(&bell());
+        assert!(noisy.sites().is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Noisy circuits: the sampling domain of the PTS algorithms.
+//!
+//! A [`NoisyCircuit`] is a circuit whose stochastic content has been made
+//! explicit as an indexed list of [`NoiseSite`]s (paper Fig. 2: the hollow
+//! blue squares). A *trajectory* is then simply one Kraus-index choice per
+//! site, and everything the PTS layer does — proportional sampling,
+//! probability bands, top-k enumeration, provenance labeling — operates on
+//! this site list without touching any quantum state.
+
+use crate::circuit::Circuit;
+use crate::kraus::KrausChannel;
+use crate::op::{GateOp, Op};
+use std::sync::Arc;
+
+/// One stochastic location in the circuit.
+#[derive(Clone, Debug)]
+pub struct NoiseSite {
+    /// Dense site index (`0..n_sites`), the key used by trajectory
+    /// assignments and provenance records.
+    pub id: usize,
+    /// Position in [`NoisyCircuit::ops`] where the site fires.
+    pub op_index: usize,
+    /// Qubits the channel acts on.
+    pub qubits: Vec<usize>,
+    /// The channel.
+    pub channel: Arc<KrausChannel>,
+}
+
+/// Execution-ready op stream: gates interleaved with numbered noise sites.
+#[derive(Clone, Debug)]
+pub enum NoisyOp {
+    /// Coherent gate.
+    Gate(GateOp),
+    /// Stochastic site, resolved via the trajectory assignment (PTSBE) or
+    /// sampled at runtime (Algorithm 1 baseline).
+    Site(usize),
+    /// Z-basis measurement.
+    Measure {
+        /// Qubits to measure, in record order.
+        qubits: Vec<usize>,
+    },
+    /// Reset to |0⟩.
+    Reset {
+        /// The qubit to reset.
+        qubit: usize,
+    },
+}
+
+/// A circuit with explicit, indexed noise sites.
+#[derive(Clone, Debug)]
+pub struct NoisyCircuit {
+    n_qubits: usize,
+    ops: Vec<NoisyOp>,
+    sites: Vec<NoiseSite>,
+}
+
+impl NoisyCircuit {
+    /// Convert a circuit containing [`Op::Noise`] entries into indexed form.
+    pub fn from_circuit(circuit: Circuit) -> Self {
+        let n_qubits = circuit.n_qubits();
+        let mut ops = Vec::with_capacity(circuit.ops().len());
+        let mut sites = Vec::new();
+        for op in circuit.ops() {
+            match op {
+                Op::Gate(g) => ops.push(NoisyOp::Gate(g.clone())),
+                Op::Noise(n) => {
+                    let id = sites.len();
+                    sites.push(NoiseSite {
+                        id,
+                        op_index: ops.len(),
+                        qubits: n.qubits.clone(),
+                        channel: Arc::clone(&n.channel),
+                    });
+                    ops.push(NoisyOp::Site(id));
+                }
+                Op::Measure { qubits } => ops.push(NoisyOp::Measure {
+                    qubits: qubits.clone(),
+                }),
+                Op::Reset { qubit } => ops.push(NoisyOp::Reset { qubit: *qubit }),
+            }
+        }
+        Self {
+            n_qubits,
+            ops,
+            sites,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The op stream.
+    pub fn ops(&self) -> &[NoisyOp] {
+        &self.ops
+    }
+
+    /// The noise sites, ordered by position in the circuit.
+    pub fn sites(&self) -> &[NoiseSite] {
+        &self.sites
+    }
+
+    /// Number of noise sites.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Qubits measured, in record order.
+    pub fn measured_qubits(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if let NoisyOp::Measure { qubits } = op {
+                out.extend_from_slice(qubits);
+            }
+        }
+        out
+    }
+
+    /// True when every site's channel is a unitary mixture, i.e. PTS
+    /// pre-sampling is *exact* (no importance weights needed).
+    pub fn all_unitary_mixture(&self) -> bool {
+        self.sites.iter().all(|s| s.channel.is_unitary_mixture())
+    }
+
+    /// True when the coherent part is Clifford and every channel is a
+    /// unitary mixture of Paulis — the condition for the stabilizer
+    /// backend.
+    pub fn gates_clifford(&self) -> bool {
+        self.ops.iter().all(|o| match o {
+            NoisyOp::Gate(g) => g.gate.is_clifford(),
+            _ => true,
+        })
+    }
+
+    /// Nominal joint probability of a full trajectory assignment
+    /// (`choices[site.id]` = Kraus index). Exact for unitary-mixture
+    /// channels; the maximally-mixed-state proposal weight otherwise.
+    pub fn assignment_probability(&self, choices: &[usize]) -> f64 {
+        assert_eq!(choices.len(), self.sites.len(), "assignment length mismatch");
+        let mut p = 1.0;
+        for site in &self.sites {
+            p *= site.channel.sampling_probs()[choices[site.id]];
+        }
+        p
+    }
+
+    /// True when two sites could represent *simultaneous* errors on a
+    /// shared qubit — Algorithm 2's `compatible()` rejects such pairs when
+    /// building correlated injections.
+    pub fn sites_conflict(&self, a: usize, b: usize) -> bool {
+        let (sa, sb) = (&self.sites[a], &self.sites[b]);
+        sa.op_index == sb.op_index && sa.qubits.iter().any(|q| sb.qubits.contains(q))
+    }
+
+    /// The trivial ("no error anywhere") assignment, when every channel
+    /// has an identity branch.
+    pub fn identity_assignment(&self) -> Option<Vec<usize>> {
+        self.sites
+            .iter()
+            .map(|s| s.channel.identity_index())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels;
+    use crate::noise_model::NoiseModel;
+
+    fn noisy_bell(p: f64) -> NoisyCircuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        NoiseModel::new()
+            .with_default_1q(channels::depolarizing(p))
+            .with_default_2q(channels::depolarizing(p))
+            .apply(&c)
+    }
+
+    #[test]
+    fn site_indexing() {
+        let nc = noisy_bell(0.1);
+        assert_eq!(nc.n_sites(), 3); // h -> 1, cx -> 2 (per-qubit fan-out)
+        for (i, site) in nc.sites().iter().enumerate() {
+            assert_eq!(site.id, i);
+            match &nc.ops()[site.op_index] {
+                NoisyOp::Site(id) => assert_eq!(*id, i),
+                other => panic!("op_index points at {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_probability_factorizes() {
+        let nc = noisy_bell(0.1);
+        let ident = nc.identity_assignment().unwrap();
+        let p0 = nc.assignment_probability(&ident);
+        assert!((p0 - 0.9f64.powi(3)).abs() < 1e-12);
+        // One X error on site 0.
+        let mut one_err = ident.clone();
+        one_err[0] = 1;
+        let p1 = nc.assignment_probability(&one_err);
+        assert!((p1 - 0.9f64.powi(2) * (0.1 / 3.0)).abs() < 1e-12);
+        assert!(p1 < p0);
+    }
+
+    #[test]
+    fn unitary_mixture_detection_propagates() {
+        assert!(noisy_bell(0.2).all_unitary_mixture());
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::amplitude_damping(0.2))
+            .apply(&c);
+        assert!(!nc.all_unitary_mixture());
+    }
+
+    #[test]
+    fn clifford_gate_check() {
+        let nc = noisy_bell(0.1);
+        assert!(nc.gates_clifford());
+        let mut c = Circuit::new(1);
+        c.t(0);
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.1))
+            .apply(&c);
+        assert!(!nc.gates_clifford());
+    }
+
+    #[test]
+    fn conflicts_require_shared_qubit_and_time() {
+        let mut c = Circuit::new(2);
+        let ch = Arc::new(channels::depolarizing(0.1));
+        // Two sites at different op positions on the same qubit: no conflict.
+        c.noise(Arc::clone(&ch), &[0]);
+        c.noise(Arc::clone(&ch), &[0]);
+        let nc = NoisyCircuit::from_circuit(c);
+        assert!(!nc.sites_conflict(0, 1));
+    }
+
+    #[test]
+    fn measured_qubits_order() {
+        let mut c = Circuit::new(3);
+        c.measure(&[2, 0]);
+        let nc = NoisyCircuit::from_circuit(c);
+        assert_eq!(nc.measured_qubits(), vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assignment_length_checked() {
+        let nc = noisy_bell(0.1);
+        let _ = nc.assignment_probability(&[0]);
+    }
+
+    #[test]
+    fn identity_assignment_none_for_damping() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::amplitude_damping(0.2))
+            .apply(&c);
+        assert!(nc.identity_assignment().is_none());
+    }
+}

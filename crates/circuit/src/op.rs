@@ -1,0 +1,98 @@
+//! Circuit operations: coherent gates, explicit noise insertions, and
+//! measurement/reset.
+
+use crate::gate::Gate;
+use crate::kraus::KrausChannel;
+use std::sync::Arc;
+
+/// A gate applied to specific qubits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateOp {
+    /// The gate.
+    pub gate: Gate,
+    /// Target qubits, in the gate's argument order (e.g. `[control,
+    /// target]` for CNOT).
+    pub qubits: Vec<usize>,
+}
+
+/// A noise channel attached to specific qubits.
+#[derive(Clone, Debug)]
+pub struct NoiseOp {
+    /// The channel (shared — one channel object typically appears at many
+    /// sites).
+    pub channel: Arc<KrausChannel>,
+    /// Target qubits (length = channel arity).
+    pub qubits: Vec<usize>,
+}
+
+/// One step of a circuit.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Coherent gate (solid green in the paper's Fig. 2).
+    Gate(GateOp),
+    /// Stochastic noise site (hollow blue in the paper's Fig. 2).
+    Noise(NoiseOp),
+    /// Destructive Z-basis measurement of the listed qubits, appending one
+    /// classical bit each to the shot record.
+    Measure {
+        /// Qubits to measure, in record order.
+        qubits: Vec<usize>,
+    },
+    /// Reset a qubit to |0⟩.
+    Reset {
+        /// The qubit to reset.
+        qubit: usize,
+    },
+}
+
+impl Op {
+    /// Qubits touched by this operation.
+    pub fn qubits(&self) -> &[usize] {
+        match self {
+            Op::Gate(g) => &g.qubits,
+            Op::Noise(n) => &n.qubits,
+            Op::Measure { qubits } => qubits,
+            Op::Reset { qubit } => std::slice::from_ref(qubit),
+        }
+    }
+
+    /// True for coherent gates.
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Op::Gate(_))
+    }
+
+    /// True for stochastic noise sites.
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Op::Noise(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels;
+
+    #[test]
+    fn qubit_accessors() {
+        let g = Op::Gate(GateOp {
+            gate: Gate::Cx,
+            qubits: vec![0, 3],
+        });
+        assert_eq!(g.qubits(), &[0, 3]);
+        assert!(g.is_gate());
+        assert!(!g.is_noise());
+
+        let n = Op::Noise(NoiseOp {
+            channel: Arc::new(channels::depolarizing(0.1)),
+            qubits: vec![2],
+        });
+        assert_eq!(n.qubits(), &[2]);
+        assert!(n.is_noise());
+
+        let m = Op::Measure { qubits: vec![1, 2] };
+        assert_eq!(m.qubits(), &[1, 2]);
+
+        let r = Op::Reset { qubit: 5 };
+        assert_eq!(r.qubits(), &[5]);
+    }
+}

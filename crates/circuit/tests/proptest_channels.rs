@@ -1,0 +1,84 @@
+//! Property tests for channel validation and classification.
+
+use proptest::prelude::*;
+use ptsbe_circuit::{channels, ChannelKind, KrausChannel};
+use ptsbe_math::{gates, Matrix};
+use ptsbe_rng::PhiloxRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn pauli_channels_classified_and_normalized(px in 0.0f64..0.4, py in 0.0f64..0.3, pz in 0.0f64..0.3) {
+        let ch = channels::pauli(px, py, pz);
+        prop_assert!(ch.is_unitary_mixture());
+        let probs = ch.sampling_probs();
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((probs[1] - px).abs() < 1e-9);
+        prop_assert!((probs[2] - py).abs() < 1e-9);
+        prop_assert!((probs[3] - pz).abs() < 1e-9);
+        prop_assert_eq!(ch.identity_index(), Some(0));
+        prop_assert!((ch.error_probability() - (px + py + pz)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damping_channels_always_general(gamma in 0.01f64..0.99) {
+        let ch = channels::amplitude_damping(gamma);
+        prop_assert!(!ch.is_unitary_mixture());
+        match ch.kind() {
+            ChannelKind::General { nominal_probs } => {
+                prop_assert!((nominal_probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                prop_assert!((nominal_probs[1] - gamma / 2.0).abs() < 1e-9);
+            }
+            _ => prop_assert!(false, "amplitude damping misclassified"),
+        }
+    }
+
+    #[test]
+    fn random_unitary_mixtures_detected(seed in 0u64..500, p in 0.05f64..0.95) {
+        // Build K0 = sqrt(1-p) U0, K1 = sqrt(p) U1 from Haar unitaries:
+        // detection must classify it as a mixture with the right probs.
+        let mut rng = PhiloxRng::new(seed, 5);
+        let u0 = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+        let u1 = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+        let ops = vec![u0.scaled_real((1.0 - p).sqrt()), u1.scaled_real(p.sqrt())];
+        let ch = KrausChannel::new("random-mixture", ops).unwrap();
+        prop_assert!(ch.is_unitary_mixture());
+        let probs = ch.sampling_probs();
+        prop_assert!((probs[0] - (1.0 - p)).abs() < 1e-8);
+        prop_assert!((probs[1] - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn scaled_identity_rejected(scale in 0.1f64..0.9) {
+        // A single K = s·I with s<1 is not trace-preserving.
+        let ops = vec![Matrix::<f64>::identity(2).scaled_real(scale)];
+        prop_assert!(KrausChannel::new("bad", ops).is_err());
+    }
+
+    #[test]
+    fn depolarizing2_branch_labels_cover_pauli_pairs(p in 0.01f64..0.99) {
+        let ch = channels::depolarizing2(p);
+        let labels: std::collections::HashSet<String> =
+            (0..16).map(|i| ch.branch_label(i)).collect();
+        prop_assert_eq!(labels.len(), 16);
+        for l in &labels {
+            prop_assert_eq!(l.len(), 2);
+            for c in l.chars() {
+                prop_assert!("IXYZ".contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_error_composition_is_cptp(eps in -0.5f64..0.5) {
+        // Rx(eps) followed by its inverse is the identity channel; both
+        // validate individually.
+        let a = channels::coherent_x_overrotation(eps);
+        let b = channels::coherent_x_overrotation(-eps);
+        prop_assert!(a.is_unitary_mixture());
+        prop_assert!(b.is_unitary_mixture());
+        let prod = a.op(0).mul_ref(b.op(0));
+        prop_assert!(prod.max_abs_diff(&gates::rx::<f64>(0.0)) < 1e-9);
+    }
+}

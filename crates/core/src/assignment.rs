@@ -1,0 +1,148 @@
+//! Trajectory assignments and error-provenance metadata.
+//!
+//! A *trajectory* is one Kraus-branch choice per noise site. The paper's
+//! third innovation — "error provenance tracking through lightweight
+//! metadata tags attached to each trajectory" — lives here: every
+//! non-identity branch becomes an [`ErrorEvent`] carrying where, what and
+//! how likely, ready to serve as a supervised-learning label for
+//! ML-decoder training (§2.3).
+
+use ptsbe_circuit::NoisyCircuit;
+use serde::{Deserialize, Serialize};
+
+/// One injected error: a non-identity Kraus branch at a noise site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorEvent {
+    /// Noise-site id (dense index over the circuit's sites).
+    pub site_id: usize,
+    /// Position of the site in the circuit's op stream.
+    pub op_index: usize,
+    /// Qubits the channel acts on.
+    pub qubits: Vec<usize>,
+    /// Chosen Kraus branch.
+    pub kraus_index: usize,
+    /// Human-readable branch label ("X", "IZ", "K1", …).
+    pub label: String,
+    /// Channel name ("depolarizing", "amplitude_damping", …).
+    pub channel: String,
+}
+
+/// Provenance metadata for one executed trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryMeta {
+    /// Index of the trajectory within its plan.
+    pub traj_id: usize,
+    /// Proposal probability `q_α` under the channels' pre-sampling
+    /// distributions (exact physical probability for unitary mixtures).
+    pub nominal_prob: f64,
+    /// Realized physical probability `p_α` measured during execution
+    /// (equals `nominal_prob` for unitary-mixture-only circuits).
+    pub realized_prob: f64,
+    /// The full branch assignment (`choices[site_id]` = Kraus index).
+    pub choices: Vec<usize>,
+    /// Non-identity branches only — the error content.
+    pub errors: Vec<ErrorEvent>,
+}
+
+impl TrajectoryMeta {
+    /// Build provenance from an assignment (before execution:
+    /// `realized_prob` starts at the nominal value).
+    pub fn from_assignment(nc: &NoisyCircuit, traj_id: usize, choices: &[usize]) -> Self {
+        let nominal = nc.assignment_probability(choices);
+        let errors = error_events(nc, choices);
+        Self {
+            traj_id,
+            nominal_prob: nominal,
+            realized_prob: nominal,
+            choices: choices.to_vec(),
+            errors,
+        }
+    }
+
+    /// Number of injected (non-identity) errors.
+    pub fn weight(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Importance weight `p_α / q_α` (1 for unitary mixtures).
+    pub fn importance(&self) -> f64 {
+        if self.nominal_prob > 0.0 {
+            self.realized_prob / self.nominal_prob
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The error events of an assignment (identity branches skipped).
+pub fn error_events(nc: &NoisyCircuit, choices: &[usize]) -> Vec<ErrorEvent> {
+    assert_eq!(choices.len(), nc.n_sites(), "assignment length mismatch");
+    let mut out = Vec::new();
+    for site in nc.sites() {
+        let k = choices[site.id];
+        if site.channel.identity_index() == Some(k) {
+            continue;
+        }
+        out.push(ErrorEvent {
+            site_id: site.id,
+            op_index: site.op_index,
+            qubits: site.qubits.clone(),
+            kraus_index: k,
+            label: site.channel.branch_label(k),
+            channel: site.channel.name().to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_circuit::{channels, Circuit, NoiseModel};
+
+    fn noisy_bell(p: f64) -> NoisyCircuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        NoiseModel::new()
+            .with_default_1q(channels::depolarizing(p))
+            .with_default_2q(channels::depolarizing(p))
+            .apply(&c)
+    }
+
+    #[test]
+    fn identity_assignment_has_no_errors() {
+        let nc = noisy_bell(0.1);
+        let ident = nc.identity_assignment().unwrap();
+        let meta = TrajectoryMeta::from_assignment(&nc, 0, &ident);
+        assert_eq!(meta.weight(), 0);
+        assert!((meta.nominal_prob - 0.9f64.powi(3)).abs() < 1e-12);
+        assert!((meta.importance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_events_capture_provenance() {
+        let nc = noisy_bell(0.1);
+        let mut choices = nc.identity_assignment().unwrap();
+        choices[1] = 2; // Y on the cx's first fan-out site
+        let meta = TrajectoryMeta::from_assignment(&nc, 7, &choices);
+        assert_eq!(meta.traj_id, 7);
+        assert_eq!(meta.weight(), 1);
+        let ev = &meta.errors[0];
+        assert_eq!(ev.site_id, 1);
+        assert_eq!(ev.kraus_index, 2);
+        assert_eq!(ev.label, "Y");
+        assert_eq!(ev.channel, "depolarizing");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let nc = noisy_bell(0.2);
+        let mut choices = nc.identity_assignment().unwrap();
+        choices[0] = 1;
+        let meta = TrajectoryMeta::from_assignment(&nc, 3, &choices);
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: TrajectoryMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.errors, meta.errors);
+        assert_eq!(back.choices, meta.choices);
+    }
+}

@@ -1,0 +1,96 @@
+//! PTS plans: the output of a pre-trajectory sampling algorithm.
+
+use ptsbe_circuit::NoisyCircuit;
+
+/// One planned trajectory: a branch assignment plus its shot budget
+/// (`m_α` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedTrajectory {
+    /// `choices[site_id]` = Kraus branch index.
+    pub choices: Vec<usize>,
+    /// Number of shots to collect from this trajectory's prepared state.
+    pub shots: usize,
+}
+
+/// The full pre-sampled plan handed to Batched Execution (the
+/// `KrausSets, KrausShots` pair returned by the paper's Algorithm 2).
+#[derive(Debug, Clone, Default)]
+pub struct PtsPlan {
+    /// Planned trajectories in sampling order.
+    pub trajectories: Vec<PlannedTrajectory>,
+}
+
+impl PtsPlan {
+    /// Number of distinct planned trajectories.
+    pub fn n_trajectories(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Total shot budget across trajectories.
+    pub fn total_shots(&self) -> usize {
+        self.trajectories.iter().map(|t| t.shots).sum()
+    }
+
+    /// Sum of nominal probabilities of the planned trajectories — the
+    /// probability mass the plan covers (1.0 = exhaustive; exact physical
+    /// coverage for unitary-mixture circuits).
+    pub fn coverage(&self, nc: &NoisyCircuit) -> f64 {
+        self.trajectories
+            .iter()
+            .map(|t| nc.assignment_probability(&t.choices))
+            .sum()
+    }
+
+    /// Largest per-trajectory error count in the plan.
+    pub fn max_error_weight(&self, nc: &NoisyCircuit) -> usize {
+        self.trajectories
+            .iter()
+            .map(|t| crate::assignment::error_events(nc, &t.choices).len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_circuit::{channels, Circuit, NoiseModel};
+
+    fn nc() -> NoisyCircuit {
+        let mut c = Circuit::new(1);
+        c.h(0).measure_all();
+        NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.25))
+            .apply(&c)
+    }
+
+    #[test]
+    fn totals() {
+        let plan = PtsPlan {
+            trajectories: vec![
+                PlannedTrajectory {
+                    choices: vec![0],
+                    shots: 100,
+                },
+                PlannedTrajectory {
+                    choices: vec![1],
+                    shots: 50,
+                },
+            ],
+        };
+        assert_eq!(plan.n_trajectories(), 2);
+        assert_eq!(plan.total_shots(), 150);
+        let nc = nc();
+        // coverage = 0.75 + 0.25/3
+        assert!((plan.coverage(&nc) - (0.75 + 0.25 / 3.0)).abs() < 1e-12);
+        assert_eq!(plan.max_error_weight(&nc), 1);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let plan = PtsPlan::default();
+        assert_eq!(plan.total_shots(), 0);
+        assert_eq!(plan.coverage(&nc()), 0.0);
+        assert_eq!(plan.max_error_weight(&nc()), 0);
+    }
+}

@@ -1,0 +1,807 @@
+//! Pre-Trajectory Sampling algorithms (paper §3.1).
+//!
+//! Every sampler consumes only the noise-site list of a
+//! [`NoisyCircuit`] — no quantum state is touched. [`ProbabilisticPts`]
+//! is the paper's Algorithm 2; the rest implement the "straightforward
+//! expansions" §3.1 sketches: proportional shot redistribution,
+//! probability bands, analytic most-likely-error enumeration, selection
+//! criteria, tailored/twirled proposal distributions, and spatially
+//! correlated injection (which exercises the `compatible()` check).
+
+use crate::plan::{PlannedTrajectory, PtsPlan};
+use ptsbe_circuit::NoisyCircuit;
+use ptsbe_rng::categorical::{index_of, multinomial_counts};
+use ptsbe_rng::Rng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A pre-trajectory sampling algorithm.
+pub trait PtsSampler {
+    /// Draw a plan for the circuit.
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan;
+}
+
+/// Draw one branch per site from the given per-site distributions.
+fn draw_assignment<R: Rng + ?Sized>(
+    site_probs: &[Vec<f64>],
+    rng: &mut R,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    for probs in site_probs {
+        out.push(index_of(rng.next_f64(), probs));
+    }
+}
+
+fn site_sampling_probs(nc: &NoisyCircuit) -> Vec<Vec<f64>> {
+    nc.sites()
+        .iter()
+        .map(|s| s.channel.sampling_probs().to_vec())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+
+/// The paper's Algorithm 2: probabilistic pre-sampling with deduplication
+/// and a uniform (large) shot budget per unique trajectory — the
+/// "maximize data collection" mode for ML training sets.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticPts {
+    /// Number of sampling attempts (`nsamples`).
+    pub n_samples: usize,
+    /// Shots assigned to each kept trajectory (`nshots`).
+    pub shots_per_trajectory: usize,
+    /// Drop duplicate Kraus sets (`uniqueKraus` in Algorithm 2).
+    pub dedup: bool,
+}
+
+impl PtsSampler for ProbabilisticPts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan {
+        let site_probs = site_sampling_probs(nc);
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut plan = PtsPlan::default();
+        let mut choices = Vec::with_capacity(nc.n_sites());
+        for _ in 0..self.n_samples {
+            draw_assignment(&site_probs, rng, &mut choices);
+            if self.dedup {
+                if seen.contains(&choices) {
+                    continue;
+                }
+                seen.insert(choices.clone());
+            }
+            plan.trajectories.push(PlannedTrajectory {
+                choices: choices.clone(),
+                shots: self.shots_per_trajectory,
+            });
+        }
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Proportional sampling (§3.1): unique trajectories are collected
+/// probabilistically, then a total shot budget is redistributed across
+/// them in proportion to their joint probabilities `p'_α = p_α / Σ p`.
+/// Suited to expectation-value estimation without importance weights.
+#[derive(Debug, Clone)]
+pub struct ProportionalPts {
+    /// Number of sampling attempts for trajectory discovery.
+    pub n_samples: usize,
+    /// Total shots to distribute over the discovered set.
+    pub total_shots: usize,
+}
+
+impl PtsSampler for ProportionalPts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan {
+        let site_probs = site_sampling_probs(nc);
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut uniques: Vec<Vec<usize>> = Vec::new();
+        let mut choices = Vec::with_capacity(nc.n_sites());
+        for _ in 0..self.n_samples {
+            draw_assignment(&site_probs, rng, &mut choices);
+            if seen.insert(choices.clone()) {
+                uniques.push(choices.clone());
+            }
+        }
+        if uniques.is_empty() {
+            return PtsPlan::default();
+        }
+        let probs: Vec<f64> = uniques
+            .iter()
+            .map(|c| nc.assignment_probability(c))
+            .collect();
+        let counts = multinomial_counts(&probs, self.total_shots, rng);
+        PtsPlan {
+            trajectories: uniques
+                .into_iter()
+                .zip(counts)
+                .filter(|(_, m)| *m > 0)
+                .map(|(choices, shots)| PlannedTrajectory { choices, shots })
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Probability-band sampling (§3.1): keep only trajectories whose joint
+/// probability falls inside `[p_min, p_max]` — e.g. to oversample the
+/// rare-error tail that a proportional dataset would barely touch.
+#[derive(Debug, Clone)]
+pub struct BandPts {
+    /// Sampling attempts.
+    pub n_samples: usize,
+    /// Shots per kept trajectory.
+    pub shots_per_trajectory: usize,
+    /// Inclusive lower probability bound.
+    pub p_min: f64,
+    /// Inclusive upper probability bound.
+    pub p_max: f64,
+}
+
+impl PtsSampler for BandPts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan {
+        let site_probs = site_sampling_probs(nc);
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut plan = PtsPlan::default();
+        let mut choices = Vec::with_capacity(nc.n_sites());
+        for _ in 0..self.n_samples {
+            draw_assignment(&site_probs, rng, &mut choices);
+            let p = nc.assignment_probability(&choices);
+            if p < self.p_min || p > self.p_max {
+                continue;
+            }
+            if seen.insert(choices.clone()) {
+                plan.trajectories.push(PlannedTrajectory {
+                    choices: choices.clone(),
+                    shots: self.shots_per_trajectory,
+                });
+            }
+        }
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Analytic top-k enumeration (§3.1: "the most common errors can be
+/// calculated analytically"): best-first search over the product
+/// distribution returns the `k` most probable trajectories, optionally
+/// cut off below `min_prob`. Deterministic — ignores the RNG.
+#[derive(Debug, Clone)]
+pub struct TopKPts {
+    /// Number of trajectories to enumerate.
+    pub k: usize,
+    /// Shots per trajectory.
+    pub shots_per_trajectory: usize,
+    /// Drop trajectories below this joint probability.
+    pub min_prob: f64,
+}
+
+#[derive(PartialEq)]
+struct HeapNode {
+    log_p: f64,
+    ranks: Vec<usize>,
+}
+
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.log_p
+            .partial_cmp(&other.log_p)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PtsSampler for TopKPts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, _rng: &mut R) -> PtsPlan {
+        // Per-site branches sorted by descending probability.
+        let sorted: Vec<Vec<(usize, f64)>> = nc
+            .sites()
+            .iter()
+            .map(|s| {
+                let mut v: Vec<(usize, f64)> = s
+                    .channel
+                    .sampling_probs()
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .collect();
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+                v
+            })
+            .collect();
+        if sorted.iter().any(|v| v.is_empty()) || sorted.iter().any(|v| v[0].1 <= 0.0) {
+            return PtsPlan::default();
+        }
+        let log_p_of = |ranks: &[usize]| -> f64 {
+            ranks
+                .iter()
+                .zip(&sorted)
+                .map(|(&r, site)| site[r].1.max(1e-300).ln())
+                .sum()
+        };
+        let mut heap: BinaryHeap<HeapNode> = BinaryHeap::new();
+        let mut visited: HashSet<Vec<usize>> = HashSet::new();
+        let start = vec![0usize; sorted.len()];
+        heap.push(HeapNode {
+            log_p: log_p_of(&start),
+            ranks: start.clone(),
+        });
+        visited.insert(start);
+        let mut plan = PtsPlan::default();
+        while let Some(node) = heap.pop() {
+            let p = node.log_p.exp();
+            if p < self.min_prob {
+                break;
+            }
+            plan.trajectories.push(PlannedTrajectory {
+                choices: node
+                    .ranks
+                    .iter()
+                    .zip(&sorted)
+                    .map(|(&r, site)| site[r].0)
+                    .collect(),
+                shots: self.shots_per_trajectory,
+            });
+            if plan.trajectories.len() >= self.k {
+                break;
+            }
+            // Successors: bump one site's rank.
+            for s in 0..sorted.len() {
+                if node.ranks[s] + 1 >= sorted[s].len() {
+                    continue;
+                }
+                let mut next = node.ranks.clone();
+                next[s] += 1;
+                if sorted[s][next[s]].1 <= 0.0 {
+                    continue;
+                }
+                if visited.insert(next.clone()) {
+                    heap.push(HeapNode {
+                        log_p: log_p_of(&next),
+                        ranks: next,
+                    });
+                }
+            }
+        }
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Exhaustive enumeration of every branch combination — exact coverage
+/// for small circuits (validation oracles, unit tests).
+#[derive(Debug, Clone)]
+pub struct ExhaustivePts {
+    /// Shots per trajectory.
+    pub shots_per_trajectory: usize,
+    /// Safety cap on the number of combinations.
+    pub max_trajectories: usize,
+}
+
+impl PtsSampler for ExhaustivePts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, _rng: &mut R) -> PtsPlan {
+        let dims: Vec<usize> = nc.sites().iter().map(|s| s.channel.n_ops()).collect();
+        let total: usize = dims.iter().product();
+        assert!(
+            total <= self.max_trajectories,
+            "exhaustive enumeration of {total} trajectories exceeds the cap"
+        );
+        let mut plan = PtsPlan::default();
+        let mut choices = vec![0usize; dims.len()];
+        loop {
+            plan.trajectories.push(PlannedTrajectory {
+                choices: choices.clone(),
+                shots: self.shots_per_trajectory,
+            });
+            // Odometer increment.
+            let mut i = 0usize;
+            loop {
+                if i == dims.len() {
+                    return plan;
+                }
+                choices[i] += 1;
+                if choices[i] < dims[i] {
+                    break;
+                }
+                choices[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Selection criteria (§3.1: "specify gate type, parity, location, and so
+/// on"): wraps Algorithm 2 with site masks and an error-weight window.
+#[derive(Debug, Clone)]
+pub struct ConstrainedPts {
+    /// The underlying Algorithm-2 parameters.
+    pub base: ProbabilisticPts,
+    /// Sites allowed to err (`None` = all); disallowed sites are forced
+    /// to their identity branch.
+    pub allowed_sites: Option<Vec<bool>>,
+    /// Keep only trajectories with error weight in this inclusive range.
+    pub weight_range: (usize, usize),
+}
+
+impl PtsSampler for ConstrainedPts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan {
+        if let Some(mask) = &self.allowed_sites {
+            assert_eq!(mask.len(), nc.n_sites(), "site mask length mismatch");
+        }
+        let site_probs = site_sampling_probs(nc);
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut plan = PtsPlan::default();
+        let mut choices = Vec::with_capacity(nc.n_sites());
+        for _ in 0..self.base.n_samples {
+            draw_assignment(&site_probs, rng, &mut choices);
+            if let Some(mask) = &self.allowed_sites {
+                for (site, allowed) in nc.sites().iter().zip(mask) {
+                    if !allowed {
+                        if let Some(ident) = site.channel.identity_index() {
+                            choices[site.id] = ident;
+                        }
+                    }
+                }
+            }
+            let weight = crate::assignment::error_events(nc, &choices).len();
+            if weight < self.weight_range.0 || weight > self.weight_range.1 {
+                continue;
+            }
+            if !self.base.dedup || seen.insert(choices.clone()) {
+                plan.trajectories.push(PlannedTrajectory {
+                    choices: choices.clone(),
+                    shots: self.base.shots_per_trajectory,
+                });
+            }
+        }
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Tailored proposal distributions (§3.1 / paper's "Pauli twirling"
+/// bullet): pre-sample from caller-supplied per-site distributions
+/// instead of the physical ones. The resulting bias is recorded through
+/// the nominal-vs-realized machinery and undone by
+/// [`crate::estimators`].
+#[derive(Debug, Clone)]
+pub struct ReweightedPts {
+    /// Sampling attempts.
+    pub n_samples: usize,
+    /// Shots per kept trajectory.
+    pub shots_per_trajectory: usize,
+    /// Per-site proposal distributions (must match site count and branch
+    /// counts).
+    pub proposals: Vec<Vec<f64>>,
+    /// Deduplicate assignments.
+    pub dedup: bool,
+}
+
+impl ReweightedPts {
+    /// Uniform-error ("twirled") proposals: every channel keeps its
+    /// identity weight but spreads the error mass uniformly over
+    /// non-identity branches.
+    pub fn twirled(nc: &NoisyCircuit, n_samples: usize, shots: usize) -> Self {
+        let proposals = nc
+            .sites()
+            .iter()
+            .map(|s| {
+                let probs = s.channel.sampling_probs();
+                match s.channel.identity_index() {
+                    Some(ident) => {
+                        let p_err = 1.0 - probs[ident];
+                        let n_err = probs.len() - 1;
+                        probs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &p)| {
+                                if i == ident {
+                                    p
+                                } else if n_err > 0 {
+                                    p_err / n_err as f64
+                                } else {
+                                    0.0
+                                }
+                            })
+                            .collect()
+                    }
+                    None => probs.to_vec(),
+                }
+            })
+            .collect();
+        Self {
+            n_samples,
+            shots_per_trajectory: shots,
+            proposals,
+            dedup: true,
+        }
+    }
+}
+
+impl PtsSampler for ReweightedPts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan {
+        assert_eq!(self.proposals.len(), nc.n_sites(), "proposal count mismatch");
+        for (site, p) in nc.sites().iter().zip(&self.proposals) {
+            assert_eq!(
+                p.len(),
+                site.channel.n_ops(),
+                "proposal branch count mismatch at site {}",
+                site.id
+            );
+        }
+        let mut seen: HashSet<Vec<usize>> = HashSet::new();
+        let mut plan = PtsPlan::default();
+        let mut choices = Vec::with_capacity(nc.n_sites());
+        for _ in 0..self.n_samples {
+            draw_assignment(&self.proposals, rng, &mut choices);
+            if !self.dedup || seen.insert(choices.clone()) {
+                plan.trajectories.push(PlannedTrajectory {
+                    choices: choices.clone(),
+                    shots: self.shots_per_trajectory,
+                });
+            }
+        }
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Spatially correlated injection (paper §1: "spatially correlated
+/// noise"): independent Algorithm-2 sampling plus occasional correlated
+/// bursts — a seed error is copied onto every later site within a window
+/// of circuit positions, subject to the `compatible()` rule (no two
+/// simultaneous errors on one qubit).
+#[derive(Debug, Clone)]
+pub struct CorrelatedPts {
+    /// Sampling attempts.
+    pub n_samples: usize,
+    /// Shots per trajectory.
+    pub shots_per_trajectory: usize,
+    /// Probability that a sample carries a correlated burst.
+    pub burst_prob: f64,
+    /// Op-index window for the burst.
+    pub window: usize,
+}
+
+impl PtsSampler for CorrelatedPts {
+    fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan {
+        let site_probs = site_sampling_probs(nc);
+        let mut plan = PtsPlan::default();
+        let mut choices = Vec::with_capacity(nc.n_sites());
+        for _ in 0..self.n_samples {
+            draw_assignment(&site_probs, rng, &mut choices);
+            if nc.n_sites() > 0 && rng.bernoulli(self.burst_prob) {
+                // Seed: a random site forced to a non-identity branch.
+                let seed = rng.gen_index(nc.n_sites());
+                let seed_site = &nc.sites()[seed];
+                if let Some(branch) = non_identity_branch(seed_site, rng) {
+                    choices[seed] = branch;
+                    for site in nc.sites() {
+                        if site.id == seed
+                            || site.op_index < seed_site.op_index
+                            || site.op_index > seed_site.op_index + self.window
+                        {
+                            continue;
+                        }
+                        // compatible(): skip sites that would collide with
+                        // an already-chosen simultaneous error.
+                        if nc.sites_conflict(seed, site.id) {
+                            continue;
+                        }
+                        if let Some(b) = non_identity_branch(site, rng) {
+                            choices[site.id] = b;
+                        }
+                    }
+                }
+            }
+            plan.trajectories.push(PlannedTrajectory {
+                choices: choices.clone(),
+                shots: self.shots_per_trajectory,
+            });
+        }
+        plan
+    }
+}
+
+fn non_identity_branch<R: Rng + ?Sized>(
+    site: &ptsbe_circuit::NoiseSite,
+    rng: &mut R,
+) -> Option<usize> {
+    let probs = site.channel.sampling_probs();
+    let ident = site.channel.identity_index();
+    let total: f64 = probs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != ident)
+        .map(|(_, &p)| p)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.next_f64() * total;
+    for (i, &p) in probs.iter().enumerate() {
+        if Some(i) == ident {
+            continue;
+        }
+        target -= p;
+        if target <= 0.0 {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_circuit::{channels, Circuit, NoiseModel};
+    use ptsbe_rng::PhiloxRng;
+
+    fn nc(p: f64) -> NoisyCircuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        NoiseModel::new()
+            .with_default_1q(channels::depolarizing(p))
+            .with_default_2q(channels::depolarizing(p))
+            .apply(&c)
+    }
+
+    #[test]
+    fn probabilistic_respects_counts() {
+        let nc = nc(0.1);
+        let mut rng = PhiloxRng::new(130, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 200,
+            shots_per_trajectory: 1000,
+            dedup: false,
+        }
+        .sample_plan(&nc, &mut rng);
+        assert_eq!(plan.n_trajectories(), 200);
+        assert_eq!(plan.total_shots(), 200_000);
+    }
+
+    #[test]
+    fn dedup_reduces_trajectories() {
+        let nc = nc(0.01); // low noise -> mostly identity assignment
+        let mut rng = PhiloxRng::new(131, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 500,
+            shots_per_trajectory: 10,
+            dedup: true,
+        }
+        .sample_plan(&nc, &mut rng);
+        assert!(plan.n_trajectories() < 100, "dedup should collapse repeats");
+        // All unique.
+        let set: HashSet<_> = plan.trajectories.iter().map(|t| t.choices.clone()).collect();
+        assert_eq!(set.len(), plan.n_trajectories());
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_probability() {
+        let nc = nc(0.3);
+        let mut rng = PhiloxRng::new(132, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 50_000,
+            shots_per_trajectory: 1,
+            dedup: false,
+        }
+        .sample_plan(&nc, &mut rng);
+        // Identity trajectory frequency ≈ its probability (0.7^5 sites).
+        let ident = nc.identity_assignment().unwrap();
+        let hits = plan
+            .trajectories
+            .iter()
+            .filter(|t| t.choices == ident)
+            .count();
+        let expect = nc.assignment_probability(&ident);
+        let freq = hits as f64 / 50_000.0;
+        assert!((freq - expect).abs() < 0.01, "freq {freq} vs p {expect}");
+    }
+
+    #[test]
+    fn proportional_allocates_by_probability() {
+        let nc = nc(0.2);
+        let mut rng = PhiloxRng::new(133, 0);
+        let plan = ProportionalPts {
+            n_samples: 2000,
+            total_shots: 100_000,
+        }
+        .sample_plan(&nc, &mut rng);
+        assert_eq!(plan.total_shots(), 100_000);
+        // The identity trajectory must get the lion's share.
+        let ident = nc.identity_assignment().unwrap();
+        let ident_shots = plan
+            .trajectories
+            .iter()
+            .find(|t| t.choices == ident)
+            .map(|t| t.shots)
+            .unwrap_or(0);
+        let p_ident = nc.assignment_probability(&ident);
+        let coverage = plan.coverage(&nc);
+        let expect = p_ident / coverage;
+        let frac = ident_shots as f64 / 100_000.0;
+        assert!((frac - expect).abs() < 0.02, "frac {frac} vs {expect}");
+    }
+
+    #[test]
+    fn band_respects_bounds() {
+        let nc = nc(0.2);
+        let mut rng = PhiloxRng::new(134, 0);
+        let plan = BandPts {
+            n_samples: 5000,
+            shots_per_trajectory: 5,
+            p_min: 1e-4,
+            p_max: 1e-2,
+        }
+        .sample_plan(&nc, &mut rng);
+        assert!(!plan.trajectories.is_empty());
+        for t in &plan.trajectories {
+            let p = nc.assignment_probability(&t.choices);
+            assert!((1e-4..=1e-2).contains(&p), "p {p} outside band");
+        }
+    }
+
+    #[test]
+    fn topk_enumerates_descending() {
+        let nc = nc(0.1);
+        let mut rng = PhiloxRng::new(135, 0);
+        let plan = TopKPts {
+            k: 20,
+            shots_per_trajectory: 1,
+            min_prob: 0.0,
+        }
+        .sample_plan(&nc, &mut rng);
+        assert_eq!(plan.n_trajectories(), 20);
+        let probs: Vec<f64> = plan
+            .trajectories
+            .iter()
+            .map(|t| nc.assignment_probability(&t.choices))
+            .collect();
+        for w in probs.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not descending: {w:?}");
+        }
+        // First is the identity assignment (most likely at p = 0.1).
+        assert_eq!(plan.trajectories[0].choices, nc.identity_assignment().unwrap());
+        // No duplicates.
+        let set: HashSet<_> = plan.trajectories.iter().map(|t| &t.choices).collect();
+        assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn topk_min_prob_cutoff() {
+        let nc = nc(0.1);
+        let mut rng = PhiloxRng::new(136, 0);
+        let p_ident = nc.assignment_probability(&nc.identity_assignment().unwrap());
+        let plan = TopKPts {
+            k: 1000,
+            shots_per_trajectory: 1,
+            min_prob: p_ident * 0.9,
+        }
+        .sample_plan(&nc, &mut rng);
+        assert_eq!(plan.n_trajectories(), 1, "only the identity clears the cutoff");
+    }
+
+    #[test]
+    fn exhaustive_covers_unit_mass() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.2))
+            .apply(&c);
+        let mut rng = PhiloxRng::new(137, 0);
+        let plan = ExhaustivePts {
+            shots_per_trajectory: 10,
+            max_trajectories: 100,
+        }
+        .sample_plan(&nc, &mut rng);
+        assert_eq!(plan.n_trajectories(), 16); // 4 branches ^ 2 sites
+        assert!((plan.coverage(&nc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the cap")]
+    fn exhaustive_cap_enforced() {
+        let nc = nc(0.1);
+        let mut rng = PhiloxRng::new(138, 0);
+        let _ = ExhaustivePts {
+            shots_per_trajectory: 1,
+            max_trajectories: 10,
+        }
+        .sample_plan(&nc, &mut rng);
+    }
+
+    #[test]
+    fn constrained_masks_sites_and_weights() {
+        let nc = nc(0.5);
+        let mut rng = PhiloxRng::new(139, 0);
+        let mut mask = vec![false; nc.n_sites()];
+        mask[2] = true; // only site 2 may err
+        let plan = ConstrainedPts {
+            base: ProbabilisticPts {
+                n_samples: 2000,
+                shots_per_trajectory: 1,
+                dedup: true,
+            },
+            allowed_sites: Some(mask),
+            weight_range: (1, 1),
+        }
+        .sample_plan(&nc, &mut rng);
+        assert!(!plan.trajectories.is_empty());
+        for t in &plan.trajectories {
+            let events = crate::assignment::error_events(&nc, &t.choices);
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].site_id, 2);
+        }
+    }
+
+    #[test]
+    fn twirled_proposals_uniformize_errors() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::pauli(0.3, 0.0, 0.0))
+            .apply(&c);
+        let mut rng = PhiloxRng::new(140, 0);
+        let sampler = ReweightedPts::twirled(&nc, 30_000, 1);
+        // The physical channel only produces X errors; the twirled
+        // proposal must produce X, Y and Z roughly equally.
+        let mut sampler_nodedup = sampler.clone();
+        sampler_nodedup.dedup = false;
+        let plan = sampler_nodedup.sample_plan(&nc, &mut rng);
+        let mut counts = [0usize; 4];
+        for t in &plan.trajectories {
+            counts[t.choices[0]] += 1;
+        }
+        assert!(counts[1] > 0 && counts[2] > 0 && counts[3] > 0);
+        let x = counts[1] as f64;
+        let y = counts[2] as f64;
+        let z = counts[3] as f64;
+        assert!((x / y - 1.0).abs() < 0.2, "x/y {}", x / y);
+        assert!((x / z - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn correlated_bursts_increase_weight() {
+        let nc = nc(0.01);
+        let mut rng = PhiloxRng::new(141, 0);
+        let plan_plain = ProbabilisticPts {
+            n_samples: 500,
+            shots_per_trajectory: 1,
+            dedup: false,
+        }
+        .sample_plan(&nc, &mut rng);
+        let plan_burst = CorrelatedPts {
+            n_samples: 500,
+            shots_per_trajectory: 1,
+            burst_prob: 1.0,
+            window: 100,
+        }
+        .sample_plan(&nc, &mut rng);
+        let avg = |p: &PtsPlan| {
+            p.trajectories
+                .iter()
+                .map(|t| crate::assignment::error_events(&nc, &t.choices).len())
+                .sum::<usize>() as f64
+                / p.n_trajectories() as f64
+        };
+        assert!(
+            avg(&plan_burst) > avg(&plan_plain) + 1.0,
+            "bursts must raise the mean error weight ({} vs {})",
+            avg(&plan_burst),
+            avg(&plan_plain)
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Dataset statistics: unique-shot fraction (Fig. 4, right axis), total
+//! variation distance, Shannon entropy, histograms.
+
+use std::collections::HashSet;
+
+/// Fraction of distinct values among the items.
+pub fn unique_fraction<'a, I: IntoIterator<Item = &'a u128>>(items: I) -> f64 {
+    let mut set: HashSet<u128> = HashSet::new();
+    let mut total = 0usize;
+    for &x in items {
+        set.insert(x);
+        total += 1;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        set.len() as f64 / total as f64
+    }
+}
+
+/// Normalized histogram over `0..n_outcomes` (values outside are
+/// clamped-counted into the last bin, which callers should avoid).
+pub fn histogram<I: IntoIterator<Item = u128>>(items: I, n_outcomes: usize) -> Vec<f64> {
+    let mut counts = vec![0usize; n_outcomes];
+    let mut total = 0usize;
+    for x in items {
+        let idx = (x as usize).min(n_outcomes - 1);
+        counts[idx] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return vec![0.0; n_outcomes];
+    }
+    counts
+        .into_iter()
+        .map(|c| c as f64 / total as f64)
+        .collect()
+}
+
+/// Total variation distance `½ Σ |p − q|`.
+pub fn tvd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "tvd: length mismatch");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Shannon entropy (bits) of a normalized distribution.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| -x * x.log2())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_fraction_cases() {
+        assert_eq!(unique_fraction(&[]), 0.0);
+        assert_eq!(unique_fraction(&[1u128, 1, 1, 1]), 0.25);
+        assert_eq!(unique_fraction(&[1u128, 2, 3, 4]), 1.0);
+    }
+
+    #[test]
+    fn histogram_normalizes() {
+        let h = histogram([0u128, 0, 1, 3].into_iter(), 4);
+        assert_eq!(h, vec![0.5, 0.25, 0.0, 0.25]);
+    }
+
+    #[test]
+    fn tvd_properties() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        assert!((tvd(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(tvd(&p, &p), 0.0);
+        // Symmetry.
+        assert_eq!(tvd(&p, &q), tvd(&q, &p));
+    }
+
+    #[test]
+    fn entropy_cases() {
+        assert!((entropy(&[1.0]) - 0.0).abs() < 1e-12);
+        assert!((entropy(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[0.25; 4]) - 2.0).abs() < 1e-12);
+    }
+}

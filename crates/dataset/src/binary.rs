@@ -1,0 +1,150 @@
+//! Compact binary dataset format.
+//!
+//! Layout (little-endian):
+//! ```text
+//! magic "PTSB" | version u32 | header_len u32 | header JSON bytes
+//! repeat per trajectory:
+//!   meta_len u32 | meta JSON bytes | n_shots u64 | shots as u128 LE …
+//! ```
+//! 16 bytes per shot — the format the trillion-shot regime wants; the
+//! JSON headers keep it self-describing.
+
+use crate::record::{DatasetHeader, TrajectoryRecord};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ptsbe_core::assignment::TrajectoryMeta;
+use std::io;
+
+const MAGIC: &[u8; 4] = b"PTSB";
+const VERSION: u32 = 1;
+
+/// Serialize a dataset to bytes.
+///
+/// # Errors
+/// Propagates serialization failures.
+pub fn encode(header: &DatasetHeader, records: &[TrajectoryRecord]) -> io::Result<Bytes> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    let hjson = serde_json::to_vec(header)?;
+    buf.put_u32_le(hjson.len() as u32);
+    buf.put_slice(&hjson);
+    for rec in records {
+        let mjson = serde_json::to_vec(&rec.meta)?;
+        buf.put_u32_le(mjson.len() as u32);
+        buf.put_slice(&mjson);
+        let shots = rec
+            .decode_shots()
+            .map_err(|s| io::Error::new(io::ErrorKind::InvalidData, format!("bad hex {s}")))?;
+        buf.put_u64_le(shots.len() as u64);
+        for s in shots {
+            buf.put_u128_le(s);
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Parse a dataset encoded by [`encode`].
+///
+/// # Errors
+/// Returns `InvalidData` on magic/version/structure mismatches.
+pub fn decode(mut data: Bytes) -> io::Result<(DatasetHeader, Vec<TrajectoryRecord>)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.remaining() < 12 {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let hlen = data.get_u32_le() as usize;
+    if data.remaining() < hlen {
+        return Err(bad("truncated dataset header"));
+    }
+    let header: DatasetHeader = serde_json::from_slice(&data.split_to(hlen))?;
+    let mut records = Vec::new();
+    while data.has_remaining() {
+        if data.remaining() < 4 {
+            return Err(bad("truncated record header"));
+        }
+        let mlen = data.get_u32_le() as usize;
+        if data.remaining() < mlen + 8 {
+            return Err(bad("truncated record meta"));
+        }
+        let meta: TrajectoryMeta = serde_json::from_slice(&data.split_to(mlen))?;
+        let n_shots = data.get_u64_le() as usize;
+        if data.remaining() < n_shots * 16 {
+            return Err(bad("truncated shots"));
+        }
+        let mut shots = Vec::with_capacity(n_shots);
+        for _ in 0..n_shots {
+            shots.push(format!("{:x}", data.get_u128_le()));
+        }
+        records.push(TrajectoryRecord { meta, shots });
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DatasetHeader, Vec<TrajectoryRecord>) {
+        let header = DatasetHeader {
+            workload: "bin-test".into(),
+            n_qubits: 3,
+            n_measured: 3,
+            backend: "mps".into(),
+            seed: 11,
+        };
+        let records = vec![TrajectoryRecord {
+            meta: TrajectoryMeta {
+                traj_id: 0,
+                nominal_prob: 1.0,
+                realized_prob: 1.0,
+                choices: vec![],
+                errors: vec![],
+            },
+            shots: vec![format!("{:x}", 0xdeadbeefu128), "7".into()],
+        }];
+        (header, records)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (header, records) = sample();
+        let bytes = encode(&header, &records).unwrap();
+        let (h2, r2) = decode(bytes).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(r2[0].decode_shots().unwrap(), vec![0xdeadbeef, 7]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (header, records) = sample();
+        let mut bytes = encode(&header, &records).unwrap().to_vec();
+        bytes[0] = b'X';
+        assert!(decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (header, records) = sample();
+        let bytes = encode(&header, &records).unwrap();
+        let truncated = bytes.slice(0..bytes.len() - 5);
+        assert!(decode(truncated).is_err());
+    }
+
+    #[test]
+    fn shot_size_is_16_bytes() {
+        let (header, mut records) = sample();
+        let base = encode(&header, &records).unwrap().len();
+        records[0].shots.push("1".into());
+        let plus_one = encode(&header, &records).unwrap().len();
+        assert_eq!(plus_one - base, 16);
+    }
+}

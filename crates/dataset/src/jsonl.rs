@@ -1,0 +1,111 @@
+//! Line-delimited JSON dataset IO: header line, then one trajectory
+//! record per line.
+
+use crate::record::{DatasetHeader, TrajectoryRecord};
+use std::io::{self, BufRead, Write};
+
+/// Write a dataset: header first, then one record per line.
+///
+/// # Errors
+/// Propagates IO and serialization errors.
+pub fn write<W: Write>(
+    mut w: W,
+    header: &DatasetHeader,
+    records: &[TrajectoryRecord],
+) -> io::Result<()> {
+    serde_json::to_writer(&mut w, header)?;
+    w.write_all(b"\n")?;
+    for rec in records {
+        serde_json::to_writer(&mut w, rec)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read a dataset written by [`write`].
+///
+/// # Errors
+/// Propagates IO and parse errors.
+pub fn read<R: BufRead>(r: R) -> io::Result<(DatasetHeader, Vec<TrajectoryRecord>)> {
+    let mut lines = r.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty dataset"))??;
+    let header: DatasetHeader = serde_json::from_str(&header_line)?;
+    let mut records = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(serde_json::from_str(&line)?);
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_core::assignment::TrajectoryMeta;
+
+    fn sample() -> (DatasetHeader, Vec<TrajectoryRecord>) {
+        let header = DatasetHeader {
+            workload: "test".into(),
+            n_qubits: 2,
+            n_measured: 2,
+            backend: "sv".into(),
+            seed: 1,
+        };
+        let records = vec![
+            TrajectoryRecord {
+                meta: TrajectoryMeta {
+                    traj_id: 0,
+                    nominal_prob: 0.9,
+                    realized_prob: 0.9,
+                    choices: vec![0],
+                    errors: vec![],
+                },
+                shots: vec!["0".into(), "3".into()],
+            },
+            TrajectoryRecord {
+                meta: TrajectoryMeta {
+                    traj_id: 1,
+                    nominal_prob: 0.1,
+                    realized_prob: 0.1,
+                    choices: vec![1],
+                    errors: vec![],
+                },
+                shots: vec!["1".into()],
+            },
+        ];
+        (header, records)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (header, records) = sample();
+        let mut buf = Vec::new();
+        write(&mut buf, &header, &records).unwrap();
+        let (h2, r2) = read(io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r2[0].shots, records[0].shots);
+        assert_eq!(r2[1].meta.traj_id, 1);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let err = read(io::BufReader::new(&b""[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let (header, records) = sample();
+        let mut buf = Vec::new();
+        write(&mut buf, &header, &records).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let (_, r2) = read(io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(r2.len(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Dataset layer: persistent, labeled shot corpora.
+//!
+//! The paper's end product is "massive data corpuses of noisy quantum
+//! data" with known error provenance, suitable for training ML-based QEC
+//! decoders (§2.3). This crate turns [`ptsbe_core::be::BatchResult`]s
+//! into durable artifacts:
+//!
+//! - [`record`] — serializable per-trajectory records (provenance +
+//!   shots, hex-encoded so plain JSON tooling can read them);
+//! - [`jsonl`] — line-delimited JSON writer/reader (interchange format);
+//! - [`binary`] — compact length-prefixed binary format via `bytes`
+//!   (16 bytes/shot, for the "one trillion shots" regime);
+//! - [`summary`] — corpus-level statistics (shots, unique fraction,
+//!   error-weight census);
+//! - [`decoder_export`] — supervised (features, labels) pairs for
+//!   decoder training: the measurement record plus the injected errors.
+
+pub mod binary;
+pub mod decoder_export;
+pub mod jsonl;
+pub mod record;
+pub mod summary;
+
+pub use record::{DatasetHeader, TrajectoryRecord};
+pub use summary::DatasetSummary;

@@ -1,0 +1,110 @@
+//! Serializable dataset records.
+
+use ptsbe_core::assignment::TrajectoryMeta;
+use ptsbe_core::be::{BatchResult, TrajectoryResult};
+use serde::{Deserialize, Serialize};
+
+/// Corpus-level metadata written once per dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetHeader {
+    /// Human-readable workload name.
+    pub workload: String,
+    /// Physical qubit count of the circuit.
+    pub n_qubits: usize,
+    /// Measured bits per shot record.
+    pub n_measured: usize,
+    /// Backend identifier ("statevector-f32", "mps-f64", …).
+    pub backend: String,
+    /// Run seed (full reproducibility with the Philox streams).
+    pub seed: u64,
+}
+
+/// One trajectory's provenance and shots. Shots are hex strings so the
+/// JSON form needs no 128-bit number support.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryRecord {
+    /// Provenance metadata.
+    pub meta: TrajectoryMeta,
+    /// Hex-encoded measurement records.
+    pub shots: Vec<String>,
+}
+
+impl TrajectoryRecord {
+    /// Convert an executed trajectory.
+    pub fn from_result(t: &TrajectoryResult) -> Self {
+        Self {
+            meta: t.meta.clone(),
+            shots: t.shots.iter().map(|s| format!("{s:x}")).collect(),
+        }
+    }
+
+    /// Decode the hex shots back to bit patterns.
+    ///
+    /// # Errors
+    /// Returns the offending string on malformed hex.
+    pub fn decode_shots(&self) -> Result<Vec<u128>, String> {
+        self.shots
+            .iter()
+            .map(|s| u128::from_str_radix(s, 16).map_err(|_| s.clone()))
+            .collect()
+    }
+}
+
+/// Convert a whole batch.
+pub fn records_from_batch(batch: &BatchResult) -> Vec<TrajectoryRecord> {
+    batch.trajectories.iter().map(TrajectoryRecord::from_result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> TrajectoryRecord {
+        TrajectoryRecord {
+            meta: TrajectoryMeta {
+                traj_id: 1,
+                nominal_prob: 0.5,
+                realized_prob: 0.5,
+                choices: vec![0, 1],
+                errors: vec![],
+            },
+            shots: vec![format!("{:x}", u128::MAX), "0".into(), "1f".into()],
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let rec = sample_record();
+        let shots = rec.decode_shots().unwrap();
+        assert_eq!(shots, vec![u128::MAX, 0, 0x1f]);
+    }
+
+    #[test]
+    fn bad_hex_reported() {
+        let mut rec = sample_record();
+        rec.shots.push("zz".into());
+        assert_eq!(rec.decode_shots().unwrap_err(), "zz");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rec = sample_record();
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: TrajectoryRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shots, rec.shots);
+        assert_eq!(back.meta.choices, rec.meta.choices);
+    }
+
+    #[test]
+    fn header_serde() {
+        let h = DatasetHeader {
+            workload: "msd-35q".into(),
+            n_qubits: 35,
+            n_measured: 35,
+            backend: "statevector-f32".into(),
+            seed: 7,
+        };
+        let json = serde_json::to_string(&h).unwrap();
+        assert_eq!(serde_json::from_str::<DatasetHeader>(&json).unwrap(), h);
+    }
+}

@@ -1,0 +1,279 @@
+//! Minimal complex type with GPU-buffer-compatible layout.
+//!
+//! `#[repr(C)]` with `[re, im]` ordering matches the interleaved complex
+//! layout of cuStateVec buffers, so a future GPU port could reinterpret the
+//! statevector storage without copying.
+
+use crate::scalar::Scalar;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex number over a [`Scalar`] real type.
+#[repr(C)]
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Double-precision complex (validation-oracle precision).
+pub type C64 = Complex<f64>;
+/// Single-precision complex (the paper's statevector precision).
+pub type C32 = Complex<f32>;
+
+impl<T: Scalar> Complex<T> {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    pub fn one() -> Self {
+        Self::new(T::ONE, T::ZERO)
+    }
+
+    /// The imaginary unit.
+    #[inline]
+    pub fn i() -> Self {
+        Self::new(T::ZERO, T::ONE)
+    }
+
+    /// Purely real value.
+    #[inline]
+    pub fn real(re: T) -> Self {
+        Self::new(re, T::ZERO)
+    }
+
+    /// Construct from an `f64` pair (constants written in double precision).
+    #[inline]
+    pub fn from_f64(re: f64, im: f64) -> Self {
+        Self::new(T::from_f64(re), T::from_f64(im))
+    }
+
+    /// `e^{i theta}` for a phase given in radians (as `f64`).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_f64(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        self.re.mul_add(self.re, self.im * self.im)
+    }
+
+    /// Modulus.
+    #[inline]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: T) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Multiplicative inverse. Returns zero for zero input rather than NaN
+    /// (callers in truncation paths rely on this).
+    #[inline]
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        if n == T::ZERO {
+            Self::zero()
+        } else {
+            Self::new(self.re / n, -self.im / n)
+        }
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Widen to double precision.
+    #[inline]
+    pub fn to_c64(self) -> C64 {
+        C64::new(self.re.to_f64(), self.im.to_f64())
+    }
+}
+
+impl<T: Scalar> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Scalar> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Scalar> Mul for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Scalar> Div for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl<T: Scalar> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Scalar> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Scalar> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Scalar> MulAssign for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Scalar> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: T) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T: Scalar> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}{:+?}i)", self.re, self.im)
+    }
+}
+
+impl<T: Scalar> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}{:+}i)", self.re.to_f64(), self.im.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 0.25);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * C64::one(), a);
+        assert_eq!(a + C64::zero(), a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn multiplication() {
+        // (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i
+        let p = C64::new(1.0, 2.0) * C64::new(3.0, 4.0);
+        assert_eq!(p, C64::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::i() * C64::i(), C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = C64::new(3.0, -4.0);
+        assert_eq!(a.conj(), C64::new(3.0, 4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        let prod = a * a.conj();
+        assert!((prod.re - 25.0).abs() < 1e-12 && prod.im == 0.0);
+    }
+
+    #[test]
+    fn division_and_recip() {
+        let a = C64::new(1.0, 2.0);
+        let q = a / a;
+        assert!((q.re - 1.0).abs() < 1e-12 && q.im.abs() < 1e-12);
+        assert_eq!(C64::zero().recip(), C64::zero());
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..8 {
+            let theta = k as f64 * std::f64::consts::FRAC_PI_4;
+            let z = C64::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        let z = C64::cis(std::f64::consts::FRAC_PI_2);
+        assert!(z.re.abs() < 1e-12 && (z.im - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_precision_works() {
+        let a = C32::new(1.0, 1.0);
+        assert!((a.abs() - std::f32::consts::SQRT_2).abs() < 1e-6);
+        assert_eq!(a.to_c64().re, 1.0f64);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let v = [C64::one(), C64::i(), C64::new(1.0, 1.0)];
+        let s: C64 = v.into_iter().sum();
+        assert_eq!(s, C64::new(2.0, 2.0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Standard gate matrices.
+//!
+//! Conventions (shared by every simulator in the workspace):
+//! - qubit `q` maps to bit `q` of the basis-state index (qubit 0 is the
+//!   least-significant bit);
+//! - two-qubit gate matrices are written in the ordered basis
+//!   `|ab⟩ = a·2 + b` where `a` is the *first* qubit argument of the gate
+//!   (e.g. the control of a CNOT) and `b` the second;
+//! - rotation angles are `f64` radians regardless of the storage precision.
+//!
+//! Includes the √X and √Y gates used by the paper's Fig. 3 compilation of
+//! the 5→1 magic-state distillation protocol.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// Pauli X.
+pub fn x<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(2, 2, &[(0., 0.), (1., 0.), (1., 0.), (0., 0.)])
+}
+
+/// Pauli Y.
+pub fn y<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(2, 2, &[(0., 0.), (0., -1.), (0., 1.), (0., 0.)])
+}
+
+/// Pauli Z.
+pub fn z<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(2, 2, &[(1., 0.), (0., 0.), (0., 0.), (-1., 0.)])
+}
+
+/// Hadamard.
+pub fn h<T: Scalar>() -> Matrix<T> {
+    let s = FRAC_1_SQRT_2;
+    Matrix::from_f64_pairs(2, 2, &[(s, 0.), (s, 0.), (s, 0.), (-s, 0.)])
+}
+
+/// Phase gate S = √Z.
+pub fn s<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(2, 2, &[(1., 0.), (0., 0.), (0., 0.), (0., 1.)])
+}
+
+/// S†.
+pub fn sdg<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(2, 2, &[(1., 0.), (0., 0.), (0., 0.), (0., -1.)])
+}
+
+/// T = √S (the canonical non-Clifford gate).
+pub fn t<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[
+            (1., 0.),
+            (0., 0.),
+            (0., 0.),
+            (FRAC_1_SQRT_2, FRAC_1_SQRT_2),
+        ],
+    )
+}
+
+/// T†.
+pub fn tdg<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[
+            (1., 0.),
+            (0., 0.),
+            (0., 0.),
+            (FRAC_1_SQRT_2, -FRAC_1_SQRT_2),
+        ],
+    )
+}
+
+/// √X (Fig. 3 of the paper).
+pub fn sx<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)],
+    )
+}
+
+/// √X†.
+pub fn sxdg<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[(0.5, -0.5), (0.5, 0.5), (0.5, 0.5), (0.5, -0.5)],
+    )
+}
+
+/// √Y (Fig. 3 of the paper).
+pub fn sy<T: Scalar>() -> Matrix<T> {
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[(0.5, 0.5), (-0.5, -0.5), (0.5, 0.5), (0.5, 0.5)],
+    )
+}
+
+/// √Y†.
+pub fn sydg<T: Scalar>() -> Matrix<T> {
+    sy::<T>().dagger()
+}
+
+/// Rotation about X: `Rx(θ) = exp(-iθX/2)`.
+pub fn rx<T: Scalar>(theta: f64) -> Matrix<T> {
+    let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Matrix::from_f64_pairs(2, 2, &[(c, 0.), (0., -sn), (0., -sn), (c, 0.)])
+}
+
+/// Rotation about Y: `Ry(θ) = exp(-iθY/2)`.
+pub fn ry<T: Scalar>(theta: f64) -> Matrix<T> {
+    let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Matrix::from_f64_pairs(2, 2, &[(c, 0.), (-sn, 0.), (sn, 0.), (c, 0.)])
+}
+
+/// Rotation about Z: `Rz(θ) = exp(-iθZ/2)`.
+pub fn rz<T: Scalar>(theta: f64) -> Matrix<T> {
+    let half = theta / 2.0;
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[
+            (half.cos(), -half.sin()),
+            (0., 0.),
+            (0., 0.),
+            (half.cos(), half.sin()),
+        ],
+    )
+}
+
+/// Phase gate `P(λ) = diag(1, e^{iλ})`.
+pub fn p<T: Scalar>(lambda: f64) -> Matrix<T> {
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[(1., 0.), (0., 0.), (0., 0.), (lambda.cos(), lambda.sin())],
+    )
+}
+
+/// General single-qubit gate `U(θ, φ, λ)` (OpenQASM convention).
+pub fn u3<T: Scalar>(theta: f64, phi: f64, lambda: f64) -> Matrix<T> {
+    let (c, sn) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    Matrix::from_f64_pairs(
+        2,
+        2,
+        &[
+            (c, 0.),
+            (-(lambda.cos()) * sn, -(lambda.sin()) * sn),
+            (phi.cos() * sn, phi.sin() * sn),
+            (
+                (phi + lambda).cos() * c,
+                (phi + lambda).sin() * c,
+            ),
+        ],
+    )
+}
+
+/// CNOT with the first basis bit as control.
+pub fn cx<T: Scalar>() -> Matrix<T> {
+    let mut m = Matrix::zeros(4, 4);
+    m[(0, 0)] = Complex::one();
+    m[(1, 1)] = Complex::one();
+    m[(2, 3)] = Complex::one();
+    m[(3, 2)] = Complex::one();
+    m
+}
+
+/// Controlled-Z (symmetric in its qubits).
+pub fn cz<T: Scalar>() -> Matrix<T> {
+    let mut m = Matrix::identity(4);
+    m[(3, 3)] = -Complex::<T>::one();
+    m
+}
+
+/// SWAP.
+pub fn swap<T: Scalar>() -> Matrix<T> {
+    let mut m = Matrix::zeros(4, 4);
+    m[(0, 0)] = Complex::one();
+    m[(1, 2)] = Complex::one();
+    m[(2, 1)] = Complex::one();
+    m[(3, 3)] = Complex::one();
+    m
+}
+
+/// Lift a single-qubit unitary to its controlled version (control = first
+/// basis bit).
+pub fn controlled<T: Scalar>(u: &Matrix<T>) -> Matrix<T> {
+    assert_eq!((u.rows(), u.cols()), (2, 2), "controlled: need a 2x2 gate");
+    let mut m = Matrix::identity(4);
+    m[(2, 2)] = u[(0, 0)];
+    m[(2, 3)] = u[(0, 1)];
+    m[(3, 2)] = u[(1, 0)];
+    m[(3, 3)] = u[(1, 1)];
+    m
+}
+
+/// Toffoli (CCX), controls = two most-significant basis bits.
+pub fn ccx<T: Scalar>() -> Matrix<T> {
+    let mut m = Matrix::identity(8);
+    m[(6, 6)] = Complex::zero();
+    m[(7, 7)] = Complex::zero();
+    m[(6, 7)] = Complex::one();
+    m[(7, 6)] = Complex::one();
+    m
+}
+
+/// The four single-qubit Paulis indexed 0..4 as I, X, Y, Z — the natural
+/// alphabet for Pauli channels and twirling.
+pub fn pauli<T: Scalar>(idx: usize) -> Matrix<T> {
+    match idx {
+        0 => Matrix::identity(2),
+        1 => x(),
+        2 => y(),
+        3 => z(),
+        _ => panic!("pauli index {idx} out of range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TOL_F64;
+
+    fn assert_unitary(m: &Matrix<f64>, name: &str) {
+        assert!(m.is_unitary(1e-12), "{name} not unitary: {m:?}");
+    }
+
+    #[test]
+    fn all_fixed_gates_unitary() {
+        for (m, name) in [
+            (x::<f64>(), "x"),
+            (y(), "y"),
+            (z(), "z"),
+            (h(), "h"),
+            (s(), "s"),
+            (sdg(), "sdg"),
+            (t(), "t"),
+            (tdg(), "tdg"),
+            (sx(), "sx"),
+            (sxdg(), "sxdg"),
+            (sy(), "sy"),
+            (sydg(), "sydg"),
+            (cx(), "cx"),
+            (cz(), "cz"),
+            (swap(), "swap"),
+            (ccx(), "ccx"),
+        ] {
+            assert_unitary(&m, name);
+        }
+    }
+
+    #[test]
+    fn parametric_gates_unitary() {
+        for k in 0..12 {
+            let theta = k as f64 * 0.7 - 3.0;
+            assert_unitary(&rx(theta), "rx");
+            assert_unitary(&ry(theta), "ry");
+            assert_unitary(&rz(theta), "rz");
+            assert_unitary(&p(theta), "p");
+            assert_unitary(&u3(theta, 0.3 * theta, -theta), "u3");
+        }
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_paulis() {
+        assert!(sx::<f64>().mul_ref(&sx()).max_abs_diff(&x()) < TOL_F64);
+        assert!(sy::<f64>().mul_ref(&sy()).max_abs_diff(&y()) < TOL_F64);
+        assert!(s::<f64>().mul_ref(&s()).max_abs_diff(&z()) < TOL_F64);
+        assert!(t::<f64>().mul_ref(&t()).max_abs_diff(&s()) < TOL_F64);
+    }
+
+    #[test]
+    fn daggers_invert() {
+        for (g, gd) in [
+            (s::<f64>(), sdg()),
+            (t(), tdg()),
+            (sx(), sxdg()),
+            (sy(), sydg()),
+        ] {
+            assert!(g.mul_ref(&gd).max_abs_diff(&Matrix::identity(2)) < TOL_F64);
+        }
+    }
+
+    #[test]
+    fn hadamard_conjugation() {
+        // H X H = Z and H Z H = X.
+        let hm = h::<f64>();
+        assert!(hm.mul_ref(&x()).mul_ref(&hm).max_abs_diff(&z()) < TOL_F64);
+        assert!(hm.mul_ref(&z()).mul_ref(&hm).max_abs_diff(&x()) < TOL_F64);
+    }
+
+    #[test]
+    fn cx_action_on_basis() {
+        let c = cx::<f64>();
+        // |10> (index 2) -> |11> (index 3)
+        assert_eq!(c[(3, 2)], Complex::one());
+        // |01> fixed
+        assert_eq!(c[(1, 1)], Complex::one());
+    }
+
+    #[test]
+    fn controlled_matches_cx() {
+        assert!(controlled(&x::<f64>()).max_abs_diff(&cx()) < TOL_F64);
+    }
+
+    #[test]
+    fn rotations_at_pi_match_paulis_up_to_phase() {
+        // Rx(pi) = -iX
+        let rxpi = rx::<f64>(std::f64::consts::PI);
+        let want = x::<f64>().scaled(Complex::from_f64(0.0, -1.0));
+        assert!(rxpi.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        // u3(pi/2, 0, pi) = H
+        assert!(u3::<f64>(FRAC_PI_2, 0.0, PI).max_abs_diff(&h()) < 1e-12);
+        // u3(pi, 0, pi) = X
+        assert!(u3::<f64>(PI, 0.0, PI).max_abs_diff(&x()) < 1e-12);
+    }
+
+    #[test]
+    fn pauli_indexing() {
+        assert!(pauli::<f64>(0).max_abs_diff(&Matrix::identity(2)) < TOL_F64);
+        assert!(pauli::<f64>(1).max_abs_diff(&x()) < TOL_F64);
+        assert!(pauli::<f64>(2).max_abs_diff(&y()) < TOL_F64);
+        assert!(pauli::<f64>(3).max_abs_diff(&z()) < TOL_F64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pauli_bad_index() {
+        let _ = pauli::<f64>(4);
+    }
+}

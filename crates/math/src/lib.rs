@@ -1,0 +1,41 @@
+//! Numerical substrate for the PTSBE workspace.
+//!
+//! The paper's simulators sit on top of cuBLAS/cuSOLVER-grade dense kernels;
+//! this crate provides the CPU equivalents, generic over [`Scalar`]
+//! (`f32`/`f64` — the paper's statevectors are complex64, i.e. `f32` pairs,
+//! while validation oracles want `f64`):
+//!
+//! - [`complex::Complex`] — a minimal `#[repr(C)]` complex type whose
+//!   `[re, im]` layout matches interleaved GPU statevector buffers;
+//! - [`matrix::Matrix`] — dense row-major complex matrices with the gate
+//!   algebra (product, dagger, Kronecker, unitarity/Hermiticity checks);
+//! - [`gates`] — the standard universal gate zoo, including the √X and √Y
+//!   gates of the paper's Fig. 3 magic-state-distillation circuit;
+//! - [`qr`] / [`svd`] — Householder QR and one-sided Jacobi SVD, the two
+//!   factorizations the MPS backend needs for canonicalization and bond
+//!   truncation;
+//! - [`random`] — Haar-random unitaries and states for tests and twirling.
+
+pub mod complex;
+pub mod gates;
+pub mod matrix;
+pub mod qr;
+pub mod random;
+pub mod scalar;
+pub mod svd;
+pub mod vec_ops;
+
+pub use complex::{Complex, C32, C64};
+pub use matrix::Matrix;
+pub use scalar::Scalar;
+
+/// Absolute tolerance used by the workspace's "is this numerically zero"
+/// checks at `f64` precision.
+pub const TOL_F64: f64 = 1e-10;
+/// Absolute tolerance at `f32` precision.
+pub const TOL_F32: f32 = 1e-4;
+
+/// True when two floats are within `tol`; used pervasively by tests.
+pub fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}

@@ -1,0 +1,429 @@
+//! Dense row-major complex matrices.
+//!
+//! Sized for the workspace's needs: gate matrices (2x2 … 32x32), Kraus
+//! operators, MPS bond matrices (up to a few hundred square), and density
+//! matrices in the validation oracle (up to 2^8). Not a general BLAS — the
+//! hot paths of the simulators use specialized kernels; this type is the
+//! *correctness* workhorse.
+
+use crate::complex::Complex;
+use crate::scalar::Scalar;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Dense row-major complex matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex<T>>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex::zero(); rows * cols],
+        }
+    }
+
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::one();
+        }
+        m
+    }
+
+    /// Build from a row-major vector of entries.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex<T>>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Matrix::from_vec: shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from row-major `(re, im)` pairs in `f64` (constants tables).
+    pub fn from_f64_pairs(rows: usize, cols: usize, entries: &[(f64, f64)]) -> Self {
+        assert_eq!(entries.len(), rows * cols);
+        Self {
+            rows,
+            cols,
+            data: entries
+                .iter()
+                .map(|&(re, im)| Complex::from_f64(re, im))
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex<T>] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex<T>] {
+        &mut self.data
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)].conj();
+            }
+        }
+        out
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Scale all entries by a complex factor.
+    pub fn scaled(&self, s: Complex<T>) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * s).collect(),
+        }
+    }
+
+    /// Scale all entries by a real factor.
+    pub fn scaled_real(&self, s: T) -> Self {
+        self.scaled(Complex::real(s))
+    }
+
+    /// Kronecker product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let mut out = Self::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for ar in 0..self.rows {
+            for ac in 0..self.cols {
+                let a = self[(ar, ac)];
+                if a == Complex::zero() {
+                    continue;
+                }
+                for br in 0..rhs.rows {
+                    for bc in 0..rhs.cols {
+                        out[(ar * rhs.rows + br, ac * rhs.cols + bc)] = a * rhs[(br, bc)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> Complex<T> {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> T {
+        self.data
+            .iter()
+            .map(|z| z.norm_sqr())
+            .fold(T::ZERO, |a, b| a + b)
+            .sqrt()
+    }
+
+    /// Largest entry-wise absolute difference against `other`.
+    pub fn max_abs_diff(&self, other: &Self) -> T {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(T::ZERO, Scalar::max)
+    }
+
+    /// True when `self† · self` is the identity to tolerance `tol`.
+    pub fn is_unitary(&self, tol: T) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.dagger().mul_ref(self);
+        prod.max_abs_diff(&Self::identity(self.rows)) <= tol
+    }
+
+    /// True when Hermitian to tolerance `tol`.
+    pub fn is_hermitian(&self, tol: T) -> bool {
+        self.is_square() && self.max_abs_diff(&self.dagger()) <= tol
+    }
+
+    /// Matrix product without consuming operands.
+    pub fn mul_ref(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        // ikj loop order: stream over rhs rows for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex::zero() {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · v`.
+    pub fn mul_vec(&self, v: &[Complex<T>]) -> Vec<Complex<T>> {
+        assert_eq!(self.cols, v.len(), "mul_vec shape mismatch");
+        let mut out = vec![Complex::zero(); self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = Complex::zero();
+            for (&a, &x) in row.iter().zip(v) {
+                acc += a * x;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Convert every entry to double precision.
+    pub fn to_f64(&self) -> Matrix<f64> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.to_c64()).collect(),
+        }
+    }
+
+    /// Convert from a double-precision matrix (used to instantiate gate
+    /// constants at `f32`).
+    pub fn from_f64_matrix(m: &Matrix<f64>) -> Self {
+        Self {
+            rows: m.rows,
+            cols: m.cols,
+            data: m
+                .data
+                .iter()
+                .map(|z| Complex::from_f64(z.re, z.im))
+                .collect(),
+        }
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = Complex<T>;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex<T> {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex<T> {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> Add for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn add(self, rhs: Self) -> Matrix<T> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl<T: Scalar> Sub for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn sub(self, rhs: Self) -> Matrix<T> {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl<T: Scalar> Mul for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn mul(self, rhs: Self) -> Matrix<T> {
+        self.mul_ref(rhs)
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    fn pauli_x() -> Matrix<f64> {
+        Matrix::from_f64_pairs(2, 2, &[(0.0, 0.0), (1.0, 0.0), (1.0, 0.0), (0.0, 0.0)])
+    }
+
+    fn pauli_y() -> Matrix<f64> {
+        Matrix::from_f64_pairs(2, 2, &[(0.0, 0.0), (0.0, -1.0), (0.0, 1.0), (0.0, 0.0)])
+    }
+
+    #[test]
+    fn identity_is_unitary_and_hermitian() {
+        let id = Matrix::<f64>::identity(4);
+        assert!(id.is_unitary(1e-12));
+        assert!(id.is_hermitian(1e-12));
+        assert_eq!(id.trace(), C64::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = pauli_x();
+        let y = pauli_y();
+        // X^2 = I
+        assert!(x.mul_ref(&x).max_abs_diff(&Matrix::identity(2)) < 1e-12);
+        // XY = iZ
+        let xy = x.mul_ref(&y);
+        assert_eq!(xy[(0, 0)], C64::new(0.0, 1.0));
+        assert_eq!(xy[(1, 1)], C64::new(0.0, -1.0));
+        // anticommute: XY + YX = 0
+        let anti = &x.mul_ref(&y) + &y.mul_ref(&x);
+        assert!(anti.frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn dagger_involution() {
+        let m = Matrix::<f64>::from_f64_pairs(2, 3, &[(1.0, 2.0); 6]);
+        assert_eq!(m.dagger().dagger(), m);
+        assert_eq!(m.dagger().rows(), 3);
+    }
+
+    #[test]
+    fn kron_shapes_and_values() {
+        let x = pauli_x();
+        let id = Matrix::<f64>::identity(2);
+        let xi = x.kron(&id);
+        assert_eq!(xi.rows(), 4);
+        // X ⊗ I applied to |00> = |10>: column 0 should have 1 at row 2.
+        assert_eq!(xi[(2, 0)], C64::new(1.0, 0.0));
+        assert_eq!(xi[(0, 0)], C64::zero());
+    }
+
+    #[test]
+    fn kron_mixed_with_product() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = pauli_x();
+        let b = pauli_y();
+        let lhs = a.kron(&b).mul_ref(&b.kron(&a));
+        let rhs = a.mul_ref(&b).kron(&b.mul_ref(&a));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = pauli_y();
+        let v = vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0)];
+        let mv = m.mul_vec(&v);
+        // Y|0> = i|1>, Y(i|1>) = i * (-i)|0> = |0>; combined: Y(|0> + i|1>) = |0> + i|1>... compute directly:
+        // row0: 0*1 + (-i)(i) = 1 ; row1: (i)(1) + 0 = i
+        assert_eq!(mv[0], C64::new(1.0, 0.0));
+        assert_eq!(mv[1], C64::new(0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn product_shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(2, 3);
+        let _ = a.mul_ref(&b);
+    }
+
+    #[test]
+    fn frobenius_and_diff() {
+        let a = Matrix::<f64>::identity(3);
+        let b = a.scaled_real(2.0);
+        assert!((a.frobenius_norm() - 3f64.sqrt()).abs() < 1e-12);
+        assert!((a.max_abs_diff(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_instantiation() {
+        let x32 = Matrix::<f32>::from_f64_matrix(&pauli_x());
+        assert!(x32.is_unitary(1e-5));
+        assert_eq!(x32.to_f64().max_abs_diff(&pauli_x()), 0.0);
+    }
+}

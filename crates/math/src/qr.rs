@@ -1,0 +1,236 @@
+//! Thin Householder QR for complex matrices.
+//!
+//! Used by the MPS backend for canonicalization sweeps (where only an
+//! isometry factor is needed, never the full square Q) and by
+//! [`crate::random`] to project Gaussian matrices onto the Haar measure.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Result of a thin QR factorization `A = Q · R` with `Q` an `m×k` isometry
+/// (`Q†Q = I_k`, `k = min(m, n)`) and `R` a `k×n` upper-triangular factor
+/// whose diagonal is real and non-negative (uniqueness convention).
+pub struct Qr<T: Scalar> {
+    /// Isometry factor, `m×k`.
+    pub q: Matrix<T>,
+    /// Upper-triangular factor, `k×n`.
+    pub r: Matrix<T>,
+}
+
+/// Compute the thin QR factorization of `a`.
+pub fn qr_thin<T: Scalar>(a: &Matrix<T>) -> Qr<T> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+
+    // Working copy that becomes R in its upper triangle.
+    let mut work = a.clone();
+    // Householder reflectors v_j (each of length m - j), applied as
+    // H = I - 2 v v† with ||v|| = 1.
+    let mut reflectors: Vec<Vec<Complex<T>>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Column slice x = work[j.., j].
+        let mut v: Vec<Complex<T>> = (j..m).map(|r| work[(r, j)]).collect();
+        let norm_x = vec_norm(&v);
+        if norm_x <= T::tol() {
+            reflectors.push(Vec::new());
+            continue;
+        }
+        // alpha = -e^{i arg(x0)} ||x|| avoids cancellation.
+        let x0 = v[0];
+        let phase = if x0.abs() <= T::eps() {
+            Complex::one()
+        } else {
+            x0.scale(T::ONE / x0.abs())
+        };
+        let alpha = -(phase.scale(norm_x));
+        v[0] = v[0] - alpha;
+        let vn = vec_norm(&v);
+        if vn <= T::eps() {
+            // x is already a (negative-phase) multiple of e1; no reflection
+            // needed beyond fixing the sign below.
+            reflectors.push(Vec::new());
+            work[(j, j)] = alpha;
+            continue;
+        }
+        let inv = T::ONE / vn;
+        for c in &mut v {
+            *c = c.scale(inv);
+        }
+        // Apply H to the trailing submatrix work[j.., j..].
+        apply_reflector_left(&mut work, &v, j);
+        reflectors.push(v);
+    }
+
+    // Extract R (upper triangle of first k rows).
+    let mut r = Matrix::zeros(k, n);
+    for i in 0..k {
+        for c in i..n {
+            r[(i, c)] = work[(i, c)];
+        }
+    }
+
+    // Build thin Q by applying reflectors in reverse order to I_{m×k}.
+    let mut q = Matrix::zeros(m, k);
+    for i in 0..k {
+        q[(i, i)] = Complex::one();
+    }
+    for j in (0..k).rev() {
+        if reflectors[j].is_empty() {
+            continue;
+        }
+        apply_reflector_left_offset(&mut q, &reflectors[j], j);
+    }
+
+    // Normalize so the diagonal of R is real non-negative.
+    for i in 0..k {
+        let d = r[(i, i)];
+        let mag = d.abs();
+        if mag <= T::eps() {
+            continue;
+        }
+        let ph = d.scale(T::ONE / mag); // e^{i arg d}
+        let ph_conj = ph.conj();
+        // R row i *= conj(phase); Q col i *= phase.
+        for c in i..n {
+            r[(i, c)] = r[(i, c)] * ph_conj;
+        }
+        for rr in 0..m {
+            q[(rr, i)] = q[(rr, i)] * ph;
+        }
+    }
+
+    Qr { q, r }
+}
+
+fn vec_norm<T: Scalar>(v: &[Complex<T>]) -> T {
+    v.iter()
+        .map(|z| z.norm_sqr())
+        .fold(T::ZERO, |a, b| a + b)
+        .sqrt()
+}
+
+/// Apply `H = I - 2vv†` to rows `j..` of every column `j..` of `work`.
+fn apply_reflector_left<T: Scalar>(work: &mut Matrix<T>, v: &[Complex<T>], j: usize) {
+    let m = work.rows();
+    let n = work.cols();
+    for c in j..n {
+        // w = v† · work[j.., c]
+        let mut w = Complex::zero();
+        for (vi, r) in v.iter().zip(j..m) {
+            w += vi.conj() * work[(r, c)];
+        }
+        let w2 = w.scale(T::TWO);
+        for (vi, r) in v.iter().zip(j..m) {
+            let delta = *vi * w2;
+            work[(r, c)] = work[(r, c)] - delta;
+        }
+    }
+}
+
+/// Same as [`apply_reflector_left`] but for the Q accumulation where the
+/// reflector spans rows `j..` and all columns.
+fn apply_reflector_left_offset<T: Scalar>(q: &mut Matrix<T>, v: &[Complex<T>], j: usize) {
+    let m = q.rows();
+    let k = q.cols();
+    for c in 0..k {
+        let mut w = Complex::zero();
+        for (vi, r) in v.iter().zip(j..m) {
+            w += vi.conj() * q[(r, c)];
+        }
+        let w2 = w.scale(T::TWO);
+        for (vi, r) in v.iter().zip(j..m) {
+            let delta = *vi * w2;
+            q[(r, c)] = q[(r, c)] - delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_matrix;
+    use ptsbe_rng::PhiloxRng;
+
+    fn check_qr(a: &Matrix<f64>, tol: f64) {
+        let Qr { q, r } = qr_thin(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(q.rows(), a.rows());
+        assert_eq!(q.cols(), k);
+        assert_eq!(r.rows(), k);
+        assert_eq!(r.cols(), a.cols());
+        // Reconstruction.
+        assert!(q.mul_ref(&r).max_abs_diff(a) < tol, "A != QR");
+        // Isometry.
+        let qtq = q.dagger().mul_ref(&q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(k)) < tol, "Q†Q != I");
+        // Upper triangular with real non-negative diagonal.
+        for i in 0..k {
+            for c in 0..i.min(r.cols()) {
+                assert!(r[(i, c)].abs() < tol, "R not upper triangular");
+            }
+            if i < r.cols() {
+                assert!(r[(i, i)].im.abs() < tol, "R diagonal not real");
+                assert!(r[(i, i)].re >= -tol, "R diagonal negative");
+            }
+        }
+    }
+
+    #[test]
+    fn square_random() {
+        let mut rng = PhiloxRng::new(41, 0);
+        for n in [1usize, 2, 3, 5, 8, 16] {
+            let a = random_matrix::<f64>(n, n, &mut rng);
+            check_qr(&a, 1e-10);
+        }
+    }
+
+    #[test]
+    fn tall_random() {
+        let mut rng = PhiloxRng::new(42, 0);
+        for (m, n) in [(4usize, 2usize), (8, 3), (16, 5), (7, 1)] {
+            let a = random_matrix::<f64>(m, n, &mut rng);
+            check_qr(&a, 1e-10);
+        }
+    }
+
+    #[test]
+    fn wide_random() {
+        let mut rng = PhiloxRng::new(43, 0);
+        for (m, n) in [(2usize, 4usize), (3, 8), (5, 16)] {
+            let a = random_matrix::<f64>(m, n, &mut rng);
+            check_qr(&a, 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // Two identical columns.
+        let mut rng = PhiloxRng::new(44, 0);
+        let col = random_matrix::<f64>(6, 1, &mut rng);
+        let mut a = Matrix::zeros(6, 2);
+        for r in 0..6 {
+            a[(r, 0)] = col[(r, 0)];
+            a[(r, 1)] = col[(r, 0)];
+        }
+        let Qr { q, r } = qr_thin(&a);
+        assert!(q.mul_ref(&r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::<f64>::zeros(4, 3);
+        let Qr { q, r } = qr_thin(&a);
+        assert!(q.mul_ref(&r).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn identity_fixed_point() {
+        let a = Matrix::<f64>::identity(5);
+        let Qr { q, r } = qr_thin(&a);
+        assert!(q.max_abs_diff(&a) < 1e-12);
+        assert!(r.max_abs_diff(&a) < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Random matrices, unitaries and states (tests, twirling, workload
+//! generators).
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+use crate::qr::qr_thin;
+use crate::scalar::Scalar;
+use ptsbe_rng::Rng;
+
+/// Two iid standard normal variates via Box–Muller.
+pub fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    // Avoid u = 0 so the log is finite.
+    let u = 1.0 - rng.next_f64();
+    let v = rng.next_f64();
+    let r = (-2.0 * u.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * v;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Matrix with iid complex standard normal entries.
+pub fn random_matrix<T: Scalar>(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix<T> {
+    let mut m = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let (re, im) = gaussian_pair(rng);
+            m[(r, c)] = Complex::from_f64(re, im);
+        }
+    }
+    m
+}
+
+/// Haar-distributed random unitary via QR of a Ginibre matrix (the
+/// R-diagonal phase fix in [`qr_thin`] makes the distribution exactly Haar).
+pub fn haar_unitary<T: Scalar>(n: usize, rng: &mut impl Rng) -> Matrix<T> {
+    let a = random_matrix::<T>(n, n, rng);
+    qr_thin(&a).q
+}
+
+/// Normalized random state vector of the given length.
+pub fn random_state<T: Scalar>(len: usize, rng: &mut impl Rng) -> Vec<Complex<T>> {
+    let mut v: Vec<Complex<T>> = (0..len)
+        .map(|_| {
+            let (re, im) = gaussian_pair(rng);
+            Complex::from_f64(re, im)
+        })
+        .collect();
+    let norm = crate::vec_ops::norm(&v);
+    let inv = T::ONE / norm;
+    for z in &mut v {
+        *z = z.scale(inv);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_rng::PhiloxRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = PhiloxRng::new(61, 0);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let (a, b) = gaussian_pair(&mut rng);
+            sum += a + b;
+            sum2 += a * a + b * b;
+        }
+        let mean = sum / (2.0 * n as f64);
+        let var = sum2 / (2.0 * n as f64);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn haar_unitary_is_unitary() {
+        let mut rng = PhiloxRng::new(62, 0);
+        for n in [1usize, 2, 4, 8] {
+            let q = haar_unitary::<f64>(n, &mut rng);
+            assert!(q.is_unitary(1e-10), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_states_normalized() {
+        let mut rng = PhiloxRng::new(63, 0);
+        for len in [1usize, 2, 16, 1024] {
+            let v = random_state::<f64>(len, &mut rng);
+            let n = crate::vec_ops::norm(&v);
+            assert!((n - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn unitaries_differ_across_draws() {
+        let mut rng = PhiloxRng::new(64, 0);
+        let a = haar_unitary::<f64>(4, &mut rng);
+        let b = haar_unitary::<f64>(4, &mut rng);
+        assert!(a.max_abs_diff(&b) > 1e-3);
+    }
+}

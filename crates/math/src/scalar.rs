@@ -1,0 +1,207 @@
+//! Floating-point abstraction: the workspace is generic over `f32`/`f64`.
+//!
+//! The paper stores statevectors as `complex64` (two `f32`s per amplitude,
+//! "2^{n+1} float32 values"); the validation oracles (density matrix, MPS
+//! truncation-error accounting) want `f64`. A single small trait keeps every
+//! kernel monomorphizable to both without `num-traits`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Real scalar used for amplitudes and probabilities.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Two.
+    const TWO: Self;
+    /// One half.
+    const HALF: Self;
+
+    /// Lossy conversion from `f64` (used for constants and probabilities).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Machine epsilon of the underlying type.
+    fn eps() -> Self;
+    /// Default "numerically zero" tolerance for this precision.
+    fn tol() -> Self;
+    /// Larger of two values (NaN-poisoning not required here).
+    fn max(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Smaller of two values.
+    fn min(self, other: Self) -> Self {
+        if self < other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Fused multiply-add when the platform provides it.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// True for finite values.
+    fn is_finite(self) -> bool;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TWO: Self = 2.0;
+    const HALF: Self = 0.5;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn eps() -> Self {
+        f64::EPSILON
+    }
+    #[inline]
+    fn tol() -> Self {
+        crate::TOL_F64
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn cos(self) -> Self {
+        f64::cos(self)
+    }
+    #[inline]
+    fn sin(self) -> Self {
+        f64::sin(self)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const TWO: Self = 2.0;
+    const HALF: Self = 0.5;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn eps() -> Self {
+        f32::EPSILON
+    }
+    #[inline]
+    fn tol() -> Self {
+        crate::TOL_F32
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn cos(self) -> Self {
+        f32::cos(self)
+    }
+    #[inline]
+    fn sin(self) -> Self {
+        f32::sin(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>() {
+        assert_eq!(T::from_f64(0.5).to_f64(), 0.5);
+        assert_eq!(T::ZERO.to_f64(), 0.0);
+        assert_eq!(T::ONE.to_f64(), 1.0);
+        assert_eq!(T::TWO.to_f64(), 2.0);
+        assert_eq!(T::HALF.to_f64(), 0.5);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        roundtrip::<f32>();
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Scalar::max(1.0f64, 2.0), 2.0);
+        assert_eq!(Scalar::min(1.0f32, 2.0), 1.0);
+    }
+
+    #[test]
+    fn sqrt_and_abs() {
+        assert_eq!(Scalar::sqrt(4.0f64), 2.0);
+        assert_eq!(Scalar::abs(-3.0f32), 3.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! One-sided Jacobi SVD for complex matrices.
+//!
+//! The MPS backend truncates bond dimensions by SVD after every two-qubit
+//! gate — exactly the kernel cuTensorNet delegates to cuSOLVER. One-sided
+//! Jacobi is chosen for its simplicity, unconditional numerical robustness,
+//! and high relative accuracy on small singular values (which matters when
+//! deciding what entanglement to truncate).
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Full SVD `A = U · diag(S) · Vh` with `U: m×k`, `S: k` (descending,
+/// non-negative), `Vh: k×n`, `k = min(m, n)`.
+pub struct Svd<T: Scalar> {
+    /// Left singular vectors (columns), `m×k`.
+    pub u: Matrix<T>,
+    /// Singular values, descending.
+    pub s: Vec<T>,
+    /// Right singular vectors (rows, already conjugate-transposed), `k×n`.
+    pub vh: Matrix<T>,
+}
+
+/// Maximum number of Jacobi sweeps before declaring convergence failure.
+const MAX_SWEEPS: usize = 60;
+
+/// Compute the thin SVD of `a`.
+///
+/// # Panics
+/// Panics if the iteration fails to converge within [`MAX_SWEEPS`] sweeps
+/// (practically unreachable for the well-scaled matrices produced by gate
+/// applications).
+pub fn svd<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
+    let m = a.rows();
+    let n = a.cols();
+    if m >= n {
+        svd_tall(a)
+    } else {
+        // A = U S Vh  <=>  A† = V S U†.
+        let Svd { u, s, vh } = svd_tall(&a.dagger());
+        Svd {
+            u: vh.dagger(),
+            s,
+            vh: u.dagger(),
+        }
+    }
+}
+
+/// One-sided Jacobi on a tall (m ≥ n) matrix: orthogonalize columns of a
+/// working copy G = A·V by plane rotations, accumulating V.
+fn svd_tall<T: Scalar>(a: &Matrix<T>) -> Svd<T> {
+    let m = a.rows();
+    let n = a.cols();
+    debug_assert!(m >= n);
+
+    // Column-major working storage for cache-friendly column ops.
+    let mut g: Vec<Vec<Complex<T>>> = (0..n)
+        .map(|c| (0..m).map(|r| a[(r, c)]).collect())
+        .collect();
+    let mut v = Matrix::<T>::identity(n);
+
+    if n > 1 {
+        let mut converged = false;
+        let mut last_off = T::ZERO;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off_max = T::ZERO;
+            // Columns whose norm is negligible against the dominant one
+            // carry numerically-zero singular values; rotating against
+            // them only churns round-off, so they count as converged.
+            let scale = g
+                .iter()
+                .map(|col| col_norm_sqr(col))
+                .fold(T::ZERO, Scalar::max);
+            let floor = scale * T::eps() * T::eps() * T::from_f64(16.0);
+            for i in 0..n - 1 {
+                for j in i + 1..n {
+                    let aii = col_norm_sqr(&g[i]);
+                    let ajj = col_norm_sqr(&g[j]);
+                    if aii <= floor || ajj <= floor {
+                        continue;
+                    }
+                    let aij = col_inner(&g[i], &g[j]);
+                    let mag = aij.abs();
+                    let rel = mag / (aii.sqrt() * ajj.sqrt());
+                    off_max = off_max.max(rel);
+                    if rel <= T::eps() {
+                        continue;
+                    }
+                    // Complex Jacobi rotation annihilating g_i† g_j.
+                    let phase = aij.scale(T::ONE / mag); // e^{i phi}
+                    let tau = (ajj - aii) / (T::TWO * mag);
+                    let t = {
+                        let sign = if tau >= T::ZERO { T::ONE } else { -T::ONE };
+                        sign / (tau.abs() + (T::ONE + tau * tau).sqrt())
+                    };
+                    let c = T::ONE / (T::ONE + t * t).sqrt();
+                    let s = c * t;
+
+                    rotate_cols(&mut g, i, j, c, s, phase);
+                    rotate_matrix_cols(&mut v, i, j, c, s, phase);
+                }
+            }
+            if off_max <= T::from_f64(1e3) * T::eps() {
+                converged = true;
+                break;
+            }
+            last_off = off_max;
+        }
+        // Accept near-converged results: residual rotations below √eps
+        // perturb singular values at relative O(eps) — harmless for the
+        // truncation decisions this SVD feeds.
+        assert!(
+            converged || last_off <= T::eps().sqrt(),
+            "svd: Jacobi iteration failed to converge (residual {last_off})"
+        );
+    }
+
+    // Singular values and left vectors.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<T> = g.iter().map(|col| col_norm_sqr(col).sqrt()).collect();
+    order.sort_by(|&x, &y| norms[y].partial_cmp(&norms[x]).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vh = Matrix::zeros(n, n);
+    for (slot, &src) in order.iter().enumerate() {
+        let sigma = norms[src];
+        s.push(sigma);
+        if sigma > T::ZERO {
+            let inv = T::ONE / sigma;
+            for r in 0..m {
+                u[(r, slot)] = g[src][r].scale(inv);
+            }
+        }
+        for c in 0..n {
+            vh[(slot, c)] = v[(c, src)].conj();
+        }
+    }
+    Svd { u, s, vh }
+}
+
+#[inline]
+fn col_norm_sqr<T: Scalar>(col: &[Complex<T>]) -> T {
+    col.iter().map(|z| z.norm_sqr()).fold(T::ZERO, |a, b| a + b)
+}
+
+#[inline]
+fn col_inner<T: Scalar>(a: &[Complex<T>], b: &[Complex<T>]) -> Complex<T> {
+    let mut acc = Complex::zero();
+    for (x, y) in a.iter().zip(b) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Apply the rotation `[gi, gj] <- [gi, gj] · J` with
+/// `J = [[c, s·e^{iφ}], [-s·e^{-iφ}, c]]` — chosen so the new columns have
+/// zero inner product.
+fn rotate_cols<T: Scalar>(
+    g: &mut [Vec<Complex<T>>],
+    i: usize,
+    j: usize,
+    c: T,
+    s: T,
+    phase: Complex<T>,
+) {
+    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+    let (left, right) = g.split_at_mut(hi);
+    let (gi, gj) = (&mut left[lo], &mut right[0]);
+    let sp = phase.scale(s);
+    let spc = phase.conj().scale(s);
+    for (x, y) in gi.iter_mut().zip(gj.iter_mut()) {
+        let xi = *x;
+        let yj = *y;
+        *x = xi.scale(c) - yj * spc;
+        *y = xi * sp + yj.scale(c);
+    }
+}
+
+/// The same rotation applied to columns `i, j` of an accumulator matrix.
+fn rotate_matrix_cols<T: Scalar>(
+    v: &mut Matrix<T>,
+    i: usize,
+    j: usize,
+    c: T,
+    s: T,
+    phase: Complex<T>,
+) {
+    let sp = phase.scale(s);
+    let spc = phase.conj().scale(s);
+    for r in 0..v.rows() {
+        let xi = v[(r, i)];
+        let yj = v[(r, j)];
+        v[(r, i)] = xi.scale(c) - yj * spc;
+        v[(r, j)] = xi * sp + yj.scale(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{haar_unitary, random_matrix};
+    use ptsbe_rng::PhiloxRng;
+
+    fn check_svd(a: &Matrix<f64>, tol: f64) {
+        let Svd { u, s, vh } = svd(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(u.cols(), k);
+        assert_eq!(s.len(), k);
+        assert_eq!(vh.rows(), k);
+        // Descending non-negative.
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1], "singular values not sorted: {s:?}");
+        }
+        assert!(s.iter().all(|&x| x >= 0.0));
+        // Reconstruction U diag(S) Vh == A.
+        let mut usv = Matrix::zeros(a.rows(), a.cols());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                let mut acc = Complex::zero();
+                for (kk, &sk) in s.iter().enumerate() {
+                    acc += u[(r, kk)].scale(sk) * vh[(kk, c)];
+                }
+                usv[(r, c)] = acc;
+            }
+        }
+        assert!(usv.max_abs_diff(a) < tol, "A != U S Vh (diff {})", usv.max_abs_diff(a));
+        // U, V isometries on the non-null space.
+        let utu = u.dagger().mul_ref(&u);
+        let vvt = vh.mul_ref(&vh.dagger());
+        for i in 0..k {
+            if s[i] > 1e-9 {
+                assert!((utu[(i, i)].re - 1.0).abs() < tol);
+                assert!((vvt[(i, i)].re - 1.0).abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn random_square() {
+        let mut rng = PhiloxRng::new(51, 0);
+        for n in [1usize, 2, 3, 4, 8, 12] {
+            let a = random_matrix::<f64>(n, n, &mut rng);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_tall_and_wide() {
+        let mut rng = PhiloxRng::new(52, 0);
+        for (m, n) in [(6usize, 2usize), (9, 4), (2, 6), (4, 9), (16, 1), (1, 16)] {
+            let a = random_matrix::<f64>(m, n, &mut rng);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn unitary_has_unit_singular_values() {
+        let mut rng = PhiloxRng::new(53, 0);
+        let q = haar_unitary::<f64>(6, &mut rng);
+        let Svd { s, .. } = svd(&q);
+        for &sv in &s {
+            assert!((sv - 1.0).abs() < 1e-10, "sv {sv}");
+        }
+    }
+
+    #[test]
+    fn known_diagonal() {
+        let mut a = Matrix::<f64>::zeros(3, 3);
+        a[(0, 0)] = Complex::from_f64(0.5, 0.0);
+        a[(1, 1)] = Complex::from_f64(-2.0, 0.0);
+        a[(2, 2)] = Complex::from_f64(0.0, 1.0);
+        let Svd { s, .. } = svd(&a);
+        assert!((s[0] - 2.0).abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+        assert!((s[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_matrix() {
+        // Outer product => rank 1.
+        let mut a = Matrix::<f64>::zeros(4, 3);
+        for r in 0..4 {
+            for c in 0..3 {
+                a[(r, c)] = Complex::from_f64((r + 1) as f64 * (c + 1) as f64, 0.0);
+            }
+        }
+        let Svd { s, .. } = svd(&a);
+        assert!(s[0] > 1.0);
+        assert!(s[1].abs() < 1e-9, "rank-1 matrix should have one nonzero sv");
+        assert!(s[2].abs() < 1e-9);
+        check_svd(&a, 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::<f64>::zeros(3, 2);
+        let Svd { s, .. } = svd(&a);
+        assert!(s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn f32_precision() {
+        let mut rng = PhiloxRng::new(54, 0);
+        let a64 = random_matrix::<f64>(5, 5, &mut rng);
+        let a32 = Matrix::<f32>::from_f64_matrix(&a64);
+        let Svd { u, s, vh } = svd(&a32);
+        let mut usv = Matrix::<f32>::zeros(5, 5);
+        for r in 0..5 {
+            for c in 0..5 {
+                let mut acc = Complex::zero();
+                for (kk, &sk) in s.iter().enumerate() {
+                    acc += u[(r, kk)].scale(sk) * vh[(kk, c)];
+                }
+                usv[(r, c)] = acc;
+            }
+        }
+        assert!(usv.max_abs_diff(&a32) < 1e-4);
+    }
+
+    #[test]
+    fn frobenius_norm_preserved() {
+        let mut rng = PhiloxRng::new(55, 0);
+        let a = random_matrix::<f64>(7, 5, &mut rng);
+        let Svd { s, .. } = svd(&a);
+        let from_s: f64 = s.iter().map(|&x| x * x).sum::<f64>().sqrt();
+        assert!((from_s - a.frobenius_norm()).abs() < 1e-9);
+    }
+}

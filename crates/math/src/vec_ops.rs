@@ -1,0 +1,92 @@
+//! Complex vector kernels shared by the statevector and MPS backends.
+
+use crate::complex::Complex;
+use crate::scalar::Scalar;
+
+/// Sum of squared moduli.
+pub fn norm_sqr<T: Scalar>(v: &[Complex<T>]) -> T {
+    v.iter().map(|z| z.norm_sqr()).fold(T::ZERO, |a, b| a + b)
+}
+
+/// Euclidean norm.
+pub fn norm<T: Scalar>(v: &[Complex<T>]) -> T {
+    norm_sqr(v).sqrt()
+}
+
+/// Normalize in place; returns the original norm. A zero vector is left
+/// untouched (returns zero).
+pub fn normalize<T: Scalar>(v: &mut [Complex<T>]) -> T {
+    let n = norm(v);
+    if n > T::ZERO {
+        let inv = T::ONE / n;
+        for z in v.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+    n
+}
+
+/// Hermitian inner product `⟨a|b⟩ = Σ conj(a_i)·b_i`.
+pub fn inner<T: Scalar>(a: &[Complex<T>], b: &[Complex<T>]) -> Complex<T> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = Complex::zero();
+    for (x, y) in a.iter().zip(b) {
+        acc += x.conj() * *y;
+    }
+    acc
+}
+
+/// Fidelity between two pure states: `|⟨a|b⟩|²`.
+pub fn fidelity<T: Scalar>(a: &[Complex<T>], b: &[Complex<T>]) -> T {
+    inner(a, b).norm_sqr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    #[test]
+    fn norms() {
+        let v = [C64::new(3.0, 0.0), C64::new(0.0, 4.0)];
+        assert_eq!(norm_sqr(&v), 25.0);
+        assert_eq!(norm(&v), 5.0);
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let mut v = vec![C64::new(1.0, 1.0); 8];
+        let n = normalize(&mut v);
+        assert!((n - 4.0).abs() < 1e-12);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_vector() {
+        let mut v = vec![C64::zero(); 4];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert!(v.iter().all(|z| *z == C64::zero()));
+    }
+
+    #[test]
+    fn inner_products() {
+        let e0 = [C64::one(), C64::zero()];
+        let e1 = [C64::zero(), C64::one()];
+        assert_eq!(inner(&e0, &e1), C64::zero());
+        assert_eq!(inner(&e0, &e0), C64::one());
+        // Antilinearity in the first argument.
+        let a = [C64::i(), C64::zero()];
+        assert_eq!(inner(&a, &e0), C64::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn fidelity_bounds() {
+        let plus = [
+            C64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+            C64::new(std::f64::consts::FRAC_1_SQRT_2, 0.0),
+        ];
+        let zero = [C64::one(), C64::zero()];
+        assert!((fidelity(&plus, &zero) - 0.5).abs() < 1e-12);
+        assert!((fidelity(&plus, &plus) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the dense linear-algebra kernels.
+
+use proptest::prelude::*;
+use ptsbe_math::qr::qr_thin;
+use ptsbe_math::random::random_matrix;
+use ptsbe_math::svd::svd;
+use ptsbe_math::{Complex, Matrix};
+use ptsbe_rng::PhiloxRng;
+
+fn reconstruct_svd(u: &Matrix<f64>, s: &[f64], vh: &Matrix<f64>) -> Matrix<f64> {
+    let mut out = Matrix::zeros(u.rows(), vh.cols());
+    for r in 0..u.rows() {
+        for c in 0..vh.cols() {
+            let mut acc = Complex::zero();
+            for (k, &sk) in s.iter().enumerate() {
+                acc += u[(r, k)].scale(sk) * vh[(k, c)];
+            }
+            out[(r, c)] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn svd_reconstructs_any_shape(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+        let mut rng = PhiloxRng::new(seed, 77);
+        let a = random_matrix::<f64>(rows, cols, &mut rng);
+        let dec = svd(&a);
+        let back = reconstruct_svd(&dec.u, &dec.s, &dec.vh);
+        prop_assert!(back.max_abs_diff(&a) < 1e-8, "diff {}", back.max_abs_diff(&a));
+        // Singular values sorted, non-negative.
+        for w in dec.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(dec.s.iter().all(|&x| x >= 0.0));
+        // Frobenius norm preserved.
+        let f_a = a.frobenius_norm();
+        let f_s: f64 = dec.s.iter().map(|&x| x * x).sum::<f64>().sqrt();
+        prop_assert!((f_a - f_s).abs() < 1e-8);
+    }
+
+    #[test]
+    fn qr_reconstructs_and_is_isometric(rows in 1usize..14, cols in 1usize..14, seed in 0u64..1000) {
+        let mut rng = PhiloxRng::new(seed, 78);
+        let a = random_matrix::<f64>(rows, cols, &mut rng);
+        let f = qr_thin(&a);
+        prop_assert!(f.q.mul_ref(&f.r).max_abs_diff(&a) < 1e-9);
+        let k = rows.min(cols);
+        let qtq = f.q.dagger().mul_ref(&f.q);
+        prop_assert!(qtq.max_abs_diff(&Matrix::identity(k)) < 1e-9);
+        // R upper-triangular with non-negative real diagonal.
+        for i in 0..k {
+            for c in 0..i.min(f.r.cols()) {
+                prop_assert!(f.r[(i, c)].abs() < 1e-9);
+            }
+            if i < f.r.cols() {
+                prop_assert!(f.r[(i, i)].im.abs() < 1e-9);
+                prop_assert!(f.r[(i, i)].re >= -1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn haar_unitaries_compose(seed in 0u64..500, n in 1usize..6) {
+        let mut rng = PhiloxRng::new(seed, 79);
+        let u = ptsbe_math::random::haar_unitary::<f64>(n, &mut rng);
+        let v = ptsbe_math::random::haar_unitary::<f64>(n, &mut rng);
+        prop_assert!(u.is_unitary(1e-9));
+        prop_assert!(u.mul_ref(&v).is_unitary(1e-8));
+        prop_assert!(u.dagger().is_unitary(1e-9));
+        // U†U = I exactly enough.
+        prop_assert!(u.dagger().mul_ref(&u).max_abs_diff(&Matrix::identity(n)) < 1e-9);
+    }
+
+    #[test]
+    fn kron_mixed_product_property(seed in 0u64..300) {
+        let mut rng = PhiloxRng::new(seed, 80);
+        let a = random_matrix::<f64>(2, 2, &mut rng);
+        let b = random_matrix::<f64>(3, 3, &mut rng);
+        let c = random_matrix::<f64>(2, 2, &mut rng);
+        let d = random_matrix::<f64>(3, 3, &mut rng);
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let lhs = a.kron(&b).mul_ref(&c.kron(&d));
+        let rhs = a.mul_ref(&c).kron(&b.mul_ref(&d));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn dagger_antihomomorphism(seed in 0u64..300, n in 1usize..6) {
+        let mut rng = PhiloxRng::new(seed, 81);
+        let a = random_matrix::<f64>(n, n, &mut rng);
+        let b = random_matrix::<f64>(n, n, &mut rng);
+        // (AB)† = B†A†
+        let lhs = a.mul_ref(&b).dagger();
+        let rhs = b.dagger().mul_ref(&a.dagger());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+}

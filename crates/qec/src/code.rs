@@ -1,0 +1,339 @@
+//! Stabilizer code type with algorithmic validation.
+
+use crate::gf2;
+use ptsbe_stabilizer::{Pauli, PauliString};
+
+/// An `[[n, 1, d]]` stabilizer code: `n − 1` generators plus one logical
+/// X̄/Z̄ pair. (All workloads in the paper encode one logical qubit per
+/// block, so `k = 1` is baked in.)
+#[derive(Clone, Debug)]
+pub struct StabilizerCode {
+    name: String,
+    n: usize,
+    d: usize,
+    stabilizers: Vec<PauliString>,
+    logical_x: PauliString,
+    logical_z: PauliString,
+    /// True when every generator is pure-X or pure-Z (CSS).
+    css: bool,
+}
+
+impl StabilizerCode {
+    /// Assemble and fully validate a code.
+    ///
+    /// # Panics
+    /// Panics when generator counts, commutation relations, independence,
+    /// or logical-pair algebra fail — codes are static data, so
+    /// construction errors are programmer errors.
+    pub fn new(
+        name: impl Into<String>,
+        d: usize,
+        stabilizers: Vec<PauliString>,
+        logical_x: PauliString,
+        logical_z: PauliString,
+    ) -> Self {
+        let name = name.into();
+        assert!(!stabilizers.is_empty(), "{name}: no stabilizers");
+        let n = stabilizers[0].n_qubits();
+        assert!(n <= 128, "{name}: codes limited to 128 qubits");
+        assert_eq!(
+            stabilizers.len(),
+            n - 1,
+            "{name}: k=1 code needs n-1 generators"
+        );
+        for s in &stabilizers {
+            assert_eq!(s.n_qubits(), n, "{name}: generator size mismatch");
+            assert!(s.phase() % 2 == 0, "{name}: non-Hermitian generator");
+        }
+        // Pairwise commutation.
+        for (i, a) in stabilizers.iter().enumerate() {
+            for b in &stabilizers[i + 1..] {
+                assert!(a.commutes_with(b), "{name}: generators {a:?},{b:?} anticommute");
+            }
+            assert!(
+                logical_x.commutes_with(a),
+                "{name}: X̄ anticommutes with {a:?}"
+            );
+            assert!(
+                logical_z.commutes_with(a),
+                "{name}: Z̄ anticommutes with {a:?}"
+            );
+        }
+        assert!(
+            !logical_x.commutes_with(&logical_z),
+            "{name}: X̄ and Z̄ must anticommute"
+        );
+        // Independence over GF(2) (symplectic rows).
+        let rows: Vec<u128> = stabilizers.iter().map(symplectic_row).collect();
+        assert_eq!(
+            gf2::rank(&rows),
+            stabilizers.len(),
+            "{name}: dependent generators"
+        );
+        // Logicals not in the stabilizer group.
+        let basis = gf2::row_basis(&rows);
+        assert!(
+            !gf2::in_span(symplectic_row(&logical_x), &basis),
+            "{name}: X̄ is a stabilizer"
+        );
+        assert!(
+            !gf2::in_span(symplectic_row(&logical_z), &basis),
+            "{name}: Z̄ is a stabilizer"
+        );
+        let css = stabilizers.iter().all(|s| is_pure_x(s) || is_pure_z(s));
+        Self {
+            name,
+            n,
+            d,
+            stabilizers,
+            logical_x,
+            logical_z,
+            css,
+        }
+    }
+
+    /// Code name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Physical qubits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    /// Logical qubits (always 1).
+    pub fn k(&self) -> usize {
+        1
+    }
+    /// Code distance (validated by [`StabilizerCode::verify_distance`]).
+    pub fn d(&self) -> usize {
+        self.d
+    }
+    /// Stabilizer generators.
+    pub fn stabilizers(&self) -> &[PauliString] {
+        &self.stabilizers
+    }
+    /// Logical X̄.
+    pub fn logical_x(&self) -> &PauliString {
+        &self.logical_x
+    }
+    /// Logical Z̄.
+    pub fn logical_z(&self) -> &PauliString {
+        &self.logical_z
+    }
+    /// True for CSS codes.
+    pub fn is_css(&self) -> bool {
+        self.css
+    }
+
+    /// Supports (qubit lists) of the pure-Z generators (CSS only).
+    pub fn z_check_supports(&self) -> Vec<Vec<usize>> {
+        self.stabilizers
+            .iter()
+            .filter(|s| is_pure_z(s))
+            .map(|s| support(s))
+            .collect()
+    }
+
+    /// Supports of the pure-X generators (CSS only).
+    pub fn x_check_supports(&self) -> Vec<Vec<usize>> {
+        self.stabilizers
+            .iter()
+            .filter(|s| is_pure_x(s))
+            .map(|s| support(s))
+            .collect()
+    }
+
+    /// Exhaustively verify the code distance by searching all Paulis of
+    /// weight < d for undetectable logicals, and confirming a weight-d
+    /// logical exists. Exponential in d — used in tests for d ≤ 5.
+    pub fn verify_distance(&self) -> bool {
+        let rows: Vec<u128> = self.stabilizers.iter().map(symplectic_row).collect();
+        let basis = gf2::row_basis(&rows);
+        // Every weight-w Pauli that commutes with all generators must be
+        // in the group, for w < d.
+        for w in 1..self.d {
+            if self.exists_logical_of_weight(w, &basis) {
+                return false;
+            }
+        }
+        self.exists_logical_of_weight(self.d, &basis)
+    }
+
+    fn exists_logical_of_weight(&self, w: usize, basis: &[u128]) -> bool {
+        let n = self.n;
+        let mut combo: Vec<usize> = (0..w).collect();
+        loop {
+            // All 3^w Pauli assignments on this support.
+            let mut assign = vec![0u8; w];
+            loop {
+                let mut p = PauliString::identity(n);
+                for (slot, &q) in combo.iter().enumerate() {
+                    p.set(
+                        q,
+                        match assign[slot] {
+                            0 => Pauli::X,
+                            1 => Pauli::Y,
+                            _ => Pauli::Z,
+                        },
+                    );
+                }
+                if self.stabilizers.iter().all(|s| s.commutes_with(&p))
+                    && !gf2::in_span(symplectic_row(&p), basis)
+                {
+                    return true;
+                }
+                // Increment base-3 counter.
+                let mut carry = true;
+                for a in assign.iter_mut() {
+                    if carry {
+                        *a += 1;
+                        if *a == 3 {
+                            *a = 0;
+                        } else {
+                            carry = false;
+                        }
+                    }
+                }
+                if carry {
+                    break;
+                }
+            }
+            // Next combination.
+            let mut i = w;
+            loop {
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+                if combo[i] != i + n - w {
+                    combo[i] += 1;
+                    for j in i + 1..w {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Symplectic (X|Z) bit row of a Pauli string (bit q = X part, bit n+q =
+/// Z part). Limited to n ≤ 64 so both halves fit a u128.
+pub fn symplectic_row(p: &PauliString) -> u128 {
+    let n = p.n_qubits();
+    assert!(n <= 64, "symplectic rows limited to 64 qubits");
+    let mut row = 0u128;
+    for q in 0..n {
+        let (x, z) = p.get(q).bits();
+        if x {
+            row |= 1u128 << q;
+        }
+        if z {
+            row |= 1u128 << (n + q);
+        }
+    }
+    row
+}
+
+/// Qubits where the Pauli is non-identity.
+pub fn support(p: &PauliString) -> Vec<usize> {
+    (0..p.n_qubits()).filter(|&q| p.get(q) != Pauli::I).collect()
+}
+
+fn is_pure_x(p: &PauliString) -> bool {
+    (0..p.n_qubits()).all(|q| matches!(p.get(q), Pauli::I | Pauli::X))
+}
+
+fn is_pure_z(p: &PauliString) -> bool {
+    (0..p.n_qubits()).all(|q| matches!(p.get(q), Pauli::I | Pauli::Z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+
+    #[test]
+    fn five_qubit_code_valid() {
+        let code = codes::five_one_three();
+        assert_eq!(code.n(), 5);
+        assert_eq!(code.d(), 3);
+        assert!(!code.is_css());
+        assert!(code.verify_distance());
+    }
+
+    #[test]
+    fn steane_code_valid() {
+        let code = codes::steane();
+        assert_eq!(code.n(), 7);
+        assert!(code.is_css());
+        assert!(code.verify_distance());
+        assert_eq!(code.x_check_supports().len(), 3);
+        assert_eq!(code.z_check_supports().len(), 3);
+    }
+
+    #[test]
+    fn color_code_d3_matches_steane_parameters() {
+        let code = codes::color_code(3);
+        assert_eq!(code.n(), 7);
+        assert_eq!(code.d(), 3);
+        assert!(code.is_css());
+        assert!(code.verify_distance());
+    }
+
+    #[test]
+    fn color_code_d5_valid() {
+        let code = codes::color_code(5);
+        assert_eq!(code.n(), 19);
+        assert_eq!(code.d(), 5);
+        assert!(code.is_css());
+        // Full distance-5 verification: no undetected logical below
+        // weight 5, and a weight-5 logical exists.
+        assert!(code.verify_distance());
+    }
+
+    #[test]
+    fn repetition_code_valid() {
+        let code = codes::repetition(5);
+        assert_eq!(code.n(), 5);
+        assert_eq!(code.d(), 1); // phase-flip distance 1
+        assert!(code.is_css());
+    }
+
+    #[test]
+    fn shor_code_valid() {
+        let code = codes::shor9();
+        assert_eq!(code.n(), 9);
+        assert_eq!(code.d(), 3);
+        assert!(code.is_css());
+        assert!(code.verify_distance());
+    }
+
+    #[test]
+    #[should_panic(expected = "anticommute")]
+    fn bad_generators_rejected() {
+        let _ = StabilizerCode::new(
+            "bad",
+            1,
+            vec![PauliString::from_str("XII"), PauliString::from_str("ZII")],
+            PauliString::from_str("IXI"),
+            PauliString::from_str("IZI"),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dependent")]
+    fn dependent_generators_rejected() {
+        let _ = StabilizerCode::new(
+            "dep",
+            1,
+            vec![
+                PauliString::from_str("ZZII"),
+                PauliString::from_str("IZZI"),
+                PauliString::from_str("ZIZI"),
+            ],
+            PauliString::from_str("XXXX"),
+            PauliString::from_str("ZIII"),
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Syndrome extraction and lookup-table decoding for destructive
+//! Z-basis measurements.
+//!
+//! This is the downstream consumer the paper's datasets exist for
+//! (§2.3): a decoder maps measured syndromes to corrections; PTSBE's
+//! error-provenance labels make the mapping *supervised* — each shot
+//! carries the ground-truth injected error. The lookup decoder here is
+//! the classical baseline an ML decoder would be compared against.
+//!
+//! Semantics: a full transversal Z-basis measurement of a CSS block gives
+//! one classical bit per qubit. X-type errors flip bits; Z-check parities
+//! over the measured bits form the syndrome; the corrected logical value
+//! is the logical-Z parity of the bits with the correction applied.
+
+use crate::code::{support, StabilizerCode};
+use std::collections::HashMap;
+
+/// Minimum-weight lookup decoder over Z-check syndromes.
+#[derive(Clone, Debug)]
+pub struct LookupDecoder {
+    n: usize,
+    z_check_masks: Vec<u128>,
+    lz_mask: u128,
+    /// syndrome → minimum-weight X-error pattern reproducing it.
+    table: HashMap<u64, u128>,
+    t: usize,
+}
+
+impl LookupDecoder {
+    /// Build the table by enumerating X-error patterns up to weight
+    /// `t = ⌊(d−1)/2⌋`.
+    pub fn new(code: &StabilizerCode) -> Self {
+        let n = code.n();
+        let z_check_masks: Vec<u128> = code
+            .z_check_supports()
+            .iter()
+            .map(|f| f.iter().fold(0u128, |m, &q| m | (1 << q)))
+            .collect();
+        assert!(
+            z_check_masks.len() <= 64,
+            "lookup decoder limited to 64 Z checks"
+        );
+        let lz_mask = support(code.logical_z())
+            .iter()
+            .fold(0u128, |m, &q| m | (1 << q));
+        let t = (code.d().max(1) - 1) / 2;
+        let mut table = HashMap::new();
+        table.insert(0u64, 0u128);
+        // BFS by weight so the first pattern recorded per syndrome is
+        // minimum weight.
+        let mut frontier: Vec<u128> = vec![0];
+        for _w in 1..=t {
+            let mut next = Vec::new();
+            for &err in &frontier {
+                let start = if err == 0 {
+                    0
+                } else {
+                    128 - err.leading_zeros() as usize
+                };
+                for q in start..n {
+                    let e2 = err | (1u128 << q);
+                    let syn = syndrome_of_pattern(e2, &z_check_masks);
+                    table.entry(syn).or_insert(e2);
+                    next.push(e2);
+                }
+            }
+            frontier = next;
+        }
+        Self {
+            n,
+            z_check_masks,
+            lz_mask,
+            table,
+            t,
+        }
+    }
+
+    /// Number of physical qubits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Correctable weight.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Syndrome of a measured bit pattern (bit `j` = parity over Z-check
+    /// `j`).
+    pub fn syndrome(&self, bits: u128) -> u64 {
+        syndrome_of_pattern(bits, &self.z_check_masks)
+    }
+
+    /// Correction pattern for a syndrome, if within the table.
+    pub fn correction(&self, syndrome: u64) -> Option<u128> {
+        self.table.get(&syndrome).copied()
+    }
+
+    /// Decode a measured bit pattern to the corrected logical-Z value.
+    /// `None` when the syndrome is outside the correctable set.
+    pub fn decode(&self, bits: u128) -> Option<bool> {
+        let syn = self.syndrome(bits);
+        let corr = self.correction(syn)?;
+        let corrected = bits ^ corr;
+        Some((corrected & self.lz_mask).count_ones() % 2 == 1)
+    }
+
+    /// Raw (uncorrected) logical-Z parity of a bit pattern.
+    pub fn raw_logical(&self, bits: u128) -> bool {
+        (bits & self.lz_mask).count_ones() % 2 == 1
+    }
+}
+
+fn syndrome_of_pattern(bits: u128, masks: &[u128]) -> u64 {
+    let mut syn = 0u64;
+    for (j, &m) in masks.iter().enumerate() {
+        if (bits & m).count_ones() % 2 == 1 {
+            syn |= 1 << j;
+        }
+    }
+    syn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+
+    #[test]
+    fn steane_corrects_all_single_errors() {
+        let code = codes::steane();
+        let dec = LookupDecoder::new(&code);
+        assert_eq!(dec.t(), 1);
+        // Codeword bits of |0̄⟩ have logical parity 0; inject single X
+        // errors on top of the all-zero pattern (a valid codeword bit
+        // string) and decode.
+        for q in 0..7 {
+            let bits = 1u128 << q;
+            let decoded = dec.decode(bits).expect("single error is correctable");
+            assert!(!decoded, "X on {q} must decode back to logical 0");
+        }
+    }
+
+    #[test]
+    fn color5_corrects_all_double_errors() {
+        let code = codes::color_code(5);
+        let dec = LookupDecoder::new(&code);
+        assert_eq!(dec.t(), 2);
+        for a in 0..19 {
+            for b in a + 1..19 {
+                let bits = (1u128 << a) | (1u128 << b);
+                let decoded = dec.decode(bits).expect("double error correctable");
+                assert!(!decoded, "XX on ({a},{b}) must decode to logical 0");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_flip_detected() {
+        let code = codes::steane();
+        let dec = LookupDecoder::new(&code);
+        // A full logical X̄ (weight 7) has trivial syndrome and flips the
+        // logical value — the decoder must report logical 1, undetected.
+        let lx_bits = (1u128 << 7) - 1;
+        assert_eq!(dec.syndrome(lx_bits), 0);
+        assert_eq!(dec.decode(lx_bits), Some(true));
+    }
+
+    #[test]
+    fn syndromes_distinguish_correctable_errors() {
+        let code = codes::color_code(5);
+        let dec = LookupDecoder::new(&code);
+        // All weight ≤ 2 errors must have distinct syndromes modulo
+        // equivalent corrections (distance 5 guarantees this).
+        let mut seen: std::collections::HashMap<u64, u128> = Default::default();
+        for a in 0..19u32 {
+            let e = 1u128 << a;
+            let syn = dec.syndrome(e);
+            assert_ne!(syn, 0, "weight-1 error with trivial syndrome");
+            if let Some(&prev) = seen.get(&syn) {
+                panic!("syndrome collision between {prev:b} and {e:b}");
+            }
+            seen.insert(syn, e);
+        }
+    }
+
+    #[test]
+    fn beyond_t_errors_may_fail() {
+        let code = codes::steane();
+        let dec = LookupDecoder::new(&code);
+        // A weight-2 error on Steane (t=1) either mis-decodes or lands
+        // outside the table; it must never be decoded to logical 0 with
+        // the *same* syndrome as a weight-1 error it isn't equivalent to.
+        let e = 0b11u128;
+        match dec.decode(e) {
+            Some(v) => {
+                // Mis-decoding is allowed; just confirm determinism.
+                assert_eq!(dec.decode(e), Some(v));
+            }
+            None => {}
+        }
+    }
+
+    #[test]
+    fn raw_logical_parity() {
+        let code = codes::steane();
+        let dec = LookupDecoder::new(&code);
+        assert!(!dec.raw_logical(0));
+        assert!(dec.raw_logical(0b1));
+    }
+}

@@ -1,0 +1,202 @@
+//! Bit-packed GF(2) linear algebra over ≤128-bit rows.
+//!
+//! All codes in this workspace have n ≤ 128 physical qubits, so a row is
+//! a single `u128`; symplectic 2n-bit rows use a pair.
+
+/// Reduce `rows` to an independent spanning set (greedy elimination by
+/// lowest set bit).
+pub fn row_basis(rows: &[u128]) -> Vec<u128> {
+    let mut basis: Vec<u128> = Vec::new();
+    for &r in rows {
+        let mut cur = r;
+        for &b in &basis {
+            let pivot = b & b.wrapping_neg(); // lowest set bit of b
+            if cur & pivot != 0 {
+                cur ^= b;
+            }
+        }
+        if cur != 0 {
+            basis.push(cur);
+            // Keep basis reduced: eliminate the new pivot from others.
+            let pivot = cur & cur.wrapping_neg();
+            let last = basis.len() - 1;
+            for i in 0..last {
+                if basis[i] & pivot != 0 {
+                    basis[i] ^= cur;
+                }
+            }
+        }
+    }
+    basis
+}
+
+/// Rank of the row set.
+pub fn rank(rows: &[u128]) -> usize {
+    row_basis(rows).len()
+}
+
+/// True when `v` lies in the span of `basis` (must come from
+/// [`row_basis`]).
+pub fn in_span(v: u128, basis: &[u128]) -> bool {
+    let mut cur = v;
+    for &b in basis {
+        let pivot = b & b.wrapping_neg();
+        if cur & pivot != 0 {
+            cur ^= b;
+        }
+    }
+    cur == 0
+}
+
+/// All solutions `x` (over the first `n` bits) of `x · rowᵀ = 0` for every
+/// row — a basis of the kernel of the row-matrix viewed as constraints
+/// `popcount(x & row) ≡ 0 (mod 2)`.
+pub fn kernel_basis(rows: &[u128], n: usize) -> Vec<u128> {
+    // Gaussian elimination on the constraint matrix; free columns generate
+    // the kernel.
+    let mut mat: Vec<u128> = rows.to_vec();
+    let mut pivots: Vec<usize> = Vec::new();
+    let mut r = 0usize;
+    for col in 0..n {
+        let Some(row) = (r..mat.len()).find(|&i| mat[i] >> col & 1 == 1) else {
+            continue;
+        };
+        mat.swap(r, row);
+        for i in 0..mat.len() {
+            if i != r && (mat[i] >> col) & 1 == 1 {
+                mat[i] ^= mat[r];
+            }
+        }
+        pivots.push(col);
+        r += 1;
+        if r == mat.len() {
+            break;
+        }
+    }
+    let pivot_set: u128 = pivots.iter().fold(0, |acc, &c| acc | (1u128 << c));
+    let mut kernel = Vec::new();
+    for free in 0..n {
+        if pivot_set >> free & 1 == 1 {
+            continue;
+        }
+        let mut v = 1u128 << free;
+        // Back-substitute pivot variables.
+        for (pi, &pcol) in pivots.iter().enumerate() {
+            if (mat[pi] >> free) & 1 == 1 {
+                v |= 1u128 << pcol;
+            }
+        }
+        kernel.push(v);
+    }
+    kernel
+}
+
+/// Parity of `popcount(a & b)`.
+#[inline]
+pub fn dot(a: u128, b: u128) -> bool {
+    (a & b).count_ones() % 2 == 1
+}
+
+/// Solve the affine system `popcount(x & rows[i]) ≡ rhs[i] (mod 2)` for
+/// any one solution `x` over the first `n` bits, or `None` if
+/// inconsistent.
+pub fn solve(rows: &[u128], rhs: &[bool], n: usize) -> Option<u128> {
+    assert_eq!(rows.len(), rhs.len());
+    // Augmented elimination: carry the rhs in bit 127 (n < 127 enforced).
+    assert!(n < 127, "solve: n too large for augmented encoding");
+    let aug_bit = 1u128 << 127;
+    let mut mat: Vec<u128> = rows
+        .iter()
+        .zip(rhs)
+        .map(|(&r, &b)| r | if b { aug_bit } else { 0 })
+        .collect();
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row, col)
+    let mut r = 0usize;
+    for col in 0..n {
+        let Some(row) = (r..mat.len()).find(|&i| mat[i] >> col & 1 == 1) else {
+            continue;
+        };
+        mat.swap(r, row);
+        for i in 0..mat.len() {
+            if i != r && (mat[i] >> col) & 1 == 1 {
+                mat[i] ^= mat[r];
+            }
+        }
+        pivots.push((r, col));
+        r += 1;
+    }
+    // Inconsistency: zero row with non-zero rhs.
+    for row in &mat[r..] {
+        if row & !aug_bit == 0 && row & aug_bit != 0 {
+            return None;
+        }
+    }
+    let mut x = 0u128;
+    for &(row, col) in &pivots {
+        if mat[row] & aug_bit != 0 {
+            x |= 1u128 << col;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_basis() {
+        // 0b001 = 0b111 ^ 0b110 is dependent; 0b101 is not in the span of
+        // the first two, so the rank is 3 (full).
+        let rows = [0b111u128, 0b110, 0b001, 0b101];
+        assert_eq!(rank(&rows), 3);
+        let dependent = [0b111u128, 0b110, 0b001];
+        assert_eq!(rank(&dependent), 2);
+        let basis = row_basis(&dependent);
+        assert!(in_span(0b001, &basis));
+        assert!(in_span(0b110, &basis));
+        assert!(!in_span(0b010, &basis));
+    }
+
+    #[test]
+    fn span_membership() {
+        let basis = row_basis(&[0b1100, 0b0110]);
+        assert!(in_span(0b1010, &basis));
+        assert!(in_span(0, &basis));
+        assert!(!in_span(0b0001, &basis));
+        assert!(!in_span(0b1000, &basis));
+    }
+
+    #[test]
+    fn kernel_orthogonality() {
+        let rows = [0b1011u128, 0b0110];
+        let ker = kernel_basis(&rows, 4);
+        assert_eq!(ker.len(), 2);
+        for &v in &ker {
+            for &r in &rows {
+                assert!(!dot(v, r), "kernel vector {v:b} not orthogonal to {r:b}");
+            }
+        }
+        // Kernel vectors independent.
+        assert_eq!(rank(&ker), 2);
+    }
+
+    #[test]
+    fn kernel_of_full_rank_square() {
+        let rows = [0b001u128, 0b010, 0b100];
+        assert!(kernel_basis(&rows, 3).is_empty());
+    }
+
+    #[test]
+    fn kernel_of_empty_constraints() {
+        let ker = kernel_basis(&[], 3);
+        assert_eq!(ker.len(), 3);
+    }
+
+    #[test]
+    fn dot_parity() {
+        assert!(dot(0b101, 0b100));
+        assert!(!dot(0b101, 0b101));
+        assert!(!dot(0, 0b111));
+    }
+}

@@ -1,0 +1,311 @@
+//! Ancilla-based QEC memory experiments.
+//!
+//! The paper's target application (§2.3) is training data for decoders of
+//! *repeated* stabilizer measurement — the AlphaQubit setting. This module
+//! builds the standard memory experiment as a PTSBE-compatible circuit
+//! (fresh ancillas per round, all measurements terminal):
+//!
+//! - data block prepared in |0̄⟩ by the algorithmic encoder;
+//! - `rounds` rounds of syndrome extraction: each Z-check gets an ancilla
+//!   collecting CX parities (X-error detection), optionally each X-check
+//!   gets a |+⟩-ancilla (Z-error detection);
+//! - terminal measurement of every ancilla and all data qubits.
+//!
+//! Analysis uses only *deterministic-in-the-noiseless-circuit* quantities —
+//! ancilla bits, data-derived check parities, and the logical parity — so
+//! the Pauli-frame sampler is exact on the Clifford version of this
+//! workload, and detector-style round differences are meaningful.
+
+use crate::code::{support, StabilizerCode};
+use crate::decoder::LookupDecoder;
+use crate::encoder::encoding_circuit;
+use ptsbe_circuit::Circuit;
+
+/// A compiled memory experiment plus its record layout.
+#[derive(Clone, Debug)]
+pub struct MemoryExperiment {
+    /// The full circuit (data block + round ancillas, terminal measures).
+    pub circuit: Circuit,
+    /// Data-qubit count (block-local indices `0..n_data`).
+    pub n_data: usize,
+    /// Syndrome rounds.
+    pub rounds: usize,
+    /// Z-check supports (data-local).
+    pub z_checks: Vec<Vec<usize>>,
+    /// X-check supports (data-local); empty when X ancillas are disabled.
+    pub x_checks: Vec<Vec<usize>>,
+    /// Logical-Z support (data-local).
+    pub logical_z: Vec<usize>,
+    /// Record order: data bits first (`0..n_data`), then per round: Z-check
+    /// ancillas, then X-check ancillas.
+    pub record_bits: usize,
+}
+
+impl MemoryExperiment {
+    /// Build a memory experiment for a CSS code.
+    ///
+    /// # Panics
+    /// Panics when the code is not CSS or `rounds == 0`.
+    pub fn new(code: &StabilizerCode, rounds: usize, include_x_checks: bool) -> Self {
+        assert!(code.is_css(), "memory experiment needs a CSS code");
+        assert!(rounds >= 1, "at least one syndrome round");
+        let n_data = code.n();
+        let z_checks = code.z_check_supports();
+        let x_checks = if include_x_checks {
+            code.x_check_supports()
+        } else {
+            Vec::new()
+        };
+        let per_round = z_checks.len() + x_checks.len();
+        let total = n_data + rounds * per_round;
+
+        let enc = encoding_circuit(code);
+        let mut c = Circuit::new(total);
+        // Encode |0̄⟩ on the data block.
+        let mapping: Vec<usize> = (0..n_data).collect();
+        c.extend(&enc.circuit.embedded(total, &mapping));
+
+        for r in 0..rounds {
+            let base = n_data + r * per_round;
+            // Z-checks: ancilla collects CX parity from its support.
+            for (j, sup) in z_checks.iter().enumerate() {
+                let anc = base + j;
+                for &q in sup {
+                    c.cx(q, anc);
+                }
+            }
+            // X-checks: |+⟩ ancilla, CX into the data, H, measure.
+            for (j, sup) in x_checks.iter().enumerate() {
+                let anc = base + z_checks.len() + j;
+                c.h(anc);
+                for &q in sup {
+                    c.cx(anc, q);
+                }
+                c.h(anc);
+            }
+        }
+
+        // Record order: data first, then ancillas round by round.
+        let mut order: Vec<usize> = (0..n_data).collect();
+        for r in 0..rounds {
+            let base = n_data + r * per_round;
+            order.extend(base..base + per_round);
+        }
+        c.measure(&order);
+
+        Self {
+            circuit: c,
+            n_data,
+            rounds,
+            z_checks,
+            x_checks,
+            logical_z: support(&enc.logical_z),
+            record_bits: total,
+        }
+    }
+
+    /// Z-check syndrome measured by round `r`'s ancillas.
+    pub fn round_syndrome(&self, shot: u128, r: usize) -> u64 {
+        let per_round = self.z_checks.len() + self.x_checks.len();
+        let base = self.n_data + r * per_round;
+        let mut syn = 0u64;
+        for j in 0..self.z_checks.len() {
+            if (shot >> (base + j)) & 1 == 1 {
+                syn |= 1 << j;
+            }
+        }
+        syn
+    }
+
+    /// X-check syndrome measured by round `r`'s ancillas.
+    pub fn round_x_syndrome(&self, shot: u128, r: usize) -> u64 {
+        let per_round = self.z_checks.len() + self.x_checks.len();
+        let base = self.n_data + r * per_round + self.z_checks.len();
+        let mut syn = 0u64;
+        for j in 0..self.x_checks.len() {
+            if (shot >> (base + j)) & 1 == 1 {
+                syn |= 1 << j;
+            }
+        }
+        syn
+    }
+
+    /// Z-check syndrome recomputed from the final data measurement.
+    pub fn final_syndrome(&self, shot: u128) -> u64 {
+        let mut syn = 0u64;
+        for (j, sup) in self.z_checks.iter().enumerate() {
+            let parity = sup
+                .iter()
+                .fold(false, |acc, &q| acc ^ ((shot >> q) & 1 == 1));
+            if parity {
+                syn |= 1 << j;
+            }
+        }
+        syn
+    }
+
+    /// Detector bits: round-to-round syndrome differences plus the final
+    /// data-vs-last-round difference (all deterministic without noise).
+    pub fn detectors(&self, shot: u128) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.rounds + 1);
+        let mut prev = 0u64; // noiseless first-round syndromes are trivial
+        for r in 0..self.rounds {
+            let s = self.round_syndrome(shot, r);
+            out.push(s ^ prev);
+            prev = s;
+        }
+        out.push(self.final_syndrome(shot) ^ prev);
+        out
+    }
+
+    /// Raw logical-Z parity of the data measurement.
+    pub fn raw_logical(&self, shot: u128) -> bool {
+        self.logical_z
+            .iter()
+            .fold(false, |acc, &q| acc ^ ((shot >> q) & 1 == 1))
+    }
+
+    /// Decode the final data measurement with a lookup decoder; `None`
+    /// when uncorrectable.
+    pub fn decoded_logical(&self, decoder: &LookupDecoder, shot: u128) -> Option<bool> {
+        let data = shot & ((1u128 << self.n_data) - 1);
+        decoder.decode(data)
+    }
+}
+
+/// Logical-error-rate evaluation over a shot set: fraction of decodable
+/// shots whose corrected logical value differs from 0 (the encoded state),
+/// plus the reject rate.
+pub fn logical_error_rate<'a, I: IntoIterator<Item = &'a u128>>(
+    exp: &MemoryExperiment,
+    decoder: &LookupDecoder,
+    shots: I,
+) -> (f64, f64) {
+    let mut total = 0usize;
+    let mut errors = 0usize;
+    let mut rejected = 0usize;
+    for &s in shots {
+        total += 1;
+        match exp.decoded_logical(decoder, s) {
+            Some(true) => errors += 1,
+            Some(false) => {}
+            None => rejected += 1,
+        }
+    }
+    if total == 0 {
+        return (0.0, 0.0);
+    }
+    let decodable = total - rejected;
+    (
+        if decodable > 0 {
+            errors as f64 / decodable as f64
+        } else {
+            0.0
+        },
+        rejected as f64 / total as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+    use ptsbe_circuit::{channels, NoiseModel};
+    use ptsbe_rng::PhiloxRng;
+    use ptsbe_stabilizer::FrameSampler;
+
+    #[test]
+    fn noiseless_memory_has_trivial_detectors() {
+        let code = codes::steane();
+        let exp = MemoryExperiment::new(&code, 2, true);
+        assert_eq!(exp.record_bits, 7 + 2 * 6);
+        let noisy = NoiseModel::new().apply(&exp.circuit);
+        // Frame sampler: reference must be deterministic on the ancillas
+        // and detector bits must all be zero.
+        let mut rng = PhiloxRng::new(300, 0);
+        let sampler = FrameSampler::new(&noisy, &mut rng).unwrap();
+        let result = sampler.sample(500, &mut rng);
+        for &s in &result.shots {
+            for d in exp.detectors(s) {
+                assert_eq!(d, 0, "noiseless detector fired");
+            }
+            assert!(!exp.raw_logical(s), "noiseless logical flip");
+        }
+    }
+
+    #[test]
+    fn single_data_x_error_fires_matching_detectors() {
+        // Classical-map check: a persistent X on data qubit 0 shows the
+        // same syndrome in every round and in the final data parity, so
+        // only the *first* detector (the change) fires.
+        let code = codes::steane();
+        let exp = MemoryExperiment::new(&code, 2, false);
+        let mut shot = 0u128;
+        shot |= 1; // data qubit 0 flipped
+        // Round ancillas that include qubit 0 see odd parity.
+        let per_round = exp.z_checks.len();
+        for r in 0..exp.rounds {
+            for (j, sup) in exp.z_checks.iter().enumerate() {
+                if sup.contains(&0) {
+                    shot |= 1u128 << (exp.n_data + r * per_round + j);
+                }
+            }
+        }
+        let dets = exp.detectors(shot);
+        assert_ne!(dets[0], 0, "first detector must fire");
+        for &d in &dets[1..] {
+            assert_eq!(d, 0, "steady-state detectors must stay quiet");
+        }
+        // Decoding recovers logical 0.
+        let dec = LookupDecoder::new(&code);
+        assert_eq!(exp.decoded_logical(&dec, shot), Some(false));
+    }
+
+    #[test]
+    fn noisy_memory_error_rates_scale_with_p() {
+        let code = codes::steane();
+        let exp = MemoryExperiment::new(&code, 1, false);
+        let dec = LookupDecoder::new(&code);
+        let mut rates = Vec::new();
+        for p in [1e-3, 1e-2] {
+            let noisy = NoiseModel::new()
+                .with_default_1q(channels::depolarizing(p))
+                .with_default_2q(channels::depolarizing(p))
+                .apply(&exp.circuit);
+            let mut rng = PhiloxRng::new(301, 0);
+            let sampler = FrameSampler::new(&noisy, &mut rng).unwrap();
+            let result = sampler.sample(30_000, &mut rng);
+            let (err, _rej) = logical_error_rate(&exp, &dec, result.shots.iter());
+            rates.push(err);
+        }
+        assert!(
+            rates[1] > rates[0],
+            "logical error rate must grow with p: {rates:?}"
+        );
+        assert!(rates[0] < 0.05, "low-p logical rate too high: {}", rates[0]);
+    }
+
+    #[test]
+    fn x_check_ancillas_detect_z_errors() {
+        let code = codes::steane();
+        let exp = MemoryExperiment::new(&code, 1, true);
+        // Z error on a data qubit: Z-check ancillas blind, X-check
+        // ancillas fire. Use phase-flip noise with p=1 on the data during
+        // round CXs via a targeted circuit: simplest full-stack check —
+        // run with phase_flip noise and confirm X-syndromes fire while
+        // Z-syndromes stay quiet.
+        let noisy = NoiseModel::new()
+            .with_gate_noise("h", channels::phase_flip(0.3))
+            .apply(&exp.circuit);
+        let mut rng = PhiloxRng::new(302, 0);
+        let sampler = FrameSampler::new(&noisy, &mut rng).unwrap();
+        let result = sampler.sample(5_000, &mut rng);
+        let mut x_fired = 0usize;
+        for &s in &result.shots {
+            if exp.round_x_syndrome(s, 0) != 0 {
+                x_fired += 1;
+            }
+        }
+        assert!(x_fired > 0, "X-check ancillas never fired under Z noise");
+    }
+}

@@ -1,0 +1,408 @@
+//! The 5→1 magic-state distillation workload (paper §2.3, Figs. 1–3).
+//!
+//! Bravyi–Kitaev distillation with the [[5,1,3]] code: five noisy T-type
+//! magic states enter, the code's *decoding* circuit maps the codespace
+//! component onto four syndrome wires plus one output wire, trivial
+//! syndromes are post-selected, and the surviving output is a
+//! higher-fidelity magic state. Non-Clifford inputs (the Ry·Rz magic
+//! preparation) make this a *universal* simulation workload — exactly why
+//! the paper needs trajectory methods rather than a Clifford simulator.
+//!
+//! Two compilations are provided:
+//! - [`msd_bare`] — the 5-qubit logical-level protocol (validated against
+//!   the density-matrix oracle in the workspace tests);
+//! - [`msd_encoded`] — each logical wire encoded in a self-dual CSS block
+//!   (Steane → 35 physical qubits; [[19,1,5]] → 95, the documented
+//!   substitute for the paper's 85), logical gates compiled to
+//!   transversal layers, and the output block measured in a chosen Pauli
+//!   basis as in Fig. 3.
+
+use crate::code::{support, StabilizerCode};
+use crate::codes;
+use crate::encoder::{encoding_circuit, Encoder};
+use crate::transversal::TransversalCompiler;
+use ptsbe_circuit::{Circuit, Gate, Op};
+
+/// Measurement basis for the output wire (paper Fig. 3: "measured in all
+/// three Pauli bases").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureBasis {
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+/// The Bloch-direction angles of the T-type magic state `(1,1,1)/√3`.
+fn magic_angles() -> (f64, f64) {
+    let theta = (1.0 / 3f64.sqrt()).acos();
+    let phi = std::f64::consts::FRAC_PI_4;
+    (theta, phi)
+}
+
+/// Append the magic-state preparation `|0⟩ → |T⟩` on `qubit`.
+pub fn prepare_magic(c: &mut Circuit, qubit: usize) {
+    let (theta, phi) = magic_angles();
+    c.ry(qubit, theta);
+    c.rz(qubit, phi);
+}
+
+/// Layout metadata shared by the bare and encoded compilations.
+#[derive(Debug, Clone)]
+pub struct MsdLayout {
+    /// Physical qubits per logical wire (1 for bare).
+    pub block_size: usize,
+    /// Output wire index (0..5) — the [[5,1,3]] encoder's input position.
+    pub output_wire: usize,
+    /// Block-local support of the logical-Z readout (bare: `[0]`).
+    pub logical_z_support: Vec<usize>,
+    /// Block-local Z-check supports (empty for bare).
+    pub z_checks: Vec<Vec<usize>>,
+    /// Measurement basis applied to the output wire.
+    pub basis: MeasureBasis,
+}
+
+impl MsdLayout {
+    /// Total physical qubits.
+    pub fn n_qubits(&self) -> usize {
+        5 * self.block_size
+    }
+
+    /// Logical-Z parity of block `b` in a full measurement record.
+    pub fn block_parity(&self, shot: u128, b: usize) -> bool {
+        let off = b * self.block_size;
+        let mut parity = false;
+        for &q in &self.logical_z_support {
+            parity ^= (shot >> (off + q)) & 1 == 1;
+        }
+        parity
+    }
+
+    /// The raw block bits of block `b`.
+    pub fn block_bits(&self, shot: u128, b: usize) -> u128 {
+        (shot >> (b * self.block_size)) & ((1u128 << self.block_size) - 1)
+    }
+}
+
+/// The bare 5-qubit MSD circuit for one measurement basis.
+///
+/// Qubit `i` = logical wire `i`. Returns the circuit and its layout.
+pub fn msd_bare(basis: MeasureBasis) -> (Circuit, MsdLayout) {
+    let five = codes::five_one_three();
+    let enc = encoding_circuit(&five);
+    let mut c = Circuit::new(5);
+    for q in 0..5 {
+        prepare_magic(&mut c, q);
+    }
+    // Decoder = inverse encoder: maps codespace → |0000⟩_anc ⊗ |ψ⟩_u.
+    c.extend(&enc.circuit.inverse());
+    // Output-basis rotation.
+    rotate_for_basis(&mut c, enc.input_qubit, basis);
+    c.measure_all();
+    (
+        c,
+        MsdLayout {
+            block_size: 1,
+            output_wire: enc.input_qubit,
+            logical_z_support: vec![0],
+            z_checks: Vec::new(),
+            basis,
+        },
+    )
+}
+
+fn rotate_for_basis(c: &mut Circuit, qubit: usize, basis: MeasureBasis) {
+    match basis {
+        MeasureBasis::Z => {}
+        MeasureBasis::X => {
+            c.h(qubit);
+        }
+        MeasureBasis::Y => {
+            // V = H·S† maps Y → Z.
+            c.sdg(qubit);
+            c.h(qubit);
+        }
+    }
+}
+
+/// The block-encoded MSD circuit: five `code` blocks (block `b` occupies
+/// qubits `b·n..(b+1)·n`), logical gates compiled transversally.
+///
+/// # Panics
+/// Panics when `code` is not self-dual CSS (transversal compilation).
+pub fn msd_encoded(code: &StabilizerCode, basis: MeasureBasis) -> (Circuit, MsdLayout) {
+    let n = code.n();
+    let five = codes::five_one_three();
+    let enc5: Encoder = encoding_circuit(&five);
+    let enc_block = encoding_circuit(code);
+    let tc = TransversalCompiler::new(code);
+    let total = 5 * n;
+    let mut c = Circuit::new(total);
+
+    // Per-block: magic preparation on the block's input qubit + encoder.
+    for b in 0..5 {
+        let off = b * n;
+        prepare_magic(&mut c, off + enc_block.input_qubit);
+        let mapping: Vec<usize> = (0..n).map(|q| off + q).collect();
+        c.extend(&enc_block.circuit.embedded(total, &mapping));
+    }
+
+    // Logical decoder: compile the inverse [[5,1,3]] encoder transversally.
+    let decoder = enc5.circuit.inverse();
+    for op in decoder.ops() {
+        match op {
+            Op::Gate(g) => tc.compile_gate(&mut c, &g.gate, &g.qubits),
+            other => panic!("decoder contains non-gate op {other:?}"),
+        }
+    }
+
+    // Output-block basis rotation (transversal layers).
+    match basis {
+        MeasureBasis::Z => {}
+        MeasureBasis::X => tc.compile_gate(&mut c, &Gate::H, &[enc5.input_qubit]),
+        MeasureBasis::Y => {
+            tc.compile_gate(&mut c, &Gate::Sdg, &[enc5.input_qubit]);
+            tc.compile_gate(&mut c, &Gate::H, &[enc5.input_qubit]);
+        }
+    }
+    c.measure_all();
+
+    (
+        c,
+        MsdLayout {
+            block_size: n,
+            output_wire: enc5.input_qubit,
+            logical_z_support: support(&enc_block.logical_z),
+            z_checks: code.z_check_supports(),
+            basis,
+        },
+    )
+}
+
+/// Post-selection + estimation over measurement records of one MSD
+/// circuit (one basis).
+#[derive(Debug, Clone, Default)]
+pub struct MsdAnalysis {
+    /// Records seen.
+    pub total: usize,
+    /// Records passing syndrome post-selection.
+    pub accepted: usize,
+    /// Accepted records whose output parity was 0 (+1 eigenvalue).
+    pub plus: usize,
+}
+
+impl MsdAnalysis {
+    /// Fold one measurement record using the layout.
+    ///
+    /// `use_block_correction`: when true (encoded runs), each block's
+    /// logical parity is corrected with `decoder` before use.
+    pub fn fold(
+        &mut self,
+        layout: &MsdLayout,
+        decoder: Option<&crate::decoder::LookupDecoder>,
+        shot: u128,
+    ) {
+        self.total += 1;
+        let mut accept = true;
+        let mut output_parity = false;
+        for b in 0..5 {
+            let parity = match decoder {
+                Some(dec) => {
+                    let bits = layout.block_bits(shot, b);
+                    match dec.decode(bits) {
+                        Some(v) => v,
+                        None => {
+                            // Uncorrectable block: reject the shot.
+                            accept = false;
+                            break;
+                        }
+                    }
+                }
+                None => layout.block_parity(shot, b),
+            };
+            if b == layout.output_wire {
+                output_parity = parity;
+            } else if parity {
+                accept = false;
+                break;
+            }
+        }
+        if accept {
+            self.accepted += 1;
+            if !output_parity {
+                self.plus += 1;
+            }
+        }
+    }
+
+    /// Acceptance rate.
+    pub fn acceptance(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.total as f64
+        }
+    }
+
+    /// Estimated ⟨P⟩ of the output in this circuit's basis.
+    pub fn expectation(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            2.0 * self.plus as f64 / self.accepted as f64 - 1.0
+        }
+    }
+}
+
+/// Combine the three basis expectations into a magic-state fidelity
+/// against the *reference direction* `r_ref` (a unit vector): the output
+/// fidelity is `(1 + r · r_ref)/2`.
+pub fn fidelity_from_bloch(r: [f64; 3], r_ref: [f64; 3]) -> f64 {
+    let dot: f64 = r.iter().zip(&r_ref).map(|(a, b)| a * b).sum();
+    (1.0 + dot) / 2.0
+}
+
+/// Norm of a Bloch vector.
+pub fn bloch_norm(r: [f64; 3]) -> f64 {
+    r.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_statevector::StateVector;
+
+    fn run_pure_probabilities(c: &Circuit) -> Vec<f64> {
+        let sv: StateVector<f64> = ptsbe_statevector::run_pure(c).unwrap();
+        sv.probabilities()
+    }
+
+    /// Exact analysis of a bare circuit from the full distribution.
+    fn analyze_exact(c: &Circuit, layout: &MsdLayout) -> (f64, f64) {
+        let probs = run_pure_probabilities(c);
+        let (mut p_accept, mut p_plus) = (0.0, 0.0);
+        for (idx, &p) in probs.iter().enumerate() {
+            let shot = idx as u128;
+            let mut accept = true;
+            let mut out = false;
+            for b in 0..5 {
+                let parity = layout.block_parity(shot, b);
+                if b == layout.output_wire {
+                    out = parity;
+                } else if parity {
+                    accept = false;
+                    break;
+                }
+            }
+            if accept {
+                p_accept += p;
+                if !out {
+                    p_plus += p;
+                }
+            }
+        }
+        let exp = if p_accept > 0.0 {
+            2.0 * p_plus / p_accept - 1.0
+        } else {
+            0.0
+        };
+        (p_accept, exp)
+    }
+
+    #[test]
+    fn bare_msd_output_is_pure_magic_at_zero_noise() {
+        // The key protocol validation: with ideal inputs, the accepted
+        // output must be a *pure* state (unit Bloch vector).
+        let mut r = [0.0f64; 3];
+        let mut acceptance = [0.0f64; 3];
+        for (i, basis) in [MeasureBasis::X, MeasureBasis::Y, MeasureBasis::Z]
+            .into_iter()
+            .enumerate()
+        {
+            let (c, layout) = msd_bare(basis);
+            let (acc, exp) = analyze_exact(&c, &layout);
+            r[i] = exp;
+            acceptance[i] = acc;
+        }
+        // Acceptance is basis-independent (the rotation happens after
+        // post-selected wires are fixed).
+        assert!((acceptance[0] - acceptance[1]).abs() < 1e-10);
+        assert!((acceptance[1] - acceptance[2]).abs() < 1e-10);
+        assert!(acceptance[2] > 0.01 && acceptance[2] < 1.0);
+        let norm = bloch_norm(r);
+        assert!(
+            (norm - 1.0).abs() < 1e-8,
+            "output Bloch vector {r:?} has norm {norm}, expected pure"
+        );
+    }
+
+    #[test]
+    fn bare_circuits_have_expected_shape() {
+        for basis in [MeasureBasis::X, MeasureBasis::Y, MeasureBasis::Z] {
+            let (c, layout) = msd_bare(basis);
+            assert_eq!(c.n_qubits(), 5);
+            assert_eq!(layout.n_qubits(), 5);
+            assert_eq!(c.measured_qubits().len(), 5);
+            // 10 prep rotations + Clifford decoder + basis rotation.
+            assert!(c.gate_count() >= 10);
+        }
+    }
+
+    #[test]
+    fn encoded_circuit_shape_steane() {
+        let code = codes::steane();
+        let (c, layout) = msd_encoded(&code, MeasureBasis::Z);
+        assert_eq!(c.n_qubits(), 35);
+        assert_eq!(layout.block_size, 7);
+        assert_eq!(c.measured_qubits().len(), 35);
+        assert_eq!(layout.z_checks.len(), 3);
+        // Non-Clifford content = exactly the 10 magic-prep rotations.
+        let non_clifford = c
+            .ops()
+            .iter()
+            .filter(|op| match op {
+                Op::Gate(g) => !g.gate.is_clifford(),
+                _ => false,
+            })
+            .count();
+        assert_eq!(non_clifford, 10);
+    }
+
+    #[test]
+    fn encoded_circuit_shape_d5() {
+        let code = codes::color_code(5);
+        let (c, layout) = msd_encoded(&code, MeasureBasis::X);
+        assert_eq!(c.n_qubits(), 95);
+        assert_eq!(layout.block_size, 19);
+        assert_eq!(layout.z_checks.len(), 9);
+    }
+
+    #[test]
+    fn analysis_folding() {
+        let (_c, layout) = msd_bare(MeasureBasis::Z);
+        let mut a = MsdAnalysis::default();
+        // All-zero record: accepted, output +.
+        a.fold(&layout, None, 0);
+        // Record with a non-output wire set: rejected.
+        let bad_wire = (0..5).find(|&w| w != layout.output_wire).unwrap();
+        a.fold(&layout, None, 1u128 << bad_wire);
+        // Record with only the output wire set: accepted, output −.
+        a.fold(&layout, None, 1u128 << layout.output_wire);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.accepted, 2);
+        assert_eq!(a.plus, 1);
+        assert!((a.acceptance() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.expectation() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_helpers() {
+        let r = [1.0, 0.0, 0.0];
+        assert!((fidelity_from_bloch(r, r) - 1.0).abs() < 1e-12);
+        assert!((fidelity_from_bloch(r, [-1.0, 0.0, 0.0]) - 0.0).abs() < 1e-12);
+        assert!((bloch_norm([0.6, 0.8, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+}

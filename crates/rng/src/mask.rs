@@ -1,0 +1,166 @@
+//! Bit-packed Bernoulli mask generation for the Pauli-frame bulk sampler.
+//!
+//! The stabilizer frame sampler (the Stim-style comparator of the paper's
+//! Sec. 2.3) processes 64 shots per machine word. Injecting iid Pauli noise
+//! across shots then reduces to generating words whose bits are iid
+//! Bernoulli(p). Two strategies are provided:
+//!
+//! - **dense**: one uniform per bit — exact, O(bits), used for large `p`;
+//! - **sparse**: geometric skips between set bits — O(bits * p), the same
+//!   trick Stim uses to make physical error rates of 1e-3 nearly free.
+
+use crate::Rng;
+
+/// Probability threshold above which dense generation is used.
+const SPARSE_CUTOFF: f64 = 0.05;
+
+/// Fill `words` with bits that are iid Bernoulli(`p`). `nbits` limits the
+/// meaningful bits (the tail of the final word is left zero).
+pub fn fill_bernoulli_words<R: Rng + ?Sized>(
+    words: &mut [u64],
+    nbits: usize,
+    p: f64,
+    rng: &mut R,
+) {
+    assert!(
+        nbits <= words.len() * 64,
+        "fill_bernoulli_words: nbits {nbits} exceeds capacity {}",
+        words.len() * 64
+    );
+    words.fill(0);
+    if p <= 0.0 || nbits == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        set_all(words, nbits);
+        return;
+    }
+    if p < SPARSE_CUTOFF {
+        sparse_fill(words, nbits, p, rng);
+    } else {
+        dense_fill(words, nbits, p, rng);
+    }
+}
+
+fn set_all(words: &mut [u64], nbits: usize) {
+    let full = nbits / 64;
+    for w in &mut words[..full] {
+        *w = u64::MAX;
+    }
+    let rem = nbits % 64;
+    if rem > 0 {
+        words[full] = (1u64 << rem) - 1;
+    }
+}
+
+fn dense_fill<R: Rng + ?Sized>(words: &mut [u64], nbits: usize, p: f64, rng: &mut R) {
+    for bit in 0..nbits {
+        if rng.next_f64() < p {
+            words[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+}
+
+/// Geometric-skip sparse fill: successive flip positions are separated by
+/// Geometric(p) gaps, so work scales with the expected number of set bits.
+fn sparse_fill<R: Rng + ?Sized>(words: &mut [u64], nbits: usize, p: f64, rng: &mut R) {
+    let log1mp = (1.0 - p).ln();
+    debug_assert!(log1mp < 0.0);
+    let mut pos = 0usize;
+    loop {
+        let u = rng.next_f64();
+        // Number of failures before the next success, inclusive skip.
+        let skip = ((1.0 - u).ln() / log1mp).floor() as usize;
+        pos = match pos.checked_add(skip) {
+            Some(v) => v,
+            None => return,
+        };
+        if pos >= nbits {
+            return;
+        }
+        words[pos / 64] |= 1u64 << (pos % 64);
+        pos += 1;
+    }
+}
+
+/// Count set bits among the first `nbits` of `words`.
+pub fn popcount_bits(words: &[u64], nbits: usize) -> usize {
+    let full = nbits / 64;
+    let mut total: usize = words[..full].iter().map(|w| w.count_ones() as usize).sum();
+    let rem = nbits % 64;
+    if rem > 0 {
+        total += (words[full] & ((1u64 << rem) - 1)).count_ones() as usize;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhiloxRng;
+
+    fn measure(p: f64, nbits: usize, seed: u64) -> f64 {
+        let mut rng = PhiloxRng::new(seed, 0);
+        let mut words = vec![0u64; nbits.div_ceil(64)];
+        fill_bernoulli_words(&mut words, nbits, p, &mut rng);
+        popcount_bits(&words, nbits) as f64 / nbits as f64
+    }
+
+    #[test]
+    fn dense_regime_mean() {
+        let frac = measure(0.3, 1 << 20, 31);
+        assert!((frac - 0.3).abs() < 0.005, "got {frac}");
+    }
+
+    #[test]
+    fn sparse_regime_mean() {
+        let frac = measure(0.001, 1 << 22, 32);
+        assert!((frac - 0.001).abs() < 0.0002, "got {frac}");
+    }
+
+    #[test]
+    fn cutoff_boundary_mean() {
+        // Just below and above the strategy switch should both be correct.
+        let lo = measure(0.049, 1 << 20, 33);
+        let hi = measure(0.051, 1 << 20, 34);
+        assert!((lo - 0.049).abs() < 0.004, "sparse path {lo}");
+        assert!((hi - 0.051).abs() < 0.004, "dense path {hi}");
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut rng = PhiloxRng::new(35, 0);
+        let mut words = vec![0u64; 2];
+        fill_bernoulli_words(&mut words, 100, 0.0, &mut rng);
+        assert_eq!(popcount_bits(&words, 100), 0);
+        fill_bernoulli_words(&mut words, 100, 1.0, &mut rng);
+        assert_eq!(popcount_bits(&words, 100), 100);
+        // Bits beyond nbits stay clear even for p = 1.
+        assert_eq!(words[1] >> 36, 0);
+    }
+
+    #[test]
+    fn zero_bits() {
+        let mut rng = PhiloxRng::new(36, 0);
+        let mut words: Vec<u64> = Vec::new();
+        fill_bernoulli_words(&mut words, 0, 0.5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn capacity_checked() {
+        let mut rng = PhiloxRng::new(37, 0);
+        let mut words = vec![0u64; 1];
+        fill_bernoulli_words(&mut words, 65, 0.5, &mut rng);
+    }
+
+    #[test]
+    fn masks_differ_across_draws() {
+        let mut rng = PhiloxRng::new(38, 0);
+        let mut a = vec![0u64; 4];
+        let mut b = vec![0u64; 4];
+        fill_bernoulli_words(&mut a, 256, 0.5, &mut rng);
+        fill_bernoulli_words(&mut b, 256, 0.5, &mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,222 @@
+//! Philox4x32-10 counter-based generator (Salmon et al., SC'11), as shipped
+//! by cuRAND and Random123.
+//!
+//! A counter-based RNG is a pure function `block = philox(counter, key)`.
+//! Streams never share state: two generators with different keys (or
+//! disjoint counter ranges) are statistically independent, which is exactly
+//! the property the PTSBE inter-trajectory fan-out relies on.
+
+use crate::Rng;
+
+/// Multiplier for the first 32-bit lane (Random123 `PHILOX_M4x32_0`).
+const M0: u32 = 0xD251_1F53;
+/// Multiplier for the second 32-bit lane (Random123 `PHILOX_M4x32_1`).
+const M1: u32 = 0xCD9E_8D57;
+/// Weyl increment for key word 0 (golden-ratio constant).
+const W0: u32 = 0x9E37_79B9;
+/// Weyl increment for key word 1 (sqrt(3)-1 constant).
+const W1: u32 = 0xBB67_AE85;
+
+/// The stateless Philox4x32-10 block function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Philox4x32;
+
+#[inline(always)]
+fn mulhilo(a: u32, b: u32) -> (u32, u32) {
+    let p = u64::from(a) * u64::from(b);
+    ((p >> 32) as u32, p as u32)
+}
+
+#[inline(always)]
+fn round(ctr: [u32; 4], key: [u32; 2]) -> [u32; 4] {
+    let (hi0, lo0) = mulhilo(M0, ctr[0]);
+    let (hi1, lo1) = mulhilo(M1, ctr[2]);
+    [hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0]
+}
+
+impl Philox4x32 {
+    /// Apply ten Philox rounds to `counter` under `key`, producing four
+    /// uniform 32-bit words.
+    #[inline]
+    pub fn block(mut counter: [u32; 4], mut key: [u32; 2]) -> [u32; 4] {
+        // Ten rounds with a key bump between consecutive rounds (the first
+        // round uses the caller's key; Random123 bumps 9 times for R=10).
+        counter = round(counter, key);
+        for _ in 0..9 {
+            key[0] = key[0].wrapping_add(W0);
+            key[1] = key[1].wrapping_add(W1);
+            counter = round(counter, key);
+        }
+        counter
+    }
+}
+
+/// A sequential RNG view over one Philox stream.
+///
+/// The 192-bit input space is split as:
+/// `key = (seed_lo, seed_hi)`, `counter = (block_lo, block_hi, stream_lo, stream_hi)`,
+/// so one seed supports 2^64 independent streams of 2^64 blocks (4 words
+/// each). [`PhiloxRng::for_trajectory`] is the constructor the trajectory
+/// engines use: trajectory index = stream id.
+#[derive(Debug, Clone)]
+pub struct PhiloxRng {
+    key: [u32; 2],
+    stream: u64,
+    block: u64,
+    buf: [u32; 4],
+    /// Number of words of `buf` already handed out (4 = exhausted).
+    used: u8,
+}
+
+impl PhiloxRng {
+    /// Create the RNG for `(seed, stream)`. Distinct streams are
+    /// statistically independent for any fixed seed.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        Self {
+            key: [seed as u32, (seed >> 32) as u32],
+            stream,
+            block: 0,
+            buf: [0; 4],
+            used: 4,
+        }
+    }
+
+    /// Stream reserved for trajectory `traj` of a run seeded with `seed`.
+    ///
+    /// A distinct tag keeps trajectory streams disjoint from utility streams
+    /// created via [`PhiloxRng::new`] with small stream ids.
+    pub fn for_trajectory(seed: u64, traj: u64) -> Self {
+        Self::new(seed, traj ^ 0x5DEE_CE66_D1CE_CAFE)
+    }
+
+    /// Jump directly to block `block` of the stream (for sub-stream
+    /// partitioning inside one trajectory, e.g. one block range per shot
+    /// batch).
+    pub fn seek(&mut self, block: u64) {
+        self.block = block;
+        self.used = 4;
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        let counter = [
+            self.block as u32,
+            (self.block >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        self.buf = Philox4x32::block(counter, self.key);
+        self.block = self.block.wrapping_add(1);
+        self.used = 0;
+    }
+}
+
+impl Rng for PhiloxRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.used >= 4 {
+            self.refill();
+        }
+        let w = self.buf[self.used as usize];
+        self.used += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer vectors from the Random123 distribution
+    /// (`kat_vectors`, philox4x32-10).
+    #[test]
+    fn philox_known_answer_zero() {
+        let out = Philox4x32::block([0, 0, 0, 0], [0, 0]);
+        assert_eq!(out, [0x6627_e8d5, 0xe169_c58d, 0xbc57_ac4c, 0x9b00_dbd8]);
+    }
+
+    #[test]
+    fn philox_known_answer_ones() {
+        let out = Philox4x32::block(
+            [0xffff_ffff; 4],
+            [0xffff_ffff, 0xffff_ffff],
+        );
+        assert_eq!(out, [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]);
+    }
+
+    #[test]
+    fn philox_known_answer_pi() {
+        let out = Philox4x32::block(
+            [0x243f_6a88, 0x85a3_08d3, 0x1319_8a2e, 0x0370_7344],
+            [0xa409_3822, 0x299f_31d0],
+        );
+        assert_eq!(out, [0xd16c_fe09, 0x94fd_cceb, 0x5001_e420, 0x2412_6ea1]);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = PhiloxRng::new(7, 3);
+        let mut b = PhiloxRng::new(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let mut a = PhiloxRng::new(7, 0);
+        let mut b = PhiloxRng::new(7, 1);
+        let va: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = PhiloxRng::new(1, 0);
+        let mut b = PhiloxRng::new(2, 0);
+        let va: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn seek_restarts_block() {
+        let mut a = PhiloxRng::new(7, 3);
+        let first: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        a.seek(0);
+        let again: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn trajectory_streams_disjoint_from_plain() {
+        let mut t = PhiloxRng::for_trajectory(7, 0);
+        let mut p = PhiloxRng::new(7, 0);
+        let vt: Vec<u32> = (0..8).map(|_| t.next_u32()).collect();
+        let vp: Vec<u32> = (0..8).map(|_| p.next_u32()).collect();
+        assert_ne!(vt, vp);
+    }
+
+    #[test]
+    fn word_mean_is_centered() {
+        let mut rng = PhiloxRng::new(0xDEAD_BEEF, 42);
+        let n = 200_000u64;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn monobit_balance() {
+        let mut rng = PhiloxRng::new(123, 9);
+        let mut ones = 0u64;
+        let words = 10_000;
+        for _ in 0..words {
+            ones += u64::from(rng.next_u32().count_ones());
+        }
+        let total = words * 32;
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.01, "bit balance {frac}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Ingest the shared circuit IR into stabilizer-executable form.
+//!
+//! Clifford gates map to tableau/frame operations; noise sites are
+//! accepted only when their channel is a unitary mixture whose branches
+//! are all Paulis (the exact domain of Pauli-frame simulation — and of
+//! Stim). Everything else is a conversion error, which is the *point* of
+//! the paper's comparison: PTSBE handles universal circuits, the Clifford
+//! stack does not.
+
+use crate::frame::FrameError;
+use crate::pauli::Pauli;
+use ptsbe_circuit::{Gate, NoisyCircuit, NoisyOp};
+
+/// A Clifford gate in stabilizer-executable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliffordOp {
+    /// Hadamard.
+    H(usize),
+    /// S.
+    S(usize),
+    /// S†.
+    Sdg(usize),
+    /// √X.
+    Sx(usize),
+    /// √X†.
+    Sxdg(usize),
+    /// √Y.
+    Sy(usize),
+    /// √Y†.
+    Sydg(usize),
+    /// Pauli X.
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// CNOT.
+    Cx(usize, usize),
+    /// CZ.
+    Cz(usize, usize),
+    /// SWAP.
+    Swap(usize, usize),
+}
+
+/// One step of a stabilizer program.
+#[derive(Debug, Clone)]
+pub enum StabOp {
+    /// Clifford gate.
+    Gate(CliffordOp),
+    /// Pauli-mixture noise site (index into the site table).
+    Site(usize),
+    /// Z-basis measurement.
+    Measure(Vec<usize>),
+}
+
+/// A noise site lowered to Pauli branches.
+#[derive(Debug, Clone)]
+pub struct PauliSite {
+    /// Site qubits (1 or 2).
+    pub qubits: Vec<usize>,
+    /// Branch probabilities.
+    pub probs: Vec<f64>,
+    /// Branch Paulis, one per qubit per branch.
+    pub paulis: Vec<Vec<Pauli>>,
+}
+
+/// A stabilizer-executable program.
+#[derive(Debug, Clone)]
+pub struct StabProgram {
+    /// Qubit count.
+    pub n_qubits: usize,
+    /// Op stream.
+    pub ops: Vec<StabOp>,
+    /// Lowered noise sites.
+    pub sites: Vec<PauliSite>,
+    /// Measured qubits in record order.
+    pub measured: Vec<usize>,
+}
+
+/// Lower a [`NoisyCircuit`] to a stabilizer program.
+///
+/// # Errors
+/// [`FrameError::NonClifford`] for non-Clifford gates;
+/// [`FrameError::NonPauliChannel`] for channels that are not Pauli
+/// mixtures; [`FrameError::Unsupported`] for resets.
+pub fn lower(nc: &NoisyCircuit) -> Result<StabProgram, FrameError> {
+    let mut ops = Vec::with_capacity(nc.ops().len());
+    let mut measured = Vec::new();
+    for op in nc.ops() {
+        match op {
+            NoisyOp::Gate(g) => ops.push(StabOp::Gate(lower_gate(&g.gate, &g.qubits)?)),
+            NoisyOp::Site(id) => ops.push(StabOp::Site(*id)),
+            NoisyOp::Measure { qubits } => {
+                measured.extend_from_slice(qubits);
+                ops.push(StabOp::Measure(qubits.clone()));
+            }
+            NoisyOp::Reset { .. } => return Err(FrameError::Unsupported("reset")),
+        }
+    }
+    let sites = nc
+        .sites()
+        .iter()
+        .map(|site| {
+            let probs = site.channel.sampling_probs().to_vec();
+            let paulis: Result<Vec<Vec<Pauli>>, FrameError> = (0..site.channel.n_ops())
+                .map(|i| parse_pauli_label(&site.channel.branch_label(i), site.qubits.len()))
+                .collect();
+            Ok(PauliSite {
+                qubits: site.qubits.clone(),
+                probs,
+                paulis: paulis?,
+            })
+        })
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    Ok(StabProgram {
+        n_qubits: nc.n_qubits(),
+        ops,
+        sites,
+        measured,
+    })
+}
+
+fn lower_gate(gate: &Gate, qubits: &[usize]) -> Result<CliffordOp, FrameError> {
+    Ok(match (gate, qubits) {
+        (Gate::H, [q]) => CliffordOp::H(*q),
+        (Gate::S, [q]) => CliffordOp::S(*q),
+        (Gate::Sdg, [q]) => CliffordOp::Sdg(*q),
+        (Gate::Sx, [q]) => CliffordOp::Sx(*q),
+        (Gate::Sxdg, [q]) => CliffordOp::Sxdg(*q),
+        (Gate::Sy, [q]) => CliffordOp::Sy(*q),
+        (Gate::Sydg, [q]) => CliffordOp::Sydg(*q),
+        (Gate::X, [q]) => CliffordOp::X(*q),
+        (Gate::Y, [q]) => CliffordOp::Y(*q),
+        (Gate::Z, [q]) => CliffordOp::Z(*q),
+        (Gate::Cx, [c, t]) => CliffordOp::Cx(*c, *t),
+        (Gate::Cz, [a, b]) => CliffordOp::Cz(*a, *b),
+        (Gate::Swap, [a, b]) => CliffordOp::Swap(*a, *b),
+        _ => return Err(FrameError::NonClifford(gate.name())),
+    })
+}
+
+/// Parse a channel branch label ("I", "X", …, "XZ", "IY", …) into per-qubit
+/// Paulis; non-Pauli labels (e.g. "K3") are rejected.
+fn parse_pauli_label(label: &str, arity: usize) -> Result<Vec<Pauli>, FrameError> {
+    if label.len() != arity {
+        return Err(FrameError::NonPauliChannel);
+    }
+    label
+        .chars()
+        .map(|c| match c {
+            'I' => Ok(Pauli::I),
+            'X' => Ok(Pauli::X),
+            'Y' => Ok(Pauli::Y),
+            'Z' => Ok(Pauli::Z),
+            _ => Err(FrameError::NonPauliChannel),
+        })
+        .collect()
+}
+
+/// Branch-label order note: two-qubit labels name `(first qubit, second
+/// qubit)` in the channel's argument order, matching
+/// [`ptsbe_circuit::KrausChannel::branch_label`].
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_circuit::{channels, Circuit, NoiseModel};
+
+    #[test]
+    fn lowers_clifford_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.1))
+            .apply(&c);
+        let prog = lower(&nc).unwrap();
+        assert_eq!(prog.n_qubits, 2);
+        assert_eq!(prog.sites.len(), 1);
+        assert_eq!(prog.sites[0].paulis.len(), 4);
+        assert_eq!(prog.sites[0].paulis[1], vec![Pauli::X]);
+        assert_eq!(prog.measured, vec![0, 1]);
+    }
+
+    #[test]
+    fn rejects_t_gate() {
+        let mut c = Circuit::new(1);
+        c.t(0);
+        let nc = ptsbe_circuit::NoisyCircuit::from_circuit(c);
+        assert!(matches!(lower(&nc), Err(FrameError::NonClifford("t"))));
+    }
+
+    #[test]
+    fn rejects_amplitude_damping() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::amplitude_damping(0.1))
+            .apply(&c);
+        assert!(matches!(lower(&nc), Err(FrameError::NonPauliChannel)));
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_lowered() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_2q(channels::depolarizing2(0.2))
+            .apply(&c);
+        let prog = lower(&nc).unwrap();
+        assert_eq!(prog.sites[0].paulis.len(), 16);
+        // Branch 1 = "IX": I on first qubit, X on second.
+        assert_eq!(prog.sites[0].paulis[1], vec![Pauli::I, Pauli::X]);
+        // Branch 4 = "XI".
+        assert_eq!(prog.sites[0].paulis[4], vec![Pauli::X, Pauli::I]);
+    }
+
+    #[test]
+    fn rejects_reset() {
+        let mut c = Circuit::new(1);
+        c.reset(0);
+        let nc = ptsbe_circuit::NoisyCircuit::from_circuit(c);
+        assert!(matches!(lower(&nc), Err(FrameError::Unsupported(_))));
+    }
+}

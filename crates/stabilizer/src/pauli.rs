@@ -1,0 +1,289 @@
+//! Pauli strings over n qubits (bit-packed X/Z parts + global phase).
+
+use std::fmt;
+
+/// A single-qubit Pauli.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// X.
+    X,
+    /// Y.
+    Y,
+    /// Z.
+    Z,
+}
+
+impl Pauli {
+    /// (x, z) symplectic bits.
+    pub fn bits(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// From (x, z) bits.
+    pub fn from_bits(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// One-letter name.
+    pub fn letter(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+/// An n-qubit Pauli operator `i^phase · P_{n-1} ⊗ … ⊗ P_0` with bit-packed
+/// symplectic representation. `phase` is an exponent of `i` modulo 4.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PauliString {
+    n: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+    phase: u8,
+}
+
+fn words(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+impl PauliString {
+    /// The identity on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n,
+            x: vec![0; words(n)],
+            z: vec![0; words(n)],
+            phase: 0,
+        }
+    }
+
+    /// Parse from a letter string, **qubit 0 first** (i.e. `"XZI"` has X on
+    /// qubit 0, Z on qubit 1). Optional leading `+`/`-` sign.
+    pub fn from_str(s: &str) -> Self {
+        let (phase, body) = match s.strip_prefix('-') {
+            Some(rest) => (2u8, rest),
+            None => (0u8, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mut p = Self::identity(body.len());
+        p.phase = phase;
+        for (q, ch) in body.chars().enumerate() {
+            let pauli = match ch {
+                'I' | '_' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                _ => panic!("invalid Pauli letter {ch:?}"),
+            };
+            p.set(q, pauli);
+        }
+        p
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Phase exponent of `i` (mod 4).
+    pub fn phase(&self) -> u8 {
+        self.phase
+    }
+
+    /// Set the phase exponent.
+    pub fn set_phase(&mut self, phase: u8) {
+        self.phase = phase % 4;
+    }
+
+    /// The Pauli on qubit `q`.
+    pub fn get(&self, q: usize) -> Pauli {
+        assert!(q < self.n);
+        let (w, b) = (q / 64, q % 64);
+        Pauli::from_bits((self.x[w] >> b) & 1 == 1, (self.z[w] >> b) & 1 == 1)
+    }
+
+    /// Set the Pauli on qubit `q`.
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        assert!(q < self.n);
+        let (w, b) = (q / 64, q % 64);
+        let (xb, zb) = p.bits();
+        self.x[w] = (self.x[w] & !(1 << b)) | ((xb as u64) << b);
+        self.z[w] = (self.z[w] & !(1 << b)) | ((zb as u64) << b);
+    }
+
+    /// Number of non-identity tensor factors.
+    pub fn weight(&self) -> usize {
+        self.x
+            .iter()
+            .zip(&self.z)
+            .map(|(x, z)| (x | z).count_ones() as usize)
+            .sum()
+    }
+
+    /// True when `self` and `other` commute (symplectic inner product = 0).
+    pub fn commutes_with(&self, other: &Self) -> bool {
+        assert_eq!(self.n, other.n);
+        let mut acc = 0u32;
+        for i in 0..self.x.len() {
+            acc ^= (self.x[i] & other.z[i]).count_ones() & 1;
+            acc ^= (self.z[i] & other.x[i]).count_ones() & 1;
+        }
+        acc == 0
+    }
+
+    /// Multiply `self ← self · other`, tracking the `i` phase exponent.
+    pub fn mul_assign(&mut self, other: &Self) {
+        assert_eq!(self.n, other.n);
+        let mut phase = u32::from(self.phase) + u32::from(other.phase);
+        // Phase from per-qubit products: X·Z = -iY, Z·X = iY, X·Y = iZ, ...
+        // For P1·P2 on one qubit with bits (x1,z1),(x2,z2) the i-exponent is
+        // g = x1 z2 (1 + 2(z1 ^ x2)) - z1 x2 (1 + 2(x1 ^ z2)) ... simpler to
+        // evaluate per qubit via lookup.
+        for q in 0..self.n {
+            let a = self.get(q);
+            let b = other.get(q);
+            phase = (phase + u32::from(pauli_mul_phase(a, b))) % 4;
+        }
+        for i in 0..self.x.len() {
+            self.x[i] ^= other.x[i];
+            self.z[i] ^= other.z[i];
+        }
+        self.phase = (phase % 4) as u8;
+    }
+
+    /// Raw X words (frame sampler internals).
+    pub fn x_words(&self) -> &[u64] {
+        &self.x
+    }
+
+    /// Raw Z words.
+    pub fn z_words(&self) -> &[u64] {
+        &self.z
+    }
+}
+
+/// i-exponent of the single-qubit product `a · b` (e.g. X·Y = iZ → 1).
+fn pauli_mul_phase(a: Pauli, b: Pauli) -> u8 {
+    use Pauli::*;
+    match (a, b) {
+        (X, Y) | (Y, Z) | (Z, X) => 1,
+        (Y, X) | (Z, Y) | (X, Z) => 3,
+        _ => 0,
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = match self.phase {
+            0 => "+",
+            1 => "+i",
+            2 => "-",
+            3 => "-i",
+            _ => unreachable!(),
+        };
+        write!(f, "{sign}")?;
+        for q in 0..self.n {
+            write!(f, "{}", self.get(q).letter())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_access() {
+        let p = PauliString::from_str("XIZY");
+        assert_eq!(p.get(0), Pauli::X);
+        assert_eq!(p.get(1), Pauli::I);
+        assert_eq!(p.get(2), Pauli::Z);
+        assert_eq!(p.get(3), Pauli::Y);
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.phase(), 0);
+        let m = PauliString::from_str("-XX");
+        assert_eq!(m.phase(), 2);
+    }
+
+    #[test]
+    fn commutation_rules() {
+        let x = PauliString::from_str("X");
+        let z = PauliString::from_str("Z");
+        let y = PauliString::from_str("Y");
+        assert!(!x.commutes_with(&z));
+        assert!(!x.commutes_with(&y));
+        assert!(!y.commutes_with(&z));
+        assert!(x.commutes_with(&x));
+        // XX vs ZZ: two anticommuting factors -> commute overall.
+        let xx = PauliString::from_str("XX");
+        let zz = PauliString::from_str("ZZ");
+        assert!(xx.commutes_with(&zz));
+        // XI vs ZZ: one anticommuting factor -> anticommute.
+        let xi = PauliString::from_str("XI");
+        assert!(!xi.commutes_with(&zz));
+    }
+
+    #[test]
+    fn multiplication_phases() {
+        // X·Y = iZ
+        let mut p = PauliString::from_str("X");
+        p.mul_assign(&PauliString::from_str("Y"));
+        assert_eq!(p.get(0), Pauli::Z);
+        assert_eq!(p.phase(), 1);
+        // Y·X = -iZ
+        let mut p = PauliString::from_str("Y");
+        p.mul_assign(&PauliString::from_str("X"));
+        assert_eq!(p.get(0), Pauli::Z);
+        assert_eq!(p.phase(), 3);
+        // X·X = I
+        let mut p = PauliString::from_str("X");
+        p.mul_assign(&PauliString::from_str("X"));
+        assert_eq!(p.get(0), Pauli::I);
+        assert_eq!(p.phase(), 0);
+    }
+
+    #[test]
+    fn multiword_strings() {
+        let n = 130;
+        let mut p = PauliString::identity(n);
+        p.set(0, Pauli::X);
+        p.set(64, Pauli::Y);
+        p.set(129, Pauli::Z);
+        assert_eq!(p.weight(), 3);
+        assert_eq!(p.get(64), Pauli::Y);
+        let mut q = PauliString::identity(n);
+        q.set(64, Pauli::Z);
+        assert!(!p.commutes_with(&q));
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut p = PauliString::identity(2);
+        p.set(1, Pauli::Y);
+        p.set(1, Pauli::X);
+        assert_eq!(p.get(1), Pauli::X);
+        p.set(1, Pauli::I);
+        assert_eq!(p.weight(), 0);
+    }
+
+    #[test]
+    fn debug_format() {
+        let p = PauliString::from_str("-XZ");
+        assert_eq!(format!("{p:?}"), "-XZ");
+    }
+}

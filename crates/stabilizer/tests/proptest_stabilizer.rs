@@ -1,0 +1,136 @@
+//! Property tests: tableau vs. statevector on random Clifford circuits,
+//! and frame-sampler agreement on deterministic-reference workloads.
+
+use proptest::prelude::*;
+use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_stabilizer::frame::{tableau_sample_one, FrameSampler};
+use ptsbe_stabilizer::{PauliString, Tableau};
+
+/// Random Clifford gate recipe.
+fn clifford_recipe() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+    prop::collection::vec((0u8..8, 0usize..4, 0usize..4), 1..20)
+}
+
+fn apply_recipe_tableau(t: &mut Tableau, recipe: &[(u8, usize, usize)]) {
+    for &(kind, a, b) in recipe {
+        match kind {
+            0 => t.h(a),
+            1 => t.s(a),
+            2 => t.sx(a),
+            3 => t.sy(a),
+            4 => t.x(a),
+            5 if a != b => t.cx(a, b),
+            6 if a != b => t.cz(a, b),
+            _ => t.z(a),
+        }
+    }
+}
+
+fn apply_recipe_sv(sv: &mut ptsbe_statevector::StateVector<f64>, recipe: &[(u8, usize, usize)]) {
+    use ptsbe_math::gates;
+    for &(kind, a, b) in recipe {
+        match kind {
+            0 => sv.apply_1q(&gates::h(), a),
+            1 => sv.apply_1q(&gates::s(), a),
+            2 => sv.apply_1q(&gates::sx(), a),
+            3 => sv.apply_1q(&gates::sy(), a),
+            4 => sv.apply_1q(&gates::x(), a),
+            5 if a != b => sv.apply_cx(a, b),
+            6 if a != b => sv.apply_cz(a, b),
+            _ => sv.apply_1q(&gates::z(), a),
+        }
+    }
+}
+
+/// ⟨ψ|P|ψ⟩ on the statevector for a phase-free Pauli string.
+fn sv_pauli_expectation(
+    sv: &ptsbe_statevector::StateVector<f64>,
+    p: &PauliString,
+) -> f64 {
+    use ptsbe_math::gates;
+    let mut copy = sv.clone();
+    for q in 0..p.n_qubits() {
+        match p.get(q) {
+            ptsbe_stabilizer::Pauli::I => {}
+            ptsbe_stabilizer::Pauli::X => copy.apply_1q(&gates::x(), q),
+            ptsbe_stabilizer::Pauli::Y => copy.apply_1q(&gates::y(), q),
+            ptsbe_stabilizer::Pauli::Z => copy.apply_1q(&gates::z(), q),
+        }
+    }
+    sv.inner(&copy).re
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Every deterministic tableau expectation matches the statevector.
+    #[test]
+    fn tableau_expectations_match_statevector(recipe in clifford_recipe(), obs_bits in prop::collection::vec(0u8..4, 4)) {
+        let n = 4;
+        let mut tab = Tableau::zero_state(n);
+        let mut sv = ptsbe_statevector::StateVector::<f64>::zero_state(n);
+        apply_recipe_tableau(&mut tab, &recipe);
+        apply_recipe_sv(&mut sv, &recipe);
+
+        let mut obs = PauliString::identity(n);
+        for (q, &b) in obs_bits.iter().enumerate() {
+            obs.set(q, match b {
+                0 => ptsbe_stabilizer::Pauli::I,
+                1 => ptsbe_stabilizer::Pauli::X,
+                2 => ptsbe_stabilizer::Pauli::Y,
+                _ => ptsbe_stabilizer::Pauli::Z,
+            });
+        }
+        let exact = sv_pauli_expectation(&sv, &obs);
+        match tab.expectation(&obs) {
+            Some(true) => prop_assert!((exact - 1.0).abs() < 1e-9, "tableau says +1, sv {exact}"),
+            Some(false) => prop_assert!((exact + 1.0).abs() < 1e-9, "tableau says -1, sv {exact}"),
+            None => prop_assert!(exact.abs() < 1e-9, "tableau says 0, sv {exact}"),
+        }
+    }
+
+    /// Frame sampler and per-shot tableau agree on syndrome-style
+    /// circuits (identity-composition CX networks with Pauli noise).
+    #[test]
+    fn frame_sampler_matches_tableau_random(seed in 0u64..200, p in 0.0f64..0.3) {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).cx(1, 2).cx(1, 2).cx(0, 1).measure_all();
+        let noisy: NoisyCircuit = NoiseModel::new()
+            .with_default_2q(channels::depolarizing(p))
+            .apply(&c);
+        let mut rng = PhiloxRng::new(seed, 21);
+        let sampler = FrameSampler::new(&noisy, &mut rng).unwrap();
+        prop_assume!(!sampler.sample(1, &mut rng).reference_was_random);
+
+        let shots = 20_000;
+        let bulk = sampler.sample(shots, &mut rng);
+        let mut h_bulk = [0usize; 8];
+        for &s in &bulk.shots {
+            h_bulk[s as usize] += 1;
+        }
+        let program = sampler.program();
+        let mut h_tab = [0usize; 8];
+        for _ in 0..shots {
+            h_tab[tableau_sample_one(program, &mut rng) as usize] += 1;
+        }
+        for i in 0..8 {
+            let a = h_bulk[i] as f64 / shots as f64;
+            let b = h_tab[i] as f64 / shots as f64;
+            prop_assert!((a - b).abs() < 0.02, "outcome {i}: {a} vs {b}");
+        }
+    }
+
+    /// Measurement repeatability: measuring the same qubit twice gives
+    /// the same outcome, on any Clifford state.
+    #[test]
+    fn repeated_measurement_is_stable(recipe in clifford_recipe(), q in 0usize..4, seed in 0u64..500) {
+        let mut tab = Tableau::zero_state(4);
+        apply_recipe_tableau(&mut tab, &recipe);
+        let mut rng = PhiloxRng::new(seed, 22);
+        let (o1, _) = tab.measure(q, &mut rng);
+        let (o2, random2) = tab.measure(q, &mut rng);
+        prop_assert!(!random2, "second measurement must be deterministic");
+        prop_assert_eq!(o1, o2);
+    }
+}

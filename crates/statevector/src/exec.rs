@@ -1,0 +1,389 @@
+//! Circuit execution on the statevector backend.
+//!
+//! [`compile`] lowers a [`NoisyCircuit`] once into precision-converted
+//! matrices and fast-path tags; [`prepare`] then executes it under a fixed
+//! trajectory assignment — the operation Batched Execution repeats once
+//! per Kraus set instead of once per shot. Compilation is shared across
+//! trajectories, eliminating the "redundant circuit recompilation" the
+//! paper's BE bullet calls out.
+
+use ptsbe_circuit::{Circuit, ChannelKind, NoisyCircuit, NoisyOp, Op};
+use ptsbe_math::{Matrix, Scalar};
+
+use crate::kraus::apply_kraus_normalized;
+use crate::state::StateVector;
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A stochastic op appeared where a deterministic stream was required.
+    UnexpectedNoise,
+    /// Gates after measurement (batched execution requires terminal
+    /// measurement so one prepared state serves every shot).
+    MidCircuitMeasurement,
+    /// Reset is stochastic and unsupported in fixed-assignment execution.
+    UnsupportedReset,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnexpectedNoise => write!(f, "circuit contains unresolved noise ops"),
+            ExecError::MidCircuitMeasurement => {
+                write!(f, "batched execution requires terminal measurements")
+            }
+            ExecError::UnsupportedReset => write!(f, "reset is not supported in this mode"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A gate lowered to its execution form.
+#[derive(Clone, Debug)]
+pub enum CompiledOp<T: Scalar> {
+    /// Dense 1-qubit matrix.
+    G1(Matrix<T>, usize),
+    /// Dense 2-qubit matrix.
+    G2(Matrix<T>, usize, usize),
+    /// CNOT permutation fast path.
+    Cx(usize, usize),
+    /// CZ diagonal fast path.
+    Cz(usize, usize),
+    /// SWAP permutation fast path.
+    Swap(usize, usize),
+    /// k-qubit dense matrix.
+    Gk(Matrix<T>, Vec<usize>),
+    /// Noise site resolved through the trajectory assignment.
+    Site(usize),
+}
+
+/// One lowered noise site: matrices pre-converted, classification cached.
+#[derive(Clone, Debug)]
+pub struct CompiledSite<T: Scalar> {
+    /// Site qubits.
+    pub qubits: Vec<usize>,
+    /// Unitary branches (for mixtures) or Kraus operators (general).
+    pub mats: Vec<Matrix<T>>,
+    /// True when branches are unitaries with state-independent probs.
+    pub is_unitary_mixture: bool,
+    /// Pre-sampling probabilities (exact for mixtures, nominal otherwise).
+    pub probs: Vec<f64>,
+}
+
+/// A [`NoisyCircuit`] lowered for repeated execution at precision `T`.
+#[derive(Clone, Debug)]
+pub struct Compiled<T: Scalar> {
+    n_qubits: usize,
+    ops: Vec<CompiledOp<T>>,
+    sites: Vec<CompiledSite<T>>,
+    measured: Vec<usize>,
+}
+
+impl<T: Scalar> Compiled<T> {
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+    /// Lowered op stream.
+    pub fn ops(&self) -> &[CompiledOp<T>] {
+        &self.ops
+    }
+    /// Lowered noise sites.
+    pub fn sites(&self) -> &[CompiledSite<T>] {
+        &self.sites
+    }
+    /// Mutable site access — exists for the unitary-mixture ablation
+    /// benchmark (forcing the general-channel path); not a normal API.
+    pub fn sites_mut(&mut self) -> &mut [CompiledSite<T>] {
+        &mut self.sites
+    }
+    /// Terminal measurement qubits, record order.
+    pub fn measured_qubits(&self) -> &[usize] {
+        &self.measured
+    }
+}
+
+/// Lower a noisy circuit for repeated fixed-assignment execution.
+///
+/// # Errors
+/// [`ExecError::MidCircuitMeasurement`] if any gate/noise op follows a
+/// measurement; [`ExecError::UnsupportedReset`] on reset ops.
+pub fn compile<T: Scalar>(nc: &NoisyCircuit) -> Result<Compiled<T>, ExecError> {
+    let mut ops = Vec::with_capacity(nc.ops().len());
+    let mut measured = Vec::new();
+    let mut seen_measure = false;
+    for op in nc.ops() {
+        match op {
+            NoisyOp::Gate(g) => {
+                if seen_measure {
+                    return Err(ExecError::MidCircuitMeasurement);
+                }
+                ops.push(lower_gate(g));
+            }
+            NoisyOp::Site(id) => {
+                if seen_measure {
+                    return Err(ExecError::MidCircuitMeasurement);
+                }
+                ops.push(CompiledOp::Site(*id));
+            }
+            NoisyOp::Measure { qubits } => {
+                seen_measure = true;
+                measured.extend_from_slice(qubits);
+            }
+            NoisyOp::Reset { .. } => return Err(ExecError::UnsupportedReset),
+        }
+    }
+    let sites = nc
+        .sites()
+        .iter()
+        .map(|site| {
+            let (mats, is_mixture): (Vec<Matrix<T>>, bool) = match site.channel.kind() {
+                ChannelKind::UnitaryMixture { unitaries, .. } => (
+                    unitaries.iter().map(|u| Matrix::from_f64_matrix(u)).collect(),
+                    true,
+                ),
+                ChannelKind::General { .. } => (
+                    site.channel
+                        .ops()
+                        .iter()
+                        .map(|k| Matrix::from_f64_matrix(k))
+                        .collect(),
+                    false,
+                ),
+            };
+            CompiledSite {
+                qubits: site.qubits.clone(),
+                mats,
+                is_unitary_mixture: is_mixture,
+                probs: site.channel.sampling_probs().to_vec(),
+            }
+        })
+        .collect();
+    Ok(Compiled {
+        n_qubits: nc.n_qubits(),
+        ops,
+        sites,
+        measured,
+    })
+}
+
+fn lower_gate<T: Scalar>(g: &ptsbe_circuit::GateOp) -> CompiledOp<T> {
+    use ptsbe_circuit::Gate;
+    match (&g.gate, g.qubits.as_slice()) {
+        (Gate::Cx, [c, t]) => CompiledOp::Cx(*c, *t),
+        (Gate::Cz, [a, b]) => CompiledOp::Cz(*a, *b),
+        (Gate::Swap, [a, b]) => CompiledOp::Swap(*a, *b),
+        (gate, [q]) => CompiledOp::G1(gate.matrix(), *q),
+        (gate, [a, b]) => CompiledOp::G2(gate.matrix(), *a, *b),
+        (gate, qs) => CompiledOp::Gk(gate.matrix(), qs.to_vec()),
+    }
+}
+
+/// Execute a compiled circuit under a fixed Kraus assignment
+/// (`choices[site_id]` = branch index). Returns the prepared state and the
+/// *realized* joint trajectory probability `p_α` — for unitary mixtures
+/// this equals the nominal product exactly; for general channels it is the
+/// state-dependent probability needed for importance weighting.
+pub fn prepare<T: Scalar>(
+    compiled: &Compiled<T>,
+    choices: &[usize],
+) -> (StateVector<T>, f64) {
+    assert_eq!(
+        choices.len(),
+        compiled.sites.len(),
+        "assignment length does not match site count"
+    );
+    let mut sv = StateVector::zero_state(compiled.n_qubits);
+    let mut realized = 1.0f64;
+    for op in &compiled.ops {
+        match op {
+            CompiledOp::G1(m, q) => sv.apply_1q(m, *q),
+            CompiledOp::G2(m, a, b) => sv.apply_2q(m, *a, *b),
+            CompiledOp::Cx(c, t) => sv.apply_cx(*c, *t),
+            CompiledOp::Cz(a, b) => sv.apply_cz(*a, *b),
+            CompiledOp::Swap(a, b) => sv.apply_swap(*a, *b),
+            CompiledOp::Gk(m, qs) => sv.apply_kq(m, qs),
+            CompiledOp::Site(id) => {
+                let site = &compiled.sites[*id];
+                let k = choices[*id];
+                if site.is_unitary_mixture {
+                    realized *= site.probs[k];
+                    apply_sized(&mut sv, &site.mats[k], &site.qubits);
+                } else {
+                    realized *= apply_kraus_normalized(&mut sv, &site.mats[k], &site.qubits);
+                }
+            }
+        }
+    }
+    (sv, realized)
+}
+
+fn apply_sized<T: Scalar>(sv: &mut StateVector<T>, m: &Matrix<T>, qubits: &[usize]) {
+    match qubits.len() {
+        1 => sv.apply_1q(m, qubits[0]),
+        2 => sv.apply_2q(m, qubits[0], qubits[1]),
+        _ => sv.apply_kq(m, qubits),
+    }
+}
+
+/// Execute a noise-free circuit (gates + terminal measurement only).
+///
+/// # Errors
+/// [`ExecError::UnexpectedNoise`] if the circuit contains noise ops.
+pub fn run_pure<T: Scalar>(circuit: &Circuit) -> Result<StateVector<T>, ExecError> {
+    for op in circuit.ops() {
+        if matches!(op, Op::Noise(_)) {
+            return Err(ExecError::UnexpectedNoise);
+        }
+    }
+    let nc = NoisyCircuit::from_circuit(circuit.clone());
+    let compiled = compile::<T>(&nc)?;
+    Ok(prepare(&compiled, &[]).0)
+}
+
+/// Convenience: compile + prepare in one call (per-trajectory compilation;
+/// prefer [`compile`] once + [`prepare`] many for batched workloads).
+pub fn prepare_with_assignment<T: Scalar>(
+    nc: &NoisyCircuit,
+    choices: &[usize],
+) -> Result<(StateVector<T>, f64), ExecError> {
+    let compiled = compile::<T>(nc)?;
+    Ok(prepare(&compiled, choices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_circuit::{channels, NoiseModel};
+
+    fn noisy_bell(p: f64) -> NoisyCircuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        NoiseModel::new()
+            .with_default_1q(channels::depolarizing(p))
+            .with_default_2q(channels::depolarizing(p))
+            .apply(&c)
+    }
+
+    #[test]
+    fn run_pure_bell() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let sv = run_pure::<f64>(&c).unwrap();
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_pure_rejects_noise() {
+        let mut c = Circuit::new(1);
+        c.noise(std::sync::Arc::new(channels::depolarizing(0.1)), &[0]);
+        assert_eq!(run_pure::<f64>(&c).unwrap_err(), ExecError::UnexpectedNoise);
+    }
+
+    #[test]
+    fn identity_assignment_matches_pure() {
+        let nc = noisy_bell(0.2);
+        let ident = nc.identity_assignment().unwrap();
+        let (sv, p) = prepare_with_assignment::<f64>(&nc, &ident).unwrap();
+        assert!((p - 0.8f64.powi(3)).abs() < 1e-12);
+        assert!((sv.probability(0) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_error_flips_output() {
+        let nc = noisy_bell(0.2);
+        // X on site 2 (qubit 1, after the CX): Bell becomes (|10⟩+|01⟩)/√2.
+        // (An X on site 0 — qubit 0 right after H — would be invisible,
+        // since X|+⟩ = |+⟩.)
+        let mut choices = nc.identity_assignment().unwrap();
+        choices[2] = 1;
+        let (sv, p) = prepare_with_assignment::<f64>(&nc, &choices).unwrap();
+        assert!((p - 0.8f64.powi(2) * (0.2 / 3.0)).abs() < 1e-12);
+        assert!((sv.probability(0b01) - 0.5).abs() < 1e-12);
+        assert!((sv.probability(0b10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_channel_realized_probability() {
+        // H then amplitude damping on |+⟩: branch 1 realizes γ/2.
+        let gamma = 0.3;
+        let mut c = Circuit::new(1);
+        c.h(0).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::amplitude_damping(gamma))
+            .apply(&c);
+        let (sv, p) = prepare_with_assignment::<f64>(&nc, &[1]).unwrap();
+        assert!((p - gamma / 2.0).abs() < 1e-12);
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+        // Nominal (proposal) weight differs: γ/2 happens to match here
+        // because tr(K1†K1)/2 = γ/2 — exercised properly in core's
+        // importance-weighting tests.
+    }
+
+    #[test]
+    fn mid_circuit_measurement_rejected() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(&[0]);
+        c.cx(0, 1);
+        let nc = NoisyCircuit::from_circuit(c);
+        assert_eq!(
+            compile::<f64>(&nc).unwrap_err(),
+            ExecError::MidCircuitMeasurement
+        );
+    }
+
+    #[test]
+    fn reset_rejected() {
+        let mut c = Circuit::new(1);
+        c.reset(0);
+        let nc = NoisyCircuit::from_circuit(c);
+        assert_eq!(compile::<f64>(&nc).unwrap_err(), ExecError::UnsupportedReset);
+    }
+
+    #[test]
+    fn compile_once_prepare_many() {
+        let nc = noisy_bell(0.1);
+        let compiled = compile::<f64>(&nc).unwrap();
+        assert_eq!(compiled.sites().len(), 3);
+        assert_eq!(compiled.measured_qubits(), &[0, 1]);
+        let ident = nc.identity_assignment().unwrap();
+        let (a, _) = prepare(&compiled, &ident);
+        let (b, _) = prepare(&compiled, &ident);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_paths_used_for_cliffords() {
+        let nc = noisy_bell(0.0);
+        let compiled = compile::<f64>(&nc).unwrap();
+        assert!(compiled
+            .ops()
+            .iter()
+            .any(|op| matches!(op, CompiledOp::Cx(_, _))));
+    }
+
+    #[test]
+    fn f32_backend_consistent() {
+        let nc = noisy_bell(0.15);
+        let ident = nc.identity_assignment().unwrap();
+        let (sv64, p64) = prepare_with_assignment::<f64>(&nc, &ident).unwrap();
+        let (sv32, p32) = prepare_with_assignment::<f32>(&nc, &ident).unwrap();
+        assert!((p64 - p32).abs() < 1e-6);
+        for i in 0..4 {
+            assert!(
+                (sv64.probability(i).to_f64() - sv32.probability(i).to_f64()).abs() < 1e-5
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length")]
+    fn assignment_length_enforced() {
+        let nc = noisy_bell(0.1);
+        let compiled = compile::<f64>(&nc).unwrap();
+        let _ = prepare(&compiled, &[0]);
+    }
+}

@@ -1,0 +1,291 @@
+//! State-dependent Kraus-branch evaluation.
+//!
+//! Implements the two quantum-state-touching pieces of the paper's
+//! Algorithm 1 general-channel path:
+//!
+//! - line 9, `p_i ← ⟨ψ|K_i†K_i|ψ⟩` — computed for *all* branches in one
+//!   streaming pass over the amplitudes ([`kraus_probabilities`]);
+//! - line 11, `applyMatrix(K_k/√p_k)` — normalized application of the
+//!   chosen branch ([`apply_kraus_normalized`]).
+//!
+//! The same primitives serve PTSBE's importance weighting: executing a
+//! *pre-sampled* general-channel branch returns its realized probability,
+//! whose product over sites is the exact trajectory probability `p_α`.
+
+use ptsbe_math::{Complex, Matrix, Scalar};
+use rayon::prelude::*;
+
+use crate::state::StateVector;
+use crate::PARALLEL_THRESHOLD_QUBITS;
+
+/// Branch probabilities `⟨ψ|K_i†K_i|ψ⟩` for every operator in `ops`,
+/// computed in a single pass (specialized for 1- and 2-qubit channels,
+/// which is all the noise-model zoo produces).
+///
+/// Accumulation is in `f64` for the same reason as the bulk sampler.
+pub fn kraus_probabilities<T: Scalar>(
+    sv: &StateVector<T>,
+    ops: &[Matrix<T>],
+    qubits: &[usize],
+) -> Vec<f64> {
+    match qubits.len() {
+        1 => kraus_probs_1q(sv, ops, qubits[0]),
+        2 => kraus_probs_2q(sv, ops, qubits[0], qubits[1]),
+        _ => kraus_probs_fallback(sv, ops, qubits),
+    }
+}
+
+fn kraus_probs_1q<T: Scalar>(sv: &StateVector<T>, ops: &[Matrix<T>], q: usize) -> Vec<f64> {
+    let stride = 1usize << q;
+    let entries: Vec<[Complex<T>; 4]> = ops
+        .iter()
+        .map(|m| [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]])
+        .collect();
+    let fold_chunk = |chunk: &[Complex<T>]| -> Vec<f64> {
+        let mut acc = vec![0.0f64; entries.len()];
+        let (lo, hi) = chunk.split_at(stride);
+        for (a0, a1) in lo.iter().zip(hi.iter()) {
+            for (e, a) in entries.iter().zip(acc.iter_mut()) {
+                let y0 = e[0] * *a0 + e[1] * *a1;
+                let y1 = e[2] * *a0 + e[3] * *a1;
+                *a += y0.norm_sqr().to_f64() + y1.norm_sqr().to_f64();
+            }
+        }
+        acc
+    };
+    let amps = sv.amplitudes();
+    if sv.n_qubits() >= PARALLEL_THRESHOLD_QUBITS {
+        amps.par_chunks(2 * stride)
+            .map(fold_chunk)
+            .reduce(|| vec![0.0f64; ops.len()], add_vecs)
+    } else {
+        amps.chunks(2 * stride)
+            .map(fold_chunk)
+            .fold(vec![0.0f64; ops.len()], |a, b| add_vecs(a, b))
+    }
+}
+
+fn kraus_probs_2q<T: Scalar>(
+    sv: &StateVector<T>,
+    ops: &[Matrix<T>],
+    a: usize,
+    b: usize,
+) -> Vec<f64> {
+    let qh = a.max(b);
+    let ql = a.min(b);
+    let sh = 1usize << qh;
+    let sl = 1usize << ql;
+    let pos_to_basis = |h: usize, l: usize| -> usize {
+        let bit_a = if a == qh { h } else { l };
+        let bit_b = if b == qh { h } else { l };
+        (bit_a << 1) | bit_b
+    };
+    // Remap each operator into local [hl] ordering once.
+    let mats: Vec<[[Complex<T>; 4]; 4]> = ops
+        .iter()
+        .map(|m| {
+            let mut mm = [[Complex::<T>::zero(); 4]; 4];
+            for (r, row) in mm.iter_mut().enumerate() {
+                for (c, entry) in row.iter_mut().enumerate() {
+                    *entry = m[(
+                        pos_to_basis(r >> 1, r & 1),
+                        pos_to_basis(c >> 1, c & 1),
+                    )];
+                }
+            }
+            mm
+        })
+        .collect();
+    let fold_chunk = |chunk: &[Complex<T>]| -> Vec<f64> {
+        let mut acc = vec![0.0f64; mats.len()];
+        let mut base = 0usize;
+        while base < sh {
+            for k in base..base + sl {
+                let x = [chunk[k], chunk[k + sl], chunk[k + sh], chunk[k + sh + sl]];
+                for (mm, am) in mats.iter().zip(acc.iter_mut()) {
+                    let mut p = 0.0f64;
+                    for row in mm {
+                        let mut y = Complex::<T>::zero();
+                        for (c, &xc) in x.iter().enumerate() {
+                            y += row[c] * xc;
+                        }
+                        p += y.norm_sqr().to_f64();
+                    }
+                    *am += p;
+                }
+            }
+            base += 2 * sl;
+        }
+        acc
+    };
+    let amps = sv.amplitudes();
+    if sv.n_qubits() >= PARALLEL_THRESHOLD_QUBITS {
+        amps.par_chunks(2 * sh)
+            .map(fold_chunk)
+            .reduce(|| vec![0.0f64; ops.len()], add_vecs)
+    } else {
+        amps.chunks(2 * sh)
+            .map(fold_chunk)
+            .fold(vec![0.0f64; ops.len()], |a_, b_| add_vecs(a_, b_))
+    }
+}
+
+/// Fallback for arity ≥ 3: clone, apply, measure norm.
+fn kraus_probs_fallback<T: Scalar>(
+    sv: &StateVector<T>,
+    ops: &[Matrix<T>],
+    qubits: &[usize],
+) -> Vec<f64> {
+    ops.iter()
+        .map(|k| {
+            let mut copy = sv.clone();
+            copy.apply_kq(k, qubits);
+            copy.norm_sqr().to_f64()
+        })
+        .collect()
+}
+
+fn add_vecs(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+    a
+}
+
+/// Apply a (generally non-unitary) Kraus operator and renormalize.
+/// Returns the realized branch probability `‖K|ψ⟩‖²`.
+pub fn apply_kraus_normalized<T: Scalar>(
+    sv: &mut StateVector<T>,
+    k: &Matrix<T>,
+    qubits: &[usize],
+) -> f64 {
+    sv.apply_kq(k, qubits);
+    let p = sv.norm_sqr().to_f64();
+    sv.normalize();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_math::gates;
+
+    fn to_t<T: Scalar>(ms: &[Matrix<f64>]) -> Vec<Matrix<T>> {
+        ms.iter().map(Matrix::from_f64_matrix).collect()
+    }
+
+    #[test]
+    fn amplitude_damping_probs_depend_on_state() {
+        let gamma = 0.3f64;
+        let ch = ptsbe_circuit::channels::amplitude_damping(gamma);
+        let ops: Vec<Matrix<f64>> = ch.ops().iter().map(|k| (**k).clone()).collect();
+
+        // On |0⟩: no decay possible, p = [1, 0].
+        let sv = StateVector::<f64>::zero_state(1);
+        let p = kraus_probabilities(&sv, &to_t(&ops), &[0]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12);
+
+        // On |1⟩: decay fires with probability γ.
+        let sv = StateVector::<f64>::basis_state(1, 1);
+        let p = kraus_probabilities(&sv, &to_t(&ops), &[0]);
+        assert!((p[0] - (1.0 - gamma)).abs() < 1e-12);
+        assert!((p[1] - gamma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probs_sum_to_one_for_any_state() {
+        let mut rng = ptsbe_rng::PhiloxRng::new(80, 0);
+        let ch = ptsbe_circuit::channels::generalized_amplitude_damping(0.4, 0.3);
+        let ops: Vec<Matrix<f64>> = ch.ops().iter().map(|k| (**k).clone()).collect();
+        for _ in 0..5 {
+            let amps = ptsbe_math::random::random_state::<f64>(8, &mut rng);
+            let sv = StateVector::from_amplitudes(amps);
+            for q in 0..3 {
+                let p = kraus_probabilities(&sv, &to_t(&ops), &[q]);
+                let total: f64 = p.iter().sum();
+                assert!((total - 1.0).abs() < 1e-10, "q={q}: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_mixture_probs_state_independent() {
+        let ch = ptsbe_circuit::channels::depolarizing(0.2);
+        let ops: Vec<Matrix<f64>> = ch.ops().iter().map(|k| (**k).clone()).collect();
+        let mut rng = ptsbe_rng::PhiloxRng::new(81, 0);
+        let expected = ch.sampling_probs();
+        for _ in 0..3 {
+            let amps = ptsbe_math::random::random_state::<f64>(16, &mut rng);
+            let sv = StateVector::from_amplitudes(amps);
+            let p = kraus_probabilities(&sv, &to_t(&ops), &[2]);
+            for (pi, ei) in p.iter().zip(expected) {
+                assert!((pi - ei).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_channel_probs() {
+        let ch = ptsbe_circuit::channels::depolarizing2(0.3);
+        let ops: Vec<Matrix<f64>> = ch.ops().iter().map(|k| (**k).clone()).collect();
+        let mut rng = ptsbe_rng::PhiloxRng::new(82, 0);
+        let amps = ptsbe_math::random::random_state::<f64>(16, &mut rng);
+        let sv = StateVector::from_amplitudes(amps);
+        for (a, b) in [(0usize, 1usize), (1, 0), (0, 3), (3, 1)] {
+            let p = kraus_probabilities(&sv, &to_t(&ops), &[a, b]);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-10);
+            for (pi, ei) in p.iter().zip(ch.sampling_probs()) {
+                assert!((pi - ei).abs() < 1e-10, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_matches_specialized() {
+        let ch = ptsbe_circuit::channels::amplitude_damping(0.25);
+        let ops: Vec<Matrix<f64>> = ch.ops().iter().map(|k| (**k).clone()).collect();
+        let mut rng = ptsbe_rng::PhiloxRng::new(83, 0);
+        let amps = ptsbe_math::random::random_state::<f64>(8, &mut rng);
+        let sv = StateVector::from_amplitudes(amps);
+        let fast = kraus_probabilities(&sv, &to_t(&ops), &[1]);
+        let slow = kraus_probs_fallback(&sv, &to_t(&ops), &[1]);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn apply_normalized_returns_probability() {
+        let gamma = 0.4f64;
+        let ch = ptsbe_circuit::channels::amplitude_damping(gamma);
+        // |+⟩ state: p(decay) = γ/2.
+        let mut sv = StateVector::<f64>::zero_state(1);
+        sv.apply_1q(&gates::h(), 0);
+        let k1 = Matrix::<f64>::from_f64_matrix(ch.op(1));
+        let p = apply_kraus_normalized(&mut sv, &k1, &[0]);
+        assert!((p - gamma / 2.0).abs() < 1e-12);
+        // Post-state is |0⟩ (decay projects).
+        assert!((sv.probability(0) - 1.0).abs() < 1e-12);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        // 15-qubit state exercises the rayon reduction.
+        let n = 15;
+        let mut sv = StateVector::<f64>::zero_state(n);
+        for q in 0..n {
+            sv.apply_1q(&gates::ry(0.1 * q as f64), q);
+        }
+        let ch = ptsbe_circuit::channels::amplitude_damping(0.2);
+        let ops: Vec<Matrix<f64>> = ch.ops().iter().map(|k| (**k).clone()).collect();
+        let p = kraus_probabilities(&sv, &to_t(&ops), &[7]);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Compare against direct expectation: p1(q7) * gamma.
+        let p1 = sv.prob_one(7);
+        assert!((p[1] - 0.2 * p1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Bulk shot sampling — the quantitative core of Batched Execution.
+//!
+//! The paper's BE step samples all `m_α` shots for a trajectory from one
+//! prepared state, amortizing the exponential preparation cost over the
+//! whole batch ("a task of mere polynomial complexity"). Two bulk
+//! strategies are implemented, both deterministic under a Philox stream:
+//!
+//! - **sorted merge** (default): draw `m` sorted uniforms in O(m)
+//!   ([`ptsbe_rng::sorted`]), then resolve all of them in a *single*
+//!   streaming pass over the amplitudes — O(2^n + m) total, parallelized
+//!   over amplitude chunks;
+//! - **alias table**: O(2^n) table build then O(1) per shot; wins only
+//!   when `m` vastly exceeds the state size (ablation `bulk_sampling`
+//!   bench quantifies the crossover).
+//!
+//! Probabilities are accumulated in `f64` regardless of the amplitude
+//! precision: at `n = 2^20+` amplitudes an `f32` running sum would lose
+//! the very tail probabilities bulk sampling is supposed to resolve.
+
+use ptsbe_math::Scalar;
+use ptsbe_rng::{sorted::sorted_uniforms, AliasTable, Rng};
+use rayon::prelude::*;
+
+use crate::state::StateVector;
+
+/// Bulk sampling strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplingStrategy {
+    /// Choose automatically from `m` and the state size.
+    #[default]
+    Auto,
+    /// Sorted-uniform single-pass merge (O(2^n + m)).
+    SortedMerge,
+    /// Walker alias table (O(2^n) build, O(1) per shot).
+    Alias,
+}
+
+/// Minimum amplitude count before the merge parallelizes.
+const PAR_MIN_AMPS: usize = 1 << 14;
+
+/// Draw `m` basis-index shots from `|ψ|²`.
+///
+/// Output order is unspecified (sorted for the merge strategy); shots are
+/// exchangeable, so callers needing iid *order* should shuffle.
+pub fn sample_shots<T: Scalar, R: Rng + ?Sized>(
+    sv: &StateVector<T>,
+    m: usize,
+    rng: &mut R,
+    strategy: SamplingStrategy,
+) -> Vec<u64> {
+    if m == 0 {
+        return Vec::new();
+    }
+    let n_amps = sv.amplitudes().len();
+    let use_alias = match strategy {
+        SamplingStrategy::Alias => true,
+        SamplingStrategy::SortedMerge => false,
+        // The merge is O(2^n + m) with a tiny constant; the alias table
+        // only pays off once per-shot cost dominates the build by a wide
+        // margin.
+        SamplingStrategy::Auto => m >= n_amps.saturating_mul(8),
+    };
+    if use_alias {
+        sample_alias(sv, m, rng)
+    } else {
+        sample_sorted_merge(sv, m, rng)
+    }
+}
+
+fn sample_alias<T: Scalar, R: Rng + ?Sized>(
+    sv: &StateVector<T>,
+    m: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    let weights: Vec<f64> = sv
+        .amplitudes()
+        .iter()
+        .map(|z| z.norm_sqr().to_f64())
+        .collect();
+    let table = AliasTable::new(&weights);
+    (0..m).map(|_| table.sample(rng) as u64).collect()
+}
+
+fn sample_sorted_merge<T: Scalar, R: Rng + ?Sized>(
+    sv: &StateVector<T>,
+    m: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    let amps = sv.amplitudes();
+    let u = sorted_uniforms(m, rng);
+
+    if amps.len() < PAR_MIN_AMPS {
+        // Serial single pass.
+        let total: f64 = amps.iter().map(|z| z.norm_sqr().to_f64()).sum();
+        let inv_total = 1.0 / total;
+        let mut out = Vec::with_capacity(m);
+        let mut cum = 0.0f64;
+        let mut j = 0usize;
+        for (i, z) in amps.iter().enumerate() {
+            cum += z.norm_sqr().to_f64() * inv_total;
+            while j < u.len() && u[j] < cum {
+                out.push(i as u64);
+                j += 1;
+            }
+            if j == u.len() {
+                break;
+            }
+        }
+        while out.len() < m {
+            out.push((amps.len() - 1) as u64);
+        }
+        return out;
+    }
+
+    // Parallel: per-chunk mass, exclusive prefix, then each chunk resolves
+    // its own slice of the sorted uniforms independently.
+    let chunk = 1usize << 13;
+    let chunk_mass: Vec<f64> = amps
+        .par_chunks(chunk)
+        .map(|c| c.iter().map(|z| z.norm_sqr().to_f64()).sum())
+        .collect();
+    let total: f64 = chunk_mass.iter().sum();
+    let inv_total = 1.0 / total;
+    let mut prefix = Vec::with_capacity(chunk_mass.len() + 1);
+    let mut acc = 0.0f64;
+    prefix.push(0.0);
+    for &cm in &chunk_mass {
+        acc += cm * inv_total;
+        prefix.push(acc);
+    }
+    // Uniform range handled by each chunk: [prefix[c], prefix[c+1]).
+    let jobs: Vec<(usize, usize, usize)> = (0..chunk_mass.len())
+        .map(|c| {
+            let lo = u.partition_point(|&x| x < prefix[c]);
+            let hi = u.partition_point(|&x| x < prefix[c + 1]);
+            (c, lo, hi)
+        })
+        .collect();
+    let pieces: Vec<Vec<u64>> = jobs
+        .into_par_iter()
+        .map(|(c, lo, hi)| {
+            let mut out = Vec::with_capacity(hi - lo);
+            if lo == hi {
+                return out;
+            }
+            let base = c * chunk;
+            let slice = &amps[base..(base + chunk).min(amps.len())];
+            let mut cum = prefix[c];
+            let mut j = lo;
+            for (i, z) in slice.iter().enumerate() {
+                cum += z.norm_sqr().to_f64() * inv_total;
+                while j < hi && u[j] < cum {
+                    out.push((base + i) as u64);
+                    j += 1;
+                }
+                if j == hi {
+                    break;
+                }
+            }
+            // Round-off stragglers land on the chunk's last index.
+            while out.len() < hi - lo {
+                out.push((base + slice.len() - 1) as u64);
+            }
+            out
+        })
+        .collect();
+    let mut out = Vec::with_capacity(m);
+    for p in pieces {
+        out.extend(p);
+    }
+    // Uniforms beyond the final prefix (round-off): last basis state.
+    while out.len() < m {
+        out.push((amps.len() - 1) as u64);
+    }
+    out
+}
+
+/// Extract the measured-qubit bits from a basis-index shot: output bit `t`
+/// is bit `qubits[t]` of `index`. This is how subset measurement works —
+/// sampling the full register then discarding unmeasured bits *is*
+/// marginal sampling.
+pub fn extract_bits(index: u64, qubits: &[usize]) -> u64 {
+    let mut out = 0u64;
+    for (t, &q) in qubits.iter().enumerate() {
+        out |= ((index >> q) & 1) << t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_math::gates;
+    use ptsbe_rng::PhiloxRng;
+
+    fn bell() -> StateVector<f64> {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&gates::h(), 0);
+        sv.apply_cx(0, 1);
+        sv
+    }
+
+    #[test]
+    fn bell_shots_only_00_and_11() {
+        let sv = bell();
+        let mut rng = PhiloxRng::new(70, 0);
+        let shots = sample_shots(&sv, 10_000, &mut rng, SamplingStrategy::SortedMerge);
+        assert_eq!(shots.len(), 10_000);
+        let ones = shots.iter().filter(|&&s| s == 0b11).count();
+        let zeros = shots.iter().filter(|&&s| s == 0b00).count();
+        assert_eq!(ones + zeros, 10_000);
+        let frac = ones as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn alias_strategy_matches_distribution() {
+        let sv = bell();
+        let mut rng = PhiloxRng::new(71, 0);
+        let shots = sample_shots(&sv, 10_000, &mut rng, SamplingStrategy::Alias);
+        let ones = shots.iter().filter(|&&s| s == 0b11).count();
+        let zeros = shots.iter().filter(|&&s| s == 0b00).count();
+        assert_eq!(ones + zeros, 10_000);
+        assert!((ones as f64 / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_shots() {
+        let sv = bell();
+        let mut rng = PhiloxRng::new(72, 0);
+        assert!(sample_shots(&sv, 0, &mut rng, SamplingStrategy::Auto).is_empty());
+    }
+
+    #[test]
+    fn deterministic_state_always_same_shot() {
+        let sv = StateVector::<f64>::basis_state(4, 0b1010);
+        let mut rng = PhiloxRng::new(73, 0);
+        for strategy in [SamplingStrategy::SortedMerge, SamplingStrategy::Alias] {
+            let shots = sample_shots(&sv, 1000, &mut rng, strategy);
+            assert!(shots.iter().all(|&s| s == 0b1010));
+        }
+    }
+
+    #[test]
+    fn parallel_merge_matches_serial_distribution() {
+        // 15 qubits triggers the parallel path.
+        let n = 15;
+        let mut sv = StateVector::<f64>::zero_state(n);
+        for q in 0..n {
+            sv.apply_1q(&gates::h(), q);
+        }
+        let mut rng = PhiloxRng::new(74, 0);
+        let m = 200_000;
+        let shots = sample_shots(&sv, m, &mut rng, SamplingStrategy::SortedMerge);
+        assert_eq!(shots.len(), m);
+        // Uniform distribution: each qubit marginal ~ 0.5.
+        for q in 0..n {
+            let ones = shots.iter().filter(|&&s| (s >> q) & 1 == 1).count();
+            let frac = ones as f64 / m as f64;
+            assert!((frac - 0.5).abs() < 0.01, "qubit {q}: {frac}");
+        }
+        // All shots in range.
+        assert!(shots.iter().all(|&s| s < (1 << n)));
+    }
+
+    #[test]
+    fn f32_precision_sampling() {
+        let mut sv = StateVector::<f32>::zero_state(10);
+        for q in 0..10 {
+            sv.apply_1q(&gates::h(), q);
+        }
+        let mut rng = PhiloxRng::new(75, 0);
+        let shots = sample_shots(&sv, 50_000, &mut rng, SamplingStrategy::Auto);
+        let ones0 = shots.iter().filter(|&&s| s & 1 == 1).count();
+        assert!((ones0 as f64 / 50_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn ghz_correlations_preserved() {
+        let n = 16;
+        let mut sv = StateVector::<f64>::zero_state(n);
+        sv.apply_1q(&gates::h(), 0);
+        for q in 0..n - 1 {
+            sv.apply_cx(q, q + 1);
+        }
+        let mut rng = PhiloxRng::new(76, 0);
+        let shots = sample_shots(&sv, 20_000, &mut rng, SamplingStrategy::Auto);
+        for &s in &shots {
+            assert!(s == 0 || s == (1 << n) - 1, "GHZ shot {s:#x} not all-0/all-1");
+        }
+    }
+
+    #[test]
+    fn extract_bits_order() {
+        // index 0b1010, qubits [1, 3] -> bits (1, 1) -> 0b11
+        assert_eq!(extract_bits(0b1010, &[1, 3]), 0b11);
+        // qubits [0, 2] -> (0, 0)
+        assert_eq!(extract_bits(0b1010, &[0, 2]), 0b00);
+        // order matters: [3, 1] -> bit0 = q3 = 1, bit1 = q1 = 1
+        assert_eq!(extract_bits(0b1000, &[3, 1]), 0b01);
+        assert_eq!(extract_bits(0b0010, &[3, 1]), 0b10);
+    }
+
+    #[test]
+    fn auto_strategy_small_state_many_shots() {
+        // 2 qubits, huge m: Auto should pick alias and still be correct.
+        let sv = bell();
+        let mut rng = PhiloxRng::new(77, 0);
+        let shots = sample_shots(&sv, 100_000, &mut rng, SamplingStrategy::Auto);
+        assert!(shots.iter().all(|&s| s == 0 || s == 3));
+    }
+}

@@ -1,0 +1,651 @@
+//! The statevector type and its gate kernels.
+
+use ptsbe_math::{vec_ops, Complex, Matrix, Scalar};
+use rayon::prelude::*;
+
+use crate::PARALLEL_THRESHOLD_QUBITS;
+
+/// An `n`-qubit pure state: `2^n` amplitudes, qubit `q` = bit `q` of the
+/// basis index (LSB-first, matching [`ptsbe_math::gates`] conventions).
+#[derive(Clone, Debug)]
+pub struct StateVector<T: Scalar> {
+    n_qubits: usize,
+    amps: Vec<Complex<T>>,
+}
+
+impl<T: Scalar> StateVector<T> {
+    /// |0…0⟩ on `n_qubits`.
+    ///
+    /// # Panics
+    /// Panics when `n_qubits` exceeds 48 (array indices would overflow
+    /// practical memory long before; the guard catches typos).
+    pub fn zero_state(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 48, "statevector of {n_qubits} qubits is not addressable");
+        let mut amps = vec![Complex::zero(); 1usize << n_qubits];
+        amps[0] = Complex::one();
+        Self { n_qubits, amps }
+    }
+
+    /// Computational basis state |index⟩.
+    pub fn basis_state(n_qubits: usize, index: u64) -> Self {
+        let mut sv = Self::zero_state(n_qubits);
+        assert!((index as usize) < sv.amps.len(), "basis index out of range");
+        sv.amps[0] = Complex::zero();
+        sv.amps[index as usize] = Complex::one();
+        sv
+    }
+
+    /// Wrap raw amplitudes (must have power-of-two length).
+    pub fn from_amplitudes(amps: Vec<Complex<T>>) -> Self {
+        assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
+        Self {
+            n_qubits: amps.len().trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Amplitude storage.
+    pub fn amplitudes(&self) -> &[Complex<T>] {
+        &self.amps
+    }
+
+    /// Mutable amplitude storage (tests and internal kernels).
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex<T>] {
+        &mut self.amps
+    }
+
+    /// `⟨ψ|ψ⟩`.
+    pub fn norm_sqr(&self) -> T {
+        if self.use_parallel() {
+            self.amps
+                .par_chunks(4096)
+                .map(|c| c.iter().map(|z| z.norm_sqr()).fold(T::ZERO, |a, b| a + b))
+                .reduce(|| T::ZERO, |a, b| a + b)
+        } else {
+            vec_ops::norm_sqr(&self.amps)
+        }
+    }
+
+    /// Normalize in place; returns the pre-normalization squared norm.
+    pub fn normalize(&mut self) -> T {
+        let n2 = self.norm_sqr();
+        if n2 > T::ZERO {
+            let inv = T::ONE / n2.sqrt();
+            if self.use_parallel() {
+                self.amps.par_iter_mut().for_each(|z| *z = z.scale(inv));
+            } else {
+                for z in &mut self.amps {
+                    *z = z.scale(inv);
+                }
+            }
+        }
+        n2
+    }
+
+    /// Probability of measuring basis state `index`.
+    pub fn probability(&self, index: u64) -> T {
+        self.amps[index as usize].norm_sqr()
+    }
+
+    /// Full probability vector (2^n entries) — use only for small `n`;
+    /// the samplers stream probabilities instead.
+    pub fn probabilities(&self) -> Vec<T> {
+        self.amps.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// `⟨ψ|φ⟩`.
+    pub fn inner(&self, other: &Self) -> Complex<T> {
+        assert_eq!(self.n_qubits, other.n_qubits);
+        vec_ops::inner(&self.amps, &other.amps)
+    }
+
+    /// `|⟨ψ|φ⟩|²`.
+    pub fn fidelity(&self, other: &Self) -> T {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Probability that qubit `q` measures 1.
+    pub fn prob_one(&self, q: usize) -> T {
+        assert!(q < self.n_qubits);
+        let mask = 1usize << q;
+        if self.use_parallel() {
+            self.amps
+                .par_iter()
+                .enumerate()
+                .map(|(i, z)| if i & mask != 0 { z.norm_sqr() } else { T::ZERO })
+                .reduce(|| T::ZERO, |a, b| a + b)
+        } else {
+            self.amps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & mask != 0)
+                .map(|(_, z)| z.norm_sqr())
+                .fold(T::ZERO, |a, b| a + b)
+        }
+    }
+
+    /// `⟨ψ|Z_q|ψ⟩`.
+    pub fn expectation_z(&self, q: usize) -> T {
+        T::ONE - T::TWO * self.prob_one(q)
+    }
+
+    #[inline]
+    fn use_parallel(&self) -> bool {
+        self.n_qubits >= PARALLEL_THRESHOLD_QUBITS
+    }
+
+    // ----- gate kernels -------------------------------------------------
+
+    /// Apply a single-qubit gate.
+    pub fn apply_1q(&mut self, m: &Matrix<T>, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        let e = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+        let stride = 1usize << q;
+        let kernel = |chunk: &mut [Complex<T>]| {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x0 = *a0;
+                let x1 = *a1;
+                *a0 = e[0] * x0 + e[1] * x1;
+                *a1 = e[2] * x0 + e[3] * x1;
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * stride).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * stride).for_each(kernel);
+        }
+    }
+
+    /// Apply a two-qubit gate; matrix basis is `(bit_a << 1) | bit_b` for
+    /// qubit arguments `(a, b)` per the [`ptsbe_math::gates`] convention.
+    pub fn apply_2q(&mut self, m: &Matrix<T>, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        assert_eq!((m.rows(), m.cols()), (4, 4));
+        let qh = a.max(b);
+        let ql = a.min(b);
+        let sh = 1usize << qh;
+        let sl = 1usize << ql;
+        // Map local positions [hl] = [00, 01, 10, 11] (h = high-qubit bit,
+        // l = low-qubit bit) to the gate's (bit_a, bit_b) basis.
+        let pos_to_basis = |h: usize, l: usize| -> usize {
+            let bit_a = if a == qh { h } else { l };
+            let bit_b = if b == qh { h } else { l };
+            (bit_a << 1) | bit_b
+        };
+        let mut mm = [[Complex::<T>::zero(); 4]; 4];
+        for (r, row) in mm.iter_mut().enumerate() {
+            for (c, entry) in row.iter_mut().enumerate() {
+                let (rh, rl) = (r >> 1, r & 1);
+                let (ch, cl) = (c >> 1, c & 1);
+                *entry = m[(pos_to_basis(rh, rl), pos_to_basis(ch, cl))];
+            }
+        }
+        let kernel = move |chunk: &mut [Complex<T>]| {
+            // chunk covers bits 0..=qh; enumerate positions with both gate
+            // bits clear.
+            let mut base = 0usize;
+            while base < sh {
+                for k in base..base + sl {
+                    let i00 = k;
+                    let i01 = k + sl;
+                    let i10 = k + sh;
+                    let i11 = k + sh + sl;
+                    let x = [chunk[i00], chunk[i01], chunk[i10], chunk[i11]];
+                    let mut y = [Complex::<T>::zero(); 4];
+                    for (r, yr) in y.iter_mut().enumerate() {
+                        let mut acc = Complex::zero();
+                        for (c, &xc) in x.iter().enumerate() {
+                            acc += mm[r][c] * xc;
+                        }
+                        *yr = acc;
+                    }
+                    chunk[i00] = y[0];
+                    chunk[i01] = y[1];
+                    chunk[i10] = y[2];
+                    chunk[i11] = y[3];
+                }
+                base += 2 * sl;
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * sh).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh).for_each(kernel);
+        }
+    }
+
+    /// CNOT fast path (pure permutation, no arithmetic).
+    pub fn apply_cx(&mut self, control: usize, target: usize) {
+        assert!(control < self.n_qubits && target < self.n_qubits && control != target);
+        let cm = 1usize << control;
+        let tm = 1usize << target;
+        let qh = control.max(target);
+        let sh = 1usize << qh;
+        let kernel = move |(ci, chunk): (usize, &mut [Complex<T>])| {
+            let chunk_base = ci * 2 * sh;
+            for i in 0..chunk.len() {
+                let g = chunk_base + i;
+                // Visit each swapped pair once: control set, target clear.
+                if g & cm != 0 && g & tm == 0 {
+                    chunk.swap(i, i + tm);
+                }
+            }
+        };
+        // Chunks must contain both pair elements: target bit < chunk span.
+        if self.use_parallel() {
+            self.amps
+                .par_chunks_mut(2 * sh)
+                .enumerate()
+                .for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh).enumerate().for_each(kernel);
+        }
+    }
+
+    /// CZ fast path (diagonal).
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let mask = (1usize << a) | (1usize << b);
+        let flip = |(i, z): (usize, &mut Complex<T>)| {
+            if i & mask == mask {
+                *z = -*z;
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_iter_mut().enumerate().for_each(flip);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(flip);
+        }
+    }
+
+    /// SWAP fast path.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        let qh = a.max(b);
+        let sh = 1usize << qh;
+        let kernel = move |(ci, chunk): (usize, &mut [Complex<T>])| {
+            let chunk_base = ci * 2 * sh;
+            for i in 0..chunk.len() {
+                let g = chunk_base + i;
+                // Swap |…a=1…b=0…⟩ with |…a=0…b=1…⟩, visiting once.
+                if g & am != 0 && g & bm == 0 {
+                    let j = i - am + bm;
+                    chunk.swap(i, j);
+                }
+            }
+        };
+        if self.use_parallel() {
+            self.amps
+                .par_chunks_mut(2 * sh)
+                .enumerate()
+                .for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh).enumerate().for_each(kernel);
+        }
+    }
+
+    /// Apply a `k`-qubit gate (general bit-gather kernel; used for Toffoli
+    /// and compiled multi-qubit unitaries).
+    pub fn apply_kq(&mut self, m: &Matrix<T>, qubits: &[usize]) {
+        let k = qubits.len();
+        assert!(k >= 1 && k <= 16, "apply_kq supports 1..=16 qubits");
+        assert_eq!(m.rows(), 1usize << k);
+        for &q in qubits {
+            assert!(q < self.n_qubits);
+        }
+        if k == 1 {
+            return self.apply_1q(m, qubits[0]);
+        }
+        if k == 2 {
+            return self.apply_2q(m, qubits[0], qubits[1]);
+        }
+        // Sorted copy for zero-bit enumeration; remember the basis mapping:
+        // gate basis bit (k-1-t) corresponds to qubits[t] (first argument =
+        // most significant, as in ptsbe_math::gates).
+        let mut sorted: Vec<usize> = qubits.to_vec();
+        sorted.sort_unstable();
+        let dim = 1usize << k;
+        // For each gate-basis index, the global offset it adds.
+        let mut offsets = vec![0usize; dim];
+        for g in 0..dim {
+            let mut off = 0usize;
+            for (t, &q) in qubits.iter().enumerate() {
+                let bit = (g >> (k - 1 - t)) & 1;
+                off |= bit << q;
+            }
+            offsets[g] = off;
+        }
+        let qh = *sorted.last().unwrap();
+        let sh = 1usize << qh;
+        let sorted = &sorted;
+        let offsets = &offsets;
+        let kernel = move |(ci, chunk): (usize, &mut [Complex<T>])| {
+            let chunk_base = ci * 2 * sh;
+            let free_bits = (qh + 1) - k; // free bit positions inside chunk
+            let n_groups = 1usize << free_bits;
+            let mut x = vec![Complex::<T>::zero(); dim];
+            for gidx in 0..n_groups {
+                // Expand gidx by inserting 0 at each gate-qubit position.
+                let mut base = 0usize;
+                let mut src = gidx;
+                let mut next_q = 0usize;
+                let mut qi = 0usize;
+                for pos in 0..=qh {
+                    if qi < sorted.len() && sorted[qi] == pos {
+                        qi += 1;
+                        continue;
+                    }
+                    let bit = src & 1;
+                    src >>= 1;
+                    base |= bit << pos;
+                    next_q += 1;
+                }
+                let _ = next_q;
+                // The chunk may start at a non-zero global base, but gate
+                // qubits are all ≤ qh so offsets stay inside the chunk.
+                let local = base & (2 * sh - 1);
+                debug_assert_eq!(base, local);
+                let _ = chunk_base;
+                for (g, &off) in offsets.iter().enumerate() {
+                    x[g] = chunk[local + off];
+                }
+                for (r, &_off) in offsets.iter().enumerate() {
+                    let mut acc = Complex::zero();
+                    for (c, &xc) in x.iter().enumerate() {
+                        acc += m[(r, c)] * xc;
+                    }
+                    chunk[local + offsets[r]] = acc;
+                }
+            }
+        };
+        if self.use_parallel() {
+            self.amps
+                .par_chunks_mut(2 * sh)
+                .enumerate()
+                .for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh).enumerate().for_each(kernel);
+        }
+    }
+
+    // ----- measurement & reset ------------------------------------------
+
+    /// Collapse qubit `q` to the given outcome with proper renormalization.
+    /// Returns the probability the outcome had.
+    pub fn collapse(&mut self, q: usize, outcome: bool) -> T {
+        let p1 = self.prob_one(q);
+        let p = if outcome { p1 } else { T::ONE - p1 };
+        let mask = 1usize << q;
+        let keep_set = outcome;
+        if p > T::ZERO {
+            let inv = T::ONE / p.sqrt();
+            let fix = move |(i, z): (usize, &mut Complex<T>)| {
+                if (i & mask != 0) == keep_set {
+                    *z = z.scale(inv);
+                } else {
+                    *z = Complex::zero();
+                }
+            };
+            if self.use_parallel() {
+                self.amps.par_iter_mut().enumerate().for_each(fix);
+            } else {
+                self.amps.iter_mut().enumerate().for_each(fix);
+            }
+        }
+        p
+    }
+
+    /// Project qubit `q` onto |0⟩ (measure-and-flip-if-1 semantics).
+    pub fn reset(&mut self, q: usize, measured_one: bool) {
+        if measured_one {
+            self.collapse(q, true);
+            self.apply_1q(&ptsbe_math::gates::x(), q);
+        } else {
+            self.collapse(q, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_math::gates;
+
+    type Sv = StateVector<f64>;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} != {b}");
+    }
+
+    #[test]
+    fn zero_state_normalized() {
+        let sv = Sv::zero_state(3);
+        assert_close(sv.norm_sqr(), 1.0);
+        assert_close(sv.probability(0), 1.0);
+    }
+
+    #[test]
+    fn basis_state_construction() {
+        let sv = Sv::basis_state(3, 5);
+        assert_close(sv.probability(5), 1.0);
+        assert_close(sv.prob_one(0), 1.0); // 5 = 0b101
+        assert_close(sv.prob_one(1), 0.0);
+        assert_close(sv.prob_one(2), 1.0);
+    }
+
+    #[test]
+    fn hadamard_makes_plus() {
+        let mut sv = Sv::zero_state(1);
+        sv.apply_1q(&gates::h(), 0);
+        assert_close(sv.probability(0), 0.5);
+        assert_close(sv.probability(1), 0.5);
+        // H twice = identity.
+        sv.apply_1q(&gates::h(), 0);
+        assert_close(sv.probability(0), 1.0);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut sv = Sv::zero_state(2);
+        sv.apply_1q(&gates::h(), 0);
+        sv.apply_cx(0, 1);
+        assert_close(sv.probability(0b00), 0.5);
+        assert_close(sv.probability(0b11), 0.5);
+        assert_close(sv.probability(0b01), 0.0);
+        assert_close(sv.probability(0b10), 0.0);
+    }
+
+    #[test]
+    fn cx_via_matrix_matches_fast_path() {
+        for (c, t) in [(0usize, 1usize), (1, 0), (0, 2), (2, 0), (1, 2)] {
+            let mut a = Sv::zero_state(3);
+            let mut b = Sv::zero_state(3);
+            // Arbitrary product state.
+            a.apply_1q(&gates::ry(0.7), 0);
+            a.apply_1q(&gates::ry(1.1), 1);
+            a.apply_1q(&gates::rx(0.3), 2);
+            b.amps.copy_from_slice(&a.amps);
+
+            a.apply_cx(c, t);
+            b.apply_2q(&gates::cx(), c, t);
+            for i in 0..8 {
+                assert!((a.amps[i] - b.amps[i]).abs() < 1e-12, "c={c} t={t} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_and_cz_fast_paths() {
+        for (a_, b_) in [(0usize, 1usize), (2, 0), (1, 2)] {
+            let mut x = Sv::zero_state(3);
+            x.apply_1q(&gates::ry(0.4), 0);
+            x.apply_1q(&gates::rx(0.9), 1);
+            x.apply_1q(&gates::h(), 2);
+            let mut y = x.clone();
+
+            x.apply_swap(a_, b_);
+            y.apply_2q(&gates::swap(), a_, b_);
+            for i in 0..8 {
+                assert!((x.amps[i] - y.amps[i]).abs() < 1e-12);
+            }
+
+            let mut u = x.clone();
+            let mut v = x.clone();
+            u.apply_cz(a_, b_);
+            v.apply_2q(&gates::cz(), a_, b_);
+            for i in 0..8 {
+                assert!((u.amps[i] - v.amps[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_gate_qubit_order_matters() {
+        // CX(0,1) on |01⟩=|q1=0,q0=1⟩: control=q0 is 1 -> flips q1 -> |11⟩.
+        let mut sv = Sv::basis_state(2, 0b01);
+        sv.apply_2q(&gates::cx(), 0, 1);
+        assert_close(sv.probability(0b11), 1.0);
+        // CX(1,0) on |01⟩: control=q1 is 0 -> no-op.
+        let mut sv = Sv::basis_state(2, 0b01);
+        sv.apply_2q(&gates::cx(), 1, 0);
+        assert_close(sv.probability(0b01), 1.0);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let n = 5;
+        let mut sv = Sv::zero_state(n);
+        sv.apply_1q(&gates::h(), 0);
+        for q in 0..n - 1 {
+            sv.apply_cx(q, q + 1);
+        }
+        assert_close(sv.probability(0), 0.5);
+        assert_close(sv.probability((1 << n) - 1), 0.5);
+        assert_close(sv.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn toffoli_via_kq() {
+        // |110⟩: controls q2,q1 set (ccx(2,1,0)) -> flips q0 -> |111⟩.
+        let mut sv = Sv::basis_state(3, 0b110);
+        sv.apply_kq(&gates::ccx(), &[2, 1, 0]);
+        assert_close(sv.probability(0b111), 1.0);
+        // |010⟩ unchanged.
+        let mut sv = Sv::basis_state(3, 0b010);
+        sv.apply_kq(&gates::ccx(), &[2, 1, 0]);
+        assert_close(sv.probability(0b010), 1.0);
+    }
+
+    #[test]
+    fn kq_matches_2q_kernel() {
+        let mut rng = ptsbe_rng::PhiloxRng::new(7, 0);
+        let u = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+        for (a, b) in [(0usize, 1usize), (1, 0), (0, 2), (2, 1)] {
+            let mut x = Sv::zero_state(3);
+            x.apply_1q(&gates::ry(0.5), 0);
+            x.apply_1q(&gates::ry(0.2), 1);
+            x.apply_1q(&gates::ry(1.4), 2);
+            let mut y = x.clone();
+            x.apply_2q(&u, a, b);
+            y.apply_kq(&u, &[a, b]);
+            for i in 0..8 {
+                assert!((x.amps[i] - y.amps[i]).abs() < 1e-12, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let mut rng = ptsbe_rng::PhiloxRng::new(8, 0);
+        let mut sv = Sv::zero_state(6);
+        for step in 0..20 {
+            let u = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+            sv.apply_1q(&u, step % 6);
+            let u2 = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+            sv.apply_2q(&u2, step % 6, (step + 1) % 6);
+        }
+        assert_close(sv.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn parallel_threshold_kernels_match_serial() {
+        // 15 qubits crosses PARALLEL_THRESHOLD_QUBITS; verify against a
+        // 10-qubit serial run embedded in the low bits.
+        let n = 15;
+        let mut par = Sv::zero_state(n);
+        let mut reference = Sv::zero_state(10);
+        let ops: Vec<(usize, usize)> = vec![(0, 1), (3, 2), (5, 0), (7, 4), (9, 8)];
+        for &(a, b) in &ops {
+            par.apply_1q(&gates::h(), a);
+            par.apply_cx(a, b);
+            reference.apply_1q(&gates::h(), a);
+            reference.apply_cx(a, b);
+        }
+        // Compare marginals on the low 10 qubits.
+        for i in 0..(1usize << 10) {
+            assert!(
+                (par.amps[i] - reference.amps[i]).abs() < 1e-12,
+                "amp {i} differs"
+            );
+        }
+        assert_close(par.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn expectation_and_prob_one() {
+        let mut sv = Sv::zero_state(2);
+        assert_close(sv.expectation_z(0), 1.0);
+        sv.apply_1q(&gates::x(), 0);
+        assert_close(sv.expectation_z(0), -1.0);
+        sv.apply_1q(&gates::h(), 1);
+        assert_close(sv.expectation_z(1), 0.0);
+        assert_close(sv.prob_one(1), 0.5);
+    }
+
+    #[test]
+    fn collapse_renormalizes() {
+        let mut sv = Sv::zero_state(2);
+        sv.apply_1q(&gates::h(), 0);
+        sv.apply_cx(0, 1);
+        let p = sv.collapse(0, true);
+        assert_close(p, 0.5);
+        assert_close(sv.norm_sqr(), 1.0);
+        assert_close(sv.probability(0b11), 1.0);
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        let mut sv = Sv::zero_state(1);
+        sv.apply_1q(&gates::x(), 0);
+        sv.reset(0, true);
+        assert_close(sv.probability(0), 1.0);
+        assert_close(sv.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn fidelity_of_rotated_states() {
+        let mut a = Sv::zero_state(1);
+        let mut b = Sv::zero_state(1);
+        b.apply_1q(&gates::ry(0.6), 0);
+        a.apply_1q(&gates::ry(0.2), 0);
+        // |<a|b>|^2 = cos^2((0.6-0.2)/2)
+        let expect = (0.2f64).cos().powi(2);
+        assert_close(a.fidelity(&b), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qubit_bounds() {
+        let mut sv = Sv::zero_state(2);
+        sv.apply_1q(&gates::h(), 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! Noisy-circuit execution on the MPS backend (the tensornet analog of
+//! `ptsbe_statevector::exec`).
+
+use crate::mps::{Mps, MpsConfig};
+use ptsbe_circuit::{ChannelKind, Gate, NoisyCircuit, NoisyOp};
+use ptsbe_math::{Matrix, Scalar};
+
+/// MPS execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpsError {
+    /// Gates after measurement.
+    MidCircuitMeasurement,
+    /// Reset unsupported in fixed-assignment execution.
+    UnsupportedReset,
+    /// Gates above 2 qubits are not lowered for MPS.
+    UnsupportedArity(usize),
+}
+
+impl std::fmt::Display for MpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpsError::MidCircuitMeasurement => {
+                write!(f, "batched execution requires terminal measurements")
+            }
+            MpsError::UnsupportedReset => write!(f, "reset unsupported on the MPS backend"),
+            MpsError::UnsupportedArity(k) => write!(f, "{k}-qubit gates unsupported on MPS"),
+        }
+    }
+}
+
+impl std::error::Error for MpsError {}
+
+/// One lowered MPS operation.
+#[derive(Clone, Debug)]
+pub enum MpsOp<T: Scalar> {
+    /// 1-qubit matrix.
+    G1(Matrix<T>, usize),
+    /// 2-qubit matrix in gate-argument basis.
+    G2(Matrix<T>, usize, usize),
+    /// Noise site.
+    Site(usize),
+}
+
+/// Lowered noise site.
+#[derive(Clone, Debug)]
+pub struct MpsSite<T: Scalar> {
+    /// Channel qubits in argument order.
+    pub qubits: Vec<usize>,
+    /// Branch matrices (unitaries for mixtures, Kraus ops otherwise).
+    pub mats: Vec<Matrix<T>>,
+    /// True for unitary mixtures.
+    pub is_unitary_mixture: bool,
+    /// Pre-sampling probabilities.
+    pub probs: Vec<f64>,
+}
+
+/// A noisy circuit lowered for repeated MPS execution.
+#[derive(Clone, Debug)]
+pub struct MpsCompiled<T: Scalar> {
+    n_qubits: usize,
+    ops: Vec<MpsOp<T>>,
+    sites: Vec<MpsSite<T>>,
+    measured: Vec<usize>,
+}
+
+impl<T: Scalar> MpsCompiled<T> {
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+    /// Lowered op stream.
+    pub fn ops(&self) -> &[MpsOp<T>] {
+        &self.ops
+    }
+    /// Lowered sites.
+    pub fn sites(&self) -> &[MpsSite<T>] {
+        &self.sites
+    }
+    /// Measured qubits in record order.
+    pub fn measured_qubits(&self) -> &[usize] {
+        &self.measured
+    }
+}
+
+/// Lower a noisy circuit for the MPS backend.
+///
+/// # Errors
+/// See [`MpsError`].
+pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsError> {
+    let mut ops = Vec::with_capacity(nc.ops().len());
+    let mut measured = Vec::new();
+    let mut seen_measure = false;
+    for op in nc.ops() {
+        match op {
+            NoisyOp::Gate(g) => {
+                if seen_measure {
+                    return Err(MpsError::MidCircuitMeasurement);
+                }
+                match g.qubits.len() {
+                    1 => ops.push(MpsOp::G1(g.gate.matrix(), g.qubits[0])),
+                    2 => ops.push(MpsOp::G2(g.gate.matrix(), g.qubits[0], g.qubits[1])),
+                    3 if matches!(g.gate, Gate::Ccx) => {
+                        // Decompose Toffoli into the standard 2q + T network.
+                        for step in toffoli_network::<T>(g.qubits[0], g.qubits[1], g.qubits[2]) {
+                            ops.push(step);
+                        }
+                    }
+                    k => return Err(MpsError::UnsupportedArity(k)),
+                }
+            }
+            NoisyOp::Site(id) => {
+                if seen_measure {
+                    return Err(MpsError::MidCircuitMeasurement);
+                }
+                ops.push(MpsOp::Site(*id));
+            }
+            NoisyOp::Measure { qubits } => {
+                seen_measure = true;
+                measured.extend_from_slice(qubits);
+            }
+            NoisyOp::Reset { .. } => return Err(MpsError::UnsupportedReset),
+        }
+    }
+    let sites = nc
+        .sites()
+        .iter()
+        .map(|site| {
+            let (mats, is_mixture): (Vec<Matrix<T>>, bool) = match site.channel.kind() {
+                ChannelKind::UnitaryMixture { unitaries, .. } => (
+                    unitaries.iter().map(|u| Matrix::from_f64_matrix(u)).collect(),
+                    true,
+                ),
+                ChannelKind::General { .. } => (
+                    site.channel
+                        .ops()
+                        .iter()
+                        .map(|k| Matrix::from_f64_matrix(k))
+                        .collect(),
+                    false,
+                ),
+            };
+            MpsSite {
+                qubits: site.qubits.clone(),
+                mats,
+                is_unitary_mixture: is_mixture,
+                probs: site.channel.sampling_probs().to_vec(),
+            }
+        })
+        .collect();
+    Ok(MpsCompiled {
+        n_qubits: nc.n_qubits(),
+        ops,
+        sites,
+        measured,
+    })
+}
+
+/// Standard 6-CNOT Toffoli decomposition.
+fn toffoli_network<T: Scalar>(c0: usize, c1: usize, t: usize) -> Vec<MpsOp<T>> {
+    use ptsbe_math::gates;
+    let cx = gates::cx::<T>();
+    vec![
+        MpsOp::G1(gates::h(), t),
+        MpsOp::G2(cx.clone(), c1, t),
+        MpsOp::G1(gates::tdg(), t),
+        MpsOp::G2(cx.clone(), c0, t),
+        MpsOp::G1(gates::t(), t),
+        MpsOp::G2(cx.clone(), c1, t),
+        MpsOp::G1(gates::tdg(), t),
+        MpsOp::G2(cx.clone(), c0, t),
+        MpsOp::G1(gates::t(), c1),
+        MpsOp::G1(gates::t(), t),
+        MpsOp::G2(cx.clone(), c0, c1),
+        MpsOp::G1(gates::h(), t),
+        MpsOp::G1(gates::t(), c0),
+        MpsOp::G1(gates::tdg(), c1),
+        MpsOp::G2(cx, c0, c1),
+    ]
+}
+
+/// Execute under a fixed Kraus assignment. Returns the prepared MPS and
+/// the realized joint trajectory probability (importance-weighting input).
+///
+/// Non-adjacent general-channel sites are routed through explicit swaps so
+/// [`Mps::apply_kraus_normalized`] always sees an adjacent pair.
+pub fn prepare_mps<T: Scalar>(
+    compiled: &MpsCompiled<T>,
+    choices: &[usize],
+    config: MpsConfig,
+) -> (Mps<T>, f64) {
+    assert_eq!(
+        choices.len(),
+        compiled.sites.len(),
+        "assignment length does not match site count"
+    );
+    let mut mps = Mps::zero_state(compiled.n_qubits, config);
+    let mut realized = 1.0f64;
+    for op in &compiled.ops {
+        match op {
+            MpsOp::G1(m, q) => mps.apply_1q(m, *q),
+            MpsOp::G2(m, a, b) => mps.apply_2q(m, *a, *b),
+            MpsOp::Site(id) => {
+                let site = &compiled.sites[*id];
+                let k = choices[*id];
+                if site.is_unitary_mixture {
+                    realized *= site.probs[k];
+                    match site.qubits.as_slice() {
+                        [q] => mps.apply_1q(&site.mats[k], *q),
+                        [a, b] => mps.apply_2q(&site.mats[k], *a, *b),
+                        _ => unreachable!("channels are 1- or 2-qubit"),
+                    }
+                } else {
+                    realized *= mps.apply_kraus_normalized(&site.mats[k], &site.qubits);
+                }
+            }
+        }
+    }
+    (mps, realized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_circuit::{channels, Circuit, NoiseModel};
+
+    fn exact() -> MpsConfig {
+        MpsConfig {
+            max_bond: 64,
+            cutoff: 0.0,
+        }
+    }
+
+    fn noisy_ghz(p: f64, n: usize) -> NoisyCircuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.measure_all();
+        NoiseModel::new()
+            .with_default_1q(channels::depolarizing(p))
+            .with_default_2q(channels::depolarizing(p))
+            .apply(&c)
+    }
+
+    #[test]
+    fn identity_trajectory_matches_statevector() {
+        let nc = noisy_ghz(0.1, 5);
+        let compiled = compile_mps::<f64>(&nc).unwrap();
+        let ident = nc.identity_assignment().unwrap();
+        let (mps, p) = prepare_mps(&compiled, &ident, exact());
+        let sv = {
+            let sv_compiled = ptsbe_statevector::exec::compile::<f64>(&nc).unwrap();
+            ptsbe_statevector::exec::prepare(&sv_compiled, &ident).0
+        };
+        for bits in 0..(1u128 << 5) {
+            let a = mps.amplitude(bits).norm_sqr();
+            let b = sv.probability(bits as u64);
+            assert!((a - b).abs() < 1e-10);
+        }
+        assert!((p - 0.9f64.powi(nc.n_sites() as i32)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_trajectory_matches_statevector() {
+        let nc = noisy_ghz(0.1, 4);
+        let compiled = compile_mps::<f64>(&nc).unwrap();
+        let mut choices = nc.identity_assignment().unwrap();
+        choices[2] = 3; // a Z somewhere mid-circuit
+        choices[4] = 1; // an X later
+        let (mps, _) = prepare_mps(&compiled, &choices, exact());
+        let sv_compiled = ptsbe_statevector::exec::compile::<f64>(&nc).unwrap();
+        let (sv, _) = ptsbe_statevector::exec::prepare(&sv_compiled, &choices);
+        for bits in 0..(1u128 << 4) {
+            assert!((mps.amplitude(bits).norm_sqr() - sv.probability(bits as u64)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn general_channel_weights_match_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::amplitude_damping(0.25))
+            .with_default_2q(channels::amplitude_damping(0.25))
+            .apply(&c);
+        let compiled = compile_mps::<f64>(&nc).unwrap();
+        let sv_compiled = ptsbe_statevector::exec::compile::<f64>(&nc).unwrap();
+        // Try several assignments incl. damping branches.
+        for choices in [
+            vec![0; nc.n_sites()],
+            {
+                let mut v = vec![0; nc.n_sites()];
+                v[1] = 1;
+                v
+            },
+            {
+                let mut v = vec![0; nc.n_sites()];
+                v[0] = 1;
+                v[3] = 1;
+                v
+            },
+        ] {
+            let (mps, p_mps) = prepare_mps(&compiled, &choices, exact());
+            let (sv, p_sv) = ptsbe_statevector::exec::prepare(&sv_compiled, &choices);
+            assert!((p_mps - p_sv).abs() < 1e-10, "weights {p_mps} vs {p_sv}");
+            if p_sv > 0.0 {
+                for bits in 0..8u128 {
+                    assert!(
+                        (mps.amplitude(bits).norm_sqr() - sv.probability(bits as u64)).abs()
+                            < 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn toffoli_decomposition_correct() {
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).ccx(0, 1, 2).measure_all();
+        let nc = NoiseModel::new().apply(&c);
+        let compiled = compile_mps::<f64>(&nc).unwrap();
+        let (mps, _) = prepare_mps(&compiled, &[], exact());
+        // |110⟩ with ccx(0,1,2) → target qubit 2 flips → |111⟩.
+        assert!((mps.amplitude(0b111).norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_circuit_measurement_rejected() {
+        let mut c = Circuit::new(2);
+        c.measure(&[0]);
+        c.h(1);
+        let nc = NoisyCircuit::from_circuit(c);
+        assert_eq!(
+            compile_mps::<f64>(&nc).unwrap_err(),
+            MpsError::MidCircuitMeasurement
+        );
+    }
+
+    use ptsbe_circuit::NoisyCircuit;
+}

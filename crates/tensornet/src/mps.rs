@@ -1,0 +1,645 @@
+//! The MPS state: mixed-canonical gauge, gate application with SVD
+//! truncation, Kraus-branch operations, and exact contraction helpers.
+
+use crate::tensor::Tensor3;
+use ptsbe_math::qr::qr_thin;
+use ptsbe_math::svd::svd;
+use ptsbe_math::{Complex, Matrix, Scalar};
+
+/// Truncation policy for two-site updates.
+#[derive(Debug, Clone, Copy)]
+pub struct MpsConfig {
+    /// Hard cap on bond dimension χ.
+    pub max_bond: usize,
+    /// Relative singular-value cutoff: σᵢ < cutoff·σ₀ is discarded.
+    pub cutoff: f64,
+}
+
+impl Default for MpsConfig {
+    fn default() -> Self {
+        Self {
+            max_bond: 64,
+            cutoff: 1e-12,
+        }
+    }
+}
+
+/// Matrix product state over `n` qubits (site `i` = qubit `i`).
+///
+/// Invariant: sites `< center` are left-canonical, sites `> center` are
+/// right-canonical; the full state norm lives in the center tensor.
+#[derive(Clone, Debug)]
+pub struct Mps<T: Scalar> {
+    tensors: Vec<Tensor3<T>>,
+    center: usize,
+    config: MpsConfig,
+    /// Accumulated discarded probability mass from truncations.
+    trunc_error: f64,
+    /// Largest bond dimension reached over the state's history.
+    max_bond_reached: usize,
+}
+
+impl<T: Scalar> Mps<T> {
+    /// |0…0⟩ on `n` qubits.
+    pub fn zero_state(n: usize, config: MpsConfig) -> Self {
+        assert!(n >= 1, "MPS needs at least one site");
+        Self {
+            tensors: (0..n).map(|_| Tensor3::product(false)).collect(),
+            center: 0,
+            config,
+            trunc_error: 0.0,
+            max_bond_reached: 1,
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Truncation policy.
+    pub fn config(&self) -> MpsConfig {
+        self.config
+    }
+
+    /// Accumulated truncation error (discarded probability mass).
+    pub fn truncation_error(&self) -> f64 {
+        self.trunc_error
+    }
+
+    /// Largest bond dimension the state has needed.
+    pub fn max_bond_reached(&self) -> usize {
+        self.max_bond_reached
+    }
+
+    /// Current orthogonality center.
+    pub fn center(&self) -> usize {
+        self.center
+    }
+
+    /// Site tensor accessor (sampling internals).
+    pub fn tensor(&self, i: usize) -> &Tensor3<T> {
+        &self.tensors[i]
+    }
+
+    /// Current bond dimension between sites `i` and `i+1`.
+    pub fn bond_dim(&self, i: usize) -> usize {
+        self.tensors[i].dr
+    }
+
+    /// `⟨ψ|ψ⟩` — O(1) thanks to the canonical gauge.
+    pub fn norm_sqr(&self) -> T {
+        self.tensors[self.center].norm_sqr()
+    }
+
+    /// Normalize; returns the prior squared norm.
+    pub fn normalize(&mut self) -> T {
+        let n2 = self.norm_sqr();
+        if n2 > T::ZERO {
+            let inv = T::ONE / n2.sqrt();
+            self.tensors[self.center].scale(inv);
+        }
+        n2
+    }
+
+    /// Move the orthogonality center to `target` by QR sweeps.
+    pub fn move_center(&mut self, target: usize) {
+        assert!(target < self.n_qubits());
+        while self.center < target {
+            let i = self.center;
+            // Left-canonicalize A_i: (dl*2, dr) = Q R; carry R right.
+            let m = self.tensors[i].to_matrix_lp_r();
+            let qr = qr_thin(&m);
+            let dl = self.tensors[i].dl;
+            self.tensors[i] = Tensor3::from_matrix_lp_r(&qr.q, dl);
+            // A_{i+1} ← R · A_{i+1}  (contract over its left bond).
+            let next = &self.tensors[i + 1];
+            let next_m = next.to_matrix_l_pr();
+            let merged = qr.r.mul_ref(&next_m);
+            self.tensors[i + 1] = Tensor3::from_matrix_l_pr(&merged, next.dr);
+            self.center += 1;
+        }
+        while self.center > target {
+            let i = self.center;
+            // Right-canonicalize A_i: A = L · Q with Q's rows orthonormal.
+            let m = self.tensors[i].to_matrix_l_pr();
+            let qr = qr_thin(&m.dagger());
+            // m = (Q R)† reversed: m† = Q R  =>  m = R† Q†.
+            let l = qr.r.dagger();
+            let q = qr.q.dagger();
+            let dr = self.tensors[i].dr;
+            self.tensors[i] = Tensor3::from_matrix_l_pr(&q, dr);
+            // A_{i-1} ← A_{i-1} · L (contract over its right bond).
+            let prev = &self.tensors[i - 1];
+            let prev_m = prev.to_matrix_lp_r();
+            let merged = prev_m.mul_ref(&l);
+            let dl = prev.dl;
+            self.tensors[i - 1] = Tensor3::from_matrix_lp_r(&merged, dl);
+            self.center -= 1;
+        }
+    }
+
+    /// Apply a single-qubit gate (or any 2×2 matrix) at site `q`.
+    /// Non-unitary matrices are allowed; the caller handles normalization.
+    pub fn apply_1q(&mut self, m: &Matrix<T>, q: usize) {
+        assert!(q < self.n_qubits());
+        self.move_center(q);
+        self.tensors[q].apply_phys(m);
+    }
+
+    /// Apply a two-qubit gate on sites `(a, b)`; non-adjacent pairs are
+    /// routed through SWAP chains. Matrix basis is `(bit_a << 1) | bit_b`.
+    pub fn apply_2q(&mut self, m: &Matrix<T>, a: usize, b: usize) {
+        assert!(a != b && a < self.n_qubits() && b < self.n_qubits());
+        let (lo, hi) = (a.min(b), a.max(b));
+        if hi - lo == 1 {
+            let m_local = reorder_for_sites(m, a < b);
+            self.apply_2q_adjacent(&m_local, lo);
+            return;
+        }
+        // Swap the lower qubit up until adjacent, apply, swap back.
+        let swap = ptsbe_math::gates::swap::<T>();
+        for s in lo..hi - 1 {
+            self.apply_2q_adjacent(&swap, s);
+        }
+        // Gate qubit `lo` now sits at `hi - 1`.
+        let m_local = reorder_for_sites(m, a < b);
+        self.apply_2q_adjacent(&m_local, hi - 1);
+        for s in (lo..hi - 1).rev() {
+            self.apply_2q_adjacent(&swap, s);
+        }
+    }
+
+    /// Two-site update on `(q, q+1)` with matrix in `(p_lo << 1) | p_hi`
+    /// basis; SVD-truncates the new bond.
+    fn apply_2q_adjacent(&mut self, m: &Matrix<T>, q: usize) {
+        assert!(q + 1 < self.n_qubits());
+        self.move_center(q);
+        let a = &self.tensors[q];
+        let b = &self.tensors[q + 1];
+        let (dl, dr) = (a.dl, b.dr);
+        let mid = a.dr;
+        debug_assert_eq!(mid, b.dl, "bond mismatch between {q} and {}", q + 1);
+
+        // theta[l, p1, p2, r] = Σ_k A[l,p1,k] B[k,p2,r], then gate applied
+        // to (p1, p2).
+        let mut theta = vec![Complex::<T>::zero(); dl * 4 * dr];
+        for l in 0..dl {
+            for p1 in 0..2 {
+                for k in 0..mid {
+                    let av = a.get(l, p1, k);
+                    if av == Complex::zero() {
+                        continue;
+                    }
+                    for p2 in 0..2 {
+                        for r in 0..dr {
+                            let idx = ((l * 2 + p1) * 2 + p2) * dr + r;
+                            theta[idx] += av * b.get(k, p2, r);
+                        }
+                    }
+                }
+            }
+        }
+        // Gate: theta'[l, p1', p2', r] = Σ m[(p1'<<1)|p2', (p1<<1)|p2] theta[l,p1,p2,r]
+        let mut theta2 = vec![Complex::<T>::zero(); dl * 4 * dr];
+        for l in 0..dl {
+            for pp in 0..4usize {
+                for p in 0..4usize {
+                    let g = m[(pp, p)];
+                    if g == Complex::zero() {
+                        continue;
+                    }
+                    let (p1, p2) = (p >> 1, p & 1);
+                    let (q1, q2) = (pp >> 1, pp & 1);
+                    for r in 0..dr {
+                        let src = ((l * 2 + p1) * 2 + p2) * dr + r;
+                        let dst = ((l * 2 + q1) * 2 + q2) * dr + r;
+                        theta2[dst] += g * theta[src];
+                    }
+                }
+            }
+        }
+        // Reshape to (dl*2) × (2*dr) and SVD.
+        let mat = Matrix::from_vec(dl * 2, 2 * dr, theta2);
+        let dec = svd(&mat);
+        // Truncate.
+        let total: f64 = dec.s.iter().map(|&s| (s * s).to_f64()).sum();
+        let smax = dec.s.first().copied().unwrap_or(T::ZERO);
+        let rel_cut = T::from_f64(self.config.cutoff) * smax;
+        let mut keep = 0usize;
+        let mut kept_mass = 0.0f64;
+        for (i, &s) in dec.s.iter().enumerate() {
+            if i >= self.config.max_bond || (i > 0 && s < rel_cut) {
+                break;
+            }
+            keep = i + 1;
+            kept_mass += (s * s).to_f64();
+        }
+        let keep = keep.max(1);
+        if total > 0.0 {
+            self.trunc_error += (total - kept_mass).max(0.0) / total.max(1e-300);
+        }
+        self.max_bond_reached = self.max_bond_reached.max(keep);
+
+        // A_q = U[.., ..keep] (left-canonical); A_{q+1} = S·Vh (center).
+        let mut u_keep = Matrix::zeros(dl * 2, keep);
+        for rr in 0..dl * 2 {
+            for c in 0..keep {
+                u_keep[(rr, c)] = dec.u[(rr, c)];
+            }
+        }
+        self.tensors[q] = Tensor3::from_matrix_lp_r(&u_keep, dl);
+        let mut sv = Matrix::zeros(keep, 2 * dr);
+        for rr in 0..keep {
+            let s = dec.s[rr];
+            for c in 0..2 * dr {
+                sv[(rr, c)] = dec.vh[(rr, c)].scale(s);
+            }
+        }
+        self.tensors[q + 1] = Tensor3::from_matrix_l_pr(&sv, dr);
+        self.center = q + 1;
+    }
+
+    /// Amplitude `⟨bits|ψ⟩` where bit `i` of `bits` selects site `i`'s
+    /// physical index. O(n·χ²).
+    pub fn amplitude(&self, bits: u128) -> Complex<T> {
+        // Left vector starts at the 1-dim left boundary.
+        let mut vec: Vec<Complex<T>> = vec![Complex::one()];
+        for (i, t) in self.tensors.iter().enumerate() {
+            let p = ((bits >> i) & 1) as usize;
+            let mut next = vec![Complex::<T>::zero(); t.dr];
+            for (l, &vl) in vec.iter().enumerate() {
+                if vl == Complex::zero() {
+                    continue;
+                }
+                for (r, nr) in next.iter_mut().enumerate() {
+                    *nr += vl * t.get(l, p, r);
+                }
+            }
+            vec = next;
+        }
+        debug_assert_eq!(vec.len(), 1);
+        vec[0]
+    }
+
+    /// Reduced density matrix on sites `[q]` or `[q, q+1]` (the center
+    /// must be movable; `&mut self` because the gauge shifts).
+    pub fn local_density(&mut self, qubits: &[usize]) -> Matrix<T> {
+        match qubits {
+            [q] => {
+                self.move_center(*q);
+                let t = &self.tensors[*q];
+                let mut rho = Matrix::zeros(2, 2);
+                for p in 0..2 {
+                    for pp in 0..2 {
+                        let mut acc = Complex::zero();
+                        for l in 0..t.dl {
+                            for r in 0..t.dr {
+                                acc += t.get(l, p, r) * t.get(l, pp, r).conj();
+                            }
+                        }
+                        rho[(p, pp)] = acc;
+                    }
+                }
+                rho
+            }
+            [a, b] if *b == a + 1 => {
+                self.move_center(*a);
+                let ta = &self.tensors[*a];
+                let tb = &self.tensors[*b];
+                let (dl, mid, dr) = (ta.dl, ta.dr, tb.dr);
+                // theta[(l,p1,p2,r)]
+                let mut theta = vec![Complex::<T>::zero(); dl * 4 * dr];
+                for l in 0..dl {
+                    for p1 in 0..2 {
+                        for k in 0..mid {
+                            let av = ta.get(l, p1, k);
+                            for p2 in 0..2 {
+                                for r in 0..dr {
+                                    theta[((l * 2 + p1) * 2 + p2) * dr + r] +=
+                                        av * tb.get(k, p2, r);
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut rho = Matrix::zeros(4, 4);
+                for p in 0..4usize {
+                    for pp in 0..4usize {
+                        let mut acc = Complex::zero();
+                        for l in 0..dl {
+                            for r in 0..dr {
+                                let pi = ((l * 2 + (p >> 1)) * 2 + (p & 1)) * dr + r;
+                                let pj = ((l * 2 + (pp >> 1)) * 2 + (pp & 1)) * dr + r;
+                                acc += theta[pi] * theta[pj].conj();
+                            }
+                        }
+                        rho[(p, pp)] = acc;
+                    }
+                }
+                rho
+            }
+            _ => panic!("local_density supports 1 site or an adjacent pair"),
+        }
+    }
+
+    /// Kraus branch probabilities `tr(K ρ_local K†)` for a 1- or 2-qubit
+    /// channel. Two-qubit channels must act on adjacent sites (the
+    /// executor routes non-adjacent channels through swaps).
+    pub fn kraus_probabilities(&mut self, ops: &[Matrix<T>], qubits: &[usize]) -> Vec<f64> {
+        match qubits {
+            [q] => {
+                let rho = self.local_density(&[*q]);
+                ops.iter()
+                    .map(|k| k.mul_ref(&rho).mul_ref(&k.dagger()).trace().re.to_f64().max(0.0))
+                    .collect()
+            }
+            [a, b] => {
+                let (lo, hi) = (*a.min(b), *a.max(b));
+                assert_eq!(hi, lo + 1, "2-qubit channels must act on adjacent sites");
+                let rho = self.local_density(&[lo, hi]);
+                // rho is in (p_lo, p_hi) bit order; remap each op from the
+                // channel's (first, second) argument order.
+                let first_is_lo = *a == lo;
+                ops.iter()
+                    .map(|k| {
+                        let k_local = reorder_for_sites(k, first_is_lo);
+                        k_local
+                            .mul_ref(&rho)
+                            .mul_ref(&k_local.dagger())
+                            .trace()
+                            .re
+                            .to_f64()
+                            .max(0.0)
+                    })
+                    .collect()
+            }
+            _ => panic!("Kraus channels limited to 2 qubits"),
+        }
+    }
+
+    /// Apply a (generally non-unitary) Kraus operator and renormalize;
+    /// returns the realized branch probability.
+    pub fn apply_kraus_normalized(&mut self, k: &Matrix<T>, qubits: &[usize]) -> f64 {
+        match qubits {
+            [q] => {
+                self.apply_1q(k, *q);
+                let p = self.norm_sqr().to_f64();
+                self.normalize();
+                p
+            }
+            [a, b] => {
+                self.apply_2q(k, *a, *b);
+                let p = self.norm_sqr().to_f64();
+                self.normalize();
+                p
+            }
+            _ => panic!("Kraus operators limited to 2 qubits"),
+        }
+    }
+
+    /// Contract to a full statevector (test helper; n ≤ 20).
+    pub fn to_statevector(&self) -> Vec<Complex<T>> {
+        let n = self.n_qubits();
+        assert!(n <= 20, "to_statevector is a test helper");
+        (0..(1usize << n))
+            .map(|bits| self.amplitude(bits as u128))
+            .collect()
+    }
+}
+
+/// Convert a gate matrix from the `(bit_first << 1) | bit_second`
+/// convention to the site-local `(p_lo << 1) | p_hi` basis.
+/// `first_is_lo` says whether the gate's first argument is the lower site.
+fn reorder_for_sites<T: Scalar>(m: &Matrix<T>, first_is_lo: bool) -> Matrix<T> {
+    if first_is_lo {
+        return m.clone();
+    }
+    // Swap the two index bits on both rows and columns.
+    let swap_bits = |i: usize| ((i & 1) << 1) | (i >> 1);
+    let mut out = Matrix::zeros(4, 4);
+    for r in 0..4 {
+        for c in 0..4 {
+            out[(swap_bits(r), swap_bits(c))] = m[(r, c)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_math::gates;
+    use ptsbe_statevector::StateVector;
+
+    fn exact() -> MpsConfig {
+        MpsConfig {
+            max_bond: 256,
+            cutoff: 0.0,
+        }
+    }
+
+    fn assert_matches_statevector(mps: &Mps<f64>, sv: &StateVector<f64>, tol: f64) {
+        let amps = mps.to_statevector();
+        // Compare up to global phase via fidelity.
+        let fid = {
+            let mut acc = Complex::<f64>::zero();
+            for (a, b) in amps.iter().zip(sv.amplitudes()) {
+                acc += a.conj() * *b;
+            }
+            acc.norm_sqr()
+        };
+        assert!((fid - 1.0).abs() < tol, "fidelity {fid}");
+    }
+
+    #[test]
+    fn zero_state_amplitudes() {
+        let mps = Mps::<f64>::zero_state(4, exact());
+        assert!((mps.amplitude(0).re - 1.0).abs() < 1e-12);
+        assert!(mps.amplitude(5).abs() < 1e-12);
+        assert!((mps.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_qubit_gates_match() {
+        let mut mps = Mps::<f64>::zero_state(3, exact());
+        let mut sv = StateVector::<f64>::zero_state(3);
+        for (q, g) in [(0, gates::h::<f64>()), (1, gates::sx()), (2, gates::t())] {
+            mps.apply_1q(&g, q);
+            sv.apply_1q(&g, q);
+        }
+        assert_matches_statevector(&mps, &sv, 1e-10);
+    }
+
+    #[test]
+    fn bell_state_via_mps() {
+        let mut mps = Mps::<f64>::zero_state(2, exact());
+        mps.apply_1q(&gates::h(), 0);
+        mps.apply_2q(&gates::cx(), 0, 1);
+        let a00 = mps.amplitude(0b00);
+        let a11 = mps.amplitude(0b11);
+        assert!((a00.norm_sqr() - 0.5).abs() < 1e-10);
+        assert!((a11.norm_sqr() - 0.5).abs() < 1e-10);
+        assert!(mps.amplitude(0b01).abs() < 1e-10);
+        assert_eq!(mps.bond_dim(0), 2);
+    }
+
+    #[test]
+    fn reversed_gate_arguments() {
+        // cx(1, 0): control = site 1.
+        let mut mps = Mps::<f64>::zero_state(2, exact());
+        let mut sv = StateVector::<f64>::zero_state(2);
+        mps.apply_1q(&gates::h(), 1);
+        sv.apply_1q(&gates::h(), 1);
+        mps.apply_2q(&gates::cx(), 1, 0);
+        sv.apply_2q(&gates::cx(), 1, 0);
+        assert_matches_statevector(&mps, &sv, 1e-10);
+    }
+
+    #[test]
+    fn non_adjacent_gate_via_swaps() {
+        let mut mps = Mps::<f64>::zero_state(4, exact());
+        let mut sv = StateVector::<f64>::zero_state(4);
+        mps.apply_1q(&gates::h(), 0);
+        sv.apply_1q(&gates::h(), 0);
+        mps.apply_2q(&gates::cx(), 0, 3);
+        sv.apply_cx(0, 3);
+        assert_matches_statevector(&mps, &sv, 1e-10);
+        // Bonds between untouched middle sites grew as needed and the
+        // state stayed normalized.
+        assert!((mps.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn random_circuit_matches_statevector() {
+        let mut rng = ptsbe_rng::PhiloxRng::new(110, 0);
+        let n = 6;
+        let mut mps = Mps::<f64>::zero_state(n, exact());
+        let mut sv = StateVector::<f64>::zero_state(n);
+        for step in 0..30 {
+            let u1 = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+            let q = step % n;
+            mps.apply_1q(&u1, q);
+            sv.apply_1q(&u1, q);
+            let u2 = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+            let a = (step * 3 + 1) % n;
+            let mut b = (step * 5 + 2) % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            mps.apply_2q(&u2, a, b);
+            sv.apply_2q(&u2, a, b);
+        }
+        assert_matches_statevector(&mps, &sv, 1e-8);
+        assert!(mps.truncation_error() < 1e-12);
+    }
+
+    #[test]
+    fn move_center_preserves_state() {
+        let mut mps = Mps::<f64>::zero_state(5, exact());
+        mps.apply_1q(&gates::h(), 0);
+        mps.apply_2q(&gates::cx(), 0, 1);
+        mps.apply_2q(&gates::cx(), 1, 2);
+        let before = mps.to_statevector();
+        mps.move_center(4);
+        mps.move_center(0);
+        mps.move_center(2);
+        let after = mps.to_statevector();
+        for (a, b) in before.iter().zip(&after) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn truncation_reduces_bond_and_records_error() {
+        let mut rng = ptsbe_rng::PhiloxRng::new(111, 0);
+        let n = 8;
+        let mut mps = Mps::<f64>::zero_state(
+            n,
+            MpsConfig {
+                max_bond: 2,
+                cutoff: 0.0,
+            },
+        );
+        for step in 0..20 {
+            let u2 = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+            mps.apply_2q(&u2, step % (n - 1), step % (n - 1) + 1);
+        }
+        assert!(mps.max_bond_reached() <= 2);
+        assert!(mps.truncation_error() > 0.0, "random circuit must truncate at χ=2");
+    }
+
+    #[test]
+    fn ghz_needs_only_bond_2() {
+        let n = 12;
+        let mut mps = Mps::<f64>::zero_state(n, exact());
+        mps.apply_1q(&gates::h(), 0);
+        for q in 0..n - 1 {
+            mps.apply_2q(&gates::cx(), q, q + 1);
+        }
+        assert_eq!(mps.max_bond_reached(), 2);
+        assert!((mps.amplitude(0).norm_sqr() - 0.5).abs() < 1e-10);
+        assert!((mps.amplitude((1 << n) - 1).norm_sqr() - 0.5).abs() < 1e-10);
+        assert!(mps.truncation_error() < 1e-12);
+    }
+
+    #[test]
+    fn local_density_of_bell_half() {
+        let mut mps = Mps::<f64>::zero_state(2, exact());
+        mps.apply_1q(&gates::h(), 0);
+        mps.apply_2q(&gates::cx(), 0, 1);
+        let rho = mps.local_density(&[0]);
+        assert!((rho[(0, 0)].re - 0.5).abs() < 1e-10);
+        assert!((rho[(1, 1)].re - 0.5).abs() < 1e-10);
+        assert!(rho[(0, 1)].abs() < 1e-10);
+    }
+
+    #[test]
+    fn kraus_probabilities_match_statevector_backend() {
+        let ch = ptsbe_circuit::channels::amplitude_damping(0.3);
+        let ops64: Vec<Matrix<f64>> = ch.ops().iter().map(|k| (**k).clone()).collect();
+        let mut mps = Mps::<f64>::zero_state(3, exact());
+        let mut sv = StateVector::<f64>::zero_state(3);
+        mps.apply_1q(&gates::ry(0.8), 1);
+        sv.apply_1q(&gates::ry(0.8), 1);
+        mps.apply_2q(&gates::cx(), 1, 2);
+        sv.apply_cx(1, 2);
+        let p_mps = mps.kraus_probabilities(&ops64, &[1]);
+        let p_sv = ptsbe_statevector::kraus::kraus_probabilities(&sv, &ops64, &[1]);
+        for (a, b) in p_mps.iter().zip(&p_sv) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_kraus_normalized_probability() {
+        let gamma: f64 = 0.4;
+        let ch = ptsbe_circuit::channels::amplitude_damping(gamma);
+        let k1 = (*ch.op(1)).clone();
+        let mut mps = Mps::<f64>::zero_state(2, exact());
+        mps.apply_1q(&gates::h(), 0);
+        let p = mps.apply_kraus_normalized(&k1, &[0]);
+        assert!((p - gamma / 2.0).abs() < 1e-10);
+        assert!((mps.norm_sqr() - 1.0).abs() < 1e-10);
+        assert!((mps.amplitude(0).norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn f32_mps_tracks_f64() {
+        let mut a = Mps::<f64>::zero_state(4, exact());
+        let mut b = Mps::<f32>::zero_state(4, exact());
+        let h64 = gates::h::<f64>();
+        let h32 = gates::h::<f32>();
+        let cx64 = gates::cx::<f64>();
+        let cx32 = gates::cx::<f32>();
+        a.apply_1q(&h64, 0);
+        b.apply_1q(&h32, 0);
+        a.apply_2q(&cx64, 0, 2);
+        b.apply_2q(&cx32, 0, 2);
+        for bits in 0..16u128 {
+            let x = a.amplitude(bits).norm_sqr();
+            let y = b.amplitude(bits).norm_sqr() as f32;
+            assert!((x - f64::from(y)).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: MPS ↔ statevector agreement on random circuits, and
+//! gauge invariants.
+
+use proptest::prelude::*;
+use ptsbe_math::random::haar_unitary;
+use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::StateVector;
+use ptsbe_tensornet::{Mps, MpsConfig};
+
+fn exact() -> MpsConfig {
+    MpsConfig {
+        max_bond: 128,
+        cutoff: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn random_circuits_match_statevector(
+        seed in 0u64..500,
+        n in 2usize..6,
+        ops in prop::collection::vec((0usize..8, 0usize..8, prop::bool::ANY), 1..15),
+    ) {
+        let mut rng = PhiloxRng::new(seed, 11);
+        let mut mps = Mps::<f64>::zero_state(n, exact());
+        let mut sv = StateVector::<f64>::zero_state(n);
+        for (a_raw, b_raw, two_q) in ops {
+            let a = a_raw % n;
+            let b = b_raw % n;
+            if two_q && a != b {
+                let u = haar_unitary::<f64>(4, &mut rng);
+                mps.apply_2q(&u, a, b);
+                sv.apply_2q(&u, a, b);
+            } else {
+                let u = haar_unitary::<f64>(2, &mut rng);
+                mps.apply_1q(&u, a);
+                sv.apply_1q(&u, a);
+            }
+        }
+        // Fidelity via amplitudes (global-phase-free).
+        let amps = mps.to_statevector();
+        let mut acc = ptsbe_math::C64::zero();
+        for (x, y) in amps.iter().zip(sv.amplitudes()) {
+            acc += x.conj() * *y;
+        }
+        prop_assert!((acc.norm_sqr() - 1.0).abs() < 1e-7, "fidelity {}", acc.norm_sqr());
+        prop_assert!(mps.truncation_error() < 1e-10);
+    }
+
+    #[test]
+    fn gauge_moves_preserve_amplitudes(seed in 0u64..300, n in 2usize..6, target in 0usize..6) {
+        let target = target % n;
+        let mut rng = PhiloxRng::new(seed, 12);
+        let mut mps = Mps::<f64>::zero_state(n, exact());
+        for q in 0..n - 1 {
+            let u = haar_unitary::<f64>(4, &mut rng);
+            mps.apply_2q(&u, q, q + 1);
+        }
+        let before = mps.to_statevector();
+        mps.move_center(target);
+        mps.move_center(n - 1 - target.min(n - 1));
+        let after = mps.to_statevector();
+        for (x, y) in before.iter().zip(&after) {
+            prop_assert!((*x - *y).abs() < 1e-9);
+        }
+        prop_assert!((mps.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncation_error_bounds_fidelity_loss(seed in 0u64..200, chi in 2usize..6) {
+        // With bond cap χ the recorded truncation error must upper-bound
+        // the fidelity deficit against the exact state (triangle-ish
+        // inequality; generous constant for accumulation).
+        let n = 6;
+        let mut rng = PhiloxRng::new(seed, 13);
+        let mut exact_mps = Mps::<f64>::zero_state(n, exact());
+        let mut trunc = Mps::<f64>::zero_state(n, MpsConfig { max_bond: chi, cutoff: 0.0 });
+        for q in 0..n - 1 {
+            let u = haar_unitary::<f64>(4, &mut rng);
+            exact_mps.apply_2q(&u, q, q + 1);
+            trunc.apply_2q(&u, q, q + 1);
+        }
+        let a = exact_mps.to_statevector();
+        let b = trunc.to_statevector();
+        let mut acc = ptsbe_math::C64::zero();
+        for (x, y) in a.iter().zip(&b) {
+            acc += x.conj() * *y;
+        }
+        let infidelity = 1.0 - acc.norm_sqr();
+        let bound = 4.0 * trunc.truncation_error() + 1e-9;
+        prop_assert!(
+            infidelity <= bound,
+            "infidelity {infidelity} exceeds 4x recorded truncation {bound}"
+        );
+    }
+}

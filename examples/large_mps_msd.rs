@@ -1,0 +1,96 @@
+//! The large tensor-network workload: block-encoded MSD beyond
+//! statevector reach.
+//!
+//! Builds the 5→1 distillation circuit over five distance-5 color-code
+//! blocks (95 physical qubits — the documented substitute for the paper's
+//! 85; see DESIGN.md), runs PTSBE on the MPS backend, and reports
+//! per-block decoding and distillation acceptance. A dense statevector at
+//! this size would need 2^95 amplitudes; the MPS handles it on a laptop.
+//!
+//! Run: `cargo run --release --example large_mps_msd`
+
+use ptsbe::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let code = codes::color_code(5);
+    let basis = MeasureBasis::Z;
+    let (circuit, layout) = msd_encoded(&code, basis);
+    println!(
+        "workload: 5 × {} → {} physical qubits, {} gates",
+        code.name(),
+        circuit.n_qubits(),
+        circuit.gate_count()
+    );
+
+    let p = 1e-3;
+    let noisy = NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&circuit);
+    println!("noise sites: {} (depolarizing p = {p})", noisy.n_sites());
+
+    let config = MpsConfig {
+        max_bond: 64,
+        cutoff: 1e-10,
+    };
+    let backend = MpsBackend::<f64>::new(&noisy, config, MpsSampleMode::Cached).unwrap();
+
+    // A modest PTS plan: the most likely Kraus sets, large shot batches.
+    let mut rng = PhiloxRng::new(5050, 0);
+    let plan = TopKPts {
+        k: 8,
+        shots_per_trajectory: 250,
+        min_prob: 0.0,
+    }
+    .sample_plan(&noisy, &mut rng);
+    println!(
+        "plan: {} trajectories × {} shots, coverage {:.4}",
+        plan.n_trajectories(),
+        plan.trajectories[0].shots,
+        plan.coverage(&noisy)
+    );
+
+    let t0 = Instant::now();
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let dt = t0.elapsed();
+    println!(
+        "executed {} shots in {:.2?} ({:.0} shots/s)",
+        result.total_shots(),
+        dt,
+        result.total_shots() as f64 / dt.as_secs_f64()
+    );
+
+    // Distillation analysis with per-block lookup decoding.
+    let decoder = LookupDecoder::new(&code);
+    let mut analysis = MsdAnalysis::default();
+    for t in &result.trajectories {
+        for &s in &t.shots {
+            analysis.fold(&layout, Some(&decoder), s);
+        }
+    }
+    println!(
+        "\ndistillation acceptance (decoded, Z basis): {:.4}",
+        analysis.acceptance()
+    );
+    println!("output-block ⟨Z̄⟩: {:+.4}", analysis.expectation());
+    println!("unique shot fraction: {:.4}", result.unique_fraction());
+    println!(
+        "\nNOTE: at χ = {} the encoded d=5 state is bond-truncated (its exact\n\
+         mid-block Schmidt rank reaches 2^9); throughput and pipeline mechanics\n\
+         are the point here — exact physics validation runs at the 35-qubit\n\
+         Steane scale in tests/msd_encoded_pipeline.rs.",
+        config.max_bond
+    );
+    println!("\n(per-trajectory provenance of the first trajectory)");
+    if let Some(t) = result.trajectories.iter().find(|t| !t.meta.errors.is_empty()) {
+        for e in t.meta.errors.iter().take(6) {
+            println!(
+                "  {} on qubits {:?} at op {} (channel {})",
+                e.label, e.qubits, e.op_index, e.channel
+            );
+        }
+    } else {
+        println!("  (top-k plan is dominated by the error-free trajectory)");
+    }
+}

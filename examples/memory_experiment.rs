@@ -1,0 +1,73 @@
+//! QEC memory experiment: the decoder-training workload end-to-end.
+//!
+//! Repeated syndrome extraction on a Steane block (the AlphaQubit-style
+//! setting the paper's §2.3 targets), run through *both* data-collection
+//! stacks: the Clifford frame sampler (Stim's domain — this circuit is
+//! all-Clifford) and universal PTSBE (which would also accept non-Clifford
+//! variants). Prints the logical-error-rate-vs-p curve and the throughput
+//! gap — the paper's Fig. 1 story in one table.
+//!
+//! Run: `cargo run --release --example memory_experiment`
+
+use ptsbe::prelude::*;
+use ptsbe::qec::memory::{logical_error_rate, MemoryExperiment};
+use ptsbe::stabilizer::FrameSampler;
+use std::time::Instant;
+
+fn main() {
+    let code = codes::steane();
+    let rounds = 2;
+    let exp = MemoryExperiment::new(&code, rounds, true);
+    let decoder = LookupDecoder::new(&code);
+    println!(
+        "workload: {} memory, {} rounds, {} qubits ({} data + ancillas), {} gates",
+        code.name(),
+        rounds,
+        exp.circuit.n_qubits(),
+        exp.n_data,
+        exp.circuit.gate_count()
+    );
+
+    let shots = 200_000;
+    println!(
+        "\n{:>10} | {:>12} {:>10} | {:>12} {:>10} | {:>12}",
+        "p", "LER(frames)", "reject", "LER(PTSBE)", "reject", "frame_MHz"
+    );
+    for p in [1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2] {
+        let noisy = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(p))
+            .with_default_2q(channels::depolarizing2(p))
+            .apply(&exp.circuit);
+
+        // Clifford stack: bulk frame sampling.
+        let mut rng = PhiloxRng::new(0xEE0, 0);
+        let sampler = FrameSampler::new(&noisy, &mut rng).expect("Clifford circuit");
+        let t0 = Instant::now();
+        let frames = sampler.sample(shots, &mut rng);
+        let frame_rate = shots as f64 / t0.elapsed().as_secs_f64() / 1e6;
+        let (ler_f, rej_f) = logical_error_rate(&exp, &decoder, frames.shots.iter());
+
+        // Universal stack: PTSBE on the statevector backend (fewer shots —
+        // it pays for universality; same physics).
+        let sv_shots = 40_000;
+        let backend = SvBackend::<f32>::new(&noisy, SamplingStrategy::Auto).unwrap();
+        let mut rng2 = PhiloxRng::new(0xEE1, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 400,
+            shots_per_trajectory: sv_shots / 400,
+            dedup: false,
+        }
+        .sample_plan(&noisy, &mut rng2);
+        let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+        let all: Vec<u128> = result.all_shots().collect();
+        let (ler_p, rej_p) = logical_error_rate(&exp, &decoder, all.iter());
+
+        println!(
+            "{p:>10.0e} | {ler_f:>12.3e} {rej_f:>10.4} | {ler_p:>12.3e} {rej_p:>10.4} | {frame_rate:>12.2}"
+        );
+    }
+    println!("\nBoth stacks see the same physics (the circuit is Clifford); the frame");
+    println!("sampler collects data orders of magnitude faster, but only PTSBE could");
+    println!("run this experiment with, e.g., coherent rotation errors or T gates in");
+    println!("the syndrome schedule — the paper's universality argument.");
+}

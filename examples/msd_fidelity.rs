@@ -1,0 +1,122 @@
+//! Magic-state distillation fidelity sweep (paper Fig. 3 workload).
+//!
+//! Runs the bare 5-qubit 5→1 Bravyi–Kitaev protocol across input noise
+//! strengths, measuring the output block in all three Pauli bases (as the
+//! paper's Fig. 3 does), and compares the PTSBE trajectory estimate with
+//! the exact density-matrix oracle: acceptance rate, output Bloch norm,
+//! and distilled fidelity vs. the ideal magic direction.
+//!
+//! Run: `cargo run --release --example msd_fidelity`
+
+use ptsbe::prelude::*;
+use ptsbe::qec::msd::{bloch_norm, fidelity_from_bloch};
+
+/// Exact basis expectation + acceptance from the density-matrix oracle.
+fn oracle_run(eps: f64, basis: MeasureBasis) -> (f64, f64) {
+    let (circuit, layout) = msd_bare(basis);
+    let noisy = NoiseModel::new()
+        .with_gate_noise("ry", channels::depolarizing(eps))
+        .with_noiseless("rz")
+        .apply(&circuit);
+    let dm = DensityMatrix::evolve(&noisy);
+    let probs = dm.probabilities();
+    let (mut p_acc, mut p_plus) = (0.0, 0.0);
+    for (idx, &p) in probs.iter().enumerate() {
+        let shot = idx as u128;
+        let mut accept = true;
+        let mut out = false;
+        for b in 0..5 {
+            let parity = layout.block_parity(shot, b);
+            if b == layout.output_wire {
+                out = parity;
+            } else if parity {
+                accept = false;
+                break;
+            }
+        }
+        if accept {
+            p_acc += p;
+            if !out {
+                p_plus += p;
+            }
+        }
+    }
+    let exp = if p_acc > 0.0 {
+        2.0 * p_plus / p_acc - 1.0
+    } else {
+        0.0
+    };
+    (p_acc, exp)
+}
+
+/// PTSBE trajectory estimate of the same quantities.
+fn ptsbe_run(eps: f64, basis: MeasureBasis, seed: u64) -> (f64, f64) {
+    let (circuit, layout) = msd_bare(basis);
+    let noisy = NoiseModel::new()
+        .with_gate_noise("ry", channels::depolarizing(eps))
+        .with_noiseless("rz")
+        .apply(&circuit);
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng = PhiloxRng::new(seed, 0);
+    let plan = ProportionalPts {
+        n_samples: 4_000,
+        total_shots: 200_000,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor { seed, parallel: true }.execute(&backend, &noisy, &plan);
+    let mut analysis = MsdAnalysis::default();
+    for t in &result.trajectories {
+        for &s in &t.shots {
+            analysis.fold(&layout, None, s);
+        }
+    }
+    (analysis.acceptance(), analysis.expectation())
+}
+
+fn main() {
+    // Reference direction: the ε = 0 output Bloch vector.
+    let mut r_ref = [0.0f64; 3];
+    for (i, basis) in [MeasureBasis::X, MeasureBasis::Y, MeasureBasis::Z]
+        .into_iter()
+        .enumerate()
+    {
+        r_ref[i] = oracle_run(0.0, basis).1;
+    }
+    println!(
+        "ideal output direction: ({:+.4}, {:+.4}, {:+.4}), |r| = {:.6}\n",
+        r_ref[0],
+        r_ref[1],
+        r_ref[2],
+        bloch_norm(r_ref)
+    );
+
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>10} {:>10} | {:>12}",
+        "eps", "acc(orac)", "acc(PTSBE)", "F(oracle)", "F(PTSBE)", "infid(orac)"
+    );
+    for eps in [0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1] {
+        let mut r_o = [0.0f64; 3];
+        let mut r_p = [0.0f64; 3];
+        let mut acc_o = 0.0;
+        let mut acc_p = 0.0;
+        for (i, basis) in [MeasureBasis::X, MeasureBasis::Y, MeasureBasis::Z]
+            .into_iter()
+            .enumerate()
+        {
+            let (ao, eo) = oracle_run(eps, basis);
+            let (ap, ep) = ptsbe_run(eps, basis, 77 + i as u64);
+            r_o[i] = eo;
+            r_p[i] = ep;
+            acc_o = ao;
+            acc_p = ap;
+        }
+        let f_o = fidelity_from_bloch(r_o, r_ref);
+        let f_p = fidelity_from_bloch(r_p, r_ref);
+        println!(
+            "{eps:>8.3} | {acc_o:>10.4} {acc_p:>10.4} | {f_o:>10.5} {f_p:>10.5} | {:>12.3e}",
+            1.0 - f_o
+        );
+    }
+    println!("\n(distilled infidelity grows like O(eps^2..3): error detection of the");
+    println!(" distance-3 code removes all single faults; PTSBE tracks the oracle.)");
+}

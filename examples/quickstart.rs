@@ -1,0 +1,82 @@
+//! Quickstart: PTSBE on a noisy GHZ circuit.
+//!
+//! Builds a 4-qubit GHZ circuit with depolarizing noise, pre-samples
+//! trajectories with the paper's Algorithm 2, batch-executes them on the
+//! statevector backend, and prints the labeled output — the whole PTSBE
+//! pipeline in ~60 lines.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use ptsbe::prelude::*;
+
+fn main() {
+    // 1. The noisy circuit (paper Fig. 2: coherent gates + noise sites).
+    let n = 4;
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    let noisy = NoiseModel::new()
+        .with_default_1q(channels::depolarizing(0.01))
+        .with_default_2q(channels::depolarizing2(0.02))
+        .apply(&c);
+    println!(
+        "circuit: {} qubits, {} gates, {} noise sites",
+        noisy.n_qubits(),
+        c.gate_count(),
+        noisy.n_sites()
+    );
+
+    // 2. PTS: pre-sample unique Kraus sets, each with a big shot budget.
+    let mut rng = PhiloxRng::new(2025, 0);
+    let sampler = ProbabilisticPts {
+        n_samples: 500,
+        shots_per_trajectory: 20_000,
+        dedup: true,
+    };
+    let plan = sampler.sample_plan(&noisy, &mut rng);
+    println!(
+        "PTS plan: {} unique trajectories, {} total shots, coverage {:.4}",
+        plan.n_trajectories(),
+        plan.total_shots(),
+        plan.coverage(&noisy)
+    );
+
+    // 3. BE: one preparation per trajectory, bulk sampling, provenance.
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+
+    // 4. What came out: labeled data.
+    println!("\nfirst trajectories (provenance labels):");
+    for t in result.trajectories.iter().take(5) {
+        let labels: Vec<String> = t
+            .meta
+            .errors
+            .iter()
+            .map(|e| format!("{}@q{:?}(op{})", e.label, e.qubits, e.op_index))
+            .collect();
+        println!(
+            "  #{:<3} p={:.2e}  errors: [{}]  shots: {}",
+            t.meta.traj_id,
+            t.meta.realized_prob,
+            labels.join(", "),
+            t.shots.len()
+        );
+    }
+
+    // 5. Physics check: the weighted outcome distribution still looks GHZ.
+    let hist = estimators::weighted_histogram(&result, 1 << n);
+    println!("\nweighted distribution (top outcomes):");
+    let mut idx: Vec<usize> = (0..hist.len()).collect();
+    idx.sort_by(|&a, &b| hist[b].partial_cmp(&hist[a]).unwrap());
+    for &i in idx.iter().take(4) {
+        println!("  |{i:04b}⟩  p = {:.4}", hist[i]);
+    }
+    println!(
+        "\nunique shot fraction: {:.2e} (Fig. 4 right-axis analog; tiny here\n\
+         because a 4-qubit register has only 16 distinguishable outcomes)",
+        result.unique_fraction()
+    );
+}

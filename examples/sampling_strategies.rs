@@ -1,0 +1,117 @@
+//! Strategic sampling census (paper §3.1).
+//!
+//! Runs the whole PTS sampler family on one noisy circuit and prints what
+//! each strategy buys: trajectory counts, probability coverage,
+//! error-weight mix, and — after batched execution — how well the
+//! de-biased estimate matches the exact oracle.
+//!
+//! Run: `cargo run --release --example sampling_strategies`
+
+use ptsbe::core::pts::{ConstrainedPts, ReweightedPts};
+use ptsbe::core::stats::tvd;
+use ptsbe::prelude::*;
+
+fn main() {
+    // Workload: noisy 3-qubit repetition-ish parity circuit with a
+    // non-Clifford twist.
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).t(1).cx(1, 2).measure_all();
+    let noisy = NoiseModel::new()
+        .with_default_1q(channels::depolarizing(0.03))
+        .with_default_2q(channels::depolarizing(0.03))
+        .apply(&c);
+    let exact = DensityMatrix::evolve(&noisy).probabilities();
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let exec = BatchedExecutor::default();
+
+    println!(
+        "{:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "sampler", "trajs", "shots", "coverage", "maxweight", "TVD"
+    );
+
+    let report = |name: &str, plan: PtsPlan| {
+        let result = exec.execute(&backend, &noisy, &plan);
+        let hist = estimators::weighted_histogram(&result, 8);
+        let d = tvd(&hist, &exact);
+        println!(
+            "{:<16} {:>8} {:>10} {:>10.4} {:>10} {:>10.4}",
+            name,
+            plan.n_trajectories(),
+            plan.total_shots(),
+            plan.coverage(&noisy),
+            plan.max_error_weight(&noisy),
+            d
+        );
+    };
+
+    let mut rng = PhiloxRng::new(99, 0);
+
+    report(
+        "algorithm2",
+        ProbabilisticPts {
+            n_samples: 2_000,
+            shots_per_trajectory: 2_000,
+            dedup: true,
+        }
+        .sample_plan(&noisy, &mut rng),
+    );
+    report(
+        "proportional",
+        ProportionalPts {
+            n_samples: 2_000,
+            total_shots: 400_000,
+        }
+        .sample_plan(&noisy, &mut rng),
+    );
+    report(
+        "top-64",
+        TopKPts {
+            k: 64,
+            shots_per_trajectory: 2_000,
+            min_prob: 0.0,
+        }
+        .sample_plan(&noisy, &mut rng),
+    );
+    report(
+        "band(1e-4..1e-2)",
+        BandPts {
+            n_samples: 4_000,
+            shots_per_trajectory: 2_000,
+            p_min: 1e-4,
+            p_max: 1e-2,
+        }
+        .sample_plan(&noisy, &mut rng),
+    );
+    report(
+        "exhaustive",
+        ExhaustivePts {
+            shots_per_trajectory: 500,
+            max_trajectories: 1 << 14,
+        }
+        .sample_plan(&noisy, &mut rng),
+    );
+    report(
+        "weight==1 only",
+        ConstrainedPts {
+            base: ProbabilisticPts {
+                n_samples: 3_000,
+                shots_per_trajectory: 2_000,
+                dedup: true,
+            },
+            allowed_sites: None,
+            weight_range: (1, 1),
+        }
+        .sample_plan(&noisy, &mut rng),
+    );
+    report(
+        "twirled",
+        ReweightedPts::twirled(&noisy, 2_000, 2_000).sample_plan(&noisy, &mut rng),
+    );
+
+    println!("\nNotes:");
+    println!("- 'coverage' is the probability mass the plan touches; the weighted");
+    println!("  estimator is exact as coverage → 1 (exhaustive row: TVD ≈ sampling noise).");
+    println!("- band/constrained rows show tail-targeted data collection: coverage is");
+    println!("  tiny by design, yet every collected shot is a rare-error specimen —");
+    println!("  the paper's point about tailored QEC datasets.");
+}

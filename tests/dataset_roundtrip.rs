@@ -1,0 +1,93 @@
+//! End-to-end dataset pipeline: generate → serialize (JSONL + binary) →
+//! reload → decode — the "programmable data collection engine" loop.
+
+use ptsbe::dataset::{binary, decoder_export, jsonl, record, summary};
+use ptsbe::prelude::*;
+use ptsbe::qec::encoding_circuit;
+
+fn steane_memory_noisy(p: f64) -> NoisyCircuit {
+    let code = codes::steane();
+    let enc = encoding_circuit(&code);
+    let mut c = enc.circuit.clone();
+    c.measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+#[test]
+fn full_pipeline_jsonl_and_binary() {
+    let noisy = steane_memory_noisy(0.01);
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng = PhiloxRng::new(930, 0);
+    let plan = ProbabilisticPts {
+        n_samples: 300,
+        shots_per_trajectory: 64,
+        dedup: true,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+
+    let header = DatasetHeader {
+        workload: "steane-memory".into(),
+        n_qubits: 7,
+        n_measured: 7,
+        backend: "statevector-f64".into(),
+        seed: 930,
+    };
+    let records = record::records_from_batch(&result);
+
+    // JSONL round trip.
+    let mut buf = Vec::new();
+    jsonl::write(&mut buf, &header, &records).unwrap();
+    let (h2, loaded) = jsonl::read(std::io::BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(h2, header);
+    assert_eq!(loaded.len(), records.len());
+
+    // Binary round trip.
+    let bytes = binary::encode(&header, &records).unwrap();
+    let (h3, loaded_bin) = binary::decode(bytes).unwrap();
+    assert_eq!(h3, header);
+    assert_eq!(loaded_bin.len(), records.len());
+    for (a, b) in loaded.iter().zip(&loaded_bin) {
+        assert_eq!(a.decode_shots().unwrap(), b.decode_shots().unwrap());
+        assert_eq!(a.meta.choices, b.meta.choices);
+    }
+
+    // Summaries agree with the in-memory result.
+    let s = summary::summarize(&loaded);
+    assert_eq!(s.n_trajectories, result.trajectories.len());
+    assert_eq!(s.n_shots, result.total_shots());
+    assert!((s.unique_fraction - result.unique_fraction()).abs() < 1e-12);
+}
+
+#[test]
+fn labels_survive_and_decode_consistently() {
+    let code = codes::steane();
+    let noisy = steane_memory_noisy(0.02);
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng = PhiloxRng::new(931, 0);
+    let plan = ProbabilisticPts {
+        n_samples: 400,
+        shots_per_trajectory: 32,
+        dedup: true,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let records = record::records_from_batch(&result);
+    let examples = decoder_export::export_examples(&records);
+    assert_eq!(examples.len(), result.total_shots());
+
+    // Error-free labeled shots must decode to logical 0 *exactly* (no
+    // noise means bits form a codeword with trivial syndrome).
+    let decoder = LookupDecoder::new(&code);
+    let mut clean_checked = 0;
+    for ex in examples.iter().filter(|e| e.errors.is_empty()) {
+        let shot = u128::from_str_radix(&ex.shot, 16).unwrap();
+        assert_eq!(decoder.syndrome(shot), 0, "clean shot with syndrome");
+        assert_eq!(decoder.decode(shot), Some(false));
+        clean_checked += 1;
+    }
+    assert!(clean_checked > 0, "no clean trajectories sampled");
+}

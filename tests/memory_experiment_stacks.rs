@@ -1,0 +1,89 @@
+//! The memory-experiment workload through both data-collection stacks:
+//! the Clifford frame sampler and universal PTSBE must report the same
+//! logical error rate, and detectors must behave.
+
+use ptsbe::prelude::*;
+use ptsbe::qec::memory::{logical_error_rate, MemoryExperiment};
+use ptsbe::stabilizer::FrameSampler;
+
+#[test]
+fn frame_and_ptsbe_agree_on_logical_error_rate() {
+    let code = codes::steane();
+    let exp = MemoryExperiment::new(&code, 1, false);
+    let decoder = LookupDecoder::new(&code);
+    let p = 5e-3;
+    let noisy = NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing2(p))
+        .apply(&exp.circuit);
+
+    // Stack 1: frame sampler.
+    let mut rng = PhiloxRng::new(0xABCD, 0);
+    let sampler = FrameSampler::new(&noisy, &mut rng).unwrap();
+    let shots_f = 120_000;
+    let frames = sampler.sample(shots_f, &mut rng);
+    let (ler_frames, rej_f) = logical_error_rate(&exp, &decoder, frames.shots.iter());
+
+    // Stack 2: PTSBE statevector.
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng2 = PhiloxRng::new(0xABCE, 0);
+    let plan = ProbabilisticPts {
+        n_samples: 30_000,
+        shots_per_trajectory: 1,
+        dedup: false,
+    }
+    .sample_plan(&noisy, &mut rng2);
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let all: Vec<u128> = result.all_shots().collect();
+    let (ler_ptsbe, rej_p) = logical_error_rate(&exp, &decoder, all.iter());
+
+    // Same physics: rates agree within combined binomial noise.
+    let sigma = (ler_frames.max(1e-5) / 30_000.0).sqrt() * 4.0 + 2e-3;
+    assert!(
+        (ler_frames - ler_ptsbe).abs() < sigma.max(0.004),
+        "frame LER {ler_frames} vs PTSBE LER {ler_ptsbe}"
+    );
+    // Reject rates also comparable.
+    assert!((rej_f - rej_p).abs() < 0.02, "reject {rej_f} vs {rej_p}");
+}
+
+#[test]
+fn detectors_fire_only_under_noise() {
+    let code = codes::steane();
+    let exp = MemoryExperiment::new(&code, 2, true);
+    // Noiseless via PTSBE identity trajectory.
+    let clean = NoiseModel::new().apply(&exp.circuit);
+    let backend = SvBackend::<f64>::new(&clean, SamplingStrategy::Auto).unwrap();
+    let plan = ptsbe::core::plan::PtsPlan {
+        trajectories: vec![ptsbe::core::plan::PlannedTrajectory {
+            choices: vec![],
+            shots: 2_000,
+        }],
+    };
+    let result = BatchedExecutor::default().execute(&backend, &clean, &plan);
+    for s in result.all_shots() {
+        for d in exp.detectors(s) {
+            assert_eq!(d, 0, "noiseless detector fired");
+        }
+        assert!(!exp.raw_logical(s));
+    }
+
+    // With noise, some detectors fire.
+    let noisy = NoiseModel::new()
+        .with_default_2q(channels::depolarizing2(0.02))
+        .apply(&exp.circuit);
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng = PhiloxRng::new(0xABD0, 0);
+    let plan = ProbabilisticPts {
+        n_samples: 2_000,
+        shots_per_trajectory: 1,
+        dedup: false,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let fired = result
+        .all_shots()
+        .filter(|&s| exp.detectors(s).iter().any(|&d| d != 0))
+        .count();
+    assert!(fired > 0, "no detectors fired under 2% depolarizing noise");
+}

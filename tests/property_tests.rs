@@ -1,0 +1,133 @@
+//! Property-based tests over the PTSBE invariants (proptest).
+
+use proptest::prelude::*;
+use ptsbe::core::stats::{histogram, tvd};
+use ptsbe::prelude::*;
+
+/// Random small noisy circuit strategy: (n_qubits, gate recipe, noise p).
+fn circuit_strategy() -> impl Strategy<Value = (usize, Vec<(u8, usize, usize)>, f64)> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec((0u8..6, 0..n, 0..n), 1..12),
+                0.0..0.3f64,
+            )
+        })
+}
+
+fn build(n: usize, recipe: &[(u8, usize, usize)], p: f64) -> NoisyCircuit {
+    let mut c = Circuit::new(n);
+    for &(kind, a, b) in recipe {
+        match kind {
+            0 => {
+                c.h(a);
+            }
+            1 => {
+                c.t(a);
+            }
+            2 => {
+                c.sx(a);
+            }
+            3 => {
+                c.rz(a, 0.3 + a as f64);
+            }
+            4 if a != b => {
+                c.cx(a, b);
+            }
+            _ if a != b => {
+                c.cz(a, b);
+            }
+            _ => {
+                c.s(a);
+            }
+        }
+    }
+    c.measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// PTSBE with exhaustive plans reconstructs the exact distribution on
+    /// random circuits (within shot noise).
+    #[test]
+    fn exhaustive_ptsbe_matches_oracle((n, recipe, p) in circuit_strategy()) {
+        let noisy = build(n, &recipe, p);
+        prop_assume!(noisy.n_sites() <= 6); // keep 4^sites tractable
+        let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(940, 0);
+        let plan = ExhaustivePts { shots_per_trajectory: 500, max_trajectories: 1 << 13 }
+            .sample_plan(&noisy, &mut rng);
+        let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+        let hist = ptsbe::core::estimators::weighted_histogram(&result, 1 << n);
+        let exact = DensityMatrix::evolve(&noisy).probabilities();
+        let d = tvd(&hist, &exact);
+        prop_assert!(d < 0.06, "TVD {d}");
+    }
+
+    /// Realized trajectory probabilities are a distribution over the
+    /// exhaustive plan.
+    #[test]
+    fn realized_probs_normalize((n, recipe, p) in circuit_strategy()) {
+        let noisy = build(n, &recipe, p);
+        prop_assume!(noisy.n_sites() <= 6);
+        let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(941, 0);
+        let plan = ExhaustivePts { shots_per_trajectory: 1, max_trajectories: 1 << 13 }
+            .sample_plan(&noisy, &mut rng);
+        let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+        let total: f64 = result.trajectories.iter().map(|t| t.meta.realized_prob).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "Σ p_α = {total}");
+        for t in &result.trajectories {
+            prop_assert!(t.meta.realized_prob >= -1e-12);
+        }
+    }
+
+    /// Baseline (Algorithm 1) and PTSBE sample the same distribution on
+    /// random unitary-mixture circuits.
+    #[test]
+    fn baseline_equals_ptsbe((n, recipe, p) in circuit_strategy()) {
+        let noisy = build(n, &recipe, p);
+        let shots = 8_000;
+        let base = run_baseline_sv::<f64>(&noisy, shots, 942);
+        let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(943, 0);
+        let plan = ProbabilisticPts { n_samples: shots, shots_per_trajectory: 1, dedup: false }
+            .sample_plan(&noisy, &mut rng);
+        let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+        let h1 = histogram(base.iter().copied(), 1 << n);
+        let h2 = histogram(result.all_shots(), 1 << n);
+        let d = tvd(&h1, &h2);
+        prop_assert!(d < 0.06, "TVD {d}");
+    }
+
+    /// Plans never allocate invalid Kraus indices, and provenance labels
+    /// match the choices.
+    #[test]
+    fn plans_are_well_formed((n, recipe, p) in circuit_strategy()) {
+        let noisy = build(n, &recipe, p);
+        let mut rng = PhiloxRng::new(944, 0);
+        for plan in [
+            ProbabilisticPts { n_samples: 200, shots_per_trajectory: 2, dedup: true }
+                .sample_plan(&noisy, &mut rng),
+            TopKPts { k: 20, shots_per_trajectory: 2, min_prob: 0.0 }
+                .sample_plan(&noisy, &mut rng),
+        ] {
+            for t in &plan.trajectories {
+                prop_assert_eq!(t.choices.len(), noisy.n_sites());
+                for (site, &k) in noisy.sites().iter().zip(&t.choices) {
+                    prop_assert!(k < site.channel.n_ops());
+                }
+                let meta = ptsbe::core::TrajectoryMeta::from_assignment(&noisy, 0, &t.choices);
+                for ev in &meta.errors {
+                    prop_assert_eq!(ev.kraus_index, t.choices[ev.site_id]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Trajectory-method convergence: the statistical foundation the paper
+//! builds on (§2.2) — an ensemble of m trajectories approximates the
+//! density-matrix evolution, with error shrinking as m grows, for both
+//! unitary-mixture and general Kraus channels.
+
+use ptsbe::core::estimators;
+use ptsbe::core::stats::{histogram, tvd};
+use ptsbe::prelude::*;
+
+fn mixed_noise_circuit() -> NoisyCircuit {
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).t(1).cx(1, 2).sx(2).measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::amplitude_damping(0.15))
+        .with_default_2q(channels::depolarizing(0.1))
+        .apply(&c)
+}
+
+#[test]
+fn tvd_decreases_with_trajectory_count() {
+    let noisy = mixed_noise_circuit();
+    let exact = DensityMatrix::evolve(&noisy).probabilities();
+    let mut errors = Vec::new();
+    for m in [200usize, 2_000, 20_000] {
+        let shots = run_baseline_sv::<f64>(&noisy, m, 910);
+        let h = histogram(shots.iter().copied(), 8);
+        errors.push(tvd(&h, &exact));
+    }
+    assert!(
+        errors[2] < errors[0],
+        "TVD should shrink with more trajectories: {errors:?}"
+    );
+    assert!(errors[2] < 0.02, "20k-trajectory TVD: {}", errors[2]);
+}
+
+#[test]
+fn general_channel_importance_weighting_is_unbiased() {
+    // Amplitude damping has state-dependent branch probabilities; PTSBE
+    // pre-samples from nominal weights and records realized probabilities.
+    // The weighted estimator must match the oracle.
+    let noisy = mixed_noise_circuit();
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng = PhiloxRng::new(911, 0);
+    let plan = ExhaustivePts {
+        shots_per_trajectory: 300,
+        max_trajectories: 1 << 16,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+
+    // Realized probabilities must differ from nominal for at least one
+    // damping trajectory (that is the general-channel signature)…
+    let reweighted = result
+        .trajectories
+        .iter()
+        .filter(|t| (t.meta.importance() - 1.0).abs() > 1e-9)
+        .count();
+    assert!(reweighted > 0, "expected non-trivial importance weights");
+
+    // …and the weighted histogram must match the exact evolution.
+    let hist = estimators::weighted_histogram(&result, 8);
+    let exact = DensityMatrix::evolve(&noisy).probabilities();
+    let d = tvd(&hist, &exact);
+    assert!(d < 0.02, "importance-weighted TVD vs oracle: {d}");
+}
+
+#[test]
+fn realized_probabilities_sum_to_one_exhaustively() {
+    // Σ_α p_α over ALL trajectories = 1 exactly (CPTP), even when the
+    // nominal proposal masses differ.
+    let noisy = mixed_noise_circuit();
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng = PhiloxRng::new(912, 0);
+    let plan = ExhaustivePts {
+        shots_per_trajectory: 1,
+        max_trajectories: 1 << 16,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let total: f64 = result.trajectories.iter().map(|t| t.meta.realized_prob).sum();
+    assert!((total - 1.0).abs() < 1e-9, "Σ p_α = {total}");
+}
+
+#[test]
+fn deterministic_reproducibility() {
+    // Same seed -> bit-identical datasets, regardless of parallelism.
+    let noisy = mixed_noise_circuit();
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng1 = PhiloxRng::new(913, 0);
+    let mut rng2 = PhiloxRng::new(913, 0);
+    let sampler = ProbabilisticPts {
+        n_samples: 50,
+        shots_per_trajectory: 200,
+        dedup: true,
+    };
+    let plan1 = sampler.sample_plan(&noisy, &mut rng1);
+    let plan2 = sampler.sample_plan(&noisy, &mut rng2);
+    assert_eq!(plan1.trajectories, plan2.trajectories);
+
+    let r1 = BatchedExecutor { seed: 99, parallel: true }.execute(&backend, &noisy, &plan1);
+    let r2 = BatchedExecutor { seed: 99, parallel: false }.execute(&backend, &noisy, &plan2);
+    for (a, b) in r1.trajectories.iter().zip(&r2.trajectories) {
+        assert_eq!(a.shots, b.shots);
+    }
+}
