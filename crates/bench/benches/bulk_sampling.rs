@@ -24,19 +24,12 @@ fn bench_sampling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sorted_merge", m), &m, |b, &m| {
             let mut rng = PhiloxRng::new(1, 0);
             b.iter(|| {
-                sampling::sample_shots(
-                    black_box(&sv),
-                    m,
-                    &mut rng,
-                    SamplingStrategy::SortedMerge,
-                )
+                sampling::sample_shots(black_box(&sv), m, &mut rng, SamplingStrategy::SortedMerge)
             });
         });
         group.bench_with_input(BenchmarkId::new("alias", m), &m, |b, &m| {
             let mut rng = PhiloxRng::new(2, 0);
-            b.iter(|| {
-                sampling::sample_shots(black_box(&sv), m, &mut rng, SamplingStrategy::Alias)
-            });
+            b.iter(|| sampling::sample_shots(black_box(&sv), m, &mut rng, SamplingStrategy::Alias));
         });
     }
     group.finish();

@@ -1,0 +1,87 @@
+//! Flat vs. prefix-tree batched execution across noise rates.
+//!
+//! The trajectory tree amortizes state preparation over shared Kraus
+//! prefixes, so its advantage grows as noise shrinks: at low `p` almost
+//! every sampled trajectory is identity-dominated and the trie collapses
+//! into a few long shared paths. Alongside wall time, this bench prints
+//! each plan's `prep_ops_saved` ratio — the fraction of flat site-advances
+//! the tree eliminates — so the structural win is visible next to the
+//! timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
+use ptsbe_core::{
+    BatchedExecutor, ProbabilisticPts, PtsPlan, PtsPlanTree, PtsSampler, SvBackend, TreeExecutor,
+};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::SamplingStrategy;
+use std::hint::black_box;
+
+fn workload(p: f64) -> NoisyCircuit {
+    let n = 10;
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    for q in 0..n {
+        c.t(q);
+    }
+    for q in (0..n - 1).step_by(2) {
+        c.cx(q, q + 1);
+    }
+    c.measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+fn plan_for(nc: &NoisyCircuit, seed: u64) -> PtsPlan {
+    let mut rng = PhiloxRng::new(seed, 0);
+    ProbabilisticPts {
+        n_samples: 200,
+        shots_per_trajectory: 50,
+        dedup: true,
+    }
+    .sample_plan(nc, &mut rng)
+}
+
+fn bench_flat_vs_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_vs_tree");
+    group.sample_size(10);
+    for p in [1e-3, 1e-2, 1e-1] {
+        let nc = workload(p);
+        let plan = plan_for(&nc, 7_000 + (p * 1e4) as u64);
+        let tree = PtsPlanTree::from_plan(&plan);
+        println!(
+            "p={p:<8} trajectories={:<4} trie_edges={:<5} flat_ops={:<5} \
+             prep_ops_saved={} ({:.1}% of flat)",
+            plan.n_trajectories(),
+            tree.n_edges(),
+            tree.flat_prep_ops(),
+            tree.prep_ops_saved(),
+            100.0 * tree.sharing_ratio(),
+        );
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("flat", p), &p, |b, _| {
+            let exec = BatchedExecutor {
+                seed: 1,
+                parallel: false,
+            };
+            b.iter(|| exec.execute(black_box(&backend), &nc, &plan));
+        });
+        group.bench_with_input(BenchmarkId::new("tree", p), &p, |b, _| {
+            let exec = TreeExecutor {
+                seed: 1,
+                parallel: false,
+            };
+            b.iter(|| exec.execute_tree(black_box(&backend), &nc, &plan, &tree));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_vs_tree);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ fn main() {
     let mut base_rate = [0.0f64; 2];
     for &m in &[1usize, 10, 100, 1_000] {
         for (mode_idx, mode) in ["naive", "cached"].iter().enumerate() {
-            let mut rng = PhiloxRng::new(0xF16_5, mode_idx as u64);
+            let mut rng = PhiloxRng::new(0xF165, mode_idx as u64);
             let (shots, total) = time_once(|| {
                 let mut state = prepare_mps(&compiled, &choices, config).0;
                 match *mode {

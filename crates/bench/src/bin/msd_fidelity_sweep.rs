@@ -45,7 +45,11 @@ fn run_basis(eps: f64, basis: MeasureBasis, seed: u64) -> (f64, f64, f64, f64) {
             }
         }
     }
-    let oracle_exp = if p_acc > 0.0 { 2.0 * p_plus / p_acc - 1.0 } else { 0.0 };
+    let oracle_exp = if p_acc > 0.0 {
+        2.0 * p_plus / p_acc - 1.0
+    } else {
+        0.0
+    };
 
     // PTSBE.
     let backend = SvBackend::<f64>::new(&noisy, Default::default()).unwrap();
@@ -55,14 +59,23 @@ fn run_basis(eps: f64, basis: MeasureBasis, seed: u64) -> (f64, f64, f64, f64) {
         total_shots: 100_000,
     }
     .sample_plan(&noisy, &mut rng);
-    let result = BatchedExecutor { seed, parallel: true }.execute(&backend, &noisy, &plan);
+    let result = BatchedExecutor {
+        seed,
+        parallel: true,
+    }
+    .execute(&backend, &noisy, &plan);
     let mut analysis = MsdAnalysis::default();
     for t in &result.trajectories {
         for &s in &t.shots {
             analysis.fold(&layout, None, s);
         }
     }
-    (p_acc, oracle_exp, analysis.acceptance(), analysis.expectation())
+    (
+        p_acc,
+        oracle_exp,
+        analysis.acceptance(),
+        analysis.expectation(),
+    )
 }
 
 fn main() {
@@ -73,7 +86,13 @@ fn main() {
     {
         r_ref[i] = run_basis(0.0, basis, 1).1;
     }
-    println!("# ideal direction ({:+.3},{:+.3},{:+.3}) |r|={:.6}", r_ref[0], r_ref[1], r_ref[2], bloch_norm(r_ref));
+    println!(
+        "# ideal direction ({:+.3},{:+.3},{:+.3}) |r|={:.6}",
+        r_ref[0],
+        r_ref[1],
+        r_ref[2],
+        bloch_norm(r_ref)
+    );
     println!(
         "{:>8} {:>10} {:>10} {:>12} {:>12}",
         "eps", "acc_oracle", "acc_ptsbe", "F_oracle", "F_ptsbe"

@@ -7,15 +7,16 @@
 //! Run: `cargo run --release -p ptsbe-bench --bin pts_sampler_census`
 
 use ptsbe_bench::{msd_like, time_once, with_depolarizing};
-use ptsbe_core::{
-    BandPts, ExhaustivePts, ProbabilisticPts, ProportionalPts, PtsSampler, TopKPts,
-};
+use ptsbe_core::{BandPts, ExhaustivePts, ProbabilisticPts, ProportionalPts, PtsSampler, TopKPts};
 use ptsbe_rng::PhiloxRng;
 
 fn main() {
     // Scaling of the sampling cost with circuit size.
     println!("# PTS cost scaling (Algorithm 2, 10k samples, p = 1e-3)");
-    println!("{:>8} {:>8} {:>12} {:>14}", "qubits", "sites", "time_ms", "ns_per_site");
+    println!(
+        "{:>8} {:>8} {:>12} {:>14}",
+        "qubits", "sites", "time_ms", "ns_per_site"
+    );
     for n in [4usize, 8, 12, 16, 20] {
         let noisy = with_depolarizing(&msd_like(n, n), 1e-3);
         let mut rng = PhiloxRng::new(0xCE25, n as u64);
@@ -25,8 +26,7 @@ fn main() {
             dedup: true,
         };
         let (plan, t) = time_once(|| sampler.sample_plan(&noisy, &mut rng));
-        let ns_per_site =
-            t.as_nanos() as f64 / (10_000.0 * noisy.n_sites() as f64);
+        let ns_per_site = t.as_nanos() as f64 / (10_000.0 * noisy.n_sites() as f64);
         println!(
             "{n:>8} {:>8} {:>12.2} {:>14.1}",
             noisy.n_sites(),
@@ -38,7 +38,10 @@ fn main() {
 
     // Dedup saturation + coverage per sampler on one workload.
     let noisy = with_depolarizing(&msd_like(10, 10), 5e-3);
-    println!("\n# sampler census on n=10 workload ({} sites)", noisy.n_sites());
+    println!(
+        "\n# sampler census on n=10 workload ({} sites)",
+        noisy.n_sites()
+    );
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>10}",
         "sampler", "attempts", "trajs", "coverage", "maxweight"

@@ -27,19 +27,22 @@ fn main() {
     // Baseline per-shot cost (prep + 1-shot sample), measured.
     let base_reps = 10;
     let (_, base_t) = time_once(|| {
-        let mut rng = PhiloxRng::new(0x5bee_d, 0);
+        let mut rng = PhiloxRng::new(0x5BEED, 0);
         for _ in 0..base_reps {
             let _ = baseline_one_sv(&compiled, &mut rng);
         }
     });
     let base_per_shot = base_t.as_secs_f64() / base_reps as f64;
-    println!("# statevector n={n}: baseline (Algorithm 1) {:.3} ms/shot", base_per_shot * 1e3);
+    println!(
+        "# statevector n={n}: baseline (Algorithm 1) {:.3} ms/shot",
+        base_per_shot * 1e3
+    );
     println!(
         "{:>12} {:>14} {:>14} {:>10}",
         "shots/traj", "ptsbe_sh_per_s", "base_sh_per_s", "speedup"
     );
     for &m in &[1usize, 100, 10_000, 1_000_000] {
-        let mut rng = PhiloxRng::new(0x5bee_e, m as u64);
+        let mut rng = PhiloxRng::new(0x5BEEE, m as u64);
         let (_, t) = time_once(|| {
             let (state, _) = exec::prepare(&compiled, &choices);
             sampling::sample_shots(&state, m, &mut rng, SamplingStrategy::Auto)
@@ -66,7 +69,7 @@ fn main() {
 
     let mbase_reps = 3;
     let (_, mbase_t) = time_once(|| {
-        let mut rng = PhiloxRng::new(0x5bee_f, 0);
+        let mut rng = PhiloxRng::new(0x5BEEF, 0);
         for _ in 0..mbase_reps {
             let _ = baseline_one_mps(&mcompiled, config, &mut rng);
         }
@@ -85,7 +88,7 @@ fn main() {
     );
     for &m in &[1usize, 10, 100, 1_000] {
         for mode in ["naive", "cached"] {
-            let mut rng = PhiloxRng::new(0x5bf0_0, m as u64);
+            let mut rng = PhiloxRng::new(0x5BF00, m as u64);
             let (_, t) = time_once(|| {
                 let mut state = prepare_mps(&mcompiled, &mchoices, config).0;
                 match mode {

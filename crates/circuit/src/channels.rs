@@ -66,7 +66,10 @@ pub fn pauli(px: f64, py: f64, pz: f64) -> KrausChannel {
 }
 
 fn pauli_channel(px: f64, py: f64, pz: f64, name: &str) -> KrausChannel {
-    assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0, "{name}: negative probability");
+    assert!(
+        px >= 0.0 && py >= 0.0 && pz >= 0.0,
+        "{name}: negative probability"
+    );
     let pi = 1.0 - px - py - pz;
     assert!(pi >= -1e-12, "{name}: probabilities exceed 1");
     // All four branches kept (zero-weight ones included) so branch indices
@@ -87,7 +90,10 @@ fn pauli_channel(px: f64, py: f64, pz: f64, name: &str) -> KrausChannel {
 /// toward |0⟩). A *general* channel: exercises the importance-weighting
 /// path of PTS.
 pub fn amplitude_damping(gamma: f64) -> KrausChannel {
-    assert!((0.0..=1.0).contains(&gamma), "amplitude_damping: gamma out of range");
+    assert!(
+        (0.0..=1.0).contains(&gamma),
+        "amplitude_damping: gamma out of range"
+    );
     let mut k0 = Matrix::<f64>::identity(2);
     k0[(1, 1)] = Complex::from_f64((1.0 - gamma).sqrt(), 0.0);
     let mut k1 = Matrix::<f64>::zeros(2, 2);
@@ -119,7 +125,10 @@ pub fn generalized_amplitude_damping(gamma: f64, p_exc: f64) -> KrausChannel {
 
 /// Phase damping (pure dephasing) with parameter `lambda`.
 pub fn phase_damping(lambda: f64) -> KrausChannel {
-    assert!((0.0..=1.0).contains(&lambda), "phase_damping: lambda out of range");
+    assert!(
+        (0.0..=1.0).contains(&lambda),
+        "phase_damping: lambda out of range"
+    );
     let mut k0 = Matrix::<f64>::identity(2);
     k0[(1, 1)] = Complex::from_f64((1.0 - lambda).sqrt(), 0.0);
     let mut k1 = Matrix::<f64>::zeros(2, 2);
@@ -140,7 +149,10 @@ pub fn coherent_x_overrotation(epsilon: f64) -> KrausChannel {
 /// duration, `lambda_phi` the *additional* dephasing beyond the T1-induced
 /// part (physical devices have `T2 ≤ 2·T1`, i.e. `lambda_phi ≥ 0`).
 pub fn thermal_relaxation(gamma: f64, lambda_phi: f64) -> KrausChannel {
-    assert!((0.0..=1.0).contains(&gamma), "thermal_relaxation: gamma out of range");
+    assert!(
+        (0.0..=1.0).contains(&gamma),
+        "thermal_relaxation: gamma out of range"
+    );
     assert!(
         (0.0..=1.0).contains(&lambda_phi),
         "thermal_relaxation: lambda_phi out of range"

@@ -252,7 +252,10 @@ impl Circuit {
 
     /// Concatenate another circuit's ops (qubit counts must match).
     pub fn extend(&mut self, other: &Circuit) -> &mut Self {
-        assert_eq!(self.n_qubits, other.n_qubits, "extend: qubit count mismatch");
+        assert_eq!(
+            self.n_qubits, other.n_qubits,
+            "extend: qubit count mismatch"
+        );
         self.ops.extend(other.ops.iter().cloned());
         self
     }

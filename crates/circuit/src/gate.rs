@@ -164,7 +164,13 @@ impl Gate {
     /// The inverse gate (named gates map to named gates).
     pub fn dagger(&self) -> Gate {
         match self {
-            Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::Cx | Gate::Cz | Gate::Swap
+            Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::Cx
+            | Gate::Cz
+            | Gate::Swap
             | Gate::Ccx => self.clone(),
             Gate::S => Gate::Sdg,
             Gate::Sdg => Gate::S,

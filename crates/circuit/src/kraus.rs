@@ -91,14 +91,25 @@ impl KrausChannel {
         unitaries: Vec<Matrix<f64>>,
     ) -> Self {
         assert!(!probs.is_empty(), "unitary_mixture: empty channel");
-        assert_eq!(probs.len(), unitaries.len(), "unitary_mixture: length mismatch");
+        assert_eq!(
+            probs.len(),
+            unitaries.len(),
+            "unitary_mixture: length mismatch"
+        );
         let dim = unitaries[0].rows();
-        assert!(dim.is_power_of_two() && dim > 0, "unitary_mixture: bad dimension");
+        assert!(
+            dim.is_power_of_two() && dim > 0,
+            "unitary_mixture: bad dimension"
+        );
         let arity = dim.trailing_zeros() as usize;
         let mut total = 0.0;
         for (p, u) in probs.iter().zip(&unitaries) {
             assert!(*p >= -CHANNEL_TOL, "unitary_mixture: negative probability");
-            assert_eq!((u.rows(), u.cols()), (dim, dim), "unitary_mixture: shape mismatch");
+            assert_eq!(
+                (u.rows(), u.cols()),
+                (dim, dim),
+                "unitary_mixture: shape mismatch"
+            );
             assert!(u.is_unitary(1e-9), "unitary_mixture: non-unitary branch");
             total += p.max(0.0);
         }
@@ -113,9 +124,9 @@ impl KrausChannel {
             .map(|(p, u)| Arc::new(u.scaled_real(p.sqrt())))
             .collect();
         let unitaries: Vec<Arc<Matrix<f64>>> = unitaries.into_iter().map(Arc::new).collect();
-        let identity_index = unitaries.iter().position(|u| {
-            phase_free_diff(u, &Matrix::identity(dim)) <= CHANNEL_TOL.sqrt()
-        });
+        let identity_index = unitaries
+            .iter()
+            .position(|u| phase_free_diff(u, &Matrix::identity(dim)) <= CHANNEL_TOL.sqrt());
         Self {
             name: name.into(),
             arity,
@@ -407,8 +418,7 @@ mod tests {
         let ch = channels::depolarizing2(0.15);
         assert_eq!(ch.branch_label(0), "II");
         // All 16 labels distinct.
-        let labels: std::collections::HashSet<_> =
-            (0..16).map(|i| ch.branch_label(i)).collect();
+        let labels: std::collections::HashSet<_> = (0..16).map(|i| ch.branch_label(i)).collect();
         assert_eq!(labels.len(), 16);
     }
 
@@ -423,17 +433,29 @@ mod tests {
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(KrausChannel::new("e", vec![]).unwrap_err(), ChannelError::Empty);
+        assert_eq!(
+            KrausChannel::new("e", vec![]).unwrap_err(),
+            ChannelError::Empty
+        );
     }
 
     #[test]
     fn shape_mismatch_rejected() {
         let ops = vec![Matrix::<f64>::identity(2), Matrix::<f64>::identity(4)];
-        assert_eq!(KrausChannel::new("s", ops).unwrap_err(), ChannelError::BadShape);
+        assert_eq!(
+            KrausChannel::new("s", ops).unwrap_err(),
+            ChannelError::BadShape
+        );
         let ops = vec![Matrix::<f64>::zeros(2, 3)];
-        assert_eq!(KrausChannel::new("s", ops).unwrap_err(), ChannelError::BadShape);
+        assert_eq!(
+            KrausChannel::new("s", ops).unwrap_err(),
+            ChannelError::BadShape
+        );
         let ops = vec![Matrix::<f64>::identity(3)];
-        assert_eq!(KrausChannel::new("s", ops).unwrap_err(), ChannelError::BadShape);
+        assert_eq!(
+            KrausChannel::new("s", ops).unwrap_err(),
+            ChannelError::BadShape
+        );
     }
 
     #[test]

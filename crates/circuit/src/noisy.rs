@@ -137,7 +137,11 @@ impl NoisyCircuit {
     /// (`choices[site.id]` = Kraus index). Exact for unitary-mixture
     /// channels; the maximally-mixed-state proposal weight otherwise.
     pub fn assignment_probability(&self, choices: &[usize]) -> f64 {
-        assert_eq!(choices.len(), self.sites.len(), "assignment length mismatch");
+        assert_eq!(
+            choices.len(),
+            self.sites.len(),
+            "assignment length mismatch"
+        );
         let mut p = 1.0;
         for site in &self.sites {
             p *= site.channel.sampling_probs()[choices[site.id]];

@@ -2,16 +2,39 @@
 //!
 //! Mirrors the paper's Fig. 1: the PTS plan is handed to "the CUDA-Q
 //! simulator using either a statevector or tensor network backend". Both
-//! backends expose the same two-phase interface — prepare a trajectory's
-//! state once, then bulk-sample shots from it.
+//! backends expose the same interface, organized around *segments*.
+//!
+//! # The segmented backend contract
+//!
+//! A compiled circuit with `S` noise sites is split into `S + 1` segments:
+//! segment `k < S` is the gate run ending with (and including) site `k`;
+//! segment `S` is the trailing gate run after the last site. A backend
+//! must support:
+//!
+//! - [`Backend::initial_state`]: the `|0…0⟩` register;
+//! - [`Backend::advance`]: apply a contiguous segment range to a state,
+//!   resolving each fired site through the branch assignment and
+//!   returning the span's partial probability (the product of its sites'
+//!   branch probabilities, in op order);
+//! - [`Backend::fork`]: duplicate an in-flight state at a branch point.
+//!
+//! Two invariants make prefix-shared execution *bitwise* equivalent to
+//! flat execution: advancing `0..n_segments` in one span applies exactly
+//! the op sequence of a flat preparation, and advancing the same ops in
+//! consecutive spans applies them in the same order (partial
+//! probabilities multiply left-to-right, preserving the flat product's
+//! association). [`Backend::prepare`] is provided as the degenerate
+//! single-span path over this API.
 
 use ptsbe_circuit::NoisyCircuit;
 use ptsbe_math::Scalar;
 use ptsbe_rng::Rng;
 use ptsbe_statevector::{exec as sv_exec, sampling as sv_sampling, SamplingStrategy, StateVector};
-use ptsbe_tensornet::{compile_mps, prepare_mps, Mps, MpsCompiled, MpsConfig};
+use ptsbe_tensornet::{advance_mps, compile_mps, Mps, MpsCompiled, MpsConfig};
+use std::ops::Range;
 
-/// A trajectory-capable simulation backend.
+/// A trajectory-capable simulation backend (see the module docs for the
+/// segmented contract).
 pub trait Backend: Sync {
     /// The prepared quantum state.
     type State: Send;
@@ -22,10 +45,48 @@ pub trait Backend: Sync {
     /// Qubits measured by the circuit, in record order.
     fn measured_qubits(&self) -> &[usize];
 
+    /// Number of segments (`n_sites + 1`; the final segment fires no
+    /// site).
+    fn n_segments(&self) -> usize;
+
+    /// The `|0…0⟩` state all trajectories start from.
+    fn initial_state(&self) -> Self::State;
+
+    /// Advance `state` through `segments`, resolving fired noise sites
+    /// via `choices[site_id]`; returns the span's partial trajectory
+    /// probability. `choices` may be a prefix of a full assignment as
+    /// long as it covers every site the span fires.
+    fn advance(&self, state: &mut Self::State, segments: Range<usize>, choices: &[usize]) -> f64;
+
+    /// Duplicate a state at a branch point of the trajectory tree.
+    fn fork(&self, state: &Self::State) -> Self::State;
+
+    /// Whether [`Backend::sample`] mutates the state it samples from
+    /// (e.g. MPS gauge moves). When `false`, executors may sample several
+    /// trajectories from one shared prepared state without forking.
+    fn sample_mutates_state(&self) -> bool {
+        true
+    }
+
     /// Execute the circuit under a fixed branch assignment. Returns the
     /// prepared state and the realized joint trajectory probability
-    /// `p_α`.
-    fn prepare(&self, choices: &[usize]) -> (Self::State, f64);
+    /// `p_α`. The default is the degenerate single-span path over
+    /// [`Backend::advance`].
+    ///
+    /// # Panics
+    /// Panics when the assignment does not cover the site count exactly
+    /// (`advance` alone accepts a longer-than-needed prefix; a full
+    /// preparation must not).
+    fn prepare(&self, choices: &[usize]) -> (Self::State, f64) {
+        assert_eq!(
+            choices.len(),
+            self.n_segments() - 1,
+            "assignment length does not match site count"
+        );
+        let mut state = self.initial_state();
+        let realized = self.advance(&mut state, 0..self.n_segments(), choices);
+        (state, realized)
+    }
 
     /// Bulk-sample `shots` measurement records (bit `t` = measured qubit
     /// `t`).
@@ -69,8 +130,25 @@ impl<T: Scalar> Backend for SvBackend<T> {
         self.compiled.measured_qubits()
     }
 
-    fn prepare(&self, choices: &[usize]) -> (Self::State, f64) {
-        sv_exec::prepare(&self.compiled, choices)
+    fn n_segments(&self) -> usize {
+        self.compiled.n_segments()
+    }
+
+    fn initial_state(&self) -> Self::State {
+        StateVector::zero_state(self.compiled.n_qubits())
+    }
+
+    fn advance(&self, state: &mut Self::State, segments: Range<usize>, choices: &[usize]) -> f64 {
+        sv_exec::advance(&self.compiled, state, segments, choices)
+    }
+
+    fn fork(&self, state: &Self::State) -> Self::State {
+        state.clone()
+    }
+
+    fn sample_mutates_state(&self) -> bool {
+        // Statevector bulk sampling only reads amplitudes.
+        false
     }
 
     fn sample<R: Rng + ?Sized>(
@@ -82,7 +160,7 @@ impl<T: Scalar> Backend for SvBackend<T> {
         let raw = sv_sampling::sample_shots(state, shots, rng, self.strategy);
         let measured = self.compiled.measured_qubits();
         raw.into_iter()
-            .map(|s| u128::from(sv_sampling::extract_bits(s, measured)))
+            .map(|s| ptsbe_rng::bits::extract_bits(u128::from(s), measured))
             .collect()
     }
 }
@@ -137,8 +215,20 @@ impl<T: Scalar> Backend for MpsBackend<T> {
         self.compiled.measured_qubits()
     }
 
-    fn prepare(&self, choices: &[usize]) -> (Self::State, f64) {
-        prepare_mps(&self.compiled, choices, self.config)
+    fn n_segments(&self) -> usize {
+        self.compiled.n_segments()
+    }
+
+    fn initial_state(&self) -> Self::State {
+        Mps::zero_state(self.compiled.n_qubits(), self.config)
+    }
+
+    fn advance(&self, state: &mut Self::State, segments: Range<usize>, choices: &[usize]) -> f64 {
+        advance_mps(&self.compiled, state, segments, choices)
+    }
+
+    fn fork(&self, state: &Self::State) -> Self::State {
+        state.clone()
     }
 
     fn sample<R: Rng + ?Sized>(
@@ -155,13 +245,7 @@ impl<T: Scalar> Backend for MpsBackend<T> {
         };
         let measured = self.compiled.measured_qubits();
         raw.into_iter()
-            .map(|full| {
-                let mut out = 0u128;
-                for (t, &q) in measured.iter().enumerate() {
-                    out |= ((full >> q) & 1) << t;
-                }
-                out
-            })
+            .map(|full| ptsbe_rng::bits::extract_bits(full, measured))
             .collect()
     }
 }

@@ -22,11 +22,7 @@ use rayon::prelude::*;
 /// Run `shots` independent Algorithm-1 trajectories on the statevector
 /// backend (one preparation *per shot*). Parallel over shots; each shot
 /// has its own Philox stream.
-pub fn run_baseline_sv<T: Scalar>(
-    nc: &NoisyCircuit,
-    shots: usize,
-    seed: u64,
-) -> Vec<u128> {
+pub fn run_baseline_sv<T: Scalar>(nc: &NoisyCircuit, shots: usize, seed: u64) -> Vec<u128> {
     let compiled = compile::<T>(nc).expect("baseline: circuit must be BE-compatible");
     (0..shots)
         .into_par_iter()
@@ -38,10 +34,7 @@ pub fn run_baseline_sv<T: Scalar>(
 }
 
 /// One Algorithm-1 trajectory + single-shot measurement (statevector).
-pub fn baseline_one_sv<T: Scalar, R: Rng + ?Sized>(
-    compiled: &Compiled<T>,
-    rng: &mut R,
-) -> u128 {
+pub fn baseline_one_sv<T: Scalar, R: Rng + ?Sized>(compiled: &Compiled<T>, rng: &mut R) -> u128 {
     let mut sv = StateVector::zero_state(compiled.n_qubits());
     for op in compiled.ops() {
         match op {

@@ -1,18 +1,49 @@
 //! Batched Execution: the BE half of PTSBE.
 //!
-//! Takes a PTS plan, prepares each trajectory's state exactly once on a
-//! [`Backend`], bulk-samples its `m_α` shots, and attaches provenance.
-//! Trajectories are embarrassingly parallel (rayon `par_iter` — the CPU
-//! analog of the paper's inter-trajectory multi-GPU fan-out), each seeded
-//! with its own Philox stream so results are reproducible regardless of
-//! scheduling.
+//! Two executors share this module:
+//!
+//! - [`BatchedExecutor`] (flat): prepares each trajectory's state from
+//!   `|0…0⟩` exactly once, bulk-samples its `m_α` shots, and attaches
+//!   provenance — the paper's Batched Execution.
+//! - [`TreeExecutor`] (prefix-shared): builds a
+//!   [`crate::plan::PtsPlanTree`] over the plan and walks it depth-first,
+//!   advancing through each circuit segment once per *tree edge* and
+//!   forking states only at branch points. Low-noise plans are dominated
+//!   by trajectories sharing long identity prefixes, so the dominant cost
+//!   drops from `O(trajectories × circuit_len)` gate applications to
+//!   `O(trie_edges)` — while producing **bitwise identical** shots,
+//!   because every leaf replays exactly the flat op sequence and keeps
+//!   the Philox stream keyed by its original plan index.
+//!
+//! Both fan out over rayon (the CPU analog of the paper's
+//! inter-trajectory multi-GPU distribution): the flat executor maps over
+//! trajectories, the tree executor expands a bounded frontier of
+//! independent subtrees and maps over those. Every trajectory is seeded
+//! with its own counter-based stream, so results are reproducible
+//! regardless of scheduling.
 
 use crate::assignment::TrajectoryMeta;
 use crate::backend::Backend;
-use crate::plan::PtsPlan;
+use crate::plan::{PtsPlan, PtsPlanTree};
 use ptsbe_circuit::NoisyCircuit;
 use ptsbe_rng::PhiloxRng;
 use rayon::prelude::*;
+
+/// Order-preserving map over owned items: rayon fan-out when `parallel`,
+/// plain iteration otherwise. The single switch point both executors
+/// route their trajectory/subtree parallelism through.
+fn fan_out<T, R, F>(parallel: bool, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    if parallel {
+        items.into_par_iter().map(f).collect()
+    } else {
+        items.into_iter().map(f).collect()
+    }
+}
 
 /// One executed trajectory: provenance + its bulk-sampled shots.
 #[derive(Debug, Clone)]
@@ -38,7 +69,9 @@ impl BatchResult {
 
     /// Iterator over all shots (trajectory-major order).
     pub fn all_shots(&self) -> impl Iterator<Item = u128> + '_ {
-        self.trajectories.iter().flat_map(|t| t.shots.iter().copied())
+        self.trajectories
+            .iter()
+            .flat_map(|t| t.shots.iter().copied())
     }
 
     /// Fraction of distinct records among all shots (the right axis of
@@ -89,16 +122,257 @@ impl BatchedExecutor {
             meta.realized_prob = realized;
             TrajectoryResult { meta, shots }
         };
-        let trajectories: Vec<TrajectoryResult> = if self.parallel {
-            plan.trajectories
-                .par_iter()
-                .enumerate()
-                .map(run_one)
-                .collect()
-        } else {
-            plan.trajectories.iter().enumerate().map(run_one).collect()
-        };
+        let trajectories = fan_out(
+            self.parallel,
+            plan.trajectories.iter().enumerate().collect(),
+            run_one,
+        );
         BatchResult { trajectories }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prefix-sharing trajectory-tree executor
+
+/// The trajectory-tree executor: batched execution over a
+/// [`PtsPlanTree`], sharing state preparation across trajectories with
+/// common Kraus prefixes.
+///
+/// Produces output bitwise identical to [`BatchedExecutor`] with the same
+/// `seed` on the same plan: every leaf's state is the result of exactly
+/// the flat op sequence (segment advances compose associatively over the
+/// same op order), every leaf's shots come from the Philox stream keyed
+/// by its original plan index, and results are returned in plan order.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeExecutor {
+    /// Run seed; trajectory `i` uses Philox stream `for_trajectory(seed, i)`.
+    pub seed: u64,
+    /// Fan sibling subtrees out over rayon (disable for serial baselines).
+    pub parallel: bool,
+}
+
+impl Default for TreeExecutor {
+    fn default() -> Self {
+        let flat = BatchedExecutor::default();
+        Self {
+            seed: flat.seed,
+            parallel: flat.parallel,
+        }
+    }
+}
+
+impl TreeExecutor {
+    /// Execute a plan through its prefix tree.
+    pub fn execute<B: Backend>(
+        &self,
+        backend: &B,
+        nc: &NoisyCircuit,
+        plan: &PtsPlan,
+    ) -> BatchResult {
+        let tree = PtsPlanTree::from_plan(plan);
+        self.execute_tree(backend, nc, plan, &tree)
+    }
+
+    /// Execute a plan through a pre-built prefix tree (lets callers reuse
+    /// one tree across backends or report its sharing stats).
+    pub fn execute_tree<B: Backend>(
+        &self,
+        backend: &B,
+        nc: &NoisyCircuit,
+        plan: &PtsPlan,
+        tree: &PtsPlanTree,
+    ) -> BatchResult {
+        if plan.trajectories.is_empty() {
+            return BatchResult::default();
+        }
+        let ctx = TreeCtx {
+            backend,
+            nc,
+            plan,
+            tree,
+        };
+        let state = backend.initial_state();
+        let mut tagged = if self.parallel {
+            // Expand a bounded frontier of independent subtrees breadth
+            // first, then fan all of them out in ONE parallel map from
+            // this (non-worker) thread. Fanning out per-node instead
+            // would cap concurrency at the arity of the shallowest
+            // branch point, since nested parallel calls degrade to
+            // serial inside a worker.
+            let target = rayon::current_num_threads().max(1) * 2;
+            let mut frontier: Vec<(usize, B::State, f64)> = vec![(tree.root(), state, 1.0)];
+            let mut at = 0usize;
+            while frontier.len() < target && at < frontier.len() {
+                if tree.node(frontier[at].0).children.is_empty() {
+                    at += 1; // leaf: nothing to expand
+                    continue;
+                }
+                let (node_idx, node_state, acc) = frontier.remove(at);
+                let mut carrier = Some(node_state);
+                for i in 0..tree.node(node_idx).children.len() {
+                    frontier.push(ctx.fork_and_advance(node_idx, i, &mut carrier, acc));
+                }
+            }
+            fan_out(true, frontier, |(node_idx, node_state, acc)| {
+                self.walk(&ctx, node_idx, node_state, acc)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            self.walk(&ctx, tree.root(), state, 1.0)
+        };
+        // Leaves surface in depth-first (sorted-assignment) order;
+        // restore plan order for flat-executor equivalence.
+        tagged.sort_unstable_by_key(|(idx, _)| *idx);
+        BatchResult {
+            trajectories: tagged.into_iter().map(|(_, t)| t).collect(),
+        }
+    }
+
+    /// Depth-first walk of the subtree rooted at `node_idx`, whose state
+    /// has been advanced through segments `0..node.depth` with partial
+    /// probability `acc`. Iterative (an explicit frame stack, so depth is
+    /// never bounded by the call stack — low-noise tries are one long
+    /// single-child chain per shared prefix), with siblings processed one
+    /// at a time so at most one live forked state exists per *branch
+    /// point* on the current path, not per sibling. Returns
+    /// `(plan index, result)` pairs for every leaf underneath.
+    fn walk<B: Backend>(
+        &self,
+        ctx: &TreeCtx<'_, B>,
+        node_idx: usize,
+        state: B::State,
+        acc: f64,
+    ) -> Vec<(usize, TrajectoryResult)> {
+        let mut out = Vec::new();
+        let mut stack = vec![WalkFrame {
+            node_idx,
+            carrier: Some(state),
+            acc,
+            next_child: 0,
+        }];
+        while let Some(top) = stack.last() {
+            let node = ctx.tree.node(top.node_idx);
+            if node.children.is_empty() {
+                let frame = stack.pop().expect("frame present");
+                let state = frame.carrier.expect("leaf state present");
+                ctx.emit_leaf(self.seed, frame.node_idx, state, frame.acc, &mut out);
+                continue;
+            }
+            if top.next_child == node.children.len() {
+                stack.pop();
+                continue;
+            }
+            let frame = stack.last_mut().expect("frame present");
+            let i = frame.next_child;
+            frame.next_child += 1;
+            let acc = frame.acc;
+            let job = {
+                let node_idx = frame.node_idx;
+                let carrier = &mut frame.carrier;
+                ctx.fork_and_advance(node_idx, i, carrier, acc)
+            };
+            stack.push(WalkFrame {
+                node_idx: job.0,
+                carrier: Some(job.1),
+                acc: job.2,
+                next_child: 0,
+            });
+        }
+        out
+    }
+}
+
+/// One explicit DFS frame of [`TreeExecutor::walk`]: a node whose state
+/// (`carrier`) is consumed by its last child.
+struct WalkFrame<S> {
+    node_idx: usize,
+    carrier: Option<S>,
+    acc: f64,
+    next_child: usize,
+}
+
+/// Shared read-only context of one tree execution.
+struct TreeCtx<'a, B: Backend> {
+    backend: &'a B,
+    nc: &'a NoisyCircuit,
+    plan: &'a PtsPlan,
+    tree: &'a PtsPlanTree,
+}
+
+impl<B: Backend> TreeCtx<'_, B> {
+    /// Take the parent state out of `carrier` (the last sibling consumes
+    /// the original allocation; earlier siblings fork it) and advance it
+    /// one segment along child `i` of `node_idx`. Returns the child's
+    /// `(node index, state, accumulated probability)` — the single code
+    /// path both the serial walk and the parallel frontier expansion go
+    /// through, so fork order and probability association can never
+    /// diverge between them.
+    fn fork_and_advance(
+        &self,
+        node_idx: usize,
+        i: usize,
+        carrier: &mut Option<B::State>,
+        acc: f64,
+    ) -> (usize, B::State, f64) {
+        let node = self.tree.node(node_idx);
+        let last = node.children.len() - 1;
+        let mut child_state = if i == last {
+            carrier.take().expect("parent state consumed exactly once")
+        } else {
+            self.backend
+                .fork(carrier.as_ref().expect("parent state still present"))
+        };
+        let (_branch, child_idx) = node.children[i];
+        let child = self.tree.node(child_idx);
+        let choices = &self.plan.trajectories[child.rep].choices;
+        let partial = self
+            .backend
+            .advance(&mut child_state, node.depth..node.depth + 1, choices);
+        (child_idx, child_state, acc * partial)
+    }
+
+    /// Finish a leaf: apply the trailing gate segment (fires no site),
+    /// then sample every trajectory ending here on its own Philox
+    /// stream. Duplicate assignments share the prepared state but sample
+    /// from a fork each when the backend's sampling mutates state, so
+    /// their records match what a flat executor draws from a freshly
+    /// prepared state.
+    fn emit_leaf(
+        &self,
+        seed: u64,
+        node_idx: usize,
+        mut state: B::State,
+        acc: f64,
+        out: &mut Vec<(usize, TrajectoryResult)>,
+    ) {
+        let node = self.tree.node(node_idx);
+        let choices = &self.plan.trajectories[node.rep].choices;
+        let realized = acc
+            * self
+                .backend
+                .advance(&mut state, node.depth..self.backend.n_segments(), choices);
+        let fork_per_leaf = self.backend.sample_mutates_state();
+        out.reserve(node.leaves.len());
+        for (i, &idx) in node.leaves.iter().enumerate() {
+            let traj = &self.plan.trajectories[idx];
+            let mut rng = PhiloxRng::for_trajectory(seed, idx as u64);
+            let shots = if realized > 0.0 {
+                let mut leaf_state = if !fork_per_leaf || i + 1 == node.leaves.len() {
+                    None
+                } else {
+                    Some(self.backend.fork(&state))
+                };
+                let st = leaf_state.as_mut().unwrap_or(&mut state);
+                self.backend.sample(st, traj.shots, &mut rng)
+            } else {
+                Vec::new()
+            };
+            let mut meta = TrajectoryMeta::from_assignment(self.nc, idx, &traj.choices);
+            meta.realized_prob = realized;
+            out.push((idx, TrajectoryResult { meta, shots }));
+        }
     }
 }
 
@@ -164,7 +438,10 @@ mod tests {
         }
         .execute(&backend, &nc, &plan);
         for (a, b) in par.trajectories.iter().zip(&ser.trajectories) {
-            assert_eq!(a.shots, b.shots, "per-trajectory streams must be deterministic");
+            assert_eq!(
+                a.shots, b.shots,
+                "per-trajectory streams must be deterministic"
+            );
         }
     }
 
@@ -201,6 +478,113 @@ mod tests {
                 exact[i]
             );
         }
+    }
+
+    #[test]
+    fn tree_executor_bitwise_matches_flat() {
+        let nc = noisy_bell(0.15);
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(163, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 60,
+            shots_per_trajectory: 40,
+            dedup: false, // duplicates exercise the shared-leaf fork path
+        }
+        .sample_plan(&nc, &mut rng);
+        let flat = BatchedExecutor {
+            seed: 7,
+            parallel: true,
+        }
+        .execute(&backend, &nc, &plan);
+        for parallel in [false, true] {
+            let tree = TreeExecutor { seed: 7, parallel }.execute(&backend, &nc, &plan);
+            assert_eq!(tree.trajectories.len(), flat.trajectories.len());
+            for (a, b) in tree.trajectories.iter().zip(&flat.trajectories) {
+                assert_eq!(a.meta.choices, b.meta.choices);
+                assert_eq!(a.meta.traj_id, b.meta.traj_id);
+                assert_eq!(
+                    a.meta.realized_prob.to_bits(),
+                    b.meta.realized_prob.to_bits(),
+                    "realized probability must be bitwise identical"
+                );
+                assert_eq!(a.shots, b.shots, "shots must be bitwise identical");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_executor_saves_prep_ops_on_shared_prefixes() {
+        let nc = noisy_bell(0.05);
+        let mut rng = PhiloxRng::new(164, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 50,
+            shots_per_trajectory: 10,
+            dedup: true,
+        }
+        .sample_plan(&nc, &mut rng);
+        let tree = crate::plan::PtsPlanTree::from_plan(&plan);
+        // Low noise -> many trajectories share the identity prefix, so the
+        // trie must perform strictly fewer site applications than flat.
+        assert!(plan.n_trajectories() > 1);
+        assert!(
+            tree.n_edges() < tree.flat_prep_ops(),
+            "expected sharing: {} edges vs {} flat ops",
+            tree.n_edges(),
+            tree.flat_prep_ops()
+        );
+        assert!(tree.prep_ops_saved() > 0);
+    }
+
+    #[test]
+    fn tree_executor_handles_very_deep_tries() {
+        // Thousands of noise sites make the shared-prefix chain thousands
+        // of nodes long; the iterative walk must not be bounded by call
+        // stack depth.
+        let mut c = Circuit::new(2);
+        for _ in 0..4000 {
+            c.x(0);
+        }
+        c.measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.5))
+            .apply(&c);
+        assert!(nc.n_sites() >= 4000);
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+        let ident = nc.identity_assignment().unwrap();
+        let mut late_error = ident.clone();
+        *late_error.last_mut().unwrap() = 1;
+        let plan = crate::plan::PtsPlan {
+            trajectories: vec![
+                crate::plan::PlannedTrajectory {
+                    choices: ident,
+                    shots: 5,
+                },
+                crate::plan::PlannedTrajectory {
+                    choices: late_error,
+                    shots: 5,
+                },
+            ],
+        };
+        let flat = BatchedExecutor {
+            seed: 3,
+            parallel: false,
+        }
+        .execute(&backend, &nc, &plan);
+        for parallel in [false, true] {
+            let tree = TreeExecutor { seed: 3, parallel }.execute(&backend, &nc, &plan);
+            for (a, b) in tree.trajectories.iter().zip(&flat.trajectories) {
+                assert_eq!(a.shots, b.shots);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_executor_empty_plan() {
+        let nc = noisy_bell(0.1);
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+        let result =
+            TreeExecutor::default().execute(&backend, &nc, &crate::plan::PtsPlan::default());
+        assert!(result.trajectories.is_empty());
     }
 
     #[test]

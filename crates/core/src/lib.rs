@@ -21,6 +21,17 @@
 //!    stand-in for the paper's multi-GPU distribution), each on its own
 //!    counter-based RNG stream.
 //!
+//! Batched execution goes one step beyond the paper with a *segmented*
+//! backend contract: a compiled circuit with `S` noise sites exposes
+//! `S + 1` segments (each ending at a site, plus the gate tail), and a
+//! backend advances a state through any contiguous segment span —
+//! `initial_state` / `advance` / `fork` in [`backend::Backend`]. The
+//! [`be::TreeExecutor`] exploits this by folding a plan into a
+//! [`plan::PtsPlanTree`] (a trie over Kraus assignments) and preparing
+//! each shared prefix once, turning `O(trajectories × circuit_len)` gate
+//! work into `O(trie_edges)` while staying bitwise identical to the flat
+//! [`be::BatchedExecutor`].
+//!
 //! Every trajectory carries provenance metadata ([`assignment`]) — the
 //! error locations, Kraus indices, Pauli labels and joint probabilities —
 //! turning the simulator from a "statistical black box into a
@@ -41,8 +52,8 @@ pub mod stats;
 pub use assignment::{ErrorEvent, TrajectoryMeta};
 pub use backend::{Backend, MpsBackend, SvBackend};
 pub use baseline::{run_baseline_mps, run_baseline_sv};
-pub use be::{BatchResult, BatchedExecutor, TrajectoryResult};
-pub use plan::{PlannedTrajectory, PtsPlan};
+pub use be::{BatchResult, BatchedExecutor, TrajectoryResult, TreeExecutor};
+pub use plan::{PlannedTrajectory, PtsPlan, PtsPlanTree, PtsTreeNode};
 pub use pts::{
     BandPts, ConstrainedPts, CorrelatedPts, ExhaustivePts, ProbabilisticPts, ProportionalPts,
     PtsSampler, ReweightedPts, TopKPts,

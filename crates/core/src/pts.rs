@@ -22,11 +22,7 @@ pub trait PtsSampler {
 }
 
 /// Draw one branch per site from the given per-site distributions.
-fn draw_assignment<R: Rng + ?Sized>(
-    site_probs: &[Vec<f64>],
-    rng: &mut R,
-    out: &mut Vec<usize>,
-) {
+fn draw_assignment<R: Rng + ?Sized>(site_probs: &[Vec<f64>], rng: &mut R, out: &mut Vec<usize>) {
     out.clear();
     for probs in site_probs {
         out.push(index_of(rng.next_f64(), probs));
@@ -432,7 +428,11 @@ impl ReweightedPts {
 
 impl PtsSampler for ReweightedPts {
     fn sample_plan<R: Rng + ?Sized>(&self, nc: &NoisyCircuit, rng: &mut R) -> PtsPlan {
-        assert_eq!(self.proposals.len(), nc.n_sites(), "proposal count mismatch");
+        assert_eq!(
+            self.proposals.len(),
+            nc.n_sites(),
+            "proposal count mismatch"
+        );
         for (site, p) in nc.sites().iter().zip(&self.proposals) {
             assert_eq!(
                 p.len(),
@@ -585,7 +585,11 @@ mod tests {
         .sample_plan(&nc, &mut rng);
         assert!(plan.n_trajectories() < 100, "dedup should collapse repeats");
         // All unique.
-        let set: HashSet<_> = plan.trajectories.iter().map(|t| t.choices.clone()).collect();
+        let set: HashSet<_> = plan
+            .trajectories
+            .iter()
+            .map(|t| t.choices.clone())
+            .collect();
         assert_eq!(set.len(), plan.n_trajectories());
     }
 
@@ -674,7 +678,10 @@ mod tests {
             assert!(w[0] >= w[1] - 1e-12, "not descending: {w:?}");
         }
         // First is the identity assignment (most likely at p = 0.1).
-        assert_eq!(plan.trajectories[0].choices, nc.identity_assignment().unwrap());
+        assert_eq!(
+            plan.trajectories[0].choices,
+            nc.identity_assignment().unwrap()
+        );
         // No duplicates.
         let set: HashSet<_> = plan.trajectories.iter().map(|t| &t.choices).collect();
         assert_eq!(set.len(), 20);
@@ -691,7 +698,11 @@ mod tests {
             min_prob: p_ident * 0.9,
         }
         .sample_plan(&nc, &mut rng);
-        assert_eq!(plan.n_trajectories(), 1, "only the identity clears the cutoff");
+        assert_eq!(
+            plan.n_trajectories(),
+            1,
+            "only the identity clears the cutoff"
+        );
     }
 
     #[test]

@@ -45,10 +45,7 @@ pub fn tvd(p: &[f64], q: &[f64]) -> f64 {
 
 /// Shannon entropy (bits) of a normalized distribution.
 pub fn entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.log2())
-        .sum()
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.log2()).sum()
 }
 
 #[cfg(test)]
@@ -64,7 +61,7 @@ mod tests {
 
     #[test]
     fn histogram_normalizes() {
-        let h = histogram([0u128, 0, 1, 3].into_iter(), 4);
+        let h = histogram([0u128, 0, 1, 3], 4);
         assert_eq!(h, vec![0.5, 0.25, 0.0, 0.25]);
     }
 

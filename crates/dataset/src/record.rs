@@ -52,7 +52,11 @@ impl TrajectoryRecord {
 
 /// Convert a whole batch.
 pub fn records_from_batch(batch: &BatchResult) -> Vec<TrajectoryRecord> {
-    batch.trajectories.iter().map(TrajectoryRecord::from_result).collect()
+    batch
+        .trajectories
+        .iter()
+        .map(TrajectoryRecord::from_result)
+        .collect()
 }
 
 #[cfg(test)]

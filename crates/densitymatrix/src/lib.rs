@@ -116,8 +116,9 @@ impl DensityMatrix {
         let mut acc = C64::zero();
         for r in 0..self.dim {
             let mut row = C64::zero();
-            for c in 0..self.dim {
-                row += self.data[r * self.dim + c] * amps[c];
+            let cells = &self.data[r * self.dim..(r + 1) * self.dim];
+            for (&m, &a) in cells.iter().zip(amps) {
+                row += m * a;
             }
             acc += amps[r].conj() * row;
         }
@@ -221,7 +222,11 @@ impl DensityMatrix {
         let mut keep_sorted = keep.to_vec();
         keep_sorted.sort_unstable();
         keep_sorted.dedup();
-        assert_eq!(keep_sorted.len(), keep.len(), "partial_trace: duplicate qubits");
+        assert_eq!(
+            keep_sorted.len(),
+            keep.len(),
+            "partial_trace: duplicate qubits"
+        );
         let kn = keep_sorted.len();
         let traced: Vec<usize> = (0..self.n_qubits)
             .filter(|q| !keep_sorted.contains(q))

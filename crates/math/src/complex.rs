@@ -146,6 +146,7 @@ impl<T: Scalar> Mul for Complex<T> {
 impl<T: Scalar> Div for Complex<T> {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^-1
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -52,12 +52,7 @@ pub fn t<T: Scalar>() -> Matrix<T> {
     Matrix::from_f64_pairs(
         2,
         2,
-        &[
-            (1., 0.),
-            (0., 0.),
-            (0., 0.),
-            (FRAC_1_SQRT_2, FRAC_1_SQRT_2),
-        ],
+        &[(1., 0.), (0., 0.), (0., 0.), (FRAC_1_SQRT_2, FRAC_1_SQRT_2)],
     )
 }
 
@@ -77,29 +72,17 @@ pub fn tdg<T: Scalar>() -> Matrix<T> {
 
 /// √X (Fig. 3 of the paper).
 pub fn sx<T: Scalar>() -> Matrix<T> {
-    Matrix::from_f64_pairs(
-        2,
-        2,
-        &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)],
-    )
+    Matrix::from_f64_pairs(2, 2, &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)])
 }
 
 /// √X†.
 pub fn sxdg<T: Scalar>() -> Matrix<T> {
-    Matrix::from_f64_pairs(
-        2,
-        2,
-        &[(0.5, -0.5), (0.5, 0.5), (0.5, 0.5), (0.5, -0.5)],
-    )
+    Matrix::from_f64_pairs(2, 2, &[(0.5, -0.5), (0.5, 0.5), (0.5, 0.5), (0.5, -0.5)])
 }
 
 /// √Y (Fig. 3 of the paper).
 pub fn sy<T: Scalar>() -> Matrix<T> {
-    Matrix::from_f64_pairs(
-        2,
-        2,
-        &[(0.5, 0.5), (-0.5, -0.5), (0.5, 0.5), (0.5, 0.5)],
-    )
+    Matrix::from_f64_pairs(2, 2, &[(0.5, 0.5), (-0.5, -0.5), (0.5, 0.5), (0.5, 0.5)])
 }
 
 /// √Y†.
@@ -153,10 +136,7 @@ pub fn u3<T: Scalar>(theta: f64, phi: f64, lambda: f64) -> Matrix<T> {
             (c, 0.),
             (-(lambda.cos()) * sn, -(lambda.sin()) * sn),
             (phi.cos() * sn, phi.sin() * sn),
-            (
-                (phi + lambda).cos() * c,
-                (phi + lambda).sin() * c,
-            ),
+            ((phi + lambda).cos() * c, (phi + lambda).sin() * c),
         ],
     )
 }

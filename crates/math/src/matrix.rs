@@ -221,16 +221,16 @@ impl<T: Scalar> Matrix<T> {
     /// Matrix-vector product `self · v`.
     pub fn mul_vec(&self, v: &[Complex<T>]) -> Vec<Complex<T>> {
         assert_eq!(self.cols, v.len(), "mul_vec shape mismatch");
-        let mut out = vec![Complex::zero(); self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let mut acc = Complex::zero();
-            for (&a, &x) in row.iter().zip(v) {
-                acc += a * x;
-            }
-            out[i] = acc;
-        }
-        out
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let mut acc = Complex::zero();
+                for (&a, &x) in row.iter().zip(v) {
+                    acc += a * x;
+                }
+                acc
+            })
+            .collect()
     }
 
     /// Convert every entry to double precision.

@@ -46,7 +46,7 @@ pub fn qr_thin<T: Scalar>(a: &Matrix<T>) -> Qr<T> {
             x0.scale(T::ONE / x0.abs())
         };
         let alpha = -(phase.scale(norm_x));
-        v[0] = v[0] - alpha;
+        v[0] -= alpha;
         let vn = vec_norm(&v);
         if vn <= T::eps() {
             // x is already a (negative-phase) multiple of e1; no reflection
@@ -95,10 +95,10 @@ pub fn qr_thin<T: Scalar>(a: &Matrix<T>) -> Qr<T> {
         let ph_conj = ph.conj();
         // R row i *= conj(phase); Q col i *= phase.
         for c in i..n {
-            r[(i, c)] = r[(i, c)] * ph_conj;
+            r[(i, c)] *= ph_conj;
         }
         for rr in 0..m {
-            q[(rr, i)] = q[(rr, i)] * ph;
+            q[(rr, i)] *= ph;
         }
     }
 
@@ -125,7 +125,7 @@ fn apply_reflector_left<T: Scalar>(work: &mut Matrix<T>, v: &[Complex<T>], j: us
         let w2 = w.scale(T::TWO);
         for (vi, r) in v.iter().zip(j..m) {
             let delta = *vi * w2;
-            work[(r, c)] = work[(r, c)] - delta;
+            work[(r, c)] -= delta;
         }
     }
 }
@@ -143,7 +143,7 @@ fn apply_reflector_left_offset<T: Scalar>(q: &mut Matrix<T>, v: &[Complex<T>], j
         let w2 = w.scale(T::TWO);
         for (vi, r) in v.iter().zip(j..m) {
             let delta = *vi * w2;
-            q[(r, c)] = q[(r, c)] - delta;
+            q[(r, c)] -= delta;
         }
     }
 }

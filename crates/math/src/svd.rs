@@ -224,7 +224,11 @@ mod tests {
                 usv[(r, c)] = acc;
             }
         }
-        assert!(usv.max_abs_diff(a) < tol, "A != U S Vh (diff {})", usv.max_abs_diff(a));
+        assert!(
+            usv.max_abs_diff(a) < tol,
+            "A != U S Vh (diff {})",
+            usv.max_abs_diff(a)
+        );
         // U, V isometries on the non-null space.
         let utu = u.dagger().mul_ref(&u);
         let vvt = vh.mul_ref(&vh.dagger());
@@ -287,7 +291,10 @@ mod tests {
         }
         let Svd { s, .. } = svd(&a);
         assert!(s[0] > 1.0);
-        assert!(s[1].abs() < 1e-9, "rank-1 matrix should have one nonzero sv");
+        assert!(
+            s[1].abs() < 1e-9,
+            "rank-1 matrix should have one nonzero sv"
+        );
         assert!(s[2].abs() < 1e-9);
         check_svd(&a, 1e-9);
     }

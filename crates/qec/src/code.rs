@@ -48,7 +48,10 @@ impl StabilizerCode {
         // Pairwise commutation.
         for (i, a) in stabilizers.iter().enumerate() {
             for b in &stabilizers[i + 1..] {
-                assert!(a.commutes_with(b), "{name}: generators {a:?},{b:?} anticommute");
+                assert!(
+                    a.commutes_with(b),
+                    "{name}: generators {a:?},{b:?} anticommute"
+                );
             }
             assert!(
                 logical_x.commutes_with(a),
@@ -130,7 +133,7 @@ impl StabilizerCode {
         self.stabilizers
             .iter()
             .filter(|s| is_pure_z(s))
-            .map(|s| support(s))
+            .map(support)
             .collect()
     }
 
@@ -139,7 +142,7 @@ impl StabilizerCode {
         self.stabilizers
             .iter()
             .filter(|s| is_pure_x(s))
-            .map(|s| support(s))
+            .map(support)
             .collect()
     }
 
@@ -237,7 +240,9 @@ pub fn symplectic_row(p: &PauliString) -> u128 {
 
 /// Qubits where the Pauli is non-identity.
 pub fn support(p: &PauliString) -> Vec<usize> {
-    (0..p.n_qubits()).filter(|&q| p.get(q) != Pauli::I).collect()
+    (0..p.n_qubits())
+        .filter(|&q| p.get(q) != Pauli::I)
+        .collect()
 }
 
 fn is_pure_x(p: &PauliString) -> bool {

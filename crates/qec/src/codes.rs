@@ -62,8 +62,7 @@ pub fn color_code(d: usize) -> StabilizerCode {
     assert!(d >= 3 && d % 2 == 1, "color_code: odd d >= 3 required");
     let s = 3 * (d - 1) / 2;
     let is_center = |x: i64, y: i64| (x + 2 * y).rem_euclid(3) == 1;
-    let in_triangle =
-        |x: i64, y: i64| x >= 0 && y >= 0 && x + y <= s as i64;
+    let in_triangle = |x: i64, y: i64| x >= 0 && y >= 0 && x + y <= s as i64;
     // Qubits: non-center lattice points, in (x, y) lexicographic order.
     let mut verts: Vec<(i64, i64)> = Vec::new();
     for x in 0..=(s as i64) {

@@ -192,12 +192,9 @@ mod tests {
         // outside the table; it must never be decoded to logical 0 with
         // the *same* syndrome as a weight-1 error it isn't equivalent to.
         let e = 0b11u128;
-        match dec.decode(e) {
-            Some(v) => {
-                // Mis-decoding is allowed; just confirm determinism.
-                assert_eq!(dec.decode(e), Some(v));
-            }
-            None => {}
+        if let Some(v) = dec.decode(e) {
+            // Mis-decoding is allowed; just confirm determinism.
+            assert_eq!(dec.decode(e), Some(v));
         }
     }
 

@@ -16,7 +16,8 @@
 //! 3. for every generator with an X-pivot: H on the pivot, then the
 //!    controlled generator from the pivot (CX/CZ/CY per component, S on
 //!    the pivot for its own Y, Z on the pivot for a −1 sign);
-//! generators with no X-part are automatically satisfied on `|0…0⟩`.
+//!
+//! Generators with no X-part are automatically satisfied on `|0…0⟩`.
 //! Every emitted gate is a *named* Clifford (CY is synthesized as
 //! S·CX·S†), so encoders run on all four backends, including the
 //! stabilizer frame sampler.
@@ -64,9 +65,9 @@ pub fn encoding_circuit(code: &StabilizerCode) -> Encoder {
         };
         pivot_of_row[idx] = Some(col);
         let pivot_row = work[idx].clone();
-        for i in 0..work.len() {
-            if i != idx && matches!(work[i].get(col), Pauli::X | Pauli::Y) {
-                work[i].mul_assign(&pivot_row);
+        for (i, row) in work.iter_mut().enumerate() {
+            if i != idx && matches!(row.get(col), Pauli::X | Pauli::Y) {
+                row.mul_assign(&pivot_row);
             }
         }
     }
@@ -97,7 +98,10 @@ pub fn encoding_circuit(code: &StabilizerCode) -> Encoder {
     // outside the group.
     let gen_rows: Vec<u128> = gens.iter().map(symplectic_row).collect();
     let gen_basis = gf2::row_basis(&gen_rows);
-    let x_parts: Vec<u128> = gen_rows.iter().map(|row| row & ((1u128 << n) - 1)).collect();
+    let x_parts: Vec<u128> = gen_rows
+        .iter()
+        .map(|row| row & ((1u128 << n) - 1))
+        .collect();
     let lz = gf2::kernel_basis(&x_parts, n)
         .into_iter()
         .map(|z_support| {
@@ -130,9 +134,7 @@ pub fn encoding_circuit(code: &StabilizerCode) -> Encoder {
 
     // Input qubit: an X/Y component of X̄ that is not an X-pivot.
     let input_qubit = (0..n)
-        .find(|&q| {
-            matches!(lx.get(q), Pauli::X | Pauli::Y) && !x_pivots.contains(&q)
-        })
+        .find(|&q| matches!(lx.get(q), Pauli::X | Pauli::Y) && !x_pivots.contains(&q))
         .expect("logical X̄ must touch a non-pivot qubit");
 
     // --- Emit the circuit -------------------------------------------------
@@ -266,17 +268,29 @@ mod tests {
         let (sv1, _) = encode_state(code, C64::zero(), C64::one());
         for s in code.stabilizers() {
             let e = pauli_expectation(&sv1, s);
-            assert!((e - 1.0).abs() < 1e-8, "{}: |1̄⟩ stabilizer {e}", code.name());
+            assert!(
+                (e - 1.0).abs() < 1e-8,
+                "{}: |1̄⟩ stabilizer {e}",
+                code.name()
+            );
         }
         let ez1 = pauli_expectation(&sv1, &enc.logical_z);
-        assert!((ez1 + 1.0).abs() < 1e-8, "{}: Z̄ on |1̄⟩ = {ez1}", code.name());
+        assert!(
+            (ez1 + 1.0).abs() < 1e-8,
+            "{}: Z̄ on |1̄⟩ = {ez1}",
+            code.name()
+        );
 
         // Superposition: (|0̄⟩ + |1̄⟩)/√2 has X̄ = ±1 and Z̄ = 0.
         let s2 = std::f64::consts::FRAC_1_SQRT_2;
         let (svp, enc2) = encode_state(code, C64::real(s2), C64::real(s2));
         for s in code.stabilizers() {
             let e = pauli_expectation(&svp, s);
-            assert!((e - 1.0).abs() < 1e-8, "{}: |+̄⟩ stabilizer {e}", code.name());
+            assert!(
+                (e - 1.0).abs() < 1e-8,
+                "{}: |+̄⟩ stabilizer {e}",
+                code.name()
+            );
         }
         let ex = pauli_expectation(&svp, &enc2.logical_x);
         assert!(

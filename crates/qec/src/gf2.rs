@@ -20,9 +20,9 @@ pub fn row_basis(rows: &[u128]) -> Vec<u128> {
             // Keep basis reduced: eliminate the new pivot from others.
             let pivot = cur & cur.wrapping_neg();
             let last = basis.len() - 1;
-            for i in 0..last {
-                if basis[i] & pivot != 0 {
-                    basis[i] ^= cur;
+            for b in basis.iter_mut().take(last) {
+                if *b & pivot != 0 {
+                    *b ^= cur;
                 }
             }
         }

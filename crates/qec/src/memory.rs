@@ -242,7 +242,7 @@ mod tests {
         let exp = MemoryExperiment::new(&code, 2, false);
         let mut shot = 0u128;
         shot |= 1; // data qubit 0 flipped
-        // Round ancillas that include qubit 0 see odd parity.
+                   // Round ancillas that include qubit 0 see odd parity.
         let per_round = exp.z_checks.len();
         for r in 0..exp.rounds {
             for (j, sup) in exp.z_checks.iter().enumerate() {

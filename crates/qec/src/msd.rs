@@ -404,5 +404,4 @@ mod tests {
         assert!((fidelity_from_bloch(r, [-1.0, 0.0, 0.0]) - 0.0).abs() < 1e-12);
         assert!((bloch_norm([0.6, 0.8, 0.0]) - 1.0).abs() < 1e-12);
     }
-
 }

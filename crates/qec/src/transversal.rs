@@ -46,7 +46,8 @@ impl TransversalCompiler {
         x_supports.sort();
         z_supports.sort();
         assert_eq!(
-            x_supports, z_supports,
+            x_supports,
+            z_supports,
             "{}: transversal set needs self-dual checks",
             code.name()
         );
@@ -71,7 +72,7 @@ impl TransversalCompiler {
         }
         let lmask = lx.iter().fold(0u128, |m, &q| m | (1 << q));
         rows.push(lmask);
-        rhs.push(((lx.len() + 1) / 2) % 2 == 1);
+        rhs.push(lx.len().div_ceil(2) % 2 == 1);
         let coloring = gf2::solve(&rows, &rhs, n)
             .or_else(|| {
                 // The pinned logical parity may be unsatisfiable together
@@ -288,8 +289,16 @@ mod tests {
     #[test]
     fn steane_transversal_single_qubit_gates() {
         let code = codes::steane();
-        for gate in [Gate::H, Gate::S, Gate::Sdg, Gate::X, Gate::Y, Gate::Z, Gate::Sx, Gate::Sy]
-        {
+        for gate in [
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::Sx,
+            Gate::Sy,
+        ] {
             check_1q_gate(&code, gate);
         }
     }
@@ -297,7 +306,15 @@ mod tests {
     #[test]
     fn color_d3_transversal_single_qubit_gates() {
         let code = codes::color_code(3);
-        for gate in [Gate::H, Gate::S, Gate::Sdg, Gate::Sx, Gate::Sxdg, Gate::Sy, Gate::Sydg] {
+        for gate in [
+            Gate::H,
+            Gate::S,
+            Gate::Sdg,
+            Gate::Sx,
+            Gate::Sxdg,
+            Gate::Sy,
+            Gate::Sydg,
+        ] {
             check_1q_gate(&code, gate);
         }
     }

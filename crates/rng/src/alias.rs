@@ -120,7 +120,10 @@ mod tests {
         for (i, &wi) in w.iter().enumerate() {
             let frac = counts[i] as f64 / m as f64;
             let expect = wi / total;
-            assert!((frac - expect).abs() < 0.01, "outcome {i}: {frac} vs {expect}");
+            assert!(
+                (frac - expect).abs() < 0.01,
+                "outcome {i}: {frac} vs {expect}"
+            );
         }
     }
 

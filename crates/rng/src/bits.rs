@@ -1,0 +1,36 @@
+//! Measurement-record bit manipulation shared by the simulation backends.
+
+/// Gather the bits of `full` at `positions` into a dense record: output
+/// bit `t` = bit `positions[t]` of `full`. Used by every backend to remap
+/// a full-register basis index onto the circuit's measured-qubit order.
+#[must_use]
+pub fn extract_bits(full: u128, positions: &[usize]) -> u128 {
+    let mut out = 0u128;
+    for (t, &p) in positions.iter().enumerate() {
+        out |= ((full >> p) & 1) << t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gathers_in_record_order() {
+        assert_eq!(extract_bits(0b1010, &[1, 3]), 0b11);
+        assert_eq!(extract_bits(0b1010, &[0, 2]), 0b00);
+        assert_eq!(extract_bits(0b1000, &[3, 1]), 0b01);
+        assert_eq!(extract_bits(0b0010, &[3, 1]), 0b10);
+    }
+
+    #[test]
+    fn empty_positions_yield_empty_record() {
+        assert_eq!(extract_bits(u128::MAX, &[]), 0);
+    }
+
+    #[test]
+    fn high_bits_are_addressable() {
+        assert_eq!(extract_bits(1u128 << 127, &[127]), 1);
+    }
+}

@@ -49,11 +49,7 @@ pub fn index_of(r: f64, probs: &[f64]) -> usize {
 /// Multinomial allocation: split `total` draws over `probs` (normalized in
 /// place if needed) using repeated binomial-free CDF inversion with sorted
 /// uniforms. O(total + n).
-pub fn multinomial_counts<R: Rng + ?Sized>(
-    probs: &[f64],
-    total: usize,
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn multinomial_counts<R: Rng + ?Sized>(probs: &[f64], total: usize, rng: &mut R) -> Vec<usize> {
     let sum: f64 = probs.iter().sum();
     assert!(sum > 0.0, "multinomial_counts: zero mass");
     let norm: Vec<f64> = probs.iter().map(|&p| p / sum).collect();

@@ -24,6 +24,7 @@
 //!   geometric-skip variants) for the Stim-style Pauli-frame bulk sampler.
 
 pub mod alias;
+pub mod bits;
 pub mod categorical;
 pub mod mask;
 pub mod philox;

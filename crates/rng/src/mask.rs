@@ -16,12 +16,7 @@ const SPARSE_CUTOFF: f64 = 0.05;
 
 /// Fill `words` with bits that are iid Bernoulli(`p`). `nbits` limits the
 /// meaningful bits (the tail of the final word is left zero).
-pub fn fill_bernoulli_words<R: Rng + ?Sized>(
-    words: &mut [u64],
-    nbits: usize,
-    p: f64,
-    rng: &mut R,
-) {
+pub fn fill_bernoulli_words<R: Rng + ?Sized>(words: &mut [u64], nbits: usize, p: f64, rng: &mut R) {
     assert!(
         nbits <= words.len() * 64,
         "fill_bernoulli_words: nbits {nbits} exceeds capacity {}",

@@ -137,10 +137,7 @@ mod tests {
 
     #[test]
     fn philox_known_answer_ones() {
-        let out = Philox4x32::block(
-            [0xffff_ffff; 4],
-            [0xffff_ffff, 0xffff_ffff],
-        );
+        let out = Philox4x32::block([0xffff_ffff; 4], [0xffff_ffff, 0xffff_ffff]);
         assert_eq!(out, [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]);
     }
 

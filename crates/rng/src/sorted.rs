@@ -54,11 +54,7 @@ fn exp1<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// `probs` need not be exactly normalized; any residual mass due to
 /// floating-point round-off is assigned to the final outcome.
-pub fn merge_sorted_into_cdf<F: FnMut(usize, usize)>(
-    probs: &[f64],
-    sorted_u: &[f64],
-    mut emit: F,
-) {
+pub fn merge_sorted_into_cdf<F: FnMut(usize, usize)>(probs: &[f64], sorted_u: &[f64], mut emit: F) {
     if probs.is_empty() || sorted_u.is_empty() {
         return;
     }

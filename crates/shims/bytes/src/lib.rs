@@ -1,0 +1,223 @@
+//! Dependency-free stand-in for the subset of the `bytes` crate this
+//! workspace uses: `Bytes`/`BytesMut` with little-endian get/put and
+//! `split_to`. Backed by a plain `Vec<u8>` plus a read offset — the
+//! zero-copy refcounting of the real crate is unnecessary for the dataset
+//! codec's access pattern (single linear pass).
+
+/// Immutable byte buffer with a cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    off: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap owned bytes.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self { data, off: 0 }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.off
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off and return the first `n` unread bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to past end of buffer");
+        let piece = self.data[self.off..self.off + n].to_vec();
+        self.off += n;
+        Bytes {
+            data: piece,
+            off: 0,
+        }
+    }
+
+    /// View of the unread bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..]
+    }
+
+    /// Copy of a sub-range of the unread bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.as_slice()[range].to_vec(),
+            off: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self::from_vec(data)
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            off: 0,
+        }
+    }
+}
+
+/// Read-side trait (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Unread byte count.
+    fn remaining(&self) -> usize;
+
+    /// True when bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy exactly `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u128`.
+    fn get_u128_le(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_le_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "copy_to_slice past end of buffer");
+        dst.copy_from_slice(&self.data[self.off..self.off + dst.len()]);
+        self.off += dst.len();
+    }
+}
+
+/// Write-side trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u128`.
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut w = BytesMut::new();
+        w.put_slice(b"PTSB");
+        w.put_u32_le(7);
+        w.put_u64_le(11);
+        w.put_u128_le(0xDEAD_BEEF_0123_4567);
+        let mut r = w.freeze();
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"PTSB");
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u64_le(), 11);
+        assert_eq!(r.get_u128_le(), 0xDEAD_BEEF_0123_4567);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut b = Bytes::from_vec(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+}

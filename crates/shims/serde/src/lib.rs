@@ -1,0 +1,299 @@
+//! Dependency-free stand-in for the subset of `serde` this workspace
+//! uses: a JSON-shaped value tree, `Serialize`/`Deserialize` traits over
+//! it, and derive macros (re-exported from the local `serde_derive`).
+//!
+//! The real serde's zero-copy serializer architecture is overkill here —
+//! the dataset layer serializes small provenance structs, so a value tree
+//! keeps the shim tiny while preserving exact integer round-trips (the
+//! number type separates `u128`/`i128`/`f64` rather than forcing `f64`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped number preserving integer precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u128),
+    /// Negative integer.
+    I(i128),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Value as `f64` (lossy for huge integers, exact otherwise).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+
+    /// Value as `u128` when exactly representable.
+    pub fn as_u128(&self) -> Option<u128> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u128::try_from(i).ok(),
+            Number::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= 1e38 => Some(f as u128),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Value as `i128` when exactly representable.
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Number::U(u) => i128::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(f) if f.fract() == 0.0 && f.abs() <= 1e38 => Some(f as i128),
+            Number::F(_) => None,
+        }
+    }
+}
+
+/// JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Numeric literal.
+    Number(Number),
+    /// String literal.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as ordered key-value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.0)
+    }
+}
+
+/// Types convertible to a [`Value`].
+pub trait Serialize {
+    /// Convert to the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct from the value tree.
+    ///
+    /// # Errors
+    /// Shape or range mismatch.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(u128::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u128()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::msg("unsigned integer out of range")),
+                    _ => Err(Error::msg("expected unsigned integer")),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, u128);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i128::from(*self);
+                if v >= 0 {
+                    Value::Number(Number::U(v as u128))
+                } else {
+                    Value::Number(Number::I(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i128()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::msg("integer out of range")),
+                    _ => Err(Error::msg("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, i128);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::U(*self as u128))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        u64::from_value(value).map(|u| u as usize)
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        i64::from_value(value).map(|i| i as isize)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            _ => Err(Error::msg("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

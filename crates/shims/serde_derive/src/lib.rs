@@ -1,0 +1,145 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! serde shim. Supports the shapes this workspace uses: non-generic
+//! structs with named fields. The macro walks the raw token stream (no
+//! `syn`/`quote` — the build environment has no registry access) and emits
+//! impls of the shim's value-tree traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed struct: name + named field identifiers.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/keywords until `struct`.
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive target must be a struct");
+    // Find the brace-delimited field list.
+    let body = tokens
+        .find_map(|tok| match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive supports structs with named fields only");
+
+    let mut fields = Vec::new();
+    let mut inner = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and doc comments.
+        while matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            let _ = inner.next();
+            let _ = inner.next();
+        }
+        // Optional visibility (`pub`, `pub(crate)` …).
+        if matches!(inner.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            let _ = inner.next();
+            if matches!(inner.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                let _ = inner.next();
+            }
+        }
+        let Some(TokenTree::Ident(field)) = inner.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Expect `:`, then skip the type until a top-level comma.
+        match inner.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for tok in inner.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    StructShape { name, fields }
+}
+
+/// Derive the shim's `Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push((::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive the shim's `Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                     obj.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v)\
+                        .ok_or_else(|| ::serde::Error::msg(\
+                            \"missing field `{f}` in {name}\"))?)?,\n",
+                name = shape.name,
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let ::serde::Value::Object(obj) = value else {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(\
+                         \"expected object for {name}\"));\n\
+                 }};\n\
+                 ::std::result::Result::Ok(Self {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}

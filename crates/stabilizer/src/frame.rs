@@ -176,10 +176,7 @@ fn apply_tableau_gate(tab: &mut Tableau, g: CliffordOp) {
 
 /// Run a full per-shot tableau simulation of a lowered program — the slow
 /// baseline E6 compares the frame sampler against.
-pub fn tableau_sample_one<R: Rng + ?Sized>(
-    program: &StabProgram,
-    rng: &mut R,
-) -> u128 {
+pub fn tableau_sample_one<R: Rng + ?Sized>(program: &StabProgram, rng: &mut R) -> u128 {
     let mut tab = Tableau::zero_state(program.n_qubits);
     let mut record = 0u128;
     let mut bit = 0usize;
@@ -260,7 +257,7 @@ fn apply_frame_gate(fx: &mut [Vec<u64>], fz: &mut [Vec<u64>], g: CliffordOp) {
 }
 
 /// Split two distinct rows of a per-qubit table mutably.
-fn two_mut<'a>(v: &'a mut [Vec<u64>], i: usize, j: usize) -> (&'a mut Vec<u64>, &'a mut Vec<u64>) {
+fn two_mut(v: &mut [Vec<u64>], i: usize, j: usize) -> (&mut Vec<u64>, &mut Vec<u64>) {
     assert_ne!(i, j);
     if i < j {
         let (a, b) = v.split_at_mut(j);
@@ -435,11 +432,7 @@ mod tests {
         // on a qubit flip its bit. Per qubit: 8 of 15 branches flip it.
         let expect = 8.0 / 15.0;
         for q in 0..2 {
-            let ones = result
-                .shots
-                .iter()
-                .filter(|&&s| (s >> q) & 1 == 1)
-                .count();
+            let ones = result.shots.iter().filter(|&&s| (s >> q) & 1 == 1).count();
             let frac = ones as f64 / shots as f64;
             assert!((frac - expect).abs() < 0.01, "qubit {q}: {frac}");
         }
@@ -468,7 +461,10 @@ mod tests {
             ones_tab += (tableau_sample_one(program, &mut rng) & 1) as usize;
         }
         let ones_tab = ones_tab as f64 / 10_000.0;
-        assert_eq!(ones_bulk, 0.0, "Z through √X must flip the reference 1 to 0");
+        assert_eq!(
+            ones_bulk, 0.0,
+            "Z through √X must flip the reference 1 to 0"
+        );
         assert!(
             (ones_bulk - ones_tab).abs() < 0.02,
             "bulk {ones_bulk} vs tableau {ones_tab}"

@@ -74,6 +74,7 @@ impl PauliString {
 
     /// Parse from a letter string, **qubit 0 first** (i.e. `"XZI"` has X on
     /// qubit 0, Z on qubit 1). Optional leading `+`/`-` sign.
+    #[allow(clippy::should_implement_trait)] // infallible, unlike FromStr
     pub fn from_str(s: &str) -> Self {
         let (phase, body) = match s.strip_prefix('-') {
             Some(rest) => (2u8, rest),

@@ -330,10 +330,7 @@ impl Tableau {
             .map(|row| {
                 let mut p = PauliString::identity(self.n);
                 for q in 0..self.n {
-                    p.set(
-                        q,
-                        Pauli::from_bits(self.xbit(row, q), self.zbit(row, q)),
-                    );
+                    p.set(q, Pauli::from_bits(self.xbit(row, q), self.zbit(row, q)));
                 }
                 p.set_phase(if self.r[row] { 2 } else { 0 });
                 p
@@ -493,8 +490,8 @@ mod tests {
         t.x(0);
         t.swap(0, 1);
         let mut rng = PhiloxRng::new(94, 0);
-        assert_eq!(t.measure(0, &mut rng).0, false);
-        assert_eq!(t.measure(1, &mut rng).0, true);
+        assert!(!t.measure(0, &mut rng).0);
+        assert!(t.measure(1, &mut rng).0);
     }
 
     #[test]
@@ -502,10 +499,10 @@ mod tests {
         let mut t = Tableau::zero_state(1);
         t.apply_pauli(0, Pauli::X);
         let mut rng = PhiloxRng::new(95, 0);
-        assert_eq!(t.measure(0, &mut rng).0, true);
+        assert!(t.measure(0, &mut rng).0);
         let mut t = Tableau::zero_state(1);
         t.apply_pauli(0, Pauli::Z); // no effect on |0⟩
-        assert_eq!(t.measure(0, &mut rng).0, false);
+        assert!(!t.measure(0, &mut rng).0);
     }
 
     #[test]

@@ -44,10 +44,7 @@ fn apply_recipe_sv(sv: &mut ptsbe_statevector::StateVector<f64>, recipe: &[(u8, 
 }
 
 /// ⟨ψ|P|ψ⟩ on the statevector for a phase-free Pauli string.
-fn sv_pauli_expectation(
-    sv: &ptsbe_statevector::StateVector<f64>,
-    p: &PauliString,
-) -> f64 {
+fn sv_pauli_expectation(sv: &ptsbe_statevector::StateVector<f64>, p: &PauliString) -> f64 {
     use ptsbe_math::gates;
     let mut copy = sv.clone();
     for q in 0..p.n_qubits() {

@@ -7,7 +7,7 @@
 //! trajectories, eliminating the "redundant circuit recompilation" the
 //! paper's BE bullet calls out.
 
-use ptsbe_circuit::{Circuit, ChannelKind, NoisyCircuit, NoisyOp, Op};
+use ptsbe_circuit::{ChannelKind, Circuit, NoisyCircuit, NoisyOp, Op};
 use ptsbe_math::{Matrix, Scalar};
 
 use crate::kraus::apply_kraus_normalized;
@@ -72,12 +72,21 @@ pub struct CompiledSite<T: Scalar> {
 }
 
 /// A [`NoisyCircuit`] lowered for repeated execution at precision `T`.
+///
+/// The op stream is additionally split into *segments* delimited by noise
+/// sites: segment `k < n_sites` is the gate run ending with (and
+/// including) site `k`; the final segment is the trailing gate run after
+/// the last site. Segmentation is what lets the trajectory-tree executor
+/// re-play only the suffix of a circuit that differs between two
+/// trajectories (see `ptsbe_core::be::TreeExecutor`).
 #[derive(Clone, Debug)]
 pub struct Compiled<T: Scalar> {
     n_qubits: usize,
     ops: Vec<CompiledOp<T>>,
     sites: Vec<CompiledSite<T>>,
     measured: Vec<usize>,
+    /// `seg_bounds[k]..seg_bounds[k + 1]` = op range of segment `k`.
+    seg_bounds: Vec<usize>,
 }
 
 impl<T: Scalar> Compiled<T> {
@@ -101,6 +110,11 @@ impl<T: Scalar> Compiled<T> {
     /// Terminal measurement qubits, record order.
     pub fn measured_qubits(&self) -> &[usize] {
         &self.measured
+    }
+    /// Number of segments (`n_sites + 1`; the last segment is the gate
+    /// tail after the final noise site and fires no site).
+    pub fn n_segments(&self) -> usize {
+        self.seg_bounds.len() - 1
     }
 }
 
@@ -140,7 +154,10 @@ pub fn compile<T: Scalar>(nc: &NoisyCircuit) -> Result<Compiled<T>, ExecError> {
         .map(|site| {
             let (mats, is_mixture): (Vec<Matrix<T>>, bool) = match site.channel.kind() {
                 ChannelKind::UnitaryMixture { unitaries, .. } => (
-                    unitaries.iter().map(|u| Matrix::from_f64_matrix(u)).collect(),
+                    unitaries
+                        .iter()
+                        .map(|u| Matrix::from_f64_matrix(u))
+                        .collect(),
                     true,
                 ),
                 ChannelKind::General { .. } => (
@@ -160,11 +177,25 @@ pub fn compile<T: Scalar>(nc: &NoisyCircuit) -> Result<Compiled<T>, ExecError> {
             }
         })
         .collect();
+    // Segment boundaries: one cut after every noise site. Site ids are
+    // dense in encounter order (see `NoisyCircuit::from_circuit`), so
+    // segment `k` always fires site `k` — the invariant the segmented
+    // `advance` API and the trajectory-tree executor rely on.
+    let mut seg_bounds = Vec::with_capacity(nc.n_sites() + 2);
+    seg_bounds.push(0);
+    for (i, op) in ops.iter().enumerate() {
+        if let CompiledOp::Site(id) = op {
+            debug_assert_eq!(*id, seg_bounds.len() - 1, "site ids must be in op order");
+            seg_bounds.push(i + 1);
+        }
+    }
+    seg_bounds.push(ops.len());
     Ok(Compiled {
         n_qubits: nc.n_qubits(),
         ops,
         sites,
         measured,
+        seg_bounds,
     })
 }
 
@@ -185,18 +216,54 @@ fn lower_gate<T: Scalar>(g: &ptsbe_circuit::GateOp) -> CompiledOp<T> {
 /// *realized* joint trajectory probability `p_α` — for unitary mixtures
 /// this equals the nominal product exactly; for general channels it is the
 /// state-dependent probability needed for importance weighting.
-pub fn prepare<T: Scalar>(
-    compiled: &Compiled<T>,
-    choices: &[usize],
-) -> (StateVector<T>, f64) {
+pub fn prepare<T: Scalar>(compiled: &Compiled<T>, choices: &[usize]) -> (StateVector<T>, f64) {
     assert_eq!(
         choices.len(),
         compiled.sites.len(),
         "assignment length does not match site count"
     );
+    // Degenerate single-span path through the segmented executor: one
+    // `advance` over every segment applies exactly the same op sequence
+    // (and probability-product order) the flat loop did.
     let mut sv = StateVector::zero_state(compiled.n_qubits);
+    let realized = advance(compiled, &mut sv, 0..compiled.n_segments(), choices);
+    (sv, realized)
+}
+
+/// Advance a state through segments `segments.start..segments.end`,
+/// resolving each fired noise site through `choices[site_id]`. Returns the
+/// partial trajectory probability realized by the advanced span (the
+/// product of its sites' branch probabilities, in op order).
+///
+/// `choices` is indexed by site id, so a caller advancing a prefix only
+/// needs the prefix of the assignment (`choices.len() >=` the last site id
+/// fired by the span, plus one).
+///
+/// # Panics
+/// Panics when the segment range or the assignment prefix is out of
+/// bounds.
+pub fn advance<T: Scalar>(
+    compiled: &Compiled<T>,
+    sv: &mut StateVector<T>,
+    segments: std::ops::Range<usize>,
+    choices: &[usize],
+) -> f64 {
+    assert!(
+        segments.end <= compiled.n_segments(),
+        "segment range {segments:?} exceeds {} segments",
+        compiled.n_segments()
+    );
+    assert!(
+        choices.len() >= segments.end.min(compiled.sites.len()),
+        "assignment length {} does not cover sites fired by segments {segments:?}",
+        choices.len()
+    );
     let mut realized = 1.0f64;
-    for op in &compiled.ops {
+    if segments.is_empty() {
+        return realized;
+    }
+    let ops = &compiled.ops[compiled.seg_bounds[segments.start]..compiled.seg_bounds[segments.end]];
+    for op in ops {
         match op {
             CompiledOp::G1(m, q) => sv.apply_1q(m, *q),
             CompiledOp::G2(m, a, b) => sv.apply_2q(m, *a, *b),
@@ -209,14 +276,14 @@ pub fn prepare<T: Scalar>(
                 let k = choices[*id];
                 if site.is_unitary_mixture {
                     realized *= site.probs[k];
-                    apply_sized(&mut sv, &site.mats[k], &site.qubits);
+                    apply_sized(sv, &site.mats[k], &site.qubits);
                 } else {
-                    realized *= apply_kraus_normalized(&mut sv, &site.mats[k], &site.qubits);
+                    realized *= apply_kraus_normalized(sv, &site.mats[k], &site.qubits);
                 }
             }
         }
     }
-    (sv, realized)
+    realized
 }
 
 fn apply_sized<T: Scalar>(sv: &mut StateVector<T>, m: &Matrix<T>, qubits: &[usize]) {
@@ -340,7 +407,10 @@ mod tests {
         let mut c = Circuit::new(1);
         c.reset(0);
         let nc = NoisyCircuit::from_circuit(c);
-        assert_eq!(compile::<f64>(&nc).unwrap_err(), ExecError::UnsupportedReset);
+        assert_eq!(
+            compile::<f64>(&nc).unwrap_err(),
+            ExecError::UnsupportedReset
+        );
     }
 
     #[test]
@@ -373,9 +443,7 @@ mod tests {
         let (sv32, p32) = prepare_with_assignment::<f32>(&nc, &ident).unwrap();
         assert!((p64 - p32).abs() < 1e-6);
         for i in 0..4 {
-            assert!(
-                (sv64.probability(i).to_f64() - sv32.probability(i).to_f64()).abs() < 1e-5
-            );
+            assert!((sv64.probability(i).to_f64() - sv32.probability(i).to_f64()).abs() < 1e-5);
         }
     }
 

@@ -61,7 +61,7 @@ fn kraus_probs_1q<T: Scalar>(sv: &StateVector<T>, ops: &[Matrix<T>], q: usize) -
     } else {
         amps.chunks(2 * stride)
             .map(fold_chunk)
-            .fold(vec![0.0f64; ops.len()], |a, b| add_vecs(a, b))
+            .fold(vec![0.0f64; ops.len()], add_vecs)
     }
 }
 
@@ -87,10 +87,7 @@ fn kraus_probs_2q<T: Scalar>(
             let mut mm = [[Complex::<T>::zero(); 4]; 4];
             for (r, row) in mm.iter_mut().enumerate() {
                 for (c, entry) in row.iter_mut().enumerate() {
-                    *entry = m[(
-                        pos_to_basis(r >> 1, r & 1),
-                        pos_to_basis(c >> 1, c & 1),
-                    )];
+                    *entry = m[(pos_to_basis(r >> 1, r & 1), pos_to_basis(c >> 1, c & 1))];
                 }
             }
             mm
@@ -126,7 +123,7 @@ fn kraus_probs_2q<T: Scalar>(
     } else {
         amps.chunks(2 * sh)
             .map(fold_chunk)
-            .fold(vec![0.0f64; ops.len()], |a_, b_| add_vecs(a_, b_))
+            .fold(vec![0.0f64; ops.len()], add_vecs)
     }
 }
 

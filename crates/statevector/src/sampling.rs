@@ -178,13 +178,10 @@ fn sample_sorted_merge<T: Scalar, R: Rng + ?Sized>(
 /// Extract the measured-qubit bits from a basis-index shot: output bit `t`
 /// is bit `qubits[t]` of `index`. This is how subset measurement works —
 /// sampling the full register then discarding unmeasured bits *is*
-/// marginal sampling.
+/// marginal sampling. (Thin `u64` wrapper over the backend-shared
+/// [`ptsbe_rng::bits::extract_bits`].)
 pub fn extract_bits(index: u64, qubits: &[usize]) -> u64 {
-    let mut out = 0u64;
-    for (t, &q) in qubits.iter().enumerate() {
-        out |= ((index >> q) & 1) << t;
-    }
-    out
+    ptsbe_rng::bits::extract_bits(u128::from(index), qubits) as u64
 }
 
 #[cfg(test)]
@@ -286,7 +283,10 @@ mod tests {
         let mut rng = PhiloxRng::new(76, 0);
         let shots = sample_shots(&sv, 20_000, &mut rng, SamplingStrategy::Auto);
         for &s in &shots {
-            assert!(s == 0 || s == (1 << n) - 1, "GHZ shot {s:#x} not all-0/all-1");
+            assert!(
+                s == 0 || s == (1 << n) - 1,
+                "GHZ shot {s:#x} not all-0/all-1"
+            );
         }
     }
 

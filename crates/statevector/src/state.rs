@@ -20,7 +20,10 @@ impl<T: Scalar> StateVector<T> {
     /// Panics when `n_qubits` exceeds 48 (array indices would overflow
     /// practical memory long before; the guard catches typos).
     pub fn zero_state(n_qubits: usize) -> Self {
-        assert!(n_qubits <= 48, "statevector of {n_qubits} qubits is not addressable");
+        assert!(
+            n_qubits <= 48,
+            "statevector of {n_qubits} qubits is not addressable"
+        );
         let mut amps = vec![Complex::zero(); 1usize << n_qubits];
         amps[0] = Complex::one();
         Self { n_qubits, amps }
@@ -297,7 +300,7 @@ impl<T: Scalar> StateVector<T> {
     /// and compiled multi-qubit unitaries).
     pub fn apply_kq(&mut self, m: &Matrix<T>, qubits: &[usize]) {
         let k = qubits.len();
-        assert!(k >= 1 && k <= 16, "apply_kq supports 1..=16 qubits");
+        assert!((1..=16).contains(&k), "apply_kq supports 1..=16 qubits");
         assert_eq!(m.rows(), 1usize << k);
         for &q in qubits {
             assert!(q < self.n_qubits);
@@ -316,13 +319,13 @@ impl<T: Scalar> StateVector<T> {
         let dim = 1usize << k;
         // For each gate-basis index, the global offset it adds.
         let mut offsets = vec![0usize; dim];
-        for g in 0..dim {
+        for (g, slot) in offsets.iter_mut().enumerate() {
             let mut off = 0usize;
             for (t, &q) in qubits.iter().enumerate() {
                 let bit = (g >> (k - 1 - t)) & 1;
                 off |= bit << q;
             }
-            offsets[g] = off;
+            *slot = off;
         }
         let qh = *sorted.last().unwrap();
         let sh = 1usize << qh;

@@ -55,12 +55,19 @@ pub struct MpsSite<T: Scalar> {
 }
 
 /// A noisy circuit lowered for repeated MPS execution.
+///
+/// Like `ptsbe_statevector::exec::Compiled`, the op stream is split into
+/// segments delimited by noise sites so the trajectory-tree executor can
+/// share common prefixes across trajectories: segment `k < n_sites` ends
+/// with site `k`; the final segment is the trailing gate run.
 #[derive(Clone, Debug)]
 pub struct MpsCompiled<T: Scalar> {
     n_qubits: usize,
     ops: Vec<MpsOp<T>>,
     sites: Vec<MpsSite<T>>,
     measured: Vec<usize>,
+    /// `seg_bounds[k]..seg_bounds[k + 1]` = op range of segment `k`.
+    seg_bounds: Vec<usize>,
 }
 
 impl<T: Scalar> MpsCompiled<T> {
@@ -79,6 +86,10 @@ impl<T: Scalar> MpsCompiled<T> {
     /// Measured qubits in record order.
     pub fn measured_qubits(&self) -> &[usize] {
         &self.measured
+    }
+    /// Number of segments (`n_sites + 1`).
+    pub fn n_segments(&self) -> usize {
+        self.seg_bounds.len() - 1
     }
 }
 
@@ -127,7 +138,10 @@ pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsEr
         .map(|site| {
             let (mats, is_mixture): (Vec<Matrix<T>>, bool) = match site.channel.kind() {
                 ChannelKind::UnitaryMixture { unitaries, .. } => (
-                    unitaries.iter().map(|u| Matrix::from_f64_matrix(u)).collect(),
+                    unitaries
+                        .iter()
+                        .map(|u| Matrix::from_f64_matrix(u))
+                        .collect(),
                     true,
                 ),
                 ChannelKind::General { .. } => (
@@ -147,11 +161,21 @@ pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsEr
             }
         })
         .collect();
+    let mut seg_bounds = Vec::with_capacity(nc.n_sites() + 2);
+    seg_bounds.push(0);
+    for (i, op) in ops.iter().enumerate() {
+        if let MpsOp::Site(id) = op {
+            debug_assert_eq!(*id, seg_bounds.len() - 1, "site ids must be in op order");
+            seg_bounds.push(i + 1);
+        }
+    }
+    seg_bounds.push(ops.len());
     Ok(MpsCompiled {
         n_qubits: nc.n_qubits(),
         ops,
         sites,
         measured,
+        seg_bounds,
     })
 }
 
@@ -193,9 +217,42 @@ pub fn prepare_mps<T: Scalar>(
         compiled.sites.len(),
         "assignment length does not match site count"
     );
+    // Degenerate single-span path through the segmented executor.
     let mut mps = Mps::zero_state(compiled.n_qubits, config);
+    let realized = advance_mps(compiled, &mut mps, 0..compiled.n_segments(), choices);
+    (mps, realized)
+}
+
+/// Advance an MPS through segments `segments.start..segments.end`,
+/// resolving fired noise sites via `choices[site_id]`. Returns the span's
+/// partial trajectory probability (product of branch probabilities in op
+/// order). The MPS analog of `ptsbe_statevector::exec::advance`.
+///
+/// # Panics
+/// Panics when the segment range or the assignment prefix is out of
+/// bounds.
+pub fn advance_mps<T: Scalar>(
+    compiled: &MpsCompiled<T>,
+    mps: &mut Mps<T>,
+    segments: std::ops::Range<usize>,
+    choices: &[usize],
+) -> f64 {
+    assert!(
+        segments.end <= compiled.n_segments(),
+        "segment range {segments:?} exceeds {} segments",
+        compiled.n_segments()
+    );
+    assert!(
+        choices.len() >= segments.end.min(compiled.sites.len()),
+        "assignment length {} does not cover sites fired by segments {segments:?}",
+        choices.len()
+    );
     let mut realized = 1.0f64;
-    for op in &compiled.ops {
+    if segments.is_empty() {
+        return realized;
+    }
+    let ops = &compiled.ops[compiled.seg_bounds[segments.start]..compiled.seg_bounds[segments.end]];
+    for op in ops {
         match op {
             MpsOp::G1(m, q) => mps.apply_1q(m, *q),
             MpsOp::G2(m, a, b) => mps.apply_2q(m, *a, *b),
@@ -215,7 +272,7 @@ pub fn prepare_mps<T: Scalar>(
             }
         }
     }
-    (mps, realized)
+    realized
 }
 
 #[cfg(test)]
@@ -307,8 +364,7 @@ mod tests {
             if p_sv > 0.0 {
                 for bits in 0..8u128 {
                     assert!(
-                        (mps.amplitude(bits).norm_sqr() - sv.probability(bits as u64)).abs()
-                            < 1e-9
+                        (mps.amplitude(bits).norm_sqr() - sv.probability(bits as u64)).abs() < 1e-9
                     );
                 }
             }

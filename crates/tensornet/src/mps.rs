@@ -351,7 +351,14 @@ impl<T: Scalar> Mps<T> {
             [q] => {
                 let rho = self.local_density(&[*q]);
                 ops.iter()
-                    .map(|k| k.mul_ref(&rho).mul_ref(&k.dagger()).trace().re.to_f64().max(0.0))
+                    .map(|k| {
+                        k.mul_ref(&rho)
+                            .mul_ref(&k.dagger())
+                            .trace()
+                            .re
+                            .to_f64()
+                            .max(0.0)
+                    })
                     .collect()
             }
             [a, b] => {
@@ -566,7 +573,10 @@ mod tests {
             mps.apply_2q(&u2, step % (n - 1), step % (n - 1) + 1);
         }
         assert!(mps.max_bond_reached() <= 2);
-        assert!(mps.truncation_error() > 0.0, "random circuit must truncate at χ=2");
+        assert!(
+            mps.truncation_error() > 0.0,
+            "random circuit must truncate at χ=2"
+        );
     }
 
     #[test]
@@ -638,7 +648,7 @@ mod tests {
         b.apply_2q(&cx32, 0, 2);
         for bits in 0..16u128 {
             let x = a.amplitude(bits).norm_sqr();
-            let y = b.amplitude(bits).norm_sqr() as f32;
+            let y = b.amplitude(bits).norm_sqr();
             assert!((x - f64::from(y)).abs() < 1e-5);
         }
     }

@@ -220,7 +220,10 @@ mod tests {
         for i in 0..(1 << n) {
             let a = h_naive[i] as f64 / m as f64;
             let b = h_cached[i] as f64 / m as f64;
-            assert!((a - b).abs() < 0.015, "outcome {i}: naive {a} vs cached {b}");
+            assert!(
+                (a - b).abs() < 0.015,
+                "outcome {i}: naive {a} vs cached {b}"
+            );
         }
     }
 
@@ -245,8 +248,8 @@ mod tests {
         for &s in &shots {
             hist[s as usize] += 1;
         }
-        for i in 0..(1 << n) {
-            let frac = hist[i] as f64 / m as f64;
+        for (i, &count) in hist.iter().enumerate() {
+            let frac = count as f64 / m as f64;
             let expect = sv.probability(i as u64);
             assert!(
                 (frac - expect).abs() < 0.012,

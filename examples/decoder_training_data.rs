@@ -86,13 +86,24 @@ fn main() {
     }
     let total = examples.len() as f64;
     println!("\nlookup decoder on labeled shots (true logical = 0):");
-    println!("  recovered |0̄⟩ : {:>8}  ({:.3}%)", correct, 100.0 * correct as f64 / total);
-    println!("  logical error : {:>8}  ({:.3e})", failures, failures as f64 / total);
+    println!(
+        "  recovered |0̄⟩ : {:>8}  ({:.3}%)",
+        correct,
+        100.0 * correct as f64 / total
+    );
+    println!(
+        "  logical error : {:>8}  ({:.3e})",
+        failures,
+        failures as f64 / total
+    );
     println!("  uncorrectable : {:>8}", rejected);
 
     // 6. The provenance advantage: error weights by trajectory (labels a
     //    physical experiment could never provide).
     let summary = ptsbe::dataset::summary::summarize(&loaded);
-    println!("\nper-trajectory error-weight census: {:?}", summary.weight_census);
+    println!(
+        "\nper-trajectory error-weight census: {:?}",
+        summary.weight_census
+    );
     println!("plan probability coverage: {:.4}", summary.coverage);
 }

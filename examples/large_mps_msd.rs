@@ -83,7 +83,11 @@ fn main() {
         config.max_bond
     );
     println!("\n(per-trajectory provenance of the first trajectory)");
-    if let Some(t) = result.trajectories.iter().find(|t| !t.meta.errors.is_empty()) {
+    if let Some(t) = result
+        .trajectories
+        .iter()
+        .find(|t| !t.meta.errors.is_empty())
+    {
         for e in t.meta.errors.iter().take(6) {
             println!(
                 "  {} on qubits {:?} at op {} (channel {})",

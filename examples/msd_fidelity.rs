@@ -63,7 +63,11 @@ fn ptsbe_run(eps: f64, basis: MeasureBasis, seed: u64) -> (f64, f64) {
         total_shots: 200_000,
     }
     .sample_plan(&noisy, &mut rng);
-    let result = BatchedExecutor { seed, parallel: true }.execute(&backend, &noisy, &plan);
+    let result = BatchedExecutor {
+        seed,
+        parallel: true,
+    }
+    .execute(&backend, &noisy, &plan);
     let mut analysis = MsdAnalysis::default();
     for t in &result.trajectories {
         for &s in &t.shots {

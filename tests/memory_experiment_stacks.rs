@@ -24,7 +24,9 @@ fn frame_and_ptsbe_agree_on_logical_error_rate() {
     let frames = sampler.sample(shots_f, &mut rng);
     let (ler_frames, rej_f) = logical_error_rate(&exp, &decoder, frames.shots.iter());
 
-    // Stack 2: PTSBE statevector.
+    // Stack 2: PTSBE statevector, through the prefix tree — 30k one-shot
+    // trajectories at p = 5e-3 share almost their entire identity prefix,
+    // and TreeExecutor output is bitwise identical to the flat executor.
     let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
     let mut rng2 = PhiloxRng::new(0xABCE, 0);
     let plan = ProbabilisticPts {
@@ -33,7 +35,7 @@ fn frame_and_ptsbe_agree_on_logical_error_rate() {
         dedup: false,
     }
     .sample_plan(&noisy, &mut rng2);
-    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let result = TreeExecutor::default().execute(&backend, &noisy, &plan);
     let all: Vec<u128> = result.all_shots().collect();
     let (ler_ptsbe, rej_p) = logical_error_rate(&exp, &decoder, all.iter());
 
@@ -80,7 +82,7 @@ fn detectors_fire_only_under_noise() {
         dedup: false,
     }
     .sample_plan(&noisy, &mut rng);
-    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let result = TreeExecutor::default().execute(&backend, &noisy, &plan);
     let fired = result
         .all_shots()
         .filter(|&s| exp.detectors(s).iter().any(|&d| d != 0))

@@ -129,9 +129,12 @@ fn encoded_msd_with_noise_and_decoding() {
             decoded.fold(&layout, Some(&decoder), s);
         }
     }
-    assert!(decoded.accepted >= raw.accepted,
+    assert!(
+        decoded.accepted >= raw.accepted,
         "decoding must not lose accepted shots: {} vs {}",
-        decoded.accepted, raw.accepted);
+        decoded.accepted,
+        raw.accepted
+    );
     assert!(decoded.acceptance() > 0.05, "decoded acceptance collapsed");
     // Provenance labels exist for noisy trajectories.
     assert!(result

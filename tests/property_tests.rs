@@ -6,14 +6,13 @@ use ptsbe::prelude::*;
 
 /// Random small noisy circuit strategy: (n_qubits, gate recipe, noise p).
 fn circuit_strategy() -> impl Strategy<Value = (usize, Vec<(u8, usize, usize)>, f64)> {
-    (2usize..5)
-        .prop_flat_map(|n| {
-            (
-                Just(n),
-                prop::collection::vec((0u8..6, 0..n, 0..n), 1..12),
-                0.0..0.3f64,
-            )
-        })
+    (2usize..5).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0u8..6, 0..n, 0..n), 1..12),
+            0.0..0.3f64,
+        )
+    })
 }
 
 fn build(n: usize, recipe: &[(u8, usize, usize)], p: f64) -> NoisyCircuit {
@@ -129,5 +128,65 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Trie construction preserves the plan: total shots, the trajectory
+    /// multiset (every plan index appears at exactly one leaf), and every
+    /// node's representative prefix spells its path. Sharing can only
+    /// reduce work, never below one edge per distinct assignment.
+    #[test]
+    fn plan_tree_preserves_plan((n, recipe, p) in circuit_strategy()) {
+        let noisy = build(n, &recipe, p);
+        let mut rng = PhiloxRng::new(945, 0);
+        let plan = ProbabilisticPts { n_samples: 150, shots_per_trajectory: 3, dedup: false }
+            .sample_plan(&noisy, &mut rng);
+        let tree = PtsPlanTree::from_plan(&plan);
+
+        // Total shots preserved.
+        prop_assert_eq!(tree.total_shots(&plan), plan.total_shots());
+
+        // Trajectory multiset preserved: leaf indices are a permutation
+        // of plan indices, and each leaf's assignment matches its path.
+        let mut leaf_indices = tree.leaf_plan_indices();
+        prop_assert_eq!(leaf_indices.len(), plan.n_trajectories());
+        leaf_indices.sort_unstable();
+        prop_assert_eq!(
+            leaf_indices,
+            (0..plan.n_trajectories()).collect::<Vec<_>>()
+        );
+
+        // Edge-count bounds: at most one edge per trajectory-site pair;
+        // at least one full path plus one edge per extra distinct
+        // assignment.
+        let distinct: std::collections::HashSet<&[usize]> =
+            plan.trajectories.iter().map(|t| t.choices.as_slice()).collect();
+        prop_assert!(tree.n_edges() <= tree.flat_prep_ops());
+        if noisy.n_sites() > 0 && !plan.trajectories.is_empty() {
+            prop_assert!(tree.n_edges() >= noisy.n_sites() + distinct.len() - 1);
+        }
+        prop_assert_eq!(
+            tree.prep_ops_saved(),
+            tree.flat_prep_ops() - tree.n_edges()
+        );
+
+        // Walking the tree reproduces each leaf's full assignment.
+        fn walk(
+            tree: &PtsPlanTree,
+            plan: &PtsPlan,
+            node: usize,
+            path: &mut Vec<usize>,
+        ) -> Result<(), proptest::TestCaseError> {
+            let nref = tree.node(node);
+            for &idx in &nref.leaves {
+                prop_assert_eq!(&plan.trajectories[idx].choices, path);
+            }
+            for &(branch, child) in &nref.children {
+                path.push(branch);
+                walk(tree, plan, child, path)?;
+                path.pop();
+            }
+            Ok(())
+        }
+        walk(&tree, &plan, tree.root(), &mut Vec::new())?;
     }
 }
