@@ -1,4 +1,5 @@
-//! Flat vs. prefix-tree batched execution across noise rates.
+//! Flat vs. prefix-tree batched execution across noise rates, and fused
+//! vs. unfused compilation on the fig4-style depolarizing workload.
 //!
 //! The trajectory tree amortizes state preparation over shared Kraus
 //! prefixes, so its advantage grows as noise shrinks: at low `p` almost
@@ -7,8 +8,15 @@
 //! each plan's `prep_ops_saved` ratio — the fraction of flat site-advances
 //! the tree eliminates — so the structural win is visible next to the
 //! timing.
+//!
+//! The `fused_vs_unfused` group layers the compile-time multiplier on
+//! top: gate fusion shrinks the per-trajectory op stream once at compile
+//! time, and every executor (flat or tree) inherits the reduction. Its
+//! `FusionStats` line prints the op counts and kernel-class histogram
+//! next to the timing rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ptsbe_bench::{msd_like, with_entangler_depolarizing};
 use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
 use ptsbe_core::{
     BatchedExecutor, ProbabilisticPts, PtsPlan, PtsPlanTree, PtsSampler, SvBackend, TreeExecutor,
@@ -83,5 +91,43 @@ fn bench_flat_vs_tree(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flat_vs_tree);
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_unfused");
+    group.sample_size(10);
+    // Fig4-style workload: MSD-like magic-state layers with depolarizing
+    // noise on the entanglers (1q runs between sites fuse away).
+    let n = 10;
+    let circuit = msd_like(n, n);
+    let p = 1e-3;
+    let nc = with_entangler_depolarizing(&circuit, p);
+    let plan = plan_for(&nc, 9_000);
+    let tree = PtsPlanTree::from_plan(&plan);
+    let fused = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+    let unfused = SvBackend::<f64>::new_with_fusion(&nc, SamplingStrategy::Auto, false).unwrap();
+    println!(
+        "fig4-style n={n} p={p} trajectories={} | FusionStats: {}",
+        plan.n_trajectories(),
+        fused.fusion_stats(),
+    );
+    let exec = BatchedExecutor {
+        seed: 1,
+        parallel: false,
+    };
+    group.bench_function(BenchmarkId::new("flat", "unfused"), |b| {
+        b.iter(|| exec.execute(black_box(&unfused), &nc, &plan));
+    });
+    group.bench_function(BenchmarkId::new("flat", "fused"), |b| {
+        b.iter(|| exec.execute(black_box(&fused), &nc, &plan));
+    });
+    let texec = TreeExecutor {
+        seed: 1,
+        parallel: false,
+    };
+    group.bench_function(BenchmarkId::new("tree", "fused"), |b| {
+        b.iter(|| texec.execute_tree(black_box(&fused), &nc, &plan, &tree));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_vs_tree, bench_fused_vs_unfused);
 criterion_main!(benches);

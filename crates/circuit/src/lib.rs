@@ -15,10 +15,14 @@
 //! - [`noise_model::NoiseModel`] — attaches channels to gates the way
 //!   CUDA-Q noise models do (`lookUp(noiseModel, operator)` in Alg. 1);
 //! - [`noisy::NoisyCircuit`] — the circuit with noise sites made explicit,
-//!   the object PTS algorithms sample over (paper Fig. 2).
+//!   the object PTS algorithms sample over (paper Fig. 2);
+//! - [`fusion`] — the gate-fusion pass backend compilers run once per
+//!   segment, merging adjacent-gate runs into classified ≤2-qubit kernels
+//!   shared by every trajectory.
 
 pub mod channels;
 pub mod circuit;
+pub mod fusion;
 pub mod gate;
 pub mod kraus;
 pub mod noise_model;
@@ -26,6 +30,7 @@ pub mod noisy;
 pub mod op;
 
 pub use circuit::Circuit;
+pub use fusion::{FusedKernel, FusedOp, Fuser, FusionStats};
 pub use gate::Gate;
 pub use kraus::{ChannelError, ChannelKind, KrausChannel};
 pub use noise_model::NoiseModel;

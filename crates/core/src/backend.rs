@@ -26,11 +26,11 @@
 //! association). [`Backend::prepare`] is provided as the degenerate
 //! single-span path over this API.
 
-use ptsbe_circuit::NoisyCircuit;
+use ptsbe_circuit::{FusionStats, NoisyCircuit};
 use ptsbe_math::Scalar;
 use ptsbe_rng::Rng;
 use ptsbe_statevector::{exec as sv_exec, sampling as sv_sampling, SamplingStrategy, StateVector};
-use ptsbe_tensornet::{advance_mps, compile_mps, Mps, MpsCompiled, MpsConfig};
+use ptsbe_tensornet::{advance_mps, compile_mps_with, Mps, MpsCompiled, MpsConfig};
 use std::ops::Range;
 
 /// A trajectory-capable simulation backend (see the module docs for the
@@ -107,15 +107,37 @@ pub struct SvBackend<T: Scalar> {
 }
 
 impl<T: Scalar> SvBackend<T> {
-    /// Compile a noisy circuit for repeated trajectory execution.
+    /// Compile a noisy circuit for repeated trajectory execution (gate
+    /// fusion on — the default every executor shares).
     ///
     /// # Errors
     /// Propagates [`sv_exec::ExecError`] (mid-circuit measurement, reset).
     pub fn new(nc: &NoisyCircuit, strategy: SamplingStrategy) -> Result<Self, sv_exec::ExecError> {
+        Self::new_with_fusion(nc, strategy, true)
+    }
+
+    /// Compile with gate fusion explicitly on or off. The unfused path is
+    /// the reference pipeline `tests/fusion_equivalence.rs` compares
+    /// against; production callers want [`SvBackend::new`].
+    ///
+    /// # Errors
+    /// Propagates [`sv_exec::ExecError`] (mid-circuit measurement, reset).
+    pub fn new_with_fusion(
+        nc: &NoisyCircuit,
+        strategy: SamplingStrategy,
+        fuse: bool,
+    ) -> Result<Self, sv_exec::ExecError> {
         Ok(Self {
-            compiled: sv_exec::compile(nc)?,
+            compiled: sv_exec::compile_with(nc, fuse)?,
             strategy,
         })
+    }
+
+    /// The compilation's fusion report (ops before/after, kernel-class
+    /// histogram) — the compile-time counterpart of the plan tree's
+    /// `prep_ops_saved`.
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.compiled.fusion_stats()
     }
 }
 
@@ -187,7 +209,8 @@ pub struct MpsBackend<T: Scalar> {
 }
 
 impl<T: Scalar> MpsBackend<T> {
-    /// Compile a noisy circuit for MPS execution.
+    /// Compile a noisy circuit for MPS execution (gate fusion on — the
+    /// default every executor shares).
     ///
     /// # Errors
     /// Propagates [`ptsbe_tensornet::MpsError`].
@@ -196,11 +219,31 @@ impl<T: Scalar> MpsBackend<T> {
         config: MpsConfig,
         mode: MpsSampleMode,
     ) -> Result<Self, ptsbe_tensornet::MpsError> {
+        Self::new_with_fusion(nc, config, mode, true)
+    }
+
+    /// Compile with gate fusion explicitly on or off (the unfused path is
+    /// the reference pipeline for the fusion equivalence suite).
+    ///
+    /// # Errors
+    /// Propagates [`ptsbe_tensornet::MpsError`].
+    pub fn new_with_fusion(
+        nc: &NoisyCircuit,
+        config: MpsConfig,
+        mode: MpsSampleMode,
+        fuse: bool,
+    ) -> Result<Self, ptsbe_tensornet::MpsError> {
         Ok(Self {
-            compiled: compile_mps(nc)?,
+            compiled: compile_mps_with(nc, fuse)?,
             config,
             mode,
         })
+    }
+
+    /// The compilation's fusion report (ops before/after, kernel-class
+    /// histogram).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.compiled.fusion_stats()
     }
 }
 

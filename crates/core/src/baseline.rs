@@ -40,6 +40,10 @@ pub fn baseline_one_sv<T: Scalar, R: Rng + ?Sized>(compiled: &Compiled<T>, rng: 
         match op {
             CompiledOp::G1(m, q) => sv.apply_1q(m, *q),
             CompiledOp::G2(m, a, b) => sv.apply_2q(m, *a, *b),
+            CompiledOp::D1(d, q) => sv.apply_diag_1q(d, *q),
+            CompiledOp::D2(d, a, b) => sv.apply_diag_2q(d, *a, *b),
+            CompiledOp::P1(p, ph, q) => sv.apply_perm_1q(p, ph, *q),
+            CompiledOp::P2(p, ph, a, b) => sv.apply_perm_2q(p, ph, *a, *b),
             CompiledOp::Cx(c, t) => sv.apply_cx(*c, *t),
             CompiledOp::Cz(a, b) => sv.apply_cz(*a, *b),
             CompiledOp::Swap(a, b) => sv.apply_swap(*a, *b),
@@ -100,6 +104,8 @@ pub fn baseline_one_mps<T: Scalar, R: Rng + ?Sized>(
         match op {
             MpsOp::G1(m, q) => mps.apply_1q(m, *q),
             MpsOp::G2(m, a, b) => mps.apply_2q(m, *a, *b),
+            MpsOp::U1(m, q) => mps.apply_unitary_1q(m, *q),
+            MpsOp::D1(d0, d1, q) => mps.apply_diag_1q(*d0, *d1, *q),
             MpsOp::Site(id) => {
                 let site = &compiled.sites()[*id];
                 let r = rng.next_f64();

@@ -30,7 +30,12 @@
 //! [`plan::PtsPlanTree`] (a trie over Kraus assignments) and preparing
 //! each shared prefix once, turning `O(trajectories × circuit_len)` gate
 //! work into `O(trie_edges)` while staying bitwise identical to the flat
-//! [`be::BatchedExecutor`].
+//! [`be::BatchedExecutor`]. Within each segment, backend compilation
+//! additionally runs the gate-fusion pass (`ptsbe_circuit::fusion`),
+//! collapsing adjacent-gate runs into classified ≤2-qubit kernels that
+//! every trajectory — and every executor — reuses; the per-compilation
+//! [`ptsbe_circuit::FusionStats`] report is the compile-time counterpart
+//! of the tree's `prep_ops_saved`.
 //!
 //! Every trajectory carries provenance metadata ([`assignment`]) — the
 //! error locations, Kraus indices, Pauli labels and joint probabilities —

@@ -61,6 +61,13 @@ impl<T: Scalar> Complex<T> {
         Self::new(T::from_f64(re), T::from_f64(im))
     }
 
+    /// Precision-convert a double-precision complex (the scalar analog of
+    /// [`crate::Matrix::from_f64_matrix`]).
+    #[inline]
+    pub fn from_f64_complex(z: Complex<f64>) -> Self {
+        Self::from_f64(z.re, z.im)
+    }
+
     /// `e^{i theta}` for a phase given in radians (as `f64`).
     #[inline]
     pub fn cis(theta: f64) -> Self {

@@ -233,19 +233,10 @@ mod tests {
         let mut sv = StateVector::from_amplitudes(amps);
         let nc = NoisyCircuit::from_circuit(enc.circuit.clone());
         let compiled = ptsbe_statevector::exec::compile::<f64>(&nc).unwrap();
-        // Run the encoder gates on the pre-loaded state.
-        for op in compiled.ops() {
-            use ptsbe_statevector::exec::CompiledOp;
-            match op {
-                CompiledOp::G1(m, q) => sv.apply_1q(m, *q),
-                CompiledOp::G2(m, a, b) => sv.apply_2q(m, *a, *b),
-                CompiledOp::Cx(c, t) => sv.apply_cx(*c, *t),
-                CompiledOp::Cz(a, b) => sv.apply_cz(*a, *b),
-                CompiledOp::Swap(a, b) => sv.apply_swap(*a, *b),
-                CompiledOp::Gk(m, qs) => sv.apply_kq(m, qs),
-                CompiledOp::Site(_) => unreachable!(),
-            }
-        }
+        // Run the encoder gates on the pre-loaded state: a pure circuit
+        // is one site-free segment, so a full-span advance applies every
+        // (fused) gate.
+        ptsbe_statevector::exec::advance(&compiled, &mut sv, 0..compiled.n_segments(), &[]);
         (sv, enc)
     }
 

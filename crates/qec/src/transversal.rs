@@ -227,18 +227,9 @@ mod tests {
     fn run_gates(sv: &mut StateVector<f64>, circuit: &Circuit) {
         let nc = NoisyCircuit::from_circuit(circuit.clone());
         let compiled = ptsbe_statevector::exec::compile::<f64>(&nc).unwrap();
-        for op in compiled.ops() {
-            use ptsbe_statevector::exec::CompiledOp;
-            match op {
-                CompiledOp::G1(m, q) => sv.apply_1q(m, *q),
-                CompiledOp::G2(m, a, b) => sv.apply_2q(m, *a, *b),
-                CompiledOp::Cx(c, t) => sv.apply_cx(*c, *t),
-                CompiledOp::Cz(a, b) => sv.apply_cz(*a, *b),
-                CompiledOp::Swap(a, b) => sv.apply_swap(*a, *b),
-                CompiledOp::Gk(m, qs) => sv.apply_kq(m, qs),
-                CompiledOp::Site(_) => unreachable!(),
-            }
-        }
+        // A pure circuit is one site-free segment: a full-span advance
+        // applies every (fused) gate to the pre-loaded state.
+        ptsbe_statevector::exec::advance(&compiled, sv, 0..compiled.n_segments(), &[]);
     }
 
     /// Encode `|ψ⟩` (1 block) and return the statevector.

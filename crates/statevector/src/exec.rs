@@ -7,8 +7,9 @@
 //! trajectories, eliminating the "redundant circuit recompilation" the
 //! paper's BE bullet calls out.
 
+use ptsbe_circuit::fusion::{self, FusedKernel, FusedOp, Fuser, FusionStats};
 use ptsbe_circuit::{ChannelKind, Circuit, NoisyCircuit, NoisyOp, Op};
-use ptsbe_math::{Matrix, Scalar};
+use ptsbe_math::{Complex, Matrix, Scalar};
 
 use crate::kraus::apply_kraus_normalized;
 use crate::state::StateVector;
@@ -46,13 +47,21 @@ pub enum CompiledOp<T: Scalar> {
     G1(Matrix<T>, usize),
     /// Dense 2-qubit matrix.
     G2(Matrix<T>, usize, usize),
-    /// CNOT permutation fast path.
+    /// Diagonal 1-qubit fused kernel (pure phase multiply).
+    D1([Complex<T>; 2], usize),
+    /// Diagonal 2-qubit fused kernel, gate basis `(bit_a << 1) | bit_b`.
+    D2([Complex<T>; 4], usize, usize),
+    /// 1-qubit permutation fused kernel: `out[r] = phase[r]·in[perm[r]]`.
+    P1([usize; 2], [Complex<T>; 2], usize),
+    /// 2-qubit permutation fused kernel, gate basis `(bit_a << 1) | bit_b`.
+    P2([usize; 4], [Complex<T>; 4], usize, usize),
+    /// CNOT permutation fast path (unfused lowering).
     Cx(usize, usize),
-    /// CZ diagonal fast path.
+    /// CZ diagonal fast path (unfused lowering).
     Cz(usize, usize),
-    /// SWAP permutation fast path.
+    /// SWAP permutation fast path (unfused lowering).
     Swap(usize, usize),
-    /// k-qubit dense matrix.
+    /// k-qubit dense matrix (k ≥ 3 gates pass through fusion unchanged).
     Gk(Matrix<T>, Vec<usize>),
     /// Noise site resolved through the trajectory assignment.
     Site(usize),
@@ -87,6 +96,8 @@ pub struct Compiled<T: Scalar> {
     measured: Vec<usize>,
     /// `seg_bounds[k]..seg_bounds[k + 1]` = op range of segment `k`.
     seg_bounds: Vec<usize>,
+    /// Fusion report (ops in/out per kernel class).
+    fusion_stats: FusionStats,
 }
 
 impl<T: Scalar> Compiled<T> {
@@ -116,28 +127,77 @@ impl<T: Scalar> Compiled<T> {
     pub fn n_segments(&self) -> usize {
         self.seg_bounds.len() - 1
     }
+    /// The fusion report for this compilation (all-passthrough when the
+    /// circuit was compiled unfused).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion_stats
+    }
 }
 
-/// Lower a noisy circuit for repeated fixed-assignment execution.
+/// Lower a noisy circuit for repeated fixed-assignment execution, fusing
+/// adjacent-gate runs within each segment (the default compilation every
+/// backend and executor shares; see [`compile_with`] for the unfused
+/// reference path).
 ///
 /// # Errors
 /// [`ExecError::MidCircuitMeasurement`] if any gate/noise op follows a
 /// measurement; [`ExecError::UnsupportedReset`] on reset ops.
 pub fn compile<T: Scalar>(nc: &NoisyCircuit) -> Result<Compiled<T>, ExecError> {
+    compile_with(nc, true)
+}
+
+/// Lower a noisy circuit with fusion explicitly on or off.
+///
+/// With `fuse = false` every gate is lowered individually (the reference
+/// pipeline the fusion equivalence suite compares against). With
+/// `fuse = true` runs of adjacent ≤2-qubit gates are merged by
+/// [`ptsbe_circuit::fusion::Fuser`] and classified into dense/diagonal/
+/// permutation kernels. Fusion never crosses a noise site: the fuser is
+/// flushed before every [`CompiledOp::Site`], so segment boundaries,
+/// Kraus branch points and Philox stream association are identical in
+/// both modes.
+///
+/// # Errors
+/// [`ExecError::MidCircuitMeasurement`] if any gate/noise op follows a
+/// measurement; [`ExecError::UnsupportedReset`] on reset ops.
+pub fn compile_with<T: Scalar>(nc: &NoisyCircuit, fuse: bool) -> Result<Compiled<T>, ExecError> {
     let mut ops = Vec::with_capacity(nc.ops().len());
     let mut measured = Vec::new();
     let mut seen_measure = false;
+    let mut fusion_stats = FusionStats::default();
+    let mut fuser = Fuser::new();
+    let flush = |ops: &mut Vec<CompiledOp<T>>, fuser: &mut Fuser, stats: &mut FusionStats| {
+        let (before, run) = fuser.finish();
+        stats.record_run(before, &run);
+        ops.extend(run.iter().map(lower_fused));
+    };
     for op in nc.ops() {
         match op {
             NoisyOp::Gate(g) => {
                 if seen_measure {
                     return Err(ExecError::MidCircuitMeasurement);
                 }
-                ops.push(lower_gate(g));
+                if fuse {
+                    if g.qubits.len() <= 2 {
+                        fuser.push(&g.gate.matrix::<f64>(), &g.qubits);
+                    } else {
+                        // Fusion barrier: flush, pass the k-qubit gate
+                        // through unchanged.
+                        flush(&mut ops, &mut fuser, &mut fusion_stats);
+                        fusion_stats.record_passthrough();
+                        ops.push(lower_gate(g));
+                    }
+                } else {
+                    fusion_stats.record_passthrough();
+                    ops.push(lower_gate(g));
+                }
             }
             NoisyOp::Site(id) => {
                 if seen_measure {
                     return Err(ExecError::MidCircuitMeasurement);
+                }
+                if fuse {
+                    flush(&mut ops, &mut fuser, &mut fusion_stats);
                 }
                 ops.push(CompiledOp::Site(*id));
             }
@@ -147,6 +207,9 @@ pub fn compile<T: Scalar>(nc: &NoisyCircuit) -> Result<Compiled<T>, ExecError> {
             }
             NoisyOp::Reset { .. } => return Err(ExecError::UnsupportedReset),
         }
+    }
+    if fuse {
+        flush(&mut ops, &mut fuser, &mut fusion_stats);
     }
     let sites = nc
         .sites()
@@ -196,6 +259,7 @@ pub fn compile<T: Scalar>(nc: &NoisyCircuit) -> Result<Compiled<T>, ExecError> {
         sites,
         measured,
         seg_bounds,
+        fusion_stats,
     })
 }
 
@@ -208,6 +272,80 @@ fn lower_gate<T: Scalar>(g: &ptsbe_circuit::GateOp) -> CompiledOp<T> {
         (gate, [q]) => CompiledOp::G1(gate.matrix(), *q),
         (gate, [a, b]) => CompiledOp::G2(gate.matrix(), *a, *b),
         (gate, qs) => CompiledOp::Gk(gate.matrix(), qs.to_vec()),
+    }
+}
+
+/// Lower one classified fused op to its specialized kernel at precision
+/// `T`.
+fn lower_fused<T: Scalar>(op: &FusedOp) -> CompiledOp<T> {
+    let m = &op.matrix;
+    match (op.kind, op.qubits.as_slice()) {
+        (FusedKernel::Diagonal, &[q]) => CompiledOp::D1(
+            [
+                Complex::from_f64_complex(m[(0, 0)]),
+                Complex::from_f64_complex(m[(1, 1)]),
+            ],
+            q,
+        ),
+        (FusedKernel::Diagonal, &[a, b]) => {
+            let d = [m[(0, 0)], m[(1, 1)], m[(2, 2)], m[(3, 3)]];
+            let one = Complex::<f64>::one();
+            // A fused op that is exactly CZ keeps the sign-flip fast
+            // path (touches 1/4 of the amplitudes, no multiplies).
+            if d[0] == one && d[1] == one && d[2] == one && d[3] == -one {
+                return CompiledOp::Cz(a, b);
+            }
+            CompiledOp::D2(
+                [
+                    Complex::from_f64_complex(d[0]),
+                    Complex::from_f64_complex(d[1]),
+                    Complex::from_f64_complex(d[2]),
+                    Complex::from_f64_complex(d[3]),
+                ],
+                a,
+                b,
+            )
+        }
+        (FusedKernel::Permutation, &[q]) => {
+            let (perm, phase) = fusion::permutation_form(m);
+            CompiledOp::P1(
+                [perm[0], perm[1]],
+                [
+                    Complex::from_f64_complex(phase[0]),
+                    Complex::from_f64_complex(phase[1]),
+                ],
+                q,
+            )
+        }
+        (FusedKernel::Permutation, &[a, b]) => {
+            let (perm, phase) = fusion::permutation_form(m);
+            // Phase-free permutations that are exactly CX/SWAP keep the
+            // arithmetic-free swap kernels (common when a segment holds
+            // a single entangler, e.g. under noise-on-every-gate models
+            // where fusion has nothing to merge).
+            if phase.iter().all(|p| *p == Complex::<f64>::one()) {
+                match perm.as_slice() {
+                    [0, 1, 3, 2] => return CompiledOp::Cx(a, b),
+                    [0, 3, 2, 1] => return CompiledOp::Cx(b, a),
+                    [0, 2, 1, 3] => return CompiledOp::Swap(a, b),
+                    _ => {}
+                }
+            }
+            CompiledOp::P2(
+                [perm[0], perm[1], perm[2], perm[3]],
+                [
+                    Complex::from_f64_complex(phase[0]),
+                    Complex::from_f64_complex(phase[1]),
+                    Complex::from_f64_complex(phase[2]),
+                    Complex::from_f64_complex(phase[3]),
+                ],
+                a,
+                b,
+            )
+        }
+        (FusedKernel::Dense, &[q]) => CompiledOp::G1(Matrix::from_f64_matrix(m), q),
+        (FusedKernel::Dense, &[a, b]) => CompiledOp::G2(Matrix::from_f64_matrix(m), a, b),
+        (_, qs) => unreachable!("fused ops are 1- or 2-qubit, got {}", qs.len()),
     }
 }
 
@@ -267,6 +405,10 @@ pub fn advance<T: Scalar>(
         match op {
             CompiledOp::G1(m, q) => sv.apply_1q(m, *q),
             CompiledOp::G2(m, a, b) => sv.apply_2q(m, *a, *b),
+            CompiledOp::D1(d, q) => sv.apply_diag_1q(d, *q),
+            CompiledOp::D2(d, a, b) => sv.apply_diag_2q(d, *a, *b),
+            CompiledOp::P1(p, ph, q) => sv.apply_perm_1q(p, ph, *q),
+            CompiledOp::P2(p, ph, a, b) => sv.apply_perm_2q(p, ph, *a, *b),
             CompiledOp::Cx(c, t) => sv.apply_cx(*c, *t),
             CompiledOp::Cz(a, b) => sv.apply_cz(*a, *b),
             CompiledOp::Swap(a, b) => sv.apply_swap(*a, *b),
@@ -427,12 +569,82 @@ mod tests {
 
     #[test]
     fn fast_paths_used_for_cliffords() {
+        // Unfused lowering keeps the named permutation fast paths…
         let nc = noisy_bell(0.0);
-        let compiled = compile::<f64>(&nc).unwrap();
-        assert!(compiled
+        let unfused = compile_with::<f64>(&nc, false).unwrap();
+        assert!(unfused
             .ops()
             .iter()
             .any(|op| matches!(op, CompiledOp::Cx(_, _))));
+        // …and so does the fused default: a lone CX in a segment (the
+        // saturated-noise case, where fusion has nothing to merge) must
+        // re-lower to the arithmetic-free swap kernel, not a generic P2.
+        let fused = compile::<f64>(&nc).unwrap();
+        let stats = fused.fusion_stats();
+        assert!(stats.ops_after <= stats.ops_before);
+        assert!(stats.dense + stats.diagonal + stats.permutation > 0);
+        assert!(fused
+            .ops()
+            .iter()
+            .any(|op| matches!(op, CompiledOp::Cx(_, _))));
+    }
+
+    #[test]
+    fn exact_clifford_fusions_keep_fast_paths() {
+        // cz and swap alone must round-trip through fusion back to their
+        // specialized kernels; cx composed with cx must vanish into a
+        // diagonal identity, not a dense 4x4.
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).measure_all();
+        let nc = NoisyCircuit::from_circuit(c);
+        let compiled = compile::<f64>(&nc).unwrap();
+        assert!(matches!(compiled.ops()[0], CompiledOp::Cz(0, 1)));
+
+        let mut c = Circuit::new(2);
+        c.swap(0, 1).measure_all();
+        let nc = NoisyCircuit::from_circuit(c);
+        let compiled = compile::<f64>(&nc).unwrap();
+        assert!(matches!(compiled.ops()[0], CompiledOp::Swap(0, 1)));
+
+        // cx(0,1) fused with cx(1,0) is a genuine permutation: stays P2.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0).measure_all();
+        let nc = NoisyCircuit::from_circuit(c);
+        let compiled = compile::<f64>(&nc).unwrap();
+        assert_eq!(compiled.ops().len(), 1);
+        assert!(matches!(compiled.ops()[0], CompiledOp::P2(_, _, _, _)));
+    }
+
+    #[test]
+    fn fusion_never_crosses_noise_sites() {
+        let nc = noisy_bell(0.1);
+        let fused = compile::<f64>(&nc).unwrap();
+        let unfused = compile_with::<f64>(&nc, false).unwrap();
+        // Same segment count and the same site sequence in op order.
+        assert_eq!(fused.n_segments(), unfused.n_segments());
+        let sites = |c: &Compiled<f64>| {
+            c.ops()
+                .iter()
+                .filter_map(|op| match op {
+                    CompiledOp::Site(id) => Some(*id),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sites(&fused), sites(&unfused));
+    }
+
+    #[test]
+    fn fused_and_unfused_states_agree() {
+        let nc = noisy_bell(0.2);
+        let fused = compile::<f64>(&nc).unwrap();
+        let unfused = compile_with::<f64>(&nc, false).unwrap();
+        let mut choices = nc.identity_assignment().unwrap();
+        choices[1] = 2;
+        let (a, pa) = prepare(&fused, &choices);
+        let (b, pb) = prepare(&unfused, &choices);
+        assert_eq!(pa.to_bits(), pb.to_bits(), "branch probs are exact");
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
     }
 
     #[test]

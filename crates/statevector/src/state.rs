@@ -224,6 +224,120 @@ impl<T: Scalar> StateVector<T> {
         }
     }
 
+    /// Diagonal single-qubit fast path: `amp[i] *= d[bit_q(i)]` — a pure
+    /// phase multiply, no amplitude movement or gather.
+    pub fn apply_diag_1q(&mut self, d: &[Complex<T>; 2], q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let mask = 1usize << q;
+        let (d0, d1) = (d[0], d[1]);
+        let kernel = move |(i, z): (usize, &mut Complex<T>)| {
+            *z *= if i & mask != 0 { d1 } else { d0 };
+        };
+        if self.use_parallel() {
+            self.amps.par_iter_mut().enumerate().for_each(kernel);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(kernel);
+        }
+    }
+
+    /// Diagonal two-qubit fast path; `d` is indexed in the gate basis
+    /// `(bit_a << 1) | bit_b`.
+    pub fn apply_diag_2q(&mut self, d: &[Complex<T>; 4], a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let d = *d;
+        let kernel = move |(i, z): (usize, &mut Complex<T>)| {
+            let idx = (((i >> a) & 1) << 1) | ((i >> b) & 1);
+            *z *= d[idx];
+        };
+        if self.use_parallel() {
+            self.amps.par_iter_mut().enumerate().for_each(kernel);
+        } else {
+            self.amps.iter_mut().enumerate().for_each(kernel);
+        }
+    }
+
+    /// Single-qubit permutation fast path:
+    /// `out[r] = phase[r] * in[perm[r]]` in the qubit's local basis — an
+    /// index shuffle with phases, one multiply per amplitude.
+    pub fn apply_perm_1q(&mut self, perm: &[usize; 2], phase: &[Complex<T>; 2], q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert!(perm[0] < 2 && perm[1] < 2);
+        let stride = 1usize << q;
+        let (perm, phase) = (*perm, *phase);
+        let kernel = move |chunk: &mut [Complex<T>]| {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let x = [*a0, *a1];
+                *a0 = phase[0] * x[perm[0]];
+                *a1 = phase[1] * x[perm[1]];
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * stride).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * stride).for_each(kernel);
+        }
+    }
+
+    /// Two-qubit permutation fast path; `perm`/`phase` are in the gate
+    /// basis `(bit_a << 1) | bit_b` with the semantics
+    /// `out[r] = phase[r] * in[perm[r]]`.
+    pub fn apply_perm_2q(
+        &mut self,
+        perm: &[usize; 4],
+        phase: &[Complex<T>; 4],
+        a: usize,
+        b: usize,
+    ) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        assert!(perm.iter().all(|&p| p < 4));
+        let qh = a.max(b);
+        let ql = a.min(b);
+        let sh = 1usize << qh;
+        let sl = 1usize << ql;
+        // Remap gate-basis perm/phase to local positions [hl] (h =
+        // high-qubit bit, l = low-qubit bit), mirroring `apply_2q`.
+        let pos_to_basis = |h: usize, l: usize| -> usize {
+            let bit_a = if a == qh { h } else { l };
+            let bit_b = if b == qh { h } else { l };
+            (bit_a << 1) | bit_b
+        };
+        let mut basis_to_pos = [0usize; 4];
+        for h in 0..2 {
+            for l in 0..2 {
+                basis_to_pos[pos_to_basis(h, l)] = (h << 1) | l;
+            }
+        }
+        let mut lperm = [0usize; 4];
+        let mut lphase = [Complex::<T>::zero(); 4];
+        for h in 0..2 {
+            for l in 0..2 {
+                let r_local = (h << 1) | l;
+                let r_gate = pos_to_basis(h, l);
+                lperm[r_local] = basis_to_pos[perm[r_gate]];
+                lphase[r_local] = phase[r_gate];
+            }
+        }
+        let kernel = move |chunk: &mut [Complex<T>]| {
+            let mut base = 0usize;
+            while base < sh {
+                for k in base..base + sl {
+                    let x = [chunk[k], chunk[k + sl], chunk[k + sh], chunk[k + sh + sl]];
+                    chunk[k] = lphase[0] * x[lperm[0]];
+                    chunk[k + sl] = lphase[1] * x[lperm[1]];
+                    chunk[k + sh] = lphase[2] * x[lperm[2]];
+                    chunk[k + sh + sl] = lphase[3] * x[lperm[3]];
+                }
+                base += 2 * sl;
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * sh).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh).for_each(kernel);
+        }
+    }
+
     /// CNOT fast path (pure permutation, no arithmetic).
     pub fn apply_cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n_qubits && target < self.n_qubits && control != target);
@@ -650,5 +764,154 @@ mod tests {
     fn qubit_bounds() {
         let mut sv = Sv::zero_state(2);
         sv.apply_1q(&gates::h(), 2);
+    }
+
+    // ----- fused kernel classes vs generic dense apply ------------------
+
+    /// A random (unnormalized-phase) state to exercise every amplitude.
+    fn random_state(n: usize, seed: u64) -> Sv {
+        let mut rng = ptsbe_rng::PhiloxRng::new(seed, 0);
+        let mut sv = Sv::zero_state(n);
+        for q in 0..n {
+            let u = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+            sv.apply_1q(&u, q);
+        }
+        for q in 0..n - 1 {
+            sv.apply_cx(q, q + 1);
+            sv.apply_1q(&gates::t(), q);
+        }
+        sv
+    }
+
+    fn assert_states_close(a: &Sv, b: &Sv, label: &str) {
+        for (i, (x, y)) in a.amps.iter().zip(&b.amps).enumerate() {
+            assert!((*x - *y).abs() < 1e-12, "{label}: amp {i} differs");
+        }
+    }
+
+    #[test]
+    fn diag_1q_matches_dense_including_edge_qubits() {
+        let n = 5;
+        for q in [0, 2, n - 1] {
+            let mut fast = random_state(n, 500 + q as u64);
+            let mut dense = fast.clone();
+            let d = [
+                ptsbe_math::Complex::cis(0.3),
+                ptsbe_math::Complex::cis(-1.1),
+            ];
+            let mut m = ptsbe_math::Matrix::<f64>::zeros(2, 2);
+            m[(0, 0)] = d[0];
+            m[(1, 1)] = d[1];
+            fast.apply_diag_1q(&d, q);
+            dense.apply_1q(&m, q);
+            assert_states_close(&fast, &dense, &format!("diag1 q={q}"));
+        }
+    }
+
+    #[test]
+    fn diag_2q_matches_dense_on_all_pairs() {
+        let n = 4;
+        // Includes non-adjacent pairs, both argument orders, and the
+        // top/bottom qubits.
+        for (a, b) in [(0usize, 1usize), (1, 0), (0, 3), (3, 0), (1, 3), (2, 1)] {
+            let mut fast = random_state(n, 600);
+            let mut dense = fast.clone();
+            let d = [
+                ptsbe_math::Complex::cis(0.2),
+                ptsbe_math::Complex::cis(1.7),
+                ptsbe_math::Complex::cis(-0.4),
+                ptsbe_math::Complex::cis(2.9),
+            ];
+            let mut m = ptsbe_math::Matrix::<f64>::zeros(4, 4);
+            for i in 0..4 {
+                m[(i, i)] = d[i];
+            }
+            fast.apply_diag_2q(&d, a, b);
+            dense.apply_2q(&m, a, b);
+            assert_states_close(&fast, &dense, &format!("diag2 a={a} b={b}"));
+        }
+    }
+
+    #[test]
+    fn perm_1q_matches_dense_including_edge_qubits() {
+        let n = 5;
+        // Y-like op: off-diagonal with phases.
+        let perm = [1usize, 0];
+        let phase = [
+            ptsbe_math::Complex::cis(0.9),
+            ptsbe_math::Complex::cis(-2.2),
+        ];
+        for q in [0, 3, n - 1] {
+            let mut fast = random_state(n, 700 + q as u64);
+            let mut dense = fast.clone();
+            let mut m = ptsbe_math::Matrix::<f64>::zeros(2, 2);
+            m[(0, perm[0])] = phase[0];
+            m[(1, perm[1])] = phase[1];
+            fast.apply_perm_1q(&perm, &phase, q);
+            dense.apply_1q(&m, q);
+            assert_states_close(&fast, &dense, &format!("perm1 q={q}"));
+        }
+    }
+
+    #[test]
+    fn perm_2q_matches_dense_on_all_pairs() {
+        let n = 4;
+        // A 4-cycle with phases: out[r] = phase[r] * in[perm[r]].
+        let perm = [2usize, 0, 3, 1];
+        let phase = [
+            ptsbe_math::Complex::cis(0.1),
+            ptsbe_math::Complex::cis(1.2),
+            ptsbe_math::Complex::cis(-0.7),
+            ptsbe_math::Complex::cis(2.4),
+        ];
+        let mut m = ptsbe_math::Matrix::<f64>::zeros(4, 4);
+        for r in 0..4 {
+            m[(r, perm[r])] = phase[r];
+        }
+        // Non-adjacent pairs, both argument orders, top/bottom qubits.
+        for (a, b) in [(0usize, 1usize), (1, 0), (0, 3), (3, 0), (2, 0), (1, 3)] {
+            let mut fast = random_state(n, 800);
+            let mut dense = fast.clone();
+            fast.apply_perm_2q(&perm, &phase, a, b);
+            dense.apply_2q(&m, a, b);
+            assert_states_close(&fast, &dense, &format!("perm2 a={a} b={b}"));
+        }
+    }
+
+    #[test]
+    fn fast_kernels_match_dense_above_parallel_threshold() {
+        // Cross PARALLEL_THRESHOLD_QUBITS so the rayon branches of the
+        // diagonal/permutation kernels are exercised too.
+        let n = crate::PARALLEL_THRESHOLD_QUBITS + 1;
+        let mut fast = Sv::zero_state(n);
+        for q in 0..n {
+            fast.apply_1q(&gates::h(), q);
+        }
+        let mut dense = fast.clone();
+        let d = [
+            ptsbe_math::Complex::cis(0.5),
+            ptsbe_math::Complex::cis(-0.8),
+        ];
+        let mut dm = ptsbe_math::Matrix::<f64>::zeros(2, 2);
+        dm[(0, 0)] = d[0];
+        dm[(1, 1)] = d[1];
+        fast.apply_diag_1q(&d, n - 1);
+        dense.apply_1q(&dm, n - 1);
+
+        let perm = [1usize, 0];
+        let phase = [ptsbe_math::Complex::one(), ptsbe_math::Complex::one()];
+        let mut pm = ptsbe_math::Matrix::<f64>::zeros(2, 2);
+        pm[(0, 1)] = phase[0];
+        pm[(1, 0)] = phase[1];
+        fast.apply_perm_1q(&perm, &phase, 0);
+        dense.apply_1q(&pm, 0);
+
+        let cx_perm = [0usize, 1, 3, 2];
+        let cx_phase = [ptsbe_math::Complex::one(); 4];
+        fast.apply_perm_2q(&cx_perm, &cx_phase, n - 1, 0);
+        dense.apply_2q(&gates::cx(), n - 1, 0);
+        for i in (0..1usize << n).step_by(127) {
+            assert!((fast.amps[i] - dense.amps[i]).abs() < 1e-12, "amp {i}");
+        }
     }
 }

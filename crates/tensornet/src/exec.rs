@@ -2,8 +2,9 @@
 //! `ptsbe_statevector::exec`).
 
 use crate::mps::{Mps, MpsConfig};
+use ptsbe_circuit::fusion::{FusedKernel, FusedOp, Fuser, FusionStats};
 use ptsbe_circuit::{ChannelKind, Gate, NoisyCircuit, NoisyOp};
-use ptsbe_math::{Matrix, Scalar};
+use ptsbe_math::{Complex, Matrix, Scalar};
 
 /// MPS execution failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,10 +34,15 @@ impl std::error::Error for MpsError {}
 /// One lowered MPS operation.
 #[derive(Clone, Debug)]
 pub enum MpsOp<T: Scalar> {
-    /// 1-qubit matrix.
+    /// 1-qubit matrix (general; may be non-unitary — pays a gauge move).
     G1(Matrix<T>, usize),
     /// 2-qubit matrix in gate-argument basis.
     G2(Matrix<T>, usize, usize),
+    /// Fused *unitary* 1-qubit matrix: applied in place, no gauge move.
+    U1(Matrix<T>, usize),
+    /// Fused diagonal unitary 1-qubit gate: slice scaling, no
+    /// contraction and no gauge move.
+    D1(Complex<T>, Complex<T>, usize),
     /// Noise site.
     Site(usize),
 }
@@ -68,6 +74,8 @@ pub struct MpsCompiled<T: Scalar> {
     measured: Vec<usize>,
     /// `seg_bounds[k]..seg_bounds[k + 1]` = op range of segment `k`.
     seg_bounds: Vec<usize>,
+    /// Fusion report (ops in/out per kernel class).
+    fusion_stats: FusionStats,
 }
 
 impl<T: Scalar> MpsCompiled<T> {
@@ -91,16 +99,44 @@ impl<T: Scalar> MpsCompiled<T> {
     pub fn n_segments(&self) -> usize {
         self.seg_bounds.len() - 1
     }
+    /// The fusion report for this compilation (all-passthrough when the
+    /// circuit was compiled unfused).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion_stats
+    }
 }
 
-/// Lower a noisy circuit for the MPS backend.
+/// Lower a noisy circuit for the MPS backend, fusing adjacent-gate runs
+/// within each segment (the default; see [`compile_mps_with`]).
 ///
 /// # Errors
 /// See [`MpsError`].
 pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsError> {
+    compile_mps_with(nc, true)
+}
+
+/// Lower a noisy circuit for the MPS backend with fusion explicitly on
+/// or off. Toffoli gates are first decomposed into the standard 2q + T
+/// network, whose pieces then feed the same fuser — so the decomposition
+/// overhead is largely fused back away. Fusion never crosses a noise
+/// site (the fuser is flushed before every [`MpsOp::Site`]).
+///
+/// # Errors
+/// See [`MpsError`].
+pub fn compile_mps_with<T: Scalar>(
+    nc: &NoisyCircuit,
+    fuse: bool,
+) -> Result<MpsCompiled<T>, MpsError> {
     let mut ops = Vec::with_capacity(nc.ops().len());
     let mut measured = Vec::new();
     let mut seen_measure = false;
+    let mut fusion_stats = FusionStats::default();
+    let mut fuser = Fuser::new();
+    let flush = |ops: &mut Vec<MpsOp<T>>, fuser: &mut Fuser, stats: &mut FusionStats| {
+        let (before, run) = fuser.finish();
+        stats.record_run(before, &run);
+        ops.extend(run.iter().map(lower_fused_mps));
+    };
     for op in nc.ops() {
         match op {
             NoisyOp::Gate(g) => {
@@ -108,12 +144,34 @@ pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsEr
                     return Err(MpsError::MidCircuitMeasurement);
                 }
                 match g.qubits.len() {
-                    1 => ops.push(MpsOp::G1(g.gate.matrix(), g.qubits[0])),
-                    2 => ops.push(MpsOp::G2(g.gate.matrix(), g.qubits[0], g.qubits[1])),
+                    1 if fuse => fuser.push(&g.gate.matrix::<f64>(), &g.qubits),
+                    2 if fuse => fuser.push(&g.gate.matrix::<f64>(), &g.qubits),
+                    1 => {
+                        fusion_stats.record_passthrough();
+                        ops.push(MpsOp::G1(g.gate.matrix(), g.qubits[0]));
+                    }
+                    2 => {
+                        fusion_stats.record_passthrough();
+                        ops.push(MpsOp::G2(g.gate.matrix(), g.qubits[0], g.qubits[1]));
+                    }
                     3 if matches!(g.gate, Gate::Ccx) => {
-                        // Decompose Toffoli into the standard 2q + T network.
-                        for step in toffoli_network::<T>(g.qubits[0], g.qubits[1], g.qubits[2]) {
-                            ops.push(step);
+                        // Decompose Toffoli into the standard 2q + T
+                        // network; the pieces feed the fuser like any
+                        // other gates.
+                        for step in toffoli_network::<f64>(g.qubits[0], g.qubits[1], g.qubits[2]) {
+                            match step {
+                                MpsOp::G1(m, q) if fuse => fuser.push(&m, &[q]),
+                                MpsOp::G2(m, a, b) if fuse => fuser.push(&m, &[a, b]),
+                                MpsOp::G1(m, q) => {
+                                    fusion_stats.record_passthrough();
+                                    ops.push(MpsOp::G1(Matrix::from_f64_matrix(&m), q));
+                                }
+                                MpsOp::G2(m, a, b) => {
+                                    fusion_stats.record_passthrough();
+                                    ops.push(MpsOp::G2(Matrix::from_f64_matrix(&m), a, b));
+                                }
+                                _ => unreachable!("toffoli network is gates only"),
+                            }
                         }
                     }
                     k => return Err(MpsError::UnsupportedArity(k)),
@@ -123,6 +181,9 @@ pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsEr
                 if seen_measure {
                     return Err(MpsError::MidCircuitMeasurement);
                 }
+                if fuse {
+                    flush(&mut ops, &mut fuser, &mut fusion_stats);
+                }
                 ops.push(MpsOp::Site(*id));
             }
             NoisyOp::Measure { qubits } => {
@@ -131,6 +192,9 @@ pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsEr
             }
             NoisyOp::Reset { .. } => return Err(MpsError::UnsupportedReset),
         }
+    }
+    if fuse {
+        flush(&mut ops, &mut fuser, &mut fusion_stats);
     }
     let sites = nc
         .sites()
@@ -176,7 +240,26 @@ pub fn compile_mps<T: Scalar>(nc: &NoisyCircuit) -> Result<MpsCompiled<T>, MpsEr
         sites,
         measured,
         seg_bounds,
+        fusion_stats,
     })
+}
+
+/// Lower one classified fused op onto the MPS kernel set: diagonal 1q →
+/// slice scaling, any other 1q → in-place unitary apply, 2q → dense
+/// two-site update (diagonal/permutation 2q ops still need the two-site
+/// contraction on MPS, so they stay dense here).
+fn lower_fused_mps<T: Scalar>(op: &FusedOp) -> MpsOp<T> {
+    let m = &op.matrix;
+    match (op.kind, op.qubits.as_slice()) {
+        (FusedKernel::Diagonal, &[q]) => MpsOp::D1(
+            Complex::from_f64_complex(m[(0, 0)]),
+            Complex::from_f64_complex(m[(1, 1)]),
+            q,
+        ),
+        (_, &[q]) => MpsOp::U1(Matrix::from_f64_matrix(m), q),
+        (_, &[a, b]) => MpsOp::G2(Matrix::from_f64_matrix(m), a, b),
+        (_, qs) => unreachable!("fused ops are 1- or 2-qubit, got {}", qs.len()),
+    }
 }
 
 /// Standard 6-CNOT Toffoli decomposition.
@@ -256,6 +339,8 @@ pub fn advance_mps<T: Scalar>(
         match op {
             MpsOp::G1(m, q) => mps.apply_1q(m, *q),
             MpsOp::G2(m, a, b) => mps.apply_2q(m, *a, *b),
+            MpsOp::U1(m, q) => mps.apply_unitary_1q(m, *q),
+            MpsOp::D1(d0, d1, q) => mps.apply_diag_1q(*d0, *d1, *q),
             MpsOp::Site(id) => {
                 let site = &compiled.sites[*id];
                 let k = choices[*id];
@@ -316,6 +401,36 @@ mod tests {
             assert!((a - b).abs() < 1e-10);
         }
         assert!((p - 0.9f64.powi(nc.n_sites() as i32)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f32_fused_compile_executes() {
+        // Regression guard: fused f64 matrices converted to f32 deviate
+        // from exact unitarity by well over f64 tolerances; the fast-path
+        // debug_asserts must scale with the precision, not panic.
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .t(0)
+            .rz(1, 0.4)
+            .s(1)
+            .cx(0, 1)
+            .x(2)
+            .cx(1, 2)
+            .measure_all();
+        let nc = NoiseModel::new()
+            .with_default_2q(channels::depolarizing2(0.05))
+            .apply(&c);
+        let compiled = compile_mps::<f32>(&nc).unwrap();
+        assert!(compiled.fusion_stats().ops_after < compiled.fusion_stats().ops_before);
+        let ident = nc.identity_assignment().unwrap();
+        let (mps, _) = prepare_mps(&compiled, &ident, exact());
+        let compiled64 = compile_mps::<f64>(&nc).unwrap();
+        let (mps64, _) = prepare_mps(&compiled64, &ident, exact());
+        for bits in 0..8u128 {
+            let a = f64::from(mps.amplitude(bits).norm_sqr());
+            let b = mps64.amplitude(bits).norm_sqr();
+            assert!((a - b).abs() < 1e-5, "bits {bits}");
+        }
     }
 
     #[test]

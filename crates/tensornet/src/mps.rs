@@ -147,6 +147,46 @@ impl<T: Scalar> Mps<T> {
         self.tensors[q].apply_phys(m);
     }
 
+    /// Debug-assert slack for "is this a unitary?" routing checks: far
+    /// above `T::tol()` and long-run accumulated `Gate::unitary1`
+    /// admission error (1e-9 each), far below a misrouted Kraus branch's
+    /// O(1) deviation.
+    fn unitarity_slack() -> T {
+        T::from_f64(1e-6).max(T::tol() * T::from_f64(100.0))
+    }
+
+    /// Apply a *unitary* single-qubit gate at site `q` without moving the
+    /// orthogonality center: a unitary on the physical leg preserves
+    /// left/right canonical form (`Σ_p B_p†B_p = Σ_p A_p†(m†m)A_p = I`),
+    /// so the gauge sweep [`Mps::apply_1q`] pays for non-unitary inputs
+    /// is unnecessary. This is the MPS fast path the fused gate stream
+    /// rides: fused gates are products of unitaries, hence unitary.
+    pub fn apply_unitary_1q(&mut self, m: &Matrix<T>, q: usize) {
+        assert!(q < self.n_qubits());
+        // Routing sanity check, not a precision gate: Gate::unitary1
+        // admits matrices up to 1e-9 from unitary and the fuser multiplies
+        // runs of them, so the bound must sit well above accumulated
+        // admission error while still catching a misrouted Kraus branch
+        // (those deviate O(1)).
+        debug_assert!(
+            m.is_unitary(Self::unitarity_slack()),
+            "gate must be unitary"
+        );
+        self.tensors[q].apply_phys(m);
+    }
+
+    /// Apply a diagonal unitary `diag(d0, d1)` at site `q`: scales the
+    /// two physical slices in place — no gauge moves, no contraction.
+    pub fn apply_diag_1q(&mut self, d0: Complex<T>, d1: Complex<T>, q: usize) {
+        assert!(q < self.n_qubits());
+        debug_assert!(
+            (d0.norm_sqr() - T::ONE).abs() < Self::unitarity_slack()
+                && (d1.norm_sqr() - T::ONE).abs() < Self::unitarity_slack(),
+            "diagonal must be unitary to preserve the canonical gauge"
+        );
+        self.tensors[q].scale_phys(d0, d1);
+    }
+
     /// Apply a two-qubit gate on sites `(a, b)`; non-adjacent pairs are
     /// routed through SWAP chains. Matrix basis is `(bit_a << 1) | bit_b`.
     pub fn apply_2q(&mut self, m: &Matrix<T>, a: usize, b: usize) {
@@ -632,6 +672,60 @@ mod tests {
         assert!((p - gamma / 2.0).abs() < 1e-10);
         assert!((mps.norm_sqr() - 1.0).abs() < 1e-10);
         assert!((mps.amplitude(0).norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unitary_1q_fast_path_matches_gauge_moving_apply() {
+        // Entangle first so every bond is non-trivial, then apply a gate
+        // far from the center via both paths.
+        let build = || {
+            let mut m = Mps::<f64>::zero_state(4, exact());
+            m.apply_1q(&gates::h(), 0);
+            m.apply_2q(&gates::cx(), 0, 1);
+            m.apply_2q(&gates::cx(), 1, 2);
+            m.apply_2q(&gates::cx(), 2, 3);
+            m.move_center(0);
+            m
+        };
+        let mut fast = build();
+        let mut slow = build();
+        fast.apply_unitary_1q(&gates::sx(), 3);
+        slow.apply_1q(&gates::sx(), 3);
+        for bits in 0..16u128 {
+            let d = (fast.amplitude(bits) - slow.amplitude(bits)).abs();
+            assert!(d < 1e-10, "amp {bits} differs by {d}");
+        }
+        // The fast path must not have moved the center.
+        assert_eq!(fast.center(), 0);
+        // Canonical gauge preserved: a subsequent 2q+SVD pass stays
+        // consistent with the statevector oracle.
+        fast.apply_2q(&gates::cx(), 3, 0);
+        slow.apply_2q(&gates::cx(), 3, 0);
+        for bits in 0..16u128 {
+            assert!((fast.amplitude(bits) - slow.amplitude(bits)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn diag_1q_fast_path_matches_dense() {
+        let mut fast = Mps::<f64>::zero_state(3, exact());
+        let mut slow = fast.clone();
+        for m in [&mut fast, &mut slow] {
+            m.apply_1q(&gates::h(), 0);
+            m.apply_2q(&gates::cx(), 0, 1);
+            m.apply_2q(&gates::cx(), 1, 2);
+        }
+        let d0 = Complex::cis(0.4);
+        let d1 = Complex::cis(-1.3);
+        let mut dm = Matrix::<f64>::zeros(2, 2);
+        dm[(0, 0)] = d0;
+        dm[(1, 1)] = d1;
+        fast.apply_diag_1q(d0, d1, 1);
+        slow.apply_1q(&dm, 1);
+        for bits in 0..8u128 {
+            assert!((fast.amplitude(bits) - slow.amplitude(bits)).abs() < 1e-10);
+        }
+        assert!((fast.norm_sqr() - 1.0).abs() < 1e-10);
     }
 
     #[test]

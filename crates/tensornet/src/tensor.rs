@@ -104,6 +104,17 @@ impl<T: Scalar> Tensor3<T> {
         }
     }
 
+    /// Scale the two physical slices by `d0`/`d1` (a diagonal gate on the
+    /// physical index — one multiply per entry, no gather).
+    pub fn scale_phys(&mut self, d0: Complex<T>, d1: Complex<T>) {
+        for l in 0..self.dl {
+            for r in 0..self.dr {
+                self.set(l, 0, r, d0 * self.get(l, 0, r));
+                self.set(l, 1, r, d1 * self.get(l, 1, r));
+            }
+        }
+    }
+
     /// Squared Frobenius norm.
     pub fn norm_sqr(&self) -> T {
         self.data

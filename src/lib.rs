@@ -42,7 +42,9 @@ pub use ptsbe_tensornet as tensornet;
 
 /// The commonly used names in one import.
 pub mod prelude {
-    pub use ptsbe_circuit::{channels, Circuit, Gate, KrausChannel, NoiseModel, NoisyCircuit};
+    pub use ptsbe_circuit::{
+        channels, Circuit, FusedKernel, FusionStats, Gate, KrausChannel, NoiseModel, NoisyCircuit,
+    };
     pub use ptsbe_core::baseline::{run_baseline_mps, run_baseline_sv};
     pub use ptsbe_core::{
         backend::MpsSampleMode, estimators, stats, BandPts, BatchedExecutor, ExhaustivePts,

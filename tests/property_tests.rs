@@ -1,7 +1,9 @@
 //! Property-based tests over the PTSBE invariants (proptest).
 
 use proptest::prelude::*;
+use ptsbe::circuit::fusion::{self, FusedKernel};
 use ptsbe::core::stats::{histogram, tvd};
+use ptsbe::math::Matrix;
 use ptsbe::prelude::*;
 
 /// Random small noisy circuit strategy: (n_qubits, gate recipe, noise p).
@@ -188,5 +190,196 @@ proptest! {
             Ok(())
         }
         walk(&tree, &plan, tree.root(), &mut Vec::new())?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gate-fusion invariants
+
+use ptsbe::circuit::fusion::compose_ops as compose;
+
+/// Gate-sequence strategy spanning every kernel class: diagonal (t/rz/
+/// s/cz), permutation (x/y/cx/swap) and dense (h/sx/ry) content.
+fn gate_seq_strategy() -> impl Strategy<Value = (usize, Vec<(u8, usize, usize, i32)>)> {
+    (2usize..4).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0u8..10, 0..n, 0..n, -3i32..4), 1..24),
+        )
+    })
+}
+
+/// Materialize one recipe entry as (matrix, qubits); `None` for a
+/// degenerate 2q pick with `a == b`.
+fn gate_from_recipe(kind: u8, a: usize, b: usize, arg: i32) -> Option<(Matrix<f64>, Vec<usize>)> {
+    use ptsbe::math::gates;
+    let theta = 0.25 + arg as f64 * 0.4;
+    Some(match kind {
+        0 => (gates::h(), vec![a]),
+        1 => (gates::t(), vec![a]),
+        2 => (gates::rz(theta), vec![a]),
+        3 => (gates::x(), vec![a]),
+        4 => (gates::y(), vec![a]),
+        5 => (gates::sx(), vec![a]),
+        6 if a != b => (gates::cx(), vec![a, b]),
+        7 if a != b => (gates::cz(), vec![a, b]),
+        8 if a != b => (gates::swap(), vec![a, b]),
+        9 => (gates::ry(theta), vec![a]),
+        _ => return None,
+    })
+}
+
+/// One segmented-recipe token: `(is_site, gate kind, qubit a, qubit b,
+/// angle knob)`.
+type SegToken = (bool, u8, usize, usize, i32);
+
+/// Circuit-with-sites strategy for the fusion/segment-boundary property:
+/// interleaves gates (from [`gate_seq_strategy`]'s alphabet) with noise
+/// sites at proptest-chosen (and shrinkable) positions.
+fn segmented_recipe_strategy() -> impl Strategy<Value = (usize, Vec<SegToken>)> {
+    (2usize..4).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((prop::bool::ANY, 0u8..10, 0..n, 0..n, -3i32..4), 1..20),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fused op list composes to the same full-space unitary as the
+    /// unfused gate sequence, for random sequences exercising all three
+    /// kernel classes.
+    #[test]
+    fn fused_stream_composes_to_same_unitary((n, recipe) in gate_seq_strategy()) {
+        let gates: Vec<(Matrix<f64>, Vec<usize>)> = recipe
+            .iter()
+            .filter_map(|&(k, a, b, arg)| gate_from_recipe(k, a, b, arg))
+            .collect();
+        prop_assume!(!gates.is_empty());
+        let fused = fusion::fuse_run(gates.iter().map(|(m, q)| (m, q.as_slice())));
+        prop_assert!(fused.len() <= gates.len());
+        for op in &fused {
+            // Classification must describe the stored matrix exactly.
+            prop_assert_eq!(fusion::classify(&op.matrix), op.kind);
+            if op.kind != FusedKernel::Dense {
+                let (perm, phase) = fusion::permutation_form(&op.matrix);
+                prop_assert_eq!(perm.len(), op.matrix.rows());
+                prop_assert_eq!(phase.len(), op.matrix.rows());
+            }
+        }
+        let fused_ops: Vec<_> = fused
+            .iter()
+            .map(|f| (f.matrix.clone(), f.qubits.clone()))
+            .collect();
+        let a = compose(n, &gates);
+        let b = compose(n, &fused_ops);
+        let d = a.max_abs_diff(&b);
+        prop_assert!(d < 1e-12, "fused unitary diverged by {d}");
+    }
+
+    /// Fusion never crosses a noise site: the fused compilation has the
+    /// same segment structure as the unfused one, and segment-by-segment
+    /// the fused gate stream composes to the unfused segment unitary.
+    /// The generator shrinks toward fewer ops and fewer/earlier sites.
+    #[test]
+    fn fusion_respects_segment_boundaries((n, recipe) in segmented_recipe_strategy()) {
+        use ptsbe::statevector::exec::{self as sv_exec, CompiledOp};
+        let mut c = Circuit::new(n);
+        let channel = std::sync::Arc::new(channels::depolarizing(0.1));
+        let mut any_gate = false;
+        for &(is_site, kind, a, b, arg) in &recipe {
+            if is_site {
+                c.noise(std::sync::Arc::clone(&channel), &[a]);
+            } else if let Some((m, qs)) = gate_from_recipe(kind, a, b, arg) {
+                // Route through the Unitary escape hatches so arbitrary
+                // matrices survive the circuit IR round-trip.
+                match qs.as_slice() {
+                    [q] => { c.unitary1(m, *q); }
+                    [x, y] => { c.unitary2(m, *x, *y); }
+                    _ => unreachable!(),
+                }
+                any_gate = true;
+            }
+        }
+        prop_assume!(any_gate);
+        c.measure_all();
+        let nc = NoisyCircuit::from_circuit(c);
+        let fused = sv_exec::compile::<f64>(&nc).unwrap();
+        let unfused = sv_exec::compile_with::<f64>(&nc, false).unwrap();
+        prop_assert_eq!(fused.n_segments(), unfused.n_segments());
+        prop_assert_eq!(fused.n_segments(), nc.n_sites() + 1);
+
+        // Split both op streams at their Site markers and compare the
+        // composed unitary of every segment.
+        type Segment = (Vec<(Matrix<f64>, Vec<usize>)>, Option<usize>);
+        fn segments(ops: &[CompiledOp<f64>]) -> Vec<Segment> {
+            let mut out = Vec::new();
+            let mut cur = Vec::new();
+            for op in ops {
+                match op {
+                    CompiledOp::Site(id) => {
+                        out.push((std::mem::take(&mut cur), Some(*id)));
+                    }
+                    other => cur.push(op_matrix(other)),
+                }
+            }
+            out.push((cur, None));
+            out
+        }
+        fn op_matrix(op: &CompiledOp<f64>) -> (Matrix<f64>, Vec<usize>) {
+            use ptsbe::math::gates;
+            match op {
+                CompiledOp::G1(m, q) => (m.clone(), vec![*q]),
+                CompiledOp::G2(m, a, b) => (m.clone(), vec![*a, *b]),
+                CompiledOp::Gk(m, qs) => (m.clone(), qs.clone()),
+                CompiledOp::Cx(a, b) => (gates::cx(), vec![*a, *b]),
+                CompiledOp::Cz(a, b) => (gates::cz(), vec![*a, *b]),
+                CompiledOp::Swap(a, b) => (gates::swap(), vec![*a, *b]),
+                CompiledOp::D1(d, q) => {
+                    let mut m = Matrix::zeros(2, 2);
+                    m[(0, 0)] = d[0];
+                    m[(1, 1)] = d[1];
+                    (m, vec![*q])
+                }
+                CompiledOp::D2(d, a, b) => {
+                    let mut m = Matrix::zeros(4, 4);
+                    for i in 0..4 {
+                        m[(i, i)] = d[i];
+                    }
+                    (m, vec![*a, *b])
+                }
+                CompiledOp::P1(p, ph, q) => {
+                    let mut m = Matrix::zeros(2, 2);
+                    for r in 0..2 {
+                        m[(r, p[r])] = ph[r];
+                    }
+                    (m, vec![*q])
+                }
+                CompiledOp::P2(p, ph, a, b) => {
+                    let mut m = Matrix::zeros(4, 4);
+                    for r in 0..4 {
+                        m[(r, p[r])] = ph[r];
+                    }
+                    (m, vec![*a, *b])
+                }
+                CompiledOp::Site(_) => unreachable!("sites handled above"),
+            }
+        }
+        let segs_f = segments(fused.ops());
+        let segs_u = segments(unfused.ops());
+        prop_assert_eq!(segs_f.len(), segs_u.len());
+        for (k, ((ops_f, site_f), (ops_u, site_u))) in
+            segs_f.into_iter().zip(segs_u).enumerate()
+        {
+            // Identical site sequence: the Kraus branch points (and with
+            // them Philox stream association) are untouched by fusion.
+            prop_assert_eq!(site_f, site_u, "segment {} fires a different site", k);
+            let a = compose(n, &ops_f);
+            let b = compose(n, &ops_u);
+            let d = a.max_abs_diff(&b);
+            prop_assert!(d < 1e-12, "segment {k} unitary diverged by {d}");
+        }
     }
 }

