@@ -1,9 +1,10 @@
 //! Statevector gate-kernel microbenchmarks: dense 1q/2q application vs.
-//! the permutation fast paths, f32 vs. f64.
+//! the permutation fast paths, f32 vs. f64, and the batch-major lane
+//! sweeps against an equal number of per-state sweeps.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ptsbe_math::gates;
-use ptsbe_statevector::StateVector;
+use ptsbe_statevector::{StateBatch, StateVector};
 use std::hint::black_box;
 
 fn bench_gates(c: &mut Criterion) {
@@ -42,5 +43,54 @@ fn bench_gates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gates);
+/// Batch-major lane sweep vs. the same op applied to `B` separate
+/// states: the constant-factor the amplitude-major layout buys.
+fn bench_batch_vs_per_state(c: &mut Criterion) {
+    let n = 10;
+    let b = 8;
+    let mut group = c.benchmark_group("batch_vs_per_state_n10x8");
+    group.sample_size(20);
+
+    let h = gates::h::<f64>();
+    let cx_mat = gates::cx::<f64>();
+    group.bench_function("per_state_1q", |bch| {
+        let mut svs: Vec<StateVector<f64>> = (0..b).map(|_| StateVector::zero_state(n)).collect();
+        bch.iter(|| {
+            for s in svs.iter_mut() {
+                s.apply_1q(black_box(&h), 4);
+            }
+        });
+    });
+    group.bench_function("batch_1q", |bch| {
+        let mut batch = StateBatch::<f64>::zero_states(n, b);
+        bch.iter(|| batch.apply_1q(black_box(&h), 4));
+    });
+    group.bench_function("per_state_2q_dense", |bch| {
+        let mut svs: Vec<StateVector<f64>> = (0..b).map(|_| StateVector::zero_state(n)).collect();
+        bch.iter(|| {
+            for s in svs.iter_mut() {
+                s.apply_2q(black_box(&cx_mat), 2, 7);
+            }
+        });
+    });
+    group.bench_function("batch_2q_dense", |bch| {
+        let mut batch = StateBatch::<f64>::zero_states(n, b);
+        bch.iter(|| batch.apply_2q(black_box(&cx_mat), 2, 7));
+    });
+    group.bench_function("per_state_cx", |bch| {
+        let mut svs: Vec<StateVector<f64>> = (0..b).map(|_| StateVector::zero_state(n)).collect();
+        bch.iter(|| {
+            for s in svs.iter_mut() {
+                s.apply_cx(black_box(2), 7);
+            }
+        });
+    });
+    group.bench_function("batch_cx", |bch| {
+        let mut batch = StateBatch::<f64>::zero_states(n, b);
+        bch.iter(|| batch.apply_cx(black_box(2), 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates, bench_batch_vs_per_state);
 criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! PR 3 perf snapshot: flat vs. prefix-tree vs. batch-major execution on
+//! the fig4-style entangler-noise workload, written as machine-readable
+//! JSON (`BENCH_pr3.json` at the repo root) so later PRs have a perf
+//! trajectory to diff against.
+//!
+//! Quick mode by default (a few seconds; CI runs it in the release job).
+//! Knobs: `PTSBE_PR3_QUBITS`, `PTSBE_PR3_DEPTH`, `PTSBE_PR3_TRAJ`,
+//! `PTSBE_PR3_SHOTS`, `PTSBE_PR3_REPS`, `PTSBE_PR3_LANES`, and
+//! `PTSBE_PR3_OUT` for the output path.
+//!
+//! Before timing, the three executors' outputs are checked bitwise
+//! identical — a run that drifted would be measuring different work.
+
+use ptsbe_bench::{env_usize, msd_like, time_best, with_entangler_depolarizing};
+use ptsbe_core::{
+    BatchMajorExecutor, BatchResult, BatchedExecutor, ProbabilisticPts, PtsPlanTree, PtsSampler,
+    StatePool, SvBackend, TreeExecutor,
+};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::SamplingStrategy;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn assert_identical(a: &BatchResult, b: &BatchResult, label: &str) {
+    assert_eq!(a.trajectories.len(), b.trajectories.len(), "{label}");
+    for (x, y) in a.trajectories.iter().zip(&b.trajectories) {
+        assert_eq!(
+            x.meta.realized_prob.to_bits(),
+            y.meta.realized_prob.to_bits(),
+            "{label}: realized probability drifted"
+        );
+        assert_eq!(x.shots, y.shots, "{label}: shots drifted");
+    }
+}
+
+fn main() {
+    let n = env_usize("PTSBE_PR3_QUBITS", 10);
+    let depth = env_usize("PTSBE_PR3_DEPTH", 10);
+    let n_traj = env_usize("PTSBE_PR3_TRAJ", 200);
+    let shots = env_usize("PTSBE_PR3_SHOTS", 20);
+    let reps = env_usize("PTSBE_PR3_REPS", 3);
+    let lanes = match env_usize("PTSBE_PR3_LANES", 0) {
+        0 => BatchMajorExecutor::auto_lanes((1usize << n) * std::mem::size_of::<[f64; 2]>()),
+        l => l,
+    };
+    let out_path = std::env::var("PTSBE_PR3_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
+    let p = 1e-3;
+
+    // Fig4-style workload: MSD-like magic-state layers, depolarizing
+    // noise on the entanglers only (1q runs between sites fuse away).
+    let circuit = msd_like(n, depth);
+    let nc = with_entangler_depolarizing(&circuit, p);
+    let mut rng = PhiloxRng::new(0x9123, 0);
+    // dedup off: every sampled Kraus set is its own preparation — the
+    // execution-bound regime batching targets (deduped plans collapse to
+    // a handful of preparations at p = 1e-3 and the run becomes
+    // sampling-bound, which would benchmark the sampler instead).
+    let plan = ProbabilisticPts {
+        n_samples: n_traj,
+        shots_per_trajectory: shots,
+        dedup: false,
+    }
+    .sample_plan(&nc, &mut rng);
+    let tree = PtsPlanTree::from_plan(&plan);
+    let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+    let ops_per_traj = backend.compiled().ops().len();
+    let total_ops = ops_per_traj * plan.n_trajectories();
+
+    let flat_exec = BatchedExecutor {
+        seed: 3,
+        parallel: false,
+    };
+    let tree_exec = TreeExecutor {
+        seed: 3,
+        parallel: false,
+    };
+    let batch_exec = BatchMajorExecutor {
+        seed: 3,
+        parallel: false,
+        lanes,
+    };
+
+    // Cross-path guard: all three must produce identical bitstreams.
+    let reference = flat_exec.execute(&backend, &nc, &plan);
+    assert_identical(
+        &tree_exec.execute_tree(&backend, &nc, &plan, &tree),
+        &reference,
+        "tree vs flat",
+    );
+    assert_identical(
+        &batch_exec.execute(&backend, &nc, &plan),
+        &reference,
+        "batch-major vs flat",
+    );
+
+    let (_, flat_t) = time_best(reps, || {
+        black_box(flat_exec.execute(black_box(&backend), &nc, &plan))
+    });
+    // One dedicated cold run records the warm-up fork counters, then the
+    // timed reps reuse the SAME (now warm) pool — so the "warm" counters
+    // below are the delta past the cold run and prove the steady-state
+    // walk allocates nothing.
+    let pool = StatePool::new();
+    tree_exec.execute_tree_pooled(&backend, &nc, &plan, &tree, &pool);
+    let cold_stats = pool.stats();
+    let (_, tree_t) = time_best(reps, || {
+        black_box(tree_exec.execute_tree_pooled(black_box(&backend), &nc, &plan, &tree, &pool))
+    });
+    let warm_recycled = pool.stats().recycled - cold_stats.recycled;
+    let warm_fresh = pool.stats().fresh - cold_stats.fresh;
+    let (_, batch_t) = time_best(reps, || {
+        black_box(batch_exec.execute(black_box(&backend), &nc, &plan))
+    });
+
+    let ns_per_op = |d: std::time::Duration| d.as_nanos() as f64 / total_ops as f64;
+    let flat_ns = flat_t.as_nanos() as f64;
+    let tree_ns = tree_t.as_nanos() as f64;
+    let batch_ns = batch_t.as_nanos() as f64;
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"pr\": 3,\n",
+            "  \"bench\": \"flat_vs_tree_vs_batch_major\",\n",
+            "  \"workload\": {{\n",
+            "    \"kind\": \"fig4_msd_like_entangler_depolarizing\",\n",
+            "    \"n_qubits\": {n}, \"depth\": {depth}, \"p\": {p},\n",
+            "    \"trajectories\": {traj}, \"shots_per_trajectory\": {shots},\n",
+            "    \"compiled_ops_per_trajectory\": {opt}, \"n_sites\": {sites}\n",
+            "  }},\n",
+            "  \"flat\": {{ \"wall_ns\": {fw:.0}, \"ns_per_op\": {fo:.2} }},\n",
+            "  \"tree\": {{\n",
+            "    \"wall_ns\": {tw:.0}, \"ns_per_op\": {to:.2}, \"speedup_vs_flat\": {ts:.3},\n",
+            "    \"prep_ops_saved\": {saved}, \"sharing_ratio\": {share:.4},\n",
+            "    \"fork_counters_cold\": {{ \"recycled\": {cr}, \"fresh\": {cf}, ",
+            "\"released\": {crel}, \"high_water\": {chw} }},\n",
+            "    \"fork_counters_warm\": {{ \"recycled\": {wr}, \"fresh\": {wf} }}\n",
+            "  }},\n",
+            "  \"batch_major\": {{\n",
+            "    \"wall_ns\": {bw:.0}, \"ns_per_op\": {bo:.2}, \"speedup_vs_flat\": {bs:.3},\n",
+            "    \"lanes\": {lanes}\n",
+            "  }},\n",
+            "  \"bitwise_identical_across_paths\": true\n",
+            "}}\n"
+        ),
+        n = n,
+        depth = depth,
+        p = p,
+        traj = plan.n_trajectories(),
+        shots = shots,
+        opt = ops_per_traj,
+        sites = nc.n_sites(),
+        fw = flat_ns,
+        fo = ns_per_op(flat_t),
+        tw = tree_ns,
+        to = ns_per_op(tree_t),
+        ts = flat_ns / tree_ns,
+        saved = tree.prep_ops_saved(),
+        share = tree.sharing_ratio(),
+        cr = cold_stats.recycled,
+        cf = cold_stats.fresh,
+        crel = cold_stats.released,
+        chw = cold_stats.high_water,
+        wr = warm_recycled,
+        wf = warm_fresh,
+        bw = batch_ns,
+        bo = ns_per_op(batch_t),
+        bs = flat_ns / batch_ns,
+        lanes = lanes,
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    println!("# wrote {out_path}");
+    println!(
+        "# flat {:.1} ms | tree {:.1} ms ({:.2}x) | batch-major {:.1} ms ({:.2}x, {lanes} lanes)",
+        flat_ns / 1e6,
+        tree_ns / 1e6,
+        flat_ns / tree_ns,
+        batch_ns / 1e6,
+        flat_ns / batch_ns,
+    );
+}

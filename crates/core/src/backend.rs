@@ -26,6 +26,7 @@
 //! association). [`Backend::prepare`] is provided as the degenerate
 //! single-span path over this API.
 
+use crate::pool::StatePool;
 use ptsbe_circuit::{FusionStats, NoisyCircuit};
 use ptsbe_math::Scalar;
 use ptsbe_rng::Rng;
@@ -60,6 +61,36 @@ pub trait Backend: Sync {
 
     /// Duplicate a state at a branch point of the trajectory tree.
     fn fork(&self, state: &Self::State) -> Self::State;
+
+    /// Copy `src` into `dst`, reusing `dst`'s buffers where its
+    /// allocations allow. `dst` may hold arbitrary stale contents; after
+    /// the call it must be indistinguishable — bitwise — from
+    /// [`Backend::fork`]`(src)`. The default discards `dst`'s buffers and
+    /// clones (today's semantics); backends override it to make pooled
+    /// forking allocation-free.
+    fn fork_into(&self, src: &Self::State, dst: &mut Self::State) {
+        *dst = self.fork(src);
+    }
+
+    /// Fork `state`, drawing the destination's buffers from `pool` when
+    /// it has a released state to recycle (falls back to a plain
+    /// allocating [`Backend::fork`] on an empty pool).
+    fn fork_pooled(&self, state: &Self::State, pool: &StatePool<Self::State>) -> Self::State {
+        match pool.acquire() {
+            Some(mut dst) => {
+                self.fork_into(state, &mut dst);
+                dst
+            }
+            None => self.fork(state),
+        }
+    }
+
+    /// Return a no-longer-needed state to `pool` so its buffers can serve
+    /// a later [`Backend::fork_pooled`]. Backends whose states must not
+    /// outlive a trajectory can override this to drop instead.
+    fn release(&self, state: Self::State, pool: &StatePool<Self::State>) {
+        pool.release(state);
+    }
 
     /// Whether [`Backend::sample`] mutates the state it samples from
     /// (e.g. MPS gauge moves). When `false`, executors may sample several
@@ -139,6 +170,12 @@ impl<T: Scalar> SvBackend<T> {
     pub fn fusion_stats(&self) -> FusionStats {
         self.compiled.fusion_stats()
     }
+
+    /// The lowered circuit (the batch-major executor drives
+    /// [`ptsbe_statevector::batch::advance_batch`] over it directly).
+    pub fn compiled(&self) -> &sv_exec::Compiled<T> {
+        &self.compiled
+    }
 }
 
 impl<T: Scalar> Backend for SvBackend<T> {
@@ -166,6 +203,12 @@ impl<T: Scalar> Backend for SvBackend<T> {
 
     fn fork(&self, state: &Self::State) -> Self::State {
         state.clone()
+    }
+
+    fn fork_into(&self, src: &Self::State, dst: &mut Self::State) {
+        // Overwrites every amplitude in place — recycled buffers cannot
+        // leak stale values.
+        dst.copy_from(src);
     }
 
     fn sample_mutates_state(&self) -> bool {
@@ -272,6 +315,12 @@ impl<T: Scalar> Backend for MpsBackend<T> {
 
     fn fork(&self, state: &Self::State) -> Self::State {
         state.clone()
+    }
+
+    fn fork_into(&self, src: &Self::State, dst: &mut Self::State) {
+        // Recycles the destination's site-tensor buffers; every entry is
+        // overwritten, so stale amplitudes cannot survive.
+        dst.copy_from(src);
     }
 
     fn sample<R: Rng + ?Sized>(

@@ -20,22 +20,51 @@ use ptsbe_tensornet::{compile_mps, Mps, MpsCompiled, MpsConfig};
 use rayon::prelude::*;
 
 /// Run `shots` independent Algorithm-1 trajectories on the statevector
-/// backend (one preparation *per shot*). Parallel over shots; each shot
-/// has its own Philox stream.
+/// backend (one preparation *per shot*). Parallel over contiguous shot
+/// ranges — each worker reuses a single scratch state across its shots
+/// (`|0…0⟩` reset in place), so the loop performs no per-shot
+/// allocations. Each shot keeps its own Philox stream, so results are
+/// identical for any range split.
 pub fn run_baseline_sv<T: Scalar>(nc: &NoisyCircuit, shots: usize, seed: u64) -> Vec<u128> {
     let compiled = compile::<T>(nc).expect("baseline: circuit must be BE-compatible");
-    (0..shots)
+    let workers = rayon::current_num_threads().max(1).min(shots.max(1));
+    let per = shots.div_ceil(workers).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+        .map(|w| (w * per).min(shots)..((w + 1) * per).min(shots))
+        .filter(|r| !r.is_empty())
+        .collect();
+    ranges
         .into_par_iter()
-        .map(|s| {
-            let mut rng = PhiloxRng::for_trajectory(seed, s as u64);
-            baseline_one_sv(&compiled, &mut rng)
+        .map(|range| {
+            let mut scratch = StateVector::zero_state(compiled.n_qubits());
+            range
+                .map(|s| {
+                    let mut rng = PhiloxRng::for_trajectory(seed, s as u64);
+                    baseline_one_sv_into(&compiled, &mut rng, &mut scratch)
+                })
+                .collect::<Vec<u128>>()
         })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
         .collect()
 }
 
 /// One Algorithm-1 trajectory + single-shot measurement (statevector).
 pub fn baseline_one_sv<T: Scalar, R: Rng + ?Sized>(compiled: &Compiled<T>, rng: &mut R) -> u128 {
     let mut sv = StateVector::zero_state(compiled.n_qubits());
+    baseline_one_sv_into(compiled, rng, &mut sv)
+}
+
+/// One Algorithm-1 trajectory into a caller-owned scratch state (reset to
+/// `|0…0⟩` in place — the allocation-free repeated-shot path).
+pub fn baseline_one_sv_into<T: Scalar, R: Rng + ?Sized>(
+    compiled: &Compiled<T>,
+    rng: &mut R,
+    sv: &mut StateVector<T>,
+) -> u128 {
+    assert_eq!(sv.n_qubits(), compiled.n_qubits(), "scratch shape mismatch");
+    sv.reset_zero();
     for op in compiled.ops() {
         match op {
             CompiledOp::G1(m, q) => sv.apply_1q(m, *q),
@@ -54,16 +83,16 @@ pub fn baseline_one_sv<T: Scalar, R: Rng + ?Sized>(compiled: &Compiled<T>, rng: 
                 let r = rng.next_f64();
                 if site.is_unitary_mixture {
                     let k = index_of(r, &site.probs);
-                    apply_sized(&mut sv, &site.mats[k], &site.qubits);
+                    apply_sized(sv, &site.mats[k], &site.qubits);
                 } else {
-                    let probs = kraus_probabilities(&sv, &site.mats, &site.qubits);
+                    let probs = kraus_probabilities(sv, &site.mats, &site.qubits);
                     let k = index_of(r, &probs);
-                    apply_kraus_normalized(&mut sv, &site.mats[k], &site.qubits);
+                    apply_kraus_normalized(sv, &site.mats[k], &site.qubits);
                 }
             }
         }
     }
-    let shot = sample_shots(&sv, 1, rng, SamplingStrategy::SortedMerge)[0];
+    let shot = sample_shots(sv, 1, rng, SamplingStrategy::SortedMerge)[0];
     u128::from(extract_bits(shot, compiled.measured_qubits()))
 }
 

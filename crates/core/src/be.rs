@@ -1,6 +1,6 @@
 //! Batched Execution: the BE half of PTSBE.
 //!
-//! Two executors share this module:
+//! Three executors share this module:
 //!
 //! - [`BatchedExecutor`] (flat): prepares each trajectory's state from
 //!   `|0…0⟩` exactly once, bulk-samples its `m_α` shots, and attaches
@@ -13,7 +13,16 @@
 //!   drops from `O(trajectories × circuit_len)` gate applications to
 //!   `O(trie_edges)` — while producing **bitwise identical** shots,
 //!   because every leaf replays exactly the flat op sequence and keeps
-//!   the Philox stream keyed by its original plan index.
+//!   the Philox stream keyed by its original plan index. Branch-point
+//!   forks draw recycled buffers from a [`crate::pool::StatePool`] and
+//!   finished leaves release theirs back, so the walk's hot loop is
+//!   allocation-free in steady state.
+//! - [`BatchMajorExecutor`] (statevector only): packs up to `lanes`
+//!   trajectories into one amplitude-major
+//!   [`ptsbe_statevector::batch::StateBatch`] and sweeps every compiled
+//!   op across all lanes at once — one dispatch and one cache-blocked
+//!   pass serve the whole group, with a lane-contiguous inner loop that
+//!   autovectorizes. Also bitwise identical to the flat executor.
 //!
 //! Both fan out over rayon (the CPU analog of the paper's
 //! inter-trajectory multi-GPU distribution): the flat executor maps over
@@ -23,10 +32,13 @@
 //! regardless of scheduling.
 
 use crate::assignment::TrajectoryMeta;
-use crate::backend::Backend;
+use crate::backend::{Backend, SvBackend};
 use crate::plan::{PtsPlan, PtsPlanTree};
+use crate::pool::StatePool;
 use ptsbe_circuit::NoisyCircuit;
+use ptsbe_math::Scalar;
 use ptsbe_rng::PhiloxRng;
+use ptsbe_statevector::{batch, StateVector};
 use rayon::prelude::*;
 
 /// Order-preserving map over owned items: rayon fan-out when `parallel`,
@@ -174,13 +186,33 @@ impl TreeExecutor {
     }
 
     /// Execute a plan through a pre-built prefix tree (lets callers reuse
-    /// one tree across backends or report its sharing stats).
+    /// one tree across backends or report its sharing stats). Allocates a
+    /// private [`StatePool`] per run; use
+    /// [`TreeExecutor::execute_tree_pooled`] to keep the pool (and its
+    /// fork counters) in the caller's hands.
     pub fn execute_tree<B: Backend>(
         &self,
         backend: &B,
         nc: &NoisyCircuit,
         plan: &PtsPlan,
         tree: &PtsPlanTree,
+    ) -> BatchResult {
+        let pool = StatePool::new();
+        self.execute_tree_pooled(backend, nc, plan, tree, &pool)
+    }
+
+    /// Execute through a pre-built tree with a caller-owned state pool:
+    /// branch-point forks draw recycled buffers from `pool` and finished
+    /// leaves release theirs back, making the walk allocation-free in
+    /// steady state. The pool may be reused (warm) across calls;
+    /// `pool.stats()` afterwards reports the recycled/fresh fork split.
+    pub fn execute_tree_pooled<B: Backend>(
+        &self,
+        backend: &B,
+        nc: &NoisyCircuit,
+        plan: &PtsPlan,
+        tree: &PtsPlanTree,
+        pool: &StatePool<B::State>,
     ) -> BatchResult {
         if plan.trajectories.is_empty() {
             return BatchResult::default();
@@ -190,6 +222,7 @@ impl TreeExecutor {
             nc,
             plan,
             tree,
+            pool,
         };
         let state = backend.initial_state();
         let mut tagged = if self.parallel {
@@ -299,6 +332,8 @@ struct TreeCtx<'a, B: Backend> {
     nc: &'a NoisyCircuit,
     plan: &'a PtsPlan,
     tree: &'a PtsPlanTree,
+    /// Recycles state buffers across forks and finished leaves.
+    pool: &'a StatePool<B::State>,
 }
 
 impl<B: Backend> TreeCtx<'_, B> {
@@ -321,8 +356,10 @@ impl<B: Backend> TreeCtx<'_, B> {
         let mut child_state = if i == last {
             carrier.take().expect("parent state consumed exactly once")
         } else {
-            self.backend
-                .fork(carrier.as_ref().expect("parent state still present"))
+            self.backend.fork_pooled(
+                carrier.as_ref().expect("parent state still present"),
+                self.pool,
+            )
         };
         let (_branch, child_idx) = node.children[i];
         let child = self.tree.node(child_idx);
@@ -362,10 +399,14 @@ impl<B: Backend> TreeCtx<'_, B> {
                 let mut leaf_state = if !fork_per_leaf || i + 1 == node.leaves.len() {
                     None
                 } else {
-                    Some(self.backend.fork(&state))
+                    Some(self.backend.fork_pooled(&state, self.pool))
                 };
                 let st = leaf_state.as_mut().unwrap_or(&mut state);
-                self.backend.sample(st, traj.shots, &mut rng)
+                let shots = self.backend.sample(st, traj.shots, &mut rng);
+                if let Some(s) = leaf_state {
+                    self.backend.release(s, self.pool);
+                }
+                shots
             } else {
                 Vec::new()
             };
@@ -373,6 +414,139 @@ impl<B: Backend> TreeCtx<'_, B> {
             meta.realized_prob = realized;
             out.push((idx, TrajectoryResult { meta, shots }));
         }
+        // The leaf's own buffers go back to the arena for the next fork.
+        self.backend.release(state, self.pool);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-major executor (statevector backend)
+
+/// The batch-major executor: executes up to [`BatchMajorExecutor::lanes`]
+/// trajectories at a time inside one
+/// [`ptsbe_statevector::batch::StateBatch`] — `B` states in a single
+/// amplitude-major allocation, every compiled op swept across all lanes
+/// at once instead of once per state.
+///
+/// Where [`TreeExecutor`] removes *redundant* gate applications (shared
+/// prefixes), this executor makes the *remaining* ones cheaper: one
+/// dispatch, one matrix remap and one cache-friendly sweep serve `B`
+/// trajectories, with a lane-contiguous inner loop the compiler
+/// vectorizes. Bitwise identical to [`BatchedExecutor`] with the same
+/// seed: every lane applies exactly the flat op sequence through kernels
+/// that share their arithmetic with the scalar path, and every lane
+/// samples through [`Backend::sample`] on its own Philox stream keyed by
+/// plan index.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchMajorExecutor {
+    /// Run seed; trajectory `i` uses Philox stream `for_trajectory(seed, i)`.
+    pub seed: u64,
+    /// Fan lane-groups out over rayon (disable for serial baselines).
+    pub parallel: bool,
+    /// Maximum trajectories per batch; `0` sizes the group automatically
+    /// (see [`BatchMajorExecutor::auto_lanes`]). More lanes amortize
+    /// dispatch further but grow the per-sweep working set
+    /// (`2^n · lanes` amplitudes) — once it spills the L2 the repeated
+    /// sweeps turn bandwidth-bound and lose to cache-resident per-state
+    /// execution.
+    pub lanes: usize,
+}
+
+impl Default for BatchMajorExecutor {
+    fn default() -> Self {
+        let flat = BatchedExecutor::default();
+        Self {
+            seed: flat.seed,
+            parallel: flat.parallel,
+            lanes: 0,
+        }
+    }
+}
+
+impl BatchMajorExecutor {
+    /// Automatic lane count for a state of `state_bytes`: as many lanes
+    /// as keep the batch within ~1 MiB (half a typical L2), clamped to
+    /// `2..=16`.
+    pub fn auto_lanes(state_bytes: usize) -> usize {
+        ((1usize << 20) / state_bytes.max(1)).clamp(2, 16)
+    }
+
+    /// Execute a plan in lane groups of up to `self.lanes` trajectories
+    /// (auto-sized groups when `lanes == 0`).
+    ///
+    /// # Panics
+    /// Panics when an assignment does not cover the site count exactly
+    /// (same contract as [`Backend::prepare`]).
+    pub fn execute<T: Scalar>(
+        &self,
+        backend: &SvBackend<T>,
+        nc: &NoisyCircuit,
+        plan: &PtsPlan,
+    ) -> BatchResult {
+        if plan.trajectories.is_empty() {
+            return BatchResult::default();
+        }
+        let compiled = backend.compiled();
+        let n_sites = compiled.sites().len();
+        let n_segments = compiled.n_segments();
+        let n_qubits = compiled.n_qubits();
+        let lanes = if self.lanes == 0 {
+            let state_bytes = (1usize << n_qubits) * std::mem::size_of::<ptsbe_math::Complex<T>>();
+            Self::auto_lanes(state_bytes)
+        } else {
+            self.lanes
+        };
+        let run_group = |(g, trajs): (usize, &[crate::plan::PlannedTrajectory])| {
+            let group_width = trajs.len();
+            let choices: Vec<&[usize]> = trajs
+                .iter()
+                .map(|t| {
+                    assert_eq!(
+                        t.choices.len(),
+                        n_sites,
+                        "assignment length does not match site count"
+                    );
+                    t.choices.as_slice()
+                })
+                .collect();
+            let mut state_batch = batch::StateBatch::zero_states(n_qubits, group_width);
+            let mut realized = vec![1.0f64; group_width];
+            batch::advance_batch(
+                compiled,
+                &mut state_batch,
+                0..n_segments,
+                &choices,
+                &mut realized,
+            );
+            // One scratch state per group: each lane is gathered into it
+            // and bulk-sampled through the backend's own sampler, so the
+            // records are the ones a flat executor would draw.
+            let mut scratch = StateVector::zero_state(n_qubits);
+            trajs
+                .iter()
+                .enumerate()
+                .map(|(j, traj)| {
+                    let idx = g * lanes + j;
+                    let mut rng = PhiloxRng::for_trajectory(self.seed, idx as u64);
+                    let shots = if realized[j] > 0.0 {
+                        state_batch.extract_lane_into(j, &mut scratch);
+                        backend.sample(&mut scratch, traj.shots, &mut rng)
+                    } else {
+                        Vec::new()
+                    };
+                    let mut meta = TrajectoryMeta::from_assignment(nc, idx, &traj.choices);
+                    meta.realized_prob = realized[j];
+                    TrajectoryResult { meta, shots }
+                })
+                .collect::<Vec<_>>()
+        };
+        let groups: Vec<(usize, &[crate::plan::PlannedTrajectory])> =
+            plan.trajectories.chunks(lanes).enumerate().collect();
+        let trajectories = fan_out(self.parallel, groups, run_group)
+            .into_iter()
+            .flatten()
+            .collect();
+        BatchResult { trajectories }
     }
 }
 
@@ -575,6 +749,98 @@ mod tests {
             for (a, b) in tree.trajectories.iter().zip(&flat.trajectories) {
                 assert_eq!(a.shots, b.shots);
             }
+        }
+    }
+
+    #[test]
+    fn batch_major_bitwise_matches_flat_for_any_lane_count() {
+        let nc = noisy_bell(0.15);
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(165, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 37, // not a multiple of any lane width: ragged tail
+            shots_per_trajectory: 25,
+            dedup: false,
+        }
+        .sample_plan(&nc, &mut rng);
+        let flat = BatchedExecutor {
+            seed: 11,
+            parallel: false,
+        }
+        .execute(&backend, &nc, &plan);
+        for lanes in [0usize, 1, 3, 16, 64] {
+            for parallel in [false, true] {
+                let batched = BatchMajorExecutor {
+                    seed: 11,
+                    parallel,
+                    lanes,
+                }
+                .execute(&backend, &nc, &plan);
+                assert_eq!(batched.trajectories.len(), flat.trajectories.len());
+                for (a, b) in batched.trajectories.iter().zip(&flat.trajectories) {
+                    assert_eq!(a.meta.choices, b.meta.choices, "lanes={lanes}");
+                    assert_eq!(
+                        a.meta.traj_id, b.meta.traj_id,
+                        "lanes={lanes} par={parallel}"
+                    );
+                    assert_eq!(
+                        a.meta.realized_prob.to_bits(),
+                        b.meta.realized_prob.to_bits(),
+                        "lanes={lanes}: realized probability must be bitwise identical"
+                    );
+                    assert_eq!(a.shots, b.shots, "lanes={lanes}: shots must match bitwise");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_major_empty_plan() {
+        let nc = noisy_bell(0.1);
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+        let result =
+            BatchMajorExecutor::default().execute(&backend, &nc, &crate::plan::PtsPlan::default());
+        assert!(result.trajectories.is_empty());
+    }
+
+    #[test]
+    fn tree_executor_recycles_fork_buffers() {
+        let nc = noisy_bell(0.3); // high noise -> many branch points
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(166, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 80,
+            shots_per_trajectory: 5,
+            dedup: true,
+        }
+        .sample_plan(&nc, &mut rng);
+        let tree = crate::plan::PtsPlanTree::from_plan(&plan);
+        let pool = crate::pool::StatePool::new();
+        let result = TreeExecutor {
+            seed: 5,
+            parallel: false,
+        }
+        .execute_tree_pooled(&backend, &nc, &plan, &tree, &pool);
+        assert_eq!(result.trajectories.len(), plan.n_trajectories());
+        let stats = pool.stats();
+        // Every leaf releases its state, so after the first branch point
+        // the walk forks from recycled buffers.
+        assert!(stats.released >= plan.n_trajectories());
+        assert!(
+            stats.recycled > 0 && stats.recycled > stats.fresh,
+            "steady-state forks must reuse buffers: {stats:?}"
+        );
+        // A warm pool serves the next run entirely from recycled buffers.
+        let before = pool.stats();
+        let again = TreeExecutor {
+            seed: 5,
+            parallel: false,
+        }
+        .execute_tree_pooled(&backend, &nc, &plan, &tree, &pool);
+        let after = pool.stats();
+        assert_eq!(after.fresh, before.fresh, "warm pool must not allocate");
+        for (a, b) in again.trajectories.iter().zip(&result.trajectories) {
+            assert_eq!(a.shots, b.shots, "pooling must not perturb results");
         }
     }
 

@@ -51,14 +51,16 @@ pub mod baseline;
 pub mod be;
 pub mod estimators;
 pub mod plan;
+pub mod pool;
 pub mod pts;
 pub mod stats;
 
 pub use assignment::{ErrorEvent, TrajectoryMeta};
 pub use backend::{Backend, MpsBackend, SvBackend};
 pub use baseline::{run_baseline_mps, run_baseline_sv};
-pub use be::{BatchResult, BatchedExecutor, TrajectoryResult, TreeExecutor};
+pub use be::{BatchMajorExecutor, BatchResult, BatchedExecutor, TrajectoryResult, TreeExecutor};
 pub use plan::{PlannedTrajectory, PtsPlan, PtsPlanTree, PtsTreeNode};
+pub use pool::{PoolStats, StatePool};
 pub use pts::{
     BandPts, ConstrainedPts, CorrelatedPts, ExhaustivePts, ProbabilisticPts, ProportionalPts,
     PtsSampler, ReweightedPts, TopKPts,

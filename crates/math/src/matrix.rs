@@ -90,6 +90,14 @@ impl<T: Scalar> Matrix<T> {
         &mut self.data
     }
 
+    /// Consume the matrix and recover its row-major storage (buffer
+    /// recycling: callers that built the matrix with [`Matrix::from_vec`]
+    /// can take the allocation back for the next iteration).
+    #[inline]
+    pub fn into_vec(self) -> Vec<Complex<T>> {
+        self.data
+    }
+
     /// Conjugate transpose.
     pub fn dagger(&self) -> Self {
         let mut out = Self::zeros(self.cols, self.rows);

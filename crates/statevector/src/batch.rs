@@ -1,0 +1,979 @@
+//! Batch-major statevector execution: `B` trajectory states in one
+//! contiguous allocation, every gate applied across all lanes per sweep.
+//!
+//! [`StateBatch`] stores the amplitudes of `B` trajectory states
+//! *amplitude-major* (structure-of-arrays across trajectories):
+//! `amps[i * B + lane]` is amplitude `i` of lane `lane`. A gate kernel
+//! then walks the amplitude pairs exactly once and processes all `B`
+//! lanes of each pair in a contiguous inner loop — the loop shape that
+//! autovectorizes (the per-state layout instead strides by `2^q` between
+//! the elements a gate combines). qsim-style fused inner loops over
+//! amplitude blocks win their constant factors the same way; here the
+//! lane axis supplies the contiguous work.
+//!
+//! Bitwise contract: every kernel routes its per-lane arithmetic through
+//! the *same* helpers as the scalar [`crate::state::StateVector`] kernels
+//! ([`ptsbe_math::vec_ops::mat2_apply`]/[`mat4_apply`], the same operand
+//! order for diagonal/permutation multiplies, the same 4096-amplitude
+//! block grouping for norm accumulation). A lane of a [`StateBatch`]
+//! advanced through [`advance_batch`] is therefore bit-identical to a
+//! [`StateVector`] advanced through [`crate::exec::advance`] under the
+//! same assignment — the property `tests/batch_pool_equivalence.rs`
+//! enforces end-to-end.
+//!
+//! [`mat4_apply`]: ptsbe_math::vec_ops::mat4_apply
+
+use ptsbe_math::{vec_ops, Complex, Matrix, Scalar};
+use rayon::prelude::*;
+use std::ops::Range;
+
+use crate::exec::{Compiled, CompiledOp};
+use crate::kraus::apply_kraus_normalized;
+use crate::state::{local_2q_matrix, local_2q_perm, StateVector};
+use crate::PARALLEL_THRESHOLD_QUBITS;
+
+/// `B` pure states of `n` qubits in one amplitude-major allocation.
+#[derive(Clone, Debug)]
+pub struct StateBatch<T: Scalar> {
+    n_qubits: usize,
+    n_lanes: usize,
+    /// `amps[i * n_lanes + lane]` = amplitude `i` of lane `lane`.
+    amps: Vec<Complex<T>>,
+    /// Whether sweeps fan out over rayon, decided once at construction —
+    /// `current_num_threads()` costs a syscall, far too hot for per-op.
+    use_par: bool,
+}
+
+impl<T: Scalar> StateBatch<T> {
+    /// `B` copies of `|0…0⟩`.
+    ///
+    /// # Panics
+    /// Panics on zero lanes or more than 48 qubits (same guard as
+    /// [`StateVector::zero_state`]).
+    pub fn zero_states(n_qubits: usize, n_lanes: usize) -> Self {
+        assert!(n_lanes > 0, "a batch needs at least one lane");
+        assert!(
+            n_qubits <= 48,
+            "statevector of {n_qubits} qubits is not addressable"
+        );
+        let mut amps = vec![Complex::zero(); (1usize << n_qubits) * n_lanes];
+        amps[..n_lanes].fill(Complex::one());
+        let use_par =
+            amps.len() >= 1usize << PARALLEL_THRESHOLD_QUBITS && rayon::current_num_threads() > 1;
+        Self {
+            n_qubits,
+            n_lanes,
+            amps,
+            use_par,
+        }
+    }
+
+    /// Number of qubits per lane.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of lanes (trajectory states).
+    pub fn n_lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    /// Raw amplitude-major storage (tests).
+    pub fn amplitudes(&self) -> &[Complex<T>] {
+        &self.amps
+    }
+
+    /// Amplitude `i` of lane `lane`.
+    #[inline]
+    pub fn amplitude(&self, lane: usize, i: usize) -> Complex<T> {
+        self.amps[i * self.n_lanes + lane]
+    }
+
+    /// Gather one lane into a contiguous [`StateVector`], reusing `dst`'s
+    /// allocation (the bulk samplers and the scalar Kraus fallback both
+    /// want contiguous amplitudes).
+    pub fn extract_lane_into(&self, lane: usize, dst: &mut StateVector<T>) {
+        assert!(lane < self.n_lanes);
+        // The gather overwrites every element; only reshape (and pay the
+        // zero fill) when the destination has the wrong size.
+        if dst.n_qubits() != self.n_qubits || dst.amplitudes().len() != 1usize << self.n_qubits {
+            dst.reinit(self.n_qubits);
+        }
+        let b = self.n_lanes;
+        for (i, d) in dst.amplitudes_mut().iter_mut().enumerate() {
+            *d = self.amps[i * b + lane];
+        }
+    }
+
+    /// Scatter a contiguous state back into one lane (inverse of
+    /// [`StateBatch::extract_lane_into`]).
+    pub fn load_lane(&mut self, lane: usize, src: &StateVector<T>) {
+        assert!(lane < self.n_lanes);
+        assert_eq!(src.n_qubits(), self.n_qubits, "lane shape mismatch");
+        let b = self.n_lanes;
+        for (i, s) in src.amplitudes().iter().enumerate() {
+            self.amps[i * b + lane] = *s;
+        }
+    }
+
+    /// Gate kernels are per-amplitude independent, so chunking never
+    /// changes their values — parallelism can follow the thread budget
+    /// (sampled once at construction). Norm accumulation is the one
+    /// grouping-sensitive operation; [`StateBatch::norm_sqr_lanes`] pins
+    /// its block structure to the scalar path's independent of this
+    /// switch.
+    #[inline]
+    fn use_parallel(&self) -> bool {
+        self.use_par
+    }
+
+    // ----- sweep drivers ------------------------------------------------
+    //
+    // All gate kernels are built from sweeps over the amplitude-row axis
+    // (a "row" = the `B` contiguous lane values of one amplitude index).
+    // Uniform (same-matrix-every-lane) sweeps flatten the lane axis away
+    // entirely: the elements a 1-qubit gate pairs sit `2^q · B` apart, so
+    // whole runs of `2^q · B` contiguous elements zip flat — the longer
+    // the run, the better it vectorizes. Per-lane sweeps (Kraus branch
+    // points) keep the row structure to know which lane they are in.
+    // Rayon splits at block boundaries, so parallel and serial sweeps
+    // visit identical element groups.
+
+    /// Apply `f(x0, x1)` to every amplitude pair `(i, i + 2^q)` of every
+    /// lane — one flat zip of two contiguous runs per `2^{q+1}` rows.
+    fn sweep_pairs<F>(&mut self, q: usize, f: F)
+    where
+        F: Fn(Complex<T>, Complex<T>) -> (Complex<T>, Complex<T>) + Sync + Send,
+    {
+        let half = (1usize << q) * self.n_lanes;
+        let kernel = |chunk: &mut [Complex<T>]| {
+            let (lo, hi) = chunk.split_at_mut(half);
+            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (y0, y1) = f(*a0, *a1);
+                *a0 = y0;
+                *a1 = y1;
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * half).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * half).for_each(kernel);
+        }
+    }
+
+    /// Per-lane variant of [`StateBatch::sweep_pairs`]:
+    /// `f(lane, x0, x1)` per element.
+    fn sweep_pairs_lanes<F>(&mut self, q: usize, f: F)
+    where
+        F: Fn(usize, Complex<T>, Complex<T>) -> (Complex<T>, Complex<T>) + Sync + Send,
+    {
+        let b = self.n_lanes;
+        let half = (1usize << q) * b;
+        let kernel = |chunk: &mut [Complex<T>]| {
+            let (lo, hi) = chunk.split_at_mut(half);
+            for (rl, rh) in lo.chunks_exact_mut(b).zip(hi.chunks_exact_mut(b)) {
+                for (lane, (a0, a1)) in rl.iter_mut().zip(rh.iter_mut()).enumerate() {
+                    let (y0, y1) = f(lane, *a0, *a1);
+                    *a0 = y0;
+                    *a1 = y1;
+                }
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * half).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * half).for_each(kernel);
+        }
+    }
+
+    /// Apply `f([x00, x01, x10, x11])` to every amplitude quad in local
+    /// `[hl]` order (`sh`/`sl` = high/low qubit strides). Each of the
+    /// four quad rows extends over `sl` consecutive amplitude indices, so
+    /// the four slices zip flat over `sl · B` contiguous elements.
+    fn sweep_quads<F>(&mut self, sh: usize, sl: usize, f: F)
+    where
+        F: Fn([Complex<T>; 4]) -> [Complex<T>; 4] + Sync + Send,
+    {
+        let b = self.n_lanes;
+        let run = sl * b;
+        let kernel = |chunk: &mut [Complex<T>]| {
+            let mut base = 0usize;
+            while base < sh {
+                // Runs start at rows base, base+sl, base+sh, base+sh+sl.
+                let (head, tail) = chunk[base * b..].split_at_mut(run);
+                let r00 = head;
+                let (r01, tail) = tail.split_at_mut(run);
+                let tail = &mut tail[(sh - 2 * sl) * b..];
+                let (r10, tail) = tail.split_at_mut(run);
+                let r11 = &mut tail[..run];
+                let quads = r00
+                    .iter_mut()
+                    .zip(r01.iter_mut())
+                    .zip(r10.iter_mut().zip(r11.iter_mut()));
+                for ((a00, a01), (a10, a11)) in quads {
+                    let y = f([*a00, *a01, *a10, *a11]);
+                    *a00 = y[0];
+                    *a01 = y[1];
+                    *a10 = y[2];
+                    *a11 = y[3];
+                }
+                base += 2 * sl;
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * sh * b).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh * b).for_each(kernel);
+        }
+    }
+
+    /// Per-lane variant of [`StateBatch::sweep_quads`]:
+    /// `f(lane, quad)` per element.
+    fn sweep_quads_lanes<F>(&mut self, sh: usize, sl: usize, f: F)
+    where
+        F: Fn(usize, [Complex<T>; 4]) -> [Complex<T>; 4] + Sync + Send,
+    {
+        let b = self.n_lanes;
+        let kernel = |chunk: &mut [Complex<T>]| {
+            let mut base = 0usize;
+            while base < sh {
+                for k in base..base + sl {
+                    // Row starts, in increasing order: k, k+sl, k+sh, k+sh+sl.
+                    let (head, tail) = chunk[k * b..].split_at_mut(sl * b);
+                    let r00 = &mut head[..b];
+                    let (mid, tail) = tail.split_at_mut((sh - sl) * b);
+                    let r01 = &mut mid[..b];
+                    let (h10, h11) = tail.split_at_mut(sl * b);
+                    let r10 = &mut h10[..b];
+                    let r11 = &mut h11[..b];
+                    let quads = r00
+                        .iter_mut()
+                        .zip(r01.iter_mut())
+                        .zip(r10.iter_mut().zip(r11.iter_mut()));
+                    for (lane, ((a00, a01), (a10, a11))) in quads.enumerate() {
+                        let y = f(lane, [*a00, *a01, *a10, *a11]);
+                        *a00 = y[0];
+                        *a01 = y[1];
+                        *a10 = y[2];
+                        *a11 = y[3];
+                    }
+                }
+                base += 2 * sl;
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * sh * b).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh * b).for_each(kernel);
+        }
+    }
+
+    /// Apply `f(amp_index, row)` to every amplitude row.
+    fn sweep_rows<F>(&mut self, f: F)
+    where
+        F: Fn(usize, &mut [Complex<T>]) + Sync + Send,
+    {
+        let b = self.n_lanes;
+        const ROWS_PER_CHUNK: usize = 1 << 12;
+        let kernel = |(ci, chunk): (usize, &mut [Complex<T>])| {
+            let base = ci * ROWS_PER_CHUNK;
+            for (r, row) in chunk.chunks_exact_mut(b).enumerate() {
+                f(base + r, row);
+            }
+        };
+        if self.use_parallel() {
+            self.amps
+                .par_chunks_mut(ROWS_PER_CHUNK * b)
+                .enumerate()
+                .for_each(kernel);
+        } else {
+            self.amps
+                .chunks_mut(ROWS_PER_CHUNK * b)
+                .enumerate()
+                .for_each(kernel);
+        }
+    }
+
+    // ----- gate kernels -------------------------------------------------
+
+    /// Dense single-qubit gate, same matrix on every lane.
+    pub fn apply_1q(&mut self, m: &Matrix<T>, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        let e = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
+        self.sweep_pairs(q, move |x0, x1| vec_ops::mat2_apply(&e, x0, x1));
+    }
+
+    /// Dense single-qubit gate with one matrix per lane (Kraus branch
+    /// points where lanes chose different branches). `es[lane]` holds the
+    /// row-major entries `[m00, m01, m10, m11]`.
+    pub fn apply_1q_lanes(&mut self, es: &[[Complex<T>; 4]], q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert_eq!(es.len(), self.n_lanes);
+        self.sweep_pairs_lanes(q, move |lane, x0, x1| {
+            vec_ops::mat2_apply(&es[lane], x0, x1)
+        });
+    }
+
+    /// Dense two-qubit gate, same matrix on every lane (gate basis
+    /// `(bit_a << 1) | bit_b`).
+    pub fn apply_2q(&mut self, m: &Matrix<T>, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        assert_eq!((m.rows(), m.cols()), (4, 4));
+        let mm = local_2q_matrix(m, a, b);
+        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
+        self.sweep_quads(sh, sl, move |x| vec_ops::mat4_apply(&mm, &x));
+    }
+
+    /// Dense two-qubit gate with one matrix per lane; `mms[lane]` must
+    /// already be in local `[hl]` order (see
+    /// [`crate::state::local_2q_matrix`] via [`localize_2q`]).
+    pub fn apply_2q_lanes(&mut self, mms: &[[[Complex<T>; 4]; 4]], a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        assert_eq!(mms.len(), self.n_lanes);
+        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
+        self.sweep_quads_lanes(sh, sl, move |lane, x| vec_ops::mat4_apply(&mms[lane], &x));
+    }
+
+    /// Diagonal single-qubit fast path (pure phase multiply). The factor
+    /// is constant over each `2^q · B` run, so the sweep is two flat
+    /// scalings per pair block.
+    pub fn apply_diag_1q(&mut self, d: &[Complex<T>; 2], q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        let (d0, d1) = (d[0], d[1]);
+        self.sweep_pairs(q, move |x0, x1| (x0 * d0, x1 * d1));
+    }
+
+    /// Diagonal two-qubit fast path, gate basis `(bit_a << 1) | bit_b`.
+    pub fn apply_diag_2q(&mut self, d: &[Complex<T>; 4], a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        // Remap to local [hl] run order (h = high-qubit bit, l = low).
+        let qh = a.max(b);
+        let pick = |h: usize, l: usize| {
+            let bit_a = if a == qh { h } else { l };
+            let bit_b = if b == qh { h } else { l };
+            d[(bit_a << 1) | bit_b]
+        };
+        let ld = [pick(0, 0), pick(0, 1), pick(1, 0), pick(1, 1)];
+        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
+        self.sweep_quads(sh, sl, move |x| {
+            [x[0] * ld[0], x[1] * ld[1], x[2] * ld[2], x[3] * ld[3]]
+        });
+    }
+
+    /// Single-qubit permutation fast path:
+    /// `out[r] = phase[r] * in[perm[r]]` in the qubit's local basis.
+    pub fn apply_perm_1q(&mut self, perm: &[usize; 2], phase: &[Complex<T>; 2], q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert!(perm[0] < 2 && perm[1] < 2);
+        let (perm, phase) = (*perm, *phase);
+        self.sweep_pairs(q, move |x0, x1| {
+            let x = [x0, x1];
+            (phase[0] * x[perm[0]], phase[1] * x[perm[1]])
+        });
+    }
+
+    /// Two-qubit permutation fast path, gate basis `(bit_a << 1) | bit_b`.
+    pub fn apply_perm_2q(
+        &mut self,
+        perm: &[usize; 4],
+        phase: &[Complex<T>; 4],
+        a: usize,
+        b: usize,
+    ) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        assert!(perm.iter().all(|&p| p < 4));
+        let (lperm, lphase) = local_2q_perm(perm, phase, a, b);
+        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
+        self.sweep_quads(sh, sl, move |x| {
+            [
+                lphase[0] * x[lperm[0]],
+                lphase[1] * x[lperm[1]],
+                lphase[2] * x[lperm[2]],
+                lphase[3] * x[lperm[3]],
+            ]
+        });
+    }
+
+    /// CNOT fast path (row swaps, no arithmetic).
+    pub fn apply_cx(&mut self, control: usize, target: usize) {
+        assert!(control < self.n_qubits && target < self.n_qubits && control != target);
+        let cm = 1usize << control;
+        let tm = 1usize << target;
+        self.swap_rows_where(target.max(control), move |g| g & cm != 0 && g & tm == 0, tm);
+    }
+
+    /// SWAP fast path.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        // Swap |…a=1…b=0…⟩ with |…a=0…b=1…⟩: offset −am+bm, guarded to
+        // rows where it is positive by the predicate.
+        self.swap_rows_where(
+            a.max(b),
+            move |g| g & am != 0 && g & bm == 0,
+            bm.wrapping_sub(am),
+        );
+    }
+
+    /// Swap each row `g` satisfying `pred` with row `g + offset`
+    /// (wrapping add; callers guarantee the partner lies in the same
+    /// `2·sh`-row chunk, as in the scalar fast paths).
+    fn swap_rows_where<P>(&mut self, qh: usize, pred: P, offset: usize)
+    where
+        P: Fn(usize) -> bool + Sync + Send,
+    {
+        let b = self.n_lanes;
+        let sh = 1usize << qh;
+        let kernel = |(ci, chunk): (usize, &mut [Complex<T>])| {
+            let chunk_base = ci * 2 * sh;
+            let rows = chunk.len() / b;
+            for r in 0..rows {
+                let g = chunk_base + r;
+                if pred(g) {
+                    let j = r.wrapping_add(offset);
+                    let (lo, hi) = (r.min(j), r.max(j));
+                    let (head, tail) = chunk.split_at_mut(hi * b);
+                    head[lo * b..lo * b + b].swap_with_slice(&mut tail[..b]);
+                }
+            }
+        };
+        if self.use_parallel() {
+            self.amps
+                .par_chunks_mut(2 * sh * b)
+                .enumerate()
+                .for_each(kernel);
+        } else {
+            self.amps
+                .chunks_mut(2 * sh * b)
+                .enumerate()
+                .for_each(kernel);
+        }
+    }
+
+    /// CZ fast path (sign flip on the doubly-set quarter — local quad
+    /// position `[h1l1]`).
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
+        self.sweep_quads(sh, sl, |x| [x[0], x[1], x[2], -x[3]]);
+    }
+
+    /// General `k`-qubit gather kernel, same matrix on every lane
+    /// (Toffoli and compiled multi-qubit unitaries). Mirrors
+    /// [`StateVector::apply_kq`]'s enumeration and accumulation order.
+    pub fn apply_kq(&mut self, m: &Matrix<T>, qubits: &[usize]) {
+        let k = qubits.len();
+        assert!((1..=16).contains(&k), "apply_kq supports 1..=16 qubits");
+        assert_eq!(m.rows(), 1usize << k);
+        for &q in qubits {
+            assert!(q < self.n_qubits);
+        }
+        if k == 1 {
+            return self.apply_1q(m, qubits[0]);
+        }
+        if k == 2 {
+            return self.apply_2q(m, qubits[0], qubits[1]);
+        }
+        let mut sorted_buf = [0usize; 16];
+        sorted_buf[..k].copy_from_slice(qubits);
+        sorted_buf[..k].sort_unstable();
+        let sorted: &[usize] = &sorted_buf[..k];
+        let dim = 1usize << k;
+        let mut offsets = vec![0usize; dim];
+        for (g, slot) in offsets.iter_mut().enumerate() {
+            let mut off = 0usize;
+            for (t, &q) in qubits.iter().enumerate() {
+                let bit = (g >> (k - 1 - t)) & 1;
+                off |= bit << q;
+            }
+            *slot = off;
+        }
+        let qh = *sorted.last().unwrap();
+        let sh = 1usize << qh;
+        let b = self.n_lanes;
+        let offsets = &offsets;
+        let kernel = move |chunk: &mut [Complex<T>]| {
+            let free_bits = (qh + 1) - k;
+            let n_groups = 1usize << free_bits;
+            let mut x = vec![Complex::<T>::zero(); dim];
+            for gidx in 0..n_groups {
+                // Expand gidx by inserting 0 at each gate-qubit position.
+                let mut base = 0usize;
+                let mut src = gidx;
+                let mut qi = 0usize;
+                for pos in 0..=qh {
+                    if qi < sorted.len() && sorted[qi] == pos {
+                        qi += 1;
+                        continue;
+                    }
+                    base |= (src & 1) << pos;
+                    src >>= 1;
+                }
+                for lane in 0..b {
+                    for (g, &off) in offsets.iter().enumerate() {
+                        x[g] = chunk[(base + off) * b + lane];
+                    }
+                    for (r, &off) in offsets.iter().enumerate() {
+                        let mut acc = Complex::zero();
+                        for (c, &xc) in x.iter().enumerate() {
+                            acc += m[(r, c)] * xc;
+                        }
+                        chunk[(base + off) * b + lane] = acc;
+                    }
+                }
+            }
+        };
+        if self.use_parallel() {
+            self.amps.par_chunks_mut(2 * sh * b).for_each(kernel);
+        } else {
+            self.amps.chunks_mut(2 * sh * b).for_each(kernel);
+        }
+    }
+
+    // ----- per-lane norms -----------------------------------------------
+
+    /// Per-lane `⟨ψ|ψ⟩`, accumulated in the same 4096-amplitude block
+    /// grouping (and the same precision `T`) as
+    /// [`StateVector::norm_sqr`], so a lane's norm is bit-identical to
+    /// the scalar path's.
+    pub fn norm_sqr_lanes(&self, out: &mut [T]) {
+        assert_eq!(out.len(), self.n_lanes);
+        let b = self.n_lanes;
+        let n_amps = 1usize << self.n_qubits;
+        let block = if self.n_qubits >= PARALLEL_THRESHOLD_QUBITS {
+            4096
+        } else {
+            n_amps
+        };
+        out.fill(T::ZERO);
+        let mut block_sum = vec![T::ZERO; b];
+        for rows in self.amps.chunks(block * b) {
+            block_sum.fill(T::ZERO);
+            for row in rows.chunks_exact(b) {
+                for (s, z) in block_sum.iter_mut().zip(row) {
+                    *s += z.norm_sqr();
+                }
+            }
+            for (o, s) in out.iter_mut().zip(&block_sum) {
+                *o += *s;
+            }
+        }
+    }
+
+    /// Normalize each lane given its pre-computed squared norm
+    /// (zero-norm lanes are left untouched, like
+    /// [`StateVector::normalize`]).
+    pub fn normalize_lanes(&mut self, n2: &[T]) {
+        assert_eq!(n2.len(), self.n_lanes);
+        // Scaling by exactly 1 is a bitwise no-op for finite values, so
+        // zero-norm lanes ride the same branch-free sweep.
+        let inv: Vec<T> = n2
+            .iter()
+            .map(|&n| {
+                if n > T::ZERO {
+                    T::ONE / n.sqrt()
+                } else {
+                    T::ONE
+                }
+            })
+            .collect();
+        self.sweep_rows(move |_, row| {
+            for (z, s) in row.iter_mut().zip(&inv) {
+                *z = z.scale(*s);
+            }
+        });
+    }
+}
+
+/// Localize a two-qubit matrix for [`StateBatch::apply_2q_lanes`].
+pub fn localize_2q<T: Scalar>(m: &Matrix<T>, a: usize, b: usize) -> [[Complex<T>; 4]; 4] {
+    local_2q_matrix(m, a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Batch-major circuit execution
+
+/// Advance all lanes of a batch through segments
+/// `segments.start..segments.end`, resolving each fired noise site
+/// through that lane's assignment (`choices[lane][site_id]`), and
+/// multiply each lane's realized partial probability into
+/// `realized[lane]` — the batch-major analog of
+/// [`crate::exec::advance`], bit-identical per lane.
+///
+/// # Panics
+/// Panics when lane counts disagree, the segment range is out of bounds,
+/// or an assignment does not cover the sites its lane fires.
+pub fn advance_batch<T: Scalar>(
+    compiled: &Compiled<T>,
+    batch: &mut StateBatch<T>,
+    segments: Range<usize>,
+    choices: &[&[usize]],
+    realized: &mut [f64],
+) {
+    assert_eq!(
+        batch.n_qubits(),
+        compiled.n_qubits(),
+        "qubit count mismatch"
+    );
+    assert_eq!(choices.len(), batch.n_lanes(), "one assignment per lane");
+    assert_eq!(realized.len(), batch.n_lanes(), "one weight per lane");
+    assert!(
+        segments.end <= compiled.n_segments(),
+        "segment range {segments:?} exceeds {} segments",
+        compiled.n_segments()
+    );
+    let fired = segments.end.min(compiled.sites().len());
+    for c in choices {
+        assert!(
+            c.len() >= fired,
+            "assignment length {} does not cover sites fired by segments {segments:?}",
+            c.len()
+        );
+    }
+    if segments.is_empty() {
+        return;
+    }
+    let b = batch.n_lanes();
+    let mut n2 = vec![T::ZERO; b];
+    for op in compiled.segment_ops(segments) {
+        match op {
+            CompiledOp::G1(m, q) => batch.apply_1q(m, *q),
+            CompiledOp::G2(m, a, bq) => batch.apply_2q(m, *a, *bq),
+            CompiledOp::D1(d, q) => batch.apply_diag_1q(d, *q),
+            CompiledOp::D2(d, a, bq) => batch.apply_diag_2q(d, *a, *bq),
+            CompiledOp::P1(p, ph, q) => batch.apply_perm_1q(p, ph, *q),
+            CompiledOp::P2(p, ph, a, bq) => batch.apply_perm_2q(p, ph, *a, *bq),
+            CompiledOp::Cx(c, t) => batch.apply_cx(*c, *t),
+            CompiledOp::Cz(a, bq) => batch.apply_cz(*a, *bq),
+            CompiledOp::Swap(a, bq) => batch.apply_swap(*a, *bq),
+            CompiledOp::Gk(m, qs) => batch.apply_kq(m, qs),
+            CompiledOp::Site(id) => {
+                let site = &compiled.sites()[*id];
+                let k0 = choices[0][*id];
+                let uniform = choices.iter().all(|c| c[*id] == k0);
+                if site.qubits.len() > 2 {
+                    // Arity ≥ 3 sites take the scalar path per lane (the
+                    // noise-model zoo never produces them; correctness
+                    // beats speed on this branch).
+                    apply_site_via_scalar(compiled, batch, *id, choices, realized);
+                    continue;
+                }
+                if site.is_unitary_mixture {
+                    for (r, c) in realized.iter_mut().zip(choices) {
+                        *r *= site.probs[c[*id]];
+                    }
+                    apply_site_mats(batch, site, choices, *id, uniform, k0);
+                } else {
+                    apply_site_mats(batch, site, choices, *id, uniform, k0);
+                    batch.norm_sqr_lanes(&mut n2);
+                    for (r, n) in realized.iter_mut().zip(&n2) {
+                        *r *= n.to_f64();
+                    }
+                    batch.normalize_lanes(&n2);
+                }
+            }
+        }
+    }
+}
+
+/// Apply each lane's chosen branch matrix of a 1-/2-qubit site.
+fn apply_site_mats<T: Scalar>(
+    batch: &mut StateBatch<T>,
+    site: &crate::exec::CompiledSite<T>,
+    choices: &[&[usize]],
+    id: usize,
+    uniform: bool,
+    k0: usize,
+) {
+    match site.qubits.as_slice() {
+        [q] => {
+            if uniform {
+                batch.apply_1q(&site.mats[k0], *q);
+            } else {
+                let es: Vec<[Complex<T>; 4]> = choices
+                    .iter()
+                    .map(|c| {
+                        let m = &site.mats[c[id]];
+                        [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]]
+                    })
+                    .collect();
+                batch.apply_1q_lanes(&es, *q);
+            }
+        }
+        [a, b] => {
+            if uniform {
+                batch.apply_2q(&site.mats[k0], *a, *b);
+            } else {
+                let mms: Vec<[[Complex<T>; 4]; 4]> = choices
+                    .iter()
+                    .map(|c| local_2q_matrix(&site.mats[c[id]], *a, *b))
+                    .collect();
+                batch.apply_2q_lanes(&mms, *a, *b);
+            }
+        }
+        _ => unreachable!("arity > 2 handled by the scalar fallback"),
+    }
+}
+
+/// Scalar-path fallback for ≥3-qubit sites: extract each lane, run the
+/// exact scalar site application, scatter back.
+fn apply_site_via_scalar<T: Scalar>(
+    compiled: &Compiled<T>,
+    batch: &mut StateBatch<T>,
+    id: usize,
+    choices: &[&[usize]],
+    realized: &mut [f64],
+) {
+    let site = &compiled.sites()[id];
+    let mut scratch = StateVector::zero_state(0);
+    for (lane, (c, r)) in choices.iter().zip(realized.iter_mut()).enumerate() {
+        let k = c[id];
+        batch.extract_lane_into(lane, &mut scratch);
+        if site.is_unitary_mixture {
+            *r *= site.probs[k];
+            scratch.apply_kq(&site.mats[k], &site.qubits);
+        } else {
+            *r *= apply_kraus_normalized(&mut scratch, &site.mats[k], &site.qubits);
+        }
+        batch.load_lane(lane, &scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{compile, prepare};
+    use ptsbe_circuit::{channels, Circuit, NoiseModel};
+    use ptsbe_math::gates;
+
+    type Sv = StateVector<f64>;
+
+    /// Distinct random product-ish states, one per lane, mirrored into a
+    /// batch and a per-lane scalar vector.
+    fn mirrored(n: usize, lanes: usize, seed: u64) -> (StateBatch<f64>, Vec<Sv>) {
+        let mut rng = ptsbe_rng::PhiloxRng::new(seed, 0);
+        let mut batch = StateBatch::zero_states(n, lanes);
+        let mut svs = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let mut sv = Sv::zero_state(n);
+            for q in 0..n {
+                let u = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+                sv.apply_1q(&u, q);
+            }
+            for q in 0..n - 1 {
+                sv.apply_cx(q, q + 1);
+            }
+            batch.load_lane(lane, &sv);
+            svs.push(sv);
+        }
+        (batch, svs)
+    }
+
+    fn assert_lanes_bitwise(batch: &StateBatch<f64>, svs: &[Sv], label: &str) {
+        let mut scratch = Sv::zero_state(0);
+        for (lane, sv) in svs.iter().enumerate() {
+            batch.extract_lane_into(lane, &mut scratch);
+            for (i, (a, b)) in scratch.amplitudes().iter().zip(sv.amplitudes()).enumerate() {
+                assert_eq!(
+                    (a.re.to_bits(), a.im.to_bits()),
+                    (b.re.to_bits(), b.im.to_bits()),
+                    "{label}: lane {lane} amp {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_states_and_lane_roundtrip() {
+        let batch = StateBatch::<f64>::zero_states(3, 4);
+        let mut sv = Sv::zero_state(0);
+        for lane in 0..4 {
+            batch.extract_lane_into(lane, &mut sv);
+            assert_eq!(sv.n_qubits(), 3);
+            assert!((sv.probability(0) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn dense_kernels_bitwise_match_scalar() {
+        let (mut batch, mut svs) = mirrored(4, 3, 1000);
+        let mut rng = ptsbe_rng::PhiloxRng::new(1001, 0);
+        let u1 = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+        let u2 = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+        for q in [0, 3] {
+            batch.apply_1q(&u1, q);
+            svs.iter_mut().for_each(|s| s.apply_1q(&u1, q));
+        }
+        for (a, b) in [(0usize, 1usize), (3, 1), (2, 0)] {
+            batch.apply_2q(&u2, a, b);
+            svs.iter_mut().for_each(|s| s.apply_2q(&u2, a, b));
+        }
+        assert_lanes_bitwise(&batch, &svs, "dense");
+    }
+
+    #[test]
+    fn per_lane_kernels_bitwise_match_scalar() {
+        let (mut batch, mut svs) = mirrored(3, 3, 1100);
+        let mut rng = ptsbe_rng::PhiloxRng::new(1101, 0);
+        let ms: Vec<_> = (0..3)
+            .map(|_| ptsbe_math::random::haar_unitary::<f64>(2, &mut rng))
+            .collect();
+        let es: Vec<[Complex<f64>; 4]> = ms
+            .iter()
+            .map(|m| [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]])
+            .collect();
+        batch.apply_1q_lanes(&es, 1);
+        for (s, m) in svs.iter_mut().zip(&ms) {
+            s.apply_1q(m, 1);
+        }
+        let m2s: Vec<_> = (0..3)
+            .map(|_| ptsbe_math::random::haar_unitary::<f64>(4, &mut rng))
+            .collect();
+        let mms: Vec<_> = m2s.iter().map(|m| localize_2q(m, 2, 0)).collect();
+        batch.apply_2q_lanes(&mms, 2, 0);
+        for (s, m) in svs.iter_mut().zip(&m2s) {
+            s.apply_2q(m, 2, 0);
+        }
+        assert_lanes_bitwise(&batch, &svs, "per-lane");
+    }
+
+    #[test]
+    fn fast_paths_bitwise_match_scalar() {
+        let (mut batch, mut svs) = mirrored(4, 2, 1200);
+        let d1 = [Complex::cis(0.3), Complex::cis(-1.1)];
+        let d2 = [
+            Complex::cis(0.2),
+            Complex::cis(1.7),
+            Complex::cis(-0.4),
+            Complex::cis(2.9),
+        ];
+        let perm1 = [1usize, 0];
+        let ph1 = [Complex::cis(0.9), Complex::cis(-2.2)];
+        let perm2 = [2usize, 0, 3, 1];
+        let ph2 = [
+            Complex::cis(0.1),
+            Complex::cis(1.2),
+            Complex::cis(-0.7),
+            Complex::cis(2.4),
+        ];
+        batch.apply_diag_1q(&d1, 2);
+        batch.apply_diag_2q(&d2, 3, 1);
+        batch.apply_perm_1q(&perm1, &ph1, 0);
+        batch.apply_perm_2q(&perm2, &ph2, 1, 3);
+        batch.apply_cx(0, 2);
+        batch.apply_cx(3, 1);
+        batch.apply_cz(1, 2);
+        batch.apply_swap(3, 0);
+        for s in svs.iter_mut() {
+            s.apply_diag_1q(&d1, 2);
+            s.apply_diag_2q(&d2, 3, 1);
+            s.apply_perm_1q(&perm1, &ph1, 0);
+            s.apply_perm_2q(&perm2, &ph2, 1, 3);
+            s.apply_cx(0, 2);
+            s.apply_cx(3, 1);
+            s.apply_cz(1, 2);
+            s.apply_swap(3, 0);
+        }
+        assert_lanes_bitwise(&batch, &svs, "fast paths");
+    }
+
+    #[test]
+    fn kq_gather_bitwise_matches_scalar() {
+        let (mut batch, mut svs) = mirrored(4, 3, 1300);
+        batch.apply_kq(&gates::ccx(), &[3, 0, 2]);
+        for s in svs.iter_mut() {
+            s.apply_kq(&gates::ccx(), &[3, 0, 2]);
+        }
+        assert_lanes_bitwise(&batch, &svs, "kq");
+    }
+
+    #[test]
+    fn norms_bitwise_match_scalar_both_regimes() {
+        for n in [5, PARALLEL_THRESHOLD_QUBITS] {
+            let (batch, svs) = mirrored(n, 2, 1400 + n as u64);
+            let mut n2 = vec![0.0f64; 2];
+            batch.norm_sqr_lanes(&mut n2);
+            for (lane, sv) in svs.iter().enumerate() {
+                assert_eq!(
+                    n2[lane].to_bits(),
+                    sv.norm_sqr().to_bits(),
+                    "n={n} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_batch_matches_scalar_prepare_bitwise() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::depolarizing(0.1))
+            .with_default_2q(channels::depolarizing2(0.1))
+            .apply(&c);
+        let compiled = compile::<f64>(&nc).unwrap();
+        let ident = nc.identity_assignment().unwrap();
+        let mut with_err = ident.clone();
+        with_err[1] = 2;
+        let mut with_err2 = ident.clone();
+        *with_err2.last_mut().unwrap() = 1;
+        let lanes = [ident.as_slice(), with_err.as_slice(), with_err2.as_slice()];
+        let mut batch = StateBatch::zero_states(3, lanes.len());
+        let mut realized = vec![1.0f64; lanes.len()];
+        advance_batch(
+            &compiled,
+            &mut batch,
+            0..compiled.n_segments(),
+            &lanes,
+            &mut realized,
+        );
+        let mut scratch = Sv::zero_state(0);
+        for (lane, choice) in lanes.iter().enumerate() {
+            let (sv, p) = prepare(&compiled, choice);
+            assert_eq!(realized[lane].to_bits(), p.to_bits(), "lane {lane} weight");
+            batch.extract_lane_into(lane, &mut scratch);
+            for (a, b) in scratch.amplitudes().iter().zip(sv.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "lane {lane}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_batch_general_channel_bitwise() {
+        // Amplitude damping exercises the per-lane Kraus normalization.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::amplitude_damping(0.3))
+            .with_default_2q(channels::amplitude_damping(0.3))
+            .apply(&c);
+        let compiled = compile::<f64>(&nc).unwrap();
+        // Damping channels have no identity branch; branch 0 is "no decay".
+        let no_decay = vec![0usize; nc.n_sites()];
+        let mut damp = no_decay.clone();
+        damp[1] = 1;
+        let lanes = [no_decay.as_slice(), damp.as_slice()];
+        let mut batch = StateBatch::zero_states(2, 2);
+        let mut realized = vec![1.0f64; 2];
+        advance_batch(
+            &compiled,
+            &mut batch,
+            0..compiled.n_segments(),
+            &lanes,
+            &mut realized,
+        );
+        let mut scratch = Sv::zero_state(0);
+        for (lane, choice) in lanes.iter().enumerate() {
+            let (sv, p) = prepare(&compiled, choice);
+            assert_eq!(realized[lane].to_bits(), p.to_bits());
+            batch.extract_lane_into(lane, &mut scratch);
+            for (a, b) in scratch.amplitudes().iter().zip(sv.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "lane {lane}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "lane {lane}");
+            }
+        }
+    }
+}

@@ -127,6 +127,16 @@ impl<T: Scalar> Compiled<T> {
     pub fn n_segments(&self) -> usize {
         self.seg_bounds.len() - 1
     }
+    /// The ops covered by a contiguous segment span — the one slice both
+    /// the scalar [`advance`] loop and the batch-major
+    /// [`crate::batch::advance_batch`] loop walk, so the two paths can
+    /// never disagree on op order.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds [`Compiled::n_segments`].
+    pub fn segment_ops(&self, segments: std::ops::Range<usize>) -> &[CompiledOp<T>] {
+        &self.ops[self.seg_bounds[segments.start]..self.seg_bounds[segments.end]]
+    }
     /// The fusion report for this compilation (all-passthrough when the
     /// circuit was compiled unfused).
     pub fn fusion_stats(&self) -> FusionStats {
@@ -400,7 +410,7 @@ pub fn advance<T: Scalar>(
     if segments.is_empty() {
         return realized;
     }
-    let ops = &compiled.ops[compiled.seg_bounds[segments.start]..compiled.seg_bounds[segments.end]];
+    let ops = compiled.segment_ops(segments);
     for op in ops {
         match op {
             CompiledOp::G1(m, q) => sv.apply_1q(m, *q),

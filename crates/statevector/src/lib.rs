@@ -7,6 +7,11 @@
 //!   `f32`/`f64`; the paper uses `complex64`, i.e. `f32` pairs) with
 //!   rayon-parallel 1-/2-/k-qubit gate kernels and permutation fast paths
 //!   for CX/CZ/SWAP;
+//! - [`batch::StateBatch`] — batch-major execution: `B` trajectory states
+//!   in one contiguous amplitude-major allocation, each fused kernel
+//!   swept across all `B` lanes at once with a lane-contiguous
+//!   (autovectorizing) inner loop, bit-identical per lane to the scalar
+//!   kernels;
 //! - [`sampling`] — the *bulk* shot sampler: O(2^n + m) sorted-uniform
 //!   merge or O(1)-per-shot alias table, the polynomial-cost step whose
 //!   amortization over `m_α` shots is the entire point of Batched
@@ -23,11 +28,13 @@
 //! running inside a configured `rayon::ThreadPool` (this substitutes for
 //! the paper's intra-trajectory multi-GPU distribution).
 
+pub mod batch;
 pub mod exec;
 pub mod kraus;
 pub mod sampling;
 pub mod state;
 
+pub use batch::{advance_batch, StateBatch};
 pub use exec::{prepare_with_assignment, run_pure, ExecError};
 pub use sampling::SamplingStrategy;
 pub use state::StateVector;

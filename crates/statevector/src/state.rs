@@ -47,6 +47,35 @@ impl<T: Scalar> StateVector<T> {
         }
     }
 
+    /// Overwrite `self` with `src`'s contents, reusing the existing
+    /// amplitude allocation when its capacity allows — the pooled-fork
+    /// path (`Backend::fork_into`). Amplitudes are copied verbatim, so a
+    /// state forked into a recycled buffer is bitwise identical to a
+    /// fresh clone.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.n_qubits = src.n_qubits;
+        self.amps.clone_from(&src.amps);
+    }
+
+    /// Reshape to `n_qubits` worth of zeroed amplitudes without giving up
+    /// the allocation (scratch-buffer reuse in lane extraction and the
+    /// Algorithm-1 baseline loop).
+    pub fn reinit(&mut self, n_qubits: usize) {
+        assert!(
+            n_qubits <= 48,
+            "statevector of {n_qubits} qubits is not addressable"
+        );
+        self.n_qubits = n_qubits;
+        self.amps.clear();
+        self.amps.resize(1usize << n_qubits, Complex::zero());
+    }
+
+    /// Reset to `|0…0⟩` in place (allocation-free re-preparation).
+    pub fn reset_zero(&mut self) {
+        self.amps.fill(Complex::zero());
+        self.amps[0] = Complex::one();
+    }
+
     /// Number of qubits.
     pub fn n_qubits(&self) -> usize {
         self.n_qubits
@@ -153,10 +182,9 @@ impl<T: Scalar> StateVector<T> {
         let kernel = |chunk: &mut [Complex<T>]| {
             let (lo, hi) = chunk.split_at_mut(stride);
             for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
-                let x0 = *a0;
-                let x1 = *a1;
-                *a0 = e[0] * x0 + e[1] * x1;
-                *a1 = e[2] * x0 + e[3] * x1;
+                let (y0, y1) = vec_ops::mat2_apply(&e, *a0, *a1);
+                *a0 = y0;
+                *a1 = y1;
             }
         };
         if self.use_parallel() {
@@ -175,21 +203,7 @@ impl<T: Scalar> StateVector<T> {
         let ql = a.min(b);
         let sh = 1usize << qh;
         let sl = 1usize << ql;
-        // Map local positions [hl] = [00, 01, 10, 11] (h = high-qubit bit,
-        // l = low-qubit bit) to the gate's (bit_a, bit_b) basis.
-        let pos_to_basis = |h: usize, l: usize| -> usize {
-            let bit_a = if a == qh { h } else { l };
-            let bit_b = if b == qh { h } else { l };
-            (bit_a << 1) | bit_b
-        };
-        let mut mm = [[Complex::<T>::zero(); 4]; 4];
-        for (r, row) in mm.iter_mut().enumerate() {
-            for (c, entry) in row.iter_mut().enumerate() {
-                let (rh, rl) = (r >> 1, r & 1);
-                let (ch, cl) = (c >> 1, c & 1);
-                *entry = m[(pos_to_basis(rh, rl), pos_to_basis(ch, cl))];
-            }
-        }
+        let mm = local_2q_matrix(m, a, b);
         let kernel = move |chunk: &mut [Complex<T>]| {
             // chunk covers bits 0..=qh; enumerate positions with both gate
             // bits clear.
@@ -201,14 +215,7 @@ impl<T: Scalar> StateVector<T> {
                     let i10 = k + sh;
                     let i11 = k + sh + sl;
                     let x = [chunk[i00], chunk[i01], chunk[i10], chunk[i11]];
-                    let mut y = [Complex::<T>::zero(); 4];
-                    for (r, yr) in y.iter_mut().enumerate() {
-                        let mut acc = Complex::zero();
-                        for (c, &xc) in x.iter().enumerate() {
-                            acc += mm[r][c] * xc;
-                        }
-                        *yr = acc;
-                    }
+                    let y = vec_ops::mat4_apply(&mm, &x);
                     chunk[i00] = y[0];
                     chunk[i01] = y[1];
                     chunk[i10] = y[2];
@@ -295,29 +302,7 @@ impl<T: Scalar> StateVector<T> {
         let ql = a.min(b);
         let sh = 1usize << qh;
         let sl = 1usize << ql;
-        // Remap gate-basis perm/phase to local positions [hl] (h =
-        // high-qubit bit, l = low-qubit bit), mirroring `apply_2q`.
-        let pos_to_basis = |h: usize, l: usize| -> usize {
-            let bit_a = if a == qh { h } else { l };
-            let bit_b = if b == qh { h } else { l };
-            (bit_a << 1) | bit_b
-        };
-        let mut basis_to_pos = [0usize; 4];
-        for h in 0..2 {
-            for l in 0..2 {
-                basis_to_pos[pos_to_basis(h, l)] = (h << 1) | l;
-            }
-        }
-        let mut lperm = [0usize; 4];
-        let mut lphase = [Complex::<T>::zero(); 4];
-        for h in 0..2 {
-            for l in 0..2 {
-                let r_local = (h << 1) | l;
-                let r_gate = pos_to_basis(h, l);
-                lperm[r_local] = basis_to_pos[perm[r_gate]];
-                lphase[r_local] = phase[r_gate];
-            }
-        }
+        let (lperm, lphase) = local_2q_perm(perm, phase, a, b);
         let kernel = move |chunk: &mut [Complex<T>]| {
             let mut base = 0usize;
             while base < sh {
@@ -427,9 +412,12 @@ impl<T: Scalar> StateVector<T> {
         }
         // Sorted copy for zero-bit enumeration; remember the basis mapping:
         // gate basis bit (k-1-t) corresponds to qubits[t] (first argument =
-        // most significant, as in ptsbe_math::gates).
-        let mut sorted: Vec<usize> = qubits.to_vec();
-        sorted.sort_unstable();
+        // most significant, as in ptsbe_math::gates). k ≤ 16, so the copy
+        // lives on the stack instead of allocating per call.
+        let mut sorted_buf = [0usize; 16];
+        sorted_buf[..k].copy_from_slice(qubits);
+        sorted_buf[..k].sort_unstable();
+        let sorted: &[usize] = &sorted_buf[..k];
         let dim = 1usize << k;
         // For each gate-basis index, the global offset it adds.
         let mut offsets = vec![0usize; dim];
@@ -530,6 +518,65 @@ impl<T: Scalar> StateVector<T> {
             self.collapse(q, false);
         }
     }
+}
+
+/// Remap a two-qubit gate matrix from the `(bit_a << 1) | bit_b` argument
+/// basis to local positions `[hl]` (h = high-qubit bit, l = low-qubit
+/// bit) — the gather order of the 2-qubit amplitude sweeps. Shared by the
+/// scalar and batch-major kernels so both read identical entries.
+pub(crate) fn local_2q_matrix<T: Scalar>(
+    m: &Matrix<T>,
+    a: usize,
+    b: usize,
+) -> [[Complex<T>; 4]; 4] {
+    let qh = a.max(b);
+    let pos_to_basis = |h: usize, l: usize| -> usize {
+        let bit_a = if a == qh { h } else { l };
+        let bit_b = if b == qh { h } else { l };
+        (bit_a << 1) | bit_b
+    };
+    let mut mm = [[Complex::<T>::zero(); 4]; 4];
+    for (r, row) in mm.iter_mut().enumerate() {
+        for (c, entry) in row.iter_mut().enumerate() {
+            let (rh, rl) = (r >> 1, r & 1);
+            let (ch, cl) = (c >> 1, c & 1);
+            *entry = m[(pos_to_basis(rh, rl), pos_to_basis(ch, cl))];
+        }
+    }
+    mm
+}
+
+/// Remap a gate-basis permutation/phase pair to local `[hl]` positions,
+/// mirroring [`local_2q_matrix`].
+pub(crate) fn local_2q_perm<T: Scalar>(
+    perm: &[usize; 4],
+    phase: &[Complex<T>; 4],
+    a: usize,
+    b: usize,
+) -> ([usize; 4], [Complex<T>; 4]) {
+    let qh = a.max(b);
+    let pos_to_basis = |h: usize, l: usize| -> usize {
+        let bit_a = if a == qh { h } else { l };
+        let bit_b = if b == qh { h } else { l };
+        (bit_a << 1) | bit_b
+    };
+    let mut basis_to_pos = [0usize; 4];
+    for h in 0..2 {
+        for l in 0..2 {
+            basis_to_pos[pos_to_basis(h, l)] = (h << 1) | l;
+        }
+    }
+    let mut lperm = [0usize; 4];
+    let mut lphase = [Complex::<T>::zero(); 4];
+    for h in 0..2 {
+        for l in 0..2 {
+            let r_local = (h << 1) | l;
+            let r_gate = pos_to_basis(h, l);
+            lperm[r_local] = basis_to_pos[perm[r_gate]];
+            lphase[r_local] = phase[r_gate];
+        }
+    }
+    (lperm, lphase)
 }
 
 #[cfg(test)]
@@ -876,6 +923,42 @@ mod tests {
             dense.apply_2q(&m, a, b);
             assert_states_close(&fast, &dense, &format!("perm2 a={a} b={b}"));
         }
+    }
+
+    #[test]
+    fn copy_from_recycles_allocation_bitwise() {
+        let src = random_state(6, 900);
+        // Dirty destination of a different size: copy must fully overwrite
+        // and adopt the source shape without allocating when capacity fits.
+        let mut dst = random_state(6, 901);
+        let cap_before = dst.amps.capacity();
+        let ptr_before = dst.amps.as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst.n_qubits(), 6);
+        assert_eq!(dst.amps.capacity(), cap_before);
+        assert_eq!(dst.amps.as_ptr(), ptr_before, "must reuse the buffer");
+        for (a, b) in dst.amps.iter().zip(&src.amps) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // Smaller source: shape shrinks, stale tail cannot survive.
+        let small = random_state(3, 902);
+        dst.copy_from(&small);
+        assert_eq!(dst.n_qubits(), 3);
+        assert_eq!(dst.amplitudes().len(), 8);
+    }
+
+    #[test]
+    fn reinit_and_reset_zero_reuse_buffer() {
+        let mut sv = random_state(5, 903);
+        let ptr = sv.amps.as_ptr();
+        sv.reset_zero();
+        assert_eq!(sv.amps.as_ptr(), ptr);
+        assert_close(sv.probability(0), 1.0);
+        assert_close(sv.norm_sqr(), 1.0);
+        sv.reinit(4);
+        assert_eq!(sv.n_qubits(), 4);
+        assert!(sv.amplitudes().iter().all(|z| *z == Complex::zero()));
     }
 
     #[test]

@@ -28,7 +28,7 @@ impl Default for MpsConfig {
 ///
 /// Invariant: sites `< center` are left-canonical, sites `> center` are
 /// right-canonical; the full state norm lives in the center tensor.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Mps<T: Scalar> {
     tensors: Vec<Tensor3<T>>,
     center: usize,
@@ -37,6 +37,28 @@ pub struct Mps<T: Scalar> {
     trunc_error: f64,
     /// Largest bond dimension reached over the state's history.
     max_bond_reached: usize,
+    /// Scratch for the two-site θ contraction — reused across every
+    /// [`Mps::apply_2q`] instead of reallocated per gate. Not part of the
+    /// state: clones start empty, `copy_from` keeps the destination's.
+    theta: Vec<Complex<T>>,
+    /// Scratch for the gated θ′ tensor (recovered from the SVD input
+    /// matrix after each two-site update).
+    theta2: Vec<Complex<T>>,
+}
+
+impl<T: Scalar> Clone for Mps<T> {
+    fn clone(&self) -> Self {
+        Self {
+            tensors: self.tensors.clone(),
+            center: self.center,
+            config: self.config,
+            trunc_error: self.trunc_error,
+            max_bond_reached: self.max_bond_reached,
+            // Scratch is per-instance working memory, not state.
+            theta: Vec::new(),
+            theta2: Vec::new(),
+        }
+    }
 }
 
 impl<T: Scalar> Mps<T> {
@@ -49,7 +71,27 @@ impl<T: Scalar> Mps<T> {
             config,
             trunc_error: 0.0,
             max_bond_reached: 1,
+            theta: Vec::new(),
+            theta2: Vec::new(),
         }
+    }
+
+    /// Overwrite `self` with `src`'s state, recycling this instance's
+    /// tensor buffers (and keeping its scratch) instead of reallocating —
+    /// the pooled-fork path (`Backend::fork_into`). Tensor entries are
+    /// copied verbatim, so a state forked into a recycled instance is
+    /// bitwise identical to a fresh clone.
+    pub fn copy_from(&mut self, src: &Self) {
+        self.tensors.truncate(src.tensors.len());
+        let have = self.tensors.len();
+        for (dst, s) in self.tensors.iter_mut().zip(&src.tensors) {
+            dst.copy_from(s);
+        }
+        self.tensors.extend(src.tensors[have..].iter().cloned());
+        self.center = src.center;
+        self.config = src.config;
+        self.trunc_error = src.trunc_error;
+        self.max_bond_reached = src.max_bond_reached;
     }
 
     /// Number of qubits.
@@ -215,6 +257,12 @@ impl<T: Scalar> Mps<T> {
     fn apply_2q_adjacent(&mut self, m: &Matrix<T>, q: usize) {
         assert!(q + 1 < self.n_qubits());
         self.move_center(q);
+        // Take the θ scratch buffers up front (ends the &mut borrows
+        // before the tensor reads below); they are handed back — via the
+        // SVD input matrix for θ′ — at the end, so steady-state two-site
+        // updates allocate nothing.
+        let mut theta = std::mem::take(&mut self.theta);
+        let mut theta2 = std::mem::take(&mut self.theta2);
         let a = &self.tensors[q];
         let b = &self.tensors[q + 1];
         let (dl, dr) = (a.dl, b.dr);
@@ -223,7 +271,8 @@ impl<T: Scalar> Mps<T> {
 
         // theta[l, p1, p2, r] = Σ_k A[l,p1,k] B[k,p2,r], then gate applied
         // to (p1, p2).
-        let mut theta = vec![Complex::<T>::zero(); dl * 4 * dr];
+        theta.clear();
+        theta.resize(dl * 4 * dr, Complex::<T>::zero());
         for l in 0..dl {
             for p1 in 0..2 {
                 for k in 0..mid {
@@ -241,7 +290,8 @@ impl<T: Scalar> Mps<T> {
             }
         }
         // Gate: theta'[l, p1', p2', r] = Σ m[(p1'<<1)|p2', (p1<<1)|p2] theta[l,p1,p2,r]
-        let mut theta2 = vec![Complex::<T>::zero(); dl * 4 * dr];
+        theta2.clear();
+        theta2.resize(dl * 4 * dr, Complex::<T>::zero());
         for l in 0..dl {
             for pp in 0..4usize {
                 for p in 0..4usize {
@@ -262,6 +312,9 @@ impl<T: Scalar> Mps<T> {
         // Reshape to (dl*2) × (2*dr) and SVD.
         let mat = Matrix::from_vec(dl * 2, 2 * dr, theta2);
         let dec = svd(&mat);
+        // Hand the scratch allocations back for the next two-site update.
+        self.theta = theta;
+        self.theta2 = mat.into_vec();
         // Truncate.
         let total: f64 = dec.s.iter().map(|&s| (s * s).to_f64()).sum();
         let smax = dec.s.first().copied().unwrap_or(T::ZERO);
@@ -726,6 +779,58 @@ mod tests {
             assert!((fast.amplitude(bits) - slow.amplitude(bits)).abs() < 1e-10);
         }
         assert!((fast.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn copy_from_recycles_buffers_bitwise() {
+        let entangle = |seed: u64| {
+            let mut rng = ptsbe_rng::PhiloxRng::new(seed, 0);
+            let mut m = Mps::<f64>::zero_state(4, exact());
+            m.apply_1q(&gates::h(), 0);
+            for q in 0..3 {
+                let u = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+                m.apply_2q(&u, q, q + 1);
+            }
+            m
+        };
+        let src = entangle(300);
+        // Dirty destination with different entanglement structure.
+        let mut dst = entangle(301);
+        dst.copy_from(&src);
+        let fresh = src.clone();
+        for bits in 0..16u128 {
+            let a = dst.amplitude(bits);
+            let b = fresh.amplitude(bits);
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "amp {bits}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "amp {bits}");
+        }
+        assert_eq!(dst.center(), src.center());
+        assert_eq!(dst.max_bond_reached(), src.max_bond_reached());
+        // A recycled state must keep evolving identically to a clone.
+        let mut dst2 = dst;
+        let mut fresh2 = fresh;
+        dst2.apply_2q(&gates::cx(), 1, 3);
+        fresh2.apply_2q(&gates::cx(), 1, 3);
+        for bits in 0..16u128 {
+            assert!((dst2.amplitude(bits) - fresh2.amplitude(bits)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn theta_scratch_reuse_is_invisible() {
+        // Repeated two-site updates must give the same state whether the
+        // scratch starts empty (fresh state) or warm (after prior gates).
+        let mut warm = Mps::<f64>::zero_state(3, exact());
+        warm.apply_1q(&gates::h(), 0);
+        warm.apply_2q(&gates::cx(), 0, 1);
+        let mut cold = warm.clone(); // clone starts with empty scratch
+        warm.apply_2q(&gates::cx(), 1, 2);
+        cold.apply_2q(&gates::cx(), 1, 2);
+        for bits in 0..8u128 {
+            let (a, b) = (warm.amplitude(bits), cold.amplitude(bits));
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 
     #[test]

@@ -31,6 +31,15 @@ impl<T: Scalar> Tensor3<T> {
         t
     }
 
+    /// Overwrite `self` with `src`'s shape and entries, reusing the
+    /// existing storage allocation when its capacity allows (the
+    /// pooled-fork path).
+    pub fn copy_from(&mut self, src: &Self) {
+        self.dl = src.dl;
+        self.dr = src.dr;
+        self.data.clone_from(&src.data);
+    }
+
     /// Entry accessor.
     #[inline]
     pub fn get(&self, l: usize, p: usize, r: usize) -> Complex<T> {

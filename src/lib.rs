@@ -47,9 +47,9 @@ pub mod prelude {
     };
     pub use ptsbe_core::baseline::{run_baseline_mps, run_baseline_sv};
     pub use ptsbe_core::{
-        backend::MpsSampleMode, estimators, stats, BandPts, BatchedExecutor, ExhaustivePts,
-        MpsBackend, ProbabilisticPts, ProportionalPts, PtsPlan, PtsPlanTree, PtsSampler, SvBackend,
-        TopKPts, TreeExecutor,
+        backend::MpsSampleMode, estimators, stats, BandPts, BatchMajorExecutor, BatchedExecutor,
+        ExhaustivePts, MpsBackend, PoolStats, ProbabilisticPts, ProportionalPts, PtsPlan,
+        PtsPlanTree, PtsSampler, StatePool, SvBackend, TopKPts, TreeExecutor,
     };
     pub use ptsbe_dataset::{DatasetHeader, TrajectoryRecord};
     pub use ptsbe_densitymatrix::DensityMatrix;

@@ -383,3 +383,98 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Pool-recycling invariants (PR 3)
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A state forked into a recycled (dirty) buffer is bitwise identical
+    /// to a fresh clone, on both backends — the invariant that makes the
+    /// pooled tree walk safe.
+    #[test]
+    fn pooled_fork_bitwise_equals_fresh_clone((n, recipe, p) in circuit_strategy()) {
+        use ptsbe::core::Backend;
+        let noisy = build(n, &recipe, p);
+        prop_assume!(noisy.n_sites() >= 1);
+        // Two different random assignments: one for the source state, one
+        // to poison the recycled buffer.
+        let draw = |seed_off: u64| -> Vec<usize> {
+            let mut r = PhiloxRng::new(951 + seed_off, 0);
+            noisy
+                .sites()
+                .iter()
+                .map(|s| (r.next_u64() as usize) % s.channel.sampling_probs().len())
+                .collect()
+        };
+        let src_choices = draw(0);
+        let poison_choices = draw(1);
+
+        // Statevector backend.
+        let sv = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+        let (src, _) = sv.prepare(&src_choices);
+        let (poison, _) = sv.prepare(&poison_choices);
+        let pool = StatePool::new();
+        sv.release(poison, &pool);
+        let recycled = sv.fork_pooled(&src, &pool);
+        prop_assert_eq!(pool.stats().recycled, 1, "fork must have drawn the dirty buffer");
+        let fresh = sv.fork(&src);
+        for (i, (a, b)) in recycled.amplitudes().iter().zip(fresh.amplitudes()).enumerate() {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "sv re amp {}", i);
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "sv im amp {}", i);
+        }
+
+        // MPS backend (different tensor shapes between poison and source
+        // exercise the shape-adapting copy).
+        let mps = MpsBackend::<f64>::new(
+            &noisy,
+            MpsConfig { max_bond: 16, cutoff: 0.0 },
+            MpsSampleMode::Cached,
+        )
+        .unwrap();
+        let (m_src, _) = mps.prepare(&src_choices);
+        let (m_poison, _) = mps.prepare(&poison_choices);
+        let m_pool = StatePool::new();
+        mps.release(m_poison, &m_pool);
+        let m_recycled = mps.fork_pooled(&m_src, &m_pool);
+        let m_fresh = mps.fork(&m_src);
+        for bits in 0..(1u128 << n) {
+            let a = m_recycled.amplitude(bits);
+            let b = m_fresh.amplitude(bits);
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits(), "mps re amp {}", bits);
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits(), "mps im amp {}", bits);
+        }
+    }
+
+    /// Released buffers never leak stale amplitudes into later
+    /// trajectories: the pooled tree executor and the batch-major
+    /// executor reproduce the clone-per-trajectory flat executor bitwise
+    /// on random circuits.
+    #[test]
+    fn recycled_buffers_never_leak_into_trajectories((n, recipe, p) in circuit_strategy()) {
+        let noisy = build(n, &recipe, p);
+        let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(952, 0);
+        let plan = ProbabilisticPts { n_samples: 25, shots_per_trajectory: 8, dedup: false }
+            .sample_plan(&noisy, &mut rng);
+        let flat = BatchedExecutor { seed: 9, parallel: false }.execute(&backend, &noisy, &plan);
+        let tree = TreeExecutor { seed: 9, parallel: false }.execute(&backend, &noisy, &plan);
+        let batch = BatchMajorExecutor { seed: 9, parallel: false, lanes: 4 }
+            .execute(&backend, &noisy, &plan);
+        for (a, b) in tree.trajectories.iter().zip(&flat.trajectories) {
+            prop_assert_eq!(&a.shots, &b.shots, "pooled tree leaked state");
+            prop_assert_eq!(
+                a.meta.realized_prob.to_bits(),
+                b.meta.realized_prob.to_bits()
+            );
+        }
+        for (a, b) in batch.trajectories.iter().zip(&flat.trajectories) {
+            prop_assert_eq!(&a.shots, &b.shots, "batch lane leaked state");
+            prop_assert_eq!(
+                a.meta.realized_prob.to_bits(),
+                b.meta.realized_prob.to_bits()
+            );
+        }
+    }
+}
