@@ -1,0 +1,188 @@
+//! PR 4 perf snapshot: the data-collection service, cold vs warm cache,
+//! per routed engine — written as machine-readable JSON (`BENCH_pr4.json`
+//! at the repo root) so later PRs have a service-level perf trajectory to
+//! diff against.
+//!
+//! For each engine a fresh service receives the same job spec
+//! `1 + warm_reps` times: the first submission compiles and plans (cold),
+//! the repeats run entirely from the artifact cache (warm). Reported:
+//! wall per job, jobs/sec, shots/sec, and the cache counters proving the
+//! warm path did zero compile/plan work.
+//!
+//! Quick mode by default (a few seconds; CI runs it in the release job).
+//! Knobs: `PTSBE_PR4_QUBITS`, `PTSBE_PR4_DEPTH`, `PTSBE_PR4_TRAJ`,
+//! `PTSBE_PR4_SHOTS`, `PTSBE_PR4_FRAME_SHOTS`, `PTSBE_PR4_WARM_REPS`,
+//! `PTSBE_PR4_WORKERS`, and `PTSBE_PR4_OUT` for the output path.
+
+use ptsbe_bench::{env_usize, msd_like, with_entangler_depolarizing};
+use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
+use ptsbe_core::{ProbabilisticPts, PtsSampler};
+use ptsbe_dataset::MemorySink;
+use ptsbe_rng::PhiloxRng;
+use ptsbe_service::{EngineKind, EnginePolicy, JobSpec, ServiceConfig, ShotService};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct EngineRow {
+    label: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_jobs_per_sec: f64,
+    shots_per_job: u64,
+    cold_shots_per_sec: f64,
+    warm_shots_per_sec: f64,
+    cache_hits_warm: u64,
+    cache_misses_warm: u64,
+}
+
+/// Run `spec` once cold and `warm_reps` times warm on a fresh service;
+/// assert the warm path never compiles or plans.
+fn measure(label: &'static str, spec: JobSpec, expect: EngineKind, warm_reps: usize) -> EngineRow {
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: env_usize("PTSBE_PR4_WORKERS", 0),
+        ..ServiceConfig::default()
+    });
+    let submit = |spec: JobSpec| {
+        let (sink, _) = MemorySink::new();
+        let report = service.submit(spec, Box::new(sink)).expect("submit").wait();
+        assert!(report.status.is_success(), "{label}: {report:?}");
+        assert_eq!(report.engine, Some(expect), "{label}: misrouted");
+        report
+    };
+    let t0 = Instant::now();
+    let cold = submit(spec.clone());
+    let cold_wall = t0.elapsed();
+    let after_cold = service.cache_stats();
+
+    let t0 = Instant::now();
+    for _ in 0..warm_reps {
+        submit(spec.clone());
+    }
+    let warm_wall = t0.elapsed();
+    let after_warm = service.cache_stats();
+    assert_eq!(
+        after_warm.compile_misses() + after_warm.tree_misses,
+        after_cold.compile_misses() + after_cold.tree_misses,
+        "{label}: warm repeats must not compile or plan"
+    );
+
+    let warm_ms = warm_wall.as_secs_f64() * 1e3 / warm_reps as f64;
+    EngineRow {
+        label,
+        cold_ms: cold_wall.as_secs_f64() * 1e3,
+        warm_ms,
+        warm_jobs_per_sec: 1e3 / warm_ms,
+        shots_per_job: cold.shots,
+        cold_shots_per_sec: cold.shots as f64 / cold_wall.as_secs_f64(),
+        warm_shots_per_sec: cold.shots as f64 / (warm_ms / 1e3),
+        cache_hits_warm: (after_warm.compile_hits() + after_warm.tree_hits)
+            - (after_cold.compile_hits() + after_cold.tree_hits),
+        cache_misses_warm: (after_warm.compile_misses() + after_warm.tree_misses)
+            - (after_cold.compile_misses() + after_cold.tree_misses),
+    }
+}
+
+fn main() {
+    let n = env_usize("PTSBE_PR4_QUBITS", 10);
+    let depth = env_usize("PTSBE_PR4_DEPTH", 10);
+    let n_traj = env_usize("PTSBE_PR4_TRAJ", 200);
+    let shots = env_usize("PTSBE_PR4_SHOTS", 20);
+    let frame_shots = env_usize("PTSBE_PR4_FRAME_SHOTS", 2_000_000);
+    let warm_reps = env_usize("PTSBE_PR4_WARM_REPS", 5);
+    let out_path = std::env::var("PTSBE_PR4_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
+
+    // Frame workload: Clifford memory-style circuit, deterministic
+    // reference, Pauli noise — the bulk-sampling regime.
+    let mut c = Circuit::new(n);
+    for layer in 0..depth {
+        for q in 0..n - 1 {
+            if (q + layer) % 2 == 0 {
+                c.cx(q, q + 1);
+            }
+        }
+    }
+    c.measure_all();
+    let frame_nc = NoiseModel::new()
+        .with_default_2q(channels::depolarizing2(1e-2))
+        .apply(&c);
+    let mut rng = PhiloxRng::new(0x9124, 0);
+    let frame_plan = ProbabilisticPts {
+        n_samples: 1,
+        shots_per_trajectory: frame_shots,
+        dedup: true,
+    }
+    .sample_plan(&frame_nc, &mut rng);
+    let frame_spec = JobSpec::new("bench-frame", Arc::new(frame_nc), Arc::new(frame_plan), 17);
+
+    // Statevector workloads: fig4-style entangler-noise MSD layers
+    // (non-Clifford), dedup off so every trajectory is a preparation.
+    let sv_nc: NoisyCircuit = with_entangler_depolarizing(&msd_like(n, depth), 1e-3);
+    let mut rng = PhiloxRng::new(0x9125, 0);
+    let sv_plan = ProbabilisticPts {
+        n_samples: n_traj,
+        shots_per_trajectory: shots,
+        dedup: false,
+    }
+    .sample_plan(&sv_nc, &mut rng);
+    let sv_nc = Arc::new(sv_nc);
+    let sv_plan = Arc::new(sv_plan);
+    let tree_spec = JobSpec::new("bench-tree", Arc::clone(&sv_nc), Arc::clone(&sv_plan), 17)
+        .with_engine(EnginePolicy::Force(EngineKind::Tree));
+    let batch_spec = JobSpec::new("bench-batch", Arc::clone(&sv_nc), Arc::clone(&sv_plan), 17)
+        .with_engine(EnginePolicy::Force(EngineKind::BatchMajor));
+
+    let rows = [
+        measure("frame", frame_spec, EngineKind::Frame, warm_reps),
+        measure("sv-tree", tree_spec, EngineKind::Tree, warm_reps),
+        measure(
+            "sv-batch-major",
+            batch_spec,
+            EngineKind::BatchMajor,
+            warm_reps,
+        ),
+    ];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"bench\": \"shot_service_cold_vs_warm\",");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"n_qubits\": {n}, \"depth\": {depth}, \"trajectories\": {n_traj}, \
+         \"shots_per_trajectory\": {shots}, \"frame_shots\": {frame_shots}, \
+         \"warm_reps\": {warm_reps} }},"
+    );
+    let _ = writeln!(json, "  \"engines\": {{");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"warm_jobs_per_sec\": {:.2}, \"shots_per_job\": {}, \
+             \"cold_shots_per_sec\": {:.0}, \"warm_shots_per_sec\": {:.0}, \
+             \"warm_cache_hits\": {}, \"warm_cache_misses\": {} }}{}",
+            r.label,
+            r.cold_ms,
+            r.warm_ms,
+            r.warm_jobs_per_sec,
+            r.shots_per_job,
+            r.cold_shots_per_sec,
+            r.warm_shots_per_sec,
+            r.cache_hits_warm,
+            r.cache_misses_warm,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"warm_path_zero_compile_plan_work\": true");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    println!("# wrote {out_path}");
+    for r in &rows {
+        println!(
+            "# {:<15} cold {:>8.1} ms | warm {:>8.1} ms ({:.1} jobs/s, {:.2e} shots/s)",
+            r.label, r.cold_ms, r.warm_ms, r.warm_jobs_per_sec, r.warm_shots_per_sec
+        );
+    }
+}

@@ -280,6 +280,25 @@ impl KrausChannel {
         self.identity_index
     }
 
+    /// Per-branch *exact-identity* flags: `flags[k]` is true when branch
+    /// `k` of a unitary mixture is bit-for-bit the identity matrix, so an
+    /// execution path may skip its application as a mathematical no-op.
+    /// Stricter than [`KrausChannel::identity_index`] (which tolerates
+    /// global phase and round-off — branches whose application is *not*
+    /// a no-op): phase-identities and general-channel branches are never
+    /// flagged, because general channels renormalize on application.
+    /// Every backend compiler consumes this same `f64`-level detection,
+    /// which is what keeps scalar, batch-major and MPS paths skipping
+    /// identical branches — the cross-path bitwise-identity invariant.
+    pub fn identity_skip_flags(&self) -> Vec<bool> {
+        match &self.kind {
+            ChannelKind::UnitaryMixture { unitaries, .. } => {
+                unitaries.iter().map(|u| u.is_exact_identity()).collect()
+            }
+            ChannelKind::General { nominal_probs } => vec![false; nominal_probs.len()],
+        }
+    }
+
     /// Probability that *some* non-identity branch fires (the `p` of
     /// Algorithm 2's `r ≤ p` test). Zero if the channel has no identity
     /// branch.
@@ -288,6 +307,28 @@ impl KrausChannel {
             Some(idx) => 1.0 - self.sampling_probs()[idx],
             None => 1.0,
         }
+    }
+
+    /// True when the channel is a *Pauli mixture*: a unitary mixture
+    /// whose every branch is (up to global phase) a tensor product of
+    /// single-qubit Paulis. This is exactly the noise domain of
+    /// Pauli-frame simulation (Stim's, and `ptsbe_stabilizer`'s): frames
+    /// propagate Pauli errors by XOR rules, so the service router uses
+    /// this predicate (with [`crate::Circuit::is_clifford`]) to decide
+    /// whether a job may run on the bulk frame sampler.
+    pub fn is_pauli_mixture(&self) -> bool {
+        let ChannelKind::UnitaryMixture { unitaries, .. } = &self.kind else {
+            return false;
+        };
+        if self.arity > 2 {
+            // branch_label only names 1- and 2-qubit Pauli products; the
+            // noise zoo produces nothing wider.
+            return false;
+        }
+        (0..unitaries.len()).all(|i| {
+            let label = self.branch_label(i);
+            label.len() == self.arity && label.chars().all(|c| "IXYZ".contains(c))
+        })
     }
 
     /// Short human-readable label for branch `i` (provenance metadata).
@@ -479,6 +520,33 @@ mod tests {
         let k1 = gates::x::<f64>().scaled_real(p.sqrt());
         let ch = KrausChannel::new("phased", vec![k0, k1]).unwrap();
         assert_eq!(ch.identity_index(), Some(0));
+    }
+
+    #[test]
+    fn identity_skip_flags_exact_only() {
+        // Depolarizing branch 0 is the exact identity; X/Y/Z are not.
+        assert_eq!(
+            channels::depolarizing(0.1).identity_skip_flags(),
+            vec![true, false, false, false]
+        );
+        // Two-qubit depolarizing: only the II branch skips.
+        let flags = channels::depolarizing2(0.2).identity_skip_flags();
+        assert!(flags[0]);
+        assert!(flags[1..].iter().all(|&f| !f));
+        // A phase-identity branch e^{iθ}·I has identity_index (tolerant)
+        // but must NOT be skippable (its application multiplies a phase).
+        let p = 0.1f64;
+        let phase = ptsbe_math::Complex::<f64>::cis(0.7);
+        let k0 = Matrix::<f64>::identity(2).scaled(phase.scale((1.0 - p).sqrt()));
+        let k1 = gates::x::<f64>().scaled_real(p.sqrt());
+        let ch = KrausChannel::new("phased", vec![k0, k1]).unwrap();
+        assert_eq!(ch.identity_index(), Some(0));
+        assert!(ch.identity_skip_flags().iter().all(|&f| !f));
+        // General channels never skip, even if a branch looks identity-ish.
+        assert!(channels::amplitude_damping(0.2)
+            .identity_skip_flags()
+            .iter()
+            .all(|&f| !f));
     }
 
     #[test]

@@ -18,12 +18,15 @@
 //!   the object PTS algorithms sample over (paper Fig. 2);
 //! - [`fusion`] — the gate-fusion pass backend compilers run once per
 //!   segment, merging adjacent-gate runs into classified ≤2-qubit kernels
-//!   shared by every trajectory.
+//!   shared by every trajectory;
+//! - [`hash`] — stable semantic content hashing, the cache key the
+//!   data-collection service memoizes compiled artifacts under.
 
 pub mod channels;
 pub mod circuit;
 pub mod fusion;
 pub mod gate;
+pub mod hash;
 pub mod kraus;
 pub mod noise_model;
 pub mod noisy;
@@ -32,6 +35,7 @@ pub mod op;
 pub use circuit::Circuit;
 pub use fusion::{FusedKernel, FusedOp, Fuser, FusionStats};
 pub use gate::Gate;
+pub use hash::StableHasher;
 pub use kraus::{ChannelError, ChannelKind, KrausChannel};
 pub use noise_model::NoiseModel;
 pub use noisy::{NoiseSite, NoisyCircuit, NoisyOp};

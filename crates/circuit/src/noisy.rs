@@ -133,6 +133,28 @@ impl NoisyCircuit {
         })
     }
 
+    /// True when every coherent gate is a Clifford (the noisy-circuit
+    /// counterpart of [`Circuit::is_clifford`]; alias of
+    /// [`NoisyCircuit::gates_clifford`] under the name the service router
+    /// reads).
+    pub fn is_clifford(&self) -> bool {
+        self.gates_clifford()
+    }
+
+    /// True when every noise site's channel is a Pauli mixture (see
+    /// [`KrausChannel::is_pauli_mixture`]). Together with
+    /// [`NoisyCircuit::is_clifford`] and the absence of resets, this is
+    /// the router's precondition for the bulk Pauli-frame engine.
+    pub fn all_pauli_channels(&self) -> bool {
+        self.sites.iter().all(|s| s.channel.is_pauli_mixture())
+    }
+
+    /// True when the circuit contains a reset op (stochastic — rejected
+    /// by every fixed-assignment backend and by the frame sampler).
+    pub fn has_reset(&self) -> bool {
+        self.ops.iter().any(|o| matches!(o, NoisyOp::Reset { .. }))
+    }
+
     /// Nominal joint probability of a full trajectory assignment
     /// (`choices[site.id]` = Kraus index). Exact for unitary-mixture
     /// channels; the maximally-mixed-state proposal weight otherwise.
@@ -256,6 +278,95 @@ mod tests {
     fn assignment_length_checked() {
         let nc = noisy_bell(0.1);
         let _ = nc.assignment_probability(&[0]);
+    }
+
+    #[test]
+    fn clifford_detection_matches_gate_zoo() {
+        use crate::gate::Gate;
+        let zoo: Vec<(Gate, Vec<usize>)> = vec![
+            (Gate::X, vec![0]),
+            (Gate::Y, vec![0]),
+            (Gate::Z, vec![0]),
+            (Gate::H, vec![0]),
+            (Gate::S, vec![0]),
+            (Gate::Sdg, vec![0]),
+            (Gate::T, vec![0]),
+            (Gate::Tdg, vec![0]),
+            (Gate::Sx, vec![0]),
+            (Gate::Sxdg, vec![0]),
+            (Gate::Sy, vec![0]),
+            (Gate::Sydg, vec![0]),
+            (Gate::Rx(0.3), vec![0]),
+            (Gate::Ry(0.3), vec![0]),
+            (Gate::Rz(0.3), vec![0]),
+            (Gate::P(0.3), vec![0]),
+            (Gate::Cx, vec![0, 1]),
+            (Gate::Cz, vec![0, 1]),
+            (Gate::Swap, vec![0, 1]),
+            (Gate::Ccx, vec![0, 1, 2]),
+        ];
+        for (gate, qubits) in zoo {
+            let expect = gate.is_clifford();
+            let mut c = Circuit::new(3);
+            c.gate(gate.clone(), &qubits).measure_all();
+            let nc = NoisyCircuit::from_circuit(c);
+            assert_eq!(
+                nc.is_clifford(),
+                expect,
+                "gate {} must {}be Clifford",
+                gate.name(),
+                if expect { "" } else { "not " }
+            );
+        }
+    }
+
+    #[test]
+    fn pauli_channel_detection_matches_channel_zoo() {
+        let pauli: Vec<KrausChannel> = vec![
+            channels::depolarizing(0.1),
+            channels::depolarizing2(0.2),
+            channels::bit_flip(0.3),
+            channels::phase_flip(0.25),
+            channels::bit_phase_flip(0.15),
+            channels::pauli(0.1, 0.05, 0.02),
+        ];
+        for ch in &pauli {
+            assert!(ch.is_pauli_mixture(), "{} is a Pauli mixture", ch.name());
+        }
+        let non_pauli: Vec<KrausChannel> = vec![
+            channels::amplitude_damping(0.2),
+            channels::phase_damping(0.2),
+            channels::coherent_x_overrotation(0.05),
+            channels::thermal_relaxation(0.1, 0.1),
+        ];
+        for ch in &non_pauli {
+            assert!(
+                !ch.is_pauli_mixture(),
+                "{} is not a Pauli mixture",
+                ch.name()
+            );
+        }
+
+        let mut c = Circuit::new(1);
+        c.h(0).measure_all();
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::bit_flip(0.1))
+            .apply(&c);
+        assert!(nc.all_pauli_channels());
+        let nc = NoiseModel::new()
+            .with_default_1q(channels::coherent_x_overrotation(0.05))
+            .apply(&c);
+        assert!(!nc.all_pauli_channels());
+    }
+
+    #[test]
+    fn reset_detection() {
+        let mut c = Circuit::new(1);
+        c.reset(0);
+        assert!(NoisyCircuit::from_circuit(c).has_reset());
+        let mut c = Circuit::new(1);
+        c.h(0).measure_all();
+        assert!(!NoisyCircuit::from_circuit(c).has_reset());
     }
 
     #[test]

@@ -83,7 +83,11 @@ pub fn baseline_one_sv_into<T: Scalar, R: Rng + ?Sized>(
                 let r = rng.next_f64();
                 if site.is_unitary_mixture {
                     let k = index_of(r, &site.probs);
-                    apply_sized(sv, &site.mats[k], &site.qubits);
+                    // Exact-identity branches skip, same as every
+                    // fixed-assignment path.
+                    if !site.skip_identity[k] {
+                        apply_sized(sv, &site.mats[k], &site.qubits);
+                    }
                 } else {
                     let probs = kraus_probabilities(sv, &site.mats, &site.qubits);
                     let k = index_of(r, &probs);
@@ -140,10 +144,12 @@ pub fn baseline_one_mps<T: Scalar, R: Rng + ?Sized>(
                 let r = rng.next_f64();
                 if site.is_unitary_mixture {
                     let k = index_of(r, &site.probs);
-                    match site.qubits.as_slice() {
-                        [q] => mps.apply_1q(&site.mats[k], *q),
-                        [a, b] => mps.apply_2q(&site.mats[k], *a, *b),
-                        _ => unreachable!(),
+                    if !site.skip_identity[k] {
+                        match site.qubits.as_slice() {
+                            [q] => mps.apply_1q(&site.mats[k], *q),
+                            [a, b] => mps.apply_2q(&site.mats[k], *a, *b),
+                            _ => unreachable!(),
+                        }
                     }
                 } else {
                     let probs = mps.kraus_probabilities(&site.mats, &site.qubits);

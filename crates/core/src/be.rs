@@ -120,7 +120,28 @@ impl BatchedExecutor {
         nc: &NoisyCircuit,
         plan: &PtsPlan,
     ) -> BatchResult {
-        let run_one = |(idx, traj): (usize, &crate::plan::PlannedTrajectory)| {
+        self.execute_slice(backend, nc, plan, 0..plan.trajectories.len())
+    }
+
+    /// Execute only `plan.trajectories[range]`, keeping every
+    /// trajectory's Philox stream keyed by its *absolute* plan index —
+    /// the chunked-emission entry point the data-collection service
+    /// schedules across its worker pool. Concatenating slice results in
+    /// range order is bitwise identical to one whole-plan
+    /// [`BatchedExecutor::execute`], for any slicing.
+    ///
+    /// # Panics
+    /// Panics when `range` exceeds the plan.
+    pub fn execute_slice<B: Backend>(
+        &self,
+        backend: &B,
+        nc: &NoisyCircuit,
+        plan: &PtsPlan,
+        range: std::ops::Range<usize>,
+    ) -> BatchResult {
+        let base = range.start;
+        let run_one = |(off, traj): (usize, &crate::plan::PlannedTrajectory)| {
+            let idx = base + off;
             let mut rng = PhiloxRng::for_trajectory(self.seed, idx as u64);
             let (mut state, realized) = backend.prepare(&traj.choices);
             // Physically impossible trajectories (e.g. a damping branch on
@@ -136,7 +157,7 @@ impl BatchedExecutor {
         };
         let trajectories = fan_out(
             self.parallel,
-            plan.trajectories.iter().enumerate().collect(),
+            plan.trajectories[range].iter().enumerate().collect(),
             run_one,
         );
         BatchResult { trajectories }
@@ -483,9 +504,30 @@ impl BatchMajorExecutor {
         nc: &NoisyCircuit,
         plan: &PtsPlan,
     ) -> BatchResult {
-        if plan.trajectories.is_empty() {
+        self.execute_slice(backend, nc, plan, 0..plan.trajectories.len())
+    }
+
+    /// Execute only `plan.trajectories[range]` in lane groups, keying
+    /// every lane's Philox stream by its *absolute* plan index — the
+    /// chunked-emission entry point for the data-collection service.
+    /// Bitwise identical to the flat executor for any slicing (lane
+    /// grouping never affects per-lane results; see the
+    /// `batch_major_bitwise_matches_flat_for_any_lane_count` test).
+    ///
+    /// # Panics
+    /// Panics when `range` exceeds the plan or an assignment does not
+    /// cover the site count exactly.
+    pub fn execute_slice<T: Scalar>(
+        &self,
+        backend: &SvBackend<T>,
+        nc: &NoisyCircuit,
+        plan: &PtsPlan,
+        range: std::ops::Range<usize>,
+    ) -> BatchResult {
+        if range.is_empty() {
             return BatchResult::default();
         }
+        let base = range.start;
         let compiled = backend.compiled();
         let n_sites = compiled.sites().len();
         let n_segments = compiled.n_segments();
@@ -526,7 +568,7 @@ impl BatchMajorExecutor {
                 .iter()
                 .enumerate()
                 .map(|(j, traj)| {
-                    let idx = g * lanes + j;
+                    let idx = base + g * lanes + j;
                     let mut rng = PhiloxRng::for_trajectory(self.seed, idx as u64);
                     let shots = if realized[j] > 0.0 {
                         state_batch.extract_lane_into(j, &mut scratch);
@@ -541,7 +583,7 @@ impl BatchMajorExecutor {
                 .collect::<Vec<_>>()
         };
         let groups: Vec<(usize, &[crate::plan::PlannedTrajectory])> =
-            plan.trajectories.chunks(lanes).enumerate().collect();
+            plan.trajectories[range].chunks(lanes).enumerate().collect();
         let trajectories = fan_out(self.parallel, groups, run_group)
             .into_iter()
             .flatten()

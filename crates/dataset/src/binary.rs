@@ -17,28 +17,44 @@ use std::io;
 const MAGIC: &[u8; 4] = b"PTSB";
 const VERSION: u32 = 1;
 
+/// Encode the dataset preamble (magic, version, header JSON) — the
+/// `begin` frame shared by [`encode`] and the streaming
+/// [`crate::sink::BinarySink`].
+pub(crate) fn encode_header(header: &DatasetHeader) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    let hjson = serde_json::to_vec(header)?;
+    buf.extend_from_slice(&(hjson.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&hjson);
+    Ok(buf)
+}
+
+/// Encode one trajectory frame (meta JSON + shot words).
+pub(crate) fn encode_record(rec: &TrajectoryRecord) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let mjson = serde_json::to_vec(&rec.meta)?;
+    buf.extend_from_slice(&(mjson.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&mjson);
+    let shots = rec
+        .decode_shots()
+        .map_err(|s| io::Error::new(io::ErrorKind::InvalidData, format!("bad hex {s}")))?;
+    buf.extend_from_slice(&(shots.len() as u64).to_le_bytes());
+    for s in shots {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    Ok(buf)
+}
+
 /// Serialize a dataset to bytes.
 ///
 /// # Errors
 /// Propagates serialization failures.
 pub fn encode(header: &DatasetHeader, records: &[TrajectoryRecord]) -> io::Result<Bytes> {
     let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    let hjson = serde_json::to_vec(header)?;
-    buf.put_u32_le(hjson.len() as u32);
-    buf.put_slice(&hjson);
+    buf.put_slice(&encode_header(header)?);
     for rec in records {
-        let mjson = serde_json::to_vec(&rec.meta)?;
-        buf.put_u32_le(mjson.len() as u32);
-        buf.put_slice(&mjson);
-        let shots = rec
-            .decode_shots()
-            .map_err(|s| io::Error::new(io::ErrorKind::InvalidData, format!("bad hex {s}")))?;
-        buf.put_u64_le(shots.len() as u64);
-        for s in shots {
-            buf.put_u128_le(s);
-        }
+        buf.put_slice(&encode_record(rec)?);
     }
     Ok(buf.freeze())
 }

@@ -13,13 +13,18 @@
 //! - [`summary`] — corpus-level statistics (shots, unique fraction,
 //!   error-weight census);
 //! - [`decoder_export`] — supervised (features, labels) pairs for
-//!   decoder training: the measurement record plus the injected errors.
+//!   decoder training: the measurement record plus the injected errors;
+//! - [`sink`] — streaming [`sink::RecordSink`]s (jsonl/binary/in-memory)
+//!   the data-collection service delivers records through as lane groups
+//!   finish, byte-identical to the batch writers.
 
 pub mod binary;
 pub mod decoder_export;
 pub mod jsonl;
 pub mod record;
+pub mod sink;
 pub mod summary;
 
 pub use record::{DatasetHeader, TrajectoryRecord};
+pub use sink::{BinarySink, JsonlSink, MemorySink, MemoryStore, RecordSink, SharedBuffer};
 pub use summary::DatasetSummary;

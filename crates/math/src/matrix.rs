@@ -201,6 +201,34 @@ impl<T: Scalar> Matrix<T> {
         self.is_square() && self.max_abs_diff(&self.dagger()) <= tol
     }
 
+    /// True when the matrix is *exactly* the identity — every diagonal
+    /// entry `1 + 0i` and every off-diagonal entry `0` by floating-point
+    /// equality, no tolerance. This is the predicate behind the
+    /// identity-branch skip in the execution paths: only a branch whose
+    /// application is a mathematical no-op may be elided, and the
+    /// detection must agree at every precision (exact 0/1 convert
+    /// exactly), so it runs on the `f64` source matrices at compile time.
+    /// Phase-identities `e^{iθ}·I` deliberately fail — applying them is
+    /// not a no-op.
+    pub fn is_exact_identity(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let want = if r == c {
+                    Complex::one()
+                } else {
+                    Complex::zero()
+                };
+                if self[(r, c)] != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Matrix product without consuming operands.
     pub fn mul_ref(&self, rhs: &Self) -> Self {
         assert_eq!(

@@ -1,0 +1,442 @@
+//! The compiled-artifact cache.
+//!
+//! Every caller-visible quantity a job needs before its first state
+//! advance — the lowered statevector op stream, the MPS compilation, the
+//! lowered Pauli-frame program with its noiseless reference, and the
+//! plan's prefix tree — is memoized here under *stable content hashes*
+//! ([`ptsbe_circuit::hash`]), so repeat jobs skip compile and plan work
+//! entirely. Entries carry their warm state too: each statevector/MPS
+//! entry owns the [`StatePool`] the tree executor forks from, so a warm
+//! cache also means an allocation-free tree walk.
+//!
+//! Correctness note: cached artifacts are *inputs* to executors whose
+//! outputs are bitwise functions of (artifact, plan, seed) alone — pool
+//! recycling and tree reuse are proven result-neutral by the core test
+//! suites — so cache state can never change job output, only job cost.
+//! The hit/miss counters ([`CacheStats`]) are the observable the service
+//! acceptance tests pin: a warm repeat job increments hits only.
+
+use ptsbe_circuit::hash::combine;
+use ptsbe_circuit::{FusionStats, NoisyCircuit, StableHasher};
+use ptsbe_core::{MpsBackend, PtsPlan, PtsPlanTree, StatePool, SvBackend};
+use ptsbe_math::Scalar;
+use ptsbe_rng::PhiloxRng;
+use ptsbe_stabilizer::FrameSampler;
+use ptsbe_statevector::{SamplingStrategy, StateVector};
+use ptsbe_tensornet::{Mps, MpsConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cached statevector compilation: the backend (holding the lowered
+/// `Compiled` stream), its fusion report, and a warm fork pool.
+pub struct SvEntry<T: Scalar> {
+    /// Compiled backend (shared by every executor the router picks).
+    pub backend: SvBackend<T>,
+    /// Fusion report captured at compile time.
+    pub fusion: FusionStats,
+    /// Warm state arena for pooled tree walks.
+    pub pool: StatePool<StateVector<T>>,
+}
+
+/// A cached MPS compilation plus its warm fork pool.
+pub struct MpsEntry<T: Scalar> {
+    /// Compiled MPS backend.
+    pub backend: MpsBackend<T>,
+    /// Warm state arena for pooled tree walks.
+    pub pool: StatePool<Mps<T>>,
+}
+
+/// A cached Pauli-frame lowering: the bulk sampler (program + noiseless
+/// reference) and whether that reference was measurement-deterministic —
+/// the sampler's exactness condition, which the router requires before
+/// choosing the frame engine.
+pub struct FrameEntry {
+    /// The bulk sampler (immutable after construction; `sample` is
+    /// `&self`).
+    pub sampler: FrameSampler,
+    /// True when no reference measurement was intrinsically random.
+    pub deterministic: bool,
+}
+
+/// Cache hit/miss counters, by artifact kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Statevector compilation hits/misses.
+    pub sv_hits: u64,
+    /// Statevector compilation misses (compiles performed).
+    pub sv_misses: u64,
+    /// MPS compilation hits/misses.
+    pub mps_hits: u64,
+    /// MPS compilation misses.
+    pub mps_misses: u64,
+    /// Frame-program hits/misses.
+    pub frame_hits: u64,
+    /// Frame-program misses (lower + reference run performed).
+    pub frame_misses: u64,
+    /// Plan-tree hits/misses.
+    pub tree_hits: u64,
+    /// Plan-tree misses (tree builds performed).
+    pub tree_misses: u64,
+}
+
+impl CacheStats {
+    /// Total compile-artifact hits (sv + mps + frame).
+    pub fn compile_hits(&self) -> u64 {
+        self.sv_hits + self.mps_hits + self.frame_hits
+    }
+
+    /// Total compile-artifact misses.
+    pub fn compile_misses(&self) -> u64 {
+        self.sv_misses + self.mps_misses + self.frame_misses
+    }
+
+    /// Overall hit rate across every artifact kind (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.compile_hits() + self.tree_hits;
+        let total = hits + self.compile_misses() + self.tree_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        hits as f64 / total as f64
+    }
+}
+
+/// Structural routing predicates of a circuit — a pure function of
+/// circuit content, so it is cached by content hash: Pauli-mixture
+/// detection alone walks every channel branch against the 1-/2-qubit
+/// Pauli products, which a warm repeat job must not redo.
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitTraits {
+    /// Every coherent gate is Clifford.
+    pub is_clifford: bool,
+    /// Every noise channel is a Pauli mixture.
+    pub all_pauli_channels: bool,
+    /// The circuit contains a reset op.
+    pub has_reset: bool,
+    /// Measured bits per record.
+    pub n_measured: usize,
+}
+
+/// Stable content hash of a plan (trajectory assignments + shot budgets)
+/// — the second half of the plan-tree cache key.
+pub fn plan_hash(plan: &PtsPlan) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_usize(plan.trajectories.len());
+    for t in &plan.trajectories {
+        h.write_usize(t.shots);
+        h.write_usize(t.choices.len());
+        for &c in &t.choices {
+            h.write_usize(c);
+        }
+    }
+    h.finish()
+}
+
+/// The compiled-artifact cache at one working precision `T`.
+///
+/// Keys mix the circuit content hash with every compilation parameter
+/// (fusion toggle, MPS config, the precision's byte width), so distinct
+/// pipelines never collide. Misses build *outside* the map lock — two
+/// racing first-submitters may both compile, and the first insert wins —
+/// so a slow compile never blocks unrelated cache traffic.
+pub struct CompileCache<T: Scalar> {
+    sv: Mutex<HashMap<u64, Arc<SvEntry<T>>>>,
+    mps: Mutex<HashMap<u64, Arc<MpsEntry<T>>>>,
+    frame: Mutex<HashMap<u64, Arc<FrameEntry>>>,
+    trees: Mutex<HashMap<u64, Arc<PtsPlanTree>>>,
+    traits: Mutex<HashMap<u64, CircuitTraits>>,
+    sv_hits: AtomicU64,
+    sv_misses: AtomicU64,
+    mps_hits: AtomicU64,
+    mps_misses: AtomicU64,
+    frame_hits: AtomicU64,
+    frame_misses: AtomicU64,
+    tree_hits: AtomicU64,
+    tree_misses: AtomicU64,
+}
+
+impl<T: Scalar> Default for CompileCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> CompileCache<T> {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self {
+            sv: Mutex::new(HashMap::new()),
+            mps: Mutex::new(HashMap::new()),
+            frame: Mutex::new(HashMap::new()),
+            trees: Mutex::new(HashMap::new()),
+            traits: Mutex::new(HashMap::new()),
+            sv_hits: AtomicU64::new(0),
+            sv_misses: AtomicU64::new(0),
+            mps_hits: AtomicU64::new(0),
+            mps_misses: AtomicU64::new(0),
+            frame_hits: AtomicU64::new(0),
+            frame_misses: AtomicU64::new(0),
+            tree_hits: AtomicU64::new(0),
+            tree_misses: AtomicU64::new(0),
+        }
+    }
+
+    fn precision_tag() -> u64 {
+        std::mem::size_of::<T>() as u64
+    }
+
+    /// Statevector compilation for `nc` (content hash `circuit_hash`)
+    /// with the given fusion toggle.
+    ///
+    /// # Errors
+    /// Compile failures (mid-circuit measurement, reset) as strings.
+    pub fn sv(
+        &self,
+        nc: &NoisyCircuit,
+        circuit_hash: u64,
+        fuse: bool,
+    ) -> Result<Arc<SvEntry<T>>, String> {
+        let key = combine(
+            circuit_hash,
+            combine(Self::precision_tag(), u64::from(fuse)),
+        );
+        if let Some(hit) = self.sv.lock().unwrap().get(&key) {
+            self.sv_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.sv_misses.fetch_add(1, Ordering::Relaxed);
+        let backend = SvBackend::<T>::new_with_fusion(nc, SamplingStrategy::Auto, fuse)
+            .map_err(|e| format!("statevector compile failed: {e}"))?;
+        let entry = Arc::new(SvEntry {
+            fusion: backend.fusion_stats(),
+            backend,
+            pool: StatePool::new(),
+        });
+        Ok(Arc::clone(
+            self.sv.lock().unwrap().entry(key).or_insert_with(|| entry),
+        ))
+    }
+
+    /// MPS compilation for `nc` under `config`.
+    ///
+    /// # Errors
+    /// Compile failures as strings.
+    pub fn mps(
+        &self,
+        nc: &NoisyCircuit,
+        circuit_hash: u64,
+        config: MpsConfig,
+        fuse: bool,
+    ) -> Result<Arc<MpsEntry<T>>, String> {
+        let mut h = StableHasher::new();
+        h.write_u64(Self::precision_tag());
+        h.write_usize(config.max_bond);
+        h.write_f64(config.cutoff);
+        h.write_u8(u8::from(fuse));
+        let key = combine(circuit_hash, h.finish());
+        if let Some(hit) = self.mps.lock().unwrap().get(&key) {
+            self.mps_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.mps_misses.fetch_add(1, Ordering::Relaxed);
+        let backend = MpsBackend::<T>::new_with_fusion(nc, config, Default::default(), fuse)
+            .map_err(|e| format!("mps compile failed: {e}"))?;
+        let entry = Arc::new(MpsEntry {
+            backend,
+            pool: StatePool::new(),
+        });
+        Ok(Arc::clone(
+            self.mps.lock().unwrap().entry(key).or_insert_with(|| entry),
+        ))
+    }
+
+    /// Pauli-frame lowering + noiseless reference for `nc`. The reference
+    /// tableau run draws from a Philox stream keyed by the circuit hash,
+    /// so the cached reference — and every sample stream derived from it
+    /// — is a pure function of circuit content.
+    ///
+    /// # Errors
+    /// Conversion failures (non-Clifford gate, non-Pauli channel, reset,
+    /// too many measured bits) as strings.
+    pub fn frame(&self, nc: &NoisyCircuit, circuit_hash: u64) -> Result<Arc<FrameEntry>, String> {
+        let key = circuit_hash;
+        if let Some(hit) = self.frame.lock().unwrap().get(&key) {
+            self.frame_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.frame_misses.fetch_add(1, Ordering::Relaxed);
+        if nc.measured_qubits().len() > 128 {
+            return Err("frame sampler records are limited to 128 measured bits".to_string());
+        }
+        let mut rng = PhiloxRng::new(circuit_hash, 0);
+        let sampler =
+            FrameSampler::new(nc, &mut rng).map_err(|e| format!("frame lowering failed: {e}"))?;
+        let deterministic = !sampler.reference_was_random();
+        let entry = Arc::new(FrameEntry {
+            sampler,
+            deterministic,
+        });
+        Ok(Arc::clone(
+            self.frame
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| entry),
+        ))
+    }
+
+    /// Structural routing predicates of `nc`, memoized by content hash.
+    pub fn traits(&self, nc: &NoisyCircuit, circuit_hash: u64) -> CircuitTraits {
+        if let Some(hit) = self.traits.lock().unwrap().get(&circuit_hash) {
+            return *hit;
+        }
+        let computed = CircuitTraits {
+            is_clifford: nc.is_clifford(),
+            all_pauli_channels: nc.all_pauli_channels(),
+            has_reset: nc.has_reset(),
+            n_measured: nc.measured_qubits().len(),
+        };
+        *self
+            .traits
+            .lock()
+            .unwrap()
+            .entry(circuit_hash)
+            .or_insert(computed)
+    }
+
+    /// The prefix tree of `plan` against the circuit with hash
+    /// `circuit_hash`.
+    pub fn plan_tree(&self, circuit_hash: u64, plan: &PtsPlan) -> Arc<PtsPlanTree> {
+        let key = combine(circuit_hash, plan_hash(plan));
+        if let Some(hit) = self.trees.lock().unwrap().get(&key) {
+            self.tree_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.tree_misses.fetch_add(1, Ordering::Relaxed);
+        let tree = Arc::new(PtsPlanTree::from_plan(plan));
+        Arc::clone(
+            self.trees
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| tree),
+        )
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            sv_hits: self.sv_hits.load(Ordering::Relaxed),
+            sv_misses: self.sv_misses.load(Ordering::Relaxed),
+            mps_hits: self.mps_hits.load(Ordering::Relaxed),
+            mps_misses: self.mps_misses.load(Ordering::Relaxed),
+            frame_hits: self.frame_hits.load(Ordering::Relaxed),
+            frame_misses: self.frame_misses.load(Ordering::Relaxed),
+            tree_hits: self.tree_hits.load(Ordering::Relaxed),
+            tree_misses: self.tree_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of resident artifacts across every kind (observability).
+    pub fn resident(&self) -> usize {
+        self.sv.lock().unwrap().len()
+            + self.mps.lock().unwrap().len()
+            + self.frame.lock().unwrap().len()
+            + self.trees.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptsbe_circuit::{channels, Circuit, NoiseModel};
+    use ptsbe_core::{PlannedTrajectory, ProbabilisticPts, PtsSampler};
+
+    fn noisy_bell(p: f64) -> NoisyCircuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        NoiseModel::new()
+            .with_default_1q(channels::depolarizing(p))
+            .apply(&c)
+    }
+
+    #[test]
+    fn sv_hit_and_miss_counters() {
+        let cache = CompileCache::<f64>::new();
+        let nc = noisy_bell(0.1);
+        let h = nc.content_hash();
+        let a = cache.sv(&nc, h, true).unwrap();
+        let b = cache.sv(&nc, h, true).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat compile must be the same entry");
+        // Fusion toggle is part of the key.
+        let c = cache.sv(&nc, h, false).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        let stats = cache.stats();
+        assert_eq!((stats.sv_hits, stats.sv_misses), (1, 2));
+    }
+
+    #[test]
+    fn tree_keyed_by_circuit_and_plan() {
+        let cache = CompileCache::<f64>::new();
+        let nc = noisy_bell(0.1);
+        let mut rng = PhiloxRng::new(5, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 10,
+            shots_per_trajectory: 5,
+            dedup: true,
+        }
+        .sample_plan(&nc, &mut rng);
+        let h = nc.content_hash();
+        let t1 = cache.plan_tree(h, &plan);
+        let t2 = cache.plan_tree(h, &plan);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let mut other = plan.clone();
+        other.trajectories.push(PlannedTrajectory {
+            choices: nc.identity_assignment().unwrap(),
+            shots: 1,
+        });
+        let t3 = cache.plan_tree(h, &other);
+        assert!(!Arc::ptr_eq(&t1, &t3), "different plans must not collide");
+        let stats = cache.stats();
+        assert_eq!((stats.tree_hits, stats.tree_misses), (1, 2));
+    }
+
+    #[test]
+    fn frame_entry_flags_determinism() {
+        let cache = CompileCache::<f64>::new();
+        let nc = noisy_bell(0.1); // H makes the reference random
+        let e = cache.frame(&nc, nc.content_hash()).unwrap();
+        assert!(!e.deterministic);
+
+        let mut c = Circuit::new(1);
+        c.x(0).measure_all();
+        let det = NoiseModel::new()
+            .with_default_1q(channels::bit_flip(0.2))
+            .apply(&c);
+        let e = cache.frame(&det, det.content_hash()).unwrap();
+        assert!(e.deterministic);
+
+        let mut c = Circuit::new(1);
+        c.t(0).measure_all();
+        let bad = NoisyCircuit::from_circuit(c);
+        assert!(cache.frame(&bad, bad.content_hash()).is_err());
+    }
+
+    #[test]
+    fn plan_hash_sensitive_to_shots_and_choices() {
+        let a = PtsPlan {
+            trajectories: vec![PlannedTrajectory {
+                choices: vec![0, 1],
+                shots: 5,
+            }],
+        };
+        let mut b = a.clone();
+        b.trajectories[0].shots = 6;
+        assert_ne!(plan_hash(&a), plan_hash(&b));
+        let mut c = a.clone();
+        c.trajectories[0].choices = vec![1, 0];
+        assert_ne!(plan_hash(&a), plan_hash(&c));
+        assert_eq!(plan_hash(&a), plan_hash(&a.clone()));
+    }
+}

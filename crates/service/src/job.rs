@@ -1,0 +1,398 @@
+//! Jobs: what callers submit, what they hold while it runs, and what
+//! they get back.
+
+use crate::router::{EngineExec, EnginePolicy, RouteDecision};
+use ptsbe_circuit::NoisyCircuit;
+use ptsbe_core::PtsPlan;
+use ptsbe_dataset::{RecordSink, TrajectoryRecord};
+use ptsbe_math::Scalar;
+use ptsbe_tensornet::MpsConfig;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Service-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The admission queue is at capacity (`try_submit` only; `submit`
+    /// blocks instead).
+    Saturated,
+    /// The job was rejected before admission (malformed plan, shape
+    /// mismatch).
+    InvalidJob(String),
+    /// The service is shutting down and admits no new jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Saturated => write!(f, "admission queue is full"),
+            ServiceError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is compiling/routing or executing chunks.
+    Running,
+    /// All chunks emitted and the sink finalized.
+    Done,
+    /// Compile, routing, execution, or sink IO failed (see
+    /// [`JobReport::error`]).
+    Failed,
+    /// Cancelled before completion; the sink holds a plan-order prefix
+    /// of the dataset.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// True for `Done`.
+    pub fn is_success(self) -> bool {
+        matches!(self, JobStatus::Done)
+    }
+
+    /// True once the job can no longer make progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            JobStatus::Queued => 0,
+            JobStatus::Running => 1,
+            JobStatus::Done => 2,
+            JobStatus::Failed => 3,
+            JobStatus::Cancelled => 4,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            0 => JobStatus::Queued,
+            1 => JobStatus::Running,
+            2 => JobStatus::Done,
+            3 => JobStatus::Failed,
+            _ => JobStatus::Cancelled,
+        }
+    }
+}
+
+impl std::fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One data-collection request: a noisy circuit, a PTS plan over it, an
+/// execution seed, and knobs for routing and chunking. Circuit and plan
+/// travel as `Arc`s so re-submitting (the warm-cache path) is free.
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Workload label (lands in the dataset header).
+    pub name: String,
+    /// The noisy circuit.
+    pub circuit: Arc<NoisyCircuit>,
+    /// The pre-sampled trajectory plan. For frame-routed jobs only the
+    /// total shot budget is consumed (frame sampling draws noise per
+    /// shot; per-trajectory provenance is traded for bulk throughput).
+    pub plan: Arc<PtsPlan>,
+    /// Execution seed: with worker count and cache state held irrelevant
+    /// by construction, (spec, seed) fully determines the dataset bytes.
+    pub seed: u64,
+    /// Engine selection policy.
+    pub engine: EnginePolicy,
+    /// Compile with gate fusion (the production default).
+    pub fuse: bool,
+    /// MPS configuration, used when the MPS tree engine is routed.
+    pub mps: MpsConfig,
+    /// Trajectories per chunk for the flat/batch-major engines
+    /// (`0` = auto). Part of the spec — never derived from worker count —
+    /// so chunking cannot perturb output bytes.
+    pub chunk_trajectories: usize,
+    /// Shots per chunk for the frame engine (`0` = auto).
+    pub frame_chunk_shots: usize,
+}
+
+impl JobSpec {
+    /// A spec with production defaults (auto routing, fusion on, auto
+    /// chunking).
+    pub fn new(
+        name: impl Into<String>,
+        circuit: impl Into<Arc<NoisyCircuit>>,
+        plan: impl Into<Arc<PtsPlan>>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            circuit: circuit.into(),
+            plan: plan.into(),
+            seed,
+            engine: EnginePolicy::Auto,
+            fuse: true,
+            mps: MpsConfig::default(),
+            chunk_trajectories: 0,
+            frame_chunk_shots: 0,
+        }
+    }
+
+    /// Builder-style engine policy override.
+    pub fn with_engine(mut self, engine: EnginePolicy) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Final account of a finished job.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Service-assigned job id.
+    pub job_id: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Routed engine (absent when the job failed before routing).
+    pub engine: Option<crate::router::EngineKind>,
+    /// Human-readable routing rationale.
+    pub route_reason: String,
+    /// Trajectory records delivered to the sink.
+    pub records: u64,
+    /// Shots delivered to the sink.
+    pub shots: u64,
+    /// Wall-clock time from admission to the terminal state.
+    pub wall: Duration,
+    /// Failure description, if any.
+    pub error: Option<String>,
+}
+
+impl JobReport {
+    /// Delivered shot throughput (0 when the wall time is degenerate).
+    pub fn shots_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.shots as f64 / secs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internals shared between the handle and the workers.
+
+/// One unit of schedulable execution within a job.
+#[derive(Debug, Clone)]
+pub(crate) enum ChunkSpec {
+    /// `plan.trajectories[range]` through a slice-capable executor.
+    Traj(std::ops::Range<usize>),
+    /// `shots` frame-sampled records on Philox stream `stream`.
+    Shots {
+        /// Philox stream index (chunk-ordinal, fixed by the spec).
+        stream: u64,
+        /// Shot count.
+        shots: usize,
+    },
+    /// The whole plan in one task (tree engines, whose sharing spans the
+    /// full plan).
+    Whole,
+}
+
+/// Plan-order reassembly buffer in front of the sink. Workers finish
+/// chunks in any order; records reach the sink in chunk order, which is
+/// what pins the dataset bytes regardless of scheduling.
+pub(crate) struct Emitter {
+    sink: Box<dyn RecordSink>,
+    next: usize,
+    pending: BTreeMap<usize, Vec<TrajectoryRecord>>,
+}
+
+impl Emitter {
+    pub(crate) fn new(sink: Box<dyn RecordSink>) -> Self {
+        Self {
+            sink,
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn begin(&mut self, header: &ptsbe_dataset::DatasetHeader) -> io::Result<()> {
+        self.sink.begin(header)
+    }
+
+    /// Park `records` as chunk `idx`, then drain every in-order chunk to
+    /// the sink. Returns `(records, shots)` written by this call.
+    pub(crate) fn push(
+        &mut self,
+        idx: usize,
+        records: Vec<TrajectoryRecord>,
+    ) -> io::Result<(u64, u64)> {
+        self.pending.insert(idx, records);
+        let mut wrote_records = 0u64;
+        let mut wrote_shots = 0u64;
+        while let Some(batch) = self.pending.remove(&self.next) {
+            for rec in &batch {
+                wrote_shots += rec.shots.len() as u64;
+                self.sink.write(rec)?;
+            }
+            wrote_records += batch.len() as u64;
+            self.next += 1;
+        }
+        Ok((wrote_records, wrote_shots))
+    }
+
+    pub(crate) fn finish(&mut self) -> io::Result<()> {
+        self.sink.finish()
+    }
+}
+
+/// Shared job state (handle side + worker side).
+pub(crate) struct JobInner<T: Scalar> {
+    pub(crate) id: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) status: AtomicU8,
+    pub(crate) cancelled: AtomicBool,
+    pub(crate) route: OnceLock<RouteDecision>,
+    pub(crate) exec: OnceLock<EngineExec<T>>,
+    pub(crate) emitter: Mutex<Emitter>,
+    pub(crate) chunks_total: AtomicUsize,
+    pub(crate) chunks_done: AtomicUsize,
+    pub(crate) records_emitted: AtomicU64,
+    pub(crate) shots_emitted: AtomicU64,
+    pub(crate) error: Mutex<Option<String>>,
+    pub(crate) submitted_at: Instant,
+    pub(crate) wall: Mutex<Option<Duration>>,
+    pub(crate) done: (Mutex<bool>, Condvar),
+}
+
+impl<T: Scalar> JobInner<T> {
+    pub(crate) fn new(id: u64, spec: JobSpec, sink: Box<dyn RecordSink>) -> Self {
+        Self {
+            id,
+            spec,
+            status: AtomicU8::new(JobStatus::Queued.to_u8()),
+            cancelled: AtomicBool::new(false),
+            route: OnceLock::new(),
+            exec: OnceLock::new(),
+            emitter: Mutex::new(Emitter::new(sink)),
+            chunks_total: AtomicUsize::new(0),
+            chunks_done: AtomicUsize::new(0),
+            records_emitted: AtomicU64::new(0),
+            shots_emitted: AtomicU64::new(0),
+            error: Mutex::new(None),
+            submitted_at: Instant::now(),
+            wall: Mutex::new(None),
+            done: (Mutex::new(false), Condvar::new()),
+        }
+    }
+
+    pub(crate) fn status(&self) -> JobStatus {
+        JobStatus::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_status(&self, s: JobStatus) {
+        self.status.store(s.to_u8(), Ordering::Release);
+    }
+
+    pub(crate) fn fail(&self, msg: String) {
+        let mut err = self.error.lock().unwrap();
+        if err.is_none() {
+            *err = Some(msg);
+        }
+        drop(err);
+        self.set_status(JobStatus::Failed);
+    }
+
+    pub(crate) fn report(&self) -> JobReport {
+        let wall = self
+            .wall
+            .lock()
+            .unwrap()
+            .unwrap_or_else(|| self.submitted_at.elapsed());
+        JobReport {
+            job_id: self.id,
+            status: self.status(),
+            engine: self.route.get().map(|r| r.engine),
+            route_reason: self
+                .route
+                .get()
+                .map(|r| r.reason.to_string())
+                .unwrap_or_default(),
+            records: self.records_emitted.load(Ordering::Relaxed),
+            shots: self.shots_emitted.load(Ordering::Relaxed),
+            wall,
+            error: self.error.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// Caller-side handle to an in-flight job.
+pub struct JobHandle<T: Scalar> {
+    pub(crate) inner: Arc<JobInner<T>>,
+}
+
+impl<T: Scalar> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.inner.id)
+            .field("status", &self.inner.status())
+            .finish()
+    }
+}
+
+impl<T: Scalar> JobHandle<T> {
+    /// Service-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.inner.status()
+    }
+
+    /// The routing decision, once made.
+    pub fn route(&self) -> Option<RouteDecision> {
+        self.inner.route.get().cloned()
+    }
+
+    /// Shots delivered to the sink so far.
+    pub fn shots_emitted(&self) -> u64 {
+        self.inner.shots_emitted.load(Ordering::Relaxed)
+    }
+
+    /// Request cancellation. Chunks not yet started are dropped;
+    /// already-emitted records stay in the sink (a valid plan-order
+    /// prefix). Idempotent; has no effect on terminal jobs.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Block until the job reaches a terminal state and return its
+    /// report.
+    pub fn wait(&self) -> JobReport {
+        let (lock, cv) = &self.inner.done;
+        let mut done = lock.lock().unwrap();
+        while !*done {
+            done = cv.wait(done).unwrap();
+        }
+        drop(done);
+        self.inner.report()
+    }
+}

@@ -1,0 +1,112 @@
+//! Service-level counters: job lifecycle, delivery volume, per-engine
+//! routing census, and admission pressure.
+
+use crate::cache::CacheStats;
+use crate::router::EngineKind;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Internal atomic counters (one instance per service).
+pub(crate) struct ServiceMetrics {
+    pub(crate) started_at: Instant,
+    pub(crate) jobs_submitted: AtomicU64,
+    pub(crate) jobs_done: AtomicU64,
+    pub(crate) jobs_failed: AtomicU64,
+    pub(crate) jobs_cancelled: AtomicU64,
+    pub(crate) records_emitted: AtomicU64,
+    pub(crate) shots_emitted: AtomicU64,
+    pub(crate) engine_jobs: [AtomicU64; EngineKind::COUNT],
+    pub(crate) peak_active_jobs: AtomicUsize,
+}
+
+impl ServiceMetrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started_at: Instant::now(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            records_emitted: AtomicU64::new(0),
+            shots_emitted: AtomicU64::new(0),
+            engine_jobs: std::array::from_fn(|_| AtomicU64::new(0)),
+            peak_active_jobs: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn note_active(&self, active: usize) {
+        self.peak_active_jobs.fetch_max(active, Ordering::Relaxed);
+    }
+}
+
+/// Jobs routed to each engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCensus {
+    /// Pauli-frame bulk sampler jobs.
+    pub frame: u64,
+    /// Statevector tree-executor jobs.
+    pub tree: u64,
+    /// Batch-major statevector jobs.
+    pub batch_major: u64,
+    /// Flat (forced) statevector jobs.
+    pub flat: u64,
+    /// MPS tree-executor jobs.
+    pub mps_tree: u64,
+}
+
+/// Point-in-time snapshot of service health.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Jobs admitted since start.
+    pub jobs_submitted: u64,
+    /// Jobs finished successfully.
+    pub jobs_done: u64,
+    /// Jobs failed.
+    pub jobs_failed: u64,
+    /// Jobs cancelled.
+    pub jobs_cancelled: u64,
+    /// Records delivered to sinks.
+    pub records_emitted: u64,
+    /// Shots delivered to sinks.
+    pub shots_emitted: u64,
+    /// Per-engine routed-job counts.
+    pub engines: EngineCensus,
+    /// Highest concurrent admitted-job count observed.
+    pub peak_active_jobs: usize,
+    /// Compile/plan cache counters.
+    pub cache: CacheStats,
+    /// Service uptime in seconds.
+    pub uptime_secs: f64,
+}
+
+impl MetricsSnapshot {
+    /// Mean delivered-shot throughput over the service lifetime.
+    pub fn shots_per_sec(&self) -> f64 {
+        if self.uptime_secs <= 0.0 {
+            return 0.0;
+        }
+        self.shots_emitted as f64 / self.uptime_secs
+    }
+
+    pub(crate) fn from_counters(m: &ServiceMetrics, cache: CacheStats) -> Self {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        Self {
+            jobs_submitted: load(&m.jobs_submitted),
+            jobs_done: load(&m.jobs_done),
+            jobs_failed: load(&m.jobs_failed),
+            jobs_cancelled: load(&m.jobs_cancelled),
+            records_emitted: load(&m.records_emitted),
+            shots_emitted: load(&m.shots_emitted),
+            engines: EngineCensus {
+                frame: load(&m.engine_jobs[EngineKind::Frame.index()]),
+                tree: load(&m.engine_jobs[EngineKind::Tree.index()]),
+                batch_major: load(&m.engine_jobs[EngineKind::BatchMajor.index()]),
+                flat: load(&m.engine_jobs[EngineKind::Flat.index()]),
+                mps_tree: load(&m.engine_jobs[EngineKind::MpsTree.index()]),
+            },
+            peak_active_jobs: m.peak_active_jobs.load(Ordering::Relaxed),
+            cache,
+            uptime_secs: m.started_at.elapsed().as_secs_f64(),
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Adaptive executor routing.
+//!
+//! The router inspects the circuit and the (cached) plan tree and picks
+//! the fastest engine whose validity domain contains the job:
+//!
+//! | order | engine       | precondition                                   | why it wins                          |
+//! |-------|--------------|------------------------------------------------|--------------------------------------|
+//! | 1     | `Frame`      | Clifford gates, Pauli-mixture channels, no     | bit-packed frames: 64 shots/word,    |
+//! |       |              | reset, ≤128 measured bits, deterministic       | MHz-class bulk sampling (Stim's      |
+//! |       |              | noiseless reference                            | domain, rebuilt in `ptsbe_stabilizer`)|
+//! | 2     | `MpsTree`    | register at/above the MPS qubit threshold      | statevector memory is 2^n; MPS is not|
+//! | 3     | `Tree`       | plan-tree `sharing_ratio` ≥ threshold          | prep work collapses to trie edges    |
+//! | 4     | `BatchMajor` | everything else                                | lane-contiguous sweeps amortize      |
+//! |       |              |                                                | dispatch across trajectories         |
+//!
+//! The frame engine samples noise per shot instead of consuming the
+//! plan's assignments: it trades per-trajectory Kraus provenance for raw
+//! throughput (exactly Stim's trade). Jobs that need assignment-exact
+//! provenance force a statevector engine via [`EnginePolicy::Force`].
+
+use crate::cache::{CompileCache, FrameEntry, MpsEntry, SvEntry};
+use crate::job::JobSpec;
+use crate::service::ServiceConfig;
+use ptsbe_core::PtsPlanTree;
+use ptsbe_math::Scalar;
+use std::sync::Arc;
+
+/// The engines the service can run a job on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Bit-packed Pauli-frame bulk sampler (stabilizer stack).
+    Frame,
+    /// Prefix-sharing tree executor over the pooled statevector backend.
+    Tree,
+    /// Batch-major (lane-swept) statevector executor.
+    BatchMajor,
+    /// Flat batched executor (one preparation per trajectory) — never
+    /// auto-routed; available for baselines via `Force`.
+    Flat,
+    /// Prefix-sharing tree executor over the MPS backend.
+    MpsTree,
+}
+
+impl EngineKind {
+    /// Stable label (dataset headers, metrics).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Frame => "frame",
+            EngineKind::Tree => "sv-tree",
+            EngineKind::BatchMajor => "sv-batch-major",
+            EngineKind::Flat => "sv-flat",
+            EngineKind::MpsTree => "mps-tree",
+        }
+    }
+
+    pub(crate) const COUNT: usize = 5;
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            EngineKind::Frame => 0,
+            EngineKind::Tree => 1,
+            EngineKind::BatchMajor => 2,
+            EngineKind::Flat => 3,
+            EngineKind::MpsTree => 4,
+        }
+    }
+}
+
+/// How a job chooses its engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePolicy {
+    /// Let the router decide (the table above).
+    #[default]
+    Auto,
+    /// Require a specific engine; the job fails if the circuit is
+    /// outside its validity domain.
+    Force(EngineKind),
+}
+
+/// Why the router picked what it picked.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteReason {
+    /// Caller forced the engine.
+    Forced,
+    /// Clifford + Pauli noise + deterministic reference: frame domain.
+    CliffordPauliDeterministic,
+    /// Register too wide for a dense statevector.
+    WideRegister {
+        /// Qubit count that crossed the threshold.
+        n_qubits: usize,
+    },
+    /// Plan tree shares enough prep work to prefer the tree walk.
+    HighSharing {
+        /// The tree's sharing ratio.
+        sharing_ratio: f64,
+    },
+    /// Too little prefix sharing; lane sweeps win.
+    LowSharing {
+        /// The tree's sharing ratio.
+        sharing_ratio: f64,
+    },
+}
+
+impl std::fmt::Display for RouteReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteReason::Forced => write!(f, "forced by job policy"),
+            RouteReason::CliffordPauliDeterministic => write!(
+                f,
+                "Clifford gates + Pauli channels + deterministic reference"
+            ),
+            RouteReason::WideRegister { n_qubits } => {
+                write!(
+                    f,
+                    "register of {n_qubits} qubits exceeds statevector budget"
+                )
+            }
+            RouteReason::HighSharing { sharing_ratio } => {
+                write!(
+                    f,
+                    "plan tree shares {:.1}% of prep work",
+                    sharing_ratio * 100.0
+                )
+            }
+            RouteReason::LowSharing { sharing_ratio } => {
+                write!(
+                    f,
+                    "plan tree shares only {:.1}% of prep work",
+                    sharing_ratio * 100.0
+                )
+            }
+        }
+    }
+}
+
+/// The routing verdict recorded on the job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteDecision {
+    /// Chosen engine.
+    pub engine: EngineKind,
+    /// Rationale.
+    pub reason: RouteReason,
+}
+
+/// Everything a worker needs to execute chunks of a routed job, built
+/// from cached artifacts.
+pub(crate) enum EngineExec<T: Scalar> {
+    Frame(Arc<FrameEntry>),
+    Tree {
+        entry: Arc<SvEntry<T>>,
+        tree: Arc<PtsPlanTree>,
+    },
+    BatchMajor(Arc<SvEntry<T>>),
+    Flat(Arc<SvEntry<T>>),
+    MpsTree {
+        entry: Arc<MpsEntry<T>>,
+        tree: Arc<PtsPlanTree>,
+    },
+}
+
+impl<T: Scalar> EngineExec<T> {
+    /// Measured bits per record (dataset header field).
+    pub(crate) fn n_measured(&self) -> usize {
+        match self {
+            EngineExec::Frame(e) => e.sampler.n_measured(),
+            EngineExec::Tree { entry, .. }
+            | EngineExec::BatchMajor(entry)
+            | EngineExec::Flat(entry) => ptsbe_core::Backend::measured_qubits(&entry.backend).len(),
+            EngineExec::MpsTree { entry, .. } => {
+                ptsbe_core::Backend::measured_qubits(&entry.backend).len()
+            }
+        }
+    }
+}
+
+/// Route `spec` and materialize its engine from `cache`.
+///
+/// # Errors
+/// A human-readable reason when the (possibly forced) engine cannot
+/// accept the circuit.
+pub(crate) fn route_job<T: Scalar>(
+    cache: &CompileCache<T>,
+    cfg: &ServiceConfig,
+    spec: &JobSpec,
+    circuit_hash: u64,
+) -> Result<(RouteDecision, EngineExec<T>), String> {
+    let nc = spec.circuit.as_ref();
+    match spec.engine {
+        EnginePolicy::Force(engine) => {
+            let exec = build_engine(cache, spec, circuit_hash, engine)?;
+            Ok((
+                RouteDecision {
+                    engine,
+                    reason: RouteReason::Forced,
+                },
+                exec,
+            ))
+        }
+        EnginePolicy::Auto => {
+            // 1. Frame domain: structural pre-checks (the circuit-crate
+            //    helpers, memoized by content hash — Pauli-mixture
+            //    detection walks every channel branch, which a warm
+            //    repeat job must not redo), then the cached lowering's
+            //    determinism flag.
+            let traits = cache.traits(nc, circuit_hash);
+            if traits.is_clifford
+                && traits.all_pauli_channels
+                && !traits.has_reset
+                && traits.n_measured <= 128
+            {
+                let entry = cache.frame(nc, circuit_hash)?;
+                if entry.deterministic {
+                    return Ok((
+                        RouteDecision {
+                            engine: EngineKind::Frame,
+                            reason: RouteReason::CliffordPauliDeterministic,
+                        },
+                        EngineExec::Frame(entry),
+                    ));
+                }
+            }
+            // 2. Wide registers: dense amplitudes are off the table.
+            if nc.n_qubits() >= cfg.mps_qubit_threshold {
+                let engine = EngineKind::MpsTree;
+                let exec = build_engine(cache, spec, circuit_hash, engine)?;
+                return Ok((
+                    RouteDecision {
+                        engine,
+                        reason: RouteReason::WideRegister {
+                            n_qubits: nc.n_qubits(),
+                        },
+                    },
+                    exec,
+                ));
+            }
+            // 3. Sharing decides between the tree walk and lane sweeps.
+            let tree = cache.plan_tree(circuit_hash, &spec.plan);
+            let sharing_ratio = tree.sharing_ratio();
+            let entry = cache.sv(nc, circuit_hash, spec.fuse)?;
+            if sharing_ratio >= cfg.sharing_threshold {
+                Ok((
+                    RouteDecision {
+                        engine: EngineKind::Tree,
+                        reason: RouteReason::HighSharing { sharing_ratio },
+                    },
+                    EngineExec::Tree { entry, tree },
+                ))
+            } else {
+                Ok((
+                    RouteDecision {
+                        engine: EngineKind::BatchMajor,
+                        reason: RouteReason::LowSharing { sharing_ratio },
+                    },
+                    EngineExec::BatchMajor(entry),
+                ))
+            }
+        }
+    }
+}
+
+fn build_engine<T: Scalar>(
+    cache: &CompileCache<T>,
+    spec: &JobSpec,
+    circuit_hash: u64,
+    engine: EngineKind,
+) -> Result<EngineExec<T>, String> {
+    let nc = spec.circuit.as_ref();
+    match engine {
+        EngineKind::Frame => {
+            let entry = cache.frame(nc, circuit_hash)?;
+            if !entry.deterministic {
+                return Err(
+                    "frame engine refused: the noiseless reference has random measurements, \
+                     so bulk frame samples would not be iid"
+                        .to_string(),
+                );
+            }
+            Ok(EngineExec::Frame(entry))
+        }
+        EngineKind::Tree => Ok(EngineExec::Tree {
+            entry: cache.sv(nc, circuit_hash, spec.fuse)?,
+            tree: cache.plan_tree(circuit_hash, &spec.plan),
+        }),
+        EngineKind::BatchMajor => Ok(EngineExec::BatchMajor(cache.sv(
+            nc,
+            circuit_hash,
+            spec.fuse,
+        )?)),
+        EngineKind::Flat => Ok(EngineExec::Flat(cache.sv(nc, circuit_hash, spec.fuse)?)),
+        EngineKind::MpsTree => Ok(EngineExec::MpsTree {
+            entry: cache.mps(nc, circuit_hash, spec.mps, spec.fuse)?,
+            tree: cache.plan_tree(circuit_hash, &spec.plan),
+        }),
+    }
+}

@@ -1,0 +1,568 @@
+//! The shot service: worker pool, admission queue, chunk scheduler.
+//!
+//! # Execution model
+//!
+//! A submitted job first becomes one *plan task*: compile-or-hit the
+//! cache, route an engine, write the dataset header, and split the work
+//! into chunks. Chunks then become independent queue tasks any worker
+//! may claim; a per-job reorder buffer ([`crate::job::Emitter`]) commits
+//! finished chunks to the sink in chunk order. Chunk geometry is a pure
+//! function of the job spec (never of worker count or queue state), and
+//! every chunk keys its Philox streams by absolute plan/chunk index, so
+//! the delivered bytes are invariant under scheduling — the property the
+//! determinism suite pins across worker counts {1, 4, 8}.
+//!
+//! # Backpressure
+//!
+//! Admission is bounded by [`ServiceConfig::queue_capacity`] *jobs*:
+//! [`ShotService::submit`] blocks until a slot frees, and
+//! [`ShotService::try_submit`] returns [`ServiceError::Saturated`]
+//! instead. Chunk tasks live on an internal unbounded queue whose length
+//! is bounded by `capacity × chunks-per-job`.
+//!
+//! # Cancellation
+//!
+//! [`crate::JobHandle::cancel`] flips a per-job flag. Workers check it
+//! before planning and before every chunk; unexecuted chunks drain as
+//! no-ops, already-written records remain (a valid plan-order prefix),
+//! and the job terminates `Cancelled`.
+
+use crate::cache::CompileCache;
+use crate::job::{ChunkSpec, JobHandle, JobInner, JobSpec, JobStatus, ServiceError};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::router::{route_job, EngineExec, EngineKind};
+use ptsbe_core::{BatchMajorExecutor, BatchResult, BatchedExecutor, TreeExecutor};
+use ptsbe_dataset::record::records_from_batch;
+use ptsbe_dataset::{DatasetHeader, RecordSink, TrajectoryRecord};
+use ptsbe_math::Scalar;
+use ptsbe_rng::PhiloxRng;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Service tuning knobs. Every field that can influence job *output* is
+/// deliberately absent — outputs depend only on job specs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (`0` = available parallelism).
+    pub workers: usize,
+    /// Maximum concurrently admitted jobs (queued + running); submission
+    /// blocks (or `try_submit` refuses) beyond it. Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Route the tree engine when the plan tree's sharing ratio reaches
+    /// this fraction (prefix sharing pays for the walk's bookkeeping).
+    pub sharing_threshold: f64,
+    /// Route the MPS tree engine at/above this qubit count (a dense
+    /// statevector of 30 qubits is 16 GiB at f64).
+    pub mps_qubit_threshold: usize,
+    /// Let executors fan out over rayon *inside* a chunk. Output-neutral
+    /// (executors are scheduling-deterministic); disable to keep each
+    /// worker single-core when the pool itself saturates the machine.
+    pub executor_parallel: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 64,
+            sharing_threshold: 0.5,
+            mps_qubit_threshold: 30,
+            executor_parallel: false,
+        }
+    }
+}
+
+enum Task<T: Scalar> {
+    Plan(Arc<JobInner<T>>),
+    Chunk {
+        job: Arc<JobInner<T>>,
+        index: usize,
+        chunk: ChunkSpec,
+    },
+}
+
+struct Shared<T: Scalar> {
+    cfg: ServiceConfig,
+    cache: CompileCache<T>,
+    queue: Mutex<VecDeque<Task<T>>>,
+    queue_cv: Condvar,
+    /// Admitted (queued + running) job count, gated by `queue_capacity`.
+    active: Mutex<usize>,
+    admit_cv: Condvar,
+    metrics: ServiceMetrics,
+    shutdown: AtomicBool,
+}
+
+/// The long-running data-collection service (see the crate docs for the
+/// architecture). Dropping the service drains the queue gracefully:
+/// every admitted job reaches a terminal state before workers exit.
+pub struct ShotService<T: Scalar = f64> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl<T: Scalar> ShotService<T> {
+    /// Start the worker pool.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
+        let workers = if cfg.workers == 0 {
+            thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            cfg,
+            cache: CompileCache::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            active: Mutex::new(0),
+            admit_cv: Condvar::new(),
+            metrics: ServiceMetrics::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ptsbe-svc-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Submit a job, blocking while the admission queue is full.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidJob`] on malformed specs,
+    /// [`ServiceError::ShuttingDown`] after shutdown began.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        sink: Box<dyn RecordSink>,
+    ) -> Result<JobHandle<T>, ServiceError> {
+        self.admit(spec, sink, true)
+    }
+
+    /// Submit without blocking.
+    ///
+    /// # Errors
+    /// [`ServiceError::Saturated`] when the queue is at capacity, plus
+    /// everything [`ShotService::submit`] returns.
+    pub fn try_submit(
+        &self,
+        spec: JobSpec,
+        sink: Box<dyn RecordSink>,
+    ) -> Result<JobHandle<T>, ServiceError> {
+        self.admit(spec, sink, false)
+    }
+
+    fn admit(
+        &self,
+        spec: JobSpec,
+        sink: Box<dyn RecordSink>,
+        block: bool,
+    ) -> Result<JobHandle<T>, ServiceError> {
+        validate(&spec)?;
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        {
+            let mut active = self.shared.active.lock().unwrap();
+            while *active >= self.shared.cfg.queue_capacity {
+                if !block {
+                    return Err(ServiceError::Saturated);
+                }
+                active = self.shared.admit_cv.wait(active).unwrap();
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    return Err(ServiceError::ShuttingDown);
+                }
+            }
+            *active += 1;
+            self.shared.metrics.note_active(*active);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(JobInner::new(id, spec, sink));
+        self.shared
+            .metrics
+            .jobs_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.push_back(Task::Plan(Arc::clone(&job)));
+        }
+        self.shared.queue_cv.notify_one();
+        Ok(JobHandle { inner: job })
+    }
+
+    /// Compile/plan cache counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Service health snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::from_counters(&self.shared.metrics, self.shared.cache.stats())
+    }
+
+    /// Worker count actually running.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl<T: Scalar> Drop for ShotService<T> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        self.shared.admit_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn validate(spec: &JobSpec) -> Result<(), ServiceError> {
+    let sites = spec.circuit.sites();
+    for (i, t) in spec.plan.trajectories.iter().enumerate() {
+        if t.choices.len() != sites.len() {
+            return Err(ServiceError::InvalidJob(format!(
+                "trajectory {i} assigns {} sites, circuit has {}",
+                t.choices.len(),
+                sites.len()
+            )));
+        }
+        for (site, &k) in sites.iter().zip(&t.choices) {
+            if k >= site.channel.n_ops() {
+                return Err(ServiceError::InvalidJob(format!(
+                    "trajectory {i} picks branch {k} at site {}, channel '{}' has {}",
+                    site.id,
+                    site.channel.name(),
+                    site.channel.n_ops()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+
+fn worker_loop<T: Scalar>(shared: Arc<Shared<T>>) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break Some(t);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = shared.queue_cv.wait(q).unwrap();
+            }
+        };
+        match task {
+            None => return,
+            Some(Task::Plan(job)) => plan_job(&shared, job),
+            Some(Task::Chunk { job, index, chunk }) => run_chunk(&shared, job, index, chunk),
+        }
+    }
+}
+
+/// Compile (through the cache), route, emit the header, split into
+/// chunks, and enqueue them.
+fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
+    if job.cancelled.load(Ordering::Acquire) {
+        job.set_status(JobStatus::Cancelled);
+        finalize(shared, &job);
+        return;
+    }
+    job.set_status(JobStatus::Running);
+    let planned = catch_unwind(AssertUnwindSafe(|| {
+        let circuit_hash = job.spec.circuit.content_hash();
+        route_job(&shared.cache, &shared.cfg, &job.spec, circuit_hash)
+    }));
+    let (decision, exec) = match planned {
+        Ok(Ok(pair)) => pair,
+        Ok(Err(msg)) => {
+            job.fail(msg);
+            finalize(shared, &job);
+            return;
+        }
+        Err(_) => {
+            job.fail("planning panicked".to_string());
+            finalize(shared, &job);
+            return;
+        }
+    };
+    shared.metrics.engine_jobs[decision.engine.index()].fetch_add(1, Ordering::Relaxed);
+    let header = DatasetHeader {
+        workload: job.spec.name.clone(),
+        n_qubits: job.spec.circuit.n_qubits(),
+        n_measured: exec.n_measured(),
+        backend: format!(
+            "{}-f{}",
+            decision.engine.label(),
+            8 * std::mem::size_of::<T>()
+        ),
+        seed: job.spec.seed,
+    };
+    let chunks = split_chunks(&job.spec, decision.engine, &exec);
+    job.route.set(decision).ok();
+    job.exec.set(exec).ok();
+    if let Err(e) = job.emitter.lock().unwrap().begin(&header) {
+        job.fail(format!("sink begin failed: {e}"));
+        finalize(shared, &job);
+        return;
+    }
+    if chunks.is_empty() {
+        if let Err(e) = job.emitter.lock().unwrap().finish() {
+            job.fail(format!("sink finish failed: {e}"));
+        } else {
+            job.set_status(JobStatus::Done);
+        }
+        finalize(shared, &job);
+        return;
+    }
+    job.chunks_total.store(chunks.len(), Ordering::Release);
+    {
+        let mut q = shared.queue.lock().unwrap();
+        for (index, chunk) in chunks.into_iter().enumerate() {
+            q.push_back(Task::Chunk {
+                job: Arc::clone(&job),
+                index,
+                chunk,
+            });
+        }
+    }
+    shared.queue_cv.notify_all();
+}
+
+/// Chunk geometry: a pure function of (spec, engine) so scheduling can
+/// never shift record boundaries.
+fn split_chunks<T: Scalar>(
+    spec: &JobSpec,
+    engine: EngineKind,
+    exec: &EngineExec<T>,
+) -> Vec<ChunkSpec> {
+    match engine {
+        EngineKind::Frame => {
+            let total = spec.plan.total_shots();
+            if total == 0 {
+                return Vec::new();
+            }
+            let per = if spec.frame_chunk_shots == 0 {
+                1 << 16
+            } else {
+                spec.frame_chunk_shots
+            };
+            let mut chunks = Vec::with_capacity(total.div_ceil(per));
+            let mut start = 0usize;
+            while start < total {
+                let shots = per.min(total - start);
+                chunks.push(ChunkSpec::Shots {
+                    stream: chunks.len() as u64,
+                    shots,
+                });
+                start += shots;
+            }
+            chunks
+        }
+        EngineKind::Tree | EngineKind::MpsTree => {
+            // Prefix sharing spans the whole plan; one task, internally
+            // parallel over subtrees.
+            if spec.plan.trajectories.is_empty() {
+                Vec::new()
+            } else {
+                vec![ChunkSpec::Whole]
+            }
+        }
+        EngineKind::BatchMajor | EngineKind::Flat => {
+            let n = spec.plan.trajectories.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            let per = if spec.chunk_trajectories == 0 {
+                let lanes = match exec {
+                    EngineExec::BatchMajor(entry) | EngineExec::Flat(entry) => {
+                        let n_qubits = ptsbe_core::Backend::n_qubits(&entry.backend);
+                        let state_bytes =
+                            (1usize << n_qubits) * std::mem::size_of::<ptsbe_math::Complex<T>>();
+                        BatchMajorExecutor::auto_lanes(state_bytes)
+                    }
+                    _ => 8,
+                };
+                // A few lane groups per chunk: enough work to amortize
+                // scheduling, enough chunks to stream and cancel.
+                (lanes * 8).clamp(16, 512)
+            } else {
+                spec.chunk_trajectories
+            };
+            (0..n)
+                .step_by(per)
+                .map(|s| ChunkSpec::Traj(s..(s + per).min(n)))
+                .collect()
+        }
+    }
+}
+
+fn run_chunk<T: Scalar>(
+    shared: &Arc<Shared<T>>,
+    job: Arc<JobInner<T>>,
+    index: usize,
+    chunk: ChunkSpec,
+) {
+    let skip = job.cancelled.load(Ordering::Acquire) || job.status() == JobStatus::Failed;
+    if !skip {
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute_chunk(shared, &job, &chunk)));
+        match outcome {
+            Ok(records) => {
+                let pushed = job.emitter.lock().unwrap().push(index, records);
+                match pushed {
+                    Ok((recs, shots)) => {
+                        job.records_emitted.fetch_add(recs, Ordering::Relaxed);
+                        job.shots_emitted.fetch_add(shots, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .records_emitted
+                            .fetch_add(recs, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .shots_emitted
+                            .fetch_add(shots, Ordering::Relaxed);
+                    }
+                    Err(e) => job.fail(format!("sink write failed: {e}")),
+                }
+            }
+            Err(_) => job.fail(format!("chunk {index} panicked")),
+        }
+    }
+    let done = job.chunks_done.fetch_add(1, Ordering::AcqRel) + 1;
+    if done == job.chunks_total.load(Ordering::Acquire) {
+        let status = job.status();
+        if job.cancelled.load(Ordering::Acquire) && status != JobStatus::Failed {
+            job.set_status(JobStatus::Cancelled);
+            // Flush what was delivered; a cancelled dataset is a valid
+            // prefix, so IO errors here do not reclassify the job.
+            let _ = job.emitter.lock().unwrap().finish();
+        } else if status == JobStatus::Failed {
+            let _ = job.emitter.lock().unwrap().finish();
+        } else if let Err(e) = job.emitter.lock().unwrap().finish() {
+            job.fail(format!("sink finish failed: {e}"));
+        } else {
+            job.set_status(JobStatus::Done);
+        }
+        finalize(shared, &job);
+    }
+}
+
+/// Execute one chunk to records. Every stream key is absolute (plan
+/// index or chunk ordinal), so results are independent of which worker
+/// runs what when.
+fn execute_chunk<T: Scalar>(
+    shared: &Arc<Shared<T>>,
+    job: &Arc<JobInner<T>>,
+    chunk: &ChunkSpec,
+) -> Vec<TrajectoryRecord> {
+    let spec = &job.spec;
+    let exec = job.exec.get().expect("engine set at plan time");
+    let parallel = shared.cfg.executor_parallel;
+    match (exec, chunk) {
+        (EngineExec::Frame(entry), ChunkSpec::Shots { stream, shots }) => {
+            let mut rng = PhiloxRng::for_trajectory(spec.seed, *stream);
+            let result = entry.sampler.sample(*shots, &mut rng);
+            // One record per shot block: frame sampling draws noise per
+            // shot, so there is no per-trajectory provenance to attach —
+            // the Stim trade, documented on the router.
+            vec![TrajectoryRecord {
+                meta: ptsbe_core::assignment::TrajectoryMeta {
+                    traj_id: *stream as usize,
+                    nominal_prob: 1.0,
+                    realized_prob: 1.0,
+                    choices: Vec::new(),
+                    errors: Vec::new(),
+                },
+                shots: result.shots.iter().map(|s| format!("{s:x}")).collect(),
+            }]
+        }
+        (EngineExec::Flat(entry), ChunkSpec::Traj(range)) => {
+            let ex = BatchedExecutor {
+                seed: spec.seed,
+                parallel,
+            };
+            to_records(ex.execute_slice(&entry.backend, &spec.circuit, &spec.plan, range.clone()))
+        }
+        (EngineExec::BatchMajor(entry), ChunkSpec::Traj(range)) => {
+            let ex = BatchMajorExecutor {
+                seed: spec.seed,
+                parallel,
+                lanes: 0,
+            };
+            to_records(ex.execute_slice(&entry.backend, &spec.circuit, &spec.plan, range.clone()))
+        }
+        (EngineExec::Tree { entry, tree }, ChunkSpec::Whole) => {
+            let ex = TreeExecutor {
+                seed: spec.seed,
+                parallel,
+            };
+            to_records(ex.execute_tree_pooled(
+                &entry.backend,
+                &spec.circuit,
+                &spec.plan,
+                tree,
+                &entry.pool,
+            ))
+        }
+        (EngineExec::MpsTree { entry, tree }, ChunkSpec::Whole) => {
+            let ex = TreeExecutor {
+                seed: spec.seed,
+                parallel,
+            };
+            to_records(ex.execute_tree_pooled(
+                &entry.backend,
+                &spec.circuit,
+                &spec.plan,
+                tree,
+                &entry.pool,
+            ))
+        }
+        _ => unreachable!("chunk shape does not match routed engine"),
+    }
+}
+
+fn to_records(batch: BatchResult) -> Vec<TrajectoryRecord> {
+    records_from_batch(&batch)
+}
+
+/// Terminal bookkeeping shared by every exit path: metrics, the waiter
+/// handshake, and the admission slot release.
+fn finalize<T: Scalar>(shared: &Arc<Shared<T>>, job: &Arc<JobInner<T>>) {
+    *job.wall.lock().unwrap() = Some(job.submitted_at.elapsed());
+    let counter = match job.status() {
+        JobStatus::Done => &shared.metrics.jobs_done,
+        JobStatus::Cancelled => &shared.metrics.jobs_cancelled,
+        _ => &shared.metrics.jobs_failed,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    {
+        let (lock, cv) = &job.done;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    {
+        let mut active = shared.active.lock().unwrap();
+        *active = active.saturating_sub(1);
+    }
+    shared.admit_cv.notify_all();
+}

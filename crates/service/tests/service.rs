@@ -1,0 +1,526 @@
+//! Service integration suite: routing, cache warmth, determinism across
+//! worker counts and engines, cancellation, backpressure, failure paths.
+
+use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
+use ptsbe_core::{ProbabilisticPts, PtsPlan, PtsSampler};
+use ptsbe_dataset::{JsonlSink, MemorySink, SharedBuffer};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_service::{
+    EngineKind, EnginePolicy, JobSpec, JobStatus, ServiceConfig, ServiceError, ShotService,
+};
+use std::sync::Arc;
+
+/// Clifford circuit whose noiseless reference is measurement-
+/// deterministic (no Hadamards before measurement): the frame domain.
+fn parity_circuit(p: f64) -> NoisyCircuit {
+    let mut c = Circuit::new(3);
+    c.cx(0, 1).cx(0, 2).cx(0, 1).measure_all();
+    NoiseModel::new()
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+/// Clifford + Pauli noise but an intrinsically random reference (H then
+/// measure): valid everywhere except the frame engine.
+fn bell_circuit(p: f64) -> NoisyCircuit {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1).measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+/// Non-Clifford workload (T gates): statevector engines only.
+fn t_circuit(p: f64) -> NoisyCircuit {
+    let mut c = Circuit::new(3);
+    c.h(0).t(0).cx(0, 1).t(1).cx(1, 2).measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+fn plan_for(nc: &NoisyCircuit, n: usize, shots: usize, dedup: bool, seed: u64) -> PtsPlan {
+    let mut rng = PhiloxRng::new(seed, 0);
+    ProbabilisticPts {
+        n_samples: n,
+        shots_per_trajectory: shots,
+        dedup,
+    }
+    .sample_plan(nc, &mut rng)
+}
+
+fn one_worker() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Run `spec` to completion on a fresh service with `workers` workers,
+/// returning the emitted JSONL bytes and the report.
+fn run_jsonl(spec: JobSpec, workers: usize) -> (Vec<u8>, ptsbe_service::JobReport) {
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    let buf = SharedBuffer::new();
+    let handle = service
+        .submit(spec, Box::new(JsonlSink::new(buf.clone())))
+        .unwrap();
+    let report = handle.wait();
+    (buf.bytes(), report)
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+#[test]
+fn routes_clifford_pauli_deterministic_to_frame() {
+    let nc = parity_circuit(0.05);
+    let plan = plan_for(&nc, 10, 100, true, 11);
+    let expected_shots = plan.total_shots() as u64;
+    let (_, report) = run_jsonl(JobSpec::new("parity", nc, plan, 1), 2);
+    assert!(report.status.is_success(), "{report:?}");
+    assert_eq!(report.engine, Some(EngineKind::Frame));
+    assert_eq!(report.shots, expected_shots);
+}
+
+#[test]
+fn random_reference_rejects_frame_routing() {
+    // Clifford + Pauli noise, but H makes the reference random: the
+    // determinism gate must push the job onto a statevector engine.
+    let nc = bell_circuit(0.01);
+    let plan = plan_for(&nc, 50, 20, true, 12);
+    let (_, report) = run_jsonl(JobSpec::new("bell", nc, plan, 1), 2);
+    assert!(report.status.is_success());
+    assert!(
+        matches!(
+            report.engine,
+            Some(EngineKind::Tree) | Some(EngineKind::BatchMajor)
+        ),
+        "got {:?}",
+        report.engine
+    );
+}
+
+#[test]
+fn sharing_ratio_splits_tree_and_batch_major() {
+    // Low noise, dedup off: the plan is dominated by repeated identity
+    // assignments whose full paths coincide => high sharing => tree.
+    let nc = t_circuit(0.005);
+    let plan = plan_for(&nc, 60, 10, false, 13);
+    let (_, report) = run_jsonl(JobSpec::new("hi-share", nc, plan, 1), 2);
+    assert!(report.status.is_success());
+    assert_eq!(
+        report.engine,
+        Some(EngineKind::Tree),
+        "{}",
+        report.route_reason
+    );
+
+    // Saturated noise: assignments diverge at the first sites, sharing
+    // collapses => batch-major.
+    let nc = t_circuit(0.9);
+    let plan = plan_for(&nc, 60, 10, false, 14);
+    let (_, report) = run_jsonl(JobSpec::new("lo-share", nc, plan, 1), 2);
+    assert!(report.status.is_success());
+    assert_eq!(
+        report.engine,
+        Some(EngineKind::BatchMajor),
+        "{}",
+        report.route_reason
+    );
+}
+
+#[test]
+fn wide_registers_route_to_mps_tree() {
+    let nc = bell_circuit(0.02);
+    let plan = plan_for(&nc, 10, 5, true, 15);
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 2,
+        mps_qubit_threshold: 2, // force the wide-register branch
+        ..ServiceConfig::default()
+    });
+    let (sink, store) = MemorySink::new();
+    let handle = service
+        .submit(JobSpec::new("wide", nc, plan.clone(), 3), Box::new(sink))
+        .unwrap();
+    let report = handle.wait();
+    assert!(report.status.is_success(), "{report:?}");
+    assert_eq!(report.engine, Some(EngineKind::MpsTree));
+    let store = store.lock().unwrap();
+    assert_eq!(store.records.len(), plan.n_trajectories());
+    assert!(store.finished);
+    assert!(store
+        .header
+        .as_ref()
+        .unwrap()
+        .backend
+        .starts_with("mps-tree"));
+}
+
+// ---------------------------------------------------------------------------
+// Cache warmth
+
+#[test]
+fn warm_repeat_job_does_zero_compile_or_plan_work() {
+    let nc = Arc::new(t_circuit(0.01));
+    let plan = Arc::new(plan_for(&nc, 40, 25, true, 16));
+    let service: ShotService = ShotService::start(one_worker());
+
+    let spec = JobSpec::new("warmth", Arc::clone(&nc), Arc::clone(&plan), 5);
+    let cold_buf = SharedBuffer::new();
+    let h = service
+        .submit(spec.clone(), Box::new(JsonlSink::new(cold_buf.clone())))
+        .unwrap();
+    assert!(h.wait().status.is_success());
+    let cold = service.cache_stats();
+    assert!(cold.compile_misses() > 0, "cold run must compile");
+    assert!(cold.tree_misses > 0, "cold run must build the plan tree");
+
+    let warm_buf = SharedBuffer::new();
+    let h = service
+        .submit(spec, Box::new(JsonlSink::new(warm_buf.clone())))
+        .unwrap();
+    assert!(h.wait().status.is_success());
+    let warm = service.cache_stats();
+    assert_eq!(
+        warm.compile_misses(),
+        cold.compile_misses(),
+        "warm repeat must not compile"
+    );
+    assert_eq!(
+        warm.tree_misses, cold.tree_misses,
+        "warm repeat must not rebuild the plan tree"
+    );
+    assert!(
+        warm.compile_hits() > cold.compile_hits() && warm.tree_hits > cold.tree_hits,
+        "warm repeat must hit: {warm:?} vs {cold:?}"
+    );
+    assert_eq!(
+        cold_buf.bytes(),
+        warm_buf.bytes(),
+        "cache state must not change output bytes"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+
+/// Same spec, worker counts {1, 4, 8}: identical dataset bytes. Runs the
+/// multi-chunk engines with small chunks so the reorder buffer actually
+/// reassembles out-of-order completions.
+#[test]
+fn bytes_identical_across_worker_counts_all_engines() {
+    let cases: Vec<(&str, JobSpec)> = vec![
+        ("frame", {
+            let nc = parity_circuit(0.08);
+            let plan = plan_for(&nc, 8, 2000, false, 21);
+            let mut s = JobSpec::new("d-frame", nc, plan, 77);
+            s.frame_chunk_shots = 512; // 32 chunks
+            s
+        }),
+        ("tree", {
+            let nc = t_circuit(0.01);
+            let plan = plan_for(&nc, 50, 20, false, 22);
+            JobSpec::new("d-tree", nc, plan, 77).with_engine(EnginePolicy::Force(EngineKind::Tree))
+        }),
+        ("batch-major", {
+            let nc = t_circuit(0.05);
+            let plan = plan_for(&nc, 53, 20, false, 23); // ragged tail
+            let mut s = JobSpec::new("d-batch", nc, plan, 77)
+                .with_engine(EnginePolicy::Force(EngineKind::BatchMajor));
+            s.chunk_trajectories = 7; // 8 chunks
+            s
+        }),
+        ("flat", {
+            let nc = t_circuit(0.05);
+            let plan = plan_for(&nc, 30, 10, false, 24);
+            let mut s = JobSpec::new("d-flat", nc, plan, 77)
+                .with_engine(EnginePolicy::Force(EngineKind::Flat));
+            s.chunk_trajectories = 4;
+            s
+        }),
+    ];
+    for (label, spec) in cases {
+        let (reference, report) = run_jsonl(spec.clone(), 1);
+        assert!(report.status.is_success(), "{label}: {report:?}");
+        for workers in [4usize, 8] {
+            let (bytes, report) = run_jsonl(spec.clone(), workers);
+            assert!(report.status.is_success(), "{label}/{workers}");
+            assert_eq!(
+                bytes, reference,
+                "{label}: dataset bytes must not depend on worker count ({workers})"
+            );
+        }
+    }
+}
+
+/// Tree, batch-major and flat are bitwise-identical executors, so the
+/// *records* they deliver for the same job must match exactly (headers
+/// differ by engine label only).
+#[test]
+fn sv_engines_deliver_identical_records() {
+    let nc = Arc::new(t_circuit(0.02));
+    let plan = Arc::new(plan_for(&nc, 40, 15, false, 31));
+    let mut stores = Vec::new();
+    for engine in [EngineKind::Tree, EngineKind::BatchMajor, EngineKind::Flat] {
+        let service: ShotService = ShotService::start(ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        });
+        let (sink, store) = MemorySink::new();
+        let spec = JobSpec::new("x-engine", Arc::clone(&nc), Arc::clone(&plan), 9)
+            .with_engine(EnginePolicy::Force(engine));
+        let report = service.submit(spec, Box::new(sink)).unwrap().wait();
+        assert!(report.status.is_success(), "{engine:?}: {report:?}");
+        stores.push((engine, store));
+    }
+    let (_, reference) = &stores[0];
+    let reference = reference.lock().unwrap();
+    for (engine, store) in &stores[1..] {
+        let store = store.lock().unwrap();
+        assert_eq!(store.records.len(), reference.records.len());
+        for (a, b) in store.records.iter().zip(reference.records.iter()) {
+            assert_eq!(a.shots, b.shots, "{engine:?}: shots must match bitwise");
+            assert_eq!(a.meta.choices, b.meta.choices, "{engine:?}");
+            assert_eq!(
+                a.meta.realized_prob.to_bits(),
+                b.meta.realized_prob.to_bits(),
+                "{engine:?}"
+            );
+        }
+    }
+}
+
+/// Frame-routed jobs and tree-routed jobs draw from the same physical
+/// distribution on deterministic-measurement Clifford circuits.
+#[test]
+fn frame_agrees_with_tree_on_deterministic_circuit() {
+    let nc = Arc::new(parity_circuit(0.1));
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 4,
+        ..ServiceConfig::default()
+    });
+
+    // Frame: bulk path, noise drawn per shot.
+    let frame_plan = plan_for(&nc, 1, 120_000, true, 41);
+    let (sink, frame_store) = MemorySink::new();
+    let report = service
+        .submit(
+            JobSpec::new("agree-frame", Arc::clone(&nc), frame_plan, 51),
+            Box::new(sink),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(report.engine, Some(EngineKind::Frame), "{report:?}");
+    let frame_total = report.shots;
+
+    // Tree: plan-exact path, one shot per sampled trajectory ⇒ the
+    // empirical mix over trajectories is the channel distribution.
+    let tree_plan = plan_for(&nc, 40_000, 3, false, 42);
+    let (sink, tree_store) = MemorySink::new();
+    let report = service
+        .submit(
+            JobSpec::new("agree-tree", Arc::clone(&nc), tree_plan, 52)
+                .with_engine(EnginePolicy::Force(EngineKind::Tree)),
+            Box::new(sink),
+        )
+        .unwrap()
+        .wait();
+    assert!(report.status.is_success(), "{report:?}");
+    let tree_total = report.shots;
+
+    let hist = |records: &[ptsbe_dataset::TrajectoryRecord], total: f64| {
+        let mut h = [0.0f64; 8];
+        for r in records {
+            for s in r.decode_shots().unwrap() {
+                h[s as usize] += 1.0 / total;
+            }
+        }
+        h
+    };
+    let f = hist(&frame_store.lock().unwrap().records, frame_total as f64);
+    let t = hist(&tree_store.lock().unwrap().records, tree_total as f64);
+    let tvd: f64 = f.iter().zip(&t).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+    assert!(
+        tvd < 0.02,
+        "frame and tree engines disagree: TVD {tvd:.4}\nframe {f:?}\ntree  {t:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle: cancellation, backpressure, failures
+
+#[test]
+fn cancellation_terminates_queued_job_and_service_survives() {
+    let service: ShotService = ShotService::start(one_worker());
+    let nc = parity_circuit(0.01);
+
+    // A long job to occupy the single worker...
+    let big = plan_for(&nc, 1, 3_000_000, true, 61);
+    let mut big_spec = JobSpec::new("blocker", nc.clone(), big, 1);
+    big_spec.frame_chunk_shots = 1 << 14;
+    let (sink, _) = MemorySink::new();
+    let blocker = service.submit(big_spec, Box::new(sink)).unwrap();
+
+    // ...then a queued job we cancel before it is planned.
+    let small = plan_for(&nc, 5, 10, true, 62);
+    let (sink, victim_store) = MemorySink::new();
+    let victim = service
+        .submit(JobSpec::new("victim", nc.clone(), small, 2), Box::new(sink))
+        .unwrap();
+    victim.cancel();
+
+    let report = victim.wait();
+    assert_eq!(report.status, JobStatus::Cancelled);
+    assert_eq!(report.records, 0);
+    assert!(victim_store.lock().unwrap().records.is_empty());
+    assert!(blocker.wait().status.is_success());
+
+    // The pool is healthy afterwards.
+    let next = plan_for(&nc, 5, 10, true, 63);
+    let (sink, _) = MemorySink::new();
+    let report = service
+        .submit(JobSpec::new("after", nc, next, 3), Box::new(sink))
+        .unwrap()
+        .wait();
+    assert!(report.status.is_success());
+    assert_eq!(service.metrics().jobs_cancelled, 1);
+}
+
+#[test]
+fn try_submit_saturates_then_recovers() {
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    });
+    let nc = parity_circuit(0.01);
+    let big = plan_for(&nc, 1, 5_000_000, true, 71);
+    let mut spec = JobSpec::new("big", nc.clone(), big, 1);
+    spec.frame_chunk_shots = 1 << 14;
+    let (sink, _) = MemorySink::new();
+    let first = service.submit(spec, Box::new(sink)).unwrap();
+
+    let small = plan_for(&nc, 2, 5, true, 72);
+    let (sink, _) = MemorySink::new();
+    let err = service
+        .try_submit(
+            JobSpec::new("second", nc.clone(), small.clone(), 2),
+            Box::new(sink),
+        )
+        .unwrap_err();
+    assert_eq!(err, ServiceError::Saturated);
+
+    assert!(first.wait().status.is_success());
+    let (sink, _) = MemorySink::new();
+    let report = service
+        .submit(JobSpec::new("second", nc, small, 2), Box::new(sink))
+        .unwrap()
+        .wait();
+    assert!(report.status.is_success());
+}
+
+#[test]
+fn admission_respects_capacity_under_flood() {
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 4,
+        queue_capacity: 3,
+        ..ServiceConfig::default()
+    });
+    let nc = Arc::new(bell_circuit(0.02));
+    let plan = Arc::new(plan_for(&nc, 10, 20, true, 81));
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            let (sink, _) = MemorySink::new();
+            service
+                .submit(
+                    JobSpec::new(format!("flood-{i}"), Arc::clone(&nc), Arc::clone(&plan), i),
+                    Box::new(sink),
+                )
+                .unwrap()
+        })
+        .collect();
+    for h in &handles {
+        assert!(h.wait().status.is_success());
+    }
+    let m = service.metrics();
+    assert_eq!(m.jobs_done, 12);
+    assert!(
+        m.peak_active_jobs <= 3,
+        "admission exceeded capacity: peak {}",
+        m.peak_active_jobs
+    );
+}
+
+#[test]
+fn invalid_plan_rejected_at_submit() {
+    let service: ShotService = ShotService::start(one_worker());
+    let nc = bell_circuit(0.1);
+
+    // Wrong assignment length.
+    let mut plan = plan_for(&nc, 3, 5, true, 91);
+    plan.trajectories[0].choices.pop();
+    let (sink, _) = MemorySink::new();
+    let err = service
+        .submit(JobSpec::new("bad-len", nc.clone(), plan, 1), Box::new(sink))
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::InvalidJob(_)), "{err:?}");
+
+    // Branch index out of the channel's range: rejected at admission,
+    // not discovered as a worker panic.
+    let mut plan = plan_for(&nc, 3, 5, true, 91);
+    plan.trajectories[0].choices[0] = 99;
+    let (sink, _) = MemorySink::new();
+    let err = service
+        .submit(JobSpec::new("bad-branch", nc, plan, 1), Box::new(sink))
+        .unwrap_err();
+    match err {
+        ServiceError::InvalidJob(msg) => assert!(msg.contains("branch 99"), "{msg}"),
+        other => panic!("expected InvalidJob, got {other:?}"),
+    }
+}
+
+#[test]
+fn uncompilable_and_misrouted_jobs_fail_cleanly() {
+    let service: ShotService = ShotService::start(one_worker());
+
+    // Reset: no fixed-assignment backend accepts it.
+    let mut c = Circuit::new(1);
+    c.reset(0);
+    c.measure_all();
+    let nc = NoisyCircuit::from_circuit(c);
+    let (sink, _) = MemorySink::new();
+    let report = service
+        .submit(
+            JobSpec::new("reset", nc, PtsPlan::default(), 1),
+            Box::new(sink),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(report.status, JobStatus::Failed);
+    assert!(
+        report.error.unwrap().contains("compile"),
+        "error should name the compile"
+    );
+
+    // Forcing the frame engine onto a non-Clifford circuit fails with a
+    // frame-specific reason.
+    let nc = t_circuit(0.01);
+    let plan = plan_for(&nc, 3, 5, true, 92);
+    let (sink, _) = MemorySink::new();
+    let report = service
+        .submit(
+            JobSpec::new("forced-frame", nc, plan, 1)
+                .with_engine(EnginePolicy::Force(EngineKind::Frame)),
+            Box::new(sink),
+        )
+        .unwrap()
+        .wait();
+    assert_eq!(report.status, JobStatus::Failed);
+    assert!(report.error.unwrap().contains("frame"));
+    assert_eq!(service.metrics().jobs_failed, 2);
+}

@@ -99,6 +99,19 @@ impl FrameSampler {
         &self.program
     }
 
+    /// Whether any reference measurement was intrinsically random — the
+    /// sampler's exactness gate: per-shot records are exact iid samples
+    /// only when this is `false` (the service router refuses to route
+    /// jobs here otherwise).
+    pub fn reference_was_random(&self) -> bool {
+        self.reference_was_random
+    }
+
+    /// Measured bits per record, in record order.
+    pub fn n_measured(&self) -> usize {
+        self.program.measured.len()
+    }
+
     /// Sample `shots` measurement records.
     pub fn sample<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> FrameResult {
         let n = self.program.n_qubits;

@@ -315,6 +315,25 @@ impl<T: Scalar> StateBatch<T> {
         });
     }
 
+    /// [`StateBatch::apply_1q_lanes`] with a skip mask: lanes whose flag
+    /// is set pass through untouched. This is how diverging Kraus branch
+    /// points honor the exact-identity skip — a skipped lane's amplitudes
+    /// keep their exact bits (applying an identity matrix would not:
+    /// `0·x` terms can flip signed zeros), matching the scalar path that
+    /// elides the same branch.
+    pub fn apply_1q_lanes_masked(&mut self, es: &[[Complex<T>; 4]], skip: &[bool], q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert_eq!(es.len(), self.n_lanes);
+        assert_eq!(skip.len(), self.n_lanes);
+        self.sweep_pairs_lanes(q, move |lane, x0, x1| {
+            if skip[lane] {
+                (x0, x1)
+            } else {
+                vec_ops::mat2_apply(&es[lane], x0, x1)
+            }
+        });
+    }
+
     /// Dense two-qubit gate, same matrix on every lane (gate basis
     /// `(bit_a << 1) | bit_b`).
     pub fn apply_2q(&mut self, m: &Matrix<T>, a: usize, b: usize) {
@@ -333,6 +352,28 @@ impl<T: Scalar> StateBatch<T> {
         assert_eq!(mms.len(), self.n_lanes);
         let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
         self.sweep_quads_lanes(sh, sl, move |lane, x| vec_ops::mat4_apply(&mms[lane], &x));
+    }
+
+    /// [`StateBatch::apply_2q_lanes`] with a skip mask (see
+    /// [`StateBatch::apply_1q_lanes_masked`]).
+    pub fn apply_2q_lanes_masked(
+        &mut self,
+        mms: &[[[Complex<T>; 4]; 4]],
+        skip: &[bool],
+        a: usize,
+        b: usize,
+    ) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        assert_eq!(mms.len(), self.n_lanes);
+        assert_eq!(skip.len(), self.n_lanes);
+        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
+        self.sweep_quads_lanes(sh, sl, move |lane, x| {
+            if skip[lane] {
+                x
+            } else {
+                vec_ops::mat4_apply(&mms[lane], &x)
+            }
+        });
     }
 
     /// Diagonal single-qubit fast path (pure phase multiply). The factor
@@ -664,7 +705,13 @@ pub fn advance_batch<T: Scalar>(
                     for (r, c) in realized.iter_mut().zip(choices) {
                         *r *= site.probs[c[*id]];
                     }
-                    apply_site_mats(batch, site, choices, *id, uniform, k0);
+                    // A uniformly skippable branch (the low-noise common
+                    // case: every lane drew the identity) elides the
+                    // whole sweep; divergent groups skip per lane inside
+                    // the masked kernels.
+                    if !(uniform && site.skips(k0)) {
+                        apply_site_mats(batch, site, choices, *id, uniform, k0);
+                    }
                 } else {
                     apply_site_mats(batch, site, choices, *id, uniform, k0);
                     batch.norm_sqr_lanes(&mut n2);
@@ -699,7 +746,12 @@ fn apply_site_mats<T: Scalar>(
                         [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]]
                     })
                     .collect();
-                batch.apply_1q_lanes(&es, *q);
+                let skip: Vec<bool> = choices.iter().map(|c| site.skips(c[id])).collect();
+                if skip.iter().any(|&s| s) {
+                    batch.apply_1q_lanes_masked(&es, &skip, *q);
+                } else {
+                    batch.apply_1q_lanes(&es, *q);
+                }
             }
         }
         [a, b] => {
@@ -710,7 +762,12 @@ fn apply_site_mats<T: Scalar>(
                     .iter()
                     .map(|c| local_2q_matrix(&site.mats[c[id]], *a, *b))
                     .collect();
-                batch.apply_2q_lanes(&mms, *a, *b);
+                let skip: Vec<bool> = choices.iter().map(|c| site.skips(c[id])).collect();
+                if skip.iter().any(|&s| s) {
+                    batch.apply_2q_lanes_masked(&mms, &skip, *a, *b);
+                } else {
+                    batch.apply_2q_lanes(&mms, *a, *b);
+                }
             }
         }
         _ => unreachable!("arity > 2 handled by the scalar fallback"),
@@ -730,11 +787,15 @@ fn apply_site_via_scalar<T: Scalar>(
     let mut scratch = StateVector::zero_state(0);
     for (lane, (c, r)) in choices.iter().zip(realized.iter_mut()).enumerate() {
         let k = c[id];
-        batch.extract_lane_into(lane, &mut scratch);
         if site.is_unitary_mixture {
             *r *= site.probs[k];
+            if site.skip_identity[k] {
+                continue; // exact identity: the lane keeps its bits
+            }
+            batch.extract_lane_into(lane, &mut scratch);
             scratch.apply_kq(&site.mats[k], &site.qubits);
         } else {
+            batch.extract_lane_into(lane, &mut scratch);
             *r *= apply_kraus_normalized(&mut scratch, &site.mats[k], &site.qubits);
         }
         batch.load_lane(lane, &scratch);

@@ -78,6 +78,23 @@ pub struct CompiledSite<T: Scalar> {
     pub is_unitary_mixture: bool,
     /// Pre-sampling probabilities (exact for mixtures, nominal otherwise).
     pub probs: Vec<f64>,
+    /// `skip_identity[k]`: branch `k` is an *exact* identity whose
+    /// application every execution path elides (detected on the `f64`
+    /// channel matrices at compile time, so scalar, batch-major and MPS
+    /// paths skip the same branches and stay bitwise aligned). Only ever
+    /// true for unitary mixtures — general channels renormalize, which is
+    /// never a no-op. Under low-noise unitary-mixture workloads the
+    /// identity branch dominates, so this removes the single most common
+    /// dense apply from `advance`.
+    pub skip_identity: Vec<bool>,
+}
+
+impl<T: Scalar> CompiledSite<T> {
+    /// Whether branch `k`'s application can be elided entirely.
+    #[inline]
+    pub fn skips(&self, k: usize) -> bool {
+        self.is_unitary_mixture && self.skip_identity[k]
+    }
 }
 
 /// A [`NoisyCircuit`] lowered for repeated execution at precision `T`.
@@ -247,6 +264,7 @@ pub fn compile_with<T: Scalar>(nc: &NoisyCircuit, fuse: bool) -> Result<Compiled
                 mats,
                 is_unitary_mixture: is_mixture,
                 probs: site.channel.sampling_probs().to_vec(),
+                skip_identity: site.channel.identity_skip_flags(),
             }
         })
         .collect();
@@ -428,7 +446,13 @@ pub fn advance<T: Scalar>(
                 let k = choices[*id];
                 if site.is_unitary_mixture {
                     realized *= site.probs[k];
-                    apply_sized(sv, &site.mats[k], &site.qubits);
+                    // Exact-identity branches are mathematical no-ops;
+                    // every execution path skips the same branches
+                    // (compile-time detection), preserving cross-path
+                    // bitwise identity.
+                    if !site.skip_identity[k] {
+                        apply_sized(sv, &site.mats[k], &site.qubits);
+                    }
                 } else {
                     realized *= apply_kraus_normalized(sv, &site.mats[k], &site.qubits);
                 }

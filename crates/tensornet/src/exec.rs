@@ -58,6 +58,10 @@ pub struct MpsSite<T: Scalar> {
     pub is_unitary_mixture: bool,
     /// Pre-sampling probabilities.
     pub probs: Vec<f64>,
+    /// Exact-identity branch flags (same compile-time `f64` detection as
+    /// `ptsbe_statevector::exec::CompiledSite::skip_identity`, so the MPS
+    /// path skips exactly the branches the statevector paths skip).
+    pub skip_identity: Vec<bool>,
 }
 
 /// A noisy circuit lowered for repeated MPS execution.
@@ -222,6 +226,7 @@ pub fn compile_mps_with<T: Scalar>(
                 mats,
                 is_unitary_mixture: is_mixture,
                 probs: site.channel.sampling_probs().to_vec(),
+                skip_identity: site.channel.identity_skip_flags(),
             }
         })
         .collect();
@@ -346,6 +351,12 @@ pub fn advance_mps<T: Scalar>(
                 let k = choices[*id];
                 if site.is_unitary_mixture {
                     realized *= site.probs[k];
+                    // Exact-identity branches skip (consistent with the
+                    // statevector paths); on MPS this also avoids a
+                    // gratuitous two-site SVD for adjacent-pair sites.
+                    if site.skip_identity[k] {
+                        continue;
+                    }
                     match site.qubits.as_slice() {
                         [q] => mps.apply_1q(&site.mats[k], *q),
                         [a, b] => mps.apply_2q(&site.mats[k], *a, *b),

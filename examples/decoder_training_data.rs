@@ -1,18 +1,22 @@
 //! Generating labeled decoder-training data (the paper's §2.3
-//! application).
+//! application) through the data-collection service.
 //!
 //! Encodes logical |0⟩ in the Steane code under circuit-level
-//! depolarizing noise, collects a PTSBE dataset whose shots carry
-//! ground-truth error labels, writes it to JSONL, reads it back, and
-//! evaluates a lookup decoder against the labels — the full
-//! data-generation → training-corpus → decoder-evaluation loop an
-//! AlphaQubit-style pipeline would consume.
+//! depolarizing noise and submits two dataset jobs to the
+//! [`ShotService`]: the first compiles and caches the workload, the
+//! second (a fresh seed for a second corpus shard) runs entirely from
+//! the warm cache. Records stream into a JSONL sink as lane groups
+//! finish; the shard is then read back and a lookup decoder is evaluated
+//! against the ground-truth labels — the full data-generation →
+//! training-corpus → decoder-evaluation loop an AlphaQubit-style
+//! pipeline would consume.
 //!
 //! Run: `cargo run --release --example decoder_training_data`
 
-use ptsbe::dataset::{decoder_export, jsonl, record};
+use ptsbe::dataset::{decoder_export, jsonl, SharedBuffer};
 use ptsbe::prelude::*;
 use ptsbe::qec::encoding_circuit;
+use std::sync::Arc;
 
 fn main() {
     // 1. Workload: Steane-encoded |0⟩ memory, transversal measurement.
@@ -32,8 +36,7 @@ fn main() {
         noisy.n_sites()
     );
 
-    // 2. PTSBE dataset with provenance labels.
-    let backend = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
+    // 2. PTS plan shared by both shards.
     let mut rng = PhiloxRng::new(4242, 0);
     let plan = ProbabilisticPts {
         n_samples: 3_000,
@@ -41,34 +44,57 @@ fn main() {
         dedup: true,
     }
     .sample_plan(&noisy, &mut rng);
-    let result = BatchedExecutor::default().execute(&backend, &noisy, &plan);
+    let noisy = Arc::new(noisy);
+    let plan = Arc::new(plan);
+
+    // 3. Two dataset shards through the service: shard 0 compiles,
+    //    shard 1 reuses every cached artifact.
+    let service: ShotService = ShotService::start(ServiceConfig::default());
+    let mut shard_bytes = Vec::new();
+    for (shard, seed) in [(0u32, 4242u64), (1, 4243)] {
+        let buf = SharedBuffer::new();
+        let spec = JobSpec::new(
+            format!("steane-memory-shard{shard}"),
+            Arc::clone(&noisy),
+            Arc::clone(&plan),
+            seed,
+        );
+        let report = service
+            .submit(spec, Box::new(JsonlSink::new(buf.clone())))
+            .expect("submit")
+            .wait();
+        println!(
+            "shard {shard}: engine = {} ({}), {} records / {} shots, {:.1} ms",
+            report.engine.map(EngineKind::label).unwrap_or("?"),
+            report.route_reason,
+            report.records,
+            report.shots,
+            report.wall.as_secs_f64() * 1e3,
+        );
+        shard_bytes.push(buf.bytes());
+    }
+    let stats = service.cache_stats();
     println!(
-        "dataset: {} trajectories, {} shots, unique fraction {:.3}",
-        result.trajectories.len(),
-        result.total_shots(),
-        result.unique_fraction()
+        "cache after both shards: {} hits / {} misses — shard 1 recompiled nothing",
+        stats.compile_hits() + stats.tree_hits,
+        stats.compile_misses() + stats.tree_misses,
     );
 
-    // 3. Persist to JSONL and read back (round-trip check).
-    let header = DatasetHeader {
-        workload: "steane-memory".into(),
-        n_qubits: noisy.n_qubits(),
-        n_measured: 7,
-        backend: "statevector-f64".into(),
-        seed: 4242,
-    };
-    let records = record::records_from_batch(&result);
-    let mut buf: Vec<u8> = Vec::new();
-    jsonl::write(&mut buf, &header, &records).expect("serialize dataset");
-    println!("JSONL size: {:.1} KiB", buf.len() as f64 / 1024.0);
-    let (_h, loaded) = jsonl::read(std::io::BufReader::new(buf.as_slice())).expect("parse");
-    assert_eq!(loaded.len(), records.len());
+    // 4. Read shard 0 back (round-trip through the streamed JSONL).
+    let (header, loaded) =
+        jsonl::read(std::io::BufReader::new(&shard_bytes[0][..])).expect("parse");
+    println!(
+        "shard 0: {:.1} KiB JSONL, backend '{}', {} records",
+        shard_bytes[0].len() as f64 / 1024.0,
+        header.backend,
+        loaded.len()
+    );
 
-    // 4. Supervised examples: (measurement record, injected errors).
+    // 5. Supervised examples: (measurement record, injected errors).
     let examples = decoder_export::export_examples(&loaded);
     println!("supervised examples: {}", examples.len());
 
-    // 5. Decoder evaluation against ground truth. The label tells us
+    // 6. Decoder evaluation against ground truth. The label tells us
     //    whether the trajectory's errors flipped the logical state; the
     //    decoder must recover logical 0 whenever the physical error
     //    weight is within its correction radius.
@@ -98,7 +124,7 @@ fn main() {
     );
     println!("  uncorrectable : {:>8}", rejected);
 
-    // 6. The provenance advantage: error weights by trajectory (labels a
+    // 7. The provenance advantage: error weights by trajectory (labels a
     //    physical experiment could never provide).
     let summary = ptsbe::dataset::summary::summarize(&loaded);
     println!(

@@ -36,6 +36,7 @@ pub use ptsbe_densitymatrix as densitymatrix;
 pub use ptsbe_math as math;
 pub use ptsbe_qec as qec;
 pub use ptsbe_rng as rng;
+pub use ptsbe_service as service;
 pub use ptsbe_stabilizer as stabilizer;
 pub use ptsbe_statevector as statevector;
 pub use ptsbe_tensornet as tensornet;
@@ -51,10 +52,13 @@ pub mod prelude {
         ExhaustivePts, MpsBackend, PoolStats, ProbabilisticPts, ProportionalPts, PtsPlan,
         PtsPlanTree, PtsSampler, StatePool, SvBackend, TopKPts, TreeExecutor,
     };
-    pub use ptsbe_dataset::{DatasetHeader, TrajectoryRecord};
+    pub use ptsbe_dataset::{
+        BinarySink, DatasetHeader, JsonlSink, MemorySink, RecordSink, TrajectoryRecord,
+    };
     pub use ptsbe_densitymatrix::DensityMatrix;
     pub use ptsbe_qec::{codes, msd_bare, msd_encoded, LookupDecoder, MeasureBasis, MsdAnalysis};
     pub use ptsbe_rng::{PhiloxRng, Rng};
+    pub use ptsbe_service::{EngineKind, EnginePolicy, JobSpec, ServiceConfig, ShotService};
     pub use ptsbe_statevector::{SamplingStrategy, StateVector};
     pub use ptsbe_tensornet::{Mps, MpsConfig};
 }
