@@ -78,6 +78,7 @@ fn main() {
         seed: 3,
         parallel: false,
         lanes,
+        ..Default::default()
     };
 
     // Cross-path guard: all three must produce identical bitstreams.

@@ -1,0 +1,243 @@
+//! PR 6 perf snapshot: batch-major throughput after the SoA split-plane
+//! rewrite, measured end-to-end through the shot service (cold vs warm),
+//! written as machine-readable JSON (`BENCH_pr6.json` at the repo root)
+//! to diff against PR 4's `BENCH_pr4.json` on the identical workload.
+//!
+//! Discipline inherited from `bench_pr3`: before any timing, the flat,
+//! tree and batch-major executors are checked bitwise identical on the
+//! workload — a drifted run would be measuring different work. The warm
+//! path is additionally asserted compile/plan-free (`bench_pr4`).
+//!
+//! Quick mode by default (a few seconds; CI runs it in the release job).
+//! Knobs: `PTSBE_PR6_QUBITS`, `PTSBE_PR6_DEPTH`, `PTSBE_PR6_TRAJ`,
+//! `PTSBE_PR6_SHOTS`, `PTSBE_PR6_FRAME_SHOTS`, `PTSBE_PR6_WARM_REPS`,
+//! `PTSBE_PR6_WORKERS`, `PTSBE_PR6_OUT`; `PTSBE_BATCH_KERNELS` selects
+//! the kernel dispatch under test (default: auto → best available).
+
+use ptsbe_bench::{env_usize, msd_like, with_entangler_depolarizing};
+use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
+use ptsbe_core::{
+    BatchMajorExecutor, BatchResult, BatchedExecutor, ProbabilisticPts, PtsPlanTree, PtsSampler,
+    StatePool, SvBackend, TreeExecutor,
+};
+use ptsbe_dataset::MemorySink;
+use ptsbe_rng::PhiloxRng;
+use ptsbe_service::{EngineKind, EnginePolicy, JobSpec, ServiceConfig, ShotService};
+use ptsbe_statevector::{KernelImpl, SamplingStrategy};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn assert_identical(a: &BatchResult, b: &BatchResult, label: &str) {
+    assert_eq!(a.trajectories.len(), b.trajectories.len(), "{label}");
+    for (x, y) in a.trajectories.iter().zip(&b.trajectories) {
+        assert_eq!(
+            x.meta.realized_prob.to_bits(),
+            y.meta.realized_prob.to_bits(),
+            "{label}: realized probability drifted"
+        );
+        assert_eq!(x.shots, y.shots, "{label}: shots drifted");
+    }
+}
+
+struct EngineRow {
+    label: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_jobs_per_sec: f64,
+    shots_per_job: u64,
+    cold_shots_per_sec: f64,
+    warm_shots_per_sec: f64,
+    geometry: String,
+}
+
+/// Run `spec` once cold and `warm_reps` times warm on a fresh service;
+/// assert the warm path never compiles or plans.
+fn measure(label: &'static str, spec: JobSpec, expect: EngineKind, warm_reps: usize) -> EngineRow {
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: env_usize("PTSBE_PR6_WORKERS", 0),
+        ..ServiceConfig::default()
+    });
+    let submit = |spec: JobSpec| {
+        let (sink, _) = MemorySink::new();
+        let handle = service.submit(spec, Box::new(sink)).expect("submit");
+        let report = handle.wait();
+        assert!(report.status.is_success(), "{label}: {report:?}");
+        assert_eq!(report.engine, Some(expect), "{label}: misrouted");
+        let geometry = handle
+            .route()
+            .and_then(|r| r.geometry)
+            .map(|g| g.to_string())
+            .unwrap_or_default();
+        (report, geometry)
+    };
+    let t0 = Instant::now();
+    let (cold, geometry) = submit(spec.clone());
+    let cold_wall = t0.elapsed();
+    let after_cold = service.cache_stats();
+
+    let t0 = Instant::now();
+    for _ in 0..warm_reps {
+        submit(spec.clone());
+    }
+    let warm_wall = t0.elapsed();
+    let after_warm = service.cache_stats();
+    assert_eq!(
+        after_warm.compile_misses() + after_warm.tree_misses,
+        after_cold.compile_misses() + after_cold.tree_misses,
+        "{label}: warm repeats must not compile or plan"
+    );
+
+    let warm_ms = warm_wall.as_secs_f64() * 1e3 / warm_reps as f64;
+    EngineRow {
+        label,
+        cold_ms: cold_wall.as_secs_f64() * 1e3,
+        warm_ms,
+        warm_jobs_per_sec: 1e3 / warm_ms,
+        shots_per_job: cold.shots,
+        cold_shots_per_sec: cold.shots as f64 / cold_wall.as_secs_f64(),
+        warm_shots_per_sec: cold.shots as f64 / (warm_ms / 1e3),
+        geometry,
+    }
+}
+
+fn main() {
+    let n = env_usize("PTSBE_PR6_QUBITS", 10);
+    let depth = env_usize("PTSBE_PR6_DEPTH", 10);
+    let n_traj = env_usize("PTSBE_PR6_TRAJ", 200);
+    let shots = env_usize("PTSBE_PR6_SHOTS", 20);
+    let frame_shots = env_usize("PTSBE_PR6_FRAME_SHOTS", 2_000_000);
+    let warm_reps = env_usize("PTSBE_PR6_WARM_REPS", 5);
+    let out_path = std::env::var("PTSBE_PR6_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
+    let kernels = KernelImpl::auto();
+
+    // Identical workloads to bench_pr4 so warm_shots_per_sec diffs are
+    // apples-to-apples across the PR trajectory.
+    let mut c = Circuit::new(n);
+    for layer in 0..depth {
+        for q in 0..n - 1 {
+            if (q + layer) % 2 == 0 {
+                c.cx(q, q + 1);
+            }
+        }
+    }
+    c.measure_all();
+    let frame_nc = NoiseModel::new()
+        .with_default_2q(channels::depolarizing2(1e-2))
+        .apply(&c);
+    let mut rng = PhiloxRng::new(0x9124, 0);
+    let frame_plan = ProbabilisticPts {
+        n_samples: 1,
+        shots_per_trajectory: frame_shots,
+        dedup: true,
+    }
+    .sample_plan(&frame_nc, &mut rng);
+    let frame_spec = JobSpec::new("bench-frame", Arc::new(frame_nc), Arc::new(frame_plan), 17);
+
+    let sv_nc: NoisyCircuit = with_entangler_depolarizing(&msd_like(n, depth), 1e-3);
+    let mut rng = PhiloxRng::new(0x9125, 0);
+    let sv_plan = ProbabilisticPts {
+        n_samples: n_traj,
+        shots_per_trajectory: shots,
+        dedup: false,
+    }
+    .sample_plan(&sv_nc, &mut rng);
+
+    // Pre-timing identity guard: flat, tree, batch-major must agree
+    // bitwise on the exact benchmark workload under the selected
+    // kernel dispatch.
+    {
+        let backend = SvBackend::<f64>::new(&sv_nc, SamplingStrategy::Auto).unwrap();
+        let flat = BatchedExecutor {
+            seed: 17,
+            parallel: false,
+        }
+        .execute(&backend, &sv_nc, &sv_plan);
+        let tree = PtsPlanTree::from_plan(&sv_plan);
+        let pool = StatePool::new();
+        let treed = TreeExecutor {
+            seed: 17,
+            parallel: false,
+        }
+        .execute_tree_pooled(&backend, &sv_nc, &sv_plan, &tree, &pool);
+        let batched = BatchMajorExecutor {
+            seed: 17,
+            parallel: false,
+            lanes: 0,
+            ..Default::default()
+        }
+        .execute(&backend, &sv_nc, &sv_plan);
+        assert_identical(&flat, &treed, "flat vs tree");
+        assert_identical(&flat, &batched, "flat vs batch-major");
+        println!(
+            "# identity guard passed ({} trajectories, {} kernels)",
+            sv_plan.n_trajectories(),
+            kernels.label()
+        );
+    }
+
+    let sv_nc = Arc::new(sv_nc);
+    let sv_plan = Arc::new(sv_plan);
+    let tree_spec = JobSpec::new("bench-tree", Arc::clone(&sv_nc), Arc::clone(&sv_plan), 17)
+        .with_engine(EnginePolicy::Force(EngineKind::Tree));
+    let batch_spec = JobSpec::new("bench-batch", Arc::clone(&sv_nc), Arc::clone(&sv_plan), 17)
+        .with_engine(EnginePolicy::Force(EngineKind::BatchMajor));
+
+    let rows = [
+        measure("frame", frame_spec, EngineKind::Frame, warm_reps),
+        measure("sv-tree", tree_spec, EngineKind::Tree, warm_reps),
+        measure(
+            "sv-batch-major",
+            batch_spec,
+            EngineKind::BatchMajor,
+            warm_reps,
+        ),
+    ];
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(
+        json,
+        "  \"bench\": \"soa_split_plane_service_cold_vs_warm\","
+    );
+    let _ = writeln!(json, "  \"kernel_dispatch\": \"{}\",", kernels.label());
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{ \"n_qubits\": {n}, \"depth\": {depth}, \"trajectories\": {n_traj}, \
+         \"shots_per_trajectory\": {shots}, \"frame_shots\": {frame_shots}, \
+         \"warm_reps\": {warm_reps} }},"
+    );
+    let _ = writeln!(json, "  \"engines\": {{");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"warm_jobs_per_sec\": {:.2}, \"shots_per_job\": {}, \
+             \"cold_shots_per_sec\": {:.0}, \"warm_shots_per_sec\": {:.0}, \
+             \"geometry\": \"{}\" }}{}",
+            r.label,
+            r.cold_ms,
+            r.warm_ms,
+            r.warm_jobs_per_sec,
+            r.shots_per_job,
+            r.cold_shots_per_sec,
+            r.warm_shots_per_sec,
+            r.geometry,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"executors_bitwise_identical\": true,");
+    let _ = writeln!(json, "  \"warm_path_zero_compile_plan_work\": true");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    println!("# wrote {out_path}");
+    for r in &rows {
+        println!(
+            "# {:<15} cold {:>8.1} ms | warm {:>8.1} ms ({:.1} jobs/s, {:.2e} shots/s) {}",
+            r.label, r.cold_ms, r.warm_ms, r.warm_jobs_per_sec, r.warm_shots_per_sec, r.geometry
+        );
+    }
+}

@@ -443,21 +443,77 @@ impl<B: Backend> TreeCtx<'_, B> {
 // ---------------------------------------------------------------------------
 // Batch-major executor (statevector backend)
 
+/// Lane-group geometry for batch-major execution over split re/im
+/// amplitude planes.
+///
+/// The per-group working set is `lanes` states of `2^n` amplitudes in
+/// two scalar planes (`2 · 2^n · lanes · size_of::<T>()` bytes), swept
+/// once per compiled op — so the group should fit the cache level the
+/// sweeps stream from. More lanes amortize dispatch and matrix setup
+/// further; past the cache budget the repeated sweeps turn
+/// bandwidth-bound and lose the advantage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Working-set budget for one lane group's planes, in bytes.
+    /// Defaults to 1 MiB (about half a typical per-core L2).
+    pub l2_target_bytes: usize,
+    /// Lane-count floor: below this, batching can't amortize anything.
+    pub min_lanes: usize,
+    /// Lane-count ceiling: split-plane kernels keep amortizing further
+    /// than the interleaved layout did, so this defaults higher (32)
+    /// than the old AoS tuning (16).
+    pub max_lanes: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            l2_target_bytes: 1 << 20,
+            min_lanes: 2,
+            max_lanes: 32,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Lane count for a per-lane state footprint of `state_bytes` (both
+    /// planes). Counts ≥ 8 are rounded down to a multiple of 8 so
+    /// per-lane (Kraus-divergent) kernel rows fill whole AVX2 vectors
+    /// (8 `f32` / 2×4 `f64`) with no tail.
+    pub fn lanes_for_bytes(&self, state_bytes: usize) -> usize {
+        let mut lanes =
+            (self.l2_target_bytes / state_bytes.max(1)).clamp(self.min_lanes, self.max_lanes);
+        if lanes >= 8 {
+            lanes &= !7;
+        }
+        lanes
+    }
+
+    /// [`BatchConfig::lanes_for_bytes`] for an `n_qubits`-qubit state of
+    /// scalar type `T` (split planes: `2 · 2^n · size_of::<T>()` bytes).
+    pub fn lanes_for<T: Scalar>(&self, n_qubits: usize) -> usize {
+        self.lanes_for_bytes(2 * (1usize << n_qubits) * std::mem::size_of::<T>())
+    }
+}
+
 /// The batch-major executor: executes up to [`BatchMajorExecutor::lanes`]
 /// trajectories at a time inside one
-/// [`ptsbe_statevector::batch::StateBatch`] — `B` states in a single
-/// amplitude-major allocation, every compiled op swept across all lanes
-/// at once instead of once per state.
+/// [`ptsbe_statevector::batch::StateBatch`] — `B` states in split re/im
+/// amplitude planes, every compiled op swept across all lanes at once
+/// instead of once per state.
 ///
 /// Where [`TreeExecutor`] removes *redundant* gate applications (shared
 /// prefixes), this executor makes the *remaining* ones cheaper: one
 /// dispatch, one matrix remap and one cache-friendly sweep serve `B`
 /// trajectories, with a lane-contiguous inner loop the compiler
-/// vectorizes. Bitwise identical to [`BatchedExecutor`] with the same
-/// seed: every lane applies exactly the flat op sequence through kernels
-/// that share their arithmetic with the scalar path, and every lane
-/// samples through [`Backend::sample`] on its own Philox stream keyed by
-/// plan index.
+/// vectorizes. Duplicate assignments inside a chunk collapse onto one
+/// lane (state preparation is deterministic, so duplicates share the
+/// prepared state and only sampling is per-trajectory) — the dominant
+/// saving on low-noise plans sampled without dedup. Bitwise identical to
+/// [`BatchedExecutor`] with the same seed: every lane applies exactly
+/// the flat op sequence through kernels that share their arithmetic with
+/// the scalar path, and every trajectory samples through
+/// [`Backend::sample`] on its own Philox stream keyed by plan index.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchMajorExecutor {
     /// Run seed; trajectory `i` uses Philox stream `for_trajectory(seed, i)`.
@@ -465,12 +521,14 @@ pub struct BatchMajorExecutor {
     /// Fan lane-groups out over rayon (disable for serial baselines).
     pub parallel: bool,
     /// Maximum trajectories per batch; `0` sizes the group automatically
-    /// (see [`BatchMajorExecutor::auto_lanes`]). More lanes amortize
+    /// from `cfg` (see [`BatchConfig::lanes_for`]). More lanes amortize
     /// dispatch further but grow the per-sweep working set
-    /// (`2^n · lanes` amplitudes) — once it spills the L2 the repeated
-    /// sweeps turn bandwidth-bound and lose to cache-resident per-state
-    /// execution.
+    /// (`2^n · lanes` amplitudes per plane) — once it spills the cache
+    /// budget the repeated sweeps turn bandwidth-bound and lose to
+    /// cache-resident per-state execution.
     pub lanes: usize,
+    /// Lane auto-sizing geometry, consulted when `lanes == 0`.
+    pub cfg: BatchConfig,
 }
 
 impl Default for BatchMajorExecutor {
@@ -480,16 +538,16 @@ impl Default for BatchMajorExecutor {
             seed: flat.seed,
             parallel: flat.parallel,
             lanes: 0,
+            cfg: BatchConfig::default(),
         }
     }
 }
 
 impl BatchMajorExecutor {
-    /// Automatic lane count for a state of `state_bytes`: as many lanes
-    /// as keep the batch within ~1 MiB (half a typical L2), clamped to
-    /// `2..=16`.
+    /// Automatic lane count for a per-lane state footprint of
+    /// `state_bytes` under the default [`BatchConfig`].
     pub fn auto_lanes(state_bytes: usize) -> usize {
-        ((1usize << 20) / state_bytes.max(1)).clamp(2, 16)
+        BatchConfig::default().lanes_for_bytes(state_bytes)
     }
 
     /// Execute a plan in lane groups of up to `self.lanes` trajectories
@@ -524,6 +582,27 @@ impl BatchMajorExecutor {
         plan: &PtsPlan,
         range: std::ops::Range<usize>,
     ) -> BatchResult {
+        let pool = StatePool::new();
+        self.execute_slice_pooled(backend, nc, plan, range, &pool)
+    }
+
+    /// [`BatchMajorExecutor::execute_slice`] with a caller-owned arena
+    /// for the lane-group plane buffers: after the first wave of groups
+    /// warms it up, every group `reinit`s a recycled [`batch::StateBatch`]
+    /// instead of allocating two fresh planes. Recycling is bitwise
+    /// invisible (`reinit` overwrites every element); `pool.stats()`
+    /// afterwards reports the recycled/fresh split.
+    ///
+    /// # Panics
+    /// Same contract as [`BatchMajorExecutor::execute_slice`].
+    pub fn execute_slice_pooled<T: Scalar>(
+        &self,
+        backend: &SvBackend<T>,
+        nc: &NoisyCircuit,
+        plan: &PtsPlan,
+        range: std::ops::Range<usize>,
+        pool: &StatePool<batch::StateBatch<T>>,
+    ) -> BatchResult {
         if range.is_empty() {
             return BatchResult::default();
         }
@@ -533,60 +612,104 @@ impl BatchMajorExecutor {
         let n_segments = compiled.n_segments();
         let n_qubits = compiled.n_qubits();
         let lanes = if self.lanes == 0 {
-            let state_bytes = (1usize << n_qubits) * std::mem::size_of::<ptsbe_math::Complex<T>>();
-            Self::auto_lanes(state_bytes)
+            self.cfg.lanes_for::<T>(n_qubits)
         } else {
             self.lanes
         };
-        let run_group = |(g, trajs): (usize, &[crate::plan::PlannedTrajectory])| {
-            let group_width = trajs.len();
-            let choices: Vec<&[usize]> = trajs
-                .iter()
-                .map(|t| {
-                    assert_eq!(
-                        t.choices.len(),
-                        n_sites,
-                        "assignment length does not match site count"
-                    );
-                    t.choices.as_slice()
-                })
-                .collect();
-            let mut state_batch = batch::StateBatch::zero_states(n_qubits, group_width);
+        let trajs = &plan.trajectories[range];
+        // Collapse duplicate assignments: lanes hold *unique* assignments
+        // only. State preparation is deterministic given the assignment,
+        // so every duplicate would produce a bitwise-identical lane;
+        // instead each duplicate samples from the shared prepared lane on
+        // its own Philox stream (keyed by absolute plan index, exactly as
+        // before), which is the flat executor's output bit for bit. At
+        // low noise most sampled trajectories are the all-identity
+        // assignment, so this removes the bulk of the sweep work — the
+        // same duplicate-sharing the tree executor gets from trie leaves.
+        let mut unique_of: std::collections::HashMap<&[usize], usize> =
+            std::collections::HashMap::new();
+        let mut uniques: Vec<&[usize]> = Vec::new();
+        let mut lane_of: Vec<usize> = Vec::with_capacity(trajs.len());
+        for t in trajs {
+            assert_eq!(
+                t.choices.len(),
+                n_sites,
+                "assignment length does not match site count"
+            );
+            let id = *unique_of.entry(t.choices.as_slice()).or_insert_with(|| {
+                uniques.push(t.choices.as_slice());
+                uniques.len() - 1
+            });
+            lane_of.push(id);
+        }
+        // Trajectories bucketed by the lane group their unique assignment
+        // landed in; each group prepares its lanes once and samples every
+        // member trajectory from them.
+        let n_groups = uniques.len().div_ceil(lanes);
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        for (j, &u) in lane_of.iter().enumerate() {
+            members[u / lanes].push(j);
+        }
+        let run_group = |(g, group_members): (usize, Vec<usize>)| {
+            let lo = g * lanes;
+            let hi = (lo + lanes).min(uniques.len());
+            let group_width = hi - lo;
+            let choices = &uniques[lo..hi];
+            let mut state_batch = match pool.acquire() {
+                Some(mut recycled) => {
+                    recycled.reinit(n_qubits, group_width);
+                    recycled
+                }
+                None => batch::StateBatch::zero_states(n_qubits, group_width),
+            };
             let mut realized = vec![1.0f64; group_width];
             batch::advance_batch(
                 compiled,
                 &mut state_batch,
                 0..n_segments,
-                &choices,
+                choices,
                 &mut realized,
             );
-            // One scratch state per group: each lane is gathered into it
-            // and bulk-sampled through the backend's own sampler, so the
-            // records are the ones a flat executor would draw.
+            // One scratch state per group: each trajectory's lane is
+            // gathered into it and bulk-sampled through the backend's own
+            // sampler, so the records are the ones a flat executor would
+            // draw. Re-extracting per trajectory (not per lane) keeps
+            // duplicates correct even when sampling mutates the scratch.
             let mut scratch = StateVector::zero_state(n_qubits);
-            trajs
-                .iter()
-                .enumerate()
-                .map(|(j, traj)| {
-                    let idx = base + g * lanes + j;
+            let results = group_members
+                .into_iter()
+                .map(|j| {
+                    let traj = &trajs[j];
+                    let lane = lane_of[j] - lo;
+                    let idx = base + j;
                     let mut rng = PhiloxRng::for_trajectory(self.seed, idx as u64);
-                    let shots = if realized[j] > 0.0 {
-                        state_batch.extract_lane_into(j, &mut scratch);
+                    let shots = if realized[lane] > 0.0 {
+                        state_batch.extract_lane_into(lane, &mut scratch);
                         backend.sample(&mut scratch, traj.shots, &mut rng)
                     } else {
                         Vec::new()
                     };
                     let mut meta = TrajectoryMeta::from_assignment(nc, idx, &traj.choices);
-                    meta.realized_prob = realized[j];
-                    TrajectoryResult { meta, shots }
+                    meta.realized_prob = realized[lane];
+                    (j, TrajectoryResult { meta, shots })
                 })
-                .collect::<Vec<_>>()
+                .collect::<Vec<_>>();
+            pool.release(state_batch);
+            results
         };
-        let groups: Vec<(usize, &[crate::plan::PlannedTrajectory])> =
-            plan.trajectories[range].chunks(lanes).enumerate().collect();
-        let trajectories = fan_out(self.parallel, groups, run_group)
+        let groups: Vec<(usize, Vec<usize>)> = members.into_iter().enumerate().collect();
+        // Scatter back to plan order: groups emit (position, result)
+        // pairs because duplicate collapse unorders the traversal.
+        let mut slots: Vec<Option<TrajectoryResult>> = (0..trajs.len()).map(|_| None).collect();
+        for (j, r) in fan_out(self.parallel, groups, run_group)
             .into_iter()
             .flatten()
+        {
+            slots[j] = Some(r);
+        }
+        let trajectories = slots
+            .into_iter()
+            .map(|s| s.expect("every trajectory belongs to exactly one group"))
             .collect();
         BatchResult { trajectories }
     }
@@ -816,6 +939,7 @@ mod tests {
                     seed: 11,
                     parallel,
                     lanes,
+                    ..Default::default()
                 }
                 .execute(&backend, &nc, &plan);
                 assert_eq!(batched.trajectories.len(), flat.trajectories.len());
@@ -834,6 +958,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_config_lane_geometry() {
+        let cfg = BatchConfig::default();
+        // 10-qubit f64 state: 2 planes × 1024 × 8 B = 16 KiB per lane →
+        // 1 MiB budget fits 64, capped at 32 (already a multiple of 8).
+        assert_eq!(cfg.lanes_for::<f64>(10), 32);
+        // 16-qubit f64 state: 1 MiB per lane → floor of 2.
+        assert_eq!(cfg.lanes_for::<f64>(16), 2);
+        // 13-qubit f64: 128 KiB per lane → 8 lanes exactly.
+        assert_eq!(cfg.lanes_for::<f64>(13), 8);
+        // 12-qubit f64: 64 KiB per lane → 16, a multiple of 8.
+        assert_eq!(cfg.lanes_for::<f64>(12), 16);
+        // Mid-range counts round down to a multiple of 8: 93 KiB-ish
+        // budget → raw 11 lanes becomes 8.
+        let odd = BatchConfig {
+            l2_target_bytes: 11 * 16 * 1024,
+            ..Default::default()
+        };
+        assert_eq!(odd.lanes_for::<f64>(10), 8);
+        // f32 halves the footprint and doubles the lanes.
+        assert_eq!(cfg.lanes_for::<f64>(15), 2);
+        assert_eq!(cfg.lanes_for::<f32>(15), 4);
+    }
+
+    #[test]
+    fn batch_major_pool_recycles_plane_buffers() {
+        let nc = noisy_bell(0.15);
+        let backend = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
+        let mut rng = PhiloxRng::new(167, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 41,
+            shots_per_trajectory: 10,
+            dedup: false,
+        }
+        .sample_plan(&nc, &mut rng);
+        let exec = BatchMajorExecutor {
+            seed: 13,
+            parallel: false,
+            lanes: 4,
+            ..Default::default()
+        };
+        let baseline = exec.execute(&backend, &nc, &plan);
+        let pool = crate::pool::StatePool::new();
+        let pooled =
+            exec.execute_slice_pooled(&backend, &nc, &plan, 0..plan.trajectories.len(), &pool);
+        let stats = pool.stats();
+        // Serial groups: the first allocates, every later group recycles.
+        // Group count follows the *unique* assignments (duplicates
+        // collapse onto shared lanes).
+        let unique: std::collections::HashSet<&[usize]> = plan
+            .trajectories
+            .iter()
+            .map(|t| t.choices.as_slice())
+            .collect();
+        let groups = unique.len().div_ceil(exec.lanes);
+        assert!(groups >= 3, "workload too deduplicated to test recycling");
+        assert_eq!(stats.fresh, 1, "only the first group may allocate");
+        assert_eq!(
+            stats.recycled,
+            groups - 1,
+            "later groups must recycle: {stats:?}"
+        );
+        // Recycling must be bitwise invisible.
+        for (a, b) in pooled.trajectories.iter().zip(&baseline.trajectories) {
+            assert_eq!(
+                a.meta.realized_prob.to_bits(),
+                b.meta.realized_prob.to_bits()
+            );
+            assert_eq!(a.shots, b.shots);
+        }
+        // A warm pool serves the next run without allocating.
+        let before = pool.stats();
+        exec.execute_slice_pooled(&backend, &nc, &plan, 0..plan.trajectories.len(), &pool);
+        assert_eq!(
+            pool.stats().fresh,
+            before.fresh,
+            "warm pool must not allocate"
+        );
     }
 
     #[test]

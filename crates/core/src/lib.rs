@@ -58,7 +58,9 @@ pub mod stats;
 pub use assignment::{ErrorEvent, TrajectoryMeta};
 pub use backend::{Backend, MpsBackend, SvBackend};
 pub use baseline::{run_baseline_mps, run_baseline_sv};
-pub use be::{BatchMajorExecutor, BatchResult, BatchedExecutor, TrajectoryResult, TreeExecutor};
+pub use be::{
+    BatchConfig, BatchMajorExecutor, BatchResult, BatchedExecutor, TrajectoryResult, TreeExecutor,
+};
 pub use plan::{PlannedTrajectory, PtsPlan, PtsPlanTree, PtsTreeNode};
 pub use pool::{PoolStats, StatePool};
 pub use pts::{

@@ -9,6 +9,48 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
+// ---------------------------------------------------------------------------
+// Parts-level arithmetic
+//
+// Every complex operation a statevector kernel performs is defined here
+// once over separate real/imaginary operands, and [`Complex`] routes its
+// own `Mul`/`mul_add`/`norm_sqr` through the same functions. Split-plane
+// (structure-of-arrays) kernels call these directly on plane elements, so
+// interleaved and split layouts are bitwise identical *by construction* —
+// there is no second copy of the arithmetic to drift.
+
+/// Parts of the plain complex product `(ar + i·ai)(br + i·bi)` — exactly
+/// the arithmetic of `Complex: Mul` (two products and one add/sub per
+/// component, never fused).
+#[inline(always)]
+pub fn cplx_mul_parts<T: Scalar>(ar: T, ai: T, br: T, bi: T) -> (T, T) {
+    (ar * br - ai * bi, ar * bi + ai * br)
+}
+
+/// Parts of the fused `(ar + i·ai)(br + i·bi) + (acr + i·aci)` — exactly
+/// the arithmetic of [`Complex::mul_add`], including its compile-time
+/// choice between hardware-FMA chains and plain mul+add (see that method's
+/// docs for why the `cfg!` exists).
+#[inline(always)]
+pub fn cplx_mul_add_parts<T: Scalar>(ar: T, ai: T, br: T, bi: T, acr: T, aci: T) -> (T, T) {
+    if cfg!(target_feature = "fma") {
+        (
+            ar.mul_add(br, ai.mul_add(-bi, acr)),
+            ar.mul_add(bi, ai.mul_add(br, aci)),
+        )
+    } else {
+        (ar * br - ai * bi + acr, ar * bi + ai * br + aci)
+    }
+}
+
+/// Parts of `|z|²` — exactly the arithmetic of [`Complex::norm_sqr`]
+/// (`re·re` fused with `im·im`; `mul_add` on the [`Scalar`] trait always
+/// has fused semantics, falling back to libm's `fma` off-FMA targets).
+#[inline(always)]
+pub fn cplx_norm_sqr_parts<T: Scalar>(re: T, im: T) -> T {
+    re.mul_add(re, im * im)
+}
+
 /// Complex number over a [`Scalar`] real type.
 #[repr(C)]
 #[derive(Clone, Copy, PartialEq, Default)]
@@ -83,7 +125,7 @@ impl<T: Scalar> Complex<T> {
     /// Squared modulus `re^2 + im^2`.
     #[inline]
     pub fn norm_sqr(self) -> T {
-        self.re.mul_add(self.re, self.im * self.im)
+        cplx_norm_sqr_parts(self.re, self.im)
     }
 
     /// Modulus.
@@ -109,17 +151,8 @@ impl<T: Scalar> Complex<T> {
     /// compile time, so one binary uses one form everywhere.
     #[inline(always)]
     pub fn mul_add(self, b: Self, acc: Self) -> Self {
-        if cfg!(target_feature = "fma") {
-            Self::new(
-                self.re.mul_add(b.re, self.im.mul_add(-b.im, acc.re)),
-                self.re.mul_add(b.im, self.im.mul_add(b.re, acc.im)),
-            )
-        } else {
-            Self::new(
-                self.re * b.re - self.im * b.im + acc.re,
-                self.re * b.im + self.im * b.re + acc.im,
-            )
-        }
+        let (re, im) = cplx_mul_add_parts(self.re, self.im, b.re, b.im, acc.re, acc.im);
+        Self::new(re, im)
     }
 
     /// Multiplicative inverse. Returns zero for zero input rather than NaN
@@ -167,10 +200,8 @@ impl<T: Scalar> Mul for Complex<T> {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        let (re, im) = cplx_mul_parts(self.re, self.im, rhs.re, rhs.im);
+        Self::new(re, im)
     }
 }
 

@@ -25,7 +25,7 @@ pub mod scalar;
 pub mod svd;
 pub mod vec_ops;
 
-pub use complex::{Complex, C32, C64};
+pub use complex::{cplx_mul_add_parts, cplx_mul_parts, cplx_norm_sqr_parts, Complex, C32, C64};
 pub use matrix::Matrix;
 pub use scalar::Scalar;
 

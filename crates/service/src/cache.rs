@@ -15,6 +15,16 @@
 //! suites — so cache state can never change job output, only job cost.
 //! The hit/miss counters ([`CacheStats`]) are the observable the service
 //! acceptance tests pin: a warm repeat job increments hits only.
+//!
+//! The cache can run under a **byte budget**
+//! ([`CompileCache::with_budget`]): each entry carries an approximate
+//! size (amplitude planes dominate, so the accounting is
+//! `O(2^n · size_of::<T>)` for statevector entries and analogous
+//! working-set estimates for the rest), and inserting past the budget
+//! evicts globally least-recently-used entries — never the one just
+//! inserted, so a budget smaller than a single artifact still serves.
+//! Eviction is output-neutral by the same argument as warmth: an
+//! evicted artifact is recompiled on next use, byte-identically.
 
 use ptsbe_circuit::hash::combine;
 use ptsbe_circuit::{FusionStats, NoisyCircuit, StableHasher};
@@ -25,7 +35,7 @@ use ptsbe_stabilizer::FrameSampler;
 use ptsbe_statevector::{SamplingStrategy, StateVector};
 use ptsbe_tensornet::{Mps, MpsConfig};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// A cached statevector compilation: the backend (holding the lowered
@@ -62,6 +72,10 @@ pub struct FrameEntry {
 /// Cache hit/miss counters, by artifact kind.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Entries evicted to stay under the byte budget (0 when unbounded).
+    pub evictions: u64,
+    /// Approximate bytes of resident artifacts (per-entry accounting).
+    pub resident_bytes: u64,
     /// Statevector compilation hits/misses.
     pub sv_hits: u64,
     /// Statevector compilation misses (compiles performed).
@@ -141,11 +155,17 @@ pub fn plan_hash(plan: &PtsPlan) -> u64 {
 /// racing first-submitters may both compile, and the first insert wins —
 /// so a slow compile never blocks unrelated cache traffic.
 pub struct CompileCache<T: Scalar> {
-    sv: Mutex<HashMap<u64, Arc<SvEntry<T>>>>,
-    mps: Mutex<HashMap<u64, Arc<MpsEntry<T>>>>,
-    frame: Mutex<HashMap<u64, Arc<FrameEntry>>>,
-    trees: Mutex<HashMap<u64, Arc<PtsPlanTree>>>,
+    sv: Shelf<SvEntry<T>>,
+    mps: Shelf<MpsEntry<T>>,
+    frame: Shelf<FrameEntry>,
+    trees: Shelf<PtsPlanTree>,
     traits: Mutex<HashMap<u64, CircuitTraits>>,
+    /// Byte ceiling across every shelf (`None` = unbounded).
+    budget: Option<usize>,
+    /// Monotonic recency clock; every hit or insert takes a tick.
+    clock: AtomicU64,
+    resident_bytes: AtomicUsize,
+    evictions: AtomicU64,
     sv_hits: AtomicU64,
     sv_misses: AtomicU64,
     mps_hits: AtomicU64,
@@ -156,6 +176,89 @@ pub struct CompileCache<T: Scalar> {
     tree_misses: AtomicU64,
 }
 
+/// One cached artifact plus its LRU bookkeeping.
+struct Slot<V> {
+    value: Arc<V>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A keyed artifact family under one lock.
+struct Shelf<V> {
+    map: Mutex<HashMap<u64, Slot<V>>>,
+}
+
+impl<V> Shelf<V> {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    fn get(&self, key: u64, clock: &AtomicU64) -> Option<Arc<V>> {
+        let mut m = self.map.lock().unwrap();
+        m.get_mut(&key).map(|slot| {
+            slot.last_used = clock.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&slot.value)
+        })
+    }
+
+    /// Insert `value` under `key`, charging `bytes` to `resident`.
+    /// Two racing first-compilers may both build; the first insert wins
+    /// and the loser's artifact is dropped (and never charged).
+    fn put(
+        &self,
+        key: u64,
+        value: Arc<V>,
+        bytes: usize,
+        clock: &AtomicU64,
+        resident: &AtomicUsize,
+    ) -> Arc<V> {
+        let tick = clock.fetch_add(1, Ordering::Relaxed);
+        let mut m = self.map.lock().unwrap();
+        match m.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().last_used = tick;
+                Arc::clone(&o.get().value)
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                resident.fetch_add(bytes, Ordering::Relaxed);
+                Arc::clone(
+                    &v.insert(Slot {
+                        value,
+                        bytes,
+                        last_used: tick,
+                    })
+                    .value,
+                )
+            }
+        }
+    }
+
+    /// Fold this shelf's LRU candidate into `best`
+    /// (`(shelf_tag, key, last_used, bytes)`), skipping `protect`.
+    fn scan_lru(&self, tag: u8, protect: (u8, u64), best: &mut Option<(u8, u64, u64, usize)>) {
+        for (&k, slot) in self.map.lock().unwrap().iter() {
+            if (tag, k) == protect {
+                continue;
+            }
+            if best.is_none_or(|(_, _, lu, _)| slot.last_used < lu) {
+                *best = Some((tag, k, slot.last_used, slot.bytes));
+            }
+        }
+    }
+
+    /// Drop `key`, returning its charged bytes.
+    fn evict(&self, key: u64) -> Option<usize> {
+        self.map.lock().unwrap().remove(&key).map(|s| s.bytes)
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
 impl<T: Scalar> Default for CompileCache<T> {
     fn default() -> Self {
         Self::new()
@@ -163,14 +266,28 @@ impl<T: Scalar> Default for CompileCache<T> {
 }
 
 impl<T: Scalar> CompileCache<T> {
-    /// Empty cache.
+    /// Unbounded cache.
     pub fn new() -> Self {
+        Self::with_budget(None)
+    }
+
+    /// Cache capped at roughly `budget` bytes of resident artifacts
+    /// (`None` = unbounded). The accounting is the per-entry
+    /// approximation described in the module docs; live `Arc` handles
+    /// held by in-flight jobs keep evicted artifacts alive until the
+    /// job finishes, so the budget bounds the *cache's* retention, not
+    /// peak process memory.
+    pub fn with_budget(budget: Option<usize>) -> Self {
         Self {
-            sv: Mutex::new(HashMap::new()),
-            mps: Mutex::new(HashMap::new()),
-            frame: Mutex::new(HashMap::new()),
-            trees: Mutex::new(HashMap::new()),
+            sv: Shelf::new(),
+            mps: Shelf::new(),
+            frame: Shelf::new(),
+            trees: Shelf::new(),
             traits: Mutex::new(HashMap::new()),
+            budget,
+            clock: AtomicU64::new(0),
+            resident_bytes: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
             sv_hits: AtomicU64::new(0),
             sv_misses: AtomicU64::new(0),
             mps_hits: AtomicU64::new(0),
@@ -182,8 +299,61 @@ impl<T: Scalar> CompileCache<T> {
         }
     }
 
+    /// Evict globally-LRU entries until the budget holds, never
+    /// touching `protect` (the entry the caller just inserted — a
+    /// budget smaller than one artifact must still serve it).
+    fn enforce_budget(&self, protect: (u8, u64)) {
+        let Some(budget) = self.budget else { return };
+        while self.resident_bytes.load(Ordering::Relaxed) > budget {
+            let mut victim = None;
+            self.sv.scan_lru(0, protect, &mut victim);
+            self.mps.scan_lru(1, protect, &mut victim);
+            self.frame.scan_lru(2, protect, &mut victim);
+            self.trees.scan_lru(3, protect, &mut victim);
+            let Some((tag, key, _, _)) = victim else {
+                break;
+            };
+            let freed = match tag {
+                0 => self.sv.evict(key),
+                1 => self.mps.evict(key),
+                2 => self.frame.evict(key),
+                _ => self.trees.evict(key),
+            };
+            match freed {
+                Some(bytes) => {
+                    self.resident_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // A racing enforce already removed it; re-scan.
+                None => continue,
+            }
+        }
+    }
+
     fn precision_tag() -> u64 {
         std::mem::size_of::<T>() as u64
+    }
+
+    // Per-entry size accounting: deliberately approximate but *stable*
+    // (a pure function of compile inputs), dominated by the amplitude
+    // working set each entry anchors — one pooled statevector for sv
+    // entries, the bond tensors for MPS, the lowered program for frames,
+    // the node table for plan trees.
+
+    fn sv_entry_bytes(n_qubits: usize) -> usize {
+        (2usize << n_qubits) * std::mem::size_of::<T>() + 1024
+    }
+
+    fn mps_entry_bytes(n_qubits: usize, config: &MpsConfig) -> usize {
+        4 * n_qubits * config.max_bond * config.max_bond * std::mem::size_of::<T>() + 1024
+    }
+
+    fn frame_entry_bytes(nc: &NoisyCircuit) -> usize {
+        256 * nc.n_qubits() + 64 * nc.sites().len() + 4096
+    }
+
+    fn tree_entry_bytes(tree: &PtsPlanTree) -> usize {
+        128 * tree.n_nodes() + 256
     }
 
     /// Statevector compilation for `nc` (content hash `circuit_hash`)
@@ -201,9 +371,9 @@ impl<T: Scalar> CompileCache<T> {
             circuit_hash,
             combine(Self::precision_tag(), u64::from(fuse)),
         );
-        if let Some(hit) = self.sv.lock().unwrap().get(&key) {
+        if let Some(hit) = self.sv.get(key, &self.clock) {
             self.sv_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(hit);
         }
         self.sv_misses.fetch_add(1, Ordering::Relaxed);
         let backend = SvBackend::<T>::new_with_fusion(nc, SamplingStrategy::Auto, fuse)
@@ -213,9 +383,12 @@ impl<T: Scalar> CompileCache<T> {
             backend,
             pool: StatePool::new(),
         });
-        Ok(Arc::clone(
-            self.sv.lock().unwrap().entry(key).or_insert_with(|| entry),
-        ))
+        let bytes = Self::sv_entry_bytes(nc.n_qubits());
+        let out = self
+            .sv
+            .put(key, entry, bytes, &self.clock, &self.resident_bytes);
+        self.enforce_budget((0, key));
+        Ok(out)
     }
 
     /// MPS compilation for `nc` under `config`.
@@ -235,9 +408,9 @@ impl<T: Scalar> CompileCache<T> {
         h.write_f64(config.cutoff);
         h.write_u8(u8::from(fuse));
         let key = combine(circuit_hash, h.finish());
-        if let Some(hit) = self.mps.lock().unwrap().get(&key) {
+        if let Some(hit) = self.mps.get(key, &self.clock) {
             self.mps_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(hit);
         }
         self.mps_misses.fetch_add(1, Ordering::Relaxed);
         let backend = MpsBackend::<T>::new_with_fusion(nc, config, Default::default(), fuse)
@@ -246,9 +419,12 @@ impl<T: Scalar> CompileCache<T> {
             backend,
             pool: StatePool::new(),
         });
-        Ok(Arc::clone(
-            self.mps.lock().unwrap().entry(key).or_insert_with(|| entry),
-        ))
+        let bytes = Self::mps_entry_bytes(nc.n_qubits(), &config);
+        let out = self
+            .mps
+            .put(key, entry, bytes, &self.clock, &self.resident_bytes);
+        self.enforce_budget((1, key));
+        Ok(out)
     }
 
     /// Pauli-frame lowering + noiseless reference for `nc`. The reference
@@ -261,9 +437,9 @@ impl<T: Scalar> CompileCache<T> {
     /// too many measured bits) as strings.
     pub fn frame(&self, nc: &NoisyCircuit, circuit_hash: u64) -> Result<Arc<FrameEntry>, String> {
         let key = circuit_hash;
-        if let Some(hit) = self.frame.lock().unwrap().get(&key) {
+        if let Some(hit) = self.frame.get(key, &self.clock) {
             self.frame_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(hit);
         }
         self.frame_misses.fetch_add(1, Ordering::Relaxed);
         if nc.measured_qubits().len() > 128 {
@@ -277,13 +453,12 @@ impl<T: Scalar> CompileCache<T> {
             sampler,
             deterministic,
         });
-        Ok(Arc::clone(
-            self.frame
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert_with(|| entry),
-        ))
+        let bytes = Self::frame_entry_bytes(nc);
+        let out = self
+            .frame
+            .put(key, entry, bytes, &self.clock, &self.resident_bytes);
+        self.enforce_budget((2, key));
+        Ok(out)
     }
 
     /// Structural routing predicates of `nc`, memoized by content hash.
@@ -309,24 +484,25 @@ impl<T: Scalar> CompileCache<T> {
     /// `circuit_hash`.
     pub fn plan_tree(&self, circuit_hash: u64, plan: &PtsPlan) -> Arc<PtsPlanTree> {
         let key = combine(circuit_hash, plan_hash(plan));
-        if let Some(hit) = self.trees.lock().unwrap().get(&key) {
+        if let Some(hit) = self.trees.get(key, &self.clock) {
             self.tree_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            return hit;
         }
         self.tree_misses.fetch_add(1, Ordering::Relaxed);
         let tree = Arc::new(PtsPlanTree::from_plan(plan));
-        Arc::clone(
-            self.trees
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert_with(|| tree),
-        )
+        let bytes = Self::tree_entry_bytes(&tree);
+        let out = self
+            .trees
+            .put(key, tree, bytes, &self.clock, &self.resident_bytes);
+        self.enforce_budget((3, key));
+        out
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed) as u64,
             sv_hits: self.sv_hits.load(Ordering::Relaxed),
             sv_misses: self.sv_misses.load(Ordering::Relaxed),
             mps_hits: self.mps_hits.load(Ordering::Relaxed),
@@ -340,10 +516,7 @@ impl<T: Scalar> CompileCache<T> {
 
     /// Number of resident artifacts across every kind (observability).
     pub fn resident(&self) -> usize {
-        self.sv.lock().unwrap().len()
-            + self.mps.lock().unwrap().len()
-            + self.frame.lock().unwrap().len()
-            + self.trees.lock().unwrap().len()
+        self.sv.len() + self.mps.len() + self.frame.len() + self.trees.len()
     }
 }
 
@@ -421,6 +594,49 @@ mod tests {
         c.t(0).measure_all();
         let bad = NoisyCircuit::from_circuit(c);
         assert!(cache.frame(&bad, bad.content_hash()).is_err());
+    }
+
+    #[test]
+    fn budgeted_cache_evicts_lru_and_recompiles() {
+        // Budget fits exactly one 2-qubit sv entry (1088 B accounted).
+        let cache = CompileCache::<f64>::with_budget(Some(1100));
+        let a = noisy_bell(0.1);
+        let b = noisy_bell(0.2);
+        let (ha, hb) = (a.content_hash(), b.content_hash());
+        let ea = cache.sv(&a, ha, true).unwrap();
+        assert_eq!(cache.stats().evictions, 0);
+        let eb = cache.sv(&b, hb, true).unwrap();
+        // Inserting b blew the budget: a (the LRU) went, b survives.
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.resident(), 1);
+        let eb2 = cache.sv(&b, hb, true).unwrap();
+        assert!(Arc::ptr_eq(&eb, &eb2), "survivor must stay warm");
+        // a recompiles (a fresh miss), evicting b in turn.
+        let ea2 = cache.sv(&a, ha, true).unwrap();
+        assert!(!Arc::ptr_eq(&ea, &ea2), "evicted entry must recompile");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 2);
+        assert_eq!((stats.sv_hits, stats.sv_misses), (1, 3));
+        assert!(stats.resident_bytes <= 1100, "{stats:?}");
+
+        // A budget below a single artifact still serves it: the entry
+        // just inserted is never the eviction victim.
+        let tiny = CompileCache::<f64>::with_budget(Some(1));
+        assert!(tiny.sv(&a, ha, true).is_ok());
+        assert_eq!(tiny.resident(), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = CompileCache::<f64>::new();
+        for p in [0.1, 0.2, 0.3, 0.4] {
+            let nc = noisy_bell(p);
+            cache.sv(&nc, nc.content_hash(), true).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(cache.resident(), 4);
+        assert_eq!(stats.resident_bytes, 4 * 1088);
     }
 
     #[test]

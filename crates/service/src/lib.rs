@@ -66,5 +66,5 @@ pub mod service;
 pub use cache::{CacheStats, CircuitTraits, CompileCache};
 pub use job::{JobHandle, JobReport, JobSpec, JobStatus, ServiceError};
 pub use metrics::MetricsSnapshot;
-pub use router::{EngineKind, EnginePolicy, RouteDecision, RouteReason};
+pub use router::{BatchGeometry, EngineKind, EnginePolicy, RouteDecision, RouteReason};
 pub use service::{ServiceConfig, ShotService};

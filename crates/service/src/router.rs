@@ -133,6 +133,33 @@ impl std::fmt::Display for RouteReason {
     }
 }
 
+/// Chosen batch-major lane geometry, recorded on the route decision so
+/// operators can see how the split-plane working set was sized against
+/// the L2 target. Present only for the batch-major and flat engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchGeometry {
+    /// Lanes per `StateBatch` group (auto-sized from the working set).
+    pub lanes: usize,
+    /// Trajectories per scheduler chunk.
+    pub trajs_per_chunk: usize,
+    /// Bytes of one lane's split re/im planes (`2 · 2^n · size_of::<T>`).
+    pub state_bytes: usize,
+    /// The cache budget the lane count was fitted to.
+    pub l2_target_bytes: usize,
+    /// Resolved batch-kernel dispatch label (`scalar`/`soa`/`simd`).
+    pub kernels: &'static str,
+}
+
+impl std::fmt::Display for BatchGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} lanes × {} B split-plane state ({} kernels, L2 target {} B, {} traj/chunk)",
+            self.lanes, self.state_bytes, self.kernels, self.l2_target_bytes, self.trajs_per_chunk
+        )
+    }
+}
+
 /// The routing verdict recorded on the job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouteDecision {
@@ -140,6 +167,8 @@ pub struct RouteDecision {
     pub engine: EngineKind,
     /// Rationale.
     pub reason: RouteReason,
+    /// Lane geometry, when a lane-swept engine was chosen.
+    pub geometry: Option<BatchGeometry>,
 }
 
 /// Everything a worker needs to execute chunks of a routed job, built
@@ -173,6 +202,37 @@ impl<T: Scalar> EngineExec<T> {
     }
 }
 
+/// Lane geometry for lane-swept (batch-major / flat) engines: the same
+/// arithmetic [`split_chunks`](crate::service) uses, captured once so
+/// the decision metadata and the scheduler can never disagree.
+pub(crate) fn batch_geometry<T: Scalar>(
+    cfg: &ServiceConfig,
+    spec: &JobSpec,
+    exec: &EngineExec<T>,
+) -> Option<BatchGeometry> {
+    let entry = match exec {
+        EngineExec::BatchMajor(entry) | EngineExec::Flat(entry) => entry,
+        _ => return None,
+    };
+    let n_qubits = ptsbe_core::Backend::n_qubits(&entry.backend);
+    let state_bytes = (2usize << n_qubits) * std::mem::size_of::<T>();
+    let lanes = cfg.batch.lanes_for_bytes(state_bytes);
+    let trajs_per_chunk = if spec.chunk_trajectories == 0 {
+        // A few lane groups per chunk: enough work to amortize
+        // scheduling, enough chunks to stream and cancel.
+        (lanes * 8).clamp(16, 512)
+    } else {
+        spec.chunk_trajectories
+    };
+    Some(BatchGeometry {
+        lanes,
+        trajs_per_chunk,
+        state_bytes,
+        l2_target_bytes: cfg.batch.l2_target_bytes,
+        kernels: ptsbe_statevector::KernelImpl::auto().label(),
+    })
+}
+
 /// Route `spec` and materialize its engine from `cache`.
 ///
 /// # Errors
@@ -192,6 +252,7 @@ pub(crate) fn route_job<T: Scalar>(
                 RouteDecision {
                     engine,
                     reason: RouteReason::Forced,
+                    geometry: batch_geometry(cfg, spec, &exec),
                 },
                 exec,
             ))
@@ -214,6 +275,7 @@ pub(crate) fn route_job<T: Scalar>(
                         RouteDecision {
                             engine: EngineKind::Frame,
                             reason: RouteReason::CliffordPauliDeterministic,
+                            geometry: None,
                         },
                         EngineExec::Frame(entry),
                     ));
@@ -229,6 +291,7 @@ pub(crate) fn route_job<T: Scalar>(
                         reason: RouteReason::WideRegister {
                             n_qubits: nc.n_qubits(),
                         },
+                        geometry: None,
                     },
                     exec,
                 ));
@@ -242,16 +305,19 @@ pub(crate) fn route_job<T: Scalar>(
                     RouteDecision {
                         engine: EngineKind::Tree,
                         reason: RouteReason::HighSharing { sharing_ratio },
+                        geometry: None,
                     },
                     EngineExec::Tree { entry, tree },
                 ))
             } else {
+                let exec = EngineExec::BatchMajor(entry);
                 Ok((
                     RouteDecision {
                         engine: EngineKind::BatchMajor,
                         reason: RouteReason::LowSharing { sharing_ratio },
+                        geometry: batch_geometry(cfg, spec, &exec),
                     },
-                    EngineExec::BatchMajor(entry),
+                    exec,
                 ))
             }
         }

@@ -31,7 +31,7 @@ use crate::cache::CompileCache;
 use crate::job::{ChunkSpec, JobHandle, JobInner, JobSpec, JobStatus, ServiceError};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::router::{route_job, EngineExec, EngineKind};
-use ptsbe_core::{BatchMajorExecutor, BatchResult, BatchedExecutor, TreeExecutor};
+use ptsbe_core::{BatchConfig, BatchMajorExecutor, BatchResult, BatchedExecutor, TreeExecutor};
 use ptsbe_dataset::record::records_from_batch;
 use ptsbe_dataset::{DatasetHeader, RecordSink, TrajectoryRecord};
 use ptsbe_math::Scalar;
@@ -61,6 +61,16 @@ pub struct ServiceConfig {
     /// (executors are scheduling-deterministic); disable to keep each
     /// worker single-core when the pool itself saturates the machine.
     pub executor_parallel: bool,
+    /// Lane auto-sizing for the batch-major engine (L2 working-set
+    /// target and lane bounds). Output-neutral: batch-major results are
+    /// bitwise invariant under lane count (pinned by the core suite), so
+    /// this only moves the throughput/streaming trade-off.
+    pub batch: BatchConfig,
+    /// Byte budget for the compile cache (`None` = unbounded). When the
+    /// resident artifacts exceed it, least-recently-used entries are
+    /// evicted; output-neutral by the same argument as cache warmth —
+    /// an evicted artifact is simply recompiled on next use.
+    pub cache_budget_bytes: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +81,8 @@ impl Default for ServiceConfig {
             sharing_threshold: 0.5,
             mps_qubit_threshold: 30,
             executor_parallel: false,
+            batch: BatchConfig::default(),
+            cache_budget_bytes: None,
         }
     }
 }
@@ -115,8 +127,8 @@ impl<T: Scalar> ShotService<T> {
             cfg.workers
         };
         let shared = Arc::new(Shared {
+            cache: CompileCache::with_budget(cfg.cache_budget_bytes),
             cfg,
-            cache: CompileCache::new(),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             active: Mutex::new(0),
@@ -318,7 +330,7 @@ fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
         ),
         seed: job.spec.seed,
     };
-    let chunks = split_chunks(&job.spec, decision.engine, &exec);
+    let chunks = split_chunks(&job.spec, &decision);
     job.route.set(decision).ok();
     job.exec.set(exec).ok();
     if let Err(e) = job.emitter.lock().unwrap().begin(&header) {
@@ -349,14 +361,10 @@ fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
     shared.queue_cv.notify_all();
 }
 
-/// Chunk geometry: a pure function of (spec, engine) so scheduling can
-/// never shift record boundaries.
-fn split_chunks<T: Scalar>(
-    spec: &JobSpec,
-    engine: EngineKind,
-    exec: &EngineExec<T>,
-) -> Vec<ChunkSpec> {
-    match engine {
+/// Chunk geometry: a pure function of (spec, route decision) so
+/// scheduling can never shift record boundaries.
+fn split_chunks(spec: &JobSpec, decision: &crate::router::RouteDecision) -> Vec<ChunkSpec> {
+    match decision.engine {
         EngineKind::Frame => {
             let total = spec.plan.total_shots();
             if total == 0 {
@@ -393,22 +401,14 @@ fn split_chunks<T: Scalar>(
             if n == 0 {
                 return Vec::new();
             }
-            let per = if spec.chunk_trajectories == 0 {
-                let lanes = match exec {
-                    EngineExec::BatchMajor(entry) | EngineExec::Flat(entry) => {
-                        let n_qubits = ptsbe_core::Backend::n_qubits(&entry.backend);
-                        let state_bytes =
-                            (1usize << n_qubits) * std::mem::size_of::<ptsbe_math::Complex<T>>();
-                        BatchMajorExecutor::auto_lanes(state_bytes)
-                    }
-                    _ => 8,
-                };
-                // A few lane groups per chunk: enough work to amortize
-                // scheduling, enough chunks to stream and cancel.
-                (lanes * 8).clamp(16, 512)
-            } else {
-                spec.chunk_trajectories
-            };
+            // The decision's geometry already folded lanes, L2 target
+            // and the spec override together (router::batch_geometry).
+            let per = match decision.geometry {
+                Some(g) => g.trajs_per_chunk,
+                None if spec.chunk_trajectories == 0 => 64,
+                None => spec.chunk_trajectories,
+            }
+            .max(1);
             (0..n)
                 .step_by(per)
                 .map(|s| ChunkSpec::Traj(s..(s + per).min(n)))
@@ -508,6 +508,7 @@ fn execute_chunk<T: Scalar>(
                 seed: spec.seed,
                 parallel,
                 lanes: 0,
+                cfg: shared.cfg.batch,
             };
             to_records(ex.execute_slice(&entry.backend, &spec.circuit, &spec.plan, range.clone()))
         }

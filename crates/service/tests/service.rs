@@ -206,6 +206,80 @@ fn warm_repeat_job_does_zero_compile_or_plan_work() {
     );
 }
 
+/// A byte-budgeted cache must evict cold artifacts under pressure, and
+/// eviction must be invisible in the output: re-running the evicted job
+/// recompiles (a second miss) yet delivers byte-identical JSONL.
+#[test]
+fn capped_cache_evicts_cold_entries_without_changing_output() {
+    // Two distinct workloads, both forced onto batch-major so only the
+    // statevector shelf is populated. One bell-sized compiled artifact
+    // is 1088 bytes; the budget fits exactly one.
+    let nc_a = Arc::new(bell_circuit(0.01));
+    let nc_b = Arc::new(bell_circuit(0.05));
+    let plan_a = Arc::new(plan_for(&nc_a, 20, 10, false, 101));
+    let plan_b = Arc::new(plan_for(&nc_b, 20, 10, false, 102));
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 1,
+        cache_budget_bytes: Some(1600),
+        ..ServiceConfig::default()
+    });
+    let run = |name: &str, nc: &Arc<NoisyCircuit>, plan: &Arc<PtsPlan>| {
+        let buf = SharedBuffer::new();
+        let spec = JobSpec::new(name, Arc::clone(nc), Arc::clone(plan), 7)
+            .with_engine(EnginePolicy::Force(EngineKind::BatchMajor));
+        let report = service
+            .submit(spec, Box::new(JsonlSink::new(buf.clone())))
+            .unwrap()
+            .wait();
+        assert!(report.status.is_success(), "{name}: {report:?}");
+        buf.bytes()
+    };
+
+    let a_cold = run("cap-a", &nc_a, &plan_a);
+    run("cap-b", &nc_b, &plan_b); // evicts A's artifact
+    let a_again = run("cap-a", &nc_a, &plan_a); // recompiles A, evicts B
+
+    let cache = service.metrics().cache;
+    assert!(
+        cache.evictions >= 2,
+        "budget pressure must evict: {cache:?}"
+    );
+    assert_eq!(
+        cache.sv_misses, 3,
+        "the evicted artifact must be recompiled: {cache:?}"
+    );
+    assert!(
+        cache.resident_bytes <= 1600,
+        "resident bytes over budget: {cache:?}"
+    );
+    assert_eq!(
+        a_cold, a_again,
+        "eviction and recompilation must not change output bytes"
+    );
+
+    // Same jobs on an unbounded service: both stay resident, zero
+    // evictions, and the repeat run is a pure hit.
+    let unbounded: ShotService = ShotService::start(one_worker());
+    for (name, nc, plan) in [
+        ("u-a", &nc_a, &plan_a),
+        ("u-b", &nc_b, &plan_b),
+        ("u-a", &nc_a, &plan_a),
+    ] {
+        let buf = SharedBuffer::new();
+        let spec = JobSpec::new(name, Arc::clone(nc), Arc::clone(plan), 7)
+            .with_engine(EnginePolicy::Force(EngineKind::BatchMajor));
+        assert!(unbounded
+            .submit(spec, Box::new(JsonlSink::new(buf.clone())))
+            .unwrap()
+            .wait()
+            .status
+            .is_success());
+    }
+    let cache = unbounded.metrics().cache;
+    assert_eq!(cache.evictions, 0, "{cache:?}");
+    assert_eq!((cache.sv_misses, cache.sv_hits), (2, 1), "{cache:?}");
+}
+
 // ---------------------------------------------------------------------------
 // Determinism
 

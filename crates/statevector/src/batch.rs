@@ -1,71 +1,117 @@
-//! Batch-major statevector execution: `B` trajectory states in one
-//! contiguous allocation, every gate applied across all lanes per sweep.
+//! Batch-major statevector execution: `B` trajectory states in split
+//! re/im amplitude planes, every gate applied across all lanes per sweep.
 //!
 //! [`StateBatch`] stores the amplitudes of `B` trajectory states
-//! *amplitude-major* (structure-of-arrays across trajectories):
-//! `amps[i * B + lane]` is amplitude `i` of lane `lane`. A gate kernel
-//! then walks the amplitude pairs exactly once and processes all `B`
-//! lanes of each pair in a contiguous inner loop — the loop shape that
-//! autovectorizes (the per-state layout instead strides by `2^q` between
-//! the elements a gate combines). qsim-style fused inner loops over
-//! amplitude blocks win their constant factors the same way; here the
-//! lane axis supplies the contiguous work.
+//! *structure-of-arrays twice over*: amplitude-major across trajectories
+//! **and** split into separate real and imaginary planes —
+//! `re[i * B + lane]` / `im[i * B + lane]` hold amplitude `i` of lane
+//! `lane`. A gate kernel walks the amplitude pairs exactly once and
+//! processes all `B` lanes of each pair in contiguous inner loops over
+//! the two planes. The split layout is what qsim-style simulators use to
+//! saturate FMA units: complex arithmetic over split planes is pure
+//! mul/`mul_add` chains with no re/im shuffles, so the compiler (or the
+//! explicit AVX2 path) lowers it straight to packed FMA.
+//!
+//! The *arithmetic* for each contiguous run lives behind the
+//! [`crate::kernels::BatchKernels`] dispatch trait (scalar-reference /
+//! SoA-autovec / SoA-simd, chosen at construction, forced via
+//! `PTSBE_BATCH_KERNELS`); this module owns the *geometry* — which runs
+//! of the planes a gate touches, chunking, and the rayon fan-out. A
+//! GPU/accelerator backend can slot in as another `BatchKernels`
+//! implementation without touching [`advance_batch`] or the executors.
 //!
 //! Bitwise contract: every kernel routes its per-lane arithmetic through
-//! the *same* helpers as the scalar [`crate::state::StateVector`] kernels
-//! ([`ptsbe_math::vec_ops::mat2_apply`]/[`mat4_apply`], the same operand
-//! order for diagonal/permutation multiplies, the same 4096-amplitude
-//! block grouping for norm accumulation). A lane of a [`StateBatch`]
-//! advanced through [`advance_batch`] is therefore bit-identical to a
-//! [`StateVector`] advanced through [`crate::exec::advance`] under the
-//! same assignment — the property `tests/batch_pool_equivalence.rs`
-//! enforces end-to-end.
-//!
-//! [`mat4_apply`]: ptsbe_math::vec_ops::mat4_apply
+//! the same parts-level helpers ([`ptsbe_math::cplx_mul_parts`] /
+//! [`ptsbe_math::cplx_mul_add_parts`]) as the scalar
+//! [`crate::state::StateVector`] kernels, with the same operand order
+//! and the same 4096-amplitude block grouping for norm accumulation. A
+//! lane of a [`StateBatch`] advanced through [`advance_batch`] is
+//! therefore bit-identical to a [`StateVector`] advanced through
+//! [`crate::exec::advance`] under the same assignment — for *all three*
+//! kernel implementations — the property `tests/batch_pool_equivalence`
+//! and `tests/proptest_batch_kernels` enforce end-to-end.
 
-use ptsbe_math::{vec_ops, Complex, Matrix, Scalar};
+use ptsbe_math::{cplx_mul_parts, Complex, Matrix, Scalar};
 use rayon::prelude::*;
 use std::ops::Range;
 
 use crate::exec::{Compiled, CompiledOp};
+use crate::kernels::{dispatch, BatchKernels, KernelImpl, LaneMats2, LaneMats4};
 use crate::kraus::apply_kraus_normalized;
 use crate::state::{local_2q_matrix, local_2q_perm, StateVector};
 use crate::PARALLEL_THRESHOLD_QUBITS;
 
-/// `B` pure states of `n` qubits in one amplitude-major allocation.
+/// Rows per chunk for row-sweep operations (normalization).
+const ROWS_PER_CHUNK: usize = 1 << 12;
+
+/// `B` pure states of `n` qubits in split re/im amplitude planes.
 #[derive(Clone, Debug)]
 pub struct StateBatch<T: Scalar> {
     n_qubits: usize,
     n_lanes: usize,
-    /// `amps[i * n_lanes + lane]` = amplitude `i` of lane `lane`.
-    amps: Vec<Complex<T>>,
+    /// `re[i * n_lanes + lane]` = real part of amplitude `i`, lane `lane`.
+    re: Vec<T>,
+    /// Imaginary plane, same indexing.
+    im: Vec<T>,
     /// Whether sweeps fan out over rayon, decided once at construction —
     /// `current_num_threads()` costs a syscall, far too hot for per-op.
     use_par: bool,
+    /// Which kernel implementation processes runs (resolved, never a
+    /// SIMD request on a machine that can't run it).
+    kernels: KernelImpl,
 }
 
 impl<T: Scalar> StateBatch<T> {
-    /// `B` copies of `|0…0⟩`.
+    /// `B` copies of `|0…0⟩` with the default kernel implementation
+    /// ([`KernelImpl::auto`]: `PTSBE_BATCH_KERNELS` when set, else SIMD
+    /// where supported).
     ///
     /// # Panics
     /// Panics on zero lanes or more than 48 qubits (same guard as
     /// [`StateVector::zero_state`]).
     pub fn zero_states(n_qubits: usize, n_lanes: usize) -> Self {
+        Self::zero_states_with(n_qubits, n_lanes, KernelImpl::auto())
+    }
+
+    /// [`StateBatch::zero_states`] with an explicit kernel
+    /// implementation (downgraded via [`KernelImpl::resolve`] when the
+    /// machine can't run it).
+    pub fn zero_states_with(n_qubits: usize, n_lanes: usize, kernels: KernelImpl) -> Self {
+        let mut batch = Self {
+            n_qubits: 0,
+            n_lanes: 0,
+            re: Vec::new(),
+            im: Vec::new(),
+            use_par: false,
+            kernels: kernels.resolve(),
+        };
+        batch.reinit(n_qubits, n_lanes);
+        batch
+    }
+
+    /// Reset to `B` copies of `|0…0⟩` of the given shape, reusing the
+    /// plane allocations when capacity allows (the pool-recycling path).
+    /// Every element of both planes is overwritten, so a recycled batch
+    /// can never leak a previous group's amplitudes.
+    ///
+    /// # Panics
+    /// Same guards as [`StateBatch::zero_states`].
+    pub fn reinit(&mut self, n_qubits: usize, n_lanes: usize) {
         assert!(n_lanes > 0, "a batch needs at least one lane");
         assert!(
             n_qubits <= 48,
             "statevector of {n_qubits} qubits is not addressable"
         );
-        let mut amps = vec![Complex::zero(); (1usize << n_qubits) * n_lanes];
-        amps[..n_lanes].fill(Complex::one());
-        let use_par =
-            amps.len() >= 1usize << PARALLEL_THRESHOLD_QUBITS && rayon::current_num_threads() > 1;
-        Self {
-            n_qubits,
-            n_lanes,
-            amps,
-            use_par,
-        }
+        let len = (1usize << n_qubits) * n_lanes;
+        self.re.clear();
+        self.re.resize(len, T::ZERO);
+        self.im.clear();
+        self.im.resize(len, T::ZERO);
+        self.re[..n_lanes].fill(T::ONE);
+        self.n_qubits = n_qubits;
+        self.n_lanes = n_lanes;
+        self.use_par =
+            len >= 1usize << PARALLEL_THRESHOLD_QUBITS && rayon::current_num_threads() > 1;
     }
 
     /// Number of qubits per lane.
@@ -78,20 +124,27 @@ impl<T: Scalar> StateBatch<T> {
         self.n_lanes
     }
 
-    /// Raw amplitude-major storage (tests).
-    pub fn amplitudes(&self) -> &[Complex<T>] {
-        &self.amps
+    /// Which kernel implementation this batch dispatches to.
+    pub fn kernel_impl(&self) -> KernelImpl {
+        self.kernels
+    }
+
+    /// The raw split planes `(re, im)`, both indexed
+    /// `[amp_index * n_lanes + lane]` (tests and transposition code).
+    pub fn planes(&self) -> (&[T], &[T]) {
+        (&self.re, &self.im)
     }
 
     /// Amplitude `i` of lane `lane`.
     #[inline]
     pub fn amplitude(&self, lane: usize, i: usize) -> Complex<T> {
-        self.amps[i * self.n_lanes + lane]
+        let j = i * self.n_lanes + lane;
+        Complex::new(self.re[j], self.im[j])
     }
 
     /// Gather one lane into a contiguous [`StateVector`], reusing `dst`'s
     /// allocation (the bulk samplers and the scalar Kraus fallback both
-    /// want contiguous amplitudes).
+    /// want contiguous interleaved amplitudes).
     pub fn extract_lane_into(&self, lane: usize, dst: &mut StateVector<T>) {
         assert!(lane < self.n_lanes);
         // The gather overwrites every element; only reshape (and pay the
@@ -101,7 +154,8 @@ impl<T: Scalar> StateBatch<T> {
         }
         let b = self.n_lanes;
         for (i, d) in dst.amplitudes_mut().iter_mut().enumerate() {
-            *d = self.amps[i * b + lane];
+            let j = i * b + lane;
+            *d = Complex::new(self.re[j], self.im[j]);
         }
     }
 
@@ -112,185 +166,77 @@ impl<T: Scalar> StateBatch<T> {
         assert_eq!(src.n_qubits(), self.n_qubits, "lane shape mismatch");
         let b = self.n_lanes;
         for (i, s) in src.amplitudes().iter().enumerate() {
-            self.amps[i * b + lane] = *s;
+            let j = i * b + lane;
+            self.re[j] = s.re;
+            self.im[j] = s.im;
         }
     }
 
-    /// Gate kernels are per-amplitude independent, so chunking never
-    /// changes their values — parallelism can follow the thread budget
-    /// (sampled once at construction). Norm accumulation is the one
-    /// grouping-sensitive operation; [`StateBatch::norm_sqr_lanes`] pins
-    /// its block structure to the scalar path's independent of this
-    /// switch.
+    /// The resolved run-kernel implementation.
     #[inline]
-    fn use_parallel(&self) -> bool {
-        self.use_par
+    fn kern(&self) -> &'static dyn BatchKernels<T> {
+        dispatch(self.kernels)
     }
 
     // ----- sweep drivers ------------------------------------------------
     //
     // All gate kernels are built from sweeps over the amplitude-row axis
-    // (a "row" = the `B` contiguous lane values of one amplitude index).
-    // Uniform (same-matrix-every-lane) sweeps flatten the lane axis away
-    // entirely: the elements a 1-qubit gate pairs sit `2^q · B` apart, so
-    // whole runs of `2^q · B` contiguous elements zip flat — the longer
-    // the run, the better it vectorizes. Per-lane sweeps (Kraus branch
-    // points) keep the row structure to know which lane they are in.
-    // Rayon splits at block boundaries, so parallel and serial sweeps
-    // visit identical element groups.
+    // (a "row" = the `B` contiguous lane values of one amplitude index,
+    // split across the two planes). Uniform (same-matrix-every-lane)
+    // sweeps flatten the lane axis away entirely: the elements a 1-qubit
+    // gate pairs sit `2^q · B` apart, so whole runs of `2^q · B`
+    // contiguous plane elements feed one kernel call. Per-lane sweeps
+    // (Kraus branch points) keep the row structure to know which lane
+    // they are in. Gate kernels are per-amplitude independent, so
+    // chunking never changes their values — parallelism can follow the
+    // thread budget (sampled once at construction). Rayon splits at
+    // chunk boundaries, so parallel and serial sweeps hand identical
+    // element groups to identical kernel calls.
 
-    /// Apply `f(x0, x1)` to every amplitude pair `(i, i + 2^q)` of every
-    /// lane — one flat zip of two contiguous runs per `2^{q+1}` rows.
-    fn sweep_pairs<F>(&mut self, q: usize, f: F)
+    /// Apply `f(re_chunk, im_chunk)` to matching plane chunks of
+    /// `chunk` elements each.
+    fn for_chunks<F>(&mut self, chunk: usize, f: F)
     where
-        F: Fn(Complex<T>, Complex<T>) -> (Complex<T>, Complex<T>) + Sync + Send,
+        F: Fn(&mut [T], &mut [T]) + Sync + Send,
     {
-        let half = (1usize << q) * self.n_lanes;
-        let kernel = |chunk: &mut [Complex<T>]| {
-            let (lo, hi) = chunk.split_at_mut(half);
-            for (a0, a1) in lo.iter_mut().zip(hi.iter_mut()) {
-                let (y0, y1) = f(*a0, *a1);
-                *a0 = y0;
-                *a1 = y1;
-            }
-        };
-        if self.use_parallel() {
-            self.amps.par_chunks_mut(2 * half).for_each(kernel);
+        if self.use_par {
+            let pairs: Vec<(&mut [T], &mut [T])> = self
+                .re
+                .chunks_mut(chunk)
+                .zip(self.im.chunks_mut(chunk))
+                .collect();
+            pairs.into_par_iter().for_each(|(r, i)| f(r, i));
         } else {
-            self.amps.chunks_mut(2 * half).for_each(kernel);
+            for (r, i) in self.re.chunks_mut(chunk).zip(self.im.chunks_mut(chunk)) {
+                f(r, i);
+            }
         }
     }
 
-    /// Per-lane variant of [`StateBatch::sweep_pairs`]:
-    /// `f(lane, x0, x1)` per element.
-    fn sweep_pairs_lanes<F>(&mut self, q: usize, f: F)
+    /// [`StateBatch::for_chunks`] with the chunk index.
+    fn for_chunks_enumerated<F>(&mut self, chunk: usize, f: F)
     where
-        F: Fn(usize, Complex<T>, Complex<T>) -> (Complex<T>, Complex<T>) + Sync + Send,
+        F: Fn(usize, &mut [T], &mut [T]) + Sync + Send,
     {
-        let b = self.n_lanes;
-        let half = (1usize << q) * b;
-        let kernel = |chunk: &mut [Complex<T>]| {
-            let (lo, hi) = chunk.split_at_mut(half);
-            for (rl, rh) in lo.chunks_exact_mut(b).zip(hi.chunks_exact_mut(b)) {
-                for (lane, (a0, a1)) in rl.iter_mut().zip(rh.iter_mut()).enumerate() {
-                    let (y0, y1) = f(lane, *a0, *a1);
-                    *a0 = y0;
-                    *a1 = y1;
-                }
-            }
-        };
-        if self.use_parallel() {
-            self.amps.par_chunks_mut(2 * half).for_each(kernel);
-        } else {
-            self.amps.chunks_mut(2 * half).for_each(kernel);
-        }
-    }
-
-    /// Apply `f([x00, x01, x10, x11])` to every amplitude quad in local
-    /// `[hl]` order (`sh`/`sl` = high/low qubit strides). Each of the
-    /// four quad rows extends over `sl` consecutive amplitude indices, so
-    /// the four slices zip flat over `sl · B` contiguous elements.
-    fn sweep_quads<F>(&mut self, sh: usize, sl: usize, f: F)
-    where
-        F: Fn([Complex<T>; 4]) -> [Complex<T>; 4] + Sync + Send,
-    {
-        let b = self.n_lanes;
-        let run = sl * b;
-        let kernel = |chunk: &mut [Complex<T>]| {
-            let mut base = 0usize;
-            while base < sh {
-                // Runs start at rows base, base+sl, base+sh, base+sh+sl.
-                let (head, tail) = chunk[base * b..].split_at_mut(run);
-                let r00 = head;
-                let (r01, tail) = tail.split_at_mut(run);
-                let tail = &mut tail[(sh - 2 * sl) * b..];
-                let (r10, tail) = tail.split_at_mut(run);
-                let r11 = &mut tail[..run];
-                let quads = r00
-                    .iter_mut()
-                    .zip(r01.iter_mut())
-                    .zip(r10.iter_mut().zip(r11.iter_mut()));
-                for ((a00, a01), (a10, a11)) in quads {
-                    let y = f([*a00, *a01, *a10, *a11]);
-                    *a00 = y[0];
-                    *a01 = y[1];
-                    *a10 = y[2];
-                    *a11 = y[3];
-                }
-                base += 2 * sl;
-            }
-        };
-        if self.use_parallel() {
-            self.amps.par_chunks_mut(2 * sh * b).for_each(kernel);
-        } else {
-            self.amps.chunks_mut(2 * sh * b).for_each(kernel);
-        }
-    }
-
-    /// Per-lane variant of [`StateBatch::sweep_quads`]:
-    /// `f(lane, quad)` per element.
-    fn sweep_quads_lanes<F>(&mut self, sh: usize, sl: usize, f: F)
-    where
-        F: Fn(usize, [Complex<T>; 4]) -> [Complex<T>; 4] + Sync + Send,
-    {
-        let b = self.n_lanes;
-        let kernel = |chunk: &mut [Complex<T>]| {
-            let mut base = 0usize;
-            while base < sh {
-                for k in base..base + sl {
-                    // Row starts, in increasing order: k, k+sl, k+sh, k+sh+sl.
-                    let (head, tail) = chunk[k * b..].split_at_mut(sl * b);
-                    let r00 = &mut head[..b];
-                    let (mid, tail) = tail.split_at_mut((sh - sl) * b);
-                    let r01 = &mut mid[..b];
-                    let (h10, h11) = tail.split_at_mut(sl * b);
-                    let r10 = &mut h10[..b];
-                    let r11 = &mut h11[..b];
-                    let quads = r00
-                        .iter_mut()
-                        .zip(r01.iter_mut())
-                        .zip(r10.iter_mut().zip(r11.iter_mut()));
-                    for (lane, ((a00, a01), (a10, a11))) in quads.enumerate() {
-                        let y = f(lane, [*a00, *a01, *a10, *a11]);
-                        *a00 = y[0];
-                        *a01 = y[1];
-                        *a10 = y[2];
-                        *a11 = y[3];
-                    }
-                }
-                base += 2 * sl;
-            }
-        };
-        if self.use_parallel() {
-            self.amps.par_chunks_mut(2 * sh * b).for_each(kernel);
-        } else {
-            self.amps.chunks_mut(2 * sh * b).for_each(kernel);
-        }
-    }
-
-    /// Apply `f(amp_index, row)` to every amplitude row.
-    fn sweep_rows<F>(&mut self, f: F)
-    where
-        F: Fn(usize, &mut [Complex<T>]) + Sync + Send,
-    {
-        let b = self.n_lanes;
-        const ROWS_PER_CHUNK: usize = 1 << 12;
-        let kernel = |(ci, chunk): (usize, &mut [Complex<T>])| {
-            let base = ci * ROWS_PER_CHUNK;
-            for (r, row) in chunk.chunks_exact_mut(b).enumerate() {
-                f(base + r, row);
-            }
-        };
-        if self.use_parallel() {
-            self.amps
-                .par_chunks_mut(ROWS_PER_CHUNK * b)
+        if self.use_par {
+            let pairs: Vec<(&mut [T], &mut [T])> = self
+                .re
+                .chunks_mut(chunk)
+                .zip(self.im.chunks_mut(chunk))
+                .collect();
+            pairs
+                .into_par_iter()
                 .enumerate()
-                .for_each(kernel);
+                .for_each(|(ci, (r, i))| f(ci, r, i));
         } else {
-            self.amps
-                .chunks_mut(ROWS_PER_CHUNK * b)
+            for (ci, (r, i)) in self
+                .re
+                .chunks_mut(chunk)
+                .zip(self.im.chunks_mut(chunk))
                 .enumerate()
-                .for_each(kernel);
+            {
+                f(ci, r, i);
+            }
         }
     }
 
@@ -301,18 +247,41 @@ impl<T: Scalar> StateBatch<T> {
         assert!(q < self.n_qubits, "qubit {q} out of range");
         assert_eq!((m.rows(), m.cols()), (2, 2));
         let e = [m[(0, 0)], m[(0, 1)], m[(1, 0)], m[(1, 1)]];
-        self.sweep_pairs(q, move |x0, x1| vec_ops::mat2_apply(&e, x0, x1));
+        let er = e.map(|z| z.re);
+        let ei = e.map(|z| z.im);
+        let half = (1usize << q) * self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * half, move |re, im| {
+            let (lo_re, hi_re) = re.split_at_mut(half);
+            let (lo_im, hi_im) = im.split_at_mut(half);
+            kern.mat2_run(&er, &ei, (lo_re, lo_im), (hi_re, hi_im));
+        });
+    }
+
+    /// Per-lane dense single-qubit application (shared by the public
+    /// masked/unmasked entry points).
+    fn apply_1q_lanes_inner(&mut self, es: &[[Complex<T>; 4]], skip: Option<&[bool]>, q: usize) {
+        assert!(q < self.n_qubits, "qubit {q} out of range");
+        assert_eq!(es.len(), self.n_lanes);
+        if let Some(s) = skip {
+            assert_eq!(s.len(), self.n_lanes);
+        }
+        let lm = LaneMats2::from_entries(es);
+        let skip: Option<Vec<bool>> = skip.map(<[bool]>::to_vec);
+        let half = (1usize << q) * self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * half, move |re, im| {
+            let (lo_re, hi_re) = re.split_at_mut(half);
+            let (lo_im, hi_im) = im.split_at_mut(half);
+            kern.mat2_lanes_run(&lm, skip.as_deref(), (lo_re, lo_im), (hi_re, hi_im));
+        });
     }
 
     /// Dense single-qubit gate with one matrix per lane (Kraus branch
     /// points where lanes chose different branches). `es[lane]` holds the
     /// row-major entries `[m00, m01, m10, m11]`.
     pub fn apply_1q_lanes(&mut self, es: &[[Complex<T>; 4]], q: usize) {
-        assert!(q < self.n_qubits, "qubit {q} out of range");
-        assert_eq!(es.len(), self.n_lanes);
-        self.sweep_pairs_lanes(q, move |lane, x0, x1| {
-            vec_ops::mat2_apply(&es[lane], x0, x1)
-        });
+        self.apply_1q_lanes_inner(es, None, q);
     }
 
     /// [`StateBatch::apply_1q_lanes`] with a skip mask: lanes whose flag
@@ -322,16 +291,7 @@ impl<T: Scalar> StateBatch<T> {
     /// `0·x` terms can flip signed zeros), matching the scalar path that
     /// elides the same branch.
     pub fn apply_1q_lanes_masked(&mut self, es: &[[Complex<T>; 4]], skip: &[bool], q: usize) {
-        assert!(q < self.n_qubits, "qubit {q} out of range");
-        assert_eq!(es.len(), self.n_lanes);
-        assert_eq!(skip.len(), self.n_lanes);
-        self.sweep_pairs_lanes(q, move |lane, x0, x1| {
-            if skip[lane] {
-                (x0, x1)
-            } else {
-                vec_ops::mat2_apply(&es[lane], x0, x1)
-            }
-        });
+        self.apply_1q_lanes_inner(es, Some(skip), q);
     }
 
     /// Dense two-qubit gate, same matrix on every lane (gate basis
@@ -339,19 +299,60 @@ impl<T: Scalar> StateBatch<T> {
     pub fn apply_2q(&mut self, m: &Matrix<T>, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         assert_eq!((m.rows(), m.cols()), (4, 4));
-        let mm = local_2q_matrix(m, a, b);
+        let (mr, mi) = split_mat4(&local_2q_matrix(m, a, b));
         let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
-        self.sweep_quads(sh, sl, move |x| vec_ops::mat4_apply(&mm, &x));
+        let bl = self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * sh * bl, move |re, im| {
+            let mut base = 0usize;
+            while base < sh {
+                let [r0, r1, r2, r3] = quad_runs(re, base, sh, sl, bl);
+                let [i0, i1, i2, i3] = quad_runs(im, base, sh, sl, bl);
+                kern.mat4_run(&mr, &mi, [(r0, i0), (r1, i1), (r2, i2), (r3, i3)]);
+                base += 2 * sl;
+            }
+        });
+    }
+
+    /// Per-lane dense two-qubit application (shared by the public
+    /// masked/unmasked entry points).
+    fn apply_2q_lanes_inner(
+        &mut self,
+        mms: &[[[Complex<T>; 4]; 4]],
+        skip: Option<&[bool]>,
+        a: usize,
+        b: usize,
+    ) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        assert_eq!(mms.len(), self.n_lanes);
+        if let Some(s) = skip {
+            assert_eq!(s.len(), self.n_lanes);
+        }
+        let lm = LaneMats4::from_mats(mms);
+        let skip: Option<Vec<bool>> = skip.map(<[bool]>::to_vec);
+        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
+        let bl = self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * sh * bl, move |re, im| {
+            let mut base = 0usize;
+            while base < sh {
+                let [r0, r1, r2, r3] = quad_runs(re, base, sh, sl, bl);
+                let [i0, i1, i2, i3] = quad_runs(im, base, sh, sl, bl);
+                kern.mat4_lanes_run(
+                    &lm,
+                    skip.as_deref(),
+                    [(r0, i0), (r1, i1), (r2, i2), (r3, i3)],
+                );
+                base += 2 * sl;
+            }
+        });
     }
 
     /// Dense two-qubit gate with one matrix per lane; `mms[lane]` must
     /// already be in local `[hl]` order (see
     /// [`crate::state::local_2q_matrix`] via [`localize_2q`]).
     pub fn apply_2q_lanes(&mut self, mms: &[[[Complex<T>; 4]; 4]], a: usize, b: usize) {
-        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
-        assert_eq!(mms.len(), self.n_lanes);
-        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
-        self.sweep_quads_lanes(sh, sl, move |lane, x| vec_ops::mat4_apply(&mms[lane], &x));
+        self.apply_2q_lanes_inner(mms, None, a, b);
     }
 
     /// [`StateBatch::apply_2q_lanes`] with a skip mask (see
@@ -363,26 +364,23 @@ impl<T: Scalar> StateBatch<T> {
         a: usize,
         b: usize,
     ) {
-        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
-        assert_eq!(mms.len(), self.n_lanes);
-        assert_eq!(skip.len(), self.n_lanes);
-        let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
-        self.sweep_quads_lanes(sh, sl, move |lane, x| {
-            if skip[lane] {
-                x
-            } else {
-                vec_ops::mat4_apply(&mms[lane], &x)
-            }
-        });
+        self.apply_2q_lanes_inner(mms, Some(skip), a, b);
     }
 
     /// Diagonal single-qubit fast path (pure phase multiply). The factor
     /// is constant over each `2^q · B` run, so the sweep is two flat
-    /// scalings per pair block.
+    /// plane scalings per pair block.
     pub fn apply_diag_1q(&mut self, d: &[Complex<T>; 2], q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
-        let (d0, d1) = (d[0], d[1]);
-        self.sweep_pairs(q, move |x0, x1| (x0 * d0, x1 * d1));
+        let (d0, d1) = ((d[0].re, d[0].im), (d[1].re, d[1].im));
+        let half = (1usize << q) * self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * half, move |re, im| {
+            let (lo_re, hi_re) = re.split_at_mut(half);
+            let (lo_im, hi_im) = im.split_at_mut(half);
+            kern.cmul_run(d0, (lo_re, lo_im));
+            kern.cmul_run(d1, (hi_re, hi_im));
+        });
     }
 
     /// Diagonal two-qubit fast path, gate basis `(bit_a << 1) | bit_b`.
@@ -393,12 +391,23 @@ impl<T: Scalar> StateBatch<T> {
         let pick = |h: usize, l: usize| {
             let bit_a = if a == qh { h } else { l };
             let bit_b = if b == qh { h } else { l };
-            d[(bit_a << 1) | bit_b]
+            let z = d[(bit_a << 1) | bit_b];
+            (z.re, z.im)
         };
         let ld = [pick(0, 0), pick(0, 1), pick(1, 0), pick(1, 1)];
         let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
-        self.sweep_quads(sh, sl, move |x| {
-            [x[0] * ld[0], x[1] * ld[1], x[2] * ld[2], x[3] * ld[3]]
+        let bl = self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * sh * bl, move |re, im| {
+            let mut base = 0usize;
+            while base < sh {
+                let rr = quad_runs(re, base, sh, sl, bl);
+                let ri = quad_runs(im, base, sh, sl, bl);
+                for (k, (r, i)) in rr.into_iter().zip(ri).enumerate() {
+                    kern.cmul_run(ld[k], (r, i));
+                }
+                base += 2 * sl;
+            }
         });
     }
 
@@ -407,10 +416,15 @@ impl<T: Scalar> StateBatch<T> {
     pub fn apply_perm_1q(&mut self, perm: &[usize; 2], phase: &[Complex<T>; 2], q: usize) {
         assert!(q < self.n_qubits, "qubit {q} out of range");
         assert!(perm[0] < 2 && perm[1] < 2);
-        let (perm, phase) = (*perm, *phase);
-        self.sweep_pairs(q, move |x0, x1| {
-            let x = [x0, x1];
-            (phase[0] * x[perm[0]], phase[1] * x[perm[1]])
+        let perm = *perm;
+        let phr = phase.map(|z| z.re);
+        let phi = phase.map(|z| z.im);
+        let half = (1usize << q) * self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * half, move |re, im| {
+            let (lo_re, hi_re) = re.split_at_mut(half);
+            let (lo_im, hi_im) = im.split_at_mut(half);
+            kern.perm2_run(&perm, &phr, &phi, (lo_re, lo_im), (hi_re, hi_im));
         });
     }
 
@@ -425,18 +439,24 @@ impl<T: Scalar> StateBatch<T> {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         assert!(perm.iter().all(|&p| p < 4));
         let (lperm, lphase) = local_2q_perm(perm, phase, a, b);
+        let phr = lphase.map(|z| z.re);
+        let phi = lphase.map(|z| z.im);
         let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
-        self.sweep_quads(sh, sl, move |x| {
-            [
-                lphase[0] * x[lperm[0]],
-                lphase[1] * x[lperm[1]],
-                lphase[2] * x[lperm[2]],
-                lphase[3] * x[lperm[3]],
-            ]
+        let bl = self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * sh * bl, move |re, im| {
+            let mut base = 0usize;
+            while base < sh {
+                let [r0, r1, r2, r3] = quad_runs(re, base, sh, sl, bl);
+                let [i0, i1, i2, i3] = quad_runs(im, base, sh, sl, bl);
+                kern.perm4_run(&lperm, &phr, &phi, [(r0, i0), (r1, i1), (r2, i2), (r3, i3)]);
+                base += 2 * sl;
+            }
         });
     }
 
-    /// CNOT fast path (row swaps, no arithmetic).
+    /// CNOT fast path (row swaps, no arithmetic — pure plane memmoves,
+    /// identical under every kernel implementation).
     pub fn apply_cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n_qubits && target < self.n_qubits && control != target);
         let cm = 1usize << control;
@@ -467,30 +487,18 @@ impl<T: Scalar> StateBatch<T> {
     {
         let b = self.n_lanes;
         let sh = 1usize << qh;
-        let kernel = |(ci, chunk): (usize, &mut [Complex<T>])| {
+        self.for_chunks_enumerated(2 * sh * b, move |ci, re, im| {
             let chunk_base = ci * 2 * sh;
-            let rows = chunk.len() / b;
+            let rows = re.len() / b;
             for r in 0..rows {
-                let g = chunk_base + r;
-                if pred(g) {
+                if pred(chunk_base + r) {
                     let j = r.wrapping_add(offset);
                     let (lo, hi) = (r.min(j), r.max(j));
-                    let (head, tail) = chunk.split_at_mut(hi * b);
-                    head[lo * b..lo * b + b].swap_with_slice(&mut tail[..b]);
+                    swap_row_pair(re, lo, hi, b);
+                    swap_row_pair(im, lo, hi, b);
                 }
             }
-        };
-        if self.use_parallel() {
-            self.amps
-                .par_chunks_mut(2 * sh * b)
-                .enumerate()
-                .for_each(kernel);
-        } else {
-            self.amps
-                .chunks_mut(2 * sh * b)
-                .enumerate()
-                .for_each(kernel);
-        }
+        });
     }
 
     /// CZ fast path (sign flip on the doubly-set quarter — local quad
@@ -498,12 +506,25 @@ impl<T: Scalar> StateBatch<T> {
     pub fn apply_cz(&mut self, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         let (sh, sl) = (1usize << a.max(b), 1usize << a.min(b));
-        self.sweep_quads(sh, sl, |x| [x[0], x[1], x[2], -x[3]]);
+        let bl = self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(2 * sh * bl, move |re, im| {
+            let mut base = 0usize;
+            while base < sh {
+                let [_, _, _, r3] = quad_runs(re, base, sh, sl, bl);
+                let [_, _, _, i3] = quad_runs(im, base, sh, sl, bl);
+                kern.neg_run((r3, i3));
+                base += 2 * sl;
+            }
+        });
     }
 
     /// General `k`-qubit gather kernel, same matrix on every lane
     /// (Toffoli and compiled multi-qubit unitaries). Mirrors
-    /// [`StateVector::apply_kq`]'s enumeration and accumulation order.
+    /// [`StateVector::apply_kq`]'s enumeration and accumulation order
+    /// (plain multiply + add per term, *not* fused), widened over the
+    /// lane axis: each of the `2^k` gathered rows is a contiguous
+    /// `B`-element slice of each plane.
     pub fn apply_kq(&mut self, m: &Matrix<T>, qubits: &[usize]) {
         let k = qubits.len();
         assert!((1..=16).contains(&k), "apply_kq supports 1..=16 qubits");
@@ -535,10 +556,28 @@ impl<T: Scalar> StateBatch<T> {
         let sh = 1usize << qh;
         let b = self.n_lanes;
         let offsets = &offsets;
-        let kernel = move |chunk: &mut [Complex<T>]| {
+        // Split the matrix once; the inner accumulation reads plane
+        // scalars, not Complex values.
+        let dimsq = dim * dim;
+        let mut mrv = vec![T::ZERO; dimsq];
+        let mut miv = vec![T::ZERO; dimsq];
+        for r in 0..dim {
+            for c in 0..dim {
+                let z = m[(r, c)];
+                mrv[r * dim + c] = z.re;
+                miv[r * dim + c] = z.im;
+            }
+        }
+        let (mrv, miv) = (&mrv, &miv);
+        self.for_chunks(2 * sh * b, move |chunk_re, chunk_im| {
             let free_bits = (qh + 1) - k;
             let n_groups = 1usize << free_bits;
-            let mut x = vec![Complex::<T>::zero(); dim];
+            // Gather buffers: row-contiguous SoA copies of the 2^k rows
+            // a group combines, plus one output row accumulator.
+            let mut xr = vec![T::ZERO; dim * b];
+            let mut xi = vec![T::ZERO; dim * b];
+            let mut accr = vec![T::ZERO; b];
+            let mut acci = vec![T::ZERO; b];
             for gidx in 0..n_groups {
                 // Expand gidx by inserting 0 at each gate-qubit position.
                 let mut base = 0usize;
@@ -552,25 +591,29 @@ impl<T: Scalar> StateBatch<T> {
                     base |= (src & 1) << pos;
                     src >>= 1;
                 }
-                for lane in 0..b {
-                    for (g, &off) in offsets.iter().enumerate() {
-                        x[g] = chunk[(base + off) * b + lane];
-                    }
-                    for (r, &off) in offsets.iter().enumerate() {
-                        let mut acc = Complex::zero();
-                        for (c, &xc) in x.iter().enumerate() {
-                            acc += m[(r, c)] * xc;
+                for (g, &off) in offsets.iter().enumerate() {
+                    let s = (base + off) * b;
+                    xr[g * b..(g + 1) * b].copy_from_slice(&chunk_re[s..s + b]);
+                    xi[g * b..(g + 1) * b].copy_from_slice(&chunk_im[s..s + b]);
+                }
+                for (r, &off) in offsets.iter().enumerate() {
+                    accr.fill(T::ZERO);
+                    acci.fill(T::ZERO);
+                    for c in 0..dim {
+                        let (er, ei) = (mrv[r * dim + c], miv[r * dim + c]);
+                        let (col_r, col_i) = (&xr[c * b..(c + 1) * b], &xi[c * b..(c + 1) * b]);
+                        for j in 0..b {
+                            let (tr, ti) = cplx_mul_parts(er, ei, col_r[j], col_i[j]);
+                            accr[j] += tr;
+                            acci[j] += ti;
                         }
-                        chunk[(base + off) * b + lane] = acc;
                     }
+                    let s = (base + off) * b;
+                    chunk_re[s..s + b].copy_from_slice(&accr);
+                    chunk_im[s..s + b].copy_from_slice(&acci);
                 }
             }
-        };
-        if self.use_parallel() {
-            self.amps.par_chunks_mut(2 * sh * b).for_each(kernel);
-        } else {
-            self.amps.chunks_mut(2 * sh * b).for_each(kernel);
-        }
+        });
     }
 
     // ----- per-lane norms -----------------------------------------------
@@ -588,15 +631,12 @@ impl<T: Scalar> StateBatch<T> {
         } else {
             n_amps
         };
+        let kern = self.kern();
         out.fill(T::ZERO);
         let mut block_sum = vec![T::ZERO; b];
-        for rows in self.amps.chunks(block * b) {
+        for (rows_re, rows_im) in self.re.chunks(block * b).zip(self.im.chunks(block * b)) {
             block_sum.fill(T::ZERO);
-            for row in rows.chunks_exact(b) {
-                for (s, z) in block_sum.iter_mut().zip(row) {
-                    *s += z.norm_sqr();
-                }
-            }
+            kern.norm_acc_rows(rows_re, rows_im, b, &mut block_sum);
             for (o, s) in out.iter_mut().zip(&block_sum) {
                 *o += *s;
             }
@@ -620,12 +660,41 @@ impl<T: Scalar> StateBatch<T> {
                 }
             })
             .collect();
-        self.sweep_rows(move |_, row| {
-            for (z, s) in row.iter_mut().zip(&inv) {
-                *z = z.scale(*s);
-            }
+        let b = self.n_lanes;
+        let kern = self.kern();
+        self.for_chunks(ROWS_PER_CHUNK * b, move |re, im| {
+            kern.scale_rows((re, im), b, &inv);
         });
     }
+}
+
+/// The four `sl · B`-element runs of one quad group starting at row
+/// `base` (rows `base`, `base+sl`, `base+sh`, `base+sh+sl`) within a
+/// `2·sh`-row plane chunk.
+#[inline]
+fn quad_runs<T>(plane: &mut [T], base: usize, sh: usize, sl: usize, b: usize) -> [&mut [T]; 4] {
+    let run = sl * b;
+    let rest = &mut plane[base * b..];
+    let (r00, tail) = rest.split_at_mut(run);
+    let (r01, tail) = tail.split_at_mut(run);
+    let tail = &mut tail[(sh - 2 * sl) * b..];
+    let (r10, tail) = tail.split_at_mut(run);
+    let r11 = &mut tail[..run];
+    [r00, r01, r10, r11]
+}
+
+/// Swap the `b`-element rows `lo` and `hi` (`lo < hi`) of one plane.
+#[inline]
+fn swap_row_pair<T>(plane: &mut [T], lo: usize, hi: usize, b: usize) {
+    let (head, tail) = plane.split_at_mut(hi * b);
+    head[lo * b..lo * b + b].swap_with_slice(&mut tail[..b]);
+}
+
+/// Split a localized complex 4×4 into real/imaginary entry matrices.
+fn split_mat4<T: Scalar>(mm: &[[Complex<T>; 4]; 4]) -> ([[T; 4]; 4], [[T; 4]; 4]) {
+    let mr = mm.map(|row| row.map(|z| z.re));
+    let mi = mm.map(|row| row.map(|z| z.im));
+    (mr, mi)
 }
 
 /// Localize a two-qubit matrix for [`StateBatch::apply_2q_lanes`].
@@ -814,8 +883,17 @@ mod tests {
     /// Distinct random product-ish states, one per lane, mirrored into a
     /// batch and a per-lane scalar vector.
     fn mirrored(n: usize, lanes: usize, seed: u64) -> (StateBatch<f64>, Vec<Sv>) {
+        mirrored_with(n, lanes, seed, KernelImpl::auto())
+    }
+
+    fn mirrored_with(
+        n: usize,
+        lanes: usize,
+        seed: u64,
+        kernels: KernelImpl,
+    ) -> (StateBatch<f64>, Vec<Sv>) {
         let mut rng = ptsbe_rng::PhiloxRng::new(seed, 0);
-        let mut batch = StateBatch::zero_states(n, lanes);
+        let mut batch = StateBatch::zero_states_with(n, lanes, kernels);
         let mut svs = Vec::with_capacity(lanes);
         for lane in 0..lanes {
             let mut sv = Sv::zero_state(n);
@@ -872,6 +950,51 @@ mod tests {
             svs.iter_mut().for_each(|s| s.apply_2q(&u2, a, b));
         }
         assert_lanes_bitwise(&batch, &svs, "dense");
+    }
+
+    #[test]
+    fn every_kernel_impl_bitwise_matches_scalar() {
+        for kernels in [KernelImpl::Scalar, KernelImpl::Soa, KernelImpl::Simd] {
+            let (mut batch, mut svs) = mirrored_with(4, 5, 1500, kernels);
+            let mut rng = ptsbe_rng::PhiloxRng::new(1501, 0);
+            let u1 = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+            let u2 = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+            let d1 = [Complex::cis(0.3), Complex::cis(-1.1)];
+            batch.apply_1q(&u1, 1);
+            batch.apply_2q(&u2, 3, 0);
+            batch.apply_diag_1q(&d1, 2);
+            batch.apply_cz(0, 2);
+            for s in svs.iter_mut() {
+                s.apply_1q(&u1, 1);
+                s.apply_2q(&u2, 3, 0);
+                s.apply_diag_1q(&d1, 2);
+                s.apply_cz(0, 2);
+            }
+            assert_lanes_bitwise(&batch, &svs, kernels.label());
+        }
+    }
+
+    #[test]
+    fn reinit_clears_stale_amplitudes() {
+        let mut batch = StateBatch::<f64>::zero_states(4, 3);
+        let mut rng = ptsbe_rng::PhiloxRng::new(1600, 0);
+        let u = ptsbe_math::random::haar_unitary::<f64>(2, &mut rng);
+        for q in 0..4 {
+            batch.apply_1q(&u, q);
+        }
+        // Recycle into a smaller shape, then a larger one; every element
+        // must be exactly |0…0⟩ both times.
+        for (n, lanes) in [(3usize, 2usize), (5, 4)] {
+            batch.reinit(n, lanes);
+            assert_eq!(batch.n_qubits(), n);
+            assert_eq!(batch.n_lanes(), lanes);
+            let (re, im) = batch.planes();
+            for (j, (&r, &i)) in re.iter().zip(im).enumerate() {
+                let expect: f64 = if j < lanes { 1.0 } else { 0.0 };
+                assert_eq!(r.to_bits(), expect.to_bits(), "re[{j}]");
+                assert_eq!(i.to_bits(), 0.0f64.to_bits(), "im[{j}]");
+            }
+        }
     }
 
     #[test]

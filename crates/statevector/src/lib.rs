@@ -8,10 +8,14 @@
 //!   rayon-parallel 1-/2-/k-qubit gate kernels and permutation fast paths
 //!   for CX/CZ/SWAP;
 //! - [`batch::StateBatch`] — batch-major execution: `B` trajectory states
-//!   in one contiguous amplitude-major allocation, each fused kernel
-//!   swept across all `B` lanes at once with a lane-contiguous
-//!   (autovectorizing) inner loop, bit-identical per lane to the scalar
+//!   in split re/im amplitude planes (structure-of-arrays), each fused
+//!   kernel swept across all `B` lanes at once with lane-contiguous
+//!   shuffle-free inner loops, bit-identical per lane to the scalar
 //!   kernels;
+//! - [`kernels`] — the pluggable run-kernel dispatch seam behind the
+//!   batch sweeps ([`kernels::BatchKernels`]): scalar-reference,
+//!   SoA-autovec, and AVX2/FMA implementations selected at batch
+//!   construction (`PTSBE_BATCH_KERNELS` overrides);
 //! - [`sampling`] — the *bulk* shot sampler: O(2^n + m) sorted-uniform
 //!   merge or O(1)-per-shot alias table, the polynomial-cost step whose
 //!   amortization over `m_α` shots is the entire point of Batched
@@ -30,12 +34,14 @@
 
 pub mod batch;
 pub mod exec;
+pub mod kernels;
 pub mod kraus;
 pub mod sampling;
 pub mod state;
 
 pub use batch::{advance_batch, StateBatch};
 pub use exec::{prepare_with_assignment, run_pure, ExecError};
+pub use kernels::{BatchKernels, KernelImpl};
 pub use sampling::SamplingStrategy;
 pub use state::StateVector;
 

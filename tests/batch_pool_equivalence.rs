@@ -129,6 +129,7 @@ fn batch_major_and_pooled_tree_match_flat_on_statevector() {
                     seed: 17,
                     parallel,
                     lanes,
+                    ..Default::default()
                 }
                 .execute(&backend, &nc, &plan);
                 assert_bitwise(
@@ -155,6 +156,7 @@ fn batch_major_matches_flat_on_f32() {
             seed: 23,
             parallel: false,
             lanes: 7,
+            ..Default::default()
         }
         .execute(&backend, &nc, &plan);
         assert_bitwise(&format!("{name}/f32"), &batched, &flat);

@@ -70,6 +70,7 @@ fn all_sv_paths_agree_bitwise_on_low_noise_mixture_workload() {
             seed: 5,
             parallel: false,
             lanes,
+            ..Default::default()
         }
         .execute(&backend, &nc, &plan);
         for ((a, b), c) in flat

@@ -460,7 +460,7 @@ proptest! {
             .sample_plan(&noisy, &mut rng);
         let flat = BatchedExecutor { seed: 9, parallel: false }.execute(&backend, &noisy, &plan);
         let tree = TreeExecutor { seed: 9, parallel: false }.execute(&backend, &noisy, &plan);
-        let batch = BatchMajorExecutor { seed: 9, parallel: false, lanes: 4 }
+        let batch = BatchMajorExecutor { seed: 9, parallel: false, lanes: 4, ..Default::default() }
             .execute(&backend, &noisy, &plan);
         for (a, b) in tree.trajectories.iter().zip(&flat.trajectories) {
             prop_assert_eq!(&a.shots, &b.shots, "pooled tree leaked state");
