@@ -8,10 +8,7 @@ use ptsbe_tensornet::{sample, Mps, MpsConfig};
 use std::hint::black_box;
 
 fn entangled_chain(n: usize, chi: usize) -> Mps<f64> {
-    let config = MpsConfig {
-        max_bond: chi,
-        cutoff: 0.0,
-    };
+    let config = MpsConfig::exact().with_max_bond(chi);
     let mut mps = Mps::zero_state(n, config);
     let mut rng = PhiloxRng::new(9, 0);
     for layer in 0..4 {

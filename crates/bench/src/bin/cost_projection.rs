@@ -51,10 +51,7 @@ fn main() {
     let code = codes::color_code(d);
     let (mcirc, _) = msd_encoded(&code, MeasureBasis::Z);
     let mnoisy = with_depolarizing(&mcirc, 1e-3);
-    let config = MpsConfig {
-        max_bond: 32,
-        cutoff: 1e-10,
-    };
+    let config = MpsConfig::new(32).with_cutoff(1e-10);
     let mcompiled = compile_mps::<f64>(&mnoisy).expect("compile");
     let mchoices = mnoisy.identity_assignment().expect("identity");
     let m_tn = 100usize;

@@ -22,10 +22,7 @@ fn main() {
     let code = codes::color_code(d);
     let (circuit, _layout) = msd_encoded(&code, MeasureBasis::Z);
     let noisy = with_depolarizing(&circuit, 1e-3);
-    let config = MpsConfig {
-        max_bond: chi,
-        cutoff: 1e-10,
-    };
+    let config = MpsConfig::new(chi).with_cutoff(1e-10);
     let compiled = compile_mps::<f64>(&noisy).expect("compile");
     let choices = noisy.identity_assignment().expect("identity");
 

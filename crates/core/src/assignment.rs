@@ -42,6 +42,10 @@ pub struct TrajectoryMeta {
     pub choices: Vec<usize>,
     /// Non-identity branches only — the error content.
     pub errors: Vec<ErrorEvent>,
+    /// Truncation observability of the state that produced this
+    /// trajectory's shots: `None` on exact backends, `Some` on lossy
+    /// (MPS) backends so downstream consumers can audit sample fidelity.
+    pub truncation: Option<crate::backend::TruncationStats>,
 }
 
 impl TrajectoryMeta {
@@ -56,6 +60,7 @@ impl TrajectoryMeta {
             realized_prob: nominal,
             choices: choices.to_vec(),
             errors,
+            truncation: None,
         }
     }
 

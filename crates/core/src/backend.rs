@@ -31,8 +31,26 @@ use ptsbe_circuit::{FusionStats, NoisyCircuit};
 use ptsbe_math::Scalar;
 use ptsbe_rng::Rng;
 use ptsbe_statevector::{exec as sv_exec, sampling as sv_sampling, SamplingStrategy, StateVector};
-use ptsbe_tensornet::{advance_mps, compile_mps_with, Mps, MpsCompiled, MpsConfig};
+use ptsbe_tensornet::{advance_mps, compile_mps_opts, Mps, MpsCompiled, MpsConfig};
+use serde::{Deserialize, Serialize};
 use std::ops::Range;
+
+/// Truncation observability snapshot of a prepared state — what lossy
+/// backends report through [`Backend::truncation_stats`] and what rides
+/// along in trajectory metadata, route decisions, and service metrics.
+/// Exact backends (statevector) report `None`; an MPS state reports its
+/// accumulated fidelity loss and bond-ceiling pressure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TruncationStats {
+    /// Cumulative truncation error `1 − Π(1 − ε_i)` (see
+    /// [`Mps::truncation_error`]).
+    pub trunc_error: f64,
+    /// Largest bond dimension the state has needed.
+    pub max_bond_reached: usize,
+    /// True when the state's configured cumulative truncation budget was
+    /// blown — its samples no longer meet the requested fidelity.
+    pub budget_exhausted: bool,
+}
 
 /// A trajectory-capable simulation backend (see the module docs for the
 /// segmented contract).
@@ -127,6 +145,13 @@ pub trait Backend: Sync {
         shots: usize,
         rng: &mut R,
     ) -> Vec<u128>;
+
+    /// Truncation observability for a prepared state: `None` for exact
+    /// backends, `Some` for lossy ones (MPS). Executors attach this to
+    /// each emitted trajectory's metadata.
+    fn truncation_stats(&self, _state: &Self::State) -> Option<TruncationStats> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -277,10 +302,16 @@ impl<T: Scalar> MpsBackend<T> {
         fuse: bool,
     ) -> Result<Self, ptsbe_tensornet::MpsError> {
         Ok(Self {
-            compiled: compile_mps_with(nc, fuse)?,
+            compiled: compile_mps_opts(nc, fuse, config.ordering)?,
             config,
             mode,
         })
+    }
+
+    /// The qubit→site permutation the MPS compiler chose (`None` for the
+    /// linear layout). Measured-record bits are unaffected.
+    pub fn qubit_ordering(&self) -> Option<&[usize]> {
+        self.compiled.qubit_ordering()
     }
 
     /// The compilation's fusion report (ops before/after, kernel-class
@@ -340,6 +371,14 @@ impl<T: Scalar> Backend for MpsBackend<T> {
             .map(|full| ptsbe_rng::bits::extract_bits(full, measured))
             .collect()
     }
+
+    fn truncation_stats(&self, state: &Self::State) -> Option<TruncationStats> {
+        Some(TruncationStats {
+            trunc_error: state.truncation_error(),
+            max_bond_reached: state.max_bond_reached(),
+            budget_exhausted: state.budget_exhausted(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -362,10 +401,7 @@ mod tests {
         let sv = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
         let mps = MpsBackend::<f64>::new(
             &nc,
-            MpsConfig {
-                max_bond: 16,
-                cutoff: 0.0,
-            },
+            MpsConfig::exact().with_max_bond(16),
             MpsSampleMode::Cached,
         )
         .unwrap();

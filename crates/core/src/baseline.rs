@@ -245,15 +245,7 @@ mod tests {
         let nc = noisy_bell(0.15);
         let shots = 30_000;
         let sv = run_baseline_sv::<f64>(&nc, shots, 174);
-        let mps = run_baseline_mps::<f64>(
-            &nc,
-            shots,
-            174,
-            MpsConfig {
-                max_bond: 8,
-                cutoff: 0.0,
-            },
-        );
+        let mps = run_baseline_mps::<f64>(&nc, shots, 174, MpsConfig::exact().with_max_bond(8));
         let h1 = histogram(sv.iter().copied(), 4);
         let h2 = histogram(mps.iter().copied(), 4);
         assert!(tvd(&h1, &h2) < 0.015);

@@ -153,6 +153,7 @@ impl BatchedExecutor {
             };
             let mut meta = TrajectoryMeta::from_assignment(nc, idx, &traj.choices);
             meta.realized_prob = realized;
+            meta.truncation = backend.truncation_stats(&state);
             TrajectoryResult { meta, shots }
         };
         let trajectories = fan_out(
@@ -433,6 +434,9 @@ impl<B: Backend> TreeCtx<'_, B> {
             };
             let mut meta = TrajectoryMeta::from_assignment(self.nc, idx, &traj.choices);
             meta.realized_prob = realized;
+            // Sampling never truncates (gauge moves are QR-only), so the
+            // shared node state's stats hold for a forked leaf too.
+            meta.truncation = self.backend.truncation_stats(&state);
             out.push((idx, TrajectoryResult { meta, shots }));
         }
         // The leaf's own buffers go back to the arena for the next fork.

@@ -56,7 +56,7 @@ pub mod pts;
 pub mod stats;
 
 pub use assignment::{ErrorEvent, TrajectoryMeta};
-pub use backend::{Backend, MpsBackend, SvBackend};
+pub use backend::{Backend, MpsBackend, SvBackend, TruncationStats};
 pub use baseline::{run_baseline_mps, run_baseline_sv};
 pub use be::{
     BatchConfig, BatchMajorExecutor, BatchResult, BatchedExecutor, TrajectoryResult, TreeExecutor,

@@ -119,6 +119,7 @@ mod tests {
         };
         let records = vec![TrajectoryRecord {
             meta: TrajectoryMeta {
+                truncation: None,
                 traj_id: 0,
                 nominal_prob: 1.0,
                 realized_prob: 1.0,

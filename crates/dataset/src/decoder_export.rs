@@ -53,6 +53,7 @@ mod tests {
     fn export_flattens_shots() {
         let rec = TrajectoryRecord {
             meta: TrajectoryMeta {
+                truncation: None,
                 traj_id: 0,
                 nominal_prob: 0.25,
                 realized_prob: 0.25,

@@ -59,6 +59,7 @@ mod tests {
         let records = vec![
             TrajectoryRecord {
                 meta: TrajectoryMeta {
+                    truncation: None,
                     traj_id: 0,
                     nominal_prob: 0.9,
                     realized_prob: 0.9,
@@ -69,6 +70,7 @@ mod tests {
             },
             TrajectoryRecord {
                 meta: TrajectoryMeta {
+                    truncation: None,
                     traj_id: 1,
                     nominal_prob: 0.1,
                     realized_prob: 0.1,

@@ -66,6 +66,7 @@ mod tests {
     fn sample_record() -> TrajectoryRecord {
         TrajectoryRecord {
             meta: TrajectoryMeta {
+                truncation: None,
                 traj_id: 1,
                 nominal_prob: 0.5,
                 realized_prob: 0.5,

@@ -205,6 +205,7 @@ mod tests {
         let records = vec![
             TrajectoryRecord {
                 meta: TrajectoryMeta {
+                    truncation: None,
                     traj_id: 0,
                     nominal_prob: 0.75,
                     realized_prob: 0.75,
@@ -215,6 +216,7 @@ mod tests {
             },
             TrajectoryRecord {
                 meta: TrajectoryMeta {
+                    truncation: None,
                     traj_id: 1,
                     nominal_prob: 0.25,
                     realized_prob: 0.25,

@@ -57,6 +57,7 @@ mod tests {
     fn rec(weight: usize, prob: f64, shots: &[u128]) -> TrajectoryRecord {
         TrajectoryRecord {
             meta: TrajectoryMeta {
+                truncation: None,
                 traj_id: 0,
                 nominal_prob: prob,
                 realized_prob: prob,

@@ -55,6 +55,11 @@ pub struct MpsEntry<T: Scalar> {
     pub backend: MpsBackend<T>,
     /// Warm state arena for pooled tree walks.
     pub pool: StatePool<Mps<T>>,
+    /// Identity-assignment truncation probe, run at most once per entry
+    /// (`None` inside = the circuit has no identity assignment to
+    /// probe). The router uses it to enforce cumulative truncation
+    /// budgets before any shot is spent.
+    pub probe: std::sync::OnceLock<Option<ptsbe_core::backend::TruncationStats>>,
 }
 
 /// A cached Pauli-frame lowering: the bulk sampler (program + noiseless
@@ -402,10 +407,16 @@ impl<T: Scalar> CompileCache<T> {
         config: MpsConfig,
         fuse: bool,
     ) -> Result<Arc<MpsEntry<T>>, String> {
+        // Every MpsConfig field participates: two jobs that differ only
+        // in a truncation budget (or ordering) produce different states,
+        // so they must never share a compiled entry or its warm pool.
         let mut h = StableHasher::new();
         h.write_u64(Self::precision_tag());
         h.write_usize(config.max_bond);
         h.write_f64(config.cutoff);
+        h.write_f64(config.trunc_per_update);
+        h.write_f64(config.trunc_budget);
+        h.write_u8(config.ordering.tag());
         h.write_u8(u8::from(fuse));
         let key = combine(circuit_hash, h.finish());
         if let Some(hit) = self.mps.get(key, &self.clock) {
@@ -418,6 +429,7 @@ impl<T: Scalar> CompileCache<T> {
         let entry = Arc::new(MpsEntry {
             backend,
             pool: StatePool::new(),
+            probe: std::sync::OnceLock::new(),
         });
         let bytes = Self::mps_entry_bytes(nc.n_qubits(), &config);
         let out = self
@@ -547,6 +559,37 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &c));
         let stats = cache.stats();
         assert_eq!((stats.sv_hits, stats.sv_misses), (1, 2));
+    }
+
+    #[test]
+    fn mps_key_covers_every_config_field() {
+        use ptsbe_tensornet::{MpsConfig, MpsOrdering};
+        let cache = CompileCache::<f64>::new();
+        let nc = noisy_bell(0.1);
+        let h = nc.content_hash();
+        let base = MpsConfig::new(16);
+        let a = cache.mps(&nc, h, base, true).unwrap();
+        let b = cache.mps(&nc, h, base, true).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical config must hit");
+        // Jobs differing *only* in a truncation budget must not share a
+        // compiled entry: the budget changes the states the entry's warm
+        // pool would fork.
+        let variants = [
+            base.with_max_bond(32),
+            base.with_cutoff(1e-9),
+            MpsConfig::adaptive(16, 1e-6, 0.0).with_cutoff(base.cutoff),
+            MpsConfig::adaptive(16, 0.0, 1e-3).with_cutoff(base.cutoff),
+            base.with_ordering(MpsOrdering::Auto),
+        ];
+        for (i, cfg) in variants.iter().enumerate() {
+            let v = cache.mps(&nc, h, *cfg, true).unwrap();
+            assert!(
+                !Arc::ptr_eq(&a, &v),
+                "variant {i} ({cfg:?}) collided with the base entry"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.mps_hits, stats.mps_misses), (1, 6));
     }
 
     #[test]

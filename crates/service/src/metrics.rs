@@ -17,6 +17,17 @@ pub(crate) struct ServiceMetrics {
     pub(crate) shots_emitted: AtomicU64,
     pub(crate) engine_jobs: [AtomicU64; EngineKind::COUNT],
     pub(crate) peak_active_jobs: AtomicUsize,
+    /// MPS jobs re-routed to a dense engine after the truncation probe
+    /// blew their cumulative budget.
+    pub(crate) mps_probe_reroutes: AtomicU64,
+    /// MPS jobs refused outright (budget blown, no dense fallback).
+    pub(crate) mps_budget_refusals: AtomicU64,
+    /// Largest per-trajectory truncation error delivered (f64 bits:
+    /// non-negative IEEE floats order like their bit patterns, so
+    /// `fetch_max` on bits is max on values).
+    pub(crate) peak_trunc_error_bits: AtomicU64,
+    /// Largest bond dimension any delivered MPS trajectory reached.
+    pub(crate) peak_bond_reached: AtomicUsize,
 }
 
 impl ServiceMetrics {
@@ -31,11 +42,23 @@ impl ServiceMetrics {
             shots_emitted: AtomicU64::new(0),
             engine_jobs: std::array::from_fn(|_| AtomicU64::new(0)),
             peak_active_jobs: AtomicUsize::new(0),
+            mps_probe_reroutes: AtomicU64::new(0),
+            mps_budget_refusals: AtomicU64::new(0),
+            peak_trunc_error_bits: AtomicU64::new(0),
+            peak_bond_reached: AtomicUsize::new(0),
         }
     }
 
     pub(crate) fn note_active(&self, active: usize) {
         self.peak_active_jobs.fetch_max(active, Ordering::Relaxed);
+    }
+
+    /// Fold one delivered trajectory's truncation stats into the peaks.
+    pub(crate) fn note_truncation(&self, t: &ptsbe_core::backend::TruncationStats) {
+        self.peak_trunc_error_bits
+            .fetch_max(t.trunc_error.max(0.0).to_bits(), Ordering::Relaxed);
+        self.peak_bond_reached
+            .fetch_max(t.max_bond_reached, Ordering::Relaxed);
     }
 }
 
@@ -73,6 +96,16 @@ pub struct MetricsSnapshot {
     pub engines: EngineCensus,
     /// Highest concurrent admitted-job count observed.
     pub peak_active_jobs: usize,
+    /// MPS jobs re-routed to a dense engine by the truncation probe.
+    pub mps_probe_reroutes: u64,
+    /// MPS jobs refused because their truncation budget was blown and
+    /// no dense fallback was feasible.
+    pub mps_budget_refusals: u64,
+    /// Largest per-trajectory truncation error delivered (0 when no MPS
+    /// trajectory has run).
+    pub peak_trunc_error: f64,
+    /// Largest bond dimension any delivered MPS trajectory reached.
+    pub peak_bond_reached: usize,
     /// Compile/plan cache counters.
     pub cache: CacheStats,
     /// Service uptime in seconds.
@@ -105,6 +138,10 @@ impl MetricsSnapshot {
                 mps_tree: load(&m.engine_jobs[EngineKind::MpsTree.index()]),
             },
             peak_active_jobs: m.peak_active_jobs.load(Ordering::Relaxed),
+            mps_probe_reroutes: load(&m.mps_probe_reroutes),
+            mps_budget_refusals: load(&m.mps_budget_refusals),
+            peak_trunc_error: f64::from_bits(m.peak_trunc_error_bits.load(Ordering::Relaxed)),
+            peak_bond_reached: m.peak_bond_reached.load(Ordering::Relaxed),
             cache,
             uptime_secs: m.started_at.elapsed().as_secs_f64(),
         }

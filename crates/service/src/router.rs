@@ -99,6 +99,14 @@ pub enum RouteReason {
         /// The tree's sharing ratio.
         sharing_ratio: f64,
     },
+    /// The MPS identity-assignment probe blew the job's cumulative
+    /// truncation budget, so the job was re-routed to a dense engine.
+    TruncationBudgetBlown {
+        /// The probe's cumulative truncation error.
+        trunc_error: f64,
+        /// The budget it exceeded.
+        budget: f64,
+    },
 }
 
 impl std::fmt::Display for RouteReason {
@@ -127,6 +135,16 @@ impl std::fmt::Display for RouteReason {
                     f,
                     "plan tree shares only {:.1}% of prep work",
                     sharing_ratio * 100.0
+                )
+            }
+            RouteReason::TruncationBudgetBlown {
+                trunc_error,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "mps probe truncation {trunc_error:.3e} exceeds budget {budget:.3e}; \
+                     re-routed to a dense engine"
                 )
             }
         }
@@ -169,6 +187,9 @@ pub struct RouteDecision {
     pub reason: RouteReason,
     /// Lane geometry, when a lane-swept engine was chosen.
     pub geometry: Option<BatchGeometry>,
+    /// Identity-assignment truncation probe result, when the MPS engine
+    /// was considered under a finite cumulative truncation budget.
+    pub truncation: Option<ptsbe_core::backend::TruncationStats>,
 }
 
 /// Everything a worker needs to execute chunks of a routed job, built
@@ -233,11 +254,38 @@ pub(crate) fn batch_geometry<T: Scalar>(
     })
 }
 
+/// Error prefix marking a truncation-budget refusal, so the service can
+/// count refusals without a structured error type.
+pub(crate) const MPS_REFUSAL_PREFIX: &str = "mps engine refused:";
+
+/// Dense-statevector feasibility ceiling for truncation-budget
+/// re-routing: 2^26 f64 amplitudes ≈ 1 GiB, the most a fallback may
+/// silently allocate.
+const DENSE_FEASIBLE_MAX_QUBITS: usize = 26;
+
+/// Run (or reuse) the identity-assignment truncation probe on a
+/// compiled MPS entry: prepare the noise-free trajectory once under the
+/// job's config and record what truncation the gate structure alone
+/// costs. Cached on the entry, so repeat jobs pay nothing; `None` when
+/// the circuit has no identity assignment to probe.
+fn mps_probe<T: Scalar>(
+    entry: &MpsEntry<T>,
+    nc: &ptsbe_circuit::NoisyCircuit,
+) -> Option<ptsbe_core::backend::TruncationStats> {
+    *entry.probe.get_or_init(|| {
+        let choices = nc.identity_assignment()?;
+        let (state, _) = ptsbe_core::Backend::prepare(&entry.backend, &choices);
+        ptsbe_core::Backend::truncation_stats(&entry.backend, &state)
+    })
+}
+
 /// Route `spec` and materialize its engine from `cache`.
 ///
 /// # Errors
 /// A human-readable reason when the (possibly forced) engine cannot
-/// accept the circuit.
+/// accept the circuit — including a truncation-budget refusal
+/// ([`MPS_REFUSAL_PREFIX`]) when the MPS probe blows the job's
+/// cumulative budget and no dense fallback is feasible.
 pub(crate) fn route_job<T: Scalar>(
     cache: &CompileCache<T>,
     cfg: &ServiceConfig,
@@ -248,11 +296,35 @@ pub(crate) fn route_job<T: Scalar>(
     match spec.engine {
         EnginePolicy::Force(engine) => {
             let exec = build_engine(cache, spec, circuit_hash, engine)?;
+            let truncation = match (&exec, spec.mps.trunc_budget > 0.0) {
+                (EngineExec::MpsTree { entry, .. }, true) => {
+                    let probe = mps_probe(entry, nc);
+                    if let Some(p) = probe {
+                        if p.budget_exhausted {
+                            // The caller demanded MPS; silently handing
+                            // the job to another engine would violate
+                            // `Force`, so refuse outright.
+                            return Err(format!(
+                                "{MPS_REFUSAL_PREFIX} identity-assignment probe truncation \
+                                 {:.3e} exceeds the cumulative budget {:.3e} (bond ceiling \
+                                 {} reached: {})",
+                                p.trunc_error,
+                                spec.mps.trunc_budget,
+                                spec.mps.max_bond,
+                                p.max_bond_reached >= spec.mps.max_bond,
+                            ));
+                        }
+                    }
+                    probe
+                }
+                _ => None,
+            };
             Ok((
                 RouteDecision {
                     engine,
                     reason: RouteReason::Forced,
                     geometry: batch_geometry(cfg, spec, &exec),
+                    truncation,
                 },
                 exec,
             ))
@@ -276,15 +348,46 @@ pub(crate) fn route_job<T: Scalar>(
                             engine: EngineKind::Frame,
                             reason: RouteReason::CliffordPauliDeterministic,
                             geometry: None,
+                            truncation: None,
                         },
                         EngineExec::Frame(entry),
                     ));
                 }
             }
-            // 2. Wide registers: dense amplitudes are off the table.
+            // 2. Wide registers: dense amplitudes are off the table —
+            //    unless the job carries a cumulative truncation budget
+            //    and the identity-assignment probe blows it, in which
+            //    case an accurate-but-slow dense fallback (when one
+            //    fits) beats delivering out-of-budget MPS data.
             if nc.n_qubits() >= cfg.mps_qubit_threshold {
                 let engine = EngineKind::MpsTree;
                 let exec = build_engine(cache, spec, circuit_hash, engine)?;
+                let truncation = match (&exec, spec.mps.trunc_budget > 0.0) {
+                    (EngineExec::MpsTree { entry, .. }, true) => mps_probe(entry, nc),
+                    _ => None,
+                };
+                if let Some(p) = truncation {
+                    if p.budget_exhausted {
+                        if nc.n_qubits() > DENSE_FEASIBLE_MAX_QUBITS {
+                            return Err(format!(
+                                "{MPS_REFUSAL_PREFIX} identity-assignment probe truncation \
+                                 {:.3e} exceeds the cumulative budget {:.3e}, and {} qubits \
+                                 is too wide for a dense fallback — raise max_bond (ceiling \
+                                 {} reached: {}) or the budget",
+                                p.trunc_error,
+                                spec.mps.trunc_budget,
+                                nc.n_qubits(),
+                                spec.mps.max_bond,
+                                p.max_bond_reached >= spec.mps.max_bond,
+                            ));
+                        }
+                        let reason = RouteReason::TruncationBudgetBlown {
+                            trunc_error: p.trunc_error,
+                            budget: spec.mps.trunc_budget,
+                        };
+                        return route_dense(cache, cfg, spec, circuit_hash, reason, truncation);
+                    }
+                }
                 return Ok((
                     RouteDecision {
                         engine,
@@ -292,6 +395,7 @@ pub(crate) fn route_job<T: Scalar>(
                             n_qubits: nc.n_qubits(),
                         },
                         geometry: None,
+                        truncation,
                     },
                     exec,
                 ));
@@ -306,6 +410,7 @@ pub(crate) fn route_job<T: Scalar>(
                         engine: EngineKind::Tree,
                         reason: RouteReason::HighSharing { sharing_ratio },
                         geometry: None,
+                        truncation: None,
                     },
                     EngineExec::Tree { entry, tree },
                 ))
@@ -316,11 +421,51 @@ pub(crate) fn route_job<T: Scalar>(
                         engine: EngineKind::BatchMajor,
                         reason: RouteReason::LowSharing { sharing_ratio },
                         geometry: batch_geometry(cfg, spec, &exec),
+                        truncation: None,
                     },
                     exec,
                 ))
             }
         }
+    }
+}
+
+/// Build a dense (statevector) route for a job the MPS probe rejected:
+/// the usual sharing split decides between the tree walk and lane
+/// sweeps, but the recorded reason and probe stats carry the re-route's
+/// provenance.
+fn route_dense<T: Scalar>(
+    cache: &CompileCache<T>,
+    cfg: &ServiceConfig,
+    spec: &JobSpec,
+    circuit_hash: u64,
+    reason: RouteReason,
+    truncation: Option<ptsbe_core::backend::TruncationStats>,
+) -> Result<(RouteDecision, EngineExec<T>), String> {
+    let nc = spec.circuit.as_ref();
+    let tree = cache.plan_tree(circuit_hash, &spec.plan);
+    let entry = cache.sv(nc, circuit_hash, spec.fuse)?;
+    if tree.sharing_ratio() >= cfg.sharing_threshold {
+        Ok((
+            RouteDecision {
+                engine: EngineKind::Tree,
+                reason,
+                geometry: None,
+                truncation,
+            },
+            EngineExec::Tree { entry, tree },
+        ))
+    } else {
+        let exec = EngineExec::BatchMajor(entry);
+        Ok((
+            RouteDecision {
+                engine: EngineKind::BatchMajor,
+                reason,
+                geometry: batch_geometry(cfg, spec, &exec),
+                truncation,
+            },
+            exec,
+        ))
     }
 }
 

@@ -308,6 +308,12 @@ fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
     let (decision, exec) = match planned {
         Ok(Ok(pair)) => pair,
         Ok(Err(msg)) => {
+            if msg.starts_with(crate::router::MPS_REFUSAL_PREFIX) {
+                shared
+                    .metrics
+                    .mps_budget_refusals
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             job.fail(msg);
             finalize(shared, &job);
             return;
@@ -319,6 +325,18 @@ fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
         }
     };
     shared.metrics.engine_jobs[decision.engine.index()].fetch_add(1, Ordering::Relaxed);
+    if let Some(p) = &decision.truncation {
+        shared.metrics.note_truncation(p);
+    }
+    if matches!(
+        decision.reason,
+        crate::router::RouteReason::TruncationBudgetBlown { .. }
+    ) {
+        shared
+            .metrics
+            .mps_probe_reroutes
+            .fetch_add(1, Ordering::Relaxed);
+    }
     let header = DatasetHeader {
         workload: job.spec.name.clone(),
         n_qubits: job.spec.circuit.n_qubits(),
@@ -428,6 +446,11 @@ fn run_chunk<T: Scalar>(
         let outcome = catch_unwind(AssertUnwindSafe(|| execute_chunk(shared, &job, &chunk)));
         match outcome {
             Ok(records) => {
+                for r in &records {
+                    if let Some(t) = &r.meta.truncation {
+                        shared.metrics.note_truncation(t);
+                    }
+                }
                 let pushed = job.emitter.lock().unwrap().push(index, records);
                 match pushed {
                     Ok((recs, shots)) => {
@@ -492,6 +515,7 @@ fn execute_chunk<T: Scalar>(
                     realized_prob: 1.0,
                     choices: Vec::new(),
                     errors: Vec::new(),
+                    truncation: None,
                 },
                 shots: result.shots.iter().map(|s| format!("{s:x}")).collect(),
             }]

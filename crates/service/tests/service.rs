@@ -162,6 +162,98 @@ fn wide_registers_route_to_mps_tree() {
 }
 
 // ---------------------------------------------------------------------------
+// Truncation-budget probe: refusal and re-route
+
+/// An MPS job whose budget survives the identity probe keeps the MPS
+/// engine, and the probe's stats land on the route decision.
+#[test]
+fn mps_job_within_budget_keeps_engine_and_records_probe() {
+    let nc = bell_circuit(0.02);
+    let plan = plan_for(&nc, 8, 5, true, 31);
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 1,
+        mps_qubit_threshold: 2,
+        ..ServiceConfig::default()
+    });
+    let mut spec = JobSpec::new("in-budget", nc, plan, 7);
+    spec.mps = ptsbe_tensornet::MpsConfig::adaptive(64, 1e-8, 0.5);
+    let (sink, _) = MemorySink::new();
+    let handle = service.submit(spec, Box::new(sink)).unwrap();
+    let report = handle.wait();
+    assert!(report.status.is_success(), "{report:?}");
+    assert_eq!(report.engine, Some(EngineKind::MpsTree));
+    let probe = handle.route().unwrap().truncation.expect("probe must run");
+    assert!(!probe.budget_exhausted);
+    assert_eq!(probe.trunc_error, 0.0, "2-qubit circuit cannot truncate");
+    assert_eq!(service.metrics().mps_probe_reroutes, 0);
+}
+
+/// With `max_bond: 1` a Bell pair sheds half its mass: the probe blows
+/// the cumulative budget and the auto router falls back to a dense
+/// engine instead of delivering out-of-budget samples.
+#[test]
+fn blown_truncation_budget_reroutes_to_dense() {
+    let nc = bell_circuit(0.02);
+    let plan = plan_for(&nc, 8, 5, true, 32);
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 1,
+        mps_qubit_threshold: 2,
+        ..ServiceConfig::default()
+    });
+    let mut spec = JobSpec::new("blown-budget", nc, plan.clone(), 7);
+    spec.mps = ptsbe_tensornet::MpsConfig::adaptive(1, 1e-6, 1e-3);
+    let (sink, store) = MemorySink::new();
+    let handle = service.submit(spec, Box::new(sink)).unwrap();
+    let report = handle.wait();
+    assert!(report.status.is_success(), "{report:?}");
+    assert!(
+        matches!(
+            report.engine,
+            Some(EngineKind::Tree | EngineKind::BatchMajor)
+        ),
+        "expected a dense fallback, got {:?} ({})",
+        report.engine,
+        report.route_reason
+    );
+    assert!(
+        report.route_reason.contains("re-routed"),
+        "{}",
+        report.route_reason
+    );
+    assert_eq!(store.lock().unwrap().records.len(), plan.n_trajectories());
+    let m = service.metrics();
+    assert_eq!(m.mps_probe_reroutes, 1);
+    assert_eq!(m.mps_budget_refusals, 0);
+    assert!(
+        m.peak_trunc_error > 0.4,
+        "probe peak must be observable: {}",
+        m.peak_trunc_error
+    );
+}
+
+/// Forcing the MPS engine removes the fallback: a blown budget is a
+/// refusal, not a silent engine swap.
+#[test]
+fn forced_mps_job_with_blown_budget_is_refused() {
+    let nc = bell_circuit(0.02);
+    let plan = plan_for(&nc, 8, 5, true, 33);
+    let service: ShotService = ShotService::start(one_worker());
+    let mut spec =
+        JobSpec::new("refused", nc, plan, 7).with_engine(EnginePolicy::Force(EngineKind::MpsTree));
+    spec.mps = ptsbe_tensornet::MpsConfig::adaptive(1, 1e-6, 1e-3);
+    let (sink, _) = MemorySink::new();
+    let handle = service.submit(spec, Box::new(sink)).unwrap();
+    let report = handle.wait();
+    assert_eq!(report.status, JobStatus::Failed);
+    let err = report.error.as_deref().unwrap_or("");
+    assert!(
+        err.contains("mps engine refused") && err.contains("budget"),
+        "refusal must name the budget: {err}"
+    );
+    assert_eq!(service.metrics().mps_budget_refusals, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Cache warmth
 
 #[test]

@@ -27,6 +27,9 @@ pub mod mps;
 pub mod sample;
 pub mod tensor;
 
-pub use exec::{advance_mps, compile_mps, compile_mps_with, prepare_mps, MpsCompiled, MpsError};
-pub use mps::{Mps, MpsConfig};
+pub use exec::{
+    advance_mps, compile_mps, compile_mps_opts, compile_mps_with, prepare_mps, MpsCompiled,
+    MpsError,
+};
+pub use mps::{BondStats, Mps, MpsConfig, MpsOrdering};
 pub use tensor::Tensor3;

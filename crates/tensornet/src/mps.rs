@@ -6,22 +6,146 @@ use ptsbe_math::qr::qr_thin;
 use ptsbe_math::svd::svd;
 use ptsbe_math::{Complex, Matrix, Scalar};
 
+/// Qubit-ordering policy the MPS compiler applies before lowering a
+/// circuit onto the chain (see `ptsbe_tensornet::exec`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MpsOrdering {
+    /// Site `i` = circuit qubit `i` (the historical behavior).
+    #[default]
+    Linear,
+    /// Choose a site permutation from the circuit's weighted two-qubit
+    /// interaction graph at compile time (greedy clustering; falls back
+    /// to `Linear` when it does not lower the Σ weight·distance cost).
+    Auto,
+}
+
+impl MpsOrdering {
+    /// Stable tag for cache-key hashing.
+    pub fn tag(self) -> u8 {
+        match self {
+            MpsOrdering::Linear => 0,
+            MpsOrdering::Auto => 1,
+        }
+    }
+}
+
 /// Truncation policy for two-site updates.
-#[derive(Debug, Clone, Copy)]
+///
+/// Two regimes share this struct:
+///
+/// - **Cap-driven** ([`MpsConfig::new`], the legacy policy): keep up to
+///   `max_bond` singular values, discarding only those below the
+///   relative `cutoff`. Accuracy is whatever the cap allows; no error
+///   target is enforced.
+/// - **Budget-driven** ([`MpsConfig::adaptive`]): each two-site update
+///   grows `keep` until the *discarded relative mass* of that update is
+///   below `trunc_per_update`; `max_bond` acts only as a hard ceiling.
+///   The per-update allowance tightens automatically where weight
+///   concentrates (high-entropy bonds keep more) and as the cumulative
+///   `trunc_budget` depletes, so a run either stays inside its fidelity
+///   budget or reports [`Mps::budget_exhausted`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MpsConfig {
     /// Hard cap on bond dimension χ.
     pub max_bond: usize,
     /// Relative singular-value cutoff: σᵢ < cutoff·σ₀ is discarded.
     pub cutoff: f64,
+    /// Per-update truncation budget: the largest relative discarded mass
+    /// a single two-site update may incur. `0.0` disables budget-driven
+    /// truncation (cap-driven regime).
+    pub trunc_per_update: f64,
+    /// Cumulative truncation budget: the largest total
+    /// [`Mps::truncation_error`] (`1 − fidelity` lower bound) the run may
+    /// accumulate before [`Mps::budget_exhausted`] reports true. `0.0`
+    /// disables the cumulative check.
+    pub trunc_budget: f64,
+    /// Qubit-ordering policy applied by the MPS compiler.
+    pub ordering: MpsOrdering,
+}
+
+impl MpsConfig {
+    /// Default bond ceiling shared by [`MpsConfig::new`] and
+    /// [`MpsConfig::default`].
+    pub const DEFAULT_MAX_BOND: usize = 64;
+    /// Default relative singular-value cutoff.
+    pub const DEFAULT_CUTOFF: f64 = 1e-12;
+    /// Bond ceiling used by [`MpsConfig::exact`] — generous enough that
+    /// the small circuits exact contraction is meant for never hit it.
+    pub const EXACT_MAX_BOND: usize = 256;
+
+    /// Cap-driven policy: bond ceiling `max_bond`, default cutoff, no
+    /// truncation budgets.
+    pub fn new(max_bond: usize) -> Self {
+        Self {
+            max_bond,
+            cutoff: Self::DEFAULT_CUTOFF,
+            trunc_per_update: 0.0,
+            trunc_budget: 0.0,
+            ordering: MpsOrdering::Linear,
+        }
+    }
+
+    /// Lossless contraction for small circuits: zero cutoff, no budgets,
+    /// and a ceiling of [`MpsConfig::EXACT_MAX_BOND`]. This is *the* one
+    /// constructor every exact-oracle test helper shares, so callers
+    /// cannot silently disagree on capacity.
+    pub fn exact() -> Self {
+        Self {
+            cutoff: 0.0,
+            ..Self::new(Self::EXACT_MAX_BOND)
+        }
+    }
+
+    /// Budget-driven policy: `max_bond` is only a ceiling; each two-site
+    /// update keeps singular values until its discarded relative mass is
+    /// below `per_update`, and the run-level [`Mps::truncation_error`] is
+    /// held under `cumulative` (per-update allowances tighten as the
+    /// budget depletes).
+    pub fn adaptive(max_bond: usize, per_update: f64, cumulative: f64) -> Self {
+        Self {
+            trunc_per_update: per_update,
+            trunc_budget: cumulative,
+            ..Self::new(max_bond)
+        }
+    }
+
+    /// Builder-style bond-ceiling override.
+    pub fn with_max_bond(mut self, max_bond: usize) -> Self {
+        self.max_bond = max_bond;
+        self
+    }
+
+    /// Builder-style cutoff override.
+    pub fn with_cutoff(mut self, cutoff: f64) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Builder-style ordering override.
+    pub fn with_ordering(mut self, ordering: MpsOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
 }
 
 impl Default for MpsConfig {
     fn default() -> Self {
-        Self {
-            max_bond: 64,
-            cutoff: 1e-12,
-        }
+        Self::new(Self::DEFAULT_MAX_BOND)
     }
+}
+
+/// Per-bond truncation/spectrum statistics, updated on every two-site
+/// update crossing the bond ([`Mps::bond_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BondStats {
+    /// Von Neumann entropy (nats) of the most recent kept spectrum.
+    pub entropy: f64,
+    /// Relative discarded mass accumulated at this bond.
+    pub discarded: f64,
+    /// Peak bond dimension kept at this bond.
+    pub peak_dim: usize,
+    /// Number of two-site updates that crossed this bond.
+    pub updates: usize,
 }
 
 /// Matrix product state over `n` qubits (site `i` = qubit `i`).
@@ -33,10 +157,16 @@ pub struct Mps<T: Scalar> {
     tensors: Vec<Tensor3<T>>,
     center: usize,
     config: MpsConfig,
-    /// Accumulated discarded probability mass from truncations.
-    trunc_error: f64,
+    /// Running lower bound on the squared fidelity kept through all
+    /// truncations: `Π (1 − ε_i)` over per-update relative discarded
+    /// masses `ε_i`. Starts at 1; exposed as
+    /// `truncation_error() = 1 − kept_fidelity`.
+    kept_fidelity: f64,
     /// Largest bond dimension reached over the state's history.
     max_bond_reached: usize,
+    /// Per-bond spectrum/truncation stats (`bond_stats[i]` = bond between
+    /// sites `i` and `i + 1`).
+    bond_stats: Vec<BondStats>,
     /// Scratch for the two-site θ contraction — reused across every
     /// [`Mps::apply_2q`] instead of reallocated per gate. Not part of the
     /// state: clones start empty, `copy_from` keeps the destination's.
@@ -52,8 +182,9 @@ impl<T: Scalar> Clone for Mps<T> {
             tensors: self.tensors.clone(),
             center: self.center,
             config: self.config,
-            trunc_error: self.trunc_error,
+            kept_fidelity: self.kept_fidelity,
             max_bond_reached: self.max_bond_reached,
+            bond_stats: self.bond_stats.clone(),
             // Scratch is per-instance working memory, not state.
             theta: Vec::new(),
             theta2: Vec::new(),
@@ -69,8 +200,9 @@ impl<T: Scalar> Mps<T> {
             tensors: (0..n).map(|_| Tensor3::product(false)).collect(),
             center: 0,
             config,
-            trunc_error: 0.0,
+            kept_fidelity: 1.0,
             max_bond_reached: 1,
+            bond_stats: vec![BondStats::default(); n.saturating_sub(1)],
             theta: Vec::new(),
             theta2: Vec::new(),
         }
@@ -90,8 +222,10 @@ impl<T: Scalar> Mps<T> {
         self.tensors.extend(src.tensors[have..].iter().cloned());
         self.center = src.center;
         self.config = src.config;
-        self.trunc_error = src.trunc_error;
+        self.kept_fidelity = src.kept_fidelity;
         self.max_bond_reached = src.max_bond_reached;
+        self.bond_stats.clear();
+        self.bond_stats.extend_from_slice(&src.bond_stats);
     }
 
     /// Number of qubits.
@@ -104,14 +238,32 @@ impl<T: Scalar> Mps<T> {
         self.config
     }
 
-    /// Accumulated truncation error (discarded probability mass).
+    /// Accumulated truncation error as `1 − F²_lb`, where `F²_lb =
+    /// Π (1 − ε_i)` over per-update relative discarded masses `ε_i` is a
+    /// lower bound on the squared fidelity between this state and the
+    /// untruncated evolution. Exactly `0.0` when no update ever discarded
+    /// mass. (The pre-adaptive accounting summed the `ε_i` — a quantity
+    /// that is neither a fidelity bound nor bounded by 1; budgets are
+    /// compared against this product form instead.)
     pub fn truncation_error(&self) -> f64 {
-        self.trunc_error
+        1.0 - self.kept_fidelity
+    }
+
+    /// True when a cumulative truncation budget is configured and
+    /// [`Mps::truncation_error`] has exceeded it — the state's samples
+    /// can no longer be trusted to the requested fidelity.
+    pub fn budget_exhausted(&self) -> bool {
+        self.config.trunc_budget > 0.0 && self.truncation_error() > self.config.trunc_budget
     }
 
     /// Largest bond dimension the state has needed.
     pub fn max_bond_reached(&self) -> usize {
         self.max_bond_reached
+    }
+
+    /// Per-bond spectrum/truncation statistics (`[i]` = bond `i`,`i+1`).
+    pub fn bond_stats(&self) -> &[BondStats] {
+        &self.bond_stats
     }
 
     /// Current orthogonality center.
@@ -230,25 +382,171 @@ impl<T: Scalar> Mps<T> {
     }
 
     /// Apply a two-qubit gate on sites `(a, b)`; non-adjacent pairs are
-    /// routed through SWAP chains. Matrix basis is `(bit_a << 1) | bit_b`.
+    /// applied directly via the gate's operator-Schmidt (MPO) form — no
+    /// SWAP chains. Matrix basis is `(bit_a << 1) | bit_b`.
     pub fn apply_2q(&mut self, m: &Matrix<T>, a: usize, b: usize) {
         assert!(a != b && a < self.n_qubits() && b < self.n_qubits());
         let (lo, hi) = (a.min(b), a.max(b));
+        let m_local = reorder_for_sites(m, a < b);
         if hi - lo == 1 {
-            let m_local = reorder_for_sites(m, a < b);
             self.apply_2q_adjacent(&m_local, lo);
             return;
         }
-        // Swap the lower qubit up until adjacent, apply, swap back.
-        let swap = ptsbe_math::gates::swap::<T>();
-        for s in lo..hi - 1 {
-            self.apply_2q_adjacent(&swap, s);
+        self.apply_2q_long_range(&m_local, lo, hi);
+    }
+
+    /// Effective per-update truncation budget for an update crossing bond
+    /// `q`: the configured `trunc_per_update`, tightened (i) on bonds
+    /// whose kept spectrum carries high entropy — where weight
+    /// concentrates, discarding is costliest — and (ii) to at most half
+    /// the remaining cumulative budget, so a run approaches
+    /// `trunc_budget` geometrically instead of overshooting it in one
+    /// update. `0.0` means budgets are off (or spent) and the cutoff/cap
+    /// policy alone decides.
+    fn effective_budget(&self, q: usize) -> f64 {
+        let mut budget = self.config.trunc_per_update;
+        if budget <= 0.0 {
+            return 0.0;
         }
-        // Gate qubit `lo` now sits at `hi - 1`.
-        let m_local = reorder_for_sites(m, a < b);
-        self.apply_2q_adjacent(&m_local, hi - 1);
-        for s in (lo..hi - 1).rev() {
-            self.apply_2q_adjacent(&swap, s);
+        budget /= 1.0 + self.bond_stats[q].entropy;
+        if self.config.trunc_budget > 0.0 {
+            let remaining = (self.config.trunc_budget - self.truncation_error()).max(0.0);
+            budget = budget.min(remaining * 0.5);
+        }
+        budget
+    }
+
+    /// Apply a two-site gate on non-adjacent sites `lo < hi` directly:
+    /// operator-Schmidt-decompose the 4×4 matrix (`(p_lo << 1) | p_hi`
+    /// basis) as `Σ_k A_k ⊗ B_k` (rank ≤ 4; 2 for CX/CZ), absorb the
+    /// `A_k` at `lo` and `B_k` at `hi` while routing the Schmidt index
+    /// through the intervening bonds (each inflated ×rank), then restore
+    /// the canonical gauge and compress the inflated bonds with a
+    /// truncating two-site sweep. Versus the SWAP-chain lowering this
+    /// runs `hi − lo` truncating SVDs instead of `2(hi − lo) − 1` and —
+    /// decisively for block-structured circuits — never physically moves
+    /// entanglement through the chain.
+    fn apply_2q_long_range(&mut self, m: &Matrix<T>, lo: usize, hi: usize) {
+        debug_assert!(lo + 1 < hi && hi < self.n_qubits());
+        // R[(a', a), (b', b)] = m[(a' << 1) | b', (a << 1) | b]; its SVD is
+        // the operator-Schmidt decomposition across the lo|hi split.
+        let mut rmat = Matrix::<T>::zeros(4, 4);
+        for ap in 0..2 {
+            for a in 0..2 {
+                for bp in 0..2 {
+                    for b in 0..2 {
+                        rmat[(ap * 2 + a, bp * 2 + b)] = m[((ap << 1) | bp, (a << 1) | b)];
+                    }
+                }
+            }
+        }
+        let dec = svd(&rmat);
+        let smax = dec.s.first().copied().unwrap_or(T::ZERO);
+        let op_cut = T::from_f64(1e-14) * smax;
+        let rank = dec
+            .s
+            .iter()
+            .take_while(|&&s| s > op_cut)
+            .count()
+            .clamp(1, 4);
+        // A_k[a', a] = √s_k · U[(a', a), k];  B_k[b', b] = √s_k · Vh[k, (b', b)].
+        let mut a_ops = Vec::with_capacity(rank);
+        let mut b_ops = Vec::with_capacity(rank);
+        for k in 0..rank {
+            let root = dec.s[k].sqrt();
+            let mut ak = Matrix::<T>::zeros(2, 2);
+            let mut bk = Matrix::<T>::zeros(2, 2);
+            for o in 0..2 {
+                for i in 0..2 {
+                    ak[(o, i)] = dec.u[(o * 2 + i, k)].scale(root);
+                    bk[(o, i)] = dec.vh[(k, o * 2 + i)].scale(root);
+                }
+            }
+            a_ops.push(ak);
+            b_ops.push(bk);
+        }
+        if rank == 1 {
+            // Product operator: two independent single-site applications
+            // (gauge handled by `apply_1q`; no bond is touched).
+            self.apply_1q(&a_ops[0], lo);
+            self.apply_1q(&b_ops[0], hi);
+            return;
+        }
+        // Bring the center to `lo` so every site in (lo, hi] is
+        // right-canonical before absorption.
+        self.move_center(lo);
+        // Site lo: T'[l, p', r·rank + k] = Σ_p A_k[p', p] T[l, p, r].
+        {
+            let t = &self.tensors[lo];
+            let (dl, dr) = (t.dl, t.dr);
+            let mut out = Tensor3::<T>::zeros(dl, dr * rank);
+            for l in 0..dl {
+                for po in 0..2 {
+                    for pi in 0..2 {
+                        for (k, ak) in a_ops.iter().enumerate() {
+                            let g = ak[(po, pi)];
+                            if g == Complex::zero() {
+                                continue;
+                            }
+                            for r in 0..dr {
+                                let add = g * t.get(l, pi, r);
+                                let cur = out.get(l, po, r * rank + k);
+                                out.set(l, po, r * rank + k, cur + add);
+                            }
+                        }
+                    }
+                }
+            }
+            self.tensors[lo] = out;
+        }
+        // Middle sites: kron the bonds with an identity on the Schmidt
+        // index; right-canonical tensors stay right-canonical.
+        for j in lo + 1..hi {
+            self.tensors[j] = self.tensors[j].expand_bonds(rank);
+        }
+        // Site hi: T'[l·rank + k, p', r] = Σ_p B_k[p', p] T[l, p, r].
+        {
+            let t = &self.tensors[hi];
+            let (dl, dr) = (t.dl, t.dr);
+            let mut out = Tensor3::<T>::zeros(dl * rank, dr);
+            for l in 0..dl {
+                for po in 0..2 {
+                    for pi in 0..2 {
+                        for (k, bk) in b_ops.iter().enumerate() {
+                            let g = bk[(po, pi)];
+                            if g == Complex::zero() {
+                                continue;
+                            }
+                            for r in 0..dr {
+                                let add = g * t.get(l, pi, r);
+                                let cur = out.get(l * rank + k, po, r);
+                                out.set(l * rank + k, po, r, cur + add);
+                            }
+                        }
+                    }
+                }
+            }
+            self.tensors[hi] = out;
+        }
+        // Gauge repair: sites (lo, hi] lost canonical form (lo absorbed
+        // the A_k, hi the B_k; the kron middles stayed right-canonical).
+        // A QR sweep from hi back to lo right-canonicalizes the span
+        // without truncation, leaving the true center at lo.
+        self.center = hi;
+        self.move_center(lo);
+        // Compress the ×rank-inflated bonds with a truncating identity
+        // sweep — this is where the gate's truncation error is actually
+        // incurred and recorded, via the same policy as any two-site
+        // update. Ends with the center at `hi`.
+        let id4 = {
+            let mut id = Matrix::<T>::zeros(4, 4);
+            for i in 0..4 {
+                id[(i, i)] = Complex::one();
+            }
+            id
+        };
+        for q in lo..hi {
+            self.apply_2q_adjacent(&id4, q);
         }
     }
 
@@ -315,24 +613,59 @@ impl<T: Scalar> Mps<T> {
         // Hand the scratch allocations back for the next two-site update.
         self.theta = theta;
         self.theta2 = mat.into_vec();
-        // Truncate.
+        // Truncate: cutoff and cap give the hard-stop `keep` (the legacy
+        // cap-driven policy); under a per-update budget, `keep` then grows
+        // from 1 only until the discarded relative mass drops below the
+        // effective allowance, so weightless tails are dropped without
+        // waiting for them to fall under `cutoff`.
         let total: f64 = dec.s.iter().map(|&s| (s * s).to_f64()).sum();
         let smax = dec.s.first().copied().unwrap_or(T::ZERO);
         let rel_cut = T::from_f64(self.config.cutoff) * smax;
         let mut keep = 0usize;
-        let mut kept_mass = 0.0f64;
         for (i, &s) in dec.s.iter().enumerate() {
             if i >= self.config.max_bond || (i > 0 && s < rel_cut) {
                 break;
             }
             keep = i + 1;
-            kept_mass += (s * s).to_f64();
         }
-        let keep = keep.max(1);
-        if total > 0.0 {
-            self.trunc_error += (total - kept_mass).max(0.0) / total.max(1e-300);
+        let mut keep = keep.max(1);
+        let budget = self.effective_budget(q);
+        if budget > 0.0 && total > 0.0 {
+            let allowed = budget * total;
+            let mut kept = 0.0f64;
+            for k in 1..=keep {
+                kept += (dec.s[k - 1] * dec.s[k - 1]).to_f64();
+                if total - kept <= allowed {
+                    keep = k;
+                    break;
+                }
+            }
         }
+        // Kept mass is re-summed over the final `keep` in spectrum order so
+        // a no-discard update yields ε = 0 exactly (same floating-point sum
+        // as `total`).
+        let kept_mass: f64 = dec.s[..keep].iter().map(|&s| (s * s).to_f64()).sum();
+        let eps = if total > 0.0 {
+            ((total - kept_mass).max(0.0) / total.max(1e-300)).min(1.0)
+        } else {
+            0.0
+        };
+        self.kept_fidelity *= 1.0 - eps;
         self.max_bond_reached = self.max_bond_reached.max(keep);
+        let stats = &mut self.bond_stats[q];
+        stats.updates += 1;
+        stats.discarded += eps;
+        stats.peak_dim = stats.peak_dim.max(keep);
+        if kept_mass > 0.0 {
+            let mut entropy = 0.0f64;
+            for &s in &dec.s[..keep] {
+                let p = (s * s).to_f64() / kept_mass;
+                if p > 0.0 {
+                    entropy -= p * p.ln();
+                }
+            }
+            stats.entropy = entropy;
+        }
 
         // A_q = U[.., ..keep] (left-canonical); A_{q+1} = S·Vh (center).
         let mut u_keep = Matrix::zeros(dl * 2, keep);
@@ -533,10 +866,7 @@ mod tests {
     use ptsbe_statevector::StateVector;
 
     fn exact() -> MpsConfig {
-        MpsConfig {
-            max_bond: 256,
-            cutoff: 0.0,
-        }
+        MpsConfig::exact()
     }
 
     fn assert_matches_statevector(mps: &Mps<f64>, sv: &StateVector<f64>, tol: f64) {
@@ -597,7 +927,7 @@ mod tests {
     }
 
     #[test]
-    fn non_adjacent_gate_via_swaps() {
+    fn non_adjacent_gate_direct() {
         let mut mps = Mps::<f64>::zero_state(4, exact());
         let mut sv = StateVector::<f64>::zero_state(4);
         mps.apply_1q(&gates::h(), 0);
@@ -608,6 +938,126 @@ mod tests {
         // Bonds between untouched middle sites grew as needed and the
         // state stayed normalized.
         assert!((mps.norm_sqr() - 1.0).abs() < 1e-10);
+        assert!(mps.truncation_error() < 1e-12);
+    }
+
+    #[test]
+    fn long_range_random_gates_match_statevector() {
+        // Dense (rank-4) gates at various distances, both argument
+        // orders, on an already-entangled state — exercises the full
+        // operator-Schmidt MPO path including gauge repair.
+        let mut rng = ptsbe_rng::PhiloxRng::new(77, 0);
+        let n = 7;
+        let mut mps = Mps::<f64>::zero_state(n, exact());
+        let mut sv = StateVector::<f64>::zero_state(n);
+        for q in 0..n {
+            mps.apply_1q(&gates::h(), q);
+            sv.apply_1q(&gates::h(), q);
+        }
+        for (a, b) in [(0, 6), (6, 0), (2, 5), (5, 1), (0, 2), (4, 6)] {
+            let u = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+            mps.apply_2q(&u, a, b);
+            sv.apply_2q(&u, a, b);
+        }
+        assert_matches_statevector(&mps, &sv, 1e-8);
+        assert!(mps.truncation_error() < 1e-10);
+    }
+
+    #[test]
+    fn long_range_rank_one_gate_is_product_path() {
+        // Z⊗Z has operator-Schmidt rank 1: the direct path must not
+        // inflate any bond.
+        let mut mps = Mps::<f64>::zero_state(5, exact());
+        let mut sv = StateVector::<f64>::zero_state(5);
+        for q in 0..5 {
+            mps.apply_1q(&gates::h(), q);
+            sv.apply_1q(&gates::h(), q);
+        }
+        let mut zz = Matrix::<f64>::zeros(4, 4);
+        for (i, d) in [1.0, -1.0, -1.0, 1.0].into_iter().enumerate() {
+            zz[(i, i)] = Complex::from_f64(d, 0.0);
+        }
+        mps.apply_2q(&zz, 0, 4);
+        sv.apply_2q(&zz, 0, 4);
+        assert_matches_statevector(&mps, &sv, 1e-10);
+        assert_eq!(mps.max_bond_reached(), 1);
+    }
+
+    #[test]
+    fn long_range_kraus_via_mpo_matches_dense() {
+        // A non-unitary operator across a distance (diagonal with
+        // operator-Schmidt rank 2): the MPO path must agree with the
+        // statevector oracle on the realized probability and state.
+        let mut k = Matrix::<f64>::zeros(4, 4);
+        for (i, d) in [1.0, 0.8, 0.6, 0.4].into_iter().enumerate() {
+            k[(i, i)] = Complex::from_f64(d, 0.0);
+        }
+        let mut mps = Mps::<f64>::zero_state(4, exact());
+        let mut sv = StateVector::<f64>::zero_state(4);
+        for q in 0..4 {
+            mps.apply_1q(&gates::h(), q);
+            sv.apply_1q(&gates::h(), q);
+        }
+        mps.apply_2q(&gates::cx(), 0, 1);
+        sv.apply_cx(0, 1);
+        let p = mps.apply_kraus_normalized(&k, &[0, 3]);
+        sv.apply_2q(&k, 0, 3);
+        // ⟨ψ|K†K|ψ⟩ for the uniform-superposition input.
+        let p_sv = sv.amplitudes().iter().map(|a| a.norm_sqr()).sum::<f64>();
+        assert!((p - p_sv).abs() < 1e-10, "{p} vs {p_sv}");
+        let scale = 1.0 / p_sv.sqrt();
+        for bits in 0..16u128 {
+            let a = mps.amplitude(bits);
+            let b = sv.amplitudes()[bits as usize].scale(scale);
+            assert!((a - b).abs() < 1e-10, "amp {bits}");
+        }
+    }
+
+    #[test]
+    fn adaptive_budget_truncates_and_bounds_error() {
+        let mut rng = ptsbe_rng::PhiloxRng::new(505, 0);
+        let n = 8;
+        let budget = 1e-2;
+        let cfg = MpsConfig::adaptive(64, 1e-3, budget);
+        let mut mps = Mps::<f64>::zero_state(n, cfg);
+        let mut lossless = Mps::<f64>::zero_state(n, MpsConfig::exact());
+        for step in 0..40 {
+            let u2 = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
+            let q = step % (n - 1);
+            mps.apply_2q(&u2, q, q + 1);
+            lossless.apply_2q(&u2, q, q + 1);
+        }
+        // The budget actually truncated (random circuits saturate bonds)…
+        assert!(mps.max_bond_reached() < lossless.max_bond_reached());
+        assert!(mps.truncation_error() > 0.0);
+        // …but the cumulative fidelity budget held.
+        assert!(!mps.budget_exhausted());
+        assert!(mps.truncation_error() <= budget);
+        // And the recorded error really is a fidelity lower bound.
+        mps.normalize();
+        let mut overlap = Complex::<f64>::zero();
+        for bits in 0..(1u128 << n) {
+            overlap += mps.amplitude(bits).conj() * lossless.amplitude(bits);
+        }
+        assert!(
+            overlap.norm_sqr() >= 1.0 - budget - 1e-9,
+            "fidelity {} below budget floor",
+            overlap.norm_sqr()
+        );
+    }
+
+    #[test]
+    fn bond_stats_track_entropy_and_peaks() {
+        let mut mps = Mps::<f64>::zero_state(3, exact());
+        mps.apply_1q(&gates::h(), 0);
+        mps.apply_2q(&gates::cx(), 0, 1);
+        let stats = mps.bond_stats()[0];
+        assert_eq!(stats.updates, 1);
+        assert_eq!(stats.peak_dim, 2);
+        // Bell pair: maximally mixed spectrum → entropy ln 2.
+        assert!((stats.entropy - std::f64::consts::LN_2).abs() < 1e-9);
+        assert_eq!(stats.discarded, 0.0);
+        assert_eq!(mps.bond_stats()[1].updates, 0);
     }
 
     #[test]
@@ -654,13 +1104,7 @@ mod tests {
     fn truncation_reduces_bond_and_records_error() {
         let mut rng = ptsbe_rng::PhiloxRng::new(111, 0);
         let n = 8;
-        let mut mps = Mps::<f64>::zero_state(
-            n,
-            MpsConfig {
-                max_bond: 2,
-                cutoff: 0.0,
-            },
-        );
+        let mut mps = Mps::<f64>::zero_state(n, MpsConfig::exact().with_max_bond(2));
         for step in 0..20 {
             let u2 = ptsbe_math::random::haar_unitary::<f64>(4, &mut rng);
             mps.apply_2q(&u2, step % (n - 1), step % (n - 1) + 1);

@@ -166,10 +166,7 @@ mod tests {
     use ptsbe_rng::PhiloxRng;
 
     fn exact() -> MpsConfig {
-        MpsConfig {
-            max_bond: 128,
-            cutoff: 0.0,
-        }
+        MpsConfig::exact()
     }
 
     #[test]

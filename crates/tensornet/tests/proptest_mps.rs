@@ -2,16 +2,36 @@
 //! gauge invariants.
 
 use proptest::prelude::*;
+use ptsbe_circuit::{Circuit, NoisyCircuit};
 use ptsbe_math::random::haar_unitary;
 use ptsbe_rng::PhiloxRng;
 use ptsbe_statevector::StateVector;
-use ptsbe_tensornet::{Mps, MpsConfig};
+use ptsbe_tensornet::{compile_mps, prepare_mps, Mps, MpsConfig};
 
 fn exact() -> MpsConfig {
-    MpsConfig {
-        max_bond: 128,
-        cutoff: 0.0,
+    MpsConfig::exact().with_max_bond(128)
+}
+
+/// A random entangling circuit from the op stream proptest generates:
+/// rotations interleaved with CX/CZ at arbitrary (also non-adjacent)
+/// qubit pairs.
+fn random_circuit(n: usize, ops: &[(usize, usize, bool, f64)]) -> Circuit {
+    let mut c = Circuit::new(n);
+    for &(a_raw, b_raw, two_q, angle) in ops {
+        let a = a_raw % n;
+        let b = b_raw % n;
+        if two_q && a != b {
+            if angle < 0.0 {
+                c.cz(a, b);
+            } else {
+                c.cx(a, b);
+            }
+        } else {
+            c.ry(a, angle).t(a);
+        }
     }
+    c.measure_all();
+    c
 }
 
 proptest! {
@@ -76,7 +96,7 @@ proptest! {
         let n = 6;
         let mut rng = PhiloxRng::new(seed, 13);
         let mut exact_mps = Mps::<f64>::zero_state(n, exact());
-        let mut trunc = Mps::<f64>::zero_state(n, MpsConfig { max_bond: chi, cutoff: 0.0 });
+        let mut trunc = Mps::<f64>::zero_state(n, MpsConfig::exact().with_max_bond(chi));
         for q in 0..n - 1 {
             let u = haar_unitary::<f64>(4, &mut rng);
             exact_mps.apply_2q(&u, q, q + 1);
@@ -94,5 +114,56 @@ proptest! {
             infidelity <= bound,
             "infidelity {infidelity} exceeds 4x recorded truncation {bound}"
         );
+    }
+
+    /// Budget-driven truncation at a tight per-update budget reproduces
+    /// the exact contraction: on small random circuits the adaptive MPS
+    /// must agree with `run_pure`'s dense statevector.
+    #[test]
+    fn adaptive_tight_budget_matches_run_pure(
+        n in 2usize..6,
+        ops in prop::collection::vec(
+            (0usize..8, 0usize..8, prop::bool::ANY, -1.5f64..1.5), 1..25),
+    ) {
+        let c = random_circuit(n, &ops);
+        let sv: StateVector<f64> = ptsbe_statevector::run_pure(&c).unwrap();
+        let nc = NoisyCircuit::from_circuit(c);
+        let compiled = compile_mps::<f64>(&nc).unwrap();
+        let config = MpsConfig::adaptive(64, 1e-12, 1e-9);
+        let (mps, _) = prepare_mps(&compiled, &[], config);
+        prop_assert!(mps.truncation_error() <= config.trunc_budget);
+        prop_assert!(!mps.budget_exhausted());
+        let amps = mps.to_statevector();
+        let mut acc = ptsbe_math::C64::zero();
+        for (x, y) in amps.iter().zip(sv.amplitudes()) {
+            acc += x.conj() * *y;
+        }
+        prop_assert!(
+            (acc.norm_sqr() - 1.0).abs() < 1e-7,
+            "adaptive fidelity vs run_pure: {}",
+            acc.norm_sqr()
+        );
+    }
+
+    /// `trunc_error` stays *exactly* 0.0 on any run that never pushes a
+    /// bond against the ceiling with the cutoff disabled — the invariant
+    /// that makes a zero error report trustworthy.
+    #[test]
+    fn zero_trunc_error_whenever_ceiling_never_hit(
+        n in 2usize..6,
+        ops in prop::collection::vec(
+            (0usize..8, 0usize..8, prop::bool::ANY, -1.5f64..1.5), 1..25),
+    ) {
+        let c = random_circuit(n, &ops);
+        let nc = NoisyCircuit::from_circuit(c);
+        let compiled = compile_mps::<f64>(&nc).unwrap();
+        let config = MpsConfig::exact(); // cutoff 0, budgets off, χ ≤ 256
+        let (mps, _) = prepare_mps(&compiled, &[], config);
+        prop_assert!(mps.max_bond_reached() < config.max_bond);
+        prop_assert_eq!(mps.truncation_error(), 0.0);
+        prop_assert!(!mps.budget_exhausted());
+        for bs in mps.bond_stats() {
+            prop_assert_eq!(bs.discarded, 0.0);
+        }
     }
 }

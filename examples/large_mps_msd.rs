@@ -30,10 +30,7 @@ fn main() {
         .apply(&circuit);
     println!("noise sites: {} (depolarizing p = {p})", noisy.n_sites());
 
-    let config = MpsConfig {
-        max_bond: 64,
-        cutoff: 1e-10,
-    };
+    let config = MpsConfig::new(64).with_cutoff(1e-10);
     let backend = MpsBackend::<f64>::new(&noisy, config, MpsSampleMode::Cached).unwrap();
 
     // A modest PTS plan: the most likely Kraus sets, large shot batches.

@@ -50,7 +50,7 @@ pub mod prelude {
     pub use ptsbe_core::{
         backend::MpsSampleMode, estimators, stats, BandPts, BatchMajorExecutor, BatchedExecutor,
         ExhaustivePts, MpsBackend, PoolStats, ProbabilisticPts, ProportionalPts, PtsPlan,
-        PtsPlanTree, PtsSampler, StatePool, SvBackend, TopKPts, TreeExecutor,
+        PtsPlanTree, PtsSampler, StatePool, SvBackend, TopKPts, TreeExecutor, TruncationStats,
     };
     pub use ptsbe_dataset::{
         BinarySink, DatasetHeader, JsonlSink, MemorySink, RecordSink, TrajectoryRecord,
@@ -60,5 +60,5 @@ pub mod prelude {
     pub use ptsbe_rng::{PhiloxRng, Rng};
     pub use ptsbe_service::{EngineKind, EnginePolicy, JobSpec, ServiceConfig, ShotService};
     pub use ptsbe_statevector::{SamplingStrategy, StateVector};
-    pub use ptsbe_tensornet::{Mps, MpsConfig};
+    pub use ptsbe_tensornet::{BondStats, Mps, MpsConfig, MpsOrdering};
 }

@@ -28,15 +28,8 @@ fn sv_mps_and_oracle_agree() {
     let shots = 40_000;
 
     let sv_shots = run_baseline_sv::<f64>(&noisy, shots, 901);
-    let mps_shots = run_baseline_mps::<f64>(
-        &noisy,
-        shots,
-        902,
-        MpsConfig {
-            max_bond: 32,
-            cutoff: 0.0,
-        },
-    );
+    let mps_shots =
+        run_baseline_mps::<f64>(&noisy, shots, 902, MpsConfig::exact().with_max_bond(32));
     let exact = DensityMatrix::evolve(&noisy).probabilities();
 
     let h_sv = histogram(sv_shots.iter().copied(), 16);
@@ -67,10 +60,7 @@ fn ptsbe_agrees_across_backends() {
     let sv = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
     let mps = MpsBackend::<f64>::new(
         &noisy,
-        MpsConfig {
-            max_bond: 32,
-            cutoff: 0.0,
-        },
+        MpsConfig::exact().with_max_bond(32),
         MpsSampleMode::Cached,
     )
     .unwrap();
@@ -150,10 +140,7 @@ fn tree_executor_is_bitwise_identical_to_flat_on_both_backends() {
     let sv = SvBackend::<f64>::new(&noisy, SamplingStrategy::Auto).unwrap();
     let mps = MpsBackend::<f64>::new(
         &noisy,
-        MpsConfig {
-            max_bond: 32,
-            cutoff: 0.0,
-        },
+        MpsConfig::exact().with_max_bond(32),
         MpsSampleMode::Cached,
     )
     .unwrap();
@@ -204,10 +191,7 @@ fn tree_executor_is_bitwise_identical_to_flat_on_both_backends() {
     let small_sv = SvBackend::<f64>::new(&small_noisy, SamplingStrategy::Auto).unwrap();
     let small_mps = MpsBackend::<f64>::new(
         &small_noisy,
-        MpsConfig {
-            max_bond: 16,
-            cutoff: 0.0,
-        },
+        MpsConfig::exact().with_max_bond(16),
         MpsSampleMode::Cached,
     )
     .unwrap();

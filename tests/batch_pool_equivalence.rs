@@ -168,10 +168,7 @@ fn pooled_tree_matches_flat_on_mps() {
     // MPS sampling mutates the state (gauge moves), so shared leaves
     // fork per duplicate — the per-leaf pooled fork/release path.
     for (name, nc) in zoo() {
-        let config = MpsConfig {
-            max_bond: 32,
-            cutoff: 0.0,
-        };
+        let config = MpsConfig::exact().with_max_bond(32);
         let backend =
             MpsBackend::<f64>::new(&nc, config, ptsbe::core::backend::MpsSampleMode::Cached)
                 .unwrap();

@@ -179,10 +179,7 @@ fn fused_bitstreams_identical_on_sv_across_zoo() {
 
 #[test]
 fn fused_bitstreams_identical_on_mps_across_zoo() {
-    let config = MpsConfig {
-        max_bond: 32,
-        cutoff: 0.0,
-    };
+    let config = MpsConfig::exact().with_max_bond(32);
     for (name, nc) in [
         ("ladder", zoo_ladder(0.08)),
         ("rotations", zoo_rotations(0.05)),
@@ -293,10 +290,7 @@ fn fused_mps_matches_fused_sv_physics() {
     let sv = SvBackend::<f64>::new(&nc, SamplingStrategy::Auto).unwrap();
     let mps = MpsBackend::<f64>::new(
         &nc,
-        MpsConfig {
-            max_bond: 32,
-            cutoff: 0.0,
-        },
+        MpsConfig::exact().with_max_bond(32),
         MpsSampleMode::Cached,
     )
     .unwrap();

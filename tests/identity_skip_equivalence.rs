@@ -98,10 +98,7 @@ fn mps_tree_and_flat_agree_bitwise_with_skip() {
     let (_, nc) = low_noise_t_layer(5e-3);
     let backend = MpsBackend::<f64>::new(
         &nc,
-        MpsConfig {
-            max_bond: 32,
-            cutoff: 0.0,
-        },
+        MpsConfig::exact().with_max_bond(32),
         MpsSampleMode::Cached,
     )
     .unwrap();

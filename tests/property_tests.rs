@@ -429,7 +429,7 @@ proptest! {
         // exercise the shape-adapting copy).
         let mps = MpsBackend::<f64>::new(
             &noisy,
-            MpsConfig { max_bond: 16, cutoff: 0.0 },
+            MpsConfig::exact().with_max_bond(16),
             MpsSampleMode::Cached,
         )
         .unwrap();
