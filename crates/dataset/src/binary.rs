@@ -105,6 +105,74 @@ pub fn decode(mut data: Bytes) -> io::Result<(DatasetHeader, Vec<TrajectoryRecor
     Ok((header, records))
 }
 
+/// Valid-prefix recovery for a possibly-torn `PTSB` shard (the resume
+/// protocol for crash-safe binary sinks — see [`crate::atomic`]).
+///
+/// A process killed mid-write leaves a byte-prefix of a valid stream:
+/// the length-prefixed framing makes the cut detectable, so recovery
+/// parses whole record frames until the remaining bytes are shorter
+/// than their own framing claims, then stops. Returns the header, the
+/// complete records, and the byte length of the valid prefix — re-emit
+/// from record `records.len()` (or truncate the shard to `prefix_len`
+/// and append) to resume.
+///
+/// # Errors
+/// `InvalidData` when even the preamble (magic/version/header) is torn
+/// or wrong — there is no dataset to recover — and on corrupt (not
+/// merely truncated) frames, which indicate real damage rather than an
+/// interrupted write.
+pub fn decode_prefix(data: Bytes) -> io::Result<(DatasetHeader, Vec<TrajectoryRecord>, usize)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let buf = data.as_slice();
+    if buf.len() < 12 || &buf[..4] != MAGIC {
+        return Err(bad(if buf.len() < 12 {
+            "truncated preamble: no recoverable dataset"
+        } else {
+            "bad magic"
+        }));
+    }
+    let u32_at = |at: usize| u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
+    if u32_at(4) != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let hlen = u32_at(8) as usize;
+    if buf.len() - 12 < hlen {
+        return Err(bad("truncated dataset header: no recoverable dataset"));
+    }
+    let header: DatasetHeader = serde_json::from_slice(&buf[12..12 + hlen])?;
+    let mut records = Vec::new();
+    let mut prefix_len = 12 + hlen;
+    loop {
+        // Parse one frame at a speculative cursor; commit `prefix_len`
+        // only once the frame is complete.
+        let mut at = prefix_len;
+        if buf.len() - at < 4 {
+            break;
+        }
+        let mlen = u32_at(at) as usize;
+        at += 4;
+        if buf.len() - at < mlen + 8 {
+            break;
+        }
+        let meta: TrajectoryMeta = serde_json::from_slice(&buf[at..at + mlen])?;
+        at += mlen;
+        let n_shots = u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes")) as usize;
+        at += 8;
+        if (buf.len() - at) / 16 < n_shots {
+            break;
+        }
+        let mut shots = Vec::with_capacity(n_shots);
+        for _ in 0..n_shots {
+            let word = u128::from_le_bytes(buf[at..at + 16].try_into().expect("16 bytes"));
+            shots.push(format!("{word:x}"));
+            at += 16;
+        }
+        records.push(TrajectoryRecord { meta, shots });
+        prefix_len = at;
+    }
+    Ok((header, records, prefix_len))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +222,31 @@ mod tests {
         let bytes = encode(&header, &records).unwrap();
         let truncated = bytes.slice(0..bytes.len() - 5);
         assert!(decode(truncated).is_err());
+    }
+
+    #[test]
+    fn prefix_recovery_stops_at_the_tear() {
+        let (header, mut records) = sample();
+        records.push(TrajectoryRecord {
+            meta: records[0].meta.clone(),
+            shots: vec!["9".into()],
+        });
+        let bytes = encode(&header, &records).unwrap();
+        // Cut inside the second record's shot words.
+        let torn = bytes.slice(0..bytes.len() - 5);
+        let (h2, recovered, prefix_len) = decode_prefix(torn.clone()).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(recovered.len(), 1, "only the complete record survives");
+        assert_eq!(recovered[0].decode_shots().unwrap(), vec![0xdeadbeef, 7]);
+        // The reported prefix is itself a fully valid dataset.
+        let (_, reparsed) = decode(bytes.slice(0..prefix_len)).unwrap();
+        assert_eq!(reparsed.len(), 1);
+        // An untorn shard recovers completely.
+        let (_, all, full_len) = decode_prefix(bytes.clone()).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(full_len, bytes.len());
+        // A preamble tear is unrecoverable by design.
+        assert!(decode_prefix(bytes.slice(0..6)).is_err());
     }
 
     #[test]

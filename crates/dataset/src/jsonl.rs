@@ -43,6 +43,60 @@ pub fn read<R: BufRead>(r: R) -> io::Result<(DatasetHeader, Vec<TrajectoryRecord
     Ok((header, records))
 }
 
+/// Line-complete recovery for a possibly-torn JSONL shard (the resume
+/// protocol for crash-safe JSONL sinks — see [`crate::atomic`]).
+///
+/// A process killed mid-write leaves a byte-prefix of the stream, so at
+/// most the *last* line can be torn. Recovery keeps every
+/// newline-terminated, parseable record line and stops at the first
+/// line that is unterminated or fails to parse. Returns the header, the
+/// recovered records, and how many tail lines were discarded (0 or 1)
+/// — re-emit from record `records.len()` to resume.
+///
+/// # Errors
+/// `UnexpectedEof` when no complete header line exists (nothing to
+/// recover); propagates IO errors.
+pub fn read_recovered<R: BufRead>(
+    mut r: R,
+) -> io::Result<(DatasetHeader, Vec<TrajectoryRecord>, usize)> {
+    let mut header: Option<DatasetHeader> = None;
+    let mut records = Vec::new();
+    let mut dropped = 0usize;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if r.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        if buf.last() != Some(&b'\n') {
+            dropped = 1; // unterminated tail: the torn write
+            break;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match &header {
+            None => header = Some(serde_json::from_str(line)?),
+            Some(_) => match serde_json::from_str(line) {
+                Ok(rec) => records.push(rec),
+                Err(_) => {
+                    dropped = 1; // terminated but unparseable: treat as the tear
+                    break;
+                }
+            },
+        }
+    }
+    let header = header.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "no complete header line: no recoverable dataset",
+        )
+    })?;
+    Ok((header, records, dropped))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +153,25 @@ mod tests {
     fn empty_input_rejected() {
         let err = read(io::BufReader::new(&b""[..])).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn recovery_drops_only_the_torn_tail() {
+        let (header, records) = sample();
+        let mut buf = Vec::new();
+        write(&mut buf, &header, &records).unwrap();
+        // Tear the stream mid-way through the last record line.
+        let torn = &buf[..buf.len() - 7];
+        let (h2, recovered, dropped) = read_recovered(io::BufReader::new(torn)).unwrap();
+        assert_eq!(h2, header);
+        assert_eq!(recovered.len(), 1, "only the complete line survives");
+        assert_eq!(recovered[0].meta.traj_id, 0);
+        assert_eq!(dropped, 1);
+        // An untorn stream recovers completely, dropping nothing.
+        let (_, all, dropped) = read_recovered(io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!((all.len(), dropped), (2, 0));
+        // A torn header is unrecoverable by design.
+        assert!(read_recovered(io::BufReader::new(&buf[..10])).is_err());
     }
 
     #[test]

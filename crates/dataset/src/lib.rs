@@ -16,8 +16,12 @@
 //!   decoder training: the measurement record plus the injected errors;
 //! - [`sink`] — streaming [`sink::RecordSink`]s (jsonl/binary/in-memory)
 //!   the data-collection service delivers records through as lane groups
-//!   finish, byte-identical to the batch writers.
+//!   finish, byte-identical to the batch writers;
+//! - [`atomic`] — crash-safe file sinks (tmp-file + fsync + atomic
+//!   rename), paired with the valid-prefix recovery readers
+//!   [`binary::decode_prefix`] / [`jsonl::read_recovered`].
 
+pub mod atomic;
 pub mod binary;
 pub mod decoder_export;
 pub mod jsonl;
@@ -25,6 +29,7 @@ pub mod record;
 pub mod sink;
 pub mod summary;
 
+pub use atomic::{BinaryFileSink, JsonlFileSink};
 pub use record::{DatasetHeader, TrajectoryRecord};
 pub use sink::{BinarySink, JsonlSink, MemorySink, MemoryStore, RecordSink, SharedBuffer};
 pub use summary::DatasetSummary;

@@ -181,6 +181,18 @@ pub struct CompileCache<T: Scalar> {
     tree_misses: AtomicU64,
 }
 
+/// Lock with poison healing. Cache maps are only ever mutated through
+/// short, non-panicking critical sections (pure map/counter updates;
+/// compiles run *outside* the lock), so a poisoned flag can only come
+/// from a panic unwinding *through* a guard on some other path — the
+/// protected state itself is consistent. Healing keeps one panicking
+/// worker from turning every later cache access into a second panic;
+/// job-scoped state with real mid-operation invariants takes the typed
+/// [`ServiceError::Internal`](crate::ServiceError) route instead.
+fn lock_healed<X>(m: &Mutex<X>) -> std::sync::MutexGuard<'_, X> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// One cached artifact plus its LRU bookkeeping.
 struct Slot<V> {
     value: Arc<V>,
@@ -202,7 +214,7 @@ impl<V> Shelf<V> {
 
     /// Look up `key`, refreshing its recency on a hit.
     fn get(&self, key: u64, clock: &AtomicU64) -> Option<Arc<V>> {
-        let mut m = self.map.lock().unwrap();
+        let mut m = lock_healed(&self.map);
         m.get_mut(&key).map(|slot| {
             slot.last_used = clock.fetch_add(1, Ordering::Relaxed);
             Arc::clone(&slot.value)
@@ -221,7 +233,7 @@ impl<V> Shelf<V> {
         resident: &AtomicUsize,
     ) -> Arc<V> {
         let tick = clock.fetch_add(1, Ordering::Relaxed);
-        let mut m = self.map.lock().unwrap();
+        let mut m = lock_healed(&self.map);
         match m.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut o) => {
                 o.get_mut().last_used = tick;
@@ -244,7 +256,7 @@ impl<V> Shelf<V> {
     /// Fold this shelf's LRU candidate into `best`
     /// (`(shelf_tag, key, last_used, bytes)`), skipping `protect`.
     fn scan_lru(&self, tag: u8, protect: (u8, u64), best: &mut Option<(u8, u64, u64, usize)>) {
-        for (&k, slot) in self.map.lock().unwrap().iter() {
+        for (&k, slot) in lock_healed(&self.map).iter() {
             if (tag, k) == protect {
                 continue;
             }
@@ -256,11 +268,11 @@ impl<V> Shelf<V> {
 
     /// Drop `key`, returning its charged bytes.
     fn evict(&self, key: u64) -> Option<usize> {
-        self.map.lock().unwrap().remove(&key).map(|s| s.bytes)
+        lock_healed(&self.map).remove(&key).map(|s| s.bytes)
     }
 
     fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        lock_healed(&self.map).len()
     }
 }
 
@@ -475,7 +487,7 @@ impl<T: Scalar> CompileCache<T> {
 
     /// Structural routing predicates of `nc`, memoized by content hash.
     pub fn traits(&self, nc: &NoisyCircuit, circuit_hash: u64) -> CircuitTraits {
-        if let Some(hit) = self.traits.lock().unwrap().get(&circuit_hash) {
+        if let Some(hit) = lock_healed(&self.traits).get(&circuit_hash) {
             return *hit;
         }
         let computed = CircuitTraits {
@@ -484,10 +496,7 @@ impl<T: Scalar> CompileCache<T> {
             has_reset: nc.has_reset(),
             n_measured: nc.measured_qubits().len(),
         };
-        *self
-            .traits
-            .lock()
-            .unwrap()
+        *lock_healed(&self.traits)
             .entry(circuit_hash)
             .or_insert(computed)
     }

@@ -4,13 +4,13 @@
 use crate::router::{EngineExec, EnginePolicy, RouteDecision};
 use ptsbe_circuit::NoisyCircuit;
 use ptsbe_core::PtsPlan;
-use ptsbe_dataset::{RecordSink, TrajectoryRecord};
+use ptsbe_dataset::{DatasetHeader, RecordSink, TrajectoryRecord};
 use ptsbe_math::Scalar;
 use ptsbe_tensornet::MpsConfig;
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Service-level failures.
@@ -24,6 +24,13 @@ pub enum ServiceError {
     InvalidJob(String),
     /// The service is shutting down and admits no new jobs.
     ShuttingDown,
+    /// Service-internal invariant breakage surfaced as a typed error
+    /// instead of a worker-killing panic — today that means a poisoned
+    /// job-scoped lock (a panic tore through a critical section whose
+    /// state cannot be proven consistent, e.g. mid-write sink state).
+    /// The affected *job* fails; the worker and every other job
+    /// survive.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -32,6 +39,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Saturated => write!(f, "admission queue is full"),
             ServiceError::InvalidJob(msg) => write!(f, "invalid job: {msg}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Internal(msg) => write!(f, "internal service error: {msg}"),
         }
     }
 }
@@ -53,6 +61,10 @@ pub enum JobStatus {
     /// Cancelled before completion; the sink holds a plan-order prefix
     /// of the dataset.
     Cancelled,
+    /// The job's deadline expired before every chunk was delivered.
+    /// Enforced cooperatively at chunk boundaries; like cancellation,
+    /// the sink holds a valid plan-order prefix of the dataset.
+    TimedOut,
 }
 
 impl JobStatus {
@@ -65,7 +77,7 @@ impl JobStatus {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled | JobStatus::TimedOut
         )
     }
 
@@ -76,6 +88,7 @@ impl JobStatus {
             JobStatus::Done => 2,
             JobStatus::Failed => 3,
             JobStatus::Cancelled => 4,
+            JobStatus::TimedOut => 5,
         }
     }
 
@@ -85,6 +98,7 @@ impl JobStatus {
             1 => JobStatus::Running,
             2 => JobStatus::Done,
             3 => JobStatus::Failed,
+            5 => JobStatus::TimedOut,
             _ => JobStatus::Cancelled,
         }
     }
@@ -98,6 +112,7 @@ impl std::fmt::Display for JobStatus {
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed-out",
         };
         write!(f, "{s}")
     }
@@ -131,11 +146,18 @@ pub struct JobSpec {
     pub chunk_trajectories: usize,
     /// Shots per chunk for the frame engine (`0` = auto).
     pub frame_chunk_shots: usize,
+    /// Wall-clock budget from admission to the terminal state (`None` =
+    /// unbounded). Enforced cooperatively at chunk boundaries: a job
+    /// over its deadline stops scheduling chunks and terminates
+    /// [`JobStatus::TimedOut`] within one chunk of the expiry, leaving a
+    /// valid plan-order dataset prefix in the sink. Output-neutral for
+    /// jobs that finish in time.
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
     /// A spec with production defaults (auto routing, fusion on, auto
-    /// chunking).
+    /// chunking, no deadline).
     pub fn new(
         name: impl Into<String>,
         circuit: impl Into<Arc<NoisyCircuit>>,
@@ -152,12 +174,19 @@ impl JobSpec {
             mps: MpsConfig::default(),
             chunk_trajectories: 0,
             frame_chunk_shots: 0,
+            deadline: None,
         }
     }
 
     /// Builder-style engine policy override.
     pub fn with_engine(mut self, engine: EnginePolicy) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Builder-style deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -198,7 +227,7 @@ impl JobReport {
 // Internals shared between the handle and the workers.
 
 /// One unit of schedulable execution within a job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum ChunkSpec {
     /// `plan.trajectories[range]` through a slice-capable executor.
     Traj(std::ops::Range<usize>),
@@ -214,51 +243,160 @@ pub(crate) enum ChunkSpec {
     Whole,
 }
 
+/// What one emitter push did (the caller folds these into metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PushOutcome {
+    /// Records written to the sink by this call (drained in-order runs).
+    pub(crate) records: u64,
+    /// Shots written to the sink by this call.
+    pub(crate) shots: u64,
+    /// Transient sink-write failures absorbed by retry.
+    pub(crate) write_retries: u64,
+    /// The chunk index was already delivered (a redundant re-execution
+    /// after a worker died between delivery and accounting); nothing
+    /// was written.
+    pub(crate) duplicate: bool,
+}
+
 /// Plan-order reassembly buffer in front of the sink. Workers finish
 /// chunks in any order; records reach the sink in chunk order, which is
 /// what pins the dataset bytes regardless of scheduling.
+///
+/// Fault-tolerance duties beyond reordering:
+///
+/// - **Exactly-once delivery.** Chunk retry and worker respawn can
+///   re-execute a chunk that was already delivered (the worker died
+///   *after* pushing but *before* accounting); a re-push of a delivered
+///   index is detected and dropped, so at-least-once scheduling becomes
+///   exactly-once sink delivery.
+/// - **Lazy header.** The header is staged at plan time but written
+///   with the first record batch (or at [`Emitter::finish`]): until
+///   something is committed the sink holds zero bytes, which is what
+///   lets engine degradation re-route a failed job and re-stage the
+///   fallback engine's header.
+/// - **Transient-write retry.** Writes failing with
+///   [`io::ErrorKind::Interrupted`] — the transient contract: *no bytes
+///   were written* — are retried with a short capped backoff before the
+///   error is allowed to fail the job.
+/// - **Idempotent finish.** Terminal paths can race (the cancel/fail
+///   window); the first [`Emitter::finish`] wins and later calls are
+///   no-ops, so a sink is never finalized twice.
 pub(crate) struct Emitter {
     sink: Box<dyn RecordSink>,
+    header: Option<DatasetHeader>,
+    header_written: bool,
     next: usize,
     pending: BTreeMap<usize, Vec<TrajectoryRecord>>,
+    finished: bool,
+    /// Bounded retries for transient (`Interrupted`) sink writes.
+    transient_retry_limit: u32,
 }
 
 impl Emitter {
     pub(crate) fn new(sink: Box<dyn RecordSink>) -> Self {
         Self {
             sink,
+            header: None,
+            header_written: false,
             next: 0,
             pending: BTreeMap::new(),
+            finished: false,
+            transient_retry_limit: 8,
         }
     }
 
-    pub(crate) fn begin(&mut self, header: &ptsbe_dataset::DatasetHeader) -> io::Result<()> {
-        self.sink.begin(header)
+    /// Stage the dataset header (written lazily with the first commit).
+    /// Restaging is allowed until the header reaches the sink — the
+    /// engine-degradation path replaces the failed engine's header with
+    /// the fallback's.
+    pub(crate) fn stage_header(&mut self, header: DatasetHeader) -> io::Result<()> {
+        if self.header_written {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "header already written",
+            ));
+        }
+        self.header = Some(header);
+        Ok(())
+    }
+
+    /// True when nothing — not even the header — has reached the sink.
+    pub(crate) fn untouched(&self) -> bool {
+        !self.header_written && self.next == 0
+    }
+
+    fn write_header_if_needed(&mut self) -> io::Result<u64> {
+        if self.header_written {
+            return Ok(0);
+        }
+        let header = self
+            .header
+            .take()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no header staged"))?;
+        self.sink.begin(&header)?;
+        self.header_written = true;
+        Ok(0)
+    }
+
+    /// One sink write with bounded transient retry. The transient
+    /// contract is `ErrorKind::Interrupted` ⇒ no bytes were written, so
+    /// a retry cannot duplicate output.
+    fn write_with_retry(&mut self, rec: &TrajectoryRecord, retries: &mut u64) -> io::Result<()> {
+        let mut attempt = 0u32;
+        loop {
+            match self.sink.write(rec) {
+                Ok(()) => return Ok(()),
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted
+                        && attempt < self.transient_retry_limit =>
+                {
+                    *retries += 1;
+                    std::thread::sleep(Duration::from_micros(50 << attempt.min(6)));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Park `records` as chunk `idx`, then drain every in-order chunk to
-    /// the sink. Returns `(records, shots)` written by this call.
+    /// the sink. Duplicate deliveries of an already-pushed index are
+    /// dropped (see the exactly-once note on the type).
     pub(crate) fn push(
         &mut self,
         idx: usize,
         records: Vec<TrajectoryRecord>,
-    ) -> io::Result<(u64, u64)> {
+    ) -> io::Result<PushOutcome> {
+        if idx < self.next || self.pending.contains_key(&idx) {
+            return Ok(PushOutcome {
+                duplicate: true,
+                ..PushOutcome::default()
+            });
+        }
         self.pending.insert(idx, records);
-        let mut wrote_records = 0u64;
-        let mut wrote_shots = 0u64;
+        let mut out = PushOutcome::default();
         while let Some(batch) = self.pending.remove(&self.next) {
+            self.write_header_if_needed()?;
             for rec in &batch {
-                wrote_shots += rec.shots.len() as u64;
-                self.sink.write(rec)?;
+                self.write_with_retry(rec, &mut out.write_retries)?;
+                out.shots += rec.shots.len() as u64;
             }
-            wrote_records += batch.len() as u64;
+            out.records += batch.len() as u64;
             self.next += 1;
         }
-        Ok((wrote_records, wrote_shots))
+        Ok(out)
     }
 
+    /// Finalize the sink (idempotent): flush the header if nothing was
+    /// ever committed, then `finish` the sink exactly once.
     pub(crate) fn finish(&mut self) -> io::Result<()> {
-        self.sink.finish()
+        if self.finished {
+            return Ok(());
+        }
+        self.write_header_if_needed()?;
+        self.sink.finish()?;
+        self.finished = true;
+        Ok(())
     }
 }
 
@@ -268,11 +406,19 @@ pub(crate) struct JobInner<T: Scalar> {
     pub(crate) spec: JobSpec,
     pub(crate) status: AtomicU8,
     pub(crate) cancelled: AtomicBool,
-    pub(crate) route: OnceLock<RouteDecision>,
-    pub(crate) exec: OnceLock<EngineExec<T>>,
+    pub(crate) route: Mutex<Option<RouteDecision>>,
+    pub(crate) exec: Mutex<Option<Arc<EngineExec<T>>>>,
     pub(crate) emitter: Mutex<Emitter>,
     pub(crate) chunks_total: AtomicUsize,
     pub(crate) chunks_done: AtomicUsize,
+    /// Per-chunk accounting bitmap: a chunk index contributes to
+    /// `chunks_done` exactly once even when worker death re-queues a
+    /// chunk that already completed (the exactly-once counterpart of
+    /// the emitter's delivery dedupe).
+    pub(crate) chunk_accounted: Mutex<Vec<bool>>,
+    /// Engine degradation is single-shot: a job re-routes to its dense
+    /// fallback at most once.
+    pub(crate) degraded: AtomicBool,
     pub(crate) records_emitted: AtomicU64,
     pub(crate) shots_emitted: AtomicU64,
     pub(crate) error: Mutex<Option<String>>,
@@ -288,11 +434,13 @@ impl<T: Scalar> JobInner<T> {
             spec,
             status: AtomicU8::new(JobStatus::Queued.to_u8()),
             cancelled: AtomicBool::new(false),
-            route: OnceLock::new(),
-            exec: OnceLock::new(),
+            route: Mutex::new(None),
+            exec: Mutex::new(None),
             emitter: Mutex::new(Emitter::new(sink)),
             chunks_total: AtomicUsize::new(0),
             chunks_done: AtomicUsize::new(0),
+            chunk_accounted: Mutex::new(Vec::new()),
+            degraded: AtomicBool::new(false),
             records_emitted: AtomicU64::new(0),
             shots_emitted: AtomicU64::new(0),
             error: Mutex::new(None),
@@ -306,38 +454,94 @@ impl<T: Scalar> JobInner<T> {
         JobStatus::from_u8(self.status.load(Ordering::Acquire))
     }
 
-    pub(crate) fn set_status(&self, s: JobStatus) {
-        self.status.store(s.to_u8(), Ordering::Release);
+    /// Move to a non-terminal state (Queued → Running). Never overwrites
+    /// a terminal state.
+    pub(crate) fn set_running(&self) {
+        let _ = self.status.compare_exchange(
+            JobStatus::Queued.to_u8(),
+            JobStatus::Running.to_u8(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
     }
 
-    pub(crate) fn fail(&self, msg: String) {
-        let mut err = self.error.lock().unwrap();
-        if err.is_none() {
-            *err = Some(msg);
+    /// Atomically move to terminal state `s`; returns `false` (leaving
+    /// the existing state untouched) if the job is already terminal.
+    /// This is the fix for the cancellation/failure race: a chunk that
+    /// observes `cancelled` after another worker recorded a sink
+    /// failure must not overwrite `Failed` with `Cancelled` (or vice
+    /// versa) — first terminal transition wins, always.
+    pub(crate) fn transition_terminal(&self, s: JobStatus) -> bool {
+        debug_assert!(s.is_terminal());
+        let mut cur = self.status.load(Ordering::Acquire);
+        loop {
+            if JobStatus::from_u8(cur).is_terminal() {
+                return false;
+            }
+            match self.status.compare_exchange_weak(
+                cur,
+                s.to_u8(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => cur = observed,
+            }
         }
-        drop(err);
-        self.set_status(JobStatus::Failed);
+    }
+
+    /// Record `msg` (first error wins) and transition to `Failed`.
+    /// Returns `false` when the job was already terminal (the message is
+    /// still recorded if no earlier error was).
+    pub(crate) fn fail(&self, msg: String) -> bool {
+        {
+            let mut err = self.error.lock().unwrap_or_else(|e| e.into_inner());
+            if err.is_none() {
+                *err = Some(msg);
+            }
+        }
+        self.transition_terminal(JobStatus::Failed)
+    }
+
+    /// True once the job's deadline (if any) has expired.
+    pub(crate) fn deadline_exceeded(&self) -> bool {
+        self.spec
+            .deadline
+            .is_some_and(|d| self.submitted_at.elapsed() > d)
+    }
+
+    /// The job-scoped emitter lock as a typed error instead of a panic:
+    /// a poisoned emitter means a panic tore through a sink write, so
+    /// the sink's state is unknowable — the job must fail, but the
+    /// worker (and every other job) must survive.
+    pub(crate) fn emitter(&self) -> Result<MutexGuard<'_, Emitter>, ServiceError> {
+        self.emitter.lock().map_err(|_| {
+            ServiceError::Internal(format!(
+                "job {}: emitter lock poisoned (a panic interrupted a sink write)",
+                self.id
+            ))
+        })
     }
 
     pub(crate) fn report(&self) -> JobReport {
         let wall = self
             .wall
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .unwrap_or_else(|| self.submitted_at.elapsed());
+        let route = self.route.lock().unwrap_or_else(|e| e.into_inner());
         JobReport {
             job_id: self.id,
             status: self.status(),
-            engine: self.route.get().map(|r| r.engine),
-            route_reason: self
-                .route
-                .get()
+            engine: route.as_ref().map(|r| r.engine),
+            route_reason: route
+                .as_ref()
                 .map(|r| r.reason.to_string())
                 .unwrap_or_default(),
             records: self.records_emitted.load(Ordering::Relaxed),
             shots: self.shots_emitted.load(Ordering::Relaxed),
             wall,
-            error: self.error.lock().unwrap().clone(),
+            error: self.error.lock().unwrap_or_else(|e| e.into_inner()).clone(),
         }
     }
 }
@@ -367,9 +571,15 @@ impl<T: Scalar> JobHandle<T> {
         self.inner.status()
     }
 
-    /// The routing decision, once made.
+    /// The routing decision, once made. After engine degradation this
+    /// is the *fallback* decision (its reason records the failed
+    /// engine).
     pub fn route(&self) -> Option<RouteDecision> {
-        self.inner.route.get().cloned()
+        self.inner
+            .route
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Shots delivered to the sink so far.
@@ -388,9 +598,9 @@ impl<T: Scalar> JobHandle<T> {
     /// report.
     pub fn wait(&self) -> JobReport {
         let (lock, cv) = &self.inner.done;
-        let mut done = lock.lock().unwrap();
+        let mut done = lock.lock().unwrap_or_else(|e| e.into_inner());
         while !*done {
-            done = cv.wait(done).unwrap();
+            done = cv.wait(done).unwrap_or_else(|e| e.into_inner());
         }
         drop(done);
         self.inner.report()

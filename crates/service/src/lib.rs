@@ -57,14 +57,23 @@
 //! assert_eq!(store.lock().unwrap().records.len(), report.records as usize);
 //! ```
 
+//!
+//! The service layer is fault tolerant: deterministic fault injection
+//! ([`fault::FaultConfig`], `PTSBE_FAULTS`), chunk retry with capped
+//! backoff, per-job deadlines ([`JobStatus::TimedOut`]), worker
+//! supervision with respawn, and single-shot engine degradation — all
+//! output-neutral for a fixed seed (see [`service`]'s module docs).
+
 pub mod cache;
+pub mod fault;
 pub mod job;
 pub mod metrics;
 pub mod router;
 pub mod service;
 
 pub use cache::{CacheStats, CircuitTraits, CompileCache};
+pub use fault::{FaultConfig, InjectedFault};
 pub use job::{JobHandle, JobReport, JobSpec, JobStatus, ServiceError};
 pub use metrics::MetricsSnapshot;
 pub use router::{BatchGeometry, EngineKind, EnginePolicy, RouteDecision, RouteReason};
-pub use service::{ServiceConfig, ShotService};
+pub use service::{RetryPolicy, ServiceConfig, ShotService};

@@ -28,6 +28,19 @@ pub(crate) struct ServiceMetrics {
     pub(crate) peak_trunc_error_bits: AtomicU64,
     /// Largest bond dimension any delivered MPS trajectory reached.
     pub(crate) peak_bond_reached: AtomicUsize,
+    /// Jobs that reached the `TimedOut` terminal state.
+    pub(crate) jobs_timed_out: AtomicU64,
+    /// Chunk executions retried after a recoverable failure.
+    pub(crate) chunk_retries: AtomicU64,
+    /// Chunks abandoned at a deadline boundary (their job timed out).
+    pub(crate) chunks_timed_out: AtomicU64,
+    /// Worker threads respawned by the supervisor after a worker died.
+    pub(crate) workers_respawned: AtomicU64,
+    /// Jobs re-routed to their dense fallback engine after a fatal
+    /// engine failure (graceful degradation).
+    pub(crate) engine_fallbacks: AtomicU64,
+    /// Transient sink-write failures absorbed by the emitter's retry.
+    pub(crate) sink_write_retries: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -46,6 +59,12 @@ impl ServiceMetrics {
             mps_budget_refusals: AtomicU64::new(0),
             peak_trunc_error_bits: AtomicU64::new(0),
             peak_bond_reached: AtomicUsize::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            chunk_retries: AtomicU64::new(0),
+            chunks_timed_out: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            engine_fallbacks: AtomicU64::new(0),
+            sink_write_retries: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +125,20 @@ pub struct MetricsSnapshot {
     pub peak_trunc_error: f64,
     /// Largest bond dimension any delivered MPS trajectory reached.
     pub peak_bond_reached: usize,
+    /// Jobs that terminated `TimedOut` (deadline expired).
+    pub jobs_timed_out: u64,
+    /// Chunk executions retried after a recoverable failure (injected or
+    /// real panic, transient error). Retries are output-neutral: a
+    /// retried chunk re-executes bitwise identically.
+    pub chunk_retries: u64,
+    /// Chunks abandoned at a deadline boundary.
+    pub chunks_timed_out: u64,
+    /// Worker threads respawned by the supervisor.
+    pub workers_respawned: u64,
+    /// Jobs that gracefully degraded to their dense fallback engine.
+    pub engine_fallbacks: u64,
+    /// Transient sink-write failures absorbed by bounded retry.
+    pub sink_write_retries: u64,
     /// Compile/plan cache counters.
     pub cache: CacheStats,
     /// Service uptime in seconds.
@@ -142,6 +175,12 @@ impl MetricsSnapshot {
             mps_budget_refusals: load(&m.mps_budget_refusals),
             peak_trunc_error: f64::from_bits(m.peak_trunc_error_bits.load(Ordering::Relaxed)),
             peak_bond_reached: m.peak_bond_reached.load(Ordering::Relaxed),
+            jobs_timed_out: load(&m.jobs_timed_out),
+            chunk_retries: load(&m.chunk_retries),
+            chunks_timed_out: load(&m.chunks_timed_out),
+            workers_respawned: load(&m.workers_respawned),
+            engine_fallbacks: load(&m.engine_fallbacks),
+            sink_write_retries: load(&m.sink_write_retries),
             cache,
             uptime_secs: m.started_at.elapsed().as_secs_f64(),
         }

@@ -107,6 +107,13 @@ pub enum RouteReason {
         /// The budget it exceeded.
         budget: f64,
     },
+    /// The originally routed engine failed fatally at runtime (retry
+    /// budget exhausted before any output was committed), and the job
+    /// gracefully degraded to a dense fallback.
+    EngineFallback {
+        /// The engine that failed.
+        from: EngineKind,
+    },
 }
 
 impl std::fmt::Display for RouteReason {
@@ -145,6 +152,13 @@ impl std::fmt::Display for RouteReason {
                     f,
                     "mps probe truncation {trunc_error:.3e} exceeds budget {budget:.3e}; \
                      re-routed to a dense engine"
+                )
+            }
+            RouteReason::EngineFallback { from } => {
+                write!(
+                    f,
+                    "engine {} failed fatally at runtime; degraded to a dense fallback",
+                    from.label()
                 )
             }
         }
@@ -467,6 +481,37 @@ fn route_dense<T: Scalar>(
             exec,
         ))
     }
+}
+
+/// Graceful degradation: re-route a job whose engine failed fatally at
+/// runtime onto a dense fallback. Only meaningful before any output was
+/// committed (the caller checks), and only when a dense statevector
+/// fits the register.
+///
+/// # Errors
+/// A human-readable reason when no dense fallback is feasible.
+pub(crate) fn degrade_route<T: Scalar>(
+    cache: &CompileCache<T>,
+    cfg: &ServiceConfig,
+    spec: &JobSpec,
+    circuit_hash: u64,
+    from: EngineKind,
+) -> Result<(RouteDecision, EngineExec<T>), String> {
+    let n_qubits = spec.circuit.n_qubits();
+    if n_qubits > DENSE_FEASIBLE_MAX_QUBITS {
+        return Err(format!(
+            "engine {} failed fatally and {n_qubits} qubits is too wide for a dense fallback",
+            from.label()
+        ));
+    }
+    route_dense(
+        cache,
+        cfg,
+        spec,
+        circuit_hash,
+        RouteReason::EngineFallback { from },
+        None,
+    )
 }
 
 fn build_engine<T: Scalar>(

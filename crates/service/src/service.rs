@@ -1,9 +1,10 @@
-//! The shot service: worker pool, admission queue, chunk scheduler.
+//! The shot service: worker pool, admission queue, chunk scheduler,
+//! and the fault-tolerance layer around them.
 //!
 //! # Execution model
 //!
 //! A submitted job first becomes one *plan task*: compile-or-hit the
-//! cache, route an engine, write the dataset header, and split the work
+//! cache, route an engine, stage the dataset header, and split the work
 //! into chunks. Chunks then become independent queue tasks any worker
 //! may claim; a per-job reorder buffer ([`crate::job::Emitter`]) commits
 //! finished chunks to the sink in chunk order. Chunk geometry is a pure
@@ -11,6 +12,38 @@
 //! every chunk keys its Philox streams by absolute plan/chunk index, so
 //! the delivered bytes are invariant under scheduling — the property the
 //! determinism suite pins across worker counts {1, 4, 8}.
+//!
+//! # Fault tolerance
+//!
+//! Because chunks are pure functions of (spec, chunk index) and the
+//! emitter delivers exactly-once, every recovery action below is
+//! output-neutral — a faulted run of a valid job produces dataset bytes
+//! identical to the fault-free run:
+//!
+//! - **Chunk retry.** A panicking chunk attempt is retried in place
+//!   with capped exponential backoff ([`RetryPolicy`]); the retry
+//!   re-executes bitwise identically.
+//! - **Worker supervision.** A supervisor thread detects worker-thread
+//!   death (a panic escaping the chunk's `catch_unwind`), requeues the
+//!   task the dead worker held, and respawns the worker. A chunk that
+//!   was already delivered before its worker died is deduplicated by
+//!   the emitter and the per-job accounting bitmap.
+//! - **Engine degradation.** A chunk that exhausts its retry budget on
+//!   the MPS engine re-routes the job once to a dense fallback
+//!   (recorded as [`RouteReason::EngineFallback`](crate::router::RouteReason)),
+//!   provided nothing reached the sink yet — guaranteed for MPS jobs,
+//!   which run as a single chunk behind a lazily-written header.
+//! - **Deadlines.** [`crate::JobSpec::deadline`] is enforced
+//!   cooperatively at chunk boundaries; an expired job transitions
+//!   [`JobStatus::TimedOut`] within one chunk of the expiry and its
+//!   sink holds a valid plan-order prefix.
+//! - **Transient sink writes** are retried inside the emitter (see
+//!   [`crate::job::Emitter`]).
+//!
+//! All of it is exercised deterministically by the fault-injection
+//! harness ([`crate::fault::FaultConfig`]), enabled per service via
+//! [`ServiceConfig::faults`] or globally via the `PTSBE_FAULTS`
+//! environment presets.
 //!
 //! # Backpressure
 //!
@@ -25,12 +58,16 @@
 //! [`crate::JobHandle::cancel`] flips a per-job flag. Workers check it
 //! before planning and before every chunk; unexecuted chunks drain as
 //! no-ops, already-written records remain (a valid plan-order prefix),
-//! and the job terminates `Cancelled`.
+//! and the job terminates `Cancelled`. Terminal states are settled by a
+//! compare-and-swap — the first terminal transition wins — so the
+//! cancel/fail race cannot overwrite a `Failed` verdict or finalize a
+//! sink twice.
 
 use crate::cache::CompileCache;
+use crate::fault::{FaultConfig, FaultSink, InjectedFault};
 use crate::job::{ChunkSpec, JobHandle, JobInner, JobSpec, JobStatus, ServiceError};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::router::{route_job, EngineExec, EngineKind};
+use crate::router::{degrade_route, route_job, EngineExec, EngineKind, RouteDecision};
 use ptsbe_core::{BatchConfig, BatchMajorExecutor, BatchResult, BatchedExecutor, TreeExecutor};
 use ptsbe_dataset::record::records_from_batch;
 use ptsbe_dataset::{DatasetHeader, RecordSink, TrajectoryRecord};
@@ -39,11 +76,58 @@ use ptsbe_rng::PhiloxRng;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+use std::time::Duration;
+
+/// Lock with poison healing: service-global locks (queue, admission,
+/// worker table, in-flight registry) guard state that is consistent at
+/// every await point, so a panic between acquire and release cannot
+/// leave them torn — healing is safe and keeps one panicking worker
+/// from wedging the whole service. Job-*scoped* state with real
+/// mid-operation invariants (the emitter) is NOT healed; it surfaces a
+/// typed [`ServiceError::Internal`] instead (see
+/// [`crate::job::JobInner::emitter`]).
+fn lock_healed<X>(m: &Mutex<X>) -> MutexGuard<'_, X> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Chunk-retry policy: how many times a failed chunk attempt is retried
+/// in place, and the capped exponential backoff between attempts.
+/// Retries are output-neutral (chunks are pure functions of the spec),
+/// so none of these knobs can influence dataset bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` disables retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based), exponential with
+    /// a cap.
+    pub(crate) fn backoff(&self, retry: u32) -> Duration {
+        self.backoff_cap
+            .min(self.backoff_base.saturating_mul(1u32 << retry.min(16)))
+    }
+}
 
 /// Service tuning knobs. Every field that can influence job *output* is
-/// deliberately absent — outputs depend only on job specs.
+/// deliberately absent — outputs depend only on job specs (fault
+/// injection and retry included: recovery is byte-neutral).
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads (`0` = available parallelism).
@@ -71,6 +155,14 @@ pub struct ServiceConfig {
     /// evicted; output-neutral by the same argument as cache warmth —
     /// an evicted artifact is simply recompiled on next use.
     pub cache_budget_bytes: Option<usize>,
+    /// Chunk-retry policy (output-neutral).
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection. `None` defers to the
+    /// `PTSBE_FAULTS` environment presets (so the CI fault matrix can
+    /// blanket a whole test suite); an explicit `Some` always wins, and
+    /// `Some(FaultConfig::default())` pins faults *off* regardless of
+    /// the environment.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -83,6 +175,8 @@ impl Default for ServiceConfig {
             executor_parallel: false,
             batch: BatchConfig::default(),
             cache_budget_bytes: None,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -93,7 +187,30 @@ enum Task<T: Scalar> {
         job: Arc<JobInner<T>>,
         index: usize,
         chunk: ChunkSpec,
+        /// Execution-attempt ordinal (preserved across a worker death so
+        /// requeued chunks advance through the fault plan instead of
+        /// deterministically re-dying forever).
+        attempt: u32,
     },
+}
+
+impl<T: Scalar> Clone for Task<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Task::Plan(job) => Task::Plan(Arc::clone(job)),
+            Task::Chunk {
+                job,
+                index,
+                chunk,
+                attempt,
+            } => Task::Chunk {
+                job: Arc::clone(job),
+                index: *index,
+                chunk: chunk.clone(),
+                attempt: *attempt,
+            },
+        }
+    }
 }
 
 struct Shared<T: Scalar> {
@@ -106,26 +223,40 @@ struct Shared<T: Scalar> {
     admit_cv: Condvar,
     metrics: ServiceMetrics,
     shutdown: AtomicBool,
+    /// Resolved fault plan (config override, else `PTSBE_FAULTS`).
+    faults: Option<FaultConfig>,
+    /// One slot per worker: the task that worker currently holds. The
+    /// supervisor requeues a dead worker's slot so no claimed task is
+    /// ever lost.
+    in_flight: Mutex<Vec<Option<Task<T>>>>,
 }
+
+type WorkerTable = Arc<Mutex<Vec<Option<thread::JoinHandle<()>>>>>;
 
 /// The long-running data-collection service (see the crate docs for the
 /// architecture). Dropping the service drains the queue gracefully:
 /// every admitted job reaches a terminal state before workers exit.
 pub struct ShotService<T: Scalar = f64> {
     shared: Arc<Shared<T>>,
-    workers: Vec<thread::JoinHandle<()>>,
+    workers: WorkerTable,
+    supervisor: Option<thread::JoinHandle<()>>,
+    n_workers: usize,
     next_id: AtomicU64,
 }
 
 impl<T: Scalar> ShotService<T> {
-    /// Start the worker pool.
+    /// Start the worker pool (plus its supervisor thread).
     pub fn start(cfg: ServiceConfig) -> Self {
         assert!(cfg.queue_capacity >= 1, "queue capacity must be at least 1");
-        let workers = if cfg.workers == 0 {
+        let n_workers = if cfg.workers == 0 {
             thread::available_parallelism().map_or(4, |n| n.get())
         } else {
             cfg.workers
         };
+        let faults = cfg.faults.clone().or_else(FaultConfig::from_env);
+        if faults.as_ref().is_some_and(FaultConfig::active) {
+            crate::fault::silence_injected_panics();
+        }
         let shared = Arc::new(Shared {
             cache: CompileCache::with_budget(cfg.cache_budget_bytes),
             cfg,
@@ -135,19 +266,27 @@ impl<T: Scalar> ShotService<T> {
             admit_cv: Condvar::new(),
             metrics: ServiceMetrics::new(),
             shutdown: AtomicBool::new(false),
+            faults,
+            in_flight: Mutex::new((0..n_workers).map(|_| None).collect()),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("ptsbe-svc-{i}"))
-                    .spawn(move || worker_loop(shared))
-                    .expect("spawn service worker")
-            })
-            .collect();
+        let workers: WorkerTable = Arc::new(Mutex::new(
+            (0..n_workers)
+                .map(|slot| Some(spawn_worker(&shared, slot)))
+                .collect(),
+        ));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let table = Arc::clone(&workers);
+            thread::Builder::new()
+                .name("ptsbe-svc-supervisor".into())
+                .spawn(move || supervisor_loop(shared, table))
+                .expect("spawn service supervisor")
+        };
         Self {
             shared,
-            workers: handles,
+            workers,
+            supervisor: Some(supervisor),
+            n_workers,
             next_id: AtomicU64::new(1),
         }
     }
@@ -189,12 +328,16 @@ impl<T: Scalar> ShotService<T> {
             return Err(ServiceError::ShuttingDown);
         }
         {
-            let mut active = self.shared.active.lock().unwrap();
+            let mut active = lock_healed(&self.shared.active);
             while *active >= self.shared.cfg.queue_capacity {
                 if !block {
                     return Err(ServiceError::Saturated);
                 }
-                active = self.shared.admit_cv.wait(active).unwrap();
+                active = self
+                    .shared
+                    .admit_cv
+                    .wait(active)
+                    .unwrap_or_else(|e| e.into_inner());
                 if self.shared.shutdown.load(Ordering::Acquire) {
                     return Err(ServiceError::ShuttingDown);
                 }
@@ -202,16 +345,21 @@ impl<T: Scalar> ShotService<T> {
             *active += 1;
             self.shared.metrics.note_active(*active);
         }
+        // Sink-flake faults wrap the sink here, once, so every write the
+        // emitter performs for this job passes through the flake plan.
+        let sink = match &self.shared.faults {
+            Some(f) if f.sink_flake > 0.0 => {
+                Box::new(FaultSink::new(sink, f.clone(), spec.seed)) as Box<dyn RecordSink>
+            }
+            _ => sink,
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(JobInner::new(id, spec, sink));
         self.shared
             .metrics
             .jobs_submitted
             .fetch_add(1, Ordering::Relaxed);
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            q.push_back(Task::Plan(Arc::clone(&job)));
-        }
+        lock_healed(&self.shared.queue).push_back(Task::Plan(Arc::clone(&job)));
         self.shared.queue_cv.notify_one();
         Ok(JobHandle { inner: job })
     }
@@ -226,9 +374,10 @@ impl<T: Scalar> ShotService<T> {
         MetricsSnapshot::from_counters(&self.shared.metrics, self.shared.cache.stats())
     }
 
-    /// Worker count actually running.
+    /// Worker count the pool maintains (the supervisor respawns dead
+    /// workers, so this is stable even under worker-kill faults).
     pub fn n_workers(&self) -> usize {
-        self.workers.len()
+        self.n_workers
     }
 }
 
@@ -237,7 +386,15 @@ impl<T: Scalar> Drop for ShotService<T> {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
         self.shared.admit_cv.notify_all();
-        for h in self.workers.drain(..) {
+        // Supervisor first: after it exits, the worker table is stable.
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        let handles: Vec<_> = lock_healed(&self.workers)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -270,10 +427,49 @@ fn validate(spec: &JobSpec) -> Result<(), ServiceError> {
 // ---------------------------------------------------------------------------
 // Worker side.
 
-fn worker_loop<T: Scalar>(shared: Arc<Shared<T>>) {
+fn spawn_worker<T: Scalar>(shared: &Arc<Shared<T>>, slot: usize) -> thread::JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    thread::Builder::new()
+        .name(format!("ptsbe-svc-{slot}"))
+        .spawn(move || worker_loop(shared, slot))
+        .expect("spawn service worker")
+}
+
+/// Detect dead workers (a panic that escaped the chunk's
+/// `catch_unwind`), requeue whatever task they held, and respawn them —
+/// no claimed task is ever lost to a worker death.
+fn supervisor_loop<T: Scalar>(shared: Arc<Shared<T>>, table: WorkerTable) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        thread::sleep(Duration::from_millis(2));
+        let dead: Vec<(usize, thread::JoinHandle<()>)> = {
+            let mut t = lock_healed(&table);
+            let mut dead = Vec::new();
+            for (slot, h) in t.iter_mut().enumerate() {
+                if h.as_ref().is_some_and(thread::JoinHandle::is_finished) {
+                    dead.push((slot, h.take().expect("checked some")));
+                }
+            }
+            dead
+        };
+        for (slot, h) in dead {
+            let _ = h.join(); // reap (and discard) the panic payload
+            if let Some(task) = lock_healed(&shared.in_flight)[slot].take() {
+                lock_healed(&shared.queue).push_back(task);
+                shared.queue_cv.notify_one();
+            }
+            lock_healed(&table)[slot] = Some(spawn_worker(&shared, slot));
+            shared
+                .metrics
+                .workers_respawned
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop<T: Scalar>(shared: Arc<Shared<T>>, slot: usize) {
     loop {
         let task = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock_healed(&shared.queue);
             loop {
                 if let Some(t) = q.pop_front() {
                     break Some(t);
@@ -281,26 +477,75 @@ fn worker_loop<T: Scalar>(shared: Arc<Shared<T>>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                q = shared.queue_cv.wait(q).unwrap();
+                q = shared.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        match task {
-            None => return,
-            Some(Task::Plan(job)) => plan_job(&shared, job),
-            Some(Task::Chunk { job, index, chunk }) => run_chunk(&shared, job, index, chunk),
+        let Some(task) = task else { return };
+        // Register the claim so the supervisor can requeue it if this
+        // thread dies before clearing the slot.
+        lock_healed(&shared.in_flight)[slot] = Some(task.clone());
+        if let (
+            Some(f),
+            Task::Chunk {
+                job,
+                index,
+                attempt,
+                ..
+            },
+        ) = (&shared.faults, &task)
+        {
+            if f.kill_worker(job.spec.seed, *index as u64, *attempt) {
+                // Bump the in-flight attempt first, so the requeued task
+                // advances through the fault plan instead of re-dying on
+                // the same decision forever.
+                if let Some(Task::Chunk { attempt, .. }) =
+                    lock_healed(&shared.in_flight)[slot].as_mut()
+                {
+                    *attempt += 1;
+                }
+                // A panic *outside* run_chunk's catch_unwind: this
+                // worker thread dies here; the supervisor requeues the
+                // bumped task and respawns the worker.
+                crate::fault::raise("worker-kill");
+            }
         }
+        match task {
+            Task::Plan(job) => plan_job(&shared, job),
+            Task::Chunk {
+                job,
+                index,
+                chunk,
+                attempt,
+            } => run_chunk(&shared, job, index, chunk, attempt),
+        }
+        lock_healed(&shared.in_flight)[slot] = None;
     }
 }
 
-/// Compile (through the cache), route, emit the header, split into
+fn make_header<T: Scalar>(spec: &JobSpec, engine: EngineKind, n_measured: usize) -> DatasetHeader {
+    DatasetHeader {
+        workload: spec.name.clone(),
+        n_qubits: spec.circuit.n_qubits(),
+        n_measured,
+        backend: format!("{}-f{}", engine.label(), 8 * std::mem::size_of::<T>()),
+        seed: spec.seed,
+    }
+}
+
+/// Compile (through the cache), route, stage the header, split into
 /// chunks, and enqueue them.
 fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
     if job.cancelled.load(Ordering::Acquire) {
-        job.set_status(JobStatus::Cancelled);
+        job.transition_terminal(JobStatus::Cancelled);
         finalize(shared, &job);
         return;
     }
-    job.set_status(JobStatus::Running);
+    if job.deadline_exceeded() {
+        job.transition_terminal(JobStatus::TimedOut);
+        finalize(shared, &job);
+        return;
+    }
+    job.set_running();
     let planned = catch_unwind(AssertUnwindSafe(|| {
         let circuit_hash = job.spec.circuit.content_hash();
         route_job(&shared.cache, &shared.cfg, &job.spec, circuit_hash)
@@ -337,42 +582,60 @@ fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
             .mps_probe_reroutes
             .fetch_add(1, Ordering::Relaxed);
     }
-    let header = DatasetHeader {
-        workload: job.spec.name.clone(),
-        n_qubits: job.spec.circuit.n_qubits(),
-        n_measured: exec.n_measured(),
-        backend: format!(
-            "{}-f{}",
-            decision.engine.label(),
-            8 * std::mem::size_of::<T>()
-        ),
-        seed: job.spec.seed,
-    };
+    let header = make_header::<T>(&job.spec, decision.engine, exec.n_measured());
     let chunks = split_chunks(&job.spec, &decision);
-    job.route.set(decision).ok();
-    job.exec.set(exec).ok();
-    if let Err(e) = job.emitter.lock().unwrap().begin(&header) {
-        job.fail(format!("sink begin failed: {e}"));
+    install_route(&job, decision, exec);
+    let staged = match job.emitter() {
+        Ok(mut em) => em
+            .stage_header(header)
+            .map_err(|e| format!("sink begin failed: {e}")),
+        Err(se) => Err(se.to_string()),
+    };
+    if let Err(msg) = staged {
+        job.fail(msg);
         finalize(shared, &job);
         return;
     }
     if chunks.is_empty() {
-        if let Err(e) = job.emitter.lock().unwrap().finish() {
-            job.fail(format!("sink finish failed: {e}"));
-        } else {
-            job.set_status(JobStatus::Done);
+        let finished = match job.emitter() {
+            Ok(mut em) => em.finish().map_err(|e| format!("sink finish failed: {e}")),
+            Err(se) => Err(se.to_string()),
+        };
+        match finished {
+            Ok(()) => {
+                job.transition_terminal(JobStatus::Done);
+            }
+            Err(msg) => {
+                job.fail(msg);
+            }
         }
         finalize(shared, &job);
         return;
     }
+    enqueue_chunks(shared, &job, chunks);
+}
+
+fn install_route<T: Scalar>(job: &Arc<JobInner<T>>, decision: RouteDecision, exec: EngineExec<T>) {
+    *lock_healed(&job.route) = Some(decision);
+    *lock_healed(&job.exec) = Some(Arc::new(exec));
+}
+
+fn enqueue_chunks<T: Scalar>(
+    shared: &Arc<Shared<T>>,
+    job: &Arc<JobInner<T>>,
+    chunks: Vec<ChunkSpec>,
+) {
+    *lock_healed(&job.chunk_accounted) = vec![false; chunks.len()];
+    job.chunks_done.store(0, Ordering::Release);
     job.chunks_total.store(chunks.len(), Ordering::Release);
     {
-        let mut q = shared.queue.lock().unwrap();
+        let mut q = lock_healed(&shared.queue);
         for (index, chunk) in chunks.into_iter().enumerate() {
             q.push_back(Task::Chunk {
-                job: Arc::clone(&job),
+                job: Arc::clone(job),
                 index,
                 chunk,
+                attempt: 0,
             });
         }
     }
@@ -435,59 +698,254 @@ fn split_chunks(spec: &JobSpec, decision: &crate::router::RouteDecision) -> Vec<
     }
 }
 
+fn panic_message(index: usize, payload: Box<dyn std::any::Any + Send>, attempts: u32) -> String {
+    let detail = if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        format!(" (injected fault: {})", f.0)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        format!(": {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!(": {s}")
+    } else {
+        String::new()
+    };
+    format!("chunk {index} panicked after {attempts} attempt(s){detail}")
+}
+
 fn run_chunk<T: Scalar>(
     shared: &Arc<Shared<T>>,
     job: Arc<JobInner<T>>,
     index: usize,
     chunk: ChunkSpec,
+    first_attempt: u32,
 ) {
-    let skip = job.cancelled.load(Ordering::Acquire) || job.status() == JobStatus::Failed;
-    if !skip {
-        let outcome = catch_unwind(AssertUnwindSafe(|| execute_chunk(shared, &job, &chunk)));
-        match outcome {
-            Ok(records) => {
-                for r in &records {
-                    if let Some(t) = &r.meta.truncation {
-                        shared.metrics.note_truncation(t);
+    let mut drain = job.cancelled.load(Ordering::Acquire) || job.status().is_terminal();
+    if !drain && job.deadline_exceeded() {
+        // Cooperative deadline enforcement: the first chunk boundary
+        // past the expiry flips the job to TimedOut; every later chunk
+        // sees the terminal state and drains as a no-op.
+        shared
+            .metrics
+            .chunks_timed_out
+            .fetch_add(1, Ordering::Relaxed);
+        job.transition_terminal(JobStatus::TimedOut);
+        drain = true;
+    }
+    if !drain {
+        let seed = job.spec.seed;
+        let retry = shared.cfg.retry;
+        // Injected fatal engine failure: structural (not a panic), so it
+        // skips the retry loop entirely and lands on the degradation
+        // path — exactly like a real engine blowing up at runtime.
+        let injected_fatal = shared.faults.as_ref().is_some_and(|f| {
+            f.mps_fatal_chunk(seed, index as u64)
+                && lock_healed(&job.route).as_ref().map(|r| r.engine) == Some(EngineKind::MpsTree)
+        });
+        let mut attempt = first_attempt;
+        let mut attempts_here = 0u32;
+        let outcome: Result<Vec<TrajectoryRecord>, String> = if injected_fatal {
+            Err("injected fatal engine failure".to_string())
+        } else {
+            loop {
+                if let Some(f) = &shared.faults {
+                    if let Some(d) = f.chunk_delay(seed, index as u64, attempt) {
+                        thread::sleep(d);
                     }
                 }
-                let pushed = job.emitter.lock().unwrap().push(index, records);
-                match pushed {
-                    Ok((recs, shots)) => {
-                        job.records_emitted.fetch_add(recs, Ordering::Relaxed);
-                        job.shots_emitted.fetch_add(shots, Ordering::Relaxed);
-                        shared
-                            .metrics
-                            .records_emitted
-                            .fetch_add(recs, Ordering::Relaxed);
-                        shared
-                            .metrics
-                            .shots_emitted
-                            .fetch_add(shots, Ordering::Relaxed);
+                attempts_here += 1;
+                let attempt_result = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(f) = &shared.faults {
+                        if f.panic_early(seed, index as u64, attempt) {
+                            crate::fault::raise("chunk-panic-early");
+                        }
                     }
-                    Err(e) => job.fail(format!("sink write failed: {e}")),
+                    let records = execute_chunk(shared, &job, &chunk)?;
+                    if let Some(f) = &shared.faults {
+                        // The partial panic: the chunk's records exist, but
+                        // the panic discards them before delivery — the
+                        // retry must rebuild them bitwise identically.
+                        if f.panic_late(seed, index as u64, attempt) {
+                            crate::fault::raise("chunk-panic-late");
+                        }
+                    }
+                    Ok(records)
+                }));
+                match attempt_result {
+                    Ok(Ok(records)) => break Ok(records),
+                    // Structural errors (engine/chunk mismatch) are not
+                    // transient; retrying cannot help.
+                    Ok(Err(msg)) => break Err(msg),
+                    Err(payload) => {
+                        if attempts_here <= retry.max_retries {
+                            shared.metrics.chunk_retries.fetch_add(1, Ordering::Relaxed);
+                            thread::sleep(retry.backoff(attempts_here - 1));
+                            attempt = attempt.saturating_add(1);
+                            continue;
+                        }
+                        break Err(panic_message(index, payload, attempts_here));
+                    }
                 }
             }
-            Err(_) => job.fail(format!("chunk {index} panicked")),
+        };
+        match outcome {
+            Ok(records) => deliver(shared, &job, index, records),
+            Err(msg) => {
+                if try_degrade(shared, &job) {
+                    // The job was re-planned onto a fallback engine and
+                    // fresh chunks were queued; this chunk is
+                    // superseded — no accounting against the new plan.
+                    return;
+                }
+                job.fail(msg);
+            }
         }
+    }
+    account_chunk(shared, &job, index);
+}
+
+/// Push a finished chunk through the reorder buffer and fold the
+/// delivery into job + service counters.
+fn deliver<T: Scalar>(
+    shared: &Arc<Shared<T>>,
+    job: &Arc<JobInner<T>>,
+    index: usize,
+    records: Vec<TrajectoryRecord>,
+) {
+    for r in &records {
+        if let Some(t) = &r.meta.truncation {
+            shared.metrics.note_truncation(t);
+        }
+    }
+    let pushed = match job.emitter() {
+        Ok(mut em) => em
+            .push(index, records)
+            .map_err(|e| format!("sink write failed: {e}")),
+        Err(se) => Err(se.to_string()),
+    };
+    match pushed {
+        Ok(out) if out.duplicate => {
+            // Redundant re-execution of an already-delivered chunk (a
+            // worker died between delivery and accounting): nothing was
+            // written, nothing to count.
+        }
+        Ok(out) => {
+            job.records_emitted
+                .fetch_add(out.records, Ordering::Relaxed);
+            job.shots_emitted.fetch_add(out.shots, Ordering::Relaxed);
+            shared
+                .metrics
+                .records_emitted
+                .fetch_add(out.records, Ordering::Relaxed);
+            shared
+                .metrics
+                .shots_emitted
+                .fetch_add(out.shots, Ordering::Relaxed);
+            if out.write_retries > 0 {
+                shared
+                    .metrics
+                    .sink_write_retries
+                    .fetch_add(out.write_retries, Ordering::Relaxed);
+            }
+        }
+        Err(msg) => {
+            job.fail(msg);
+        }
+    }
+}
+
+/// Graceful engine degradation: when a chunk exhausts its retry budget
+/// on the MPS engine *before anything reached the sink*, re-plan the
+/// job once onto a dense fallback (the route records the failed
+/// engine). MPS jobs run as a single `Whole` chunk behind a lazy
+/// header, so the untouched-sink precondition holds exactly when this
+/// path is reachable.
+fn try_degrade<T: Scalar>(shared: &Arc<Shared<T>>, job: &Arc<JobInner<T>>) -> bool {
+    let from = match lock_healed(&job.route).as_ref().map(|r| r.engine) {
+        Some(EngineKind::MpsTree) => EngineKind::MpsTree,
+        _ => return false,
+    };
+    if job.degraded.swap(true, Ordering::AcqRel) {
+        return false; // single-shot: the fallback gets no fallback
+    }
+    match job.emitter() {
+        Ok(em) if em.untouched() => {}
+        _ => return false,
+    }
+    let planned = catch_unwind(AssertUnwindSafe(|| {
+        let circuit_hash = job.spec.circuit.content_hash();
+        degrade_route(&shared.cache, &shared.cfg, &job.spec, circuit_hash, from)
+    }));
+    let (decision, exec) = match planned {
+        Ok(Ok(pair)) => pair,
+        _ => return false,
+    };
+    let header = make_header::<T>(&job.spec, decision.engine, exec.n_measured());
+    let chunks = split_chunks(&job.spec, &decision);
+    if chunks.is_empty() {
+        return false;
+    }
+    shared
+        .metrics
+        .engine_fallbacks
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.engine_jobs[decision.engine.index()].fetch_add(1, Ordering::Relaxed);
+    install_route(job, decision, exec);
+    match job.emitter() {
+        Ok(mut em) => {
+            if em.stage_header(header).is_err() {
+                return false;
+            }
+        }
+        Err(_) => return false,
+    }
+    enqueue_chunks(shared, job, chunks);
+    true
+}
+
+/// Exactly-once chunk accounting and end-of-job settlement. The bitmap
+/// makes redundant re-executions (worker died between delivery and slot
+/// clear) count once; the terminal settlement CASes the status — first
+/// terminal transition wins — and relies on the emitter's idempotent
+/// finish, so the cancel/fail race can neither overwrite a `Failed`
+/// verdict nor double-finalize the sink.
+fn account_chunk<T: Scalar>(shared: &Arc<Shared<T>>, job: &Arc<JobInner<T>>, index: usize) {
+    {
+        let mut acc = lock_healed(&job.chunk_accounted);
+        if index >= acc.len() || acc[index] {
+            return;
+        }
+        acc[index] = true;
     }
     let done = job.chunks_done.fetch_add(1, Ordering::AcqRel) + 1;
-    if done == job.chunks_total.load(Ordering::Acquire) {
-        let status = job.status();
-        if job.cancelled.load(Ordering::Acquire) && status != JobStatus::Failed {
-            job.set_status(JobStatus::Cancelled);
-            // Flush what was delivered; a cancelled dataset is a valid
-            // prefix, so IO errors here do not reclassify the job.
-            let _ = job.emitter.lock().unwrap().finish();
-        } else if status == JobStatus::Failed {
-            let _ = job.emitter.lock().unwrap().finish();
-        } else if let Err(e) = job.emitter.lock().unwrap().finish() {
-            job.fail(format!("sink finish failed: {e}"));
-        } else {
-            job.set_status(JobStatus::Done);
-        }
-        finalize(shared, &job);
+    if done != job.chunks_total.load(Ordering::Acquire) {
+        return;
     }
+    if !job.status().is_terminal() {
+        if job.cancelled.load(Ordering::Acquire) {
+            job.transition_terminal(JobStatus::Cancelled);
+        } else {
+            let finished = match job.emitter() {
+                Ok(mut em) => em.finish().map_err(|e| format!("sink finish failed: {e}")),
+                Err(se) => Err(se.to_string()),
+            };
+            match finished {
+                Ok(()) => {
+                    job.transition_terminal(JobStatus::Done);
+                }
+                Err(msg) => {
+                    job.fail(msg);
+                }
+            }
+        }
+    }
+    if job.status() != JobStatus::Done {
+        // Flush what was delivered: a cancelled/failed/timed-out dataset
+        // is a valid plan-order prefix, so IO errors here do not
+        // reclassify the job (and finish is idempotent).
+        if let Ok(mut em) = job.emitter() {
+            let _ = em.finish();
+        }
+    }
+    finalize(shared, job);
 }
 
 /// Execute one chunk to records. Every stream key is absolute (plan
@@ -497,11 +955,13 @@ fn execute_chunk<T: Scalar>(
     shared: &Arc<Shared<T>>,
     job: &Arc<JobInner<T>>,
     chunk: &ChunkSpec,
-) -> Vec<TrajectoryRecord> {
+) -> Result<Vec<TrajectoryRecord>, String> {
     let spec = &job.spec;
-    let exec = job.exec.get().expect("engine set at plan time");
+    let exec = lock_healed(&job.exec)
+        .clone()
+        .ok_or_else(|| "internal: chunk scheduled before its engine was installed".to_string())?;
     let parallel = shared.cfg.executor_parallel;
-    match (exec, chunk) {
+    let records = match (exec.as_ref(), chunk) {
         (EngineExec::Frame(entry), ChunkSpec::Shots { stream, shots }) => {
             let mut rng = PhiloxRng::for_trajectory(spec.seed, *stream);
             let result = entry.sampler.sample(*shots, &mut rng);
@@ -562,8 +1022,11 @@ fn execute_chunk<T: Scalar>(
                 &entry.pool,
             ))
         }
-        _ => unreachable!("chunk shape does not match routed engine"),
-    }
+        _ => {
+            return Err("internal: chunk shape does not match the routed engine".to_string());
+        }
+    };
+    Ok(records)
 }
 
 fn to_records(batch: BatchResult) -> Vec<TrajectoryRecord> {
@@ -573,20 +1036,21 @@ fn to_records(batch: BatchResult) -> Vec<TrajectoryRecord> {
 /// Terminal bookkeeping shared by every exit path: metrics, the waiter
 /// handshake, and the admission slot release.
 fn finalize<T: Scalar>(shared: &Arc<Shared<T>>, job: &Arc<JobInner<T>>) {
-    *job.wall.lock().unwrap() = Some(job.submitted_at.elapsed());
+    *lock_healed(&job.wall) = Some(job.submitted_at.elapsed());
     let counter = match job.status() {
         JobStatus::Done => &shared.metrics.jobs_done,
         JobStatus::Cancelled => &shared.metrics.jobs_cancelled,
+        JobStatus::TimedOut => &shared.metrics.jobs_timed_out,
         _ => &shared.metrics.jobs_failed,
     };
     counter.fetch_add(1, Ordering::Relaxed);
     {
         let (lock, cv) = &job.done;
-        *lock.lock().unwrap() = true;
+        *lock_healed(lock) = true;
         cv.notify_all();
     }
     {
-        let mut active = shared.active.lock().unwrap();
+        let mut active = lock_healed(&shared.active);
         *active = active.saturating_sub(1);
     }
     shared.admit_cv.notify_all();

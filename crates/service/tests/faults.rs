@@ -1,0 +1,324 @@
+//! Fault-tolerance suite: every recovery path under deterministic
+//! injected faults, pinned to the service's core contract — recovery is
+//! byte-neutral. A faulted run of a valid job delivers dataset bytes
+//! identical to the fault-free run.
+
+use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
+use ptsbe_core::{ProbabilisticPts, PtsPlan, PtsSampler};
+use ptsbe_dataset::{DatasetHeader, JsonlSink, RecordSink, SharedBuffer, TrajectoryRecord};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_service::{
+    EngineKind, FaultConfig, JobReport, JobSpec, JobStatus, MetricsSnapshot, ServiceConfig,
+    ShotService,
+};
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bell_circuit(p: f64) -> NoisyCircuit {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1).measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+/// Non-Clifford, saturated noise: Auto routes batch-major (low sharing),
+/// which splits into many chunks — the interesting regime for retry,
+/// kills, and deadlines.
+fn t_circuit(p: f64) -> NoisyCircuit {
+    let mut c = Circuit::new(3);
+    c.h(0).t(0).cx(0, 1).t(1).cx(1, 2).measure_all();
+    NoiseModel::new()
+        .with_default_1q(channels::depolarizing(p))
+        .with_default_2q(channels::depolarizing(p))
+        .apply(&c)
+}
+
+fn plan_for(nc: &NoisyCircuit, n: usize, shots: usize, seed: u64) -> PtsPlan {
+    let mut rng = PhiloxRng::new(seed, 0);
+    ProbabilisticPts {
+        n_samples: n,
+        shots_per_trajectory: shots,
+        dedup: false,
+    }
+    .sample_plan(nc, &mut rng)
+}
+
+/// A many-chunk job (batch-major, 3 trajectories per chunk).
+fn chunked_spec(seed: u64) -> JobSpec {
+    let nc = t_circuit(0.9);
+    let plan = plan_for(&nc, 24, 4, 7);
+    let mut spec = JobSpec::new("faults", nc, plan, seed);
+    spec.chunk_trajectories = 3;
+    spec
+}
+
+/// Faults pinned OFF — explicit `Some(default)` beats any `PTSBE_FAULTS`
+/// environment preset, so baselines stay fault-free even under the CI
+/// fault matrix.
+fn faultless(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        faults: Some(FaultConfig::default()),
+        ..ServiceConfig::default()
+    }
+}
+
+fn faulted(f: FaultConfig, workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        faults: Some(f),
+        ..ServiceConfig::default()
+    }
+}
+
+fn run_with(spec: JobSpec, cfg: ServiceConfig) -> (Vec<u8>, JobReport, MetricsSnapshot) {
+    let service: ShotService = ShotService::start(cfg);
+    let buf = SharedBuffer::new();
+    let handle = service
+        .submit(spec, Box::new(JsonlSink::new(buf.clone())))
+        .unwrap();
+    let report = handle.wait();
+    let metrics = service.metrics();
+    (buf.bytes(), report, metrics)
+}
+
+// ---------------------------------------------------------------------------
+// Byte identity under every preset
+
+#[test]
+fn every_preset_delivers_identical_bytes() {
+    let (baseline, report, _) = run_with(chunked_spec(42), faultless(2));
+    assert!(report.status.is_success(), "{report:?}");
+    assert!(!baseline.is_empty());
+
+    let presets: &[(&str, FaultConfig)] = &[
+        ("panic-storm", FaultConfig::panic_storm()),
+        ("slow-chunk", FaultConfig::slow_chunk()),
+        ("sink-flake", FaultConfig::sink_flake()),
+        ("worker-kill", FaultConfig::worker_kill()),
+        (
+            "combined",
+            FaultConfig::parse("panic-storm,sink-flake,worker-kill")
+                .unwrap()
+                .unwrap(),
+        ),
+    ];
+    for (name, f) in presets {
+        let (bytes, report, metrics) = run_with(chunked_spec(42), faulted(f.clone(), 3));
+        assert!(
+            report.status.is_success(),
+            "{name}: job must recover, got {report:?}"
+        );
+        assert_eq!(
+            bytes, baseline,
+            "{name}: faulted bytes must match the fault-free run"
+        );
+        match *name {
+            "panic-storm" => assert!(metrics.chunk_retries > 0, "storm must count retries"),
+            "sink-flake" => assert!(
+                metrics.sink_write_retries > 0,
+                "flakes must count transient write retries"
+            ),
+            "worker-kill" => assert!(
+                metrics.workers_respawned > 0,
+                "kills must count respawned workers"
+            ),
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker supervision
+
+#[test]
+fn killed_workers_respawn_without_losing_chunks() {
+    // EVERY chunk's first attempt kills its worker: the supervisor must
+    // requeue each claimed chunk and respawn each dead worker, and the
+    // finished dataset must still be byte-identical.
+    let (baseline, _, _) = run_with(chunked_spec(5), faultless(1));
+    let storm = FaultConfig {
+        worker_kill: 1.0,
+        kill_max_attempts: 1,
+        ..FaultConfig::default()
+    };
+    let (bytes, report, metrics) = run_with(chunked_spec(5), faulted(storm, 2));
+    assert_eq!(report.status, JobStatus::Done, "{report:?}");
+    assert_eq!(bytes, baseline);
+    assert!(
+        metrics.workers_respawned >= 2,
+        "every chunk killed a worker; got {} respawns",
+        metrics.workers_respawned
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+
+#[test]
+fn deadline_exceeded_terminates_timed_out() {
+    let spec = chunked_spec(9);
+    let (_, full_report, _) = run_with(spec.clone(), faultless(1));
+    let total_records = full_report.records;
+
+    let crawl = FaultConfig {
+        chunk_delay: 1.0,
+        delay: Duration::from_millis(15),
+        ..FaultConfig::default()
+    };
+    let spec = spec.with_deadline(Duration::from_millis(20));
+    let (bytes, report, metrics) = run_with(spec, faulted(crawl, 1));
+    assert_eq!(report.status, JobStatus::TimedOut, "{report:?}");
+    assert_eq!(metrics.jobs_timed_out, 1);
+    assert!(
+        report.records < total_records,
+        "a timed-out job must stop early ({} vs {total_records})",
+        report.records
+    );
+    // Whatever was delivered before the expiry is a valid plan-order
+    // prefix (possibly empty, if the deadline beat the planning task).
+    if !bytes.is_empty() {
+        ptsbe_dataset::jsonl::read(io::BufReader::new(bytes.as_slice())).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine degradation
+
+#[test]
+fn fatal_mps_failure_degrades_to_dense_fallback() {
+    let nc = bell_circuit(0.02);
+    let plan = plan_for(&nc, 20, 3, 3);
+    let spec = JobSpec::new("degrade", nc, plan, 21);
+
+    // Reference: the same spec Auto-routed on a default service lands on
+    // a dense engine (2 qubits is far below the MPS threshold).
+    let (dense_bytes, dense_report, _) = run_with(spec.clone(), faultless(2));
+    assert!(dense_report.status.is_success());
+    assert_ne!(dense_report.engine, Some(EngineKind::MpsTree));
+
+    // Same spec, but the service is configured to prefer MPS for
+    // everything — and MPS chunks fail fatally. The job must re-route
+    // once onto the dense fallback and deliver identical bytes.
+    let cfg = ServiceConfig {
+        mps_qubit_threshold: 2,
+        ..faulted(
+            FaultConfig {
+                mps_fatal: 1.0,
+                ..FaultConfig::default()
+            },
+            2,
+        )
+    };
+    let (bytes, report, metrics) = run_with(spec, cfg);
+    assert_eq!(report.status, JobStatus::Done, "{report:?}");
+    assert_eq!(
+        report.engine, dense_report.engine,
+        "{}",
+        report.route_reason
+    );
+    assert!(
+        report.route_reason.contains("degraded to a dense fallback"),
+        "route must record the fallback: {}",
+        report.route_reason
+    );
+    assert_eq!(metrics.engine_fallbacks, 1);
+    assert_eq!(bytes, dense_bytes, "degraded bytes must match a dense run");
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation / failure race
+
+/// Sink whose N-th record write fails hard (not transiently), and which
+/// counts `finish` calls so the suite can pin single-finalization.
+struct FailingSink {
+    writes: usize,
+    fail_at: usize,
+    finishes: Arc<AtomicUsize>,
+}
+
+impl RecordSink for FailingSink {
+    fn begin(&mut self, _header: &DatasetHeader) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn write(&mut self, _record: &TrajectoryRecord) -> io::Result<()> {
+        let n = self.writes;
+        self.writes += 1;
+        if n == self.fail_at {
+            return Err(io::Error::other("disk full"));
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.finishes.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+#[test]
+fn cancel_cannot_overwrite_a_failed_verdict_or_double_flush() {
+    let finishes = Arc::new(AtomicUsize::new(0));
+    let service: ShotService = ShotService::start(faultless(1));
+    let handle = service
+        .submit(
+            chunked_spec(13),
+            Box::new(FailingSink {
+                writes: 0,
+                fail_at: 4,
+                finishes: Arc::clone(&finishes),
+            }),
+        )
+        .unwrap();
+    let report = handle.wait();
+    assert_eq!(report.status, JobStatus::Failed, "{report:?}");
+    assert!(
+        report.error.as_deref().unwrap_or("").contains("disk full"),
+        "{report:?}"
+    );
+
+    // The race: a cancel arriving after the failure verdict (and after
+    // partial sink delivery) must neither flip the status nor finalize
+    // the sink a second time.
+    handle.cancel();
+    drop(service); // drain remaining chunks to their terminal no-ops
+    assert_eq!(handle.status(), JobStatus::Failed);
+    assert_eq!(
+        finishes.load(Ordering::SeqCst),
+        1,
+        "the sink must be finalized exactly once"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Config/environment precedence
+
+#[test]
+fn explicit_fault_config_wins_over_env_presets() {
+    let saved = std::env::var("PTSBE_FAULTS").ok();
+    std::env::set_var("PTSBE_FAULTS", "panic-storm");
+
+    // Config left unset: the environment preset applies.
+    let cfg = ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    };
+    let (_, report, metrics) = run_with(chunked_spec(8), cfg);
+    assert!(report.status.is_success());
+    assert!(metrics.chunk_retries > 0, "env preset must be active");
+
+    // Explicit default config: faults pinned OFF despite the env.
+    let (_, report, metrics) = run_with(chunked_spec(8), faultless(2));
+    assert!(report.status.is_success());
+    assert_eq!(metrics.chunk_retries, 0, "explicit config must win");
+
+    match saved {
+        Some(v) => std::env::set_var("PTSBE_FAULTS", v),
+        None => std::env::remove_var("PTSBE_FAULTS"),
+    }
+}
