@@ -143,10 +143,14 @@ impl BatchedExecutor {
         let run_one = |(off, traj): (usize, &crate::plan::PlannedTrajectory)| {
             let idx = base + off;
             let mut rng = PhiloxRng::for_trajectory(self.seed, idx as u64);
-            let (mut state, realized) = backend.prepare(&traj.choices);
+            let (mut state, realized) = {
+                let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Prep);
+                backend.prepare(&traj.choices)
+            };
             // Physically impossible trajectories (e.g. a damping branch on
             // a qubit already in |0⟩) leave a zero state: no shots exist.
             let shots = if realized > 0.0 {
+                let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Sample);
                 backend.sample(&mut state, traj.shots, &mut rng)
             } else {
                 Vec::new()
@@ -375,6 +379,9 @@ impl<B: Backend> TreeCtx<'_, B> {
     ) -> (usize, B::State, f64) {
         let node = self.tree.node(node_idx);
         let last = node.children.len() - 1;
+        // Fork + advance are both state preparation from telemetry's
+        // point of view: one Prep timer covers the pair.
+        let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Prep);
         let mut child_state = if i == last {
             carrier.take().expect("parent state consumed exactly once")
         } else {
@@ -408,10 +415,11 @@ impl<B: Backend> TreeCtx<'_, B> {
     ) {
         let node = self.tree.node(node_idx);
         let choices = &self.plan.trajectories[node.rep].choices;
-        let realized = acc
-            * self
-                .backend
-                .advance(&mut state, node.depth..self.backend.n_segments(), choices);
+        let realized = acc * {
+            let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Prep);
+            self.backend
+                .advance(&mut state, node.depth..self.backend.n_segments(), choices)
+        };
         let fork_per_leaf = self.backend.sample_mutates_state();
         out.reserve(node.leaves.len());
         for (i, &idx) in node.leaves.iter().enumerate() {
@@ -424,7 +432,10 @@ impl<B: Backend> TreeCtx<'_, B> {
                     Some(self.backend.fork_pooled(&state, self.pool))
                 };
                 let st = leaf_state.as_mut().unwrap_or(&mut state);
-                let shots = self.backend.sample(st, traj.shots, &mut rng);
+                let shots = {
+                    let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Sample);
+                    self.backend.sample(st, traj.shots, &mut rng)
+                };
                 if let Some(s) = leaf_state {
                     self.backend.release(s, self.pool);
                 }
@@ -667,13 +678,16 @@ impl BatchMajorExecutor {
                 None => batch::StateBatch::zero_states(n_qubits, group_width),
             };
             let mut realized = vec![1.0f64; group_width];
-            batch::advance_batch(
-                compiled,
-                &mut state_batch,
-                0..n_segments,
-                choices,
-                &mut realized,
-            );
+            {
+                let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Prep);
+                batch::advance_batch(
+                    compiled,
+                    &mut state_batch,
+                    0..n_segments,
+                    choices,
+                    &mut realized,
+                );
+            }
             // One scratch state per group: each trajectory's lane is
             // gathered into it and bulk-sampled through the backend's own
             // sampler, so the records are the ones a flat executor would
@@ -689,6 +703,7 @@ impl BatchMajorExecutor {
                     let mut rng = PhiloxRng::for_trajectory(self.seed, idx as u64);
                     let shots = if realized[lane] > 0.0 {
                         state_batch.extract_lane_into(lane, &mut scratch);
+                        let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Sample);
                         backend.sample(&mut scratch, traj.shots, &mut rng)
                     } else {
                         Vec::new()

@@ -393,8 +393,10 @@ impl<T: Scalar> CompileCache<T> {
             return Ok(hit);
         }
         self.sv_misses.fetch_add(1, Ordering::Relaxed);
-        let backend = SvBackend::<T>::new_with_fusion(nc, SamplingStrategy::Auto, fuse)
-            .map_err(|e| format!("statevector compile failed: {e}"))?;
+        let backend = ptsbe_telemetry::spanned(ptsbe_telemetry::Stage::Compile, || {
+            SvBackend::<T>::new_with_fusion(nc, SamplingStrategy::Auto, fuse)
+                .map_err(|e| format!("statevector compile failed: {e}"))
+        })?;
         let entry = Arc::new(SvEntry {
             fusion: backend.fusion_stats(),
             backend,
@@ -436,8 +438,10 @@ impl<T: Scalar> CompileCache<T> {
             return Ok(hit);
         }
         self.mps_misses.fetch_add(1, Ordering::Relaxed);
-        let backend = MpsBackend::<T>::new_with_fusion(nc, config, Default::default(), fuse)
-            .map_err(|e| format!("mps compile failed: {e}"))?;
+        let backend = ptsbe_telemetry::spanned(ptsbe_telemetry::Stage::Compile, || {
+            MpsBackend::<T>::new_with_fusion(nc, config, Default::default(), fuse)
+                .map_err(|e| format!("mps compile failed: {e}"))
+        })?;
         let entry = Arc::new(MpsEntry {
             backend,
             pool: StatePool::new(),
@@ -470,8 +474,9 @@ impl<T: Scalar> CompileCache<T> {
             return Err("frame sampler records are limited to 128 measured bits".to_string());
         }
         let mut rng = PhiloxRng::new(circuit_hash, 0);
-        let sampler =
-            FrameSampler::new(nc, &mut rng).map_err(|e| format!("frame lowering failed: {e}"))?;
+        let sampler = ptsbe_telemetry::spanned(ptsbe_telemetry::Stage::Compile, || {
+            FrameSampler::new(nc, &mut rng).map_err(|e| format!("frame lowering failed: {e}"))
+        })?;
         let deterministic = !sampler.reference_was_random();
         let entry = Arc::new(FrameEntry {
             sampler,
@@ -510,7 +515,9 @@ impl<T: Scalar> CompileCache<T> {
             return hit;
         }
         self.tree_misses.fetch_add(1, Ordering::Relaxed);
-        let tree = Arc::new(PtsPlanTree::from_plan(plan));
+        let tree = ptsbe_telemetry::spanned(ptsbe_telemetry::Stage::Plan, || {
+            Arc::new(PtsPlanTree::from_plan(plan))
+        });
         let bytes = Self::tree_entry_bytes(&tree);
         let out = self
             .trees

@@ -74,6 +74,10 @@ pub mod service;
 pub use cache::{CacheStats, CircuitTraits, CompileCache};
 pub use fault::{FaultConfig, InjectedFault};
 pub use job::{JobHandle, JobReport, JobSpec, JobStatus, ServiceError};
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, RateWindow};
 pub use router::{BatchGeometry, EngineKind, EnginePolicy, RouteDecision, RouteReason};
 pub use service::{RetryPolicy, ServiceConfig, ShotService};
+// Telemetry types a service embedder needs: configuration on
+// `ServiceConfig`, plus the stage taxonomy and snapshot for reading
+// back what was recorded.
+pub use ptsbe_telemetry::{Stage, TelemetryConfig, TelemetryMode, TelemetrySnapshot};

@@ -1,8 +1,11 @@
 //! Service-level counters: job lifecycle, delivery volume, per-engine
-//! routing census, and admission pressure.
+//! routing census, and admission pressure — plus the exporter surface
+//! ([`MetricsSnapshot::prometheus`], [`MetricsSnapshot::summary`],
+//! [`MetricsSnapshot::rate_since`]) built on `ptsbe_telemetry`.
 
 use crate::cache::CacheStats;
 use crate::router::EngineKind;
+use ptsbe_telemetry::{Metric, Summary};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -145,13 +148,193 @@ pub struct MetricsSnapshot {
     pub uptime_secs: f64,
 }
 
+/// Interval rates between two [`MetricsSnapshot`]s of the same service
+/// (see [`MetricsSnapshot::rate_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateWindow {
+    /// Window length in seconds (0 when the snapshots coincide or are
+    /// out of order).
+    pub window_secs: f64,
+    /// Shots delivered per second over the window.
+    pub shots_per_sec: f64,
+    /// Records delivered per second over the window.
+    pub records_per_sec: f64,
+    /// Jobs finished per second over the window.
+    pub jobs_done_per_sec: f64,
+}
+
 impl MetricsSnapshot {
-    /// Mean delivered-shot throughput over the service lifetime.
+    /// Mean delivered-shot throughput over the **service lifetime**.
+    ///
+    /// Caveat: this is a lifetime mean, not a current rate — any idle
+    /// period since start dilutes it, so after a burst-then-idle pattern
+    /// it understates what the service actually sustained. For a
+    /// current rate, keep a previous snapshot and use
+    /// [`MetricsSnapshot::rate_since`].
     pub fn shots_per_sec(&self) -> f64 {
         if self.uptime_secs <= 0.0 {
             return 0.0;
         }
         self.shots_emitted as f64 / self.uptime_secs
+    }
+
+    /// Interval rates since an earlier snapshot of the same service:
+    /// counter deltas divided by the uptime delta. Returns zero rates
+    /// when `prev` is not earlier than `self` (clock-degenerate or
+    /// swapped arguments) so a dashboard never divides by zero.
+    pub fn rate_since(&self, prev: &MetricsSnapshot) -> RateWindow {
+        let window = self.uptime_secs - prev.uptime_secs;
+        if window <= 0.0 {
+            return RateWindow::default();
+        }
+        let delta = |now: u64, then: u64| now.saturating_sub(then) as f64 / window;
+        RateWindow {
+            window_secs: window,
+            shots_per_sec: delta(self.shots_emitted, prev.shots_emitted),
+            records_per_sec: delta(self.records_emitted, prev.records_emitted),
+            jobs_done_per_sec: delta(self.jobs_done, prev.jobs_done),
+        }
+    }
+
+    /// Everything in this snapshot as Prometheus-style metric families
+    /// (the input to [`ptsbe_telemetry::prometheus`] and
+    /// [`Summary`]).
+    pub fn families(&self) -> Vec<Metric> {
+        let c = |name, help, v: u64| Metric::counter(name, help, v as f64);
+        let mut out = vec![
+            c(
+                "ptsbe_jobs_submitted",
+                "Jobs admitted since start.",
+                self.jobs_submitted,
+            ),
+            c(
+                "ptsbe_jobs_done",
+                "Jobs finished successfully.",
+                self.jobs_done,
+            ),
+            c("ptsbe_jobs_failed", "Jobs failed.", self.jobs_failed),
+            c(
+                "ptsbe_jobs_cancelled",
+                "Jobs cancelled.",
+                self.jobs_cancelled,
+            ),
+            c(
+                "ptsbe_jobs_timed_out",
+                "Jobs past their deadline.",
+                self.jobs_timed_out,
+            ),
+            c(
+                "ptsbe_records_emitted",
+                "Records delivered to sinks.",
+                self.records_emitted,
+            ),
+            c(
+                "ptsbe_shots_emitted",
+                "Shots delivered to sinks.",
+                self.shots_emitted,
+            ),
+        ];
+        for (label, n) in [
+            ("frame", self.engines.frame),
+            ("sv-tree", self.engines.tree),
+            ("sv-batch-major", self.engines.batch_major),
+            ("sv-flat", self.engines.flat),
+            ("mps-tree", self.engines.mps_tree),
+        ] {
+            out.push(
+                Metric::counter("ptsbe_engine_jobs", "Jobs routed per engine.", n as f64)
+                    .with_label("engine", label),
+            );
+        }
+        out.extend([
+            Metric::gauge(
+                "ptsbe_peak_active_jobs",
+                "Highest concurrent admitted-job count observed.",
+                self.peak_active_jobs as f64,
+            ),
+            c(
+                "ptsbe_chunk_retries",
+                "Chunk executions retried.",
+                self.chunk_retries,
+            ),
+            c(
+                "ptsbe_chunks_timed_out",
+                "Chunks abandoned at a deadline.",
+                self.chunks_timed_out,
+            ),
+            c(
+                "ptsbe_workers_respawned",
+                "Workers respawned by the supervisor.",
+                self.workers_respawned,
+            ),
+            c(
+                "ptsbe_engine_fallbacks",
+                "Jobs degraded to a dense fallback.",
+                self.engine_fallbacks,
+            ),
+            c(
+                "ptsbe_sink_write_retries",
+                "Transient sink writes retried.",
+                self.sink_write_retries,
+            ),
+            c(
+                "ptsbe_mps_probe_reroutes",
+                "MPS jobs re-routed by the probe.",
+                self.mps_probe_reroutes,
+            ),
+            c(
+                "ptsbe_mps_budget_refusals",
+                "MPS jobs refused on budget.",
+                self.mps_budget_refusals,
+            ),
+            Metric::gauge(
+                "ptsbe_peak_trunc_error",
+                "Largest delivered truncation error.",
+                self.peak_trunc_error,
+            ),
+            Metric::gauge(
+                "ptsbe_peak_bond_reached",
+                "Largest delivered MPS bond dimension.",
+                self.peak_bond_reached as f64,
+            ),
+            c(
+                "ptsbe_cache_compile_hits",
+                "Compile-cache hits.",
+                self.cache.compile_hits(),
+            ),
+            c(
+                "ptsbe_cache_compile_misses",
+                "Compile-cache misses.",
+                self.cache.compile_misses(),
+            ),
+            c(
+                "ptsbe_cache_evictions",
+                "Compile-cache evictions.",
+                self.cache.evictions,
+            ),
+            Metric::gauge(
+                "ptsbe_cache_resident_bytes",
+                "Approximate resident compile-cache bytes.",
+                self.cache.resident_bytes as f64,
+            ),
+            Metric::gauge("ptsbe_uptime_seconds", "Service uptime.", self.uptime_secs),
+        ]);
+        out
+    }
+
+    /// Prometheus text exposition: every counter here plus the global
+    /// per-stage latency histograms (empty unless telemetry is on).
+    pub fn prometheus(&self) -> String {
+        ptsbe_telemetry::prometheus(&self.families(), &ptsbe_telemetry::snapshot())
+    }
+
+    /// Human-readable report: counters table + per-stage latency table.
+    /// `Display` it (`println!("{}", snap.summary())`).
+    pub fn summary(&self) -> Summary {
+        Summary {
+            metrics: self.families(),
+            snapshot: ptsbe_telemetry::snapshot(),
+        }
     }
 
     pub(crate) fn from_counters(m: &ServiceMetrics, cache: CacheStats) -> Self {
@@ -184,5 +367,87 @@ impl MetricsSnapshot {
             cache,
             uptime_secs: m.started_at.elapsed().as_secs_f64(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(uptime: f64, shots: u64, records: u64, done: u64) -> MetricsSnapshot {
+        let m = ServiceMetrics::new();
+        m.shots_emitted.store(shots, Ordering::Relaxed);
+        m.records_emitted.store(records, Ordering::Relaxed);
+        m.jobs_done.store(done, Ordering::Relaxed);
+        let mut s = MetricsSnapshot::from_counters(&m, CacheStats::default());
+        s.uptime_secs = uptime;
+        s
+    }
+
+    #[test]
+    fn rate_since_is_interval_not_lifetime() {
+        let early = snap(10.0, 1_000, 10, 1);
+        let late = snap(12.0, 5_000, 50, 3);
+        // Lifetime mean is diluted by the 10 idle seconds…
+        assert!((late.shots_per_sec() - 5_000.0 / 12.0).abs() < 1e-9);
+        // …the interval rate is not.
+        let r = late.rate_since(&early);
+        assert!((r.window_secs - 2.0).abs() < 1e-9);
+        assert!((r.shots_per_sec - 2_000.0).abs() < 1e-9);
+        assert!((r.records_per_sec - 20.0).abs() < 1e-9);
+        assert!((r.jobs_done_per_sec - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_since_degenerate_windows_are_zero() {
+        let s = snap(10.0, 1_000, 10, 1);
+        assert_eq!(s.rate_since(&s), RateWindow::default());
+        // Swapped arguments (prev newer than self) must not panic or
+        // produce negative rates.
+        let newer = snap(11.0, 2_000, 20, 2);
+        assert_eq!(s.rate_since(&newer), RateWindow::default());
+    }
+
+    #[test]
+    fn families_cover_every_snapshot_field() {
+        let s = snap(10.0, 1_000, 10, 1);
+        let fams = s.families();
+        let names: std::collections::HashSet<&str> = fams.iter().map(|m| m.name).collect();
+        for expected in [
+            "ptsbe_jobs_submitted",
+            "ptsbe_jobs_done",
+            "ptsbe_jobs_failed",
+            "ptsbe_jobs_cancelled",
+            "ptsbe_jobs_timed_out",
+            "ptsbe_records_emitted",
+            "ptsbe_shots_emitted",
+            "ptsbe_engine_jobs",
+            "ptsbe_peak_active_jobs",
+            "ptsbe_chunk_retries",
+            "ptsbe_chunks_timed_out",
+            "ptsbe_workers_respawned",
+            "ptsbe_engine_fallbacks",
+            "ptsbe_sink_write_retries",
+            "ptsbe_mps_probe_reroutes",
+            "ptsbe_mps_budget_refusals",
+            "ptsbe_peak_trunc_error",
+            "ptsbe_peak_bond_reached",
+            "ptsbe_cache_compile_hits",
+            "ptsbe_cache_compile_misses",
+            "ptsbe_cache_evictions",
+            "ptsbe_cache_resident_bytes",
+            "ptsbe_uptime_seconds",
+        ] {
+            assert!(names.contains(expected), "missing family {expected}");
+        }
+        // One engine_jobs sample per engine.
+        assert_eq!(
+            fams.iter()
+                .filter(|m| m.name == "ptsbe_engine_jobs")
+                .count(),
+            5
+        );
+        let text = s.prometheus();
+        assert!(text.contains("ptsbe_shots_emitted 1000\n"));
     }
 }

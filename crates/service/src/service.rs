@@ -73,6 +73,7 @@ use ptsbe_dataset::record::records_from_batch;
 use ptsbe_dataset::{DatasetHeader, RecordSink, TrajectoryRecord};
 use ptsbe_math::Scalar;
 use ptsbe_rng::PhiloxRng;
+use ptsbe_telemetry::{spanned, stage_span, task_scope, timer, Stage, TelemetryConfig};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -163,6 +164,13 @@ pub struct ServiceConfig {
     /// `Some(FaultConfig::default())` pins faults *off* regardless of
     /// the environment.
     pub faults: Option<FaultConfig>,
+    /// Telemetry selection (off / counters / spans). `None` defers to
+    /// the `PTSBE_TELEMETRY` environment variable; an explicit `Some`
+    /// always wins, and `Some(TelemetryConfig::off())` pins it off.
+    /// Applied process-wide at [`ShotService::start`] (telemetry is a
+    /// process global, like a logger). Output-neutral by construction:
+    /// hooks only read clocks and bump atomics.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -177,6 +185,7 @@ impl Default for ServiceConfig {
             cache_budget_bytes: None,
             retry: RetryPolicy::default(),
             faults: None,
+            telemetry: None,
         }
     }
 }
@@ -257,6 +266,12 @@ impl<T: Scalar> ShotService<T> {
         if faults.as_ref().is_some_and(FaultConfig::active) {
             crate::fault::silence_injected_panics();
         }
+        let telemetry = cfg
+            .telemetry
+            .clone()
+            .or_else(TelemetryConfig::from_env)
+            .unwrap_or_default();
+        ptsbe_telemetry::configure(&telemetry);
         let shared = Arc::new(Shared {
             cache: CompileCache::with_budget(cfg.cache_budget_bytes),
             cfg,
@@ -546,9 +561,22 @@ fn plan_job<T: Scalar>(shared: &Arc<Shared<T>>, job: Arc<JobInner<T>>) {
         return;
     }
     job.set_running();
+    // Submission → a worker picking the plan task up.
+    stage_span(
+        Stage::QueueWait,
+        job.id,
+        None,
+        job.submitted_at,
+        job.submitted_at.elapsed(),
+    );
     let planned = catch_unwind(AssertUnwindSafe(|| {
+        // Identity scope so the compile/plan spans recorded inside the
+        // cache know which job they belong to.
+        let _scope = task_scope(job.id, None);
         let circuit_hash = job.spec.circuit.content_hash();
-        route_job(&shared.cache, &shared.cfg, &job.spec, circuit_hash)
+        spanned(Stage::Route, || {
+            route_job(&shared.cache, &shared.cfg, &job.spec, circuit_hash)
+        })
     }));
     let (decision, exec) = match planned {
         Ok(Ok(pair)) => pair,
@@ -731,6 +759,9 @@ fn run_chunk<T: Scalar>(
         drain = true;
     }
     if !drain {
+        // Chunk identity scope: executor prep/sample hooks aggregate
+        // here, and the sink/backoff spans inherit (job, chunk) ids.
+        let _scope = task_scope(job.id, Some(index as u32));
         let seed = job.spec.seed;
         let retry = shared.cfg.retry;
         // Injected fatal engine failure: structural (not a panic), so it
@@ -777,7 +808,9 @@ fn run_chunk<T: Scalar>(
                     Err(payload) => {
                         if attempts_here <= retry.max_retries {
                             shared.metrics.chunk_retries.fetch_add(1, Ordering::Relaxed);
-                            thread::sleep(retry.backoff(attempts_here - 1));
+                            spanned(Stage::RetryBackoff, || {
+                                thread::sleep(retry.backoff(attempts_here - 1));
+                            });
                             attempt = attempt.saturating_add(1);
                             continue;
                         }
@@ -816,9 +849,10 @@ fn deliver<T: Scalar>(
         }
     }
     let pushed = match job.emitter() {
-        Ok(mut em) => em
-            .push(index, records)
-            .map_err(|e| format!("sink write failed: {e}")),
+        Ok(mut em) => spanned(Stage::SinkWrite, || {
+            em.push(index, records)
+                .map_err(|e| format!("sink write failed: {e}"))
+        }),
         Err(se) => Err(se.to_string()),
     };
     match pushed {
@@ -964,21 +998,29 @@ fn execute_chunk<T: Scalar>(
     let records = match (exec.as_ref(), chunk) {
         (EngineExec::Frame(entry), ChunkSpec::Shots { stream, shots }) => {
             let mut rng = PhiloxRng::for_trajectory(spec.seed, *stream);
-            let result = entry.sampler.sample(*shots, &mut rng);
+            let result = {
+                // Frame sampling has no prep phase; the whole draw is
+                // the sample stage.
+                let _t = timer(Stage::Sample);
+                entry.sampler.sample(*shots, &mut rng)
+            };
             // One record per shot block: frame sampling draws noise per
             // shot, so there is no per-trajectory provenance to attach —
-            // the Stim trade, documented on the router.
-            vec![TrajectoryRecord {
-                meta: ptsbe_core::assignment::TrajectoryMeta {
-                    traj_id: *stream as usize,
-                    nominal_prob: 1.0,
-                    realized_prob: 1.0,
-                    choices: Vec::new(),
-                    errors: Vec::new(),
-                    truncation: None,
-                },
-                shots: result.shots.iter().map(|s| format!("{s:x}")).collect(),
-            }]
+            // the Stim trade, documented on the router. Hex formatting
+            // is serialization, so it counts as the sink stage.
+            spanned(Stage::SinkWrite, || {
+                vec![TrajectoryRecord {
+                    meta: ptsbe_core::assignment::TrajectoryMeta {
+                        traj_id: *stream as usize,
+                        nominal_prob: 1.0,
+                        realized_prob: 1.0,
+                        choices: Vec::new(),
+                        errors: Vec::new(),
+                        truncation: None,
+                    },
+                    shots: result.shots.iter().map(|s| format!("{s:x}")).collect(),
+                }]
+            })
         }
         (EngineExec::Flat(entry), ChunkSpec::Traj(range)) => {
             let ex = BatchedExecutor {
@@ -1030,7 +1072,10 @@ fn execute_chunk<T: Scalar>(
 }
 
 fn to_records(batch: BatchResult) -> Vec<TrajectoryRecord> {
-    records_from_batch(&batch)
+    // Record serialization (hex shot formatting dominates) counts as
+    // the sink stage: it exists only to feed the sink, and leaving it
+    // untimed would hide ~a third of a warm job's wall time.
+    spanned(Stage::SinkWrite, || records_from_batch(&batch))
 }
 
 /// Terminal bookkeeping shared by every exit path: metrics, the waiter

@@ -1,0 +1,272 @@
+//! Log-bucketed latency histograms.
+//!
+//! Durations are recorded in nanoseconds into 64 power-of-two buckets:
+//! bucket 0 holds the value 0 and bucket `b ≥ 1` holds
+//! `[2^(b-1), 2^b)` ns, so the full `u64` range is covered with at most
+//! a 2× relative quantile error — plenty for stage-latency telemetry,
+//! and it keeps every cell an `AtomicU64` so recording is one relaxed
+//! `fetch_add` per field and never allocates or locks. Snapshots are
+//! plain arrays that merge associatively, which is what lets per-shard
+//! histograms fold into a global one without coordination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets (covers the full `u64` ns range).
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a duration of `nanos`: 0 for 0, else
+/// `floor(log2(nanos)) + 1`, clamped to the last bucket.
+pub fn bucket_index(nanos: u64) -> usize {
+    if nanos == 0 {
+        0
+    } else {
+        (BUCKETS - nanos.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive `(lower, upper)` bounds of bucket `i`, in nanoseconds.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == BUCKETS - 1 {
+        (1 << (i - 1), u64::MAX)
+    } else {
+        (1 << (i - 1), (1 << i) - 1)
+    }
+}
+
+/// A lock-free latency histogram: every cell is an `AtomicU64`, so
+/// concurrent recorders never contend on anything wider than a cache
+/// line of counters, and reading is a point-in-time copy.
+#[derive(Debug)]
+pub struct LogHistogram {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // repeat-element seed
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            count: ZERO,
+            sum_nanos: ZERO,
+            max_nanos: ZERO,
+            buckets: [ZERO; BUCKETS],
+        }
+    }
+
+    /// Record one duration (nanoseconds). Lock- and allocation-free.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy. Cells are read individually (no global lock),
+    /// so a snapshot racing a recorder may be off by the in-flight
+    /// sample — fine for observability, never for accounting.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zero every cell (bench/test isolation).
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_nanos.store(0, Ordering::Relaxed);
+        self.max_nanos.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A plain-value histogram copy: mergeable, queryable, serializable by
+/// hand (it is just counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all recorded durations (ns).
+    pub sum_nanos: u64,
+    /// Largest recorded duration (ns).
+    pub max_nanos: u64,
+    /// Per-bucket counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// The empty snapshot (identity element of [`HistSnapshot::merge`]).
+    pub const fn empty() -> Self {
+        Self {
+            count: 0,
+            sum_nanos: 0,
+            max_nanos: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Fold `other` into `self`. Merging shard snapshots in any order
+    /// equals one histogram fed the union of samples (bucket counts and
+    /// sums are additive, max is associative) — the property the shard
+    /// proptest pins.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        // Wrapping, like the `AtomicU64::fetch_add` cells it mirrors —
+        // keeps merge-of-shards bit-identical to the union histogram
+        // even if a sum ever wraps (≈ 585 years of recorded time).
+        self.count = self.count.wrapping_add(other.count);
+        self.sum_nanos = self.sum_nanos.wrapping_add(other.sum_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.wrapping_add(*b);
+        }
+    }
+
+    /// Mean recorded duration in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate in nanoseconds: the upper bound of the bucket
+    /// the `q`-th sample falls in, clamped to the observed max (so
+    /// `quantile(1.0) == max_nanos` exactly). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return bucket_bounds(i).1.min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+
+    /// Median estimate (ns).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (ns).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (ns).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // 2^k sits in bucket k+1 (lower edge), 2^k - 1 in bucket k.
+        for k in 1..62 {
+            assert_eq!(bucket_index(1u64 << k), k + 1, "2^{k}");
+            assert_eq!(bucket_index((1u64 << k) - 1), k, "2^{k}-1");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Bounds are consistent with the index map.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn record_and_query() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 1, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum_nanos, 1_001_102);
+        assert_eq!(s.max_nanos, 1_000_000);
+        assert_eq!(s.quantile(1.0), 1_000_000);
+        // p50 = 3rd sample of 6 → the bucket holding 1 (upper bound 1).
+        assert_eq!(s.p50(), 1);
+        assert!(s.p99() >= 1000);
+        assert!((s.mean_nanos() - 1_001_102.0 / 6.0).abs() < 1e-9);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_upper_bound_property() {
+        // The quantile estimate never undershoots the true quantile's
+        // bucket lower bound and never overshoots the observed max.
+        let h = LogHistogram::new();
+        let mut vals: Vec<u64> = (0..1000).map(|i| i * i * 37 + 5).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let est = s.quantile(q);
+            let true_v = vals[((q * 1000.0).ceil() as usize - 1).min(999)];
+            let (lo, _) = bucket_bounds(bucket_index(true_v));
+            assert!(est >= lo, "q={q}: est {est} < bucket lower {lo}");
+            assert!(est <= s.max_nanos, "q={q}: est {est} > max");
+        }
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let all = LogHistogram::new();
+        for v in 0..500u64 {
+            let h = if v % 3 == 0 { &a } else { &b };
+            h.record(v * 17);
+            all.record(v * 17);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+        // Identity element.
+        let mut with_empty = merged;
+        with_empty.merge(&HistSnapshot::empty());
+        assert_eq!(with_empty, merged);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the log-bucketed histogram: sharded recording
+//! merges to the union, and boundary values land in the right bucket.
+
+use proptest::prelude::*;
+use ptsbe_telemetry::{bucket_bounds, bucket_index, HistSnapshot, LogHistogram, BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Splitting samples across shards and merging the snapshots (in
+    /// either order) equals one histogram fed the union.
+    #[test]
+    fn merge_of_shards_is_union(
+        values in prop::collection::vec(0u64..u64::MAX, 1..200),
+        split in 0u64..u64::MAX,
+    ) {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let union = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            let shard = if (split >> (i % 64)) & 1 == 0 { &a } else { &b };
+            shard.record(v);
+            union.record(v);
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        prop_assert_eq!(ab, union.snapshot());
+        prop_assert_eq!(ba, union.snapshot());
+        // Empty is the identity.
+        let mut with_empty = ab;
+        with_empty.merge(&HistSnapshot::empty());
+        prop_assert_eq!(with_empty, ab);
+    }
+
+    /// Every value falls inside the bounds of its own bucket, and the
+    /// bucket map is monotone.
+    #[test]
+    // Odd-multiplier wrap is a bijection on u64, so this reaches the
+    // full range (incl. u64::MAX) from the shim's exclusive range.
+    fn values_land_inside_their_bucket(
+        v in (0u64..u64::MAX).prop_map(|x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    ) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} [{lo}, {hi}]");
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= i);
+        }
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= i);
+        }
+    }
+
+    /// Power-of-two boundaries: 2^k is the *lower* edge of bucket k+1;
+    /// 2^k − 1 tops bucket k.
+    #[test]
+    fn boundary_placement(k in 1usize..62) {
+        let edge = 1u64 << k;
+        prop_assert_eq!(bucket_index(edge), k + 1);
+        prop_assert_eq!(bucket_index(edge - 1), k);
+        prop_assert_eq!(bucket_bounds(k + 1).0, edge);
+        prop_assert_eq!(bucket_bounds(k).1, edge - 1);
+    }
+
+    /// Quantiles never exceed the observed max and are monotone in q.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..10_000_000_000, 1..100),
+    ) {
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {:?}", qs);
+        }
+        prop_assert_eq!(*qs.last().unwrap(), s.max_nanos);
+        prop_assert!(qs.iter().all(|&q| q <= s.max_nanos));
+    }
+}

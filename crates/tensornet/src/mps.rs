@@ -607,9 +607,15 @@ impl<T: Scalar> Mps<T> {
                 }
             }
         }
-        // Reshape to (dl*2) × (2*dr) and SVD.
+        // Reshape to (dl*2) × (2*dr) and SVD. The per-update SVD time is
+        // the MPS cost driver, so it gets its own (histogram-only)
+        // telemetry stage — this is what decomposes "prep is slow" into
+        // bonds × SVD cost.
         let mat = Matrix::from_vec(dl * 2, 2 * dr, theta2);
-        let dec = svd(&mat);
+        let dec = {
+            let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::MpsSvd);
+            svd(&mat)
+        };
         // Hand the scratch allocations back for the next two-site update.
         self.theta = theta;
         self.theta2 = mat.into_vec();

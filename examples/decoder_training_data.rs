@@ -48,9 +48,14 @@ fn main() {
     let plan = Arc::new(plan);
 
     // 3. Two dataset shards through the service: shard 0 compiles,
-    //    shard 1 reuses every cached artifact.
-    let service: ShotService = ShotService::start(ServiceConfig::default());
+    //    shard 1 reuses every cached artifact. Spans mode so the
+    //    cold/warm comparison decomposes per stage.
+    let service: ShotService = ShotService::start(ServiceConfig {
+        telemetry: Some(TelemetryConfig::from_env().unwrap_or_else(TelemetryConfig::spans)),
+        ..ServiceConfig::default()
+    });
     let mut shard_bytes = Vec::new();
+    let mut prev = service.metrics();
     for (shard, seed) in [(0u32, 4242u64), (1, 4243)] {
         let buf = SharedBuffer::new();
         let spec = JobSpec::new(
@@ -63,13 +68,19 @@ fn main() {
             .submit(spec, Box::new(JsonlSink::new(buf.clone())))
             .expect("submit")
             .wait();
+        // Interval rate over just this shard (shots_per_sec() would be
+        // a lifetime mean, diluted by everything before it).
+        let now = service.metrics();
+        let rate = now.rate_since(&prev);
+        prev = now;
         println!(
-            "shard {shard}: engine = {} ({}), {} records / {} shots, {:.1} ms",
+            "shard {shard}: engine = {} ({}), {} records / {} shots, {:.1} ms ({:.2e} shots/s over this shard)",
             report.engine.map(EngineKind::label).unwrap_or("?"),
             report.route_reason,
             report.records,
             report.shots,
             report.wall.as_secs_f64() * 1e3,
+            rate.shots_per_sec,
         );
         shard_bytes.push(buf.bytes());
     }
@@ -79,6 +90,28 @@ fn main() {
         stats.compile_hits() + stats.tree_hits,
         stats.compile_misses() + stats.tree_misses,
     );
+
+    // Per-stage cold/warm decomposition (job ids follow submission
+    // order: shard 0 = job 1, shard 1 = job 2).
+    let telemetry = ptsbe::telemetry::snapshot();
+    if telemetry.mode == TelemetryMode::Spans {
+        println!("\nper-stage breakdown (shard 0 = cold, shard 1 = warm):");
+        println!("  {:<14} {:>12} {:>12}", "stage", "cold", "warm");
+        for stage in Stage::ALL {
+            let cold = telemetry.job_stage_nanos(1, stage);
+            let hot = telemetry.job_stage_nanos(2, stage);
+            if cold == 0 && hot == 0 {
+                continue;
+            }
+            println!(
+                "  {:<14} {:>12} {:>12}",
+                stage.label(),
+                ptsbe::telemetry::fmt_nanos(cold),
+                ptsbe::telemetry::fmt_nanos(hot),
+            );
+        }
+    }
+    println!("\n{}", service.metrics().summary());
 
     // 4. Read shard 0 back (round-trip through the streamed JSONL).
     let (header, loaded) =

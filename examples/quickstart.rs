@@ -49,7 +49,12 @@ fn main() {
 
     // 3. The service: compile-cache + adaptive routing + worker pool.
     //    One spec, submitted twice — the second run is the warm path.
-    let service: ShotService = ShotService::start(ServiceConfig::default());
+    //    Spans mode so the cold/warm comparison decomposes per stage
+    //    (PTSBE_TELEMETRY still wins if set).
+    let service: ShotService = ShotService::start(ServiceConfig {
+        telemetry: Some(TelemetryConfig::from_env().unwrap_or_else(TelemetryConfig::spans)),
+        ..ServiceConfig::default()
+    });
     let spec = JobSpec::new("quickstart-ghz", Arc::new(noisy), Arc::new(plan), 7);
 
     let (sink, store) = MemorySink::new();
@@ -80,6 +85,35 @@ fn main() {
         stats.compile_misses() + stats.tree_misses,
         stats.hit_rate() * 100.0,
     );
+
+    // Where did the wall time go? Job ids are assigned in submission
+    // order (cold = 1, warm = 2); each job's spans decompose its wall.
+    let telemetry = ptsbe::telemetry::snapshot();
+    if telemetry.mode == TelemetryMode::Spans {
+        println!("\nper-stage breakdown (cold vs. warm):");
+        println!("  {:<14} {:>12} {:>12}", "stage", "cold", "warm");
+        for stage in Stage::ALL {
+            let cold = telemetry.job_stage_nanos(1, stage);
+            let hot = telemetry.job_stage_nanos(2, stage);
+            if cold == 0 && hot == 0 {
+                continue;
+            }
+            println!(
+                "  {:<14} {:>12} {:>12}",
+                stage.label(),
+                ptsbe::telemetry::fmt_nanos(cold),
+                ptsbe::telemetry::fmt_nanos(hot),
+            );
+        }
+        println!("  (warm has no compile/plan rows: the cache ate them)");
+    }
+    if let Ok(path) = std::env::var("PTSBE_TRACE_OUT") {
+        std::fs::write(&path, telemetry.chrome_trace()).expect("write trace");
+        println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+
+    // The full service report: every counter + stage latency table.
+    println!("\n{}", service.metrics().summary());
 
     // 4. What came out: labeled data.
     let store = store.lock().unwrap();

@@ -39,6 +39,7 @@ pub use ptsbe_rng as rng;
 pub use ptsbe_service as service;
 pub use ptsbe_stabilizer as stabilizer;
 pub use ptsbe_statevector as statevector;
+pub use ptsbe_telemetry as telemetry;
 pub use ptsbe_tensornet as tensornet;
 
 /// The commonly used names in one import.
@@ -60,5 +61,6 @@ pub mod prelude {
     pub use ptsbe_rng::{PhiloxRng, Rng};
     pub use ptsbe_service::{EngineKind, EnginePolicy, JobSpec, ServiceConfig, ShotService};
     pub use ptsbe_statevector::{SamplingStrategy, StateVector};
+    pub use ptsbe_telemetry::{Stage, TelemetryConfig, TelemetryMode, TelemetrySnapshot};
     pub use ptsbe_tensornet::{BondStats, Mps, MpsConfig, MpsOrdering};
 }
