@@ -1,0 +1,215 @@
+//! PR 10 perf snapshot: the MPS hot-path overhaul priced end to end.
+//!
+//! Three numbers, one JSON (`PTSBE_PR10_OUT`, default `BENCH_pr10.json`):
+//!
+//! 1. **Encoded-MSD prep** — the 35-qubit block-encoded distillation
+//!    circuit at `MpsConfig::adaptive(256, 1e-5, 1e-2)`, the workload
+//!    whose two-site updates and long-range gates the QR-first
+//!    reduction and the truncating zip-up rebuilt. Prep seconds plus
+//!    the invariants that prove the rebuild is a drop-in: the run stays
+//!    truncation-free (`trunc_error == 0.0`) and the 30k-shot
+//!    acceptance matches the pre-overhaul 0.1691.
+//! 2. **Batched sampling speedup** — the prefix-trie batched sampler
+//!    vs the sequential cached sweep on the shared `msd_like`
+//!    statevector workload, same per-trajectory Philox streams on both
+//!    sides. Bitwise identity is asserted *before* any timing: an
+//!    optimization that changed a single shot bit never gets a number.
+//! 3. **Warm mps-tree throughput** — the PR 9 service measurement
+//!    rerun verbatim (same workload, same seeds, forced `MpsTree`,
+//!    telemetry off) so `warm_shots_per_sec` is directly comparable to
+//!    the committed `BENCH_pr9.json`'s 67,385.
+//!
+//! Knobs: `PTSBE_PR10_QUBITS`, `PTSBE_PR10_DEPTH`, `PTSBE_PR10_TRAJ`,
+//! `PTSBE_PR10_SHOTS`, `PTSBE_PR10_MSD_SHOTS`, `PTSBE_PR10_REPS`,
+//! `PTSBE_PR10_WARM_REPS`, `PTSBE_PR10_WORKERS`, `PTSBE_PR10_OUT`.
+
+use ptsbe_bench::{env_usize, msd_like, with_entangler_depolarizing};
+use ptsbe_circuit::{NoiseModel, NoisyCircuit};
+use ptsbe_core::backend::{Backend, MpsBackend, MpsSampleMode};
+use ptsbe_core::{ProbabilisticPts, PtsSampler};
+use ptsbe_dataset::MemorySink;
+use ptsbe_qec::{codes, msd_encoded, MeasureBasis, MsdAnalysis};
+use ptsbe_rng::PhiloxRng;
+use ptsbe_service::{
+    EngineKind, EnginePolicy, JobSpec, ServiceConfig, ShotService, TelemetryConfig,
+};
+use ptsbe_tensornet::{compile_mps, prepare_mps, sample, MpsConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let out_path =
+        std::env::var("PTSBE_PR10_OUT").unwrap_or_else(|_| "BENCH_pr10.json".to_string());
+    let n = env_usize("PTSBE_PR10_QUBITS", 10);
+    let depth = env_usize("PTSBE_PR10_DEPTH", 10);
+    let n_traj = env_usize("PTSBE_PR10_TRAJ", 200);
+    let shots = env_usize("PTSBE_PR10_SHOTS", 20);
+    let msd_shots = env_usize("PTSBE_PR10_MSD_SHOTS", 30_000);
+    let reps = env_usize("PTSBE_PR10_REPS", 3).max(1);
+    let warm_reps = env_usize("PTSBE_PR10_WARM_REPS", 5).max(1);
+
+    // ------------------------------------------------------------------
+    // 1. Encoded-MSD prep under the budget-driven config (the tentpole's
+    //    headline workload — ~94 s before the QR + zip-up rebuild).
+    let code = codes::steane();
+    let (circuit, layout) = msd_encoded(&code, MeasureBasis::Z);
+    let noisy = NoiseModel::new().apply(&circuit);
+    let config = MpsConfig::adaptive(256, 1e-5, 1e-2);
+    let t0 = Instant::now();
+    let backend = MpsBackend::<f64>::new(&noisy, config, MpsSampleMode::Cached).expect("compile");
+    let (mut state, _) = backend.prepare(&[]);
+    let msd_prep_s = t0.elapsed().as_secs_f64();
+    let mut rng = PhiloxRng::new(1, 0);
+    let msd_bits = backend.sample(&mut state, msd_shots, &mut rng);
+    let msd_total_s = t0.elapsed().as_secs_f64();
+    let mut analysis = MsdAnalysis::default();
+    for &s in &msd_bits {
+        analysis.fold(&layout, None, s);
+    }
+    let stats = backend
+        .truncation_stats(&state)
+        .expect("MPS backend reports truncation stats");
+    assert!(!stats.budget_exhausted, "encoded-MSD budget blown");
+    assert_eq!(
+        stats.trunc_error, 0.0,
+        "encoded-MSD run must stay truncation-free under the pinned budget"
+    );
+    let acceptance = analysis.acceptance();
+    assert!(
+        (acceptance - 0.1691).abs() < 5e-4,
+        "acceptance {acceptance:.4} drifted from the pinned 0.1691"
+    );
+    println!(
+        "# encoded-msd: prep {msd_prep_s:.2} s | total {msd_total_s:.2} s | \
+         max_bond {} | trunc_error {:.3e} | acceptance {acceptance:.4}",
+        stats.max_bond_reached, stats.trunc_error
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Batched (prefix-trie) vs sequential sampling at the tensornet
+    //    layer, identity-checked before timing.
+    let sv_nc: NoisyCircuit = with_entangler_depolarizing(&msd_like(n, depth), 1e-3);
+    let compiled = compile_mps::<f64>(&sv_nc).expect("compile msd_like");
+    // Identity assignment (no fired Kraus branches) — the same
+    // trajectory the router's probe runs.
+    let identity = vec![0usize; compiled.sites().len()];
+    let (mut mps, _) = prepare_mps(&compiled, &identity, MpsConfig::default());
+    let seed = 0x5017u64;
+    let streams = |mps: &mut ptsbe_tensornet::Mps<f64>, batched: bool| -> Vec<Vec<u128>> {
+        if batched {
+            let mut rngs: Vec<PhiloxRng> = (0..n_traj as u64)
+                .map(|t| PhiloxRng::for_trajectory(seed, t))
+                .collect();
+            let mut reqs: Vec<(usize, &mut PhiloxRng)> =
+                rngs.iter_mut().map(|r| (shots, r)).collect();
+            sample::sample_shots_batched(mps, &mut reqs)
+        } else {
+            (0..n_traj as u64)
+                .map(|t| {
+                    let mut rng = PhiloxRng::for_trajectory(seed, t);
+                    sample::sample_shots_cached(mps, shots, &mut rng)
+                })
+                .collect()
+        }
+    };
+    let expect = streams(&mut mps, false);
+    let got = streams(&mut mps, true);
+    assert_eq!(expect, got, "batched sampling diverged from sequential");
+    drop((expect, got));
+    let best_of = |mps: &mut ptsbe_tensornet::Mps<f64>, batched: bool| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let out = streams(mps, batched);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(out.len(), n_traj);
+                ms
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let sequential_ms = best_of(&mut mps, false);
+    let batched_ms = best_of(&mut mps, true);
+    let speedup = sequential_ms / batched_ms;
+    println!(
+        "# batched sampling: sequential {sequential_ms:.2} ms | batched {batched_ms:.2} ms | \
+         {speedup:.2}x ({n_traj} trajectories x {shots} shots, bitwise identical)"
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Warm mps-tree service throughput, PR 9's measurement verbatim.
+    let mut rng = PhiloxRng::new(0x9125, 0);
+    let sv_plan = ProbabilisticPts {
+        n_samples: n_traj,
+        shots_per_trajectory: shots,
+        dedup: false,
+    }
+    .sample_plan(&sv_nc, &mut rng);
+    let spec = JobSpec::new("bench-pr10-mps", Arc::new(sv_nc), Arc::new(sv_plan), 17)
+        .with_engine(EnginePolicy::Force(EngineKind::MpsTree));
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: env_usize("PTSBE_PR10_WORKERS", 0),
+        telemetry: Some(TelemetryConfig::off()),
+        ..ServiceConfig::default()
+    });
+    let submit = |spec: JobSpec| {
+        let (sink, _) = MemorySink::new();
+        let report = service.submit(spec, Box::new(sink)).expect("submit").wait();
+        assert!(report.status.is_success(), "{report:?}");
+        assert_eq!(report.engine, Some(EngineKind::MpsTree), "misrouted");
+        report
+    };
+    let t0 = Instant::now();
+    let cold = submit(spec.clone());
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let after_cold = service.cache_stats();
+    let mut warm_best_ms = f64::INFINITY;
+    for _ in 0..warm_reps {
+        let t0 = Instant::now();
+        submit(spec.clone());
+        warm_best_ms = warm_best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let after_warm = service.cache_stats();
+    assert_eq!(
+        after_warm.compile_misses() + after_warm.tree_misses,
+        after_cold.compile_misses() + after_cold.tree_misses,
+        "warm repeats must not compile or plan"
+    );
+    let warm_shots_per_sec = cold.shots as f64 / (warm_best_ms / 1e3);
+    println!(
+        "# mps-tree service: cold {cold_ms:.1} ms | warm best {warm_best_ms:.2} ms | \
+         {warm_shots_per_sec:.0} shots/s"
+    );
+
+    // ------------------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 10,");
+    let _ = writeln!(json, "  \"bench\": \"mps_hot_path_overhaul\",");
+    let _ = writeln!(
+        json,
+        "  \"encoded_msd\": {{ \"prep_seconds\": {msd_prep_s:.2}, \
+         \"total_seconds\": {msd_total_s:.2}, \"shots\": {msd_shots}, \
+         \"max_bond_reached\": {}, \"trunc_error\": {:.1}, \
+         \"budget_exhausted\": false, \"acceptance\": {acceptance:.4} }},",
+        stats.max_bond_reached, stats.trunc_error
+    );
+    let _ = writeln!(
+        json,
+        "  \"batched_sampling\": {{ \"trajectories\": {n_traj}, \
+         \"shots_per_trajectory\": {shots}, \"sequential_ms\": {sequential_ms:.3}, \
+         \"batched_ms\": {batched_ms:.3}, \"speedup\": {speedup:.2}, \
+         \"bitwise_identical\": true }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"mps_tree_service\": {{ \"cold_ms\": {cold_ms:.3}, \
+         \"warm_best_ms\": {warm_best_ms:.3}, \"shots_per_job\": {}, \
+         \"warm_shots_per_sec\": {warm_shots_per_sec:.0} }}",
+        cold.shots
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    println!("# wrote {out_path}");
+}

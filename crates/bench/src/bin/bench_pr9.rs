@@ -10,9 +10,25 @@
 //!    Run the baseline build first; it writes its warm timings to
 //!    `PTSBE_PR9_BASELINE` (default `target/BENCH_pr9_baseline.json`)
 //!    and exits. The normal build reads that file and asserts the
-//!    telemetry-off overhead stays within `PTSBE_PR9_TOL` (default 2%)
-//!    on the summed best-of-reps warm walls. No baseline file → the
-//!    comparison is skipped with a note, never silently.
+//!    telemetry-off overhead stays within `PTSBE_PR9_TOL` on the summed
+//!    best-of-reps warm walls. No baseline file → the comparison is
+//!    skipped with a note, never silently.
+//!
+//!    Both sides take the same minimum twice over: best-of-`warm_reps`
+//!    warm walls within a service, then best-of-`PTSBE_PR9_MEASURE_REPS`
+//!    (default 2) across fresh services. The double minimum is the
+//!    noise floor of each build — PR 9's raw measurement once read −3%
+//!    "overhead" (the *instrumented* build faster than no-hooks), which
+//!    is physically meaningless and was pure run-to-run scatter from
+//!    single-service sampling.
+//!
+//!    `PTSBE_PR9_TOL` is the one-sided overhead ceiling as a fraction
+//!    (`0.02` = 2%). The default holds the module-documented ≤2%
+//!    contract for quiet machines; CI sets `0.10` because shared
+//!    runners jitter more than the hooks could ever cost — the check
+//!    there guards against regressions an order of magnitude above the
+//!    contract, not the contract itself. Negative overhead always
+//!    passes: the assert is one-sided by design.
 //! 2. **Decomposition** — with spans mode on, each engine's warm job is
 //!    broken down per stage (queue-wait/route/compile/prep/sample/sink)
 //!    and the breakdown lands in `BENCH_pr9.json` alongside the span
@@ -26,8 +42,8 @@
 //!
 //! Knobs: `PTSBE_PR9_QUBITS`, `PTSBE_PR9_DEPTH`, `PTSBE_PR9_TRAJ`,
 //! `PTSBE_PR9_SHOTS`, `PTSBE_PR9_FRAME_SHOTS`, `PTSBE_PR9_WARM_REPS`,
-//! `PTSBE_PR9_WORKERS`, `PTSBE_PR9_OUT`, `PTSBE_PR9_BASELINE`,
-//! `PTSBE_PR9_TOL`.
+//! `PTSBE_PR9_MEASURE_REPS`, `PTSBE_PR9_WORKERS`, `PTSBE_PR9_OUT`,
+//! `PTSBE_PR9_BASELINE`, `PTSBE_PR9_TOL`.
 
 use ptsbe_bench::{env_usize, msd_like, with_entangler_depolarizing};
 use ptsbe_circuit::{channels, Circuit, NoiseModel, NoisyCircuit};
@@ -116,6 +132,37 @@ fn measure(
     }
 }
 
+/// Best-of-`outer_reps` independent services: each rep is a full
+/// `measure` (fresh service, cold submit, best-of-`warm_reps` warm
+/// submits), and the overhead comparison keeps the minimum warm wall
+/// across reps. Run symmetrically on the no-hooks baseline and the
+/// telemetry-off build so the contract compares noise floors, not one
+/// lucky/unlucky service instance against another.
+fn measure_best(
+    label: &'static str,
+    spec: &JobSpec,
+    expect: EngineKind,
+    warm_reps: usize,
+    outer_reps: usize,
+    telemetry: TelemetryConfig,
+) -> WarmTiming {
+    let mut best: Option<WarmTiming> = None;
+    for _ in 0..outer_reps.max(1) {
+        let t = measure(label, spec, expect, warm_reps, telemetry.clone());
+        best = Some(match best {
+            None => t,
+            Some(b) => WarmTiming {
+                label,
+                cold_ms: b.cold_ms.min(t.cold_ms),
+                warm_best_ms: b.warm_best_ms.min(t.warm_best_ms),
+                warm_mean_ms: b.warm_mean_ms.min(t.warm_mean_ms),
+                shots_per_job: b.shots_per_job,
+            },
+        });
+    }
+    best.expect("outer_reps >= 1")
+}
+
 /// Pull `"key": <number>` out of a flat JSON string (the baseline file
 /// this binary itself writes — not a general parser).
 #[cfg(not(feature = "telemetry-baseline"))]
@@ -136,6 +183,7 @@ fn main() {
     let shots = env_usize("PTSBE_PR9_SHOTS", 20);
     let frame_shots = env_usize("PTSBE_PR9_FRAME_SHOTS", 2_000_000);
     let warm_reps = env_usize("PTSBE_PR9_WARM_REPS", 5);
+    let measure_reps = env_usize("PTSBE_PR9_MEASURE_REPS", 2);
     let baseline_path = std::env::var("PTSBE_PR9_BASELINE")
         .unwrap_or_else(|_| "target/BENCH_pr9_baseline.json".to_string());
 
@@ -202,7 +250,14 @@ fn main() {
         let rows: Vec<WarmTiming> = specs
             .iter()
             .map(|(label, spec, kind)| {
-                measure(label, spec, *kind, warm_reps, TelemetryConfig::off())
+                measure_best(
+                    label,
+                    spec,
+                    *kind,
+                    warm_reps,
+                    measure_reps,
+                    TelemetryConfig::off(),
+                )
             })
             .collect();
         let mut json = String::new();
@@ -246,7 +301,14 @@ fn main() {
         let off_rows: Vec<WarmTiming> = specs
             .iter()
             .map(|(label, spec, kind)| {
-                measure(label, spec, *kind, warm_reps, TelemetryConfig::off())
+                measure_best(
+                    label,
+                    spec,
+                    *kind,
+                    warm_reps,
+                    measure_reps,
+                    TelemetryConfig::off(),
+                )
             })
             .collect();
 
@@ -321,7 +383,7 @@ fn main() {
             json,
             "  \"workload\": {{ \"n_qubits\": {n}, \"depth\": {depth}, \"trajectories\": {n_traj}, \
              \"shots_per_trajectory\": {shots}, \"frame_shots\": {frame_shots}, \
-             \"warm_reps\": {warm_reps} }},"
+             \"warm_reps\": {warm_reps}, \"measure_reps\": {measure_reps} }},"
         );
         match overhead {
             Some(o) => {

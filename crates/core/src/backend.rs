@@ -146,6 +146,26 @@ pub trait Backend: Sync {
         rng: &mut R,
     ) -> Vec<u128>;
 
+    /// Sample several shot requests — each with its own RNG stream —
+    /// from one shared prepared state, returning one record vector per
+    /// request in order. Executors call this for deduplicated
+    /// trajectories that end on the same state (only meaningful when
+    /// [`Backend::sample_mutates_state`] is `false`). Every
+    /// implementation must be bitwise identical to calling
+    /// [`Backend::sample`] per request in order; the default does
+    /// exactly that, and backends override it to share per-state
+    /// sampling caches across requests.
+    fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        state: &mut Self::State,
+        requests: &mut [(usize, &mut R)],
+    ) -> Vec<Vec<u128>> {
+        requests
+            .iter_mut()
+            .map(|(shots, rng)| self.sample(state, *shots, *rng))
+            .collect()
+    }
+
     /// Truncation observability for a prepared state: `None` for exact
     /// backends, `Some` for lossy ones (MPS). Executors attach this to
     /// each emitted trajectory's metadata.
@@ -260,9 +280,15 @@ impl<T: Scalar> Backend for SvBackend<T> {
 /// MPS sampling mode (paper Fig. 5 discussion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MpsSampleMode {
-    /// Canonicalize once, conditional-sample per shot (the projected
-    /// "cached intermediates" behavior).
+    /// Canonicalize once, then amortize the conditional partial
+    /// contractions across shots (and across trajectories sharing a
+    /// prepared state) through a prefix trie — the paper's
+    /// non-degenerate batched sampling. Bitwise identical to `Cached`.
     #[default]
+    Batched,
+    /// Canonicalize once, conditional-sample per shot (the projected
+    /// "cached intermediates" behavior; the sequential reference the
+    /// batched mode is pinned against).
     Cached,
     /// Re-run the canonicalization sweep per shot (surrogate for the
     /// re-contraction cost the paper measured against).
@@ -354,6 +380,14 @@ impl<T: Scalar> Backend for MpsBackend<T> {
         dst.copy_from(src);
     }
 
+    fn sample_mutates_state(&self) -> bool {
+        // Conditional sampling only canonicalizes (center → site 0), a
+        // deterministic, idempotent gauge move that never truncates —
+        // records drawn after it are bitwise independent of whether a
+        // previous trajectory already canonicalized the shared state.
+        false
+    }
+
     fn sample<R: Rng + ?Sized>(
         &self,
         state: &mut Self::State,
@@ -361,6 +395,9 @@ impl<T: Scalar> Backend for MpsBackend<T> {
         rng: &mut R,
     ) -> Vec<u128> {
         let raw = match self.mode {
+            MpsSampleMode::Batched => {
+                ptsbe_tensornet::sample::sample_shots_batched_one(state, shots, rng)
+            }
             MpsSampleMode::Cached => {
                 ptsbe_tensornet::sample::sample_shots_cached(state, shots, rng)
             }
@@ -369,6 +406,32 @@ impl<T: Scalar> Backend for MpsBackend<T> {
         let measured = self.compiled.measured_qubits();
         raw.into_iter()
             .map(|full| ptsbe_rng::bits::extract_bits(full, measured))
+            .collect()
+    }
+
+    fn sample_batch<R: Rng + ?Sized>(
+        &self,
+        state: &mut Self::State,
+        requests: &mut [(usize, &mut R)],
+    ) -> Vec<Vec<u128>> {
+        let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::SampleBatch);
+        if self.mode != MpsSampleMode::Batched {
+            return requests
+                .iter_mut()
+                .map(|(shots, rng)| self.sample(state, *shots, *rng))
+                .collect();
+        }
+        // One shared trie amortizes the conditional contractions across
+        // every shot of every trajectory ending on this state.
+        let raw = ptsbe_tensornet::sample::sample_shots_batched(state, requests);
+        let measured = self.compiled.measured_qubits();
+        raw.into_iter()
+            .map(|shots| {
+                shots
+                    .into_iter()
+                    .map(|full| ptsbe_rng::bits::extract_bits(full, measured))
+                    .collect()
+            })
             .collect()
     }
 

@@ -422,6 +422,37 @@ impl<B: Backend> TreeCtx<'_, B> {
         };
         let fork_per_leaf = self.backend.sample_mutates_state();
         out.reserve(node.leaves.len());
+        if !fork_per_leaf && node.leaves.len() > 1 && realized > 0.0 {
+            // Deduplicated trajectories ending on this state sample in
+            // one batched call: per-state caches are shared while each
+            // trajectory keeps its own absolute-plan-index Philox
+            // stream, so the records stay bitwise identical to the
+            // per-leaf loop below.
+            let mut rngs: Vec<PhiloxRng> = node
+                .leaves
+                .iter()
+                .map(|&idx| PhiloxRng::for_trajectory(seed, idx as u64))
+                .collect();
+            let mut requests: Vec<(usize, &mut PhiloxRng)> = node
+                .leaves
+                .iter()
+                .zip(rngs.iter_mut())
+                .map(|(&idx, rng)| (self.plan.trajectories[idx].shots, rng))
+                .collect();
+            let batches = {
+                let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::Sample);
+                self.backend.sample_batch(&mut state, &mut requests)
+            };
+            for (&idx, shots) in node.leaves.iter().zip(batches) {
+                let traj = &self.plan.trajectories[idx];
+                let mut meta = TrajectoryMeta::from_assignment(self.nc, idx, &traj.choices);
+                meta.realized_prob = realized;
+                meta.truncation = self.backend.truncation_stats(&state);
+                out.push((idx, TrajectoryResult { meta, shots }));
+            }
+            self.backend.release(state, self.pool);
+            return;
+        }
         for (i, &idx) in node.leaves.iter().enumerate() {
             let traj = &self.plan.trajectories[idx];
             let mut rng = PhiloxRng::for_trajectory(seed, idx as u64);
@@ -860,6 +891,45 @@ mod tests {
             for (a, b) in tree.trajectories.iter().zip(&flat.trajectories) {
                 assert_eq!(a.meta.choices, b.meta.choices);
                 assert_eq!(a.meta.traj_id, b.meta.traj_id);
+                assert_eq!(
+                    a.meta.realized_prob.to_bits(),
+                    b.meta.realized_prob.to_bits(),
+                    "realized probability must be bitwise identical"
+                );
+                assert_eq!(a.shots, b.shots, "shots must be bitwise identical");
+            }
+        }
+    }
+
+    #[test]
+    fn mps_tree_batched_bitwise_matches_sequential_flat() {
+        // Batched prefix-trie sampling over the tree walk (shared leaf
+        // states, one sample_batch call per node) must reproduce —
+        // bitwise — a flat execution with the sequential cached sweep.
+        use crate::backend::{MpsBackend, MpsSampleMode};
+        use ptsbe_tensornet::MpsConfig;
+        let nc = noisy_bell(0.15);
+        let mut rng = PhiloxRng::new(168, 0);
+        let plan = ProbabilisticPts {
+            n_samples: 60,
+            shots_per_trajectory: 40,
+            dedup: false, // duplicates exercise the shared-leaf batch path
+        }
+        .sample_plan(&nc, &mut rng);
+        let sequential =
+            MpsBackend::<f64>::new(&nc, MpsConfig::exact(), MpsSampleMode::Cached).unwrap();
+        let flat = BatchedExecutor {
+            seed: 7,
+            parallel: false,
+        }
+        .execute(&sequential, &nc, &plan);
+        let batched =
+            MpsBackend::<f64>::new(&nc, MpsConfig::exact(), MpsSampleMode::Batched).unwrap();
+        for parallel in [false, true] {
+            let tree = TreeExecutor { seed: 7, parallel }.execute(&batched, &nc, &plan);
+            assert_eq!(tree.trajectories.len(), flat.trajectories.len());
+            for (a, b) in tree.trajectories.iter().zip(&flat.trajectories) {
+                assert_eq!(a.meta.choices, b.meta.choices);
                 assert_eq!(
                     a.meta.realized_prob.to_bits(),
                     b.meta.realized_prob.to_bits(),

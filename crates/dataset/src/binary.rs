@@ -98,7 +98,7 @@ pub fn decode(mut data: Bytes) -> io::Result<(DatasetHeader, Vec<TrajectoryRecor
         }
         let mut shots = Vec::with_capacity(n_shots);
         for _ in 0..n_shots {
-            shots.push(format!("{:x}", data.get_u128_le()));
+            shots.push(crate::record::hex_u128(data.get_u128_le()));
         }
         records.push(TrajectoryRecord { meta, shots });
     }

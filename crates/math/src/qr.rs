@@ -105,6 +105,181 @@ pub fn qr_thin<T: Scalar>(a: &Matrix<T>) -> Qr<T> {
     Qr { q, r }
 }
 
+/// Result of a column-pivoted (rank-revealing) thin QR factorization
+/// `A · P = Q · R`, with `Q` held implicitly as its Householder
+/// reflectors (apply it via [`QrCp::apply_q`]). Pivoting picks the
+/// largest remaining column at every step, so the magnitudes of `R`'s
+/// diagonal are non-increasing and the trailing rows of `R` collect the
+/// numerically negligible directions — the property [`crate::svd::svd_qr`]
+/// uses to shrink rank-deficient SVDs before the expensive iteration.
+///
+/// Unlike [`qr_thin`], the diagonal of `R` is *not* phase-normalized
+/// (the SVD consumer doesn't care, and normalizing an implicit `Q` would
+/// cost an extra pass).
+pub struct QrCp<T: Scalar> {
+    /// Householder reflectors `v_j` (unit norm, length `m - j`), in
+    /// elimination order. Empty vectors are identity steps.
+    reflectors: Vec<Vec<Complex<T>>>,
+    /// Upper-triangular factor, `k×n`, columns already permuted.
+    pub r: Matrix<T>,
+    /// `perm[j]` = original column of `A` now at position `j`.
+    pub perm: Vec<usize>,
+    rows: usize,
+}
+
+impl<T: Scalar> QrCp<T> {
+    /// Apply the implicit `Q` to the zero-padded extension of `x`:
+    /// returns `Q · [x; 0]` (shape `m × x.cols()`), i.e. `x` expressed
+    /// in the basis of `Q`'s leading columns. Reflectors acting entirely
+    /// below `x`'s rows are provable no-ops on the padding and skipped.
+    pub fn apply_q(&self, x: &Matrix<T>) -> Matrix<T> {
+        let m = self.rows;
+        let p = x.cols();
+        let active = self.reflectors.len().min(x.rows());
+        let mut cols: Vec<Vec<Complex<T>>> = (0..p)
+            .map(|c| {
+                let mut col = vec![Complex::zero(); m];
+                for r in 0..x.rows() {
+                    col[r] = x[(r, c)];
+                }
+                col
+            })
+            .collect();
+        for j in (0..active).rev() {
+            let v = &self.reflectors[j];
+            if v.is_empty() {
+                continue;
+            }
+            for col in &mut cols {
+                reflect(v, &mut col[j..]);
+            }
+        }
+        let mut out = Matrix::zeros(m, p);
+        for (c, col) in cols.iter().enumerate() {
+            for (r, z) in col.iter().enumerate() {
+                out[(r, c)] = *z;
+            }
+        }
+        out
+    }
+}
+
+/// Apply `H = I - 2vv†` to one contiguous column slice (`v` unit norm).
+#[inline]
+fn reflect<T: Scalar>(v: &[Complex<T>], col: &mut [Complex<T>]) {
+    let mut w = Complex::zero();
+    for (vi, x) in v.iter().zip(col.iter()) {
+        w += vi.conj() * *x;
+    }
+    let w2 = w.scale(T::TWO);
+    for (vi, x) in v.iter().zip(col.iter_mut()) {
+        *x -= *vi * w2;
+    }
+}
+
+/// Column-pivoted thin QR `A · P = Q · R` (see [`QrCp`]).
+///
+/// Remaining-column norms are tracked by downdating with a cancellation
+/// guard (recompute when the downdated estimate loses eight digits
+/// against the column's start-of-factorization norm), the LINPACK
+/// recipe.
+pub fn qr_cp<T: Scalar>(a: &Matrix<T>) -> QrCp<T> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+
+    // Column-major working copy: every Householder application below is
+    // a pass over contiguous memory.
+    let mut cols: Vec<Vec<Complex<T>>> = (0..n)
+        .map(|c| (0..m).map(|r| a[(r, c)]).collect())
+        .collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut norms: Vec<T> = cols.iter().map(|col| col_norm_sqr(col)).collect();
+    let mut ref_norms = norms.clone();
+    let mut reflectors: Vec<Vec<Complex<T>>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Pivot: largest remaining column (by downdated estimate).
+        let mut p = j;
+        for c in j + 1..n {
+            if norms[c] > norms[p] {
+                p = c;
+            }
+        }
+        if p != j {
+            cols.swap(j, p);
+            perm.swap(j, p);
+            norms.swap(j, p);
+            ref_norms.swap(j, p);
+        }
+
+        let mut v: Vec<Complex<T>> = cols[j][j..].to_vec();
+        let norm_x = col_norm_sqr(&v).sqrt();
+        if norm_x <= T::tol() {
+            // Largest remaining column is negligible: the factorization
+            // is complete, but keep the loop shape (identity steps).
+            reflectors.push(Vec::new());
+            continue;
+        }
+        let x0 = v[0];
+        let phase = if x0.abs() <= T::eps() {
+            Complex::one()
+        } else {
+            x0.scale(T::ONE / x0.abs())
+        };
+        let alpha = -(phase.scale(norm_x));
+        v[0] -= alpha;
+        let vn = col_norm_sqr(&v).sqrt();
+        if vn <= T::eps() {
+            reflectors.push(Vec::new());
+            cols[j][j] = alpha;
+            cols[j][j + 1..].fill(Complex::zero());
+        } else {
+            let inv = T::ONE / vn;
+            for c in &mut v {
+                *c = c.scale(inv);
+            }
+            cols[j][j] = alpha;
+            cols[j][j + 1..].fill(Complex::zero());
+            for col in cols.iter_mut().skip(j + 1) {
+                reflect(&v, &mut col[j..]);
+            }
+            reflectors.push(v);
+        }
+
+        // Downdate the remaining norms by the row the reflector exposed.
+        for c in j + 1..n {
+            let head = cols[c][j].norm_sqr();
+            let down = norms[c] - head;
+            norms[c] = if down <= ref_norms[c] * T::from_f64(1e-8) {
+                // Cancellation: recompute from what actually remains.
+                let fresh = col_norm_sqr(&cols[c][j + 1..]);
+                ref_norms[c] = fresh;
+                fresh
+            } else {
+                down
+            };
+        }
+    }
+
+    let mut r = Matrix::zeros(k, n);
+    for (c, col) in cols.iter().enumerate() {
+        for i in 0..k.min(c + 1) {
+            r[(i, c)] = col[i];
+        }
+    }
+    QrCp {
+        reflectors,
+        r,
+        perm,
+        rows: m,
+    }
+}
+
+fn col_norm_sqr<T: Scalar>(col: &[Complex<T>]) -> T {
+    col.iter().map(|z| z.norm_sqr()).fold(T::ZERO, |a, b| a + b)
+}
+
 fn vec_norm<T: Scalar>(v: &[Complex<T>]) -> T {
     v.iter()
         .map(|z| z.norm_sqr())
@@ -232,5 +407,107 @@ mod tests {
         let Qr { q, r } = qr_thin(&a);
         assert!(q.max_abs_diff(&a) < 1e-12);
         assert!(r.max_abs_diff(&a) < 1e-12);
+    }
+
+    /// `A[:, perm[c]] == (Q·R)[:, c]`, Q implicit. Also checks R is upper
+    /// triangular with non-increasing diagonal magnitudes (the pivoting
+    /// contract the rank detection in `svd_qrcp` rests on).
+    fn check_qr_cp(a: &Matrix<f64>, tol: f64) {
+        let cp = qr_cp(a);
+        let k = a.rows().min(a.cols());
+        assert_eq!(cp.r.rows(), k);
+        assert_eq!(cp.r.cols(), a.cols());
+        let mut seen = vec![false; a.cols()];
+        for &p in &cp.perm {
+            assert!(!seen[p], "perm is not a permutation");
+            seen[p] = true;
+        }
+        let recon = cp.apply_q(&cp.r);
+        for c in 0..a.cols() {
+            for r in 0..a.rows() {
+                let diff = (recon[(r, c)] - a[(r, cp.perm[c])]).abs();
+                assert!(diff < tol, "A·P != Q·R at ({r}, {c}): {diff:.3e}");
+            }
+        }
+        let mut prev = f64::INFINITY;
+        for i in 0..k {
+            for c in 0..i {
+                assert!(cp.r[(i, c)].abs() < tol, "R not upper triangular");
+            }
+            let d = cp.r[(i, i)].abs();
+            assert!(
+                d <= prev + tol,
+                "pivoted diagonal not non-increasing: |r{i}{i}| = {d:.3e} > {prev:.3e}"
+            );
+            prev = d;
+        }
+        // Implicit Q is an isometry: apply it to I_k and check.
+        let q = cp.apply_q(&Matrix::identity(k));
+        let qtq = q.dagger().mul_ref(&q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(k)) < tol, "Q†Q != I");
+    }
+
+    #[test]
+    fn qr_cp_random_shapes() {
+        let mut rng = PhiloxRng::new(45, 0);
+        for (m, n) in [
+            (1usize, 1usize),
+            (5, 5),
+            (8, 3),
+            (3, 8),
+            (16, 16),
+            (16, 24),
+            (24, 16),
+        ] {
+            let a = random_matrix::<f64>(m, n, &mut rng);
+            check_qr_cp(&a, 1e-10);
+        }
+    }
+
+    #[test]
+    fn qr_cp_rank_deficient_exposes_rank() {
+        // Rank-3 12×12 matrix: the pivoted R must push everything past
+        // row 3 down to machine noise, and still reconstruct A exactly.
+        let mut rng = PhiloxRng::new(46, 0);
+        let l = random_matrix::<f64>(12, 3, &mut rng);
+        let r = random_matrix::<f64>(3, 12, &mut rng);
+        let a = l.mul_ref(&r);
+        check_qr_cp(&a, 1e-9);
+        let cp = qr_cp(&a);
+        let scale = cp.r[(0, 0)].abs();
+        for i in 3..12 {
+            assert!(
+                cp.r[(i, i)].abs() < scale * 1e-12,
+                "rank-3 input left |r{i}{i}| = {:.3e}",
+                cp.r[(i, i)].abs()
+            );
+        }
+    }
+
+    #[test]
+    fn qr_cp_zero_matrix() {
+        let a = Matrix::<f64>::zeros(4, 3);
+        let cp = qr_cp(&a);
+        assert!(cp.r.max_abs_diff(&Matrix::zeros(3, 3)) < 1e-15);
+        assert!(cp.apply_q(&cp.r).max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn qr_cp_apply_q_pads_short_input() {
+        // apply_q must treat x as zero-padded to m rows: Q·[x; 0] with a
+        // 2-row x against 6-row reflectors.
+        let mut rng = PhiloxRng::new(47, 0);
+        let a = random_matrix::<f64>(6, 4, &mut rng);
+        let cp = qr_cp(&a);
+        let x = random_matrix::<f64>(2, 3, &mut rng);
+        let mut padded = Matrix::zeros(4, 3);
+        for r in 0..2 {
+            for c in 0..3 {
+                padded[(r, c)] = x[(r, c)];
+            }
+        }
+        let got = cp.apply_q(&x);
+        let want = cp.apply_q(&padded);
+        assert!(got.max_abs_diff(&want) < 1e-12);
     }
 }

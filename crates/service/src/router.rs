@@ -107,6 +107,17 @@ pub enum RouteReason {
         /// The budget it exceeded.
         budget: f64,
     },
+    /// The job's own bond cap was binding when its probe blew the
+    /// truncation budget, so the router routed MPS at the service's
+    /// honest bond ceiling instead of refusing or shrinking — a tighter
+    /// cap is slower *and* wrong (every over-cap update truncates, and
+    /// the discarded weight compounds).
+    HonestCeiling {
+        /// The bond cap the job asked for.
+        requested: usize,
+        /// The ceiling the job actually ran at.
+        raised: usize,
+    },
     /// The originally routed engine failed fatally at runtime (retry
     /// budget exhausted before any output was committed), and the job
     /// gracefully degraded to a dense fallback.
@@ -152,6 +163,13 @@ impl std::fmt::Display for RouteReason {
                     f,
                     "mps probe truncation {trunc_error:.3e} exceeds budget {budget:.3e}; \
                      re-routed to a dense engine"
+                )
+            }
+            RouteReason::HonestCeiling { requested, raised } => {
+                write!(
+                    f,
+                    "bond cap {requested} was binding when the mps probe blew the truncation \
+                     budget; routed at the honest ceiling {raised}"
                 )
             }
             RouteReason::EngineFallback { from } => {
@@ -293,6 +311,48 @@ fn mps_probe<T: Scalar>(
     })
 }
 
+/// Honest-ceiling retry: when a probe blows the budget *because the
+/// job's bond cap was binding* (`max_bond_reached` hit the cap), the
+/// truncation is an artifact of the cap, not the circuit — rebuild the
+/// MPS entry at the service ceiling and re-probe. Returns the raised
+/// route when the probe passes there; `None` when the cap was not the
+/// problem, the ceiling is no higher, or the budget is blown even at
+/// the ceiling (the caller falls through to refusal/dense logic).
+#[allow(clippy::type_complexity)]
+fn raise_to_honest_ceiling<T: Scalar>(
+    cache: &CompileCache<T>,
+    cfg: &ServiceConfig,
+    spec: &JobSpec,
+    circuit_hash: u64,
+    probe: &ptsbe_core::backend::TruncationStats,
+) -> Option<(RouteDecision, EngineExec<T>)> {
+    if probe.max_bond_reached < spec.mps.max_bond || cfg.mps_bond_ceiling <= spec.mps.max_bond {
+        return None;
+    }
+    let raised_cfg = spec.mps.with_max_bond(cfg.mps_bond_ceiling);
+    let nc = spec.circuit.as_ref();
+    // Cache keys hash every MpsConfig field, so the raised compile is a
+    // separate (warm-reusable) entry from the refused one.
+    let entry = cache.mps(nc, circuit_hash, raised_cfg, spec.fuse).ok()?;
+    let raised_probe = mps_probe(&entry, nc)?;
+    if raised_probe.budget_exhausted {
+        return None;
+    }
+    let tree = cache.plan_tree(circuit_hash, &spec.plan);
+    Some((
+        RouteDecision {
+            engine: EngineKind::MpsTree,
+            reason: RouteReason::HonestCeiling {
+                requested: spec.mps.max_bond,
+                raised: cfg.mps_bond_ceiling,
+            },
+            geometry: None,
+            truncation: Some(raised_probe),
+        },
+        EngineExec::MpsTree { entry, tree },
+    ))
+}
+
 /// Route `spec` and materialize its engine from `cache`.
 ///
 /// # Errors
@@ -315,6 +375,14 @@ pub(crate) fn route_job<T: Scalar>(
                     let probe = mps_probe(entry, nc);
                     if let Some(p) = probe {
                         if p.budget_exhausted {
+                            // Raising the bond ceiling still honors
+                            // `Force` — the job stays on MPS, just at
+                            // an honest cap.
+                            if let Some(raised) =
+                                raise_to_honest_ceiling(cache, cfg, spec, circuit_hash, &p)
+                            {
+                                return Ok(raised);
+                            }
                             // The caller demanded MPS; silently handing
                             // the job to another engine would violate
                             // `Force`, so refuse outright.
@@ -382,6 +450,15 @@ pub(crate) fn route_job<T: Scalar>(
                 };
                 if let Some(p) = truncation {
                     if p.budget_exhausted {
+                        // Prefer keeping the job on MPS at an honest
+                        // ceiling over any dense fallback: when the
+                        // job's own cap caused the blowout, the raised
+                        // route is both faster and accurate.
+                        if let Some(raised) =
+                            raise_to_honest_ceiling(cache, cfg, spec, circuit_hash, &p)
+                        {
+                            return Ok(raised);
+                        }
                         if nc.n_qubits() > DENSE_FEASIBLE_MAX_QUBITS {
                             return Err(format!(
                                 "{MPS_REFUSAL_PREFIX} identity-assignment probe truncation \

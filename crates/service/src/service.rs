@@ -142,6 +142,14 @@ pub struct ServiceConfig {
     /// Route the MPS tree engine at/above this qubit count (a dense
     /// statevector of 30 qubits is 16 GiB at f64).
     pub mps_qubit_threshold: usize,
+    /// Honest bond ceiling: when a job's own `max_bond` blows its
+    /// cumulative truncation budget *because the cap was binding*, the
+    /// router retries the probe at this ceiling and routes MPS there
+    /// instead of refusing or degrading to a dense engine. Tight caps
+    /// are a false economy — the ROADMAP measured χ=192 both slower
+    /// (more per-bond truncations) and wrong (28% truncation error)
+    /// against χ=256 on the encoded-MSD workload.
+    pub mps_bond_ceiling: usize,
     /// Let executors fan out over rayon *inside* a chunk. Output-neutral
     /// (executors are scheduling-deterministic); disable to keep each
     /// worker single-core when the pool itself saturates the machine.
@@ -180,6 +188,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             sharing_threshold: 0.5,
             mps_qubit_threshold: 30,
+            mps_bond_ceiling: ptsbe_tensornet::MpsConfig::EXACT_MAX_BOND,
             executor_parallel: false,
             batch: BatchConfig::default(),
             cache_budget_bytes: None,
@@ -1018,7 +1027,7 @@ fn execute_chunk<T: Scalar>(
                         errors: Vec::new(),
                         truncation: None,
                     },
-                    shots: result.shots.iter().map(|s| format!("{s:x}")).collect(),
+                    shots: ptsbe_dataset::record::hex_shots(&result.shots),
                 }]
             })
         }

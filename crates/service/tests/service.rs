@@ -190,7 +190,9 @@ fn mps_job_within_budget_keeps_engine_and_records_probe() {
 
 /// With `max_bond: 1` a Bell pair sheds half its mass: the probe blows
 /// the cumulative budget and the auto router falls back to a dense
-/// engine instead of delivering out-of-budget samples.
+/// engine instead of delivering out-of-budget samples. The honest bond
+/// ceiling is pinned at the job's own cap here — when the service has
+/// no headroom to raise to, the dense fallback is still the answer.
 #[test]
 fn blown_truncation_budget_reroutes_to_dense() {
     let nc = bell_circuit(0.02);
@@ -198,6 +200,7 @@ fn blown_truncation_budget_reroutes_to_dense() {
     let service: ShotService = ShotService::start(ServiceConfig {
         workers: 1,
         mps_qubit_threshold: 2,
+        mps_bond_ceiling: 1,
         ..ServiceConfig::default()
     });
     let mut spec = JobSpec::new("blown-budget", nc, plan.clone(), 7);
@@ -231,13 +234,18 @@ fn blown_truncation_budget_reroutes_to_dense() {
     );
 }
 
-/// Forcing the MPS engine removes the fallback: a blown budget is a
-/// refusal, not a silent engine swap.
+/// Forcing the MPS engine removes the dense fallback: with no ceiling
+/// headroom either, a blown budget is a refusal, not a silent engine
+/// swap.
 #[test]
 fn forced_mps_job_with_blown_budget_is_refused() {
     let nc = bell_circuit(0.02);
     let plan = plan_for(&nc, 8, 5, true, 33);
-    let service: ShotService = ShotService::start(one_worker());
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 1,
+        mps_bond_ceiling: 1,
+        ..ServiceConfig::default()
+    });
     let mut spec =
         JobSpec::new("refused", nc, plan, 7).with_engine(EnginePolicy::Force(EngineKind::MpsTree));
     spec.mps = ptsbe_tensornet::MpsConfig::adaptive(1, 1e-6, 1e-3);
@@ -251,6 +259,74 @@ fn forced_mps_job_with_blown_budget_is_refused() {
         "refusal must name the budget: {err}"
     );
     assert_eq!(service.metrics().mps_budget_refusals, 1);
+}
+
+/// The ROADMAP's χ=192-vs-256 lesson, scaled down: a binding bond cap
+/// (χ=1 on a Bell pair) blows the truncation budget, but the blowout is
+/// the cap's fault, not the circuit's — the router must route MPS at
+/// the service's honest ceiling instead of shrinking to a dense engine,
+/// and the delivered data must be truncation-free.
+#[test]
+fn binding_bond_cap_routes_at_honest_ceiling() {
+    let nc = bell_circuit(0.02);
+    let plan = plan_for(&nc, 8, 5, true, 34);
+    let service: ShotService = ShotService::start(ServiceConfig {
+        workers: 1,
+        mps_qubit_threshold: 2,
+        mps_bond_ceiling: 16,
+        ..ServiceConfig::default()
+    });
+    let mut spec = JobSpec::new("honest-ceiling", nc, plan.clone(), 7);
+    spec.mps = ptsbe_tensornet::MpsConfig::adaptive(1, 1e-6, 1e-3);
+    let (sink, store) = MemorySink::new();
+    let handle = service.submit(spec, Box::new(sink)).unwrap();
+    let report = handle.wait();
+    assert!(report.status.is_success(), "{report:?}");
+    assert_eq!(
+        report.engine,
+        Some(EngineKind::MpsTree),
+        "{}",
+        report.route_reason
+    );
+    assert!(
+        report.route_reason.contains("honest ceiling 16"),
+        "{}",
+        report.route_reason
+    );
+    let probe = handle.route().unwrap().truncation.expect("probe must run");
+    assert!(!probe.budget_exhausted);
+    assert_eq!(
+        probe.trunc_error, 0.0,
+        "at the honest ceiling the Bell pair is exact"
+    );
+    assert_eq!(store.lock().unwrap().records.len(), plan.n_trajectories());
+    let m = service.metrics();
+    assert_eq!(m.mps_probe_reroutes, 0, "the job stayed on MPS");
+    assert_eq!(m.mps_budget_refusals, 0);
+}
+
+/// `Force(MpsTree)` composes with the honest ceiling: raising the cap
+/// keeps the job on the demanded engine, so it succeeds where the
+/// no-headroom case above is refused.
+#[test]
+fn forced_mps_with_binding_cap_raises_instead_of_refusing() {
+    let nc = bell_circuit(0.02);
+    let plan = plan_for(&nc, 8, 5, true, 35);
+    let service: ShotService = ShotService::start(one_worker());
+    let mut spec = JobSpec::new("forced-honest", nc, plan, 7)
+        .with_engine(EnginePolicy::Force(EngineKind::MpsTree));
+    spec.mps = ptsbe_tensornet::MpsConfig::adaptive(1, 1e-6, 1e-3);
+    let (sink, _) = MemorySink::new();
+    let handle = service.submit(spec, Box::new(sink)).unwrap();
+    let report = handle.wait();
+    assert!(report.status.is_success(), "{report:?}");
+    assert_eq!(report.engine, Some(EngineKind::MpsTree));
+    assert!(
+        report.route_reason.contains("bond cap 1 was binding"),
+        "{}",
+        report.route_reason
+    );
+    assert_eq!(service.metrics().mps_budget_refusals, 0);
 }
 
 // ---------------------------------------------------------------------------

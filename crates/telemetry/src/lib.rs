@@ -88,11 +88,15 @@ pub enum Stage {
     MpsSvd = 8,
     /// Whole-chunk envelope (emitted by [`TaskScope`] on drop).
     Chunk = 9,
+    /// One batched multi-trajectory MPS sampling call (histogram-only:
+    /// it nests inside the per-chunk `Sample` aggregate, so emitting it
+    /// as a span too would double-count the chunk decomposition).
+    SampleBatch = 10,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every stage, in index order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -106,6 +110,7 @@ impl Stage {
         Stage::RetryBackoff,
         Stage::MpsSvd,
         Stage::Chunk,
+        Stage::SampleBatch,
     ];
 
     /// Stable label (exporters, trace event names).
@@ -121,6 +126,7 @@ impl Stage {
             Stage::RetryBackoff => "retry-backoff",
             Stage::MpsSvd => "mps-svd",
             Stage::Chunk => "chunk",
+            Stage::SampleBatch => "sample-batch",
         }
     }
 
@@ -144,7 +150,7 @@ impl Stage {
     /// Stages recorded into histograms only, never the span ring —
     /// they time work nested inside another stage's span.
     pub fn is_histogram_only(self) -> bool {
-        matches!(self, Stage::MpsSvd)
+        matches!(self, Stage::MpsSvd | Stage::SampleBatch)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::tensor::Tensor3;
 use ptsbe_math::qr::qr_thin;
-use ptsbe_math::svd::svd;
+use ptsbe_math::svd::{svd, svd_qr};
 use ptsbe_math::{Complex, Matrix, Scalar};
 
 /// Qubit-ordering policy the MPS compiler applies before lowering a
@@ -416,58 +416,142 @@ impl<T: Scalar> Mps<T> {
         budget
     }
 
-    /// Apply a two-site gate on non-adjacent sites `lo < hi` directly:
-    /// operator-Schmidt-decompose the 4×4 matrix (`(p_lo << 1) | p_hi`
-    /// basis) as `Σ_k A_k ⊗ B_k` (rank ≤ 4; 2 for CX/CZ), absorb the
-    /// `A_k` at `lo` and `B_k` at `hi` while routing the Schmidt index
-    /// through the intervening bonds (each inflated ×rank), then restore
-    /// the canonical gauge and compress the inflated bonds with a
-    /// truncating two-site sweep. Versus the SWAP-chain lowering this
-    /// runs `hi − lo` truncating SVDs instead of `2(hi − lo) − 1` and —
-    /// decisively for block-structured circuits — never physically moves
-    /// entanglement through the chain.
+    /// Apply a two-site gate on non-adjacent sites `lo < hi` directly via
+    /// a truncating **zip-up sweep**: operator-Schmidt-decompose the 4×4
+    /// matrix (`(p_lo << 1) | p_hi` basis) as `Σ_k A_k ⊗ B_k` (rank ≤ 4;
+    /// 2 for CX/CZ), absorb the `A_k` at `lo`, then push the rank-wide
+    /// MPO bond rightward one site at a time — contract the carry into
+    /// the next (right-canonical) site tensor and SVD-truncate the
+    /// crossed bond immediately — until `B_k` is absorbed at `hi`. The
+    /// window's bonds are never inflated ×rank up front, so versus the
+    /// older inflate-everything + gauge-repair + identity-sweep path this
+    /// skips a full QR sweep over ×rank bonds and halves every SVD's
+    /// width (`(2χ)×(χ·rank)` cores instead of `(2χ)×(2χ·rank)`). Ends
+    /// with the center at `hi`.
     fn apply_2q_long_range(&mut self, m: &Matrix<T>, lo: usize, hi: usize) {
         debug_assert!(lo + 1 < hi && hi < self.n_qubits());
-        // R[(a', a), (b', b)] = m[(a' << 1) | b', (a << 1) | b]; its SVD is
-        // the operator-Schmidt decomposition across the lo|hi split.
-        let mut rmat = Matrix::<T>::zeros(4, 4);
-        for ap in 0..2 {
-            for a in 0..2 {
-                for bp in 0..2 {
-                    for b in 0..2 {
-                        rmat[(ap * 2 + a, bp * 2 + b)] = m[((ap << 1) | bp, (a << 1) | b)];
-                    }
-                }
-            }
-        }
-        let dec = svd(&rmat);
-        let smax = dec.s.first().copied().unwrap_or(T::ZERO);
-        let op_cut = T::from_f64(1e-14) * smax;
-        let rank = dec
-            .s
-            .iter()
-            .take_while(|&&s| s > op_cut)
-            .count()
-            .clamp(1, 4);
-        // A_k[a', a] = √s_k · U[(a', a), k];  B_k[b', b] = √s_k · Vh[k, (b', b)].
-        let mut a_ops = Vec::with_capacity(rank);
-        let mut b_ops = Vec::with_capacity(rank);
-        for k in 0..rank {
-            let root = dec.s[k].sqrt();
-            let mut ak = Matrix::<T>::zeros(2, 2);
-            let mut bk = Matrix::<T>::zeros(2, 2);
-            for o in 0..2 {
-                for i in 0..2 {
-                    ak[(o, i)] = dec.u[(o * 2 + i, k)].scale(root);
-                    bk[(o, i)] = dec.vh[(k, o * 2 + i)].scale(root);
-                }
-            }
-            a_ops.push(ak);
-            b_ops.push(bk);
-        }
+        let (a_ops, b_ops) = operator_schmidt(m);
+        let rank = a_ops.len();
         if rank == 1 {
             // Product operator: two independent single-site applications
             // (gauge handled by `apply_1q`; no bond is touched).
+            self.apply_1q(&a_ops[0], lo);
+            self.apply_1q(&b_ops[0], hi);
+            return;
+        }
+        // Bring the center to `lo` so every site in (lo, hi] is
+        // right-canonical: identity-extended right-canonical tensors stay
+        // isometric, which keeps the zip-up's per-bond truncation
+        // decisions honest.
+        self.move_center(lo);
+        // Site lo: M[(l, p'), r·rank + k] = Σ_p A_k[p', p] T[l, p, r],
+        // split immediately — the carry S·Vh keeps the norm and the open
+        // MPO index.
+        let mut carry = {
+            let t = &self.tensors[lo];
+            let (dl, dr) = (t.dl, t.dr);
+            let mut mat = Matrix::<T>::zeros(dl * 2, dr * rank);
+            for l in 0..dl {
+                for po in 0..2 {
+                    for pi in 0..2 {
+                        for (k, ak) in a_ops.iter().enumerate() {
+                            let g = ak[(po, pi)];
+                            if g == Complex::zero() {
+                                continue;
+                            }
+                            for r in 0..dr {
+                                mat[(l * 2 + po, r * rank + k)] += g * t.get(l, pi, r);
+                            }
+                        }
+                    }
+                }
+            }
+            self.split_truncate(&mat, lo, dl)
+        };
+        // Middle sites carry the MPO index untouched:
+        // N[(α, p), r·rank + k] = Σ_l C[α, l·rank + k] T[l, p, r].
+        for j in lo + 1..hi {
+            carry = {
+                let t = &self.tensors[j];
+                let (dl, dr) = (t.dl, t.dr);
+                let alpha = carry.rows();
+                debug_assert_eq!(carry.cols(), dl * rank);
+                let mut mat = Matrix::<T>::zeros(alpha * 2, dr * rank);
+                for a_idx in 0..alpha {
+                    for l in 0..dl {
+                        for k in 0..rank {
+                            let c = carry[(a_idx, l * rank + k)];
+                            if c == Complex::zero() {
+                                continue;
+                            }
+                            for p in 0..2 {
+                                for r in 0..dr {
+                                    mat[(a_idx * 2 + p, r * rank + k)] += c * t.get(l, p, r);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.split_truncate(&mat, j, alpha)
+            };
+        }
+        // Site hi closes the MPO index against B_k:
+        // out[α, p', r] = Σ_{l,k,p} C[α, l·rank + k] B_k[p', p] T[l, p, r].
+        {
+            let t = &self.tensors[hi];
+            let (dl, dr) = (t.dl, t.dr);
+            let alpha = carry.rows();
+            debug_assert_eq!(carry.cols(), dl * rank);
+            let mut out = Tensor3::<T>::zeros(alpha, dr);
+            for a_idx in 0..alpha {
+                for l in 0..dl {
+                    for (k, bk) in b_ops.iter().enumerate() {
+                        let c = carry[(a_idx, l * rank + k)];
+                        if c == Complex::zero() {
+                            continue;
+                        }
+                        for po in 0..2 {
+                            for pi in 0..2 {
+                                let g = bk[(po, pi)];
+                                if g == Complex::zero() {
+                                    continue;
+                                }
+                                let w = c * g;
+                                for r in 0..dr {
+                                    let cur = out.get(a_idx, po, r);
+                                    out.set(a_idx, po, r, cur + w * t.get(l, pi, r));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.tensors[hi] = out;
+        }
+        self.center = hi;
+    }
+
+    /// Reference long-range application via full ×rank bond inflation,
+    /// gauge repair, and a truncating identity sweep — the pre-zip-up
+    /// path. Kept (test-only surface) so differential tests can pin the
+    /// zip-up against it on random circuits; not part of the public API.
+    #[doc(hidden)]
+    pub fn apply_2q_via_inflation(&mut self, m: &Matrix<T>, a: usize, b: usize) {
+        assert!(a != b && a < self.n_qubits() && b < self.n_qubits());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let m_local = reorder_for_sites(m, a < b);
+        if hi - lo == 1 {
+            self.apply_2q_adjacent(&m_local, lo);
+            return;
+        }
+        self.apply_2q_long_range_inflate(&m_local, lo, hi);
+    }
+
+    fn apply_2q_long_range_inflate(&mut self, m: &Matrix<T>, lo: usize, hi: usize) {
+        debug_assert!(lo + 1 < hi && hi < self.n_qubits());
+        let (a_ops, b_ops) = operator_schmidt(m);
+        let rank = a_ops.len();
+        if rank == 1 {
             self.apply_1q(&a_ops[0], lo);
             self.apply_1q(&b_ops[0], hi);
             return;
@@ -607,18 +691,35 @@ impl<T: Scalar> Mps<T> {
                 }
             }
         }
-        // Reshape to (dl*2) × (2*dr) and SVD. The per-update SVD time is
-        // the MPS cost driver, so it gets its own (histogram-only)
-        // telemetry stage — this is what decomposes "prep is slow" into
-        // bonds × SVD cost.
+        // Reshape to (dl*2) × (2*dr), split across bond q, and install
+        // the carry as the new center tensor at q+1.
         let mat = Matrix::from_vec(dl * 2, 2 * dr, theta2);
-        let dec = {
-            let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::MpsSvd);
-            svd(&mat)
-        };
         // Hand the scratch allocations back for the next two-site update.
         self.theta = theta;
+        let carry = self.split_truncate(&mat, q, dl);
         self.theta2 = mat.into_vec();
+        self.tensors[q + 1] = Tensor3::from_matrix_l_pr(&carry, dr);
+        self.center = q + 1;
+    }
+
+    /// SVD-split a `(dl·2) × w` matrix across bond `q` under the standard
+    /// truncation policy (cutoff, cap, per-update budget), install the
+    /// left-canonical `U` factor as the site-`q` tensor, record the
+    /// bond's truncation/spectrum statistics, and return the `keep × w`
+    /// carry `S·Vh` (which owns the norm). Shared by the adjacent
+    /// two-site update and the zip-up MPO sweep so both incur identical
+    /// accounting. The SVD runs QR-first ([`svd_qr`]): rectangular
+    /// inputs — wide gate splits, rank-extended zip-up columns, chain
+    /// edges — reduce to a `min(m, w)` Jacobi core.
+    fn split_truncate(&mut self, mat: &Matrix<T>, q: usize, dl: usize) -> Matrix<T> {
+        let w = mat.cols();
+        // The per-update SVD time is the MPS cost driver, so it gets its
+        // own (histogram-only) telemetry stage — this is what decomposes
+        // "prep is slow" into bonds × SVD cost.
+        let dec = {
+            let _t = ptsbe_telemetry::timer(ptsbe_telemetry::Stage::MpsSvd);
+            svd_qr(mat)
+        };
         // Truncate: cutoff and cap give the hard-stop `keep` (the legacy
         // cap-driven policy); under a per-update budget, `keep` then grows
         // from 1 only until the discarded relative mass drops below the
@@ -673,7 +774,7 @@ impl<T: Scalar> Mps<T> {
             stats.entropy = entropy;
         }
 
-        // A_q = U[.., ..keep] (left-canonical); A_{q+1} = S·Vh (center).
+        // A_q = U[.., ..keep] (left-canonical); carry = S·Vh.
         let mut u_keep = Matrix::zeros(dl * 2, keep);
         for rr in 0..dl * 2 {
             for c in 0..keep {
@@ -681,15 +782,14 @@ impl<T: Scalar> Mps<T> {
             }
         }
         self.tensors[q] = Tensor3::from_matrix_lp_r(&u_keep, dl);
-        let mut sv = Matrix::zeros(keep, 2 * dr);
+        let mut sv = Matrix::zeros(keep, w);
         for rr in 0..keep {
             let s = dec.s[rr];
-            for c in 0..2 * dr {
+            for c in 0..w {
                 sv[(rr, c)] = dec.vh[(rr, c)].scale(s);
             }
         }
-        self.tensors[q + 1] = Tensor3::from_matrix_l_pr(&sv, dr);
-        self.center = q + 1;
+        sv
     }
 
     /// Amplitude `⟨bits|ψ⟩` where bit `i` of `bits` selects site `i`'s
@@ -845,6 +945,51 @@ impl<T: Scalar> Mps<T> {
             .map(|bits| self.amplitude(bits as u128))
             .collect()
     }
+}
+
+/// Operator-Schmidt decomposition of a 4×4 two-site matrix in the
+/// `(p_lo << 1) | p_hi` basis across the lo|hi split: returns
+/// √s-weighted factor pairs with `m = Σ_k A_k ⊗ B_k`, rank ≤ 4
+/// (2 for CX/CZ, 1 for product operators).
+fn operator_schmidt<T: Scalar>(m: &Matrix<T>) -> (Vec<Matrix<T>>, Vec<Matrix<T>>) {
+    // R[(a', a), (b', b)] = m[(a' << 1) | b', (a << 1) | b]; its SVD is
+    // the operator-Schmidt decomposition.
+    let mut rmat = Matrix::<T>::zeros(4, 4);
+    for ap in 0..2 {
+        for a in 0..2 {
+            for bp in 0..2 {
+                for b in 0..2 {
+                    rmat[(ap * 2 + a, bp * 2 + b)] = m[((ap << 1) | bp, (a << 1) | b)];
+                }
+            }
+        }
+    }
+    let dec = svd(&rmat);
+    let smax = dec.s.first().copied().unwrap_or(T::ZERO);
+    let op_cut = T::from_f64(1e-14) * smax;
+    let rank = dec
+        .s
+        .iter()
+        .take_while(|&&s| s > op_cut)
+        .count()
+        .clamp(1, 4);
+    // A_k[a', a] = √s_k · U[(a', a), k];  B_k[b', b] = √s_k · Vh[k, (b', b)].
+    let mut a_ops = Vec::with_capacity(rank);
+    let mut b_ops = Vec::with_capacity(rank);
+    for k in 0..rank {
+        let root = dec.s[k].sqrt();
+        let mut ak = Matrix::<T>::zeros(2, 2);
+        let mut bk = Matrix::<T>::zeros(2, 2);
+        for o in 0..2 {
+            for i in 0..2 {
+                ak[(o, i)] = dec.u[(o * 2 + i, k)].scale(root);
+                bk[(o, i)] = dec.vh[(k, o * 2 + i)].scale(root);
+            }
+        }
+        a_ops.push(ak);
+        b_ops.push(bk);
+    }
+    (a_ops, b_ops)
 }
 
 /// Convert a gate matrix from the `(bit_first << 1) | bit_second`

@@ -145,6 +145,113 @@ proptest! {
         );
     }
 
+    /// The zip-up long-range path must reproduce the old kron-identity
+    /// inflation path: same gates, same state, within 1e-10 fidelity
+    /// (the two differ only in gauge and truncation bookkeeping order).
+    #[test]
+    fn zip_up_long_range_matches_inflation(
+        seed in 0u64..400,
+        n in 3usize..7,
+        pairs in prop::collection::vec((0usize..8, 0usize..8), 1..10),
+    ) {
+        let mut rng = PhiloxRng::new(seed, 14);
+        let mut zip = Mps::<f64>::zero_state(n, exact());
+        let mut inflate = Mps::<f64>::zero_state(n, exact());
+        // Entangle first so long-range gates act on non-product states.
+        for q in 0..n - 1 {
+            let u = haar_unitary::<f64>(4, &mut rng);
+            zip.apply_2q(&u, q, q + 1);
+            inflate.apply_2q(&u, q, q + 1);
+        }
+        for (a_raw, b_raw) in pairs {
+            let a = a_raw % n;
+            let b = b_raw % n;
+            if a == b {
+                continue;
+            }
+            let u = haar_unitary::<f64>(4, &mut rng);
+            zip.apply_2q(&u, a, b);
+            inflate.apply_2q_via_inflation(&u, a, b);
+        }
+        let x = zip.to_statevector();
+        let y = inflate.to_statevector();
+        let mut acc = ptsbe_math::C64::zero();
+        let mut nx = 0.0;
+        let mut ny = 0.0;
+        for (xa, ya) in x.iter().zip(&y) {
+            acc += xa.conj() * *ya;
+            nx += xa.norm_sqr();
+            ny += ya.norm_sqr();
+        }
+        let fidelity = acc.norm_sqr() / (nx * ny);
+        prop_assert!(
+            (fidelity - 1.0).abs() < 1e-10,
+            "zip-up vs inflation fidelity {fidelity}"
+        );
+    }
+
+    /// The QR-first reduction is a drop-in for the dense Jacobi SVD:
+    /// identical singular values and an exact reconstruction on random
+    /// complex matrices of every aspect ratio.
+    #[test]
+    fn qr_first_svd_matches_dense_svd(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        raw in prop::collection::vec(-1.0f64..1.0, 2 * 24 * 24),
+    ) {
+        use ptsbe_math::svd::{svd, svd_qr};
+        let data: Vec<ptsbe_math::C64> = (0..rows * cols)
+            .map(|i| ptsbe_math::C64::new(raw[2 * i], raw[2 * i + 1]))
+            .collect();
+        let a = ptsbe_math::Matrix::from_vec(rows, cols, data);
+        let dense = svd(&a);
+        let qr = svd_qr(&a);
+        prop_assert_eq!(dense.s.len(), qr.s.len());
+        for (sd, sq) in dense.s.iter().zip(&qr.s) {
+            prop_assert!((sd - sq).abs() < 1e-10, "singular values {sd} vs {sq}");
+        }
+        // Reconstruction: ‖A − U·S·Vh‖∞ ≈ 0.
+        let k = qr.s.len();
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut acc = ptsbe_math::C64::zero();
+                for j in 0..k {
+                    acc += qr.u[(r, j)] * qr.vh[(j, c)].scale(qr.s[j]);
+                }
+                prop_assert!((acc - a[(r, c)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    /// Batched (prefix-trie) sampling is bitwise identical to the
+    /// sequential cached sweep on random circuits, across several
+    /// independent per-trajectory RNG streams.
+    #[test]
+    fn batched_sampling_bitwise_matches_sequential(
+        seed in 0u64..300,
+        n in 2usize..7,
+        ops in prop::collection::vec(
+            (0usize..8, 0usize..8, prop::bool::ANY, -1.5f64..1.5), 1..20),
+    ) {
+        let c = random_circuit(n, &ops);
+        let nc = NoisyCircuit::from_circuit(c);
+        let compiled = compile_mps::<f64>(&nc).unwrap();
+        let (mut mps, _) = prepare_mps(&compiled, &[], exact());
+        let mut expect = Vec::new();
+        for t in 0..3u64 {
+            let mut rng = PhiloxRng::for_trajectory(seed, t);
+            expect.push(ptsbe_tensornet::sample::sample_shots_cached(
+                &mut mps, 64, &mut rng,
+            ));
+        }
+        let mut rngs: Vec<PhiloxRng> =
+            (0..3).map(|t| PhiloxRng::for_trajectory(seed, t)).collect();
+        let mut reqs: Vec<(usize, &mut PhiloxRng)> =
+            rngs.iter_mut().map(|r| (64usize, r)).collect();
+        let got = ptsbe_tensornet::sample::sample_shots_batched(&mut mps, &mut reqs);
+        prop_assert_eq!(expect, got);
+    }
+
     /// `trunc_error` stays *exactly* 0.0 on any run that never pushes a
     /// bond against the ceiling with the cutoff disabled — the invariant
     /// that makes a zero error report trustworthy.

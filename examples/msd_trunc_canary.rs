@@ -47,4 +47,19 @@ fn main() {
         !stats.budget_exhausted,
         "canary: cumulative truncation budget blown — the pipeline test is about to fail"
     );
+    // PR 10 rebuilt the two-site update (QR-first reduction) and the
+    // long-range gate path (truncating zip-up): both are contracts, not
+    // approximations, so this workload's numbers must not move. The
+    // budget keeps every discarded weight at exactly zero, and the
+    // 30k-shot acceptance under PhiloxRng::new(1, 0) is the same
+    // deterministic 0.1691 the pre-overhaul path produced.
+    assert_eq!(
+        stats.trunc_error, 0.0,
+        "canary: encoded-MSD run must be truncation-free under the pinned budget"
+    );
+    assert!(
+        (analysis.acceptance() - 0.1691).abs() < 5e-4,
+        "canary: acceptance {:.4} drifted from the pinned 0.1691",
+        analysis.acceptance()
+    );
 }
